@@ -1,0 +1,47 @@
+//! End-to-end query benchmarks at tiny network scale: one criterion
+//! target per SKYPEER variant plus the naive baseline, on the default
+//! uniform workload. These are the per-query costs behind every figure;
+//! the `figures` binary sweeps the actual paper parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
+use skypeer_data::Query;
+use skypeer_skyline::Subspace;
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let engine = SkypeerEngine::build(EngineConfig::paper_default(400, 77));
+    let query = Query { subspace: Subspace::from_dims(&[1, 4, 6]), initiator: 3 };
+    let mut group = c.benchmark_group("query/400-peers");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("variant", variant.mnemonic()),
+            &variant,
+            |b, &v| {
+                b.iter(|| black_box(engine.run_query(query, v).volume_bytes));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_network_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    for peers in [200usize, 400] {
+        group.bench_with_input(BenchmarkId::new("peers", peers), &peers, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    SkypeerEngine::build(EngineConfig::paper_default(n, 5))
+                        .preprocess_report()
+                        .stored_points,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_network_build);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Preprocessing-phase benchmarks (the Figure 3(a) pipeline): peer
+//! ext-skyline computation and super-peer ext-merging across data
+//! dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skypeer_core::preprocess::SuperPeerStore;
+use skypeer_data::{DatasetKind, DatasetSpec};
+use skypeer_skyline::extended::ext_skyline;
+use skypeer_skyline::{DominanceIndex, PointSet};
+use std::hint::black_box;
+
+fn peer_sets(dim: usize, peers: usize, points: usize, seed: u64) -> Vec<PointSet> {
+    let spec = DatasetSpec { dim, points_per_peer: points, kind: DatasetKind::Uniform, seed };
+    (0..peers).map(|p| spec.generate_peer(p, 0)).collect()
+}
+
+fn bench_peer_ext_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess/peer-ext-skyline");
+    for dim in [5usize, 7, 10] {
+        let set = &peer_sets(dim, 1, 250, 11)[0];
+        group.bench_with_input(BenchmarkId::new("d", dim), &dim, |b, _| {
+            b.iter(|| black_box(ext_skyline(set, DominanceIndex::Linear).result.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_superpeer_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess/superpeer-store");
+    group.sample_size(10);
+    for dim in [5usize, 8] {
+        let sets = peer_sets(dim, 50, 250, 13);
+        group.bench_with_input(BenchmarkId::new("50-peers-d", dim), &dim, |b, _| {
+            b.iter(|| {
+                black_box(SuperPeerStore::preprocess(&sets, dim, DominanceIndex::RTree).store.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_peer_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocess/peer-join");
+    group.sample_size(10);
+    let dim = 8;
+    let sets = peer_sets(dim, 50, 250, 17);
+    let base = SuperPeerStore::preprocess(&sets[..49], dim, DominanceIndex::RTree);
+    let newcomer = &sets[49];
+    group.bench_function("incremental-join", |b| {
+        b.iter(|| {
+            let mut store = base.clone();
+            store.join_peer(newcomer, DominanceIndex::RTree);
+            black_box(store.store.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_peer_ext_skyline, bench_superpeer_merge, bench_peer_join);
+criterion_main!(benches);

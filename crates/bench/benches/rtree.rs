@@ -1,0 +1,94 @@
+//! R-tree microbenchmarks: the dominance-window operations Algorithm 1
+//! performs per candidate, plus construction paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skypeer_rtree::RTree;
+use std::hint::black_box;
+
+fn points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree/build");
+    for n in [1_000usize, 10_000] {
+        let pts = points(n, 3, 1);
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = RTree::new(3);
+                for (i, p) in pts.iter().enumerate() {
+                    t.insert(p, i as u64);
+                }
+                black_box(t.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
+            let refs: Vec<(&[f64], u64)> =
+                pts.iter().enumerate().map(|(i, p)| (p.as_slice(), i as u64)).collect();
+            b.iter(|| black_box(RTree::bulk_load(3, &refs).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominance_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree/dominance");
+    for n in [1_000usize, 10_000] {
+        let pts = points(n, 3, 2);
+        let mut tree = RTree::new(3);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(p, i as u64);
+        }
+        let probes = points(256, 3, 3);
+        group.bench_with_input(BenchmarkId::new("is_dominated", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for p in &probes {
+                    hits += u32::from(tree.is_dominated(p));
+                }
+                black_box(hits)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("window_collect", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for p in probes.iter().take(16) {
+                    total += tree.window_collect(&skypeer_rtree::Rect::from_origin(p)).len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree/knn");
+    let pts = points(10_000, 3, 9);
+    let refs: Vec<(&[f64], u64)> =
+        pts.iter().enumerate().map(|(i, p)| (p.as_slice(), i as u64)).collect();
+    let tree = RTree::bulk_load(3, &refs);
+    let probes = points(64, 3, 10);
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &probes {
+                    total += tree.nearest(q, k).len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_dominance_ops, bench_knn
+);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Microbenchmarks of the centralized skyline kernels: BNL, SFS, D&C, and
+//! the paper's threshold-based Algorithm 1 (linear and R-tree indexed),
+//! plus Algorithm 2 merging. These quantify the ablation DESIGN.md calls
+//! out: what the f(p)-sorted threshold scan buys over scan-everything
+//! engines, on both friendly (uniform) and adversarial (anticorrelated)
+//! data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skypeer_data::{DatasetKind, DatasetSpec};
+use skypeer_skyline::sorted::threshold_skyline;
+use skypeer_skyline::{bnl, dnc, merge, sfs};
+use skypeer_skyline::{Dominance, DominanceIndex, PointSet, SortedDataset, Subspace};
+use std::hint::black_box;
+
+fn dataset(kind: DatasetKind, n: usize, dim: usize) -> PointSet {
+    let spec = DatasetSpec { dim, points_per_peer: n, kind, seed: 99 };
+    spec.generate_peer(0, 0)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let dim = 8;
+    let u = Subspace::from_dims(&[0, 3, 6]);
+    for (kind, label) in [
+        (DatasetKind::Uniform, "uniform"),
+        (DatasetKind::Anticorrelated, "anticorrelated"),
+    ] {
+        let mut group = c.benchmark_group(format!("skyline/{label}"));
+        for n in [1_000usize, 10_000] {
+            let set = dataset(kind, n, dim);
+            let sorted = SortedDataset::from_set(&set);
+            group.bench_with_input(BenchmarkId::new("bnl", n), &n, |b, _| {
+                b.iter(|| black_box(bnl::skyline(&set, u, Dominance::Standard)));
+            });
+            group.bench_with_input(BenchmarkId::new("sfs", n), &n, |b, _| {
+                b.iter(|| black_box(sfs::skyline(&set, u, Dominance::Standard)));
+            });
+            group.bench_with_input(BenchmarkId::new("dnc", n), &n, |b, _| {
+                b.iter(|| black_box(dnc::skyline(&set, u, Dominance::Standard)));
+            });
+            group.bench_with_input(BenchmarkId::new("alg1-linear", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(threshold_skyline(
+                        &sorted,
+                        u,
+                        Dominance::Standard,
+                        f64::INFINITY,
+                        DominanceIndex::Linear,
+                    ))
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("alg1-rtree", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(threshold_skyline(
+                        &sorted,
+                        u,
+                        Dominance::Standard,
+                        f64::INFINITY,
+                        DominanceIndex::RTree,
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_ext_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext-skyline");
+    for dim in [5usize, 8, 10] {
+        let set = dataset(DatasetKind::Uniform, 5_000, dim);
+        group.bench_with_input(BenchmarkId::new("alg1-ext", dim), &dim, |b, _| {
+            b.iter(|| {
+                black_box(skypeer_skyline::extended::ext_skyline(&set, DominanceIndex::RTree))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bbs_and_skyband(c: &mut Criterion) {
+    let set = dataset(DatasetKind::Uniform, 5_000, 8);
+    let u = Subspace::from_dims(&[0, 3, 6]);
+    let mut group = c.benchmark_group("extras");
+    group.bench_function("bbs-5000", |b| {
+        b.iter(|| black_box(skypeer_skyline::bbs::skyline_ids(&set, u, Dominance::Standard)));
+    });
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("skyband-2000", k), &k, |b, &k| {
+            let small = dataset(DatasetKind::Uniform, 2_000, 8);
+            b.iter(|| {
+                black_box(skypeer_skyline::skyband::skyband(&small, u, k, Dominance::Standard))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Algorithm 2 over many pre-reduced lists — the super-peer merge path.
+    let mut group = c.benchmark_group("merge");
+    for lists in [4usize, 16, 64] {
+        let u = Subspace::from_dims(&[0, 2, 4]);
+        let spec = DatasetSpec {
+            dim: 8,
+            points_per_peer: 500,
+            kind: DatasetKind::Uniform,
+            seed: 7,
+        };
+        let parts: Vec<SortedDataset> = (0..lists)
+            .map(|p| {
+                let set = spec.generate_peer(p, 0);
+                threshold_skyline(
+                    &SortedDataset::from_set(&set),
+                    u,
+                    Dominance::Standard,
+                    f64::INFINITY,
+                    DominanceIndex::Linear,
+                )
+                .result
+            })
+            .collect();
+        let refs: Vec<&SortedDataset> = parts.iter().collect();
+        group.bench_with_input(BenchmarkId::new("alg2", lists), &lists, |b, _| {
+            b.iter(|| {
+                black_box(merge::merge_sorted(
+                    &refs,
+                    u,
+                    Dominance::Standard,
+                    f64::INFINITY,
+                    DominanceIndex::Linear,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engines, bench_ext_skyline, bench_bbs_and_skyband, bench_merge
+);
+criterion_main!(benches);

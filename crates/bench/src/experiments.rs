@@ -1,0 +1,670 @@
+//! One runner per figure of the paper's evaluation.
+//!
+//! Defaults (Section 6): `d = 8`, `k = 3`, `DEG_sp = 4`, `N_p = 4000`,
+//! 250 points/peer, uniform data, `N_sp = 5%·N_p` (1% for `N_p ≥ 20000`),
+//! 100 queries, 4 KB/s links. Runners deviate only where the paper does.
+
+use skypeer_core::{EngineConfig, QueryMetrics, SkypeerEngine, Variant};
+use skypeer_data::{DatasetKind, DatasetSpec, WorkloadSpec};
+use skypeer_netsim::cost::CostModel;
+use skypeer_netsim::des::LinkModel;
+use skypeer_netsim::topology::TopologySpec;
+
+/// How far to shrink the paper's setup. Peer counts and query counts are
+/// divided; everything else (dimensionality, points/peer, degrees) stays
+/// at paper values, so curve *shapes* are preserved.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Peer counts are divided by this (super-peer counts follow the
+    /// paper's percentage rule on the reduced peer count).
+    pub peer_divisor: usize,
+    /// Queries per configuration.
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper-faithful scale: full peer counts, 100 queries.
+    pub fn paper() -> Self {
+        Scale { peer_divisor: 1, queries: 100, seed: 42 }
+    }
+
+    /// Default scale for interactive runs: 1/10 of the peers, 20 queries.
+    pub fn reduced() -> Self {
+        Scale { peer_divisor: 10, queries: 20, seed: 42 }
+    }
+
+    /// Tiny scale for tests and criterion benches.
+    pub fn tiny() -> Self {
+        Scale { peer_divisor: 100, queries: 4, seed: 42 }
+    }
+
+    fn peers(&self, paper_n: usize) -> usize {
+        (paper_n / self.peer_divisor).max(40)
+    }
+}
+
+/// One regenerated figure: an x-sweep with one value column per series.
+#[derive(Clone, Debug)]
+pub struct FigureData {
+    /// Paper figure id, e.g. `"fig3b"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Label of the swept parameter.
+    pub x_label: &'static str,
+    /// Label of the measured quantity.
+    pub y_label: &'static str,
+    /// Series names (column headers).
+    pub series: Vec<String>,
+    /// `(x, values)` rows, one value per series.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+const MS: f64 = 1e6; // ns per millisecond
+const KB: f64 = 1024.0;
+
+/// Builds the standard engine for a configuration point.
+fn build_engine(
+    n_peers: usize,
+    dim: usize,
+    points_per_peer: usize,
+    kind: DatasetKind,
+    deg_sp: f64,
+    seed: u64,
+) -> SkypeerEngine {
+    let n_superpeers = EngineConfig::paper_superpeers(n_peers);
+    let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xABCD);
+    topology.avg_degree = deg_sp.min((n_superpeers.saturating_sub(1)) as f64);
+    SkypeerEngine::build(EngineConfig {
+        n_peers,
+        n_superpeers,
+        dataset: DatasetSpec { dim, points_per_peer, kind, seed },
+        topology,
+        index: skypeer_skyline::DominanceIndex::RTree,
+        cost: CostModel::default(),
+        link: LinkModel::paper_4kbps(),
+        routing: skypeer_core::engine::RoutingMode::Flood,
+    })
+}
+
+/// Runs `queries` random `k`-subspace queries under `variant` and averages.
+fn measure(engine: &SkypeerEngine, k: usize, queries: usize, seed: u64, variant: Variant) -> QueryMetrics {
+    let spec = WorkloadSpec {
+        dim: engine.config().dataset.dim,
+        k,
+        queries,
+        n_superpeers: engine.config().n_superpeers,
+        seed,
+    };
+    let outcomes = engine.run_workload(&spec.generate(), variant);
+    QueryMetrics::from_outcomes(&outcomes)
+}
+
+/// **Figure 3(a)** — pre-processing selectivities vs data dimensionality.
+///
+/// Series: `SEL_p` (fraction of raw points peers upload), `SEL_sp`
+/// (fraction stored at super-peers after ext-merging), and their ratio.
+pub fn fig3a(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(4000);
+    let mut rows = Vec::new();
+    for dim in 5..=10 {
+        let engine = build_engine(n_peers, dim, 250, DatasetKind::Uniform, 4.0, scale.seed);
+        let r = engine.preprocess_report();
+        rows.push((dim as f64, vec![
+            100.0 * r.sel_p(),
+            100.0 * r.sel_sp(),
+            100.0 * r.sel_ratio(),
+        ]));
+    }
+    FigureData {
+        id: "fig3a",
+        title: format!("Pre-processing statistics, uniform, {n_peers} peers"),
+        x_label: "d",
+        y_label: "% of dataset",
+        series: vec!["SEL_p %".into(), "SEL_sp %".into(), "SEL_sp/SEL_p %".into()],
+        rows,
+    }
+}
+
+/// Shared sweep for Figures 3(b) and 3(c): all five strategies over
+/// `d ∈ 5..=10` at the default `k = 3`.
+fn sweep_dimensionality(scale: Scale) -> (FigureData, FigureData) {
+    let n_peers = scale.peers(4000);
+    let mut comp_rows = Vec::new();
+    let mut total_rows = Vec::new();
+    for dim in 5..=10 {
+        let engine = build_engine(n_peers, dim, 250, DatasetKind::Uniform, 4.0, scale.seed);
+        let mut comp = Vec::new();
+        let mut total = Vec::new();
+        for variant in Variant::ALL {
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ dim as u64, variant);
+            comp.push(m.avg_comp_time_ns / MS);
+            total.push(m.avg_total_time_ns / MS);
+        }
+        comp_rows.push((dim as f64, comp));
+        total_rows.push((dim as f64, total));
+    }
+    let series: Vec<String> = Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect();
+    (
+        FigureData {
+            id: "fig3b",
+            title: format!("Computational time vs d, uniform, {n_peers} peers, k=3"),
+            x_label: "d",
+            y_label: "comp time (ms)",
+            series: series.clone(),
+            rows: comp_rows,
+        },
+        FigureData {
+            id: "fig3c",
+            title: format!("Total time (4 KB/s links) vs d, uniform, {n_peers} peers, k=3"),
+            x_label: "d",
+            y_label: "total time (ms)",
+            series,
+            rows: total_rows,
+        },
+    )
+}
+
+/// **Figure 3(b)** — computational time vs `d` for every strategy.
+pub fn fig3b(scale: Scale) -> FigureData {
+    sweep_dimensionality(scale).0
+}
+
+/// **Figure 3(c)** — total response time (incl. network delay) vs `d`.
+pub fn fig3c(scale: Scale) -> FigureData {
+    sweep_dimensionality(scale).1
+}
+
+/// **Figure 3(d)** — volume of transferred data vs `d`, FTFM vs FTPM,
+/// for query dimensionalities `k ∈ {2, 3}`.
+pub fn fig3d(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(4000);
+    let mut rows = Vec::new();
+    for dim in 5..=10 {
+        let engine = build_engine(n_peers, dim, 250, DatasetKind::Uniform, 4.0, scale.seed);
+        let mut vals = Vec::new();
+        for k in [2usize, 3] {
+            for variant in [Variant::Ftfm, Variant::Ftpm] {
+                let m = measure(&engine, k, scale.queries, scale.seed ^ (dim * 10 + k) as u64, variant);
+                vals.push(m.avg_volume_bytes / KB);
+            }
+        }
+        rows.push((dim as f64, vals));
+    }
+    FigureData {
+        id: "fig3d",
+        title: format!("Volume of messages vs d, uniform, {n_peers} peers"),
+        x_label: "d",
+        y_label: "volume (KB)",
+        series: vec![
+            "FTFM k=2".into(),
+            "FTPM k=2".into(),
+            "FTFM k=3".into(),
+            "FTPM k=3".into(),
+        ],
+        rows,
+    }
+}
+
+/// **Figure 3(e)** — computational time vs query dimensionality `k`,
+/// fixed (FTFM) vs refined (RTFM) threshold, 12000-peer network.
+pub fn fig3e(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(12000);
+    let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
+    let mut rows = Vec::new();
+    for k in 2..=4 {
+        let ft = measure(&engine, k, scale.queries, scale.seed ^ k as u64, Variant::Ftfm);
+        let rt = measure(&engine, k, scale.queries, scale.seed ^ k as u64, Variant::Rtfm);
+        rows.push((k as f64, vec![ft.avg_comp_time_ns / MS, rt.avg_comp_time_ns / MS]));
+    }
+    FigureData {
+        id: "fig3e",
+        title: format!("Computational time vs k: FTFM vs RTFM, uniform, {n_peers} peers"),
+        x_label: "k",
+        y_label: "comp time (ms)",
+        series: vec!["FTFM".into(), "RTFM".into()],
+        rows,
+    }
+}
+
+/// **Figure 3(f)** — SKYPEER's speed-up over naive (total response time
+/// ratio) as the network grows from 4000 to 12000 peers.
+pub fn fig3f(scale: Scale) -> FigureData {
+    let mut rows = Vec::new();
+    for paper_n in [4000usize, 8000, 12000] {
+        let n_peers = scale.peers(paper_n);
+        let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
+        let naive = measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Naive);
+        let mut vals = Vec::new();
+        for variant in Variant::SKYPEER {
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, variant);
+            vals.push(naive.avg_total_time_ns / m.avg_total_time_ns);
+        }
+        rows.push((n_peers as f64, vals));
+    }
+    FigureData {
+        id: "fig3f",
+        title: "Speed-up over naive (total time) vs network size".into(),
+        x_label: "N_p",
+        y_label: "naive / variant",
+        series: Variant::SKYPEER.iter().map(|v| v.mnemonic().to_string()).collect(),
+        rows,
+    }
+}
+
+/// **Figure 4(a)** — total response time vs `k` for every strategy,
+/// 12000-peer network.
+pub fn fig4a(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(12000);
+    let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
+    let mut rows = Vec::new();
+    for k in 2..=5 {
+        let mut vals = Vec::new();
+        for variant in Variant::ALL {
+            let m = measure(&engine, k, scale.queries, scale.seed ^ (400 + k) as u64, variant);
+            vals.push(m.avg_total_time_ns / MS);
+        }
+        rows.push((k as f64, vals));
+    }
+    FigureData {
+        id: "fig4a",
+        title: format!("Total time vs k, uniform, {n_peers} peers"),
+        x_label: "k",
+        y_label: "total time (ms)",
+        series: Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect(),
+        rows,
+    }
+}
+
+/// Shared sweep for Figures 4(b) and 4(c): very large networks,
+/// `N_p ∈ {20000, 40000, 60000, 80000}` with `N_sp = 1% · N_p`.
+fn sweep_large_networks(scale: Scale) -> (FigureData, FigureData) {
+    let mut comp_rows = Vec::new();
+    let mut total_rows = Vec::new();
+    for paper_n in [20000usize, 40000, 60000, 80000] {
+        let n_peers = scale.peers(paper_n);
+        // Preserve the paper's 1% super-peer ratio even at reduced scale.
+        let n_superpeers = ((n_peers as f64 * 0.01).round() as usize).max(5);
+        let mut topology = TopologySpec::paper_default(n_superpeers, scale.seed ^ 0xABCD);
+        topology.avg_degree = 4.0f64.min((n_superpeers - 1) as f64);
+        let engine = SkypeerEngine::build(EngineConfig {
+            n_peers,
+            n_superpeers,
+            dataset: DatasetSpec {
+                dim: 8,
+                points_per_peer: 250,
+                kind: DatasetKind::Uniform,
+                seed: scale.seed,
+            },
+            topology,
+            index: skypeer_skyline::DominanceIndex::RTree,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: skypeer_core::engine::RoutingMode::Flood,
+        });
+        let mut comp = Vec::new();
+        let mut total = Vec::new();
+        for variant in Variant::ALL {
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, variant);
+            comp.push(m.avg_comp_time_ns / MS);
+            total.push(m.avg_total_time_ns / MS);
+        }
+        comp_rows.push((n_peers as f64, comp));
+        total_rows.push((n_peers as f64, total));
+    }
+    let series: Vec<String> = Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect();
+    (
+        FigureData {
+            id: "fig4b",
+            title: "Computational time vs N_p (N_sp = 1%)".into(),
+            x_label: "N_p",
+            y_label: "comp time (ms)",
+            series: series.clone(),
+            rows: comp_rows,
+        },
+        FigureData {
+            id: "fig4c",
+            title: "Total time vs N_p (N_sp = 1%)".into(),
+            x_label: "N_p",
+            y_label: "total time (ms)",
+            series,
+            rows: total_rows,
+        },
+    )
+}
+
+/// **Figure 4(b)** — computational time for 20000–80000 peers.
+pub fn fig4b(scale: Scale) -> FigureData {
+    sweep_large_networks(scale).0
+}
+
+/// **Figure 4(c)** — total time for 20000–80000 peers.
+pub fn fig4c(scale: Scale) -> FigureData {
+    sweep_large_networks(scale).1
+}
+
+/// Shared sweep for Figures 4(d) and 4(e): super-peer connectivity degree
+/// `DEG_sp ∈ 4..=7`, 4000-peer network.
+fn sweep_degree(scale: Scale) -> (FigureData, FigureData) {
+    let n_peers = scale.peers(4000);
+    let mut comp_rows = Vec::new();
+    let mut total_rows = Vec::new();
+    for deg in 4..=7 {
+        let engine =
+            build_engine(n_peers, 8, 250, DatasetKind::Uniform, deg as f64, scale.seed);
+        let mut comp = Vec::new();
+        let mut total = Vec::new();
+        for variant in Variant::ALL {
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ (deg * 31) as u64, variant);
+            comp.push(m.avg_comp_time_ns / MS);
+            total.push(m.avg_total_time_ns / MS);
+        }
+        comp_rows.push((deg as f64, comp));
+        total_rows.push((deg as f64, total));
+    }
+    let series: Vec<String> = Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect();
+    (
+        FigureData {
+            id: "fig4d",
+            title: format!("Computational time vs DEG_sp, {n_peers} peers"),
+            x_label: "DEG_sp",
+            y_label: "comp time (ms)",
+            series: series.clone(),
+            rows: comp_rows,
+        },
+        FigureData {
+            id: "fig4e",
+            title: format!("Total time vs DEG_sp, {n_peers} peers"),
+            x_label: "DEG_sp",
+            y_label: "total time (ms)",
+            series,
+            rows: total_rows,
+        },
+    )
+}
+
+/// **Figure 4(d)** — computational time vs `DEG_sp`.
+pub fn fig4d(scale: Scale) -> FigureData {
+    sweep_degree(scale).0
+}
+
+/// **Figure 4(e)** — total time vs `DEG_sp`.
+pub fn fig4e(scale: Scale) -> FigureData {
+    sweep_degree(scale).1
+}
+
+/// **Figure 4(f)** — total time vs points per peer (250–1000).
+pub fn fig4f(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(4000);
+    let mut rows = Vec::new();
+    for ppp in [250usize, 500, 750, 1000] {
+        let engine = build_engine(n_peers, 8, ppp, DatasetKind::Uniform, 4.0, scale.seed);
+        let mut vals = Vec::new();
+        for variant in Variant::ALL {
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ ppp as u64, variant);
+            vals.push(m.avg_total_time_ns / MS);
+        }
+        rows.push((ppp as f64, vals));
+    }
+    FigureData {
+        id: "fig4f",
+        title: format!("Total time vs points per peer, {n_peers} peers"),
+        x_label: "points/peer",
+        y_label: "total time (ms)",
+        series: Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect(),
+        rows,
+    }
+}
+
+/// **Figure 4(g)** — clustered 3-d dataset, global skyline queries
+/// (`k = d = 3`): computational and total time per strategy. The x column
+/// indexes the strategy in [`Variant::ALL`] order.
+pub fn fig4g(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(4000);
+    let engine = build_engine(
+        n_peers,
+        3,
+        250,
+        DatasetKind::Clustered { centroids_per_superpeer: 2 },
+        4.0,
+        scale.seed,
+    );
+    let mut rows = Vec::new();
+    for (i, variant) in Variant::ALL.iter().enumerate() {
+        let m = measure(&engine, 3, scale.queries, scale.seed ^ 0x46, *variant);
+        rows.push((i as f64, vec![m.avg_comp_time_ns / MS, m.avg_total_time_ns / MS]));
+    }
+    FigureData {
+        id: "fig4g",
+        title: format!(
+            "Clustered 3-d data, global skyline queries, {n_peers} peers (rows: {})",
+            Variant::ALL.map(|v| v.mnemonic()).join(", ")
+        ),
+        x_label: "variant#",
+        y_label: "time (ms)",
+        series: vec!["comp (ms)".into(), "total (ms)".into()],
+        rows,
+    }
+}
+
+/// **Figure 4(h)** — clustered data with growing dimensionality: total
+/// time of the fixed- vs refined-threshold variants.
+pub fn fig4h(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(4000);
+    let mut rows = Vec::new();
+    for dim in 3..=6 {
+        let engine = build_engine(
+            n_peers,
+            dim,
+            250,
+            DatasetKind::Clustered { centroids_per_superpeer: 2 },
+            4.0,
+            scale.seed,
+        );
+        let k = dim.min(3);
+        let mut vals = Vec::new();
+        for variant in [Variant::Ftfm, Variant::Ftpm, Variant::Rtfm, Variant::Rtpm] {
+            let m = measure(&engine, k, scale.queries, scale.seed ^ (0x48 + dim) as u64, variant);
+            vals.push(m.avg_total_time_ns / MS);
+        }
+        rows.push((dim as f64, vals));
+    }
+    FigureData {
+        id: "fig4h",
+        title: format!("Clustered data: total time vs d, {n_peers} peers"),
+        x_label: "d",
+        y_label: "total time (ms)",
+        series: vec!["FTFM".into(), "FTPM".into(), "RTFM".into(), "RTPM".into()],
+        rows,
+    }
+}
+
+/// **Beyond the paper** — routing ablation: the paper's constrained
+/// flooding vs precomputed spanning-tree routing (routing-index style, as
+/// in the Edutella systems the paper cites). Series report messages and
+/// volume for FTPM across network sizes.
+pub fn extra_routing(scale: Scale) -> FigureData {
+    use skypeer_core::engine::RoutingMode;
+    let mut rows = Vec::new();
+    for paper_n in [2000usize, 4000, 8000] {
+        let n_peers = scale.peers(paper_n);
+        let n_superpeers = EngineConfig::paper_superpeers(n_peers);
+        let mut topology = TopologySpec::paper_default(n_superpeers, scale.seed ^ 0xABCD);
+        topology.avg_degree = 4.0f64.min((n_superpeers.saturating_sub(1)) as f64);
+        let base = EngineConfig {
+            n_peers,
+            n_superpeers,
+            dataset: DatasetSpec {
+                dim: 8,
+                points_per_peer: 250,
+                kind: DatasetKind::Uniform,
+                seed: scale.seed,
+            },
+            topology,
+            index: skypeer_skyline::DominanceIndex::RTree,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: RoutingMode::Flood,
+        };
+        let flood = SkypeerEngine::build(base);
+        let tree = SkypeerEngine::build(EngineConfig { routing: RoutingMode::SpanningTree, ..base });
+        let mf = measure(&flood, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Ftpm);
+        let mt = measure(&tree, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Ftpm);
+        rows.push((
+            n_peers as f64,
+            vec![mf.avg_messages, mt.avg_messages, mf.avg_volume_bytes / KB, mt.avg_volume_bytes / KB],
+        ));
+    }
+    FigureData {
+        id: "extra_routing",
+        title: "Ablation (beyond the paper): flooding vs spanning-tree routing, FTPM".into(),
+        x_label: "N_p",
+        y_label: "msgs / volume",
+        series: vec![
+            "flood msgs".into(),
+            "tree msgs".into(),
+            "flood KB".into(),
+            "tree KB".into(),
+        ],
+        rows,
+    }
+}
+
+/// **Beyond the paper** — concurrent load: the makespan of a batch of
+/// simultaneous FTPM queries vs running them back-to-back, as the batch
+/// grows. The paper's evaluation is one-query-at-a-time; this measures a
+/// loaded network.
+pub fn extra_concurrency(scale: Scale) -> FigureData {
+    let n_peers = scale.peers(4000);
+    let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
+    let n_sp = engine.config().n_superpeers;
+    let mut rows = Vec::new();
+    for batch_size in [1usize, 2, 4, 8] {
+        let wl = WorkloadSpec {
+            dim: 8,
+            k: 3,
+            queries: batch_size,
+            n_superpeers: n_sp,
+            seed: scale.seed ^ batch_size as u64,
+        }
+        .generate();
+        let batch: Vec<(skypeer_data::Query, Variant)> =
+            wl.iter().map(|q| (*q, Variant::Ftpm)).collect();
+        let concurrent = engine.run_concurrent(&batch);
+        let serial_sum: u64 =
+            wl.iter().map(|q| engine.run_query(*q, Variant::Ftpm).total_time_ns).sum();
+        rows.push((
+            batch_size as f64,
+            vec![concurrent.makespan_ns as f64 / MS, serial_sum as f64 / MS],
+        ));
+    }
+    FigureData {
+        id: "extra_concurrency",
+        title: format!(
+            "Ablation (beyond the paper): concurrent batch makespan vs serial, FTPM, {n_peers} peers"
+        ),
+        x_label: "batch size",
+        y_label: "time (ms)",
+        series: vec!["concurrent makespan".into(), "serial sum".into()],
+        rows,
+    }
+}
+
+/// A figure runner: scale in, regenerated figure out.
+pub type FigureRunner = fn(Scale) -> FigureData;
+
+/// Every figure runner, in paper order, for `figures --all` style loops.
+pub fn all_figures() -> Vec<(&'static str, FigureRunner)> {
+    vec![
+        ("fig3a", fig3a as fn(Scale) -> FigureData),
+        ("fig3b", fig3b),
+        ("fig3c", fig3c),
+        ("fig3d", fig3d),
+        ("fig3e", fig3e),
+        ("fig3f", fig3f),
+        ("fig4a", fig4a),
+        ("fig4b", fig4b),
+        ("fig4c", fig4c),
+        ("fig4d", fig4d),
+        ("fig4e", fig4e),
+        ("fig4f", fig4f),
+        ("fig4g", fig4g),
+        ("fig4h", fig4h),
+        ("extra_routing", extra_routing),
+        ("extra_concurrency", extra_concurrency),
+    ]
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn scale_floors_peer_counts() {
+        let s = Scale::tiny();
+        assert_eq!(s.peers(4000), 40);
+        assert_eq!(s.peers(80000), 800);
+        assert_eq!(Scale::paper().peers(4000), 4000);
+    }
+
+    #[test]
+    fn fig3a_selectivities_are_sane_and_monotone_in_d() {
+        let fig = fig3a(Scale::tiny());
+        assert_eq!(fig.rows.len(), 6);
+        for (d, vals) in &fig.rows {
+            assert!(*d >= 5.0 && *d <= 10.0);
+            let (sel_p, sel_sp, ratio) = (vals[0], vals[1], vals[2]);
+            assert!(sel_p > 0.0 && sel_p <= 100.0);
+            assert!(sel_sp <= sel_p, "merging cannot grow the store (d={d})");
+            assert!(ratio <= 100.0 + 1e-9);
+        }
+        // Ext-skyline fraction grows with dimensionality.
+        let first = fig.rows.first().expect("rows").1[0];
+        let last = fig.rows.last().expect("rows").1[0];
+        assert!(last > first, "SEL_p should grow with d ({first} → {last})");
+    }
+
+    #[test]
+    fn fig3f_speedups_favor_skypeer() {
+        let fig = fig3f(Scale::tiny());
+        for (_, vals) in &fig.rows {
+            for v in vals {
+                assert!(*v >= 1.0, "SKYPEER should never lose to naive, speedup {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_figures_registry_is_complete() {
+        let ids: Vec<&str> = all_figures().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 16, "14 paper figures + 2 ablations");
+        assert!(ids.contains(&"fig3a") && ids.contains(&"fig4h") && ids.contains(&"extra_routing"));
+        assert!(ids.contains(&"extra_concurrency"));
+    }
+
+    #[test]
+    fn concurrency_ablation_beats_serial_sum() {
+        let fig = extra_concurrency(Scale::tiny());
+        for (batch, vals) in &fig.rows {
+            if *batch > 1.0 {
+                assert!(
+                    vals[0] < vals[1],
+                    "batch {batch}: makespan {} should beat serial {}",
+                    vals[0],
+                    vals[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_ablation_tree_never_chattier() {
+        let fig = extra_routing(Scale::tiny());
+        for (_, vals) in &fig.rows {
+            assert!(vals[1] <= vals[0], "tree msgs {} > flood msgs {}", vals[1], vals[0]);
+            assert!(vals[3] <= vals[2], "tree volume beats flooding");
+        }
+    }
+}

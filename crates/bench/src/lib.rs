@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: runners that regenerate every figure of the
+//! SKYPEER paper's evaluation (Section 6).
+//!
+//! Each `figN*` function builds the networks that figure sweeps over, runs
+//! the query workload under the relevant variants, and returns a
+//! [`FigureData`] table whose rows mirror the paper's plotted series. The
+//! `figures` binary prints them; the criterion benches reuse the same
+//! runners at small scale.
+//!
+//! Paper-scale networks (up to 80 000 peers / 20 M points) are expensive;
+//! runners take a [`Scale`] that divides the peer counts and query counts
+//! so the default invocation finishes in minutes while preserving the
+//! *shape* of every curve. `Scale::paper()` reproduces the full setup.
+
+pub mod experiments;
+pub mod plot;
+pub mod table;
+
+pub use experiments::{FigureData, Scale};

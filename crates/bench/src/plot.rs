@@ -1,0 +1,131 @@
+//! Terminal line charts for figure data.
+//!
+//! Renders a [`FigureData`] as a compact ASCII chart: one glyph per
+//! series, a bracketed y-range, x positions taken from the row order.
+//! Deliberately simple — the JSON output exists for real plotting; this is
+//! for eyeballing curve shapes right in the terminal (`figures --plot`).
+
+use crate::experiments::FigureData;
+
+/// Glyphs assigned to series, in order.
+const GLYPHS: [char; 8] = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+/// Renders the figure as an ASCII chart of `height` rows. Values are
+/// mapped linearly between the data's min and max; collisions between
+/// series at one cell keep the earlier series' glyph.
+pub fn render(fig: &FigureData, height: usize) -> String {
+    let height = height.max(4);
+    let n_cols = fig.rows.len();
+    if n_cols == 0 || fig.series.is_empty() {
+        return format!("## {} — (no data)\n", fig.id);
+    }
+    let all: Vec<f64> =
+        fig.rows.iter().flat_map(|(_, vals)| vals.iter().copied()).collect();
+    let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+
+    // Each data column gets a fixed cell width for readability.
+    let col_width = 6usize;
+    let mut grid = vec![vec![' '; n_cols * col_width]; height];
+    for (col, (_, vals)) in fig.rows.iter().enumerate() {
+        for (s, &v) in vals.iter().enumerate() {
+            let norm = (v - lo) / span;
+            let row = ((1.0 - norm) * (height - 1) as f64).round() as usize;
+            let x = col * col_width + col_width / 2;
+            let cell = &mut grid[row][x];
+            if *cell == ' ' {
+                *cell = GLYPHS[s % GLYPHS.len()];
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("## {} — {} [{}]\n", fig.id, fig.title, fig.y_label));
+    out.push_str(&format!("   max {hi:.3}\n"));
+    for row in grid {
+        out.push_str("   |");
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("   +");
+    out.push_str(&"-".repeat(n_cols * col_width));
+    out.push_str(&format!("\n   min {lo:.3}; x = {}: ", fig.x_label));
+    out.push_str(
+        &fig.rows.iter().map(|(x, _)| format!("{x}")).collect::<Vec<_>>().join(", "),
+    );
+    out.push('\n');
+    for (i, name) in fig.series.iter().enumerate() {
+        out.push_str(&format!("   {} {}\n", GLYPHS[i % GLYPHS.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn fig() -> FigureData {
+        FigureData {
+            id: "demo",
+            title: "demo figure".into(),
+            x_label: "d",
+            y_label: "ms",
+            series: vec!["up".into(), "down".into()],
+            rows: vec![
+                (1.0, vec![0.0, 10.0]),
+                (2.0, vec![5.0, 5.0]),
+                (3.0, vec![10.0, 0.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_series_glyphs() {
+        let s = render(&fig(), 8);
+        assert!(s.contains('o') && s.contains('x'), "{s}");
+        assert!(s.contains("max 10.000"));
+        assert!(s.contains("min 0.000"));
+        assert!(s.contains("o up"));
+        assert!(s.contains("x down"));
+    }
+
+    #[test]
+    fn crossing_series_occupy_extremes() {
+        let s = render(&fig(), 9);
+        let lines: Vec<&str> = s.lines().collect();
+        // First grid line (top = max) must contain a glyph, as must the
+        // bottom grid line.
+        let top = lines[2];
+        let bottom = lines[2 + 8];
+        assert!(top.contains('o') || top.contains('x'), "top row empty: {s}");
+        assert!(bottom.contains('o') || bottom.contains('x'), "bottom row empty: {s}");
+    }
+
+    #[test]
+    fn empty_figure_is_graceful() {
+        let empty = FigureData {
+            id: "none",
+            title: "empty".into(),
+            x_label: "x",
+            y_label: "y",
+            series: vec![],
+            rows: vec![],
+        };
+        assert!(render(&empty, 8).contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let flat = FigureData {
+            id: "flat",
+            title: "flat".into(),
+            x_label: "x",
+            y_label: "y",
+            series: vec!["c".into()],
+            rows: vec![(1.0, vec![3.0]), (2.0, vec![3.0])],
+        };
+        let s = render(&flat, 6);
+        assert!(s.contains('o'));
+    }
+}

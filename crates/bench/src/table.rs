@@ -1,0 +1,86 @@
+//! Plain-text table rendering for figure data.
+
+use crate::experiments::FigureData;
+
+/// Renders a figure as an aligned text table (x column + one column per
+/// series), ready for a terminal or EXPERIMENTS.md.
+pub fn render(fig: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {} — {}\n", fig.id, fig.title));
+    out.push_str(&format!("   ({} vs {})\n", fig.y_label, fig.x_label));
+
+    let mut headers: Vec<String> = vec![fig.x_label.to_string()];
+    headers.extend(fig.series.iter().cloned());
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(fig.rows.len());
+    for (x, vals) in &fig.rows {
+        let mut row = vec![trim_float(*x)];
+        row.extend(vals.iter().map(|v| trim_float(*v)));
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&headers));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Compact numeric formatting: integers stay integers, everything else
+/// keeps three significant decimals.
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let fig = FigureData {
+            id: "figX",
+            title: "demo".into(),
+            x_label: "d",
+            y_label: "time (s)",
+            series: vec!["a".into(), "long-series".into()],
+            rows: vec![(5.0, vec![1.0, 2.5]), (10.0, vec![100.25, 0.125])],
+        };
+        let s = render(&fig);
+        assert!(s.contains("figX"));
+        assert!(s.contains("long-series"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6, "header block + 2 data rows: {s}");
+        assert!(lines[5].contains("0.125"));
+    }
+
+    #[test]
+    fn float_trimming() {
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_float(2.5), "2.500");
+        assert_eq!(trim_float(1234.5678), "1234.6");
+    }
+}

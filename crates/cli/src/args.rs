@@ -1,0 +1,190 @@
+//! A tiny, dependency-free flag parser for the CLI.
+//!
+//! Supports `--flag value` and `--flag=value` forms, typed lookups with
+//! defaults, and collects positional arguments. Unknown flags are an
+//! error, so typos fail fast instead of silently running the default
+//! experiment.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: flags (without the leading `--`) and positionals.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+    /// Flags consumed by a typed getter, to report unused (unknown) ones.
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// A parse or validation error, with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (not including the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ArgError("bare '--' is not supported".into()));
+                }
+                if let Some((k, v)) = name.split_once('=') {
+                    flags.insert(k.to_string(), v.to_string());
+                } else {
+                    // `--flag value`, or a boolean `--flag` when the next
+                    // token is another flag (or absent).
+                    match it.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            let v = it.next().expect("peeked");
+                            flags.insert(name.to_string(), v);
+                        }
+                        _ => {
+                            flags.insert(name.to_string(), "true".to_string());
+                        }
+                    }
+                }
+            } else {
+                positional.push(tok);
+            }
+        }
+        Ok(Args { flags, positional, consumed: Default::default() })
+    }
+
+    /// Positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    fn raw(&self, name: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A string flag with a default.
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        self.raw(name).unwrap_or(default).to_string()
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.raw(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value '{v}' for --{name}"))),
+        }
+    }
+
+    /// A boolean flag (`--foo`, `--foo true/false`).
+    pub fn flag(&self, name: &str) -> Result<bool, ArgError> {
+        match self.raw(name) {
+            None => Ok(false),
+            Some("true") | Some("1") | Some("yes") => Ok(true),
+            Some("false") | Some("0") | Some("no") => Ok(false),
+            Some(v) => Err(ArgError(format!("invalid boolean '{v}' for --{name}"))),
+        }
+    }
+
+    /// Comma-separated list flag, e.g. `--dims 0,2,5`.
+    pub fn list_or<T: std::str::FromStr + Clone>(
+        &self,
+        name: &str,
+        default: &[T],
+    ) -> Result<Vec<T>, ArgError> {
+        match self.raw(name) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|part| {
+                    part.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("invalid element '{part}' in --{name}")))
+                })
+                .collect(),
+        }
+    }
+
+    /// Errors on any flag that no getter asked about — catches typos.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        for key in self.flags.keys() {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ArgError(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|t| t.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn space_and_equals_forms() {
+        let a = args(&["--peers", "400", "--dim=8", "run"]);
+        assert_eq!(a.get_or("peers", 0usize).unwrap(), 400);
+        assert_eq!(a.get_or("dim", 0usize).unwrap(), 8);
+        assert_eq!(a.positional(), &["run".to_string()]);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = args(&[]);
+        assert_eq!(a.get_or("peers", 123usize).unwrap(), 123);
+        assert_eq!(a.str_or("variant", "ftpm"), "ftpm");
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = args(&["--verbose", "--color", "false"]);
+        assert!(a.flag("verbose").unwrap());
+        assert!(!a.flag("color").unwrap());
+        assert!(!a.flag("absent").unwrap());
+    }
+
+    #[test]
+    fn list_flag() {
+        let a = args(&["--dims", "0,2, 5"]);
+        assert_eq!(a.list_or("dims", &[9usize]).unwrap(), vec![0, 2, 5]);
+        assert_eq!(a.list_or("other", &[9usize]).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn invalid_values_error() {
+        let a = args(&["--peers", "many"]);
+        assert!(a.get_or("peers", 0usize).is_err());
+        let b = args(&["--dims", "1,x"]);
+        assert!(b.list_or("dims", &[0usize]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = args(&["--peers", "5", "--oops", "1"]);
+        let _ = a.get_or("peers", 0usize).unwrap();
+        let err = a.reject_unknown().unwrap_err();
+        assert!(err.0.contains("oops"));
+    }
+
+    #[test]
+    fn boolean_followed_by_flag() {
+        let a = args(&["--fast", "--peers", "7"]);
+        assert!(a.flag("fast").unwrap());
+        assert_eq!(a.get_or("peers", 0usize).unwrap(), 7);
+    }
+}

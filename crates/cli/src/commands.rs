@@ -1,0 +1,354 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use skypeer_core::engine::{EngineConfig, QueryMetrics, SkypeerEngine};
+use skypeer_core::Variant;
+use skypeer_data::{DatasetKind, DatasetSpec, Query, WorkloadSpec};
+use skypeer_netsim::cost::CostModel;
+use skypeer_netsim::des::LinkModel;
+use skypeer_netsim::topology::TopologySpec;
+use skypeer_skyline::{DominanceIndex, Subspace};
+
+/// Builds an engine from the shared network flags:
+/// `--peers`, `--superpeers`, `--dim`, `--points`, `--degree`, `--data`,
+/// `--seed`.
+fn engine_from(args: &Args) -> Result<SkypeerEngine, ArgError> {
+    let n_peers: usize = args.get_or("peers", 400)?;
+    let default_sp = EngineConfig::paper_superpeers(n_peers);
+    let n_superpeers: usize = args.get_or("superpeers", default_sp)?;
+    let dim: usize = args.get_or("dim", 8)?;
+    let points_per_peer: usize = args.get_or("points", 250)?;
+    let degree: f64 = args.get_or("degree", 4.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let kind = match args.str_or("data", "uniform").as_str() {
+        "uniform" => DatasetKind::Uniform,
+        "clustered" => DatasetKind::Clustered { centroids_per_superpeer: 2 },
+        "correlated" => DatasetKind::Correlated,
+        "anticorrelated" => DatasetKind::Anticorrelated,
+        other => return Err(ArgError(format!("unknown --data '{other}'"))),
+    };
+    if n_superpeers == 0 || n_peers == 0 {
+        return Err(ArgError("need at least one peer and one super-peer".into()));
+    }
+    // Small networks cannot host the default degree; clamp like the bench
+    // harness does rather than bothering the user.
+    let degree = degree.min(n_superpeers.saturating_sub(1) as f64);
+    let index =
+        if args.flag("linear")? { DominanceIndex::Linear } else { DominanceIndex::RTree };
+    let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xD1CE);
+    topology.avg_degree = degree;
+    Ok(SkypeerEngine::build(EngineConfig {
+        n_peers,
+        n_superpeers,
+        dataset: DatasetSpec { dim, points_per_peer, kind, seed },
+        topology,
+        index,
+        cost: CostModel::default(),
+        link: LinkModel::paper_4kbps(),
+        routing: skypeer_core::engine::RoutingMode::Flood,
+    }))
+}
+
+fn variant_from(args: &Args) -> Result<Variant, ArgError> {
+    match args.str_or("variant", "ftpm").to_lowercase().as_str() {
+        "ftfm" => Ok(Variant::Ftfm),
+        "ftpm" => Ok(Variant::Ftpm),
+        "rtfm" => Ok(Variant::Rtfm),
+        "rtpm" => Ok(Variant::Rtpm),
+        "naive" => Ok(Variant::Naive),
+        other => Err(ArgError(format!(
+            "unknown --variant '{other}' (expected ftfm|ftpm|rtfm|rtpm|naive)"
+        ))),
+    }
+}
+
+/// `skypeer-cli stats` — preprocessing selectivities of a generated
+/// network (the Figure 3(a) quantities).
+pub fn stats(args: &Args) -> Result<(), ArgError> {
+    let engine = engine_from(args)?;
+    args.reject_unknown()?;
+    let r = engine.preprocess_report();
+    let cfg = engine.config();
+    println!("network: {} peers / {} super-peers / d={}", cfg.n_peers, cfg.n_superpeers, cfg.dataset.dim);
+    println!("raw points        : {}", r.raw_points);
+    println!("uploaded (ext-sky): {}  (SEL_p  = {:.2}%)", r.uploaded_points, 100.0 * r.sel_p());
+    println!("stored at SPs     : {}  (SEL_sp = {:.2}%)", r.stored_points, 100.0 * r.sel_sp());
+    println!("survivor rate     : {:.2}%", 100.0 * r.sel_ratio());
+    println!("upload volume     : {:.1} KB", r.uploaded_bytes as f64 / 1024.0);
+    Ok(())
+}
+
+/// `skypeer-cli query` — run one subspace skyline query.
+pub fn query(args: &Args) -> Result<(), ArgError> {
+    let engine = engine_from(args)?;
+    let variant = variant_from(args)?;
+    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
+    let initiator: usize = args.get_or("initiator", 0)?;
+    let show: usize = args.get_or("show", 10)?;
+    args.reject_unknown()?;
+    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
+        return Err(ArgError("--dims index out of range for --dim".into()));
+    }
+    if initiator >= engine.config().n_superpeers {
+        return Err(ArgError("--initiator out of range".into()));
+    }
+    let q = Query { subspace: Subspace::from_dims(&dims), initiator };
+    let out = engine.run_query(q, variant);
+    println!("query     : skyline on {} from SP{initiator} via {variant}", q.subspace);
+    println!("result    : {} points (exact)", out.result_ids.len());
+    println!("comp time : {:.3} ms", out.comp_time_ns as f64 / 1e6);
+    println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
+    println!("volume    : {:.1} KB in {} messages", out.volume_bytes as f64 / 1024.0, out.messages);
+    for i in 0..out.result.len().min(show) {
+        let p = out.result.points().point(i);
+        let rounded: Vec<f64> = p.iter().map(|v| (v * 1000.0).round() / 1000.0).collect();
+        println!("  #{:<10} {:?}", out.result.points().id(i), rounded);
+    }
+    if out.result.len() > show {
+        println!("  ... {} more (raise --show)", out.result.len() - show);
+    }
+    Ok(())
+}
+
+/// `skypeer-cli workload` — averaged metrics over a random workload, all
+/// variants side by side.
+pub fn workload(args: &Args) -> Result<(), ArgError> {
+    let engine = engine_from(args)?;
+    let k: usize = args.get_or("k", 3)?;
+    let queries: usize = args.get_or("queries", 10)?;
+    let wl_seed: u64 = args.get_or("workload-seed", 1)?;
+    args.reject_unknown()?;
+    let cfg = engine.config();
+    if k == 0 || k > cfg.dataset.dim {
+        return Err(ArgError(format!("--k {k} out of range for d={}", cfg.dataset.dim)));
+    }
+    let wl = WorkloadSpec {
+        dim: cfg.dataset.dim,
+        k,
+        queries,
+        n_superpeers: cfg.n_superpeers,
+        seed: wl_seed,
+    }
+    .generate();
+    println!(
+        "{} queries, k={k}, {} peers / {} super-peers",
+        queries, cfg.n_peers, cfg.n_superpeers
+    );
+    println!(
+        "{:>7}  {:>11}  {:>12}  {:>10}  {:>8}",
+        "variant", "comp (ms)", "total (ms)", "vol (KB)", "msgs"
+    );
+    for variant in Variant::ALL {
+        let m = QueryMetrics::from_outcomes(&engine.run_workload(&wl, variant));
+        println!(
+            "{:>7}  {:>11.3}  {:>12.3}  {:>10.1}  {:>8.1}",
+            variant.mnemonic(),
+            m.avg_comp_time_ns / 1e6,
+            m.avg_total_time_ns / 1e6,
+            m.avg_volume_bytes / 1024.0,
+            m.avg_messages,
+        );
+    }
+    Ok(())
+}
+
+/// `skypeer-cli topology` — inspect a generated super-peer backbone.
+pub fn topology(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.get_or("superpeers", 20)?;
+    let degree: f64 = args.get_or("degree", 4.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    args.reject_unknown()?;
+    let mut spec = TopologySpec::paper_default(n, seed);
+    spec.avg_degree = degree;
+    let topo = spec.generate();
+    println!("super-peers : {}", topo.len());
+    println!("edges       : {}", topo.edge_count());
+    println!("avg degree  : {:.2} (target {degree})", topo.avg_degree());
+    println!("connected   : {}", topo.is_connected());
+    let ecc: Vec<usize> = (0..topo.len()).map(|i| topo.eccentricity(i)).collect();
+    println!("diameter    : {}", ecc.iter().max().unwrap_or(&0));
+    println!("radius      : {}", ecc.iter().min().unwrap_or(&0));
+    let mut hist = std::collections::BTreeMap::new();
+    for sp in 0..topo.len() {
+        *hist.entry(topo.neighbors(sp).len()).or_insert(0usize) += 1;
+    }
+    println!("degree histogram:");
+    for (deg, count) in hist {
+        println!("  {deg:>3}: {}", "#".repeat(count.min(70)));
+    }
+    Ok(())
+}
+
+/// `skypeer-cli faults` — a degraded query: crash super-peers mid-run and
+/// rely on child timeouts.
+pub fn faults(args: &Args) -> Result<(), ArgError> {
+    let engine = engine_from(args)?;
+    let variant = variant_from(args)?;
+    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
+    let fail: Vec<usize> = args.list_or("fail", &[1usize])?;
+    let fail_at_ms: u64 = args.get_or("fail-at-ms", 0)?;
+    let timeout_s: u64 = args.get_or("timeout-s", 120)?;
+    args.reject_unknown()?;
+    let q = Query { subspace: Subspace::from_dims(&dims), initiator: 0 };
+    if fail.contains(&0) {
+        return Err(ArgError("cannot fail the initiator (SP0)".into()));
+    }
+    let failures: Vec<(usize, u64)> =
+        fail.iter().map(|&sp| (sp, fail_at_ms * 1_000_000)).collect();
+    let healthy = engine.run_query(q, variant);
+    let degraded =
+        engine.run_query_with_failures(q, variant, &failures, timeout_s * 1_000_000_000);
+    println!("query: skyline on {} via {variant}; failing SPs {fail:?} at t={fail_at_ms}ms", q.subspace);
+    println!(
+        "healthy : {} points, complete={}, total {:.1} ms",
+        healthy.result_ids.len(),
+        healthy.complete,
+        healthy.total_time_ns as f64 / 1e6
+    );
+    println!(
+        "degraded: {} points, complete={}, total {:.1} ms",
+        degraded.result_ids.len(),
+        degraded.complete,
+        degraded.total_time_ns as f64 / 1e6
+    );
+    let missing: Vec<u64> =
+        healthy.result_ids.iter().copied().filter(|id| !degraded.result_ids.contains(id)).collect();
+    let extra: Vec<u64> =
+        degraded.result_ids.iter().copied().filter(|id| !healthy.result_ids.contains(id)).collect();
+    println!("missing vs exact: {} points; spurious: {} points", missing.len(), extra.len());
+    Ok(())
+}
+
+/// `skypeer-cli estimate` — expected skyline sizes from independence
+/// theory, for capacity planning.
+pub fn estimate(args: &Args) -> Result<(), ArgError> {
+    let n: usize = args.get_or("n", 100_000)?;
+    let max_d: usize = args.get_or("max-dim", 10)?;
+    args.reject_unknown()?;
+    if max_d == 0 || max_d > 20 {
+        return Err(ArgError("--max-dim must be in 1..=20".into()));
+    }
+    println!("expected skyline size of {n} independent points (uniform theory):");
+    println!("{:>3}  {:>14}  {:>14}  {:>9}", "d", "exact E(n,d)", "asymptotic", "% of n");
+    for d in 1..=max_d {
+        let exact = skypeer_skyline::estimate::expected_skyline_size(n, d);
+        let approx = skypeer_skyline::estimate::asymptotic_skyline_size(n, d);
+        println!(
+            "{d:>3}  {exact:>14.1}  {approx:>14.1}  {:>8.3}%",
+            100.0 * exact / n as f64
+        );
+    }
+    Ok(())
+}
+
+/// `skypeer-cli csv-query` — run a SKYPEER query over a CSV dataset
+/// distributed across a generated super-peer network.
+pub fn csv_query(args: &Args) -> Result<(), ArgError> {
+    use skypeer_core::node::{InitQuery, SuperPeerNode};
+    use skypeer_core::preprocess::SuperPeerStore;
+    use skypeer_data::csv::{invert_column, read_points, CsvOptions};
+    use skypeer_data::partition::partition_shuffled;
+    use skypeer_netsim::des::Sim;
+    use std::sync::Arc;
+
+    let file = args.str_or("file", "");
+    if file.is_empty() {
+        return Err(ArgError("--file is required".into()));
+    }
+    let n_superpeers: usize = args.get_or("superpeers", 6)?;
+    let degree: f64 = args.get_or("degree", 4.0)?;
+    let peers_per_sp: usize = args.get_or("peers-per-superpeer", 4)?;
+    let variant = variant_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let show: usize = args.get_or("show", 10)?;
+    let no_header = args.flag("no-header")?;
+    let separator = args.str_or("separator", ",");
+    let id_column: i64 = args.get_or("id-column", -1)?;
+    let columns: Vec<usize> = args.list_or("columns", &[])?;
+    let invert: Vec<usize> = args.list_or("invert", &[])?;
+    let dims: Vec<usize> = args.list_or("dims", &[])?;
+    args.reject_unknown()?;
+
+    let sep = separator.chars().next().unwrap_or(',');
+    let opts = CsvOptions {
+        separator: sep,
+        has_header: !no_header,
+        columns,
+        id_column: (id_column >= 0).then_some(id_column as usize),
+    };
+    let f = std::fs::File::open(&file)
+        .map_err(|e| ArgError(format!("cannot open {file}: {e}")))?;
+    let mut set = read_points(std::io::BufReader::new(f), &opts)
+        .map_err(|e| ArgError(format!("{file}: {e}")))?;
+    for &col in &invert {
+        if col >= set.dim() {
+            return Err(ArgError(format!("--invert column {col} out of range")));
+        }
+        set = invert_column(&set, col);
+    }
+    println!("loaded {} points × {} attributes from {file}", set.len(), set.dim());
+
+    let subspace = if dims.is_empty() {
+        Subspace::full(set.dim())
+    } else {
+        if dims.iter().any(|&d| d >= set.dim()) {
+            return Err(ArgError("--dims index out of range".into()));
+        }
+        Subspace::from_dims(&dims)
+    };
+
+    // Distribute across peers, preprocess per super-peer.
+    let mut topo_spec = TopologySpec::paper_default(n_superpeers, seed);
+    topo_spec.avg_degree = degree.min(n_superpeers.saturating_sub(1) as f64);
+    let topo = topo_spec.generate();
+    let parts = partition_shuffled(&set, n_superpeers * peers_per_sp, seed);
+    let dim = set.dim();
+    let stores: Vec<Arc<skypeer_skyline::SortedDataset>> = (0..n_superpeers)
+        .map(|sp| {
+            let mine: Vec<_> =
+                parts[sp * peers_per_sp..(sp + 1) * peers_per_sp].to_vec();
+            Arc::new(SuperPeerStore::preprocess(&mine, dim, DominanceIndex::RTree).store)
+        })
+        .collect();
+    let stored: usize = stores.iter().map(|s| s.len()).sum();
+    println!(
+        "distributed over {n_superpeers} super-peers × {peers_per_sp} peers; {stored} points stored after preprocessing ({:.1}%)",
+        100.0 * stored as f64 / set.len() as f64
+    );
+
+    let nodes: Vec<SuperPeerNode> = (0..n_superpeers)
+        .map(|sp| {
+            let init = (sp == 0).then_some(InitQuery { qid: 1, subspace, variant });
+            SuperPeerNode::new(
+                sp,
+                topo.neighbors(sp).to_vec(),
+                Arc::clone(&stores[sp]),
+                DominanceIndex::RTree,
+                init,
+            )
+        })
+        .collect();
+    let out = Sim::new(nodes, LinkModel::paper_4kbps(), CostModel::default()).run(0);
+    let answer = out
+        .nodes
+        .into_iter()
+        .next()
+        .expect("initiator")
+        .into_outcome()
+        .expect("query completes");
+    println!(
+        "\nskyline on {subspace} via {variant}: {} points | {:.1} ms total | {:.1} KB",
+        answer.result.len(),
+        out.stats.finished_at.unwrap_or(0) as f64 / 1e6,
+        out.stats.bytes as f64 / 1024.0,
+    );
+    for i in 0..answer.result.len().min(show) {
+        let p = answer.result.points().point(i);
+        let rounded: Vec<f64> = p.iter().map(|v| (v * 100.0).round() / 100.0).collect();
+        println!("  #{:<10} {:?}", answer.result.points().id(i), rounded);
+    }
+    if answer.result.len() > show {
+        println!("  ... {} more (raise --show)", answer.result.len() - show);
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! `skypeer-cli` — explore the SKYPEER engine from the command line.
+//!
+//! ```text
+//! skypeer-cli stats    [--peers N] [--dim D] [--points P] [--data KIND]
+//! skypeer-cli query    [--dims 0,2,5] [--variant ftpm] [--initiator I] [...]
+//! skypeer-cli workload [--k K] [--queries Q] [...]
+//! skypeer-cli topology [--superpeers N] [--degree DEG]
+//! skypeer-cli faults   [--fail 1,2] [--fail-at-ms T] [--timeout-s S] [...]
+//! ```
+//!
+//! Shared network flags for every command that builds a network:
+//! `--peers` (400), `--superpeers` (paper rule), `--dim` (8), `--points`
+//! (250), `--degree` (4), `--data uniform|clustered|correlated|
+//! anticorrelated`, `--seed` (42).
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "usage: skypeer-cli <stats|query|workload|topology|faults|estimate|csv-query> [flags]
+run `skypeer-cli <command> --help` semantics: see crate docs / README";
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" {
+        eprintln!("{USAGE}");
+        std::process::exit(if raw.is_empty() { 2 } else { 0 });
+    }
+    let cmd = raw.remove(0);
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(stray) = parsed.positional().first() {
+        eprintln!("error: unexpected argument '{stray}' (all options are --flags)\n{USAGE}");
+        std::process::exit(2);
+    }
+    let result = match cmd.as_str() {
+        "stats" => commands::stats(&parsed),
+        "query" => commands::query(&parsed),
+        "workload" => commands::workload(&parsed),
+        "topology" => commands::topology(&parsed),
+        "faults" => commands::faults(&parsed),
+        "estimate" => commands::estimate(&parsed),
+        "csv-query" => commands::csv_query(&parsed),
+        other => {
+            eprintln!("error: unknown command '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! End-to-end tests of the `skypeer-cli` binary: real process, real
+//! stdout, real exit codes.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_skypeer-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn stats_reports_selectivities() {
+    let (stdout, _, ok) = run(&["stats", "--peers", "60", "--dim", "5", "--points", "40"]);
+    assert!(ok);
+    assert!(stdout.contains("SEL_p"));
+    assert!(stdout.contains("SEL_sp"));
+    assert!(stdout.contains("raw points        : 2400"));
+}
+
+#[test]
+fn query_returns_exact_count_deterministically() {
+    let args =
+        ["query", "--peers", "60", "--dim", "5", "--dims", "0,3", "--variant", "rtpm"];
+    let (a, _, ok_a) = run(&args);
+    let (b, _, ok_b) = run(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "same flags must give identical output");
+    assert!(a.contains("points (exact)"));
+}
+
+#[test]
+fn workload_prints_all_variants() {
+    let (stdout, _, ok) =
+        run(&["workload", "--peers", "60", "--dim", "5", "--k", "2", "--queries", "3"]);
+    assert!(ok);
+    for v in ["FTFM", "FTPM", "RTFM", "RTPM", "naive"] {
+        assert!(stdout.contains(v), "missing {v} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn topology_summarizes_graph() {
+    let (stdout, _, ok) = run(&["topology", "--superpeers", "25", "--degree", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("connected   : true"));
+    assert!(stdout.contains("degree histogram"));
+}
+
+#[test]
+fn estimate_prints_theory_table() {
+    let (stdout, _, ok) = run(&["estimate", "--n", "1000", "--max-dim", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("exact E(n,d)"));
+    assert!(stdout.lines().count() >= 6);
+}
+
+#[test]
+fn csv_query_loads_and_answers() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("pts.csv");
+    std::fs::write(&file, "a,b\n1,9\n5,5\n9,1\n7,7\n").expect("write csv");
+    let (stdout, stderr, ok) = run(&[
+        "csv-query",
+        "--file",
+        file.to_str().expect("utf8 path"),
+        "--superpeers",
+        "3",
+        "--peers-per-superpeer",
+        "1",
+        "--degree",
+        "2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("loaded 4 points"), "{stdout}");
+    assert!(stdout.contains("3 points"), "the 2-d skyline has 3 points: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_fast() {
+    let (_, stderr, ok) = run(&["query", "--peers", "60", "--oops", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --oops"));
+
+    let (_, stderr2, ok2) = run(&["nonsense"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown command"));
+
+    let (_, stderr3, ok3) = run(&["query", "--variant", "zzz"]);
+    assert!(!ok3);
+    assert!(stderr3.contains("unknown --variant"));
+}
+
+#[test]
+fn faults_command_reports_degradation() {
+    let (stdout, _, ok) = run(&[
+        "faults", "--peers", "60", "--dim", "4", "--dims", "0,1", "--fail", "2",
+        "--timeout-s", "200",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("healthy"));
+    assert!(stdout.contains("degraded"));
+}

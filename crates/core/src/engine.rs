@@ -1,0 +1,748 @@
+//! Network construction and query execution — the experiment driver.
+//!
+//! [`SkypeerEngine::build`] generates the synthetic network of the paper's
+//! Section 6: `N_p` peers attached evenly to `N_sp` super-peers on a random
+//! connected backbone, per-peer data, and the preprocessing phase. Queries
+//! then run on the deterministic DES.
+//!
+//! Each query is simulated twice:
+//!
+//! * with the paper's **4 KB/s** link model — yielding the *total response
+//!   time* and the *volume of transferred data*;
+//! * with **zero-delay** links — yielding the *computational time* (the
+//!   critical path of computation alone, "neglecting network delays" as
+//!   the paper puts it for Figure 3(b)).
+//!
+//! Both runs execute the full protocol and both results are checked for
+//! exactness. The spanning tree that duplicate suppression induces can
+//! differ between the two link models (first arrival wins), which is fine:
+//! each metric is read from the run whose link model defines it.
+
+use std::sync::Arc;
+
+use skypeer_data::{DatasetSpec, Query};
+use skypeer_netsim::cost::CostModel;
+use skypeer_netsim::des::{LinkModel, Sim, SimStats};
+use skypeer_netsim::topology::{Topology, TopologySpec};
+use skypeer_skyline::{Dominance, DominanceIndex, SortedDataset, Subspace};
+
+use crate::node::{InitQuery, SuperPeerNode};
+use crate::preprocess::{preprocess_network, PreprocessReport};
+use crate::variants::Variant;
+
+/// Query dissemination strategy (see [`crate::node::Routing`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// The paper's constrained flooding with duplicate suppression.
+    #[default]
+    Flood,
+    /// Precomputed BFS spanning tree per initiator (routing-index style):
+    /// no duplicate queries, no dup-acks, at the cost of maintaining
+    /// per-root trees.
+    SpanningTree,
+}
+
+/// Everything needed to build a SKYPEER network.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of peers `N_p`.
+    pub n_peers: usize,
+    /// Number of super-peers `N_sp`. The paper uses `5% · N_p`, dropping to
+    /// `1%` for `N_p ≥ 20000`; see [`EngineConfig::paper_superpeers`].
+    pub n_superpeers: usize,
+    /// Dataset specification (dimensionality, points per peer, kind, seed).
+    pub dataset: DatasetSpec,
+    /// Backbone specification (degree `DEG_sp`, model, seed).
+    pub topology: TopologySpec,
+    /// Dominance index used by every kernel.
+    pub index: DominanceIndex,
+    /// Computation cost model for the simulator.
+    pub cost: CostModel,
+    /// Link model for the total-time run (the computational-time run always
+    /// uses zero-delay links).
+    pub link: LinkModel,
+    /// Query dissemination strategy.
+    pub routing: RoutingMode,
+}
+
+impl EngineConfig {
+    /// The paper's super-peer count rule: `N_sp = 5% · N_p`, or `1%` for
+    /// `N_p ≥ 20000`, never less than one.
+    pub fn paper_superpeers(n_peers: usize) -> usize {
+        let frac = if n_peers >= 20_000 { 0.01 } else { 0.05 };
+        ((n_peers as f64 * frac).round() as usize).max(1)
+    }
+
+    /// The paper's default configuration (Section 6) at a chosen network
+    /// size: `d = 8`, 250 points/peer, uniform data, `DEG_sp = 4`, 4 KB/s.
+    pub fn paper_default(n_peers: usize, seed: u64) -> Self {
+        let n_superpeers = Self::paper_superpeers(n_peers);
+        // Tiny backbones cannot host the paper's degree 4; clamp rather
+        // than surprise users experimenting at toy scale.
+        let mut topology = TopologySpec::paper_default(n_superpeers, seed.wrapping_add(1));
+        topology.avg_degree = topology.avg_degree.min(n_superpeers.saturating_sub(1) as f64);
+        EngineConfig {
+            n_peers,
+            n_superpeers,
+            dataset: DatasetSpec::paper_default(seed),
+            topology,
+            index: DominanceIndex::RTree,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: RoutingMode::Flood,
+        }
+    }
+}
+
+/// Metrics of one query execution.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The exact subspace skyline (global point ids, sorted).
+    pub result_ids: Vec<u64>,
+    /// Whether every super-peer contributed (always `true` without the
+    /// fault-tolerance extension / node failures).
+    pub complete: bool,
+    /// The result points themselves (`f`-ascending).
+    pub result: SortedDataset,
+    /// Simulated response time with the configured link model, ns.
+    pub total_time_ns: u64,
+    /// Simulated response time with zero-delay links, ns — the paper's
+    /// "computational time".
+    pub comp_time_ns: u64,
+    /// Bytes transferred (configured-link run).
+    pub volume_bytes: u64,
+    /// Messages delivered (configured-link run).
+    pub messages: u64,
+    /// Total computation service time across all super-peers, ns.
+    pub compute_ns_total: u64,
+}
+
+/// Averages over a batch of queries (the paper reports averages over 100).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Number of queries aggregated.
+    pub queries: usize,
+    /// Mean total response time, ns.
+    pub avg_total_time_ns: f64,
+    /// Mean computational time, ns.
+    pub avg_comp_time_ns: f64,
+    /// Mean transferred volume, bytes.
+    pub avg_volume_bytes: f64,
+    /// Mean delivered messages.
+    pub avg_messages: f64,
+}
+
+impl QueryMetrics {
+    /// Folds a batch of outcomes into averages.
+    pub fn from_outcomes(outcomes: &[QueryOutcome]) -> Self {
+        if outcomes.is_empty() {
+            return QueryMetrics::default();
+        }
+        let n = outcomes.len() as f64;
+        QueryMetrics {
+            queries: outcomes.len(),
+            avg_total_time_ns: outcomes.iter().map(|o| o.total_time_ns as f64).sum::<f64>() / n,
+            avg_comp_time_ns: outcomes.iter().map(|o| o.comp_time_ns as f64).sum::<f64>() / n,
+            avg_volume_bytes: outcomes.iter().map(|o| o.volume_bytes as f64).sum::<f64>() / n,
+            avg_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Result of a concurrent query batch (see
+/// [`SkypeerEngine::run_concurrent`]).
+#[derive(Clone, Debug)]
+pub struct ConcurrentOutcome {
+    /// Per-query sorted result ids, in batch order.
+    pub result_ids: Vec<Vec<u64>>,
+    /// Simulated time until the *last* query completed.
+    pub makespan_ns: u64,
+    /// Total bytes moved by the whole batch.
+    pub volume_bytes: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+}
+
+/// Where one query's work and traffic concentrated (see
+/// [`SkypeerEngine::profile_query`]).
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// Raw per-node / per-link breakdown.
+    pub breakdown: skypeer_netsim::des::SimBreakdown,
+    /// Fraction of all computation spent on the initiator.
+    pub initiator_compute_share: f64,
+    /// Bytes that crossed the initiator's inbound links.
+    pub initiator_inbound_bytes: u64,
+    /// Bytes that crossed any link.
+    pub total_bytes: u64,
+}
+
+/// A built SKYPEER network, ready to answer queries.
+///
+/// ```
+/// use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
+/// use skypeer_data::Query;
+/// use skypeer_skyline::Subspace;
+///
+/// let engine = SkypeerEngine::build(EngineConfig::paper_default(100, 7));
+/// let query = Query { subspace: Subspace::from_dims(&[0, 3]), initiator: 2 };
+/// let out = engine.run_query(query, Variant::Ftpm);
+/// assert_eq!(out.result_ids, engine.centralized_skyline(query.subspace));
+/// assert!(out.complete);
+/// ```
+pub struct SkypeerEngine {
+    config: EngineConfig,
+    topology: Topology,
+    /// Per-super-peer merged ext-skyline stores, shared with simulator
+    /// nodes.
+    stores: Vec<Arc<SortedDataset>>,
+    preprocess: PreprocessReport,
+    /// Per-query dominance-index policy applied at query time (defaults to
+    /// `Fixed(config.index)`).
+    query_policy: crate::planner::IndexPolicy,
+    next_qid: std::cell::Cell<u32>,
+}
+
+impl SkypeerEngine {
+    /// Generates topology and data and runs the preprocessing phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (zero peers/super-peers,
+    /// topology/spec size mismatch).
+    pub fn build(config: EngineConfig) -> Self {
+        assert!(config.n_peers > 0, "need at least one peer");
+        assert_eq!(
+            config.topology.n_superpeers, config.n_superpeers,
+            "topology spec does not match super-peer count"
+        );
+        let topology = config.topology.generate();
+        let peer_home = topology.assign_peers(config.n_peers);
+        let peer_sets: Vec<_> = (0..config.n_peers)
+            .map(|p| config.dataset.generate_peer(p, peer_home[p]))
+            .collect();
+        let (stores, preprocess) = preprocess_network(
+            &peer_sets,
+            &peer_home,
+            config.n_superpeers,
+            config.dataset.dim,
+            config.index,
+        );
+        SkypeerEngine {
+            config,
+            topology,
+            stores: stores.into_iter().map(|s| Arc::new(s.store)).collect(),
+            preprocess,
+            query_policy: crate::planner::IndexPolicy::Fixed(config.index),
+            next_qid: std::cell::Cell::new(1),
+        }
+    }
+
+    /// Switches the query-time dominance-index policy (preprocessing
+    /// always used `config.index`). `IndexPolicy::Auto` picks per query
+    /// from the cardinality estimate — see [`crate::planner`].
+    pub fn set_query_policy(&mut self, policy: crate::planner::IndexPolicy) {
+        self.query_policy = policy;
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The super-peer backbone.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Preprocessing statistics (Figure 3(a) quantities).
+    pub fn preprocess_report(&self) -> &PreprocessReport {
+        &self.preprocess
+    }
+
+    /// The merged ext-skyline stored at super-peer `sp`.
+    pub fn store(&self, sp: usize) -> &SortedDataset {
+        &self.stores[sp]
+    }
+
+    /// Builds the per-run node vector.
+    fn make_nodes(&self, query: Query, variant: Variant, qid: u32) -> Vec<SuperPeerNode> {
+        let tree = match self.config.routing {
+            RoutingMode::Flood => None,
+            RoutingMode::SpanningTree => Some(self.topology.bfs_tree(query.initiator)),
+        };
+        (0..self.topology.len())
+            .map(|sp| {
+                let init = (sp == query.initiator).then_some(InitQuery {
+                    qid,
+                    subspace: query.subspace,
+                    variant,
+                });
+                let node = SuperPeerNode::new(
+                    sp,
+                    self.topology.neighbors(sp).to_vec(),
+                    Arc::clone(&self.stores[sp]),
+                    self.config.index,
+                    init,
+                )
+                .with_index_policy(self.query_policy);
+                match &tree {
+                    Some(children) => node.with_tree_routing(children[sp].clone()),
+                    None => node,
+                }
+            })
+            .collect()
+    }
+
+    /// Executes one query under `variant` on the DES and returns its
+    /// metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either simulation fails to complete (a protocol bug) or if
+    /// the two runs disagree on the result (ditto).
+    pub fn run_query(&self, query: Query, variant: Variant) -> QueryOutcome {
+        let qid = self.next_qid.get();
+        self.next_qid.set(qid.wrapping_add(1));
+
+        // Total-time run with the configured (4 KB/s) links.
+        let real = Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost)
+            .run(query.initiator);
+        let (real_stats, real_result, real_complete) = extract(real, query.initiator);
+
+        // Computational-time run with zero-delay links.
+        let zero = Sim::new(
+            self.make_nodes(query, variant, qid),
+            LinkModel::zero_delay(),
+            self.config.cost,
+        )
+        .run(query.initiator);
+        let (zero_stats, zero_result, zero_complete) = extract(zero, query.initiator);
+        assert!(real_complete && zero_complete, "failure-free runs must be complete");
+
+        let mut real_ids: Vec<u64> =
+            (0..real_result.len()).map(|i| real_result.points().id(i)).collect();
+        real_ids.sort_unstable();
+        let mut zero_ids: Vec<u64> =
+            (0..zero_result.len()).map(|i| zero_result.points().id(i)).collect();
+        zero_ids.sort_unstable();
+        assert_eq!(
+            real_ids, zero_ids,
+            "link model must not change the query answer (variant {variant})"
+        );
+
+        QueryOutcome {
+            result_ids: real_ids,
+            complete: real_complete,
+            result: real_result,
+            total_time_ns: real_stats.finished_at.expect("query must complete"),
+            comp_time_ns: zero_stats.finished_at.expect("query must complete"),
+            volume_bytes: real_stats.bytes,
+            messages: real_stats.messages,
+            compute_ns_total: real_stats.compute_ns_total,
+        }
+    }
+
+    /// Runs a whole workload under `variant`, returning per-query outcomes.
+    pub fn run_workload(&self, queries: &[Query], variant: Variant) -> Vec<QueryOutcome> {
+        queries.iter().map(|q| self.run_query(*q, variant)).collect()
+    }
+
+    /// Runs a whole batch of queries **concurrently** in one simulation:
+    /// all initiators fire at t = 0, messages of different queries share
+    /// nodes and links, and per-node busy time plus per-link bandwidth
+    /// capture the queueing between them. Returns the per-query results
+    /// (in input order) plus batch metrics.
+    ///
+    /// The paper runs its 100-query workloads serially; this extension
+    /// measures what a loaded network does instead. Flood routing only.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`RoutingMode::SpanningTree`] (a tree is rooted at a
+    /// single initiator) or if the batch does not complete.
+    pub fn run_concurrent(&self, batch: &[(Query, Variant)]) -> ConcurrentOutcome {
+        assert!(
+            self.config.routing == RoutingMode::Flood,
+            "concurrent batches require flood routing"
+        );
+        assert!(!batch.is_empty(), "empty batch");
+        let base_qid = self.next_qid.get();
+        self.next_qid.set(base_qid.wrapping_add(batch.len() as u32));
+
+        let mut nodes: Vec<SuperPeerNode> = (0..self.topology.len())
+            .map(|sp| {
+                SuperPeerNode::new(
+                    sp,
+                    self.topology.neighbors(sp).to_vec(),
+                    Arc::clone(&self.stores[sp]),
+                    self.config.index,
+                    None,
+                )
+            })
+            .collect();
+        let mut starts: Vec<usize> = Vec::new();
+        for (i, (q, variant)) in batch.iter().enumerate() {
+            let qid = base_qid.wrapping_add(i as u32);
+            nodes[q.initiator].push_init_query(crate::node::InitQuery {
+                qid,
+                subspace: q.subspace,
+                variant: *variant,
+            });
+            if !starts.contains(&q.initiator) {
+                starts.push(q.initiator);
+            }
+        }
+        let out = Sim::new(nodes, self.config.link, self.config.cost)
+            .run_multi(&starts, batch.len());
+        let makespan_ns = out.stats.finished_at.expect("batch must complete");
+
+        let mut per_query: Vec<Vec<u64>> = Vec::with_capacity(batch.len());
+        for (i, (q, _)) in batch.iter().enumerate() {
+            let qid = base_qid.wrapping_add(i as u32);
+            let answer = out.nodes[q.initiator]
+                .outcome_for(qid)
+                .unwrap_or_else(|| panic!("query {qid} missing at its initiator"));
+            assert!(answer.complete, "failure-free batch must be complete");
+            let mut ids: Vec<u64> =
+                (0..answer.result.len()).map(|j| answer.result.points().id(j)).collect();
+            ids.sort_unstable();
+            per_query.push(ids);
+        }
+        ConcurrentOutcome {
+            result_ids: per_query,
+            makespan_ns,
+            volume_bytes: out.stats.bytes,
+            messages: out.stats.messages,
+        }
+    }
+
+    /// Profiles one query with per-node / per-link breakdowns: where the
+    /// computation concentrated and which links carried the bytes. The
+    /// classic finding is that fixed merging concentrates both on the
+    /// initiator and its links — the bottleneck progressive merging
+    /// removes (Section 5.2.3 of the paper).
+    pub fn profile_query(&self, query: Query, variant: Variant) -> QueryProfile {
+        let qid = self.next_qid.get();
+        self.next_qid.set(qid.wrapping_add(1));
+        let out = Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost)
+            .with_breakdown()
+            .run(query.initiator);
+        let breakdown = out.breakdown.expect("breakdown enabled");
+        let total: u64 = breakdown.compute_ns.iter().sum();
+        let initiator_share = if total == 0 {
+            0.0
+        } else {
+            breakdown.compute_ns[query.initiator] as f64 / total as f64
+        };
+        let inbound_initiator: u64 = breakdown
+            .link_bytes
+            .iter()
+            .filter(|(&(_, to), _)| to == query.initiator)
+            .map(|(_, &b)| b)
+            .sum();
+        QueryProfile {
+            breakdown,
+            initiator_compute_share: initiator_share,
+            initiator_inbound_bytes: inbound_initiator,
+            total_bytes: out.stats.bytes,
+        }
+    }
+
+    /// Fault-tolerance extension (the paper's future work): executes one
+    /// query while the given super-peers crash at the given simulated
+    /// times. Every surviving super-peer abandons children that stay
+    /// silent for `child_timeout_ns`, so the query always terminates.
+    ///
+    /// When the outcome is flagged incomplete, the answer is the exact
+    /// skyline *of the data that reached the initiator*: relative to the
+    /// true global skyline it may miss points held by lost subtrees and
+    /// may contain points that only a lost subtree could have dominated.
+    /// When the outcome is complete, it is the exact global skyline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator itself fails before completion.
+    pub fn run_query_with_failures(
+        &self,
+        query: Query,
+        variant: Variant,
+        failures: &[(usize, u64)],
+        child_timeout_ns: u64,
+    ) -> QueryOutcome {
+        let qid = self.next_qid.get();
+        self.next_qid.set(qid.wrapping_add(1));
+        let nodes: Vec<SuperPeerNode> = self
+            .make_nodes(query, variant, qid)
+            .into_iter()
+            .map(|n| n.with_child_timeout(child_timeout_ns))
+            .collect();
+        let mut sim = Sim::new(nodes, self.config.link, self.config.cost);
+        for &(node, at) in failures {
+            sim = sim.with_node_failure(node, at);
+        }
+        let out = sim.run(query.initiator);
+        let (stats, result, complete) = extract(out, query.initiator);
+        let mut result_ids: Vec<u64> = (0..result.len()).map(|i| result.points().id(i)).collect();
+        result_ids.sort_unstable();
+        QueryOutcome {
+            result_ids,
+            complete,
+            result,
+            total_time_ns: stats.finished_at.expect("timeouts guarantee completion"),
+            comp_time_ns: stats.finished_at.expect("timeouts guarantee completion"),
+            volume_bytes: stats.bytes,
+            messages: stats.messages,
+            compute_ns_total: stats.compute_ns_total,
+        }
+    }
+
+    /// The exact global subspace skyline, computed centrally from the
+    /// super-peer stores (lossless by Observation 4) — the oracle the
+    /// distributed answers are verified against.
+    pub fn centralized_skyline(&self, u: Subspace) -> Vec<u64> {
+        let refs: Vec<&SortedDataset> = self.stores.iter().map(|a| a.as_ref()).collect();
+        let merged = skypeer_skyline::merge::merge_sorted(
+            &refs,
+            u,
+            Dominance::Standard,
+            f64::INFINITY,
+            self.config.index,
+        );
+        let mut ids: Vec<u64> =
+            (0..merged.result.len()).map(|i| merged.result.points().id(i)).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Pulls the initiator's final result out of a finished simulation.
+fn extract(
+    out: skypeer_netsim::des::SimOutcome<SuperPeerNode>,
+    initiator: usize,
+) -> (SimStats, SortedDataset, bool) {
+    let answer = out
+        .nodes
+        .into_iter()
+        .nth(initiator)
+        .expect("initiator exists")
+        .into_outcome()
+        .expect("initiator must hold the final result after completion");
+    (out.stats, answer.result, answer.complete)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use skypeer_data::DatasetKind;
+
+    fn tiny_config(seed: u64) -> EngineConfig {
+        let n_superpeers = 6;
+        EngineConfig {
+            n_peers: 12,
+            n_superpeers,
+            dataset: DatasetSpec {
+                dim: 4,
+                points_per_peer: 30,
+                kind: DatasetKind::Uniform,
+                seed,
+            },
+            topology: TopologySpec::paper_default(n_superpeers, seed),
+            index: DominanceIndex::Linear,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: RoutingMode::Flood,
+        }
+    }
+
+    #[test]
+    fn every_variant_returns_the_exact_skyline() {
+        let engine = SkypeerEngine::build(tiny_config(3));
+        let query = Query { subspace: Subspace::from_dims(&[0, 2]), initiator: 1 };
+        let want = engine.centralized_skyline(query.subspace);
+        assert!(!want.is_empty());
+        for variant in Variant::ALL {
+            let out = engine.run_query(query, variant);
+            assert_eq!(out.result_ids, want, "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn exactness_across_initiators_and_subspaces() {
+        let engine = SkypeerEngine::build(tiny_config(8));
+        for initiator in 0..6 {
+            for u in [
+                Subspace::from_dims(&[1]),
+                Subspace::from_dims(&[0, 3]),
+                Subspace::full(4),
+            ] {
+                let want = engine.centralized_skyline(u);
+                let query = Query { subspace: u, initiator };
+                for variant in [Variant::Ftpm, Variant::Rtfm, Variant::Naive] {
+                    let out = engine.run_query(query, variant);
+                    assert_eq!(out.result_ids, want, "init {initiator} U {u} {variant}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skypeer_moves_less_data_than_naive() {
+        let engine = SkypeerEngine::build(tiny_config(5));
+        let query = Query { subspace: Subspace::from_dims(&[0, 1, 2]), initiator: 0 };
+        let naive = engine.run_query(query, Variant::Naive);
+        for variant in Variant::SKYPEER {
+            let out = engine.run_query(query, variant);
+            assert!(
+                out.volume_bytes <= naive.volume_bytes,
+                "{variant} volume {} > naive {}",
+                out.volume_bytes,
+                naive.volume_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn progressive_merging_moves_less_than_fixed() {
+        let engine = SkypeerEngine::build(tiny_config(13));
+        let query = Query { subspace: Subspace::from_dims(&[0, 1, 2]), initiator: 2 };
+        let ftfm = engine.run_query(query, Variant::Ftfm);
+        let ftpm = engine.run_query(query, Variant::Ftpm);
+        assert!(
+            ftpm.volume_bytes <= ftfm.volume_bytes,
+            "FTPM {} should not exceed FTFM {}",
+            ftpm.volume_bytes,
+            ftfm.volume_bytes
+        );
+    }
+
+    #[test]
+    fn metrics_average_correctly() {
+        let engine = SkypeerEngine::build(tiny_config(21));
+        let queries = [
+            Query { subspace: Subspace::from_dims(&[0, 1]), initiator: 0 },
+            Query { subspace: Subspace::from_dims(&[2, 3]), initiator: 3 },
+        ];
+        let outcomes = engine.run_workload(&queries, Variant::Ftpm);
+        let m = QueryMetrics::from_outcomes(&outcomes);
+        assert_eq!(m.queries, 2);
+        let manual =
+            (outcomes[0].total_time_ns as f64 + outcomes[1].total_time_ns as f64) / 2.0;
+        assert_eq!(m.avg_total_time_ns, manual);
+        assert_eq!(QueryMetrics::from_outcomes(&[]), QueryMetrics::default());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let engine = SkypeerEngine::build(tiny_config(30));
+        let query = Query { subspace: Subspace::from_dims(&[1, 2]), initiator: 1 };
+        let a = engine.run_query(query, Variant::Rtpm);
+        let b = engine.run_query(query, Variant::Rtpm);
+        assert_eq!(a.result_ids, b.result_ids);
+        assert_eq!(a.total_time_ns, b.total_time_ns);
+        assert_eq!(a.volume_bytes, b.volume_bytes);
+    }
+
+    #[test]
+    fn single_superpeer_network_works() {
+        let mut cfg = tiny_config(2);
+        cfg.n_superpeers = 1;
+        cfg.topology = TopologySpec::paper_default(1, 2);
+        cfg.n_peers = 3;
+        let engine = SkypeerEngine::build(cfg);
+        let query = Query { subspace: Subspace::from_dims(&[0, 1]), initiator: 0 };
+        for variant in Variant::ALL {
+            let out = engine.run_query(query, variant);
+            assert_eq!(out.result_ids, engine.centralized_skyline(query.subspace));
+            assert_eq!(out.volume_bytes, 0, "no network traffic with one super-peer");
+        }
+    }
+
+    #[test]
+    fn paper_superpeer_rule() {
+        assert_eq!(EngineConfig::paper_superpeers(4000), 200);
+        assert_eq!(EngineConfig::paper_superpeers(12000), 600);
+        assert_eq!(EngineConfig::paper_superpeers(20000), 200);
+        assert_eq!(EngineConfig::paper_superpeers(80000), 800);
+        assert_eq!(EngineConfig::paper_superpeers(5), 1);
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use skypeer_data::DatasetKind;
+
+    #[test]
+    fn fixed_merging_concentrates_on_the_initiator() {
+        let n_superpeers = 10;
+        let engine = SkypeerEngine::build(EngineConfig {
+            n_peers: 40,
+            n_superpeers,
+            dataset: DatasetSpec {
+                dim: 6,
+                points_per_peer: 60,
+                kind: DatasetKind::Uniform,
+                seed: 3,
+            },
+            topology: TopologySpec::paper_default(n_superpeers, 4),
+            index: DominanceIndex::RTree,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: RoutingMode::Flood,
+        });
+        let q = Query { subspace: Subspace::from_dims(&[0, 2, 4]), initiator: 0 };
+        let fm = engine.profile_query(q, Variant::Ftfm);
+        let pm = engine.profile_query(q, Variant::Ftpm);
+        assert!(
+            fm.initiator_compute_share > pm.initiator_compute_share,
+            "fixed merging must load the initiator more ({:.3} vs {:.3})",
+            fm.initiator_compute_share,
+            pm.initiator_compute_share
+        );
+        assert!(
+            fm.initiator_inbound_bytes > pm.initiator_inbound_bytes,
+            "fixed merging must funnel more bytes into the initiator"
+        );
+        assert!(fm.breakdown.hottest_node().is_some());
+        assert!(fm.initiator_inbound_bytes <= fm.total_bytes);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::planner::IndexPolicy;
+    use skypeer_data::DatasetKind;
+
+    #[test]
+    fn auto_policy_preserves_answers_through_the_engine() {
+        let n_superpeers = 6;
+        let cfg = EngineConfig {
+            n_peers: 18,
+            n_superpeers,
+            dataset: DatasetSpec {
+                dim: 5,
+                points_per_peer: 30,
+                kind: DatasetKind::Uniform,
+                seed: 77,
+            },
+            topology: TopologySpec::paper_default(n_superpeers, 78),
+            index: DominanceIndex::RTree,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: RoutingMode::Flood,
+        };
+        let fixed_engine = SkypeerEngine::build(cfg);
+        let mut auto_engine = SkypeerEngine::build(cfg);
+        auto_engine.set_query_policy(IndexPolicy::Auto);
+        let q = Query { subspace: Subspace::from_dims(&[0, 2, 4]), initiator: 2 };
+        for variant in Variant::ALL {
+            assert_eq!(
+                fixed_engine.run_query(q, variant).result_ids,
+                auto_engine.run_query(q, variant).result_ids,
+                "{variant}"
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Running a SKYPEER query on the live threaded runtime.
+//!
+//! The same [`SuperPeerNode`](crate::node::SuperPeerNode) state machine
+//! that the DES drives is handed to real OS threads here — one per
+//! super-peer, crossbeam channels as links. The result must be the exact
+//! subspace skyline regardless of thread scheduling, which the integration
+//! tests assert repeatedly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use skypeer_netsim::live::{run_live, LiveStats};
+use skypeer_netsim::topology::Topology;
+use skypeer_skyline::{DominanceIndex, SortedDataset, Subspace};
+
+use crate::node::{InitQuery, SuperPeerNode};
+use crate::variants::Variant;
+
+/// Result of a live query execution.
+#[derive(Clone, Debug)]
+pub struct LiveQueryOutcome {
+    /// Sorted global ids of the exact subspace skyline.
+    pub result_ids: Vec<u64>,
+    /// Whether every super-peer contributed.
+    pub complete: bool,
+    /// The result points.
+    pub result: SortedDataset,
+    /// Wire statistics of the run.
+    pub stats: LiveStats,
+}
+
+/// Executes one subspace skyline query over `stores` live, with one thread
+/// per super-peer. Returns `None` if the query does not complete within
+/// `timeout` (which, absent deadlock bugs, it always does).
+pub fn run_query_live(
+    topology: &Topology,
+    stores: &[Arc<SortedDataset>],
+    subspace: Subspace,
+    initiator: usize,
+    variant: Variant,
+    index: DominanceIndex,
+    timeout: Duration,
+) -> Option<LiveQueryOutcome> {
+    assert_eq!(topology.len(), stores.len(), "one store per super-peer required");
+    assert!(initiator < topology.len(), "initiator out of range");
+    let nodes: Vec<SuperPeerNode> = (0..topology.len())
+        .map(|sp| {
+            let init =
+                (sp == initiator).then_some(InitQuery { qid: 1, subspace, variant });
+            SuperPeerNode::new(
+                sp,
+                topology.neighbors(sp).to_vec(),
+                Arc::clone(&stores[sp]),
+                index,
+                init,
+            )
+        })
+        .collect();
+    let out = run_live(nodes, initiator, timeout)?;
+    let answer = out
+        .nodes
+        .into_iter()
+        .nth(initiator)
+        .expect("initiator exists")
+        .into_outcome()
+        .expect("finished run must leave the result at the initiator");
+    let result = answer.result;
+    let mut result_ids: Vec<u64> = (0..result.len()).map(|i| result.points().id(i)).collect();
+    result_ids.sort_unstable();
+    Some(LiveQueryOutcome { result_ids, complete: answer.complete, result, stats: out.stats })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::preprocess::SuperPeerStore;
+    use skypeer_data::{DatasetKind, DatasetSpec};
+    use skypeer_netsim::topology::TopologySpec;
+    use skypeer_skyline::PointSet;
+
+    fn build_stores(
+        n_superpeers: usize,
+        peers_per_sp: usize,
+        seed: u64,
+    ) -> (Topology, Vec<Arc<SortedDataset>>, PointSet) {
+        let topo = TopologySpec::paper_default(n_superpeers, seed).generate();
+        let spec = DatasetSpec { dim: 4, points_per_peer: 25, kind: DatasetKind::Uniform, seed };
+        let mut all = PointSet::new(4);
+        let mut stores = Vec::new();
+        for sp in 0..n_superpeers {
+            let sets: Vec<PointSet> = (0..peers_per_sp)
+                .map(|i| spec.generate_peer(sp * peers_per_sp + i, sp))
+                .collect();
+            for s in &sets {
+                all.extend_from(s);
+            }
+            let store = SuperPeerStore::preprocess(&sets, 4, DominanceIndex::Linear);
+            stores.push(Arc::new(store.store));
+        }
+        (topo, stores, all)
+    }
+
+    #[test]
+    fn live_run_is_exact_for_every_variant() {
+        let (topo, stores, all) = build_stores(6, 3, 42);
+        let u = Subspace::from_dims(&[0, 2]);
+        let want = skypeer_skyline::brute::skyline_ids(
+            &all,
+            u,
+            skypeer_skyline::Dominance::Standard,
+        );
+        for variant in Variant::ALL {
+            let out = run_query_live(
+                &topo,
+                &stores,
+                u,
+                1,
+                variant,
+                DominanceIndex::Linear,
+                Duration::from_secs(20),
+            )
+            .expect("live query must complete");
+            assert_eq!(out.result_ids, want, "variant {variant}");
+            assert!(out.stats.messages > 0);
+        }
+    }
+
+    #[test]
+    fn repeated_live_runs_agree_despite_scheduling() {
+        let (topo, stores, _) = build_stores(5, 2, 7);
+        let u = Subspace::from_dims(&[1, 3]);
+        let first = run_query_live(
+            &topo,
+            &stores,
+            u,
+            0,
+            Variant::Ftpm,
+            DominanceIndex::Linear,
+            Duration::from_secs(20),
+        )
+        .expect("completes");
+        for _ in 0..5 {
+            let again = run_query_live(
+                &topo,
+                &stores,
+                u,
+                0,
+                Variant::Ftpm,
+                DominanceIndex::Linear,
+                Duration::from_secs(20),
+            )
+            .expect("completes");
+            assert_eq!(again.result_ids, first.result_ids, "thread schedule changed the answer");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Protocol messages and their wire codec.
+//!
+//! The network substrate moves opaque byte buffers, so every message is
+//! serialized through a small hand-rolled binary format (via the `bytes`
+//! crate). This keeps the *volume of transferred data* — one of the three
+//! metrics of the paper's evaluation — an honest property of the actual
+//! encoded bytes, rather than an estimate bolted onto in-memory structures.
+//!
+//! Result points travel with their full-space coordinates and global ids,
+//! ordered ascending by `f(p)` as Algorithm 2 expects; the `f` values
+//! themselves are recomputed on arrival (they are derivable, so shipping
+//! them would inflate volume for nothing).
+
+use bytes::{Buf, BufMut, BytesMut};
+use skypeer_skyline::{PointSet, SortedDataset, Subspace};
+
+use crate::variants::Variant;
+
+/// One protocol message between super-peers (or a super-peer and itself,
+/// for the deferred-computation trick in `FT*` modes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// The query `q(U, t)` of Algorithm 3, flooded over the backbone.
+    Query {
+        /// Query identifier.
+        qid: u32,
+        /// Requested subspace `U`.
+        subspace: Subspace,
+        /// Threshold `t` (`f64::INFINITY` for the naive baseline).
+        threshold: f64,
+        /// Execution strategy.
+        variant: Variant,
+    },
+    /// A result list flowing back toward the initiator. `done` marks the
+    /// single final message of a child's subtree; `FT*M`/naive relays may
+    /// precede it with `done = false` messages.
+    Answer {
+        /// Query identifier.
+        qid: u32,
+        /// Whether the sending subtree is finished sending.
+        done: bool,
+        /// Whether every super-peer of the subtree actually contributed.
+        /// `false` once any node abandoned a timed-out child (the
+        /// fault-tolerance extension): the result may then be missing
+        /// skyline points from failed subtrees.
+        complete: bool,
+        /// The result points, `f`-ascending.
+        points: SortedDataset,
+    },
+    /// "I already received this query from elsewhere" — the receiver is
+    /// not a child of the sender; the sender must not await its results.
+    DupAck {
+        /// Query identifier.
+        qid: u32,
+    },
+    /// Self-addressed marker used by `FT*`/naive modes to run the local
+    /// skyline computation *after* forwarding the query (so propagation is
+    /// not serialized behind computation). Never crosses the wire; size 0.
+    ComputeLocal {
+        /// Query identifier.
+        qid: u32,
+    },
+}
+
+impl Msg {
+    /// Serializes into bytes. The buffer length is the message's wire size,
+    /// except for [`Msg::ComputeLocal`], which callers send with 0 bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::new();
+        match self {
+            Msg::Query { qid, subspace, threshold, variant } => {
+                b.put_u8(1);
+                b.put_u32(*qid);
+                b.put_u32(subspace.mask());
+                b.put_f64(*threshold);
+                b.put_u8(variant.to_wire());
+            }
+            Msg::Answer { qid, done, complete, points } => {
+                b.put_u8(2);
+                b.put_u32(*qid);
+                b.put_u8(u8::from(*done));
+                b.put_u8(u8::from(*complete));
+                let set = points.points();
+                b.put_u8(set.dim() as u8);
+                b.put_u32(set.len() as u32);
+                for (_, id, coords) in set.iter() {
+                    b.put_u64(id);
+                    for &v in coords {
+                        b.put_f64(v);
+                    }
+                }
+            }
+            Msg::DupAck { qid } => {
+                b.put_u8(3);
+                b.put_u32(*qid);
+            }
+            Msg::ComputeLocal { qid } => {
+                b.put_u8(4);
+                b.put_u32(*qid);
+            }
+        }
+        b.to_vec()
+    }
+
+    /// Deserializes; returns `None` on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Option<Msg> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            1 => {
+                if buf.remaining() < 4 + 4 + 8 + 1 {
+                    return None;
+                }
+                let qid = buf.get_u32();
+                let mask = buf.get_u32();
+                if mask == 0 {
+                    return None;
+                }
+                let threshold = buf.get_f64();
+                // Thresholds are min-dist values: non-negative, possibly
+                // +∞ (no pruning). Anything else is a hostile payload.
+                if threshold.is_nan() || threshold < 0.0 {
+                    return None;
+                }
+                let variant = Variant::from_wire(buf.get_u8())?;
+                Some(Msg::Query { qid, subspace: Subspace::from_mask(mask), threshold, variant })
+            }
+            2 => {
+                if buf.remaining() < 4 + 1 + 1 + 1 + 4 {
+                    return None;
+                }
+                let qid = buf.get_u32();
+                let done = buf.get_u8() != 0;
+                let complete = buf.get_u8() != 0;
+                let dim = buf.get_u8() as usize;
+                let n = buf.get_u32() as usize;
+                if dim == 0 || buf.remaining() < n * (8 + 8 * dim) {
+                    return None;
+                }
+                if dim > skypeer_skyline::MAX_DIM {
+                    return None;
+                }
+                let mut set = PointSet::with_capacity(dim, n);
+                let mut coords = vec![0.0; dim];
+                for _ in 0..n {
+                    let id = buf.get_u64();
+                    for c in coords.iter_mut() {
+                        *c = buf.get_f64();
+                    }
+                    // Reject rather than panic on hostile payloads: the
+                    // value domain is finite non-negative reals.
+                    if coords.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                        return None;
+                    }
+                    set.push(&coords, id);
+                }
+                // The sender guarantees f-ascending order; rebuilding via
+                // from_set re-sorts defensively (stable for valid senders).
+                Some(Msg::Answer { qid, done, complete, points: SortedDataset::from_set(&set) })
+            }
+            3 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(Msg::DupAck { qid: buf.get_u32() })
+            }
+            4 => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(Msg::ComputeLocal { qid: buf.get_u32() })
+            }
+            _ => None,
+        }
+    }
+
+    /// On-wire size in bytes: actual encoded length, except that
+    /// [`Msg::ComputeLocal`] is free (it never crosses the network).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Msg::ComputeLocal { .. } => 0,
+            _ => self.encode().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn sample_points() -> SortedDataset {
+        let mut s = PointSet::new(3);
+        s.push(&[1.0, 2.0, 3.0], 7);
+        s.push(&[0.5, 4.0, 4.0], 9);
+        SortedDataset::from_set(&s)
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let m = Msg::Query {
+            qid: 42,
+            subspace: Subspace::from_dims(&[1, 3, 5]),
+            threshold: 0.75,
+            variant: Variant::Rtpm,
+        };
+        assert_eq!(Msg::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn answer_roundtrip_preserves_points_and_order() {
+        let m = Msg::Answer { qid: 1, done: true, complete: true, points: sample_points() };
+        let d = Msg::decode(&m.encode()).expect("decodes");
+        let Msg::Answer { points, done, complete, qid } = d else { panic!() };
+        assert!(done);
+        assert!(complete);
+        assert_eq!(qid, 1);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points.points().id(0), 9, "f=0.5 point first");
+        assert_eq!(points.points().point(0), &[0.5, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn dupack_and_compute_roundtrip() {
+        for m in [Msg::DupAck { qid: 3 }, Msg::ComputeLocal { qid: 8 }] {
+            assert_eq!(Msg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn wire_size_tracks_point_count() {
+        let empty = Msg::Answer { qid: 0, done: true, complete: true, points: SortedDataset::empty(3) };
+        let full = Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() };
+        // Two 3-d points cost 2 × (8 id + 24 coords) = 64 extra bytes.
+        assert_eq!(full.wire_bytes(), empty.wire_bytes() + 64);
+        assert_eq!(Msg::ComputeLocal { qid: 0 }.wire_bytes(), 0, "self message is free");
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert_eq!(Msg::decode(&[]), None);
+        assert_eq!(Msg::decode(&[9, 0, 0]), None);
+        assert_eq!(Msg::decode(&[1, 0, 0]), None, "truncated query");
+        // Query with an empty subspace mask.
+        let mut bad = Msg::Query {
+            qid: 0,
+            subspace: Subspace::from_mask(1),
+            threshold: 1.0,
+            variant: Variant::Ftfm,
+        }
+        .encode();
+        bad[5..9].fill(0);
+        assert_eq!(Msg::decode(&bad), None);
+        // Answer whose declared count exceeds the payload.
+        let mut ans =
+            Msg::Answer { qid: 0, done: false, complete: true, points: sample_points() }.encode();
+        ans.truncate(ans.len() - 8);
+        assert_eq!(Msg::decode(&ans), None);
+    }
+
+    #[test]
+    fn hostile_payloads_are_rejected_not_panicking() {
+        // Negative coordinate inside an Answer.
+        let mut ans = Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() }
+            .encode();
+        let coord_off = ans.len() - 8;
+        ans[coord_off..].copy_from_slice(&(-1.0f64).to_be_bytes());
+        assert_eq!(Msg::decode(&ans), None, "negative coordinate must be rejected");
+        // NaN coordinate.
+        let mut nan = Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() }
+            .encode();
+        nan[coord_off..].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(Msg::decode(&nan), None, "NaN coordinate must be rejected");
+        // NaN threshold in a Query.
+        let mut q = Msg::Query {
+            qid: 0,
+            subspace: Subspace::from_mask(1),
+            threshold: 1.0,
+            variant: Variant::Ftfm,
+        }
+        .encode();
+        q[9..17].copy_from_slice(&f64::NAN.to_be_bytes());
+        assert_eq!(Msg::decode(&q), None, "NaN threshold must be rejected");
+        // Oversized declared dimensionality.
+        let mut big = Msg::Answer {
+            qid: 0,
+            done: true,
+            complete: true,
+            points: SortedDataset::empty(3),
+        }
+        .encode();
+        big[7] = 255; // dim byte (tag + qid + done + complete precede it)
+        assert_eq!(Msg::decode(&big), None, "dim > MAX_DIM must be rejected");
+    }
+
+    #[test]
+    fn infinity_threshold_survives_roundtrip() {
+        let m = Msg::Query {
+            qid: 0,
+            subspace: Subspace::from_mask(1),
+            threshold: f64::INFINITY,
+            variant: Variant::Naive,
+        };
+        let Some(Msg::Query { threshold, .. }) = Msg::decode(&m.encode()) else { panic!() };
+        assert!(threshold.is_infinite());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// Arbitrary byte soup never panics the decoder.
+            #[test]
+            fn prop_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+                let _ = Msg::decode(&bytes);
+            }
+
+            /// Single-byte corruption of a valid message never panics, and
+            /// whatever still decodes re-encodes without panicking.
+            #[test]
+            fn prop_bitflips_never_panic(pos in 0usize..64, val in any::<u8>()) {
+                let valid = Msg::Answer {
+                    qid: 7,
+                    done: true,
+                    complete: true,
+                    points: sample_points(),
+                }
+                .encode();
+                let mut corrupted = valid.clone();
+                let idx = pos % corrupted.len();
+                corrupted[idx] = val;
+                if let Some(m) = Msg::decode(&corrupted) {
+                    let _ = m.encode();
+                }
+            }
+
+            /// Round-trip identity over the structured message space.
+            #[test]
+            fn prop_query_roundtrip(
+                qid in any::<u32>(),
+                mask in 1u32..=0xFF,
+                threshold in prop_oneof![(0.0f64..1e12), Just(f64::INFINITY)],
+                variant_idx in 0usize..5,
+            ) {
+                let m = Msg::Query {
+                    qid,
+                    subspace: Subspace::from_mask(mask),
+                    threshold,
+                    variant: Variant::ALL[variant_idx],
+                };
+                prop_assert_eq!(Msg::decode(&m.encode()), Some(m));
+            }
+        }
+    }
+}

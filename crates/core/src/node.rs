@@ -1,0 +1,709 @@
+//! The SKYPEER super-peer state machine (Algorithm 3).
+//!
+//! One [`SuperPeerNode`] per super-peer, runnable on either the DES or the
+//! live runtime. A query executes as follows:
+//!
+//! * An **initiator** (a node constructed with an [`InitQuery`]) computes
+//!   its local subspace skyline to obtain the threshold `t` (SKYPEER
+//!   variants), then floods `q(U, t)` to its neighbors.
+//! * On first receipt of the query, a super-peer adopts the sender as its
+//!   **parent** in the implicit spanning tree and forwards the query to its
+//!   other neighbors; later receipts are answered with a [`Msg::DupAck`]
+//!   so the sender does not await a subtree that is not there.
+//! * `FT*`/naive nodes forward the query *before* computing (the local
+//!   computation is deferred behind a zero-byte self-message, so in the
+//!   simulator propagation and computation overlap, as they would in a
+//!   threaded deployment). `RT*` nodes compute first, refine `t`, and
+//!   forward the tightened query — buying pruning at the price of
+//!   serialized propagation, exactly the trade-off the paper evaluates.
+//! * `*FM`/naive nodes relay every child result straight toward the
+//!   initiator; `*PM` nodes buffer child results and send a single merged
+//!   list (Algorithm 2) upward once their subtree completes.
+//! * A node's subtree is complete when its local computation is done and
+//!   every neighbor it forwarded to has either sent its final
+//!   (`done = true`) answer or a `DupAck`. The initiator then performs the
+//!   final merge and declares its query finished.
+//!
+//! State is keyed by query id, so any number of queries — from the same or
+//! different initiators — can be in flight concurrently through one node;
+//! the runtime's per-node busy model then captures the queueing between
+//! them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use skypeer_netsim::cost::WorkReport;
+use skypeer_netsim::des::{Behavior, Context};
+use skypeer_skyline::merge::merge_sorted;
+use skypeer_skyline::sorted::KernelStats;
+use skypeer_skyline::{bnl, Dominance, DominanceIndex, PointSet, SortedDataset, Subspace};
+
+use crate::msg::Msg;
+use crate::planner::IndexPolicy;
+use crate::variants::Variant;
+
+/// A query this node initiates at start of run.
+#[derive(Clone, Copy, Debug)]
+pub struct InitQuery {
+    /// Query identifier — must be unique across the queries of one run.
+    pub qid: u32,
+    /// Requested subspace `U`.
+    pub subspace: Subspace,
+    /// Execution strategy.
+    pub variant: Variant,
+}
+
+/// Per-query bookkeeping on one super-peer.
+struct QueryState {
+    subspace: Subspace,
+    variant: Variant,
+    /// Tightest threshold known to this node (∞ for naive).
+    threshold: f64,
+    /// Node the query arrived from (`None` on the initiator).
+    parent: Option<usize>,
+    /// Neighbors forwarded to whose subtrees have not yet closed.
+    outstanding: Vec<usize>,
+    /// Local subspace skyline, once computed.
+    local: Option<SortedDataset>,
+    /// Buffered result lists: children's lists (`*PM`) or everything that
+    /// reached the initiator (`*FM`/naive).
+    collected: Vec<SortedDataset>,
+    /// Whether this node already sent its final answer / finished.
+    finalized: bool,
+    /// Whether every super-peer of this subtree contributed. Cleared when
+    /// a timed-out child is abandoned or a child reports incompleteness.
+    complete: bool,
+}
+
+/// The initiator's final answer.
+#[derive(Clone, Debug)]
+pub struct FinalAnswer {
+    /// The subspace skyline, `f`-ascending. Exact when `complete`.
+    pub result: SortedDataset,
+    /// Whether every reachable super-peer contributed. `false` only under
+    /// the fault-tolerance extension, after abandoning failed subtrees.
+    pub complete: bool,
+}
+
+/// How queries spread over the backbone.
+///
+/// The paper's protocol floods: every node forwards to all neighbors
+/// except the sender, duplicate receipts are dup-acked, and the spanning
+/// tree emerges from first arrivals. Systems with routing indices at the
+/// super-peer level (the paper cites Edutella) can instead precompute an
+/// explicit spanning tree per initiator and forward only along it —
+/// trading the index maintenance for the elimination of every duplicate
+/// query and dup-ack. Provided as an ablation
+/// (`EngineConfig::routing`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Gnutella-style constrained flooding (the paper's protocol).
+    Flood,
+    /// Forward only to the given children of a precomputed spanning tree.
+    Tree {
+        /// This node's children in the tree rooted at the initiator.
+        children: Vec<usize>,
+    },
+}
+
+/// A super-peer node: stored ext-skyline plus protocol state.
+pub struct SuperPeerNode {
+    id: usize,
+    neighbors: Vec<usize>,
+    store: Arc<SortedDataset>,
+    policy: IndexPolicy,
+    init_queries: Vec<InitQuery>,
+    routing: Routing,
+    /// Fault-tolerance extension: abandon children that have not closed
+    /// their subtree within this many (simulated) nanoseconds of the query
+    /// being forwarded. `None` (the paper's protocol) waits forever.
+    child_timeout: Option<u64>,
+    states: HashMap<u32, QueryState>,
+    /// Final answers of the queries this node initiated, in completion
+    /// order.
+    pub outcomes: Vec<(u32, FinalAnswer)>,
+}
+
+impl SuperPeerNode {
+    /// Creates a node. Pass `init_query: Some(..)` on the initiator (use
+    /// [`SuperPeerNode::push_init_query`] for additional concurrent
+    /// queries).
+    pub fn new(
+        id: usize,
+        neighbors: Vec<usize>,
+        store: Arc<SortedDataset>,
+        index: DominanceIndex,
+        init_query: Option<InitQuery>,
+    ) -> Self {
+        SuperPeerNode {
+            id,
+            neighbors,
+            store,
+            policy: IndexPolicy::Fixed(index),
+            init_queries: init_query.into_iter().collect(),
+            routing: Routing::Flood,
+            child_timeout: None,
+            states: HashMap::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Registers another query for this node to initiate at start of run.
+    /// Query ids must be unique across the whole run.
+    pub fn push_init_query(&mut self, q: InitQuery) {
+        self.init_queries.push(q);
+    }
+
+    /// Replaces the fixed dominance index with a per-query policy (see
+    /// [`IndexPolicy`]).
+    pub fn with_index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables the fault-tolerance extension: children that have not
+    /// closed their subtree within `timeout_ns` of the query forward are
+    /// abandoned, and the result is flagged incomplete.
+    pub fn with_child_timeout(mut self, timeout_ns: u64) -> Self {
+        self.child_timeout = Some(timeout_ns);
+        self
+    }
+
+    /// Switches this node to spanning-tree routing with the given
+    /// children (see [`Routing::Tree`]). Tree routing supports a single
+    /// query per run (the tree is rooted at one initiator).
+    pub fn with_tree_routing(mut self, children: Vec<usize>) -> Self {
+        self.routing = Routing::Tree { children };
+        self
+    }
+
+    /// The single final answer of a single-query run, consuming the node.
+    pub fn into_outcome(self) -> Option<FinalAnswer> {
+        self.outcomes.into_iter().next().map(|(_, a)| a)
+    }
+
+    /// The final answer of one specific query, if this node initiated and
+    /// completed it.
+    pub fn outcome_for(&self, qid: u32) -> Option<&FinalAnswer> {
+        self.outcomes.iter().find(|(q, _)| *q == qid).map(|(_, a)| a)
+    }
+
+    /// Runs the local computation: Algorithm 1 with the current threshold
+    /// for SKYPEER variants, plain BNL for the naive baseline. Updates the
+    /// state's threshold and reports the work to the runtime.
+    fn compute_local(&mut self, qid: u32, ctx: &mut dyn Context) {
+        let state = self.states.get_mut(&qid).expect("compute without state");
+        let index = self.policy.resolve(self.store.len(), state.subspace);
+        let started = Instant::now();
+        let (result, threshold, stats) = if state.variant.uses_threshold() {
+            let out = self.store.subspace_skyline(
+                state.subspace,
+                Dominance::Standard,
+                state.threshold,
+                index,
+            );
+            (out.result, out.threshold, out.stats)
+        } else {
+            let (indices, bstats) =
+                bnl::skyline_with_stats(self.store.points(), state.subspace, Dominance::Standard);
+            let set = self.store.points().gather(&indices);
+            let stats = KernelStats {
+                dominance_tests: bstats.dominance_tests,
+                points_scanned: bstats.points_scanned,
+                pruned_by_threshold: 0,
+            };
+            (SortedDataset::from_set(&set), f64::INFINITY, stats)
+        };
+        ctx.report_work(WorkReport {
+            dominance_tests: stats.dominance_tests,
+            points_scanned: stats.points_scanned,
+            measured: Some(started.elapsed()),
+        });
+        state.threshold = threshold;
+        state.local = Some(result);
+    }
+
+    /// Sends the query onward to every neighbor except the parent and
+    /// returns the neighbors contacted (the initially outstanding set).
+    /// Arms the child timeout, if configured.
+    fn forward_query(&mut self, qid: u32, ctx: &mut dyn Context) -> Vec<usize> {
+        let state = self.states.get(&qid).expect("forward without state");
+        let msg = Msg::Query {
+            qid,
+            subspace: state.subspace,
+            threshold: state.threshold,
+            variant: state.variant,
+        };
+        let bytes = msg.wire_bytes();
+        let encoded = msg.encode();
+        let targets: Vec<usize> = match &self.routing {
+            Routing::Flood => {
+                self.neighbors.iter().copied().filter(|&n| Some(n) != state.parent).collect()
+            }
+            Routing::Tree { children } => children.clone(),
+        };
+        for &n in &targets {
+            ctx.send(n, bytes, encoded.clone());
+        }
+        if let Some(timeout) = self.child_timeout {
+            if !targets.is_empty() {
+                ctx.set_timer(timeout, u64::from(qid));
+            }
+        }
+        targets
+    }
+
+    /// Final-merge + completion check; called whenever local computation
+    /// finishes or a subtree closes.
+    fn check_finalize(&mut self, qid: u32, ctx: &mut dyn Context) {
+        let ready = {
+            let state = self.states.get(&qid).expect("finalize without state");
+            !state.finalized && state.local.is_some() && state.outstanding.is_empty()
+        };
+        if !ready {
+            return;
+        }
+        let state = self.states.get_mut(&qid).expect("finalize without state");
+        state.finalized = true;
+        let is_initiator = state.parent.is_none();
+        let complete = state.complete;
+
+        if is_initiator {
+            // Merge everything that reached us with our local result.
+            let local = state.local.take().expect("local result checked above");
+            let collected = std::mem::take(&mut state.collected);
+            let subspace = state.subspace;
+            let threshold = state.threshold;
+            let variant = state.variant;
+            let final_result = if variant.uses_threshold() {
+                let started = Instant::now();
+                let mut lists: Vec<&SortedDataset> = Vec::with_capacity(collected.len() + 1);
+                lists.push(&local);
+                lists.extend(collected.iter());
+                let index = self.policy.resolve(self.store.len(), subspace);
+                let merged =
+                    merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
+                ctx.report_work(WorkReport {
+                    dominance_tests: merged.stats.dominance_tests,
+                    points_scanned: merged.stats.points_scanned,
+                    measured: Some(started.elapsed()),
+                });
+                merged.result
+            } else {
+                // Naive: plain BNL over the concatenation of all lists.
+                let started = Instant::now();
+                let mut all = PointSet::new(self.store.dim());
+                all.extend_from(local.points());
+                for l in &collected {
+                    all.extend_from(l.points());
+                }
+                let (indices, bstats) = bnl::skyline_with_stats(&all, subspace, Dominance::Standard);
+                ctx.report_work(WorkReport {
+                    dominance_tests: bstats.dominance_tests,
+                    points_scanned: bstats.points_scanned,
+                    measured: Some(started.elapsed()),
+                });
+                SortedDataset::from_set(&all.gather(&indices))
+            };
+            self.outcomes.push((qid, FinalAnswer { result: final_result, complete }));
+            ctx.finish();
+        } else {
+            let parent = state.parent.expect("non-initiator has a parent");
+            let answer = if state.variant.merges_progressively() {
+                // Merge children + local into one list (Algorithm 2).
+                let local = state.local.take().expect("local result checked above");
+                let collected = std::mem::take(&mut state.collected);
+                let subspace = state.subspace;
+                let threshold = state.threshold;
+                let started = Instant::now();
+                let mut lists: Vec<&SortedDataset> = Vec::with_capacity(collected.len() + 1);
+                lists.push(&local);
+                lists.extend(collected.iter());
+                let index = self.policy.resolve(self.store.len(), subspace);
+                let merged =
+                    merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
+                ctx.report_work(WorkReport {
+                    dominance_tests: merged.stats.dominance_tests,
+                    points_scanned: merged.stats.points_scanned,
+                    measured: Some(started.elapsed()),
+                });
+                merged.result
+            } else {
+                // Fixed merging: children's lists were already relayed; our
+                // final answer carries just the local result.
+                state.local.take().expect("local result checked above")
+            };
+            let msg = Msg::Answer { qid, done: true, complete, points: answer };
+            ctx.send(parent, msg.wire_bytes(), msg.encode());
+        }
+    }
+
+    fn on_query(
+        &mut self,
+        from: usize,
+        qid: u32,
+        subspace: Subspace,
+        threshold: f64,
+        variant: Variant,
+        ctx: &mut dyn Context,
+    ) {
+        if self.states.contains_key(&qid) {
+            // Already part of this query's spanning tree via another
+            // neighbor.
+            let ack = Msg::DupAck { qid };
+            ctx.send(from, ack.wire_bytes(), ack.encode());
+            return;
+        }
+        self.states.insert(
+            qid,
+            QueryState {
+                subspace,
+                variant,
+                threshold,
+                parent: Some(from),
+                outstanding: Vec::new(),
+                local: None,
+                collected: Vec::new(),
+                finalized: false,
+                complete: true,
+            },
+        );
+        if variant.refines_threshold() {
+            // RT*: compute first (tightening the threshold), then forward.
+            self.compute_local(qid, ctx);
+            let sent = self.forward_query(qid, ctx);
+            self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
+            self.check_finalize(qid, ctx);
+        } else {
+            // FT*/naive: forward immediately, defer computation so that
+            // query propagation is not serialized behind it.
+            let sent = self.forward_query(qid, ctx);
+            self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
+            let tick = Msg::ComputeLocal { qid };
+            ctx.send(self.id, tick.wire_bytes(), tick.encode());
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_answer(
+        &mut self,
+        from: usize,
+        qid: u32,
+        done: bool,
+        complete: bool,
+        points: SortedDataset,
+        ctx: &mut dyn Context,
+    ) {
+        let Some(state) = self.states.get_mut(&qid) else {
+            debug_assert!(false, "answer for unknown query {qid}");
+            return;
+        };
+        if !state.outstanding.contains(&from) {
+            // A straggler from a subtree we already abandoned (timeout) or
+            // never awaited: its data is lost, which the completeness flag
+            // already accounts for.
+            return;
+        }
+        state.complete &= complete;
+        let is_initiator = state.parent.is_none();
+        if state.variant.merges_progressively() || is_initiator {
+            if !points.is_empty() {
+                state.collected.push(points);
+            }
+        } else {
+            // Fixed merging at an interior node: relay toward the initiator
+            // (before any completion bookkeeping, so FIFO links preserve
+            // list-before-done ordering).
+            let parent = state.parent.expect("interior node has a parent");
+            if !points.is_empty() {
+                let relay = Msg::Answer { qid, done: false, complete, points };
+                ctx.send(parent, relay.wire_bytes(), relay.encode());
+            }
+        }
+        if done {
+            let state = self.states.get_mut(&qid).expect("state checked above");
+            state.outstanding.retain(|&c| c != from);
+            self.check_finalize(qid, ctx);
+        }
+    }
+
+    /// Start-of-run behavior for one of this node's own queries.
+    fn start_query(&mut self, init: InitQuery, ctx: &mut dyn Context) {
+        let qid = init.qid;
+        let prev = self.states.insert(
+            qid,
+            QueryState {
+                subspace: init.subspace,
+                variant: init.variant,
+                threshold: f64::INFINITY,
+                parent: None,
+                outstanding: Vec::new(),
+                local: None,
+                collected: Vec::new(),
+                finalized: false,
+                complete: true,
+            },
+        );
+        assert!(prev.is_none(), "duplicate query id {qid} in one run");
+        if init.variant.uses_threshold() {
+            // "P_init first executes the local subspace skyline computation
+            // to obtain an initial value for t, and then the query is
+            // forwarded" (Section 5.2.3).
+            self.compute_local(qid, ctx);
+            let sent = self.forward_query(qid, ctx);
+            self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
+            self.check_finalize(qid, ctx);
+        } else {
+            let sent = self.forward_query(qid, ctx);
+            self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
+            let tick = Msg::ComputeLocal { qid };
+            ctx.send(self.id, tick.wire_bytes(), tick.encode());
+        }
+    }
+}
+
+impl Behavior for SuperPeerNode {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        let inits = std::mem::take(&mut self.init_queries);
+        assert!(!inits.is_empty(), "on_start on a node without a query");
+        for init in inits {
+            self.start_query(init, ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
+        match Msg::decode(&msg) {
+            Some(Msg::Query { qid, subspace, threshold, variant }) => {
+                self.on_query(from, qid, subspace, threshold, variant, ctx);
+            }
+            Some(Msg::Answer { qid, done, complete, points }) => {
+                self.on_answer(from, qid, done, complete, points, ctx);
+            }
+            Some(Msg::DupAck { qid }) => {
+                let Some(state) = self.states.get_mut(&qid) else {
+                    debug_assert!(false, "dup-ack for unknown query {qid}");
+                    return;
+                };
+                state.outstanding.retain(|&c| c != from);
+                self.check_finalize(qid, ctx);
+            }
+            Some(Msg::ComputeLocal { qid }) => {
+                debug_assert!(self.states.contains_key(&qid));
+                self.compute_local(qid, ctx);
+                self.check_finalize(qid, ctx);
+            }
+            None => debug_assert!(false, "undecodable message from {from}"),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context) {
+        // The child timeout fired: abandon every subtree that has not
+        // closed yet and settle for an incomplete (but still dominance-
+        // correct) answer.
+        let qid = tag as u32;
+        let Some(state) = self.states.get_mut(&qid) else {
+            return;
+        };
+        if state.finalized || state.outstanding.is_empty() {
+            return;
+        }
+        state.outstanding.clear();
+        state.complete = false;
+        self.check_finalize(qid, ctx);
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use skypeer_netsim::cost::CostModel;
+    use skypeer_netsim::des::{LinkModel, Sim};
+    use skypeer_netsim::topology::Topology;
+    use skypeer_skyline::brute;
+
+    /// Builds one store per super-peer from deterministic pseudo-random
+    /// points, returning the stores plus the union for oracle checks.
+    fn stores(n: usize, points_each: usize) -> (Vec<Arc<SortedDataset>>, PointSet) {
+        let mut all = PointSet::new(3);
+        let mut x = 99u64;
+        let mut out = Vec::new();
+        for sp in 0..n {
+            let mut set = PointSet::new(3);
+            for i in 0..points_each {
+                let mut c = [0.0; 3];
+                for v in &mut c {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    *v = ((x >> 33) % 1000) as f64 / 100.0;
+                }
+                let id = (sp * points_each + i) as u64;
+                set.push(&c, id);
+                all.push(&c, id);
+            }
+            let ext = skypeer_skyline::extended::ext_skyline(&set, DominanceIndex::Linear);
+            out.push(Arc::new(ext.result));
+        }
+        (out, all)
+    }
+
+    fn run_on(
+        topo: &Topology,
+        stores: &[Arc<SortedDataset>],
+        initiator: usize,
+        variant: Variant,
+        u: Subspace,
+    ) -> (Vec<u64>, bool, skypeer_netsim::des::SimStats) {
+        let nodes: Vec<SuperPeerNode> = (0..topo.len())
+            .map(|sp| {
+                let init = (sp == initiator).then_some(InitQuery { qid: 9, subspace: u, variant });
+                SuperPeerNode::new(
+                    sp,
+                    topo.neighbors(sp).to_vec(),
+                    Arc::clone(&stores[sp]),
+                    DominanceIndex::Linear,
+                    init,
+                )
+            })
+            .collect();
+        let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(initiator);
+        let answer = out
+            .nodes
+            .into_iter()
+            .nth(initiator)
+            .expect("initiator")
+            .into_outcome()
+            .expect("query completed");
+        let mut ids: Vec<u64> =
+            (0..answer.result.len()).map(|i| answer.result.points().id(i)).collect();
+        ids.sort_unstable();
+        (ids, answer.complete, out.stats)
+    }
+
+    #[test]
+    fn triangle_topology_handles_dup_acks() {
+        // A 3-cycle guarantees at least one duplicate query delivery; the
+        // dup-ack path must still close every subtree.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let (stores, all) = stores(3, 20);
+        let u = Subspace::from_dims(&[0, 2]);
+        let want = brute::skyline_ids(&all, u, Dominance::Standard);
+        for variant in Variant::ALL {
+            let (ids, complete, _) = run_on(&topo, &stores, 0, variant, u);
+            assert_eq!(ids, want, "{variant}");
+            assert!(complete);
+        }
+    }
+
+    #[test]
+    fn deep_line_topology_chains_relays() {
+        // A 7-node line maximizes relay depth for the FM variants.
+        let edges: Vec<(usize, usize)> = (0..6).map(|i| (i, i + 1)).collect();
+        let topo = Topology::from_edges(7, &edges);
+        let (stores, all) = stores(7, 15);
+        let u = Subspace::full(3);
+        let want = brute::skyline_ids(&all, u, Dominance::Standard);
+        for initiator in [0, 3, 6] {
+            for variant in [Variant::Ftfm, Variant::Rtpm, Variant::Naive] {
+                let (ids, complete, _) = run_on(&topo, &stores, initiator, variant, u);
+                assert_eq!(ids, want, "init {initiator} {variant}");
+                assert!(complete);
+            }
+        }
+    }
+
+    #[test]
+    fn star_initiator_is_pure_fanout() {
+        let topo = Topology::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (stores, all) = stores(5, 15);
+        let u = Subspace::from_dims(&[1]);
+        let want = brute::skyline_ids(&all, u, Dominance::Standard);
+        let (ids, _, stats) = run_on(&topo, &stores, 0, Variant::Ftpm, u);
+        assert_eq!(ids, want);
+        // Star from the hub: 4 queries out, 4 answers back, one deferred
+        // self-compute per leaf (the FT initiator computes inline in
+        // on_start, so no self-message for the hub).
+        assert_eq!(stats.messages, 4 + 4 + 4);
+    }
+
+    #[test]
+    fn fm_relays_preserve_every_list() {
+        // On a line with the initiator at one end, every other node's local
+        // result must arrive (relayed) — count distinct contributing ids.
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (stores, all) = stores(4, 25);
+        let u = Subspace::from_dims(&[0, 1]);
+        let (ids, _, _) = run_on(&topo, &stores, 0, Variant::Ftfm, u);
+        assert_eq!(ids, brute::skyline_ids(&all, u, Dominance::Standard));
+    }
+
+    #[test]
+    fn timeout_on_healthy_network_changes_nothing() {
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (stores, all) = stores(4, 20);
+        let u = Subspace::from_dims(&[0, 2]);
+        let nodes: Vec<SuperPeerNode> = (0..4)
+            .map(|sp| {
+                let init =
+                    (sp == 0).then_some(InitQuery { qid: 1, subspace: u, variant: Variant::Rtpm });
+                SuperPeerNode::new(
+                    sp,
+                    topo.neighbors(sp).to_vec(),
+                    Arc::clone(&stores[sp]),
+                    DominanceIndex::Linear,
+                    init,
+                )
+                .with_child_timeout(3_600_000_000_000) // one simulated hour
+            })
+            .collect();
+        let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
+        let answer =
+            out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
+        assert!(answer.complete, "generous timeout must never fire on a healthy run");
+        let mut ids: Vec<u64> =
+            (0..answer.result.len()).map(|i| answer.result.points().id(i)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, brute::skyline_ids(&all, u, Dominance::Standard));
+    }
+
+    #[test]
+    fn late_answer_after_timeout_is_ignored() {
+        // Line 0-1-2 where node 2's answers are hugely delayed by a slow
+        // link; node 1 times out first, finalizes incomplete, then node
+        // 2's answer arrives and must be dropped without corrupting state.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let (stores, _) = stores(3, 20);
+        let u = Subspace::from_dims(&[0]);
+        let nodes: Vec<SuperPeerNode> = (0..3)
+            .map(|sp| {
+                let init =
+                    (sp == 0).then_some(InitQuery { qid: 1, subspace: u, variant: Variant::Ftpm });
+                SuperPeerNode::new(
+                    sp,
+                    topo.neighbors(sp).to_vec(),
+                    Arc::clone(&stores[sp]),
+                    DominanceIndex::Linear,
+                    init,
+                )
+                .with_child_timeout(1) // 1ns: fires before any child answers
+            })
+            .collect();
+        let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
+        let answer =
+            out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
+        assert!(!answer.complete, "instant timeout abandons all children");
+    }
+
+    #[test]
+    fn two_superpeers_minimal_network() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let (stores, all) = stores(2, 30);
+        let u = Subspace::full(3);
+        let want = brute::skyline_ids(&all, u, Dominance::Standard);
+        for variant in Variant::ALL {
+            let (ids, complete, stats) = run_on(&topo, &stores, 1, variant, u);
+            assert_eq!(ids, want, "{variant}");
+            assert!(complete);
+            assert!(stats.messages >= 2, "at least a query and an answer cross the link");
+        }
+    }
+}

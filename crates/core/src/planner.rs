@@ -1,0 +1,114 @@
+//! Query-local planning: choosing the dominance index.
+//!
+//! Algorithm 1 tests every scanned point against the skyline found so
+//! far. With a *small* expected skyline the linear window is faster (no
+//! tree maintenance, perfect locality); with a *large* one the R-tree's
+//! sub-linear window queries win — the trade-off the paper's Section 5.2.1
+//! motivates with "computationally expensive if the skyline set contains a
+//! large number of points and the dimensionality of the query is high".
+//!
+//! [`choose_index`] makes that call per query from the independence
+//! estimate of [`skypeer_skyline::estimate`]: it predicts the expected
+//! skyline size of the store's points projected onto the query subspace
+//! and switches to the R-tree beyond a calibrated window size.
+
+use skypeer_skyline::estimate::expected_skyline_size;
+use skypeer_skyline::{DominanceIndex, Subspace};
+
+/// Expected-window-size threshold above which the R-tree pays off. The
+/// criterion `skyline_kernels` bench puts the crossover for uniform data
+/// in the tens-of-points range on modern hardware; 48 is a conservative
+/// middle.
+pub const RTREE_THRESHOLD: f64 = 48.0;
+
+/// How a super-peer picks the dominance index for each query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IndexPolicy {
+    /// Always the given index.
+    Fixed(DominanceIndex),
+    /// Per-query: linear for small expected skylines, R-tree otherwise
+    /// (see [`choose_index`]).
+    #[default]
+    Auto,
+}
+
+impl IndexPolicy {
+    /// Resolves the policy for one query.
+    pub fn resolve(self, store_len: usize, u: Subspace) -> DominanceIndex {
+        match self {
+            IndexPolicy::Fixed(index) => index,
+            IndexPolicy::Auto => choose_index(store_len, u),
+        }
+    }
+}
+
+/// Chooses the dominance index for a scan of `store_len` points on
+/// subspace `u`, using the independence estimate of the skyline size as a
+/// proxy for the dominance-window size.
+pub fn choose_index(store_len: usize, u: Subspace) -> DominanceIndex {
+    let expected = expected_skyline_size(store_len, u.k());
+    if expected <= RTREE_THRESHOLD {
+        DominanceIndex::Linear
+    } else {
+        DominanceIndex::RTree
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use skypeer_data::{DatasetKind, DatasetSpec};
+    use skypeer_skyline::sorted::threshold_skyline;
+    use skypeer_skyline::{Dominance, SortedDataset};
+
+    #[test]
+    fn low_dimensional_queries_stay_linear() {
+        // k = 1..2 skylines are tiny at any realistic store size.
+        for n in [100usize, 10_000, 1_000_000] {
+            assert_eq!(choose_index(n, Subspace::from_dims(&[3])), DominanceIndex::Linear);
+            assert_eq!(choose_index(n, Subspace::from_dims(&[0, 1])), DominanceIndex::Linear);
+        }
+    }
+
+    #[test]
+    fn high_dimensional_large_stores_use_the_tree() {
+        assert_eq!(
+            choose_index(100_000, Subspace::from_dims(&[0, 1, 2, 3, 4])),
+            DominanceIndex::RTree
+        );
+        assert_eq!(choose_index(50_000, Subspace::full(6)), DominanceIndex::RTree);
+    }
+
+    #[test]
+    fn tiny_stores_stay_linear_even_in_high_dims() {
+        assert_eq!(choose_index(30, Subspace::full(8)), DominanceIndex::Linear);
+    }
+
+    #[test]
+    fn policy_resolution() {
+        let u = Subspace::full(6);
+        assert_eq!(
+            IndexPolicy::Fixed(DominanceIndex::Linear).resolve(1_000_000, u),
+            DominanceIndex::Linear
+        );
+        assert_eq!(IndexPolicy::Auto.resolve(50_000, u), DominanceIndex::RTree);
+        assert_eq!(IndexPolicy::default(), IndexPolicy::Auto);
+    }
+
+    #[test]
+    fn both_choices_are_equivalent_in_results() {
+        // Whatever the planner picks, the answers agree (the index is a
+        // performance choice only).
+        let spec =
+            DatasetSpec { dim: 6, points_per_peer: 400, kind: DatasetKind::Uniform, seed: 4 };
+        let set = spec.generate_peer(0, 0);
+        let sorted = SortedDataset::from_set(&set);
+        for u in [Subspace::from_dims(&[0, 5]), Subspace::full(6)] {
+            let lin =
+                threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+            let tree =
+                threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::RTree);
+            assert_eq!(lin.result, tree.result);
+        }
+    }
+}

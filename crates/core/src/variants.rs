@@ -1,0 +1,131 @@
+//! The SKYPEER variant matrix (Table 2 of the paper) plus the naive
+//! baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// Query-execution strategy run by every super-peer.
+///
+/// Two orthogonal choices (Section 5.2.3):
+///
+/// * **Threshold propagation** — *Fixed* (`FT*`): the initiator's threshold
+///   is forwarded unchanged; *Refined* (`RT*`): each super-peer first
+///   computes its local skyline, tightens the threshold, and only then
+///   forwards the query.
+/// * **Merging** — *Fixed* (`*FM`): all local results travel to the
+///   initiator, which merges them; *Progressive* (`*PM`): each super-peer
+///   merges its children's results with its own before replying.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Fixed threshold, fixed merging at the initiator.
+    Ftfm,
+    /// Fixed threshold, progressive merging.
+    Ftpm,
+    /// Refined threshold, fixed merging at the initiator.
+    Rtfm,
+    /// Refined threshold, progressive merging.
+    Rtpm,
+    /// The baseline of Section 3.2: local skyline computation over the
+    /// stored ext-skylines with no threshold, everything shipped to and
+    /// merged at the initiator with plain BNL.
+    Naive,
+}
+
+impl Variant {
+    /// All four SKYPEER variants (excluding the baseline), in Table 2
+    /// order.
+    pub const SKYPEER: [Variant; 4] = [Variant::Ftfm, Variant::Ftpm, Variant::Rtfm, Variant::Rtpm];
+
+    /// All five strategies, baseline last.
+    pub const ALL: [Variant; 5] =
+        [Variant::Ftfm, Variant::Ftpm, Variant::Rtfm, Variant::Rtpm, Variant::Naive];
+
+    /// Whether the threshold is refined at every super-peer (`RT*`).
+    pub fn refines_threshold(self) -> bool {
+        matches!(self, Variant::Rtfm | Variant::Rtpm)
+    }
+
+    /// Whether results are merged progressively (`*PM`).
+    pub fn merges_progressively(self) -> bool {
+        matches!(self, Variant::Ftpm | Variant::Rtpm)
+    }
+
+    /// Whether the threshold machinery is used at all.
+    pub fn uses_threshold(self) -> bool {
+        !matches!(self, Variant::Naive)
+    }
+
+    /// The paper's mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Variant::Ftfm => "FTFM",
+            Variant::Ftpm => "FTPM",
+            Variant::Rtfm => "RTFM",
+            Variant::Rtpm => "RTPM",
+            Variant::Naive => "naive",
+        }
+    }
+
+    /// Compact wire encoding.
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            Variant::Ftfm => 0,
+            Variant::Ftpm => 1,
+            Variant::Rtfm => 2,
+            Variant::Rtpm => 3,
+            Variant::Naive => 4,
+        }
+    }
+
+    /// Decodes [`Variant::to_wire`].
+    pub(crate) fn from_wire(v: u8) -> Option<Variant> {
+        Some(match v {
+            0 => Variant::Ftfm,
+            1 => Variant::Ftpm,
+            2 => Variant::Rtfm,
+            3 => Variant::Rtpm,
+            4 => Variant::Naive,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn table2_matrix() {
+        assert!(!Variant::Ftfm.refines_threshold() && !Variant::Ftfm.merges_progressively());
+        assert!(!Variant::Ftpm.refines_threshold() && Variant::Ftpm.merges_progressively());
+        assert!(Variant::Rtfm.refines_threshold() && !Variant::Rtfm.merges_progressively());
+        assert!(Variant::Rtpm.refines_threshold() && Variant::Rtpm.merges_progressively());
+    }
+
+    #[test]
+    fn naive_has_no_threshold() {
+        assert!(!Variant::Naive.uses_threshold());
+        for v in Variant::SKYPEER {
+            assert!(v.uses_threshold());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::from_wire(v.to_wire()), Some(v));
+        }
+        assert_eq!(Variant::from_wire(99), None);
+    }
+
+    #[test]
+    fn mnemonics_match_paper() {
+        let names: Vec<&str> = Variant::SKYPEER.iter().map(|v| v.mnemonic()).collect();
+        assert_eq!(names, vec!["FTFM", "FTPM", "RTFM", "RTPM"]);
+    }
+}

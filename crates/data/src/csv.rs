@@ -1,0 +1,224 @@
+//! CSV ingestion: load real datasets into a [`PointSet`].
+//!
+//! A deliberately small, dependency-free reader for the common case —
+//! numeric columns, one point per line, optional header, `#` comments.
+//! Values must be finite; minimization direction is the caller's business
+//! (invert "bigger is better" columns with [`invert_column`] before
+//! querying, as the hotel example does with ratings).
+
+use skypeer_skyline::PointSet;
+use std::io::BufRead;
+
+/// Options for [`read_points`].
+#[derive(Clone, Debug)]
+pub struct CsvOptions {
+    /// Column separator (default `,`).
+    pub separator: char,
+    /// Whether the first non-comment line is a header to skip.
+    pub has_header: bool,
+    /// Zero-based indices of the columns to load, in order. Empty means
+    /// "all columns".
+    pub columns: Vec<usize>,
+    /// Column holding the point id; `None` assigns sequential ids.
+    pub id_column: Option<usize>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { separator: ',', has_header: true, columns: Vec::new(), id_column: None }
+    }
+}
+
+/// A parse failure, with 1-based line number and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line where parsing failed (0 for structural errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Reads points from CSV text. Negative values are shifted to zero-based
+/// per column? No — they are an error: the skyline machinery requires
+/// non-negative values, and silent shifting would corrupt semantics.
+/// Pre-process your data instead (e.g. with [`invert_column`]).
+pub fn read_points<R: BufRead>(reader: R, opts: &CsvOptions) -> Result<PointSet, CsvError> {
+    let mut dim: Option<usize> = None;
+    let mut set: Option<PointSet> = None;
+    let mut next_id = 0u64;
+    let mut header_pending = opts.has_header;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| CsvError { line: lineno, message: e.to_string() })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if header_pending {
+            header_pending = false;
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(opts.separator).map(str::trim).collect();
+        let wanted: Vec<usize> = if opts.columns.is_empty() {
+            (0..fields.len()).filter(|i| Some(*i) != opts.id_column).collect()
+        } else {
+            opts.columns.clone()
+        };
+        if wanted.is_empty() {
+            return Err(CsvError { line: lineno, message: "no value columns selected".into() });
+        }
+        let d = *dim.get_or_insert(wanted.len());
+        if wanted.len() != d {
+            return Err(CsvError {
+                line: lineno,
+                message: format!("expected {d} columns, found {}", wanted.len()),
+            });
+        }
+        let mut coords = Vec::with_capacity(d);
+        for &c in &wanted {
+            let raw = fields.get(c).ok_or_else(|| CsvError {
+                line: lineno,
+                message: format!("missing column {c}"),
+            })?;
+            let v: f64 = raw.parse().map_err(|_| CsvError {
+                line: lineno,
+                message: format!("'{raw}' is not a number (column {c})"),
+            })?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(CsvError {
+                    line: lineno,
+                    message: format!("value {v} out of domain (finite, ≥ 0) in column {c}"),
+                });
+            }
+            coords.push(v);
+        }
+        let id = match opts.id_column {
+            Some(c) => {
+                let raw = fields.get(c).ok_or_else(|| CsvError {
+                    line: lineno,
+                    message: format!("missing id column {c}"),
+                })?;
+                raw.parse().map_err(|_| CsvError {
+                    line: lineno,
+                    message: format!("'{raw}' is not a valid id"),
+                })?
+            }
+            None => {
+                let id = next_id;
+                next_id += 1;
+                id
+            }
+        };
+        set.get_or_insert_with(|| PointSet::new(d)).push(&coords, id);
+    }
+    set.ok_or(CsvError { line: 0, message: "no data rows".into() })
+}
+
+/// Replaces column `col` with `max_over_column - value`, turning a
+/// "bigger is better" attribute into the min-domain the skyline expects.
+/// Returns the new point set (ids preserved).
+///
+/// # Panics
+///
+/// Panics if `col` is out of range.
+pub fn invert_column(set: &PointSet, col: usize) -> PointSet {
+    assert!(col < set.dim(), "column {col} out of range for dim {}", set.dim());
+    let max = (0..set.len()).map(|i| set.point(i)[col]).fold(0.0f64, f64::max);
+    let mut out = PointSet::with_capacity(set.dim(), set.len());
+    let mut buf = vec![0.0; set.dim()];
+    for (i, id, coords) in set.iter() {
+        buf.copy_from_slice(coords);
+        buf[col] = max - coords[col];
+        out.push(&buf, id);
+        let _ = i;
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn parse(text: &str, opts: &CsvOptions) -> Result<PointSet, CsvError> {
+        read_points(std::io::Cursor::new(text), opts)
+    }
+
+    #[test]
+    fn basic_csv_with_header() {
+        let set = parse("price,dist\n10,2.5\n20,1.0\n", &CsvOptions::default()).expect("parses");
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.dim(), 2);
+        assert_eq!(set.point(0), &[10.0, 2.5]);
+        assert_eq!(set.id(1), 1);
+    }
+
+    #[test]
+    fn comments_blanks_and_no_header() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let set = parse("# a comment\n\n1,2\n# mid comment\n3,4\n", &opts).expect("parses");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn column_selection_and_id_column() {
+        let opts = CsvOptions {
+            columns: vec![2, 1],
+            id_column: Some(0),
+            ..CsvOptions::default()
+        };
+        let set = parse("id,a,b\n100,1,2\n200,3,4\n", &opts).expect("parses");
+        assert_eq!(set.id(0), 100);
+        assert_eq!(set.point(0), &[2.0, 1.0], "columns load in requested order");
+    }
+
+    #[test]
+    fn id_column_excluded_from_values_by_default() {
+        let opts = CsvOptions { id_column: Some(0), ..CsvOptions::default() };
+        let set = parse("id,a,b\n7,1,2\n", &opts).expect("parses");
+        assert_eq!(set.dim(), 2);
+        assert_eq!(set.id(0), 7);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("a,b\n1,2\n1,oops\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("oops"));
+
+        let neg = parse("a,b\n-1,2\n", &CsvOptions::default()).unwrap_err();
+        assert!(neg.message.contains("out of domain"));
+
+        let ragged = parse("a,b\n1,2\n1,2,3\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(ragged.line, 3);
+
+        let empty = parse("a,b\n", &CsvOptions::default()).unwrap_err();
+        assert_eq!(empty.line, 0);
+    }
+
+    #[test]
+    fn custom_separator() {
+        let opts = CsvOptions { separator: ';', has_header: false, ..CsvOptions::default() };
+        let set = parse("1;2;3\n", &opts).expect("parses");
+        assert_eq!(set.dim(), 3);
+    }
+
+    #[test]
+    fn invert_column_flips_direction() {
+        let mut s = PointSet::new(2);
+        s.push(&[1.0, 9.0], 0); // rating 9 = best
+        s.push(&[2.0, 3.0], 1);
+        let inv = invert_column(&s, 1);
+        assert_eq!(inv.point(0), &[1.0, 0.0], "best rating becomes smallest value");
+        assert_eq!(inv.point(1), &[2.0, 6.0]);
+        assert_eq!(inv.id(0), 0);
+    }
+}

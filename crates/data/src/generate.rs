@@ -1,0 +1,233 @@
+//! Dataset generators.
+//!
+//! Per-peer generation: SKYPEER's clustered distribution is defined in
+//! terms of the network ("each super-peer picks cluster centroids randomly
+//! and all associated peers obtain points [around them]"), so the generator
+//! API produces data *per peer*, given the peer's super-peer assignment.
+//! The uniform/correlated/anticorrelated kinds simply ignore the
+//! assignment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+use skypeer_skyline::PointSet;
+
+/// The paper's Gaussian spread for clustered data (variance 0.025).
+pub const CLUSTER_STDDEV: f64 = 0.15811388300841897; // sqrt(0.025)
+
+/// Which synthetic distribution to draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Independent uniform coordinates in `[0, 1)`.
+    Uniform,
+    /// Per-super-peer Gaussian clusters (σ² = 0.025), clamped to `[0, 1]`.
+    Clustered {
+        /// How many centroids each super-peer draws.
+        centroids_per_superpeer: usize,
+    },
+    /// Correlated: points near the main diagonal (good on one dimension ⇒
+    /// good on the others). Tiny skylines.
+    Correlated,
+    /// Anticorrelated: points near the anti-diagonal plane (good on one
+    /// dimension ⇒ bad on others). Huge skylines — the adversarial case.
+    Anticorrelated,
+}
+
+/// A complete description of a horizontally-partitioned synthetic dataset.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dimensionality `d` of the full space.
+    pub dim: usize,
+    /// Points held by each peer (`n / N_p`; the paper default is 250).
+    pub points_per_peer: usize,
+    /// Distribution.
+    pub kind: DatasetKind,
+    /// Master seed; every peer derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's default workload: `d = 8`, 250 points/peer, uniform.
+    pub fn paper_default(seed: u64) -> Self {
+        DatasetSpec { dim: 8, points_per_peer: 250, kind: DatasetKind::Uniform, seed }
+    }
+
+    /// Generates the local dataset of one peer.
+    ///
+    /// * `peer` — global peer index (keys the RNG stream and point ids);
+    /// * `super_peer` — index of the super-peer the peer attaches to
+    ///   (selects the centroid pool for [`DatasetKind::Clustered`]).
+    ///
+    /// Point ids are globally unique: `peer * points_per_peer + i`.
+    pub fn generate_peer(&self, peer: usize, super_peer: usize) -> PointSet {
+        let mut rng = self.peer_rng(peer);
+        let mut set = PointSet::with_capacity(self.dim, self.points_per_peer);
+        let base_id = (peer * self.points_per_peer) as u64;
+        let mut buf = vec![0.0f64; self.dim];
+        match self.kind {
+            DatasetKind::Uniform => {
+                for i in 0..self.points_per_peer {
+                    for v in buf.iter_mut() {
+                        *v = rng.gen::<f64>();
+                    }
+                    set.push(&buf, base_id + i as u64);
+                }
+            }
+            DatasetKind::Clustered { centroids_per_superpeer } => {
+                let centroids = self.superpeer_centroids(super_peer, centroids_per_superpeer);
+                let normal = Normal::new(0.0, CLUSTER_STDDEV).expect("valid stddev");
+                for i in 0..self.points_per_peer {
+                    let c = &centroids[rng.gen_range(0..centroids.len())];
+                    for (v, &mu) in buf.iter_mut().zip(c) {
+                        *v = (mu + normal.sample(&mut rng)).clamp(0.0, 1.0);
+                    }
+                    set.push(&buf, base_id + i as u64);
+                }
+            }
+            DatasetKind::Correlated => {
+                for i in 0..self.points_per_peer {
+                    let base = rng.gen::<f64>();
+                    for v in buf.iter_mut() {
+                        // Jitter around the diagonal, clamped into the cube.
+                        *v = (base + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0);
+                    }
+                    set.push(&buf, base_id + i as u64);
+                }
+            }
+            DatasetKind::Anticorrelated => {
+                for i in 0..self.points_per_peer {
+                    // Draw on the plane Σv ≈ d/2 with per-axis jitter: a
+                    // point good on one axis is bad on the rest.
+                    let mut remaining = self.dim as f64 / 2.0;
+                    for (ax, v) in buf.iter_mut().enumerate() {
+                        let left = self.dim - ax - 1;
+                        let lo = (remaining - left as f64).max(0.0);
+                        let hi = remaining.min(1.0);
+                        *v = if lo >= hi { lo } else { rng.gen_range(lo..hi) };
+                        remaining -= *v;
+                    }
+                    set.push(&buf, base_id + i as u64);
+                }
+            }
+        }
+        set
+    }
+
+    /// The centroid pool of one super-peer: deterministic in the spec seed
+    /// and the super-peer index, shared by every attached peer.
+    pub fn superpeer_centroids(&self, super_peer: usize, count: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ 0x5bd1_e995_u64.wrapping_mul(super_peer as u64 + 1),
+        );
+        (0..count.max(1))
+            .map(|_| (0..self.dim).map(|_| rng.gen::<f64>()).collect())
+            .collect()
+    }
+
+    /// Independent RNG stream for one peer.
+    fn peer_rng(&self, peer: usize) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(peer as u64 + 1))
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn spec(kind: DatasetKind) -> DatasetSpec {
+        DatasetSpec { dim: 4, points_per_peer: 100, kind, seed: 7 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = spec(DatasetKind::Uniform);
+        assert_eq!(s.generate_peer(3, 0), s.generate_peer(3, 0));
+        assert_ne!(s.generate_peer(3, 0), s.generate_peer(4, 0), "peers get distinct streams");
+    }
+
+    #[test]
+    fn ids_are_globally_unique() {
+        let s = spec(DatasetKind::Uniform);
+        let a = s.generate_peer(0, 0);
+        let b = s.generate_peer(1, 0);
+        let mut ids: Vec<u64> = a.iter().chain(b.iter()).map(|(_, id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+        assert_eq!(ids[0], 0);
+        assert_eq!(ids[199], 199);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_cube() {
+        let s = spec(DatasetKind::Uniform);
+        let set = s.generate_peer(0, 0);
+        for (_, _, p) in set.iter() {
+            assert!(p.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn clustered_points_hug_their_centroids() {
+        let s = spec(DatasetKind::Clustered { centroids_per_superpeer: 2 });
+        let centroids = s.superpeer_centroids(5, 2);
+        let set = s.generate_peer(11, 5);
+        let mut near = 0;
+        for (_, _, p) in set.iter() {
+            let close = centroids.iter().any(|c| {
+                p.iter().zip(c).all(|(v, m)| (v - m).abs() < 4.0 * CLUSTER_STDDEV + 1e-9)
+            });
+            if close {
+                near += 1;
+            }
+        }
+        // Clamping can push points off-centroid, but the bulk must be close.
+        assert!(near as f64 >= 0.8 * set.len() as f64, "only {near}/100 near a centroid");
+    }
+
+    #[test]
+    fn clustered_same_superpeer_shares_centroids() {
+        let s = spec(DatasetKind::Clustered { centroids_per_superpeer: 3 });
+        assert_eq!(s.superpeer_centroids(2, 3), s.superpeer_centroids(2, 3));
+        assert_ne!(s.superpeer_centroids(2, 3), s.superpeer_centroids(3, 3));
+    }
+
+    #[test]
+    fn correlated_points_near_diagonal() {
+        let s = spec(DatasetKind::Correlated);
+        let set = s.generate_peer(0, 0);
+        for (_, _, p) in set.iter() {
+            let mean: f64 = p.iter().sum::<f64>() / p.len() as f64;
+            assert!(
+                p.iter().all(|v| (v - mean).abs() < 0.25),
+                "spread too large for correlated point {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anticorrelated_points_sum_to_half_dim() {
+        let s = spec(DatasetKind::Anticorrelated);
+        let set = s.generate_peer(0, 0);
+        for (_, _, p) in set.iter() {
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 2.0).abs() < 1e-6, "sum {sum} should be d/2 = 2");
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn anticorrelated_has_large_skyline() {
+        use skypeer_skyline::{bnl, Dominance, Subspace};
+        let uni = spec(DatasetKind::Uniform).generate_peer(0, 0);
+        let anti = spec(DatasetKind::Anticorrelated).generate_peer(0, 0);
+        let u = Subspace::full(4);
+        let sky_uni = bnl::skyline(&uni, u, Dominance::Standard).len();
+        let sky_anti = bnl::skyline(&anti, u, Dominance::Standard).len();
+        assert!(
+            sky_anti > sky_uni,
+            "anticorrelated skyline ({sky_anti}) should dwarf uniform ({sky_uni})"
+        );
+    }
+}

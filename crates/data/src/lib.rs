@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Synthetic datasets and query workloads for SKYPEER experiments.
+//!
+//! The paper evaluates on two synthetic collections (Section 6):
+//!
+//! * **uniform** — independent coordinates, uniform in the unit cube;
+//! * **clustered** — every super-peer draws random cluster centroids, and
+//!   the points of its attached peers follow an axis-wise Gaussian around a
+//!   centroid with variance 0.025.
+//!
+//! For broader coverage this crate also ships the two other classic
+//! skyline-literature distributions (Börzsönyi et al.): **correlated** and
+//! **anticorrelated**.
+//!
+//! Everything is seeded and deterministic: the same spec always produces
+//! the same bytes, which the tests and the figure harness rely on.
+
+pub mod csv;
+pub mod generate;
+pub mod partition;
+pub mod stats;
+pub mod workload;
+
+pub use csv::{read_points, CsvOptions};
+pub use generate::{DatasetKind, DatasetSpec};
+pub use partition::partition_even;
+pub use workload::{Query, WorkloadSpec};

@@ -1,0 +1,100 @@
+//! Horizontal partitioning helpers.
+//!
+//! The paper partitions the dataset "horizontally … evenly among the
+//! peers". The generators in [`crate::generate`] already produce data
+//! per peer; this module covers the inverse situation — distributing an
+//! existing point set across peers — which the examples use to feed real
+//! (non-synthetic-spec) data into the network.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use skypeer_skyline::PointSet;
+
+/// Splits `set` into `parts` point sets of near-equal size (sizes differ by
+/// at most one), preserving input order within each part.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn partition_even(set: &PointSet, parts: usize) -> Vec<PointSet> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let n = set.len();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut next = 0usize;
+    for p in 0..parts {
+        let take = base + usize::from(p < extra);
+        let indices: Vec<usize> = (next..next + take).collect();
+        out.push(set.gather(&indices));
+        next += take;
+    }
+    out
+}
+
+/// Like [`partition_even`], but shuffles the points first (seeded), so that
+/// ordered inputs don't produce skewed per-peer value ranges.
+pub fn partition_shuffled(set: &PointSet, parts: usize, seed: u64) -> Vec<PointSet> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let shuffled = set.gather(&order);
+    partition_even(&shuffled, parts)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn sample(n: usize) -> PointSet {
+        let mut s = PointSet::new(2);
+        for i in 0..n {
+            s.push(&[i as f64, (n - i) as f64], i as u64);
+        }
+        s
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let s = sample(103);
+        let parts = partition_even(&s, 10);
+        assert_eq!(parts.len(), 10);
+        let sizes: Vec<usize> = parts.iter().map(PointSet::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert_eq!(*sizes.iter().max().unwrap() - *sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn nothing_lost_or_duplicated() {
+        let s = sample(50);
+        for parts in [1, 3, 7, 50, 60] {
+            let split = partition_even(&s, parts);
+            let mut ids: Vec<u64> =
+                split.iter().flat_map(|p| p.iter().map(|(_, id, _)| id)).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..50).collect::<Vec<u64>>(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn more_parts_than_points_gives_empties() {
+        let s = sample(3);
+        let split = partition_even(&s, 5);
+        assert_eq!(split.iter().filter(|p| !p.is_empty()).count(), 3);
+        assert_eq!(split.iter().filter(|p| p.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn shuffled_partition_is_deterministic_and_complete() {
+        let s = sample(40);
+        let a = partition_shuffled(&s, 4, 9);
+        let b = partition_shuffled(&s, 4, 9);
+        assert_eq!(a, b);
+        let mut ids: Vec<u64> = a.iter().flat_map(|p| p.iter().map(|(_, id, _)| id)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..40).collect::<Vec<u64>>());
+        let c = partition_shuffled(&s, 4, 10);
+        assert_ne!(a, c, "different seed should shuffle differently");
+    }
+}

@@ -1,0 +1,161 @@
+//! Dataset statistics: per-dimension summaries and correlation structure.
+//!
+//! The skyline-friendliness of a dataset is a function of its correlation
+//! structure (Börzsönyi et al.): positively correlated dimensions give
+//! tiny skylines, anticorrelated ones give enormous skylines. These
+//! helpers characterize a [`PointSet`] so workloads can be sanity-checked
+//! against what their generator promises — the tests here pin down that
+//! every generator in this crate produces the correlation sign it
+//! advertises.
+
+use skypeer_skyline::PointSet;
+
+/// Per-dimension summary statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DimSummary {
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+/// Summarizes every dimension of `set`.
+///
+/// # Panics
+///
+/// Panics on an empty set (no meaningful summary exists).
+pub fn summarize(set: &PointSet) -> Vec<DimSummary> {
+    assert!(!set.is_empty(), "cannot summarize an empty point set");
+    let d = set.dim();
+    let n = set.len() as f64;
+    let mut mins = vec![f64::INFINITY; d];
+    let mut maxs = vec![f64::NEG_INFINITY; d];
+    let mut sums = vec![0.0f64; d];
+    for (_, _, p) in set.iter() {
+        for (i, &v) in p.iter().enumerate() {
+            mins[i] = mins[i].min(v);
+            maxs[i] = maxs[i].max(v);
+            sums[i] += v;
+        }
+    }
+    let means: Vec<f64> = sums.iter().map(|s| s / n).collect();
+    let mut sq = vec![0.0f64; d];
+    for (_, _, p) in set.iter() {
+        for (i, &v) in p.iter().enumerate() {
+            sq[i] += (v - means[i]).powi(2);
+        }
+    }
+    (0..d)
+        .map(|i| DimSummary {
+            min: mins[i],
+            max: maxs[i],
+            mean: means[i],
+            stddev: (sq[i] / n).sqrt(),
+        })
+        .collect()
+}
+
+/// Pearson correlation between dimensions `a` and `b` of `set`, in
+/// `[-1, 1]`. Returns 0 for degenerate (zero-variance) dimensions.
+///
+/// # Panics
+///
+/// Panics on an empty set or out-of-range dimensions.
+pub fn correlation(set: &PointSet, a: usize, b: usize) -> f64 {
+    assert!(!set.is_empty(), "cannot correlate an empty point set");
+    assert!(a < set.dim() && b < set.dim(), "dimension out of range");
+    let n = set.len() as f64;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for (_, _, p) in set.iter() {
+        sa += p[a];
+        sb += p[b];
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for (_, _, p) in set.iter() {
+        let (da, db) = (p[a] - ma, p[b] - mb);
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Mean pairwise Pearson correlation over all dimension pairs — a single
+/// scalar locating the dataset on the correlated ↔ anticorrelated axis.
+pub fn mean_pairwise_correlation(set: &PointSet) -> f64 {
+    let d = set.dim();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..d {
+        for b in (a + 1)..d {
+            total += correlation(set, a, b);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{DatasetKind, DatasetSpec};
+
+    fn generate(kind: DatasetKind) -> PointSet {
+        DatasetSpec { dim: 4, points_per_peer: 2000, kind, seed: 5 }.generate_peer(0, 0)
+    }
+
+    #[test]
+    fn summaries_are_consistent() {
+        let set = generate(DatasetKind::Uniform);
+        let sums = summarize(&set);
+        assert_eq!(sums.len(), 4);
+        for s in &sums {
+            assert!(s.min >= 0.0 && s.max < 1.0);
+            assert!((s.mean - 0.5).abs() < 0.05, "uniform mean ≈ 0.5, got {}", s.mean);
+            // Uniform stddev = 1/sqrt(12) ≈ 0.2887.
+            assert!((s.stddev - 0.2887).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_reflexive() {
+        let set = generate(DatasetKind::Uniform);
+        assert!((correlation(&set, 1, 1) - 1.0).abs() < 1e-12);
+        assert!((correlation(&set, 0, 2) - correlation(&set, 2, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generators_have_the_advertised_correlation_sign() {
+        let uni = mean_pairwise_correlation(&generate(DatasetKind::Uniform));
+        let cor = mean_pairwise_correlation(&generate(DatasetKind::Correlated));
+        let anti = mean_pairwise_correlation(&generate(DatasetKind::Anticorrelated));
+        assert!(uni.abs() < 0.1, "uniform should be uncorrelated, got {uni}");
+        assert!(cor > 0.5, "correlated generator too weak: {cor}");
+        assert!(anti < -0.1, "anticorrelated generator has the wrong sign: {anti}");
+    }
+
+    #[test]
+    fn degenerate_dimension_yields_zero() {
+        let mut s = PointSet::new(2);
+        s.push(&[1.0, 2.0], 0);
+        s.push(&[1.0, 5.0], 1);
+        assert_eq!(correlation(&s, 0, 1), 0.0, "zero variance on dim 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_set_panics() {
+        let _ = summarize(&PointSet::new(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Query workload generation.
+//!
+//! Section 6: "Given a query dimensionality, all dimension subsets have
+//! uniform probability to be requested. We generate 100 queries, and for
+//! each query a super-peer initiator is randomly selected."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use skypeer_skyline::Subspace;
+
+/// One subspace skyline query: the requested dimensions and the super-peer
+/// that initiates it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    /// Requested dimension set `U`.
+    pub subspace: Subspace,
+    /// Initiating super-peer index.
+    pub initiator: usize,
+}
+
+/// Specification of a query workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Dimensionality `d` of the data space.
+    pub dim: usize,
+    /// Query dimensionality `k ≤ d` (the paper default is 3).
+    pub k: usize,
+    /// Number of queries (the paper runs 100 per configuration).
+    pub queries: usize,
+    /// Number of super-peers to choose initiators from.
+    pub n_superpeers: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Generates the workload: uniformly random `k`-subsets of the `d`
+    /// dimensions and uniformly random initiators.
+    pub fn generate(&self) -> Vec<Query> {
+        assert!(self.k >= 1 && self.k <= self.dim, "invalid k={} for d={}", self.k, self.dim);
+        assert!(self.n_superpeers > 0, "need at least one super-peer");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dims: Vec<usize> = (0..self.dim).collect();
+        (0..self.queries)
+            .map(|_| {
+                dims.shuffle(&mut rng);
+                let subspace = Subspace::from_dims(&dims[..self.k]);
+                let initiator = rng.gen_range(0..self.n_superpeers);
+                Query { subspace, initiator }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec { dim: 8, k: 3, queries: 200, n_superpeers: 10, seed: 4 }
+    }
+
+    #[test]
+    fn queries_have_requested_dimensionality() {
+        for q in spec().generate() {
+            assert_eq!(q.subspace.k(), 3);
+            assert!(q.initiator < 10);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(spec().generate(), spec().generate());
+        let other = WorkloadSpec { seed: 5, ..spec() };
+        assert_ne!(spec().generate(), other.generate());
+    }
+
+    #[test]
+    fn subsets_cover_the_space() {
+        // With 200 draws of 3-of-8, every dimension should appear at least
+        // once and more than one distinct subspace should occur.
+        let qs = spec().generate();
+        let mut dim_seen = [false; 8];
+        let mut masks: Vec<u32> = qs.iter().map(|q| q.subspace.mask()).collect();
+        for q in &qs {
+            for d in q.subspace.dims() {
+                dim_seen[d] = true;
+            }
+        }
+        assert!(dim_seen.iter().all(|&s| s), "some dimension never requested");
+        masks.sort_unstable();
+        masks.dedup();
+        assert!(masks.len() > 10, "only {} distinct subspaces in 200 draws", masks.len());
+    }
+
+    #[test]
+    fn full_space_queries_allowed() {
+        let w = WorkloadSpec { dim: 3, k: 3, queries: 5, n_superpeers: 2, seed: 0 };
+        for q in w.generate() {
+            assert_eq!(q.subspace, Subspace::full(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k")]
+    fn oversized_k_rejected() {
+        let w = WorkloadSpec { dim: 3, k: 4, queries: 1, n_superpeers: 1, seed: 0 };
+        let _ = w.generate();
+    }
+
+    #[test]
+    fn initiators_spread_across_superpeers() {
+        let qs = spec().generate();
+        let mut seen = [false; 10];
+        for q in &qs {
+            seen[q.initiator] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 8, "initiators too concentrated");
+    }
+}

@@ -1,0 +1,106 @@
+//! Computation cost model: how much simulated service time a local
+//! computation consumes.
+//!
+//! The paper reports "skyline query processing computational time" of its
+//! Java implementation on 3 GHz Pentiums. We cannot (and need not)
+//! reproduce those absolute numbers; what matters is that the *relative*
+//! cost of the variants is driven by the same quantity — how much skyline
+//! work each node performs. Two models are provided:
+//!
+//! * [`CostModel::Analytic`] — deterministic: service time is a linear
+//!   function of kernel operation counts (dominance tests, points
+//!   scanned). The default coefficients are calibrated to a few tens of
+//!   nanoseconds per dominance test, the right order for the kernels in
+//!   `skypeer-skyline` on modern hardware.
+//! * [`CostModel::Measured`] — uses the actual wall time the Rust kernel
+//!   took, for when realism beats reproducibility.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Operation counts a node reports for one handler invocation. Mirrors
+/// `skypeer_skyline::sorted::KernelStats`, re-declared here so the network
+/// layer does not depend on the skyline crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkReport {
+    /// Pairwise dominance tests performed.
+    pub dominance_tests: u64,
+    /// Points read from inputs.
+    pub points_scanned: u64,
+    /// Wall time actually spent, when the caller measured it.
+    pub measured: Option<Duration>,
+}
+
+/// Translates a [`WorkReport`] into simulated service nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// `base + tests·per_test + points·per_point` nanoseconds.
+    Analytic {
+        /// Fixed per-invocation overhead (message handling, dispatch).
+        base_ns: u64,
+        /// Cost of one dominance test.
+        per_test_ns: u64,
+        /// Cost of scanning one point (sort access, projection, f-lookup).
+        per_point_ns: u64,
+    },
+    /// Use the measured wall time; falls back to `Analytic` defaults when
+    /// no measurement was supplied.
+    Measured,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::Analytic { base_ns: 20_000, per_test_ns: 30, per_point_ns: 20 }
+    }
+}
+
+impl CostModel {
+    /// Service time for one handler invocation.
+    pub fn service_ns(&self, work: &WorkReport) -> u64 {
+        match *self {
+            CostModel::Analytic { base_ns, per_test_ns, per_point_ns } => base_ns
+                .saturating_add(work.dominance_tests.saturating_mul(per_test_ns))
+                .saturating_add(work.points_scanned.saturating_mul(per_point_ns)),
+            CostModel::Measured => match work.measured {
+                Some(d) => d.as_nanos().min(u128::from(u64::MAX)) as u64,
+                None => CostModel::default().service_ns(work),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn analytic_is_linear_in_counts() {
+        let m = CostModel::Analytic { base_ns: 100, per_test_ns: 10, per_point_ns: 1 };
+        let w = WorkReport { dominance_tests: 5, points_scanned: 7, measured: None };
+        assert_eq!(m.service_ns(&w), 100 + 50 + 7);
+        assert_eq!(m.service_ns(&WorkReport::default()), 100);
+    }
+
+    #[test]
+    fn measured_uses_wall_time() {
+        let w = WorkReport {
+            dominance_tests: 1,
+            points_scanned: 1,
+            measured: Some(Duration::from_micros(3)),
+        };
+        assert_eq!(CostModel::Measured.service_ns(&w), 3_000);
+    }
+
+    #[test]
+    fn measured_falls_back_to_analytic() {
+        let w = WorkReport { dominance_tests: 10, points_scanned: 0, measured: None };
+        assert_eq!(CostModel::Measured.service_ns(&w), CostModel::default().service_ns(&w));
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let m = CostModel::Analytic { base_ns: u64::MAX, per_test_ns: u64::MAX, per_point_ns: 1 };
+        let w = WorkReport { dominance_tests: u64::MAX, points_scanned: u64::MAX, measured: None };
+        assert_eq!(m.service_ns(&w), u64::MAX);
+    }
+}

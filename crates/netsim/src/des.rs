@@ -1,0 +1,753 @@
+//! Deterministic discrete-event simulator.
+//!
+//! Nodes implement [`Behavior`]; the simulator delivers messages in global
+//! time order, models each node as a sequential processor (a node is busy
+//! while its handler's *service time* elapses), and charges every message a
+//! transfer delay of `latency + bytes / bandwidth` on its link — the
+//! paper's 4 KB/s-per-connection model.
+//!
+//! Determinism: given the same behaviors and inputs, runs are bit-for-bit
+//! identical. Time is `u64` nanoseconds; heap ties are broken by an
+//! insertion sequence number.
+//!
+//! Links are FIFO: two messages sent over the same directed link are
+//! delivered in send order even when the earlier one is larger (as a TCP
+//! connection would behave). SKYPEER's fixed-merging mode depends on this —
+//! a small "subtree complete" marker must not overtake a large relayed
+//! result list.
+
+use crate::cost::{CostModel, WorkReport};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulated time in nanoseconds since the start of a run.
+pub type SimTime = u64;
+
+/// Per-link transfer model: transferring a message occupies its directed
+/// link for `latency_ns + bytes · ns_per_byte`; concurrent messages on the
+/// same link queue behind each other (a 4 KB/s connection moves 4 KB per
+/// second *in total*, as the paper's model implies). Queuing also gives
+/// FIFO delivery per link for free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Fixed per-hop latency.
+    pub latency_ns: u64,
+    /// Nanoseconds per transferred byte.
+    pub ns_per_byte: u64,
+}
+
+impl LinkModel {
+    /// The paper's 4 KB/s connection bandwidth, zero base latency.
+    pub fn paper_4kbps() -> Self {
+        // 1 byte / 4096 B/s = 244140.625 ns; round to keep integer math.
+        LinkModel { latency_ns: 0, ns_per_byte: 244_141 }
+    }
+
+    /// Infinite bandwidth — used to measure computation-only response time.
+    pub fn zero_delay() -> Self {
+        LinkModel { latency_ns: 0, ns_per_byte: 0 }
+    }
+
+    /// Transfer delay for one message of `bytes`.
+    pub fn delay(&self, bytes: u64) -> u64 {
+        self.latency_ns.saturating_add(bytes.saturating_mul(self.ns_per_byte))
+    }
+}
+
+/// What a node can do while handling an event. Implemented by both the DES
+/// and the live runtime.
+pub trait Context {
+    /// This node's id.
+    fn node_id(&self) -> usize;
+    /// Current simulated (or wall) time.
+    fn now(&self) -> SimTime;
+    /// Sends `msg` (`bytes` long on the wire) to node `to`.
+    fn send(&mut self, to: usize, bytes: u64, msg: Vec<u8>);
+    /// Arms a one-shot timer: [`Behavior::on_timer`] fires on this node
+    /// with `tag` after `delay` (simulated or wall time). Timers are local
+    /// — they cost no messages and no bytes.
+    fn set_timer(&mut self, delay: SimTime, tag: u64);
+    /// Reports computation performed by this handler invocation; the
+    /// runtime turns it into service time via its [`CostModel`].
+    fn report_work(&mut self, work: WorkReport);
+    /// Declares the global computation finished (e.g. the query initiator
+    /// has the final answer). The runtime stops delivering messages.
+    fn finish(&mut self);
+}
+
+/// A node's protocol logic. Messages are byte buffers; protocol crates
+/// define their own typed envelope and (de)serialize at the boundary,
+/// which keeps this substrate independent of any particular protocol and
+/// makes wire sizes honest.
+pub trait Behavior {
+    /// Invoked once at start-of-run on the designated start node.
+    fn on_start(&mut self, _ctx: &mut dyn Context) {}
+    /// Invoked for every delivered message.
+    fn on_message(&mut self, from: usize, msg: Vec<u8>, ctx: &mut dyn Context);
+    /// Invoked when a timer armed via [`Context::set_timer`] expires.
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut dyn Context) {}
+}
+
+/// Per-node / per-link breakdowns, collected when
+/// [`Sim::with_breakdown`] is enabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimBreakdown {
+    /// Total computation service time per node, ns.
+    pub compute_ns: Vec<u64>,
+    /// Messages handled per node.
+    pub handled: Vec<u64>,
+    /// Bytes sent per directed link.
+    pub link_bytes: HashMap<(usize, usize), u64>,
+}
+
+impl SimBreakdown {
+    /// The busiest node by compute time, `(node, ns)`.
+    pub fn hottest_node(&self) -> Option<(usize, u64)> {
+        self.compute_ns.iter().copied().enumerate().max_by_key(|&(_, ns)| ns)
+    }
+
+    /// The busiest directed link by bytes, `((from, to), bytes)`.
+    pub fn hottest_link(&self) -> Option<((usize, usize), u64)> {
+        self.link_bytes.iter().map(|(&l, &b)| (l, b)).max_by_key(|&(_, b)| b)
+    }
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total bytes put on the wire.
+    pub bytes: u64,
+    /// Total computation service time across all nodes.
+    pub compute_ns_total: u64,
+    /// Simulated time at which [`Context::finish`] was called (response
+    /// time), if it was.
+    pub finished_at: Option<SimTime>,
+    /// Simulated time when the last event was processed.
+    pub last_event_at: SimTime,
+    /// Messages dropped by the failure-injection hook.
+    pub dropped: u64,
+}
+
+enum Payload {
+    Message { from: usize, msg: Vec<u8> },
+    Timer { tag: u64 },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    to: usize,
+    payload: Payload,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Outcome of [`Sim::run`]: final node states plus statistics.
+pub struct SimOutcome<B> {
+    /// The nodes after the run, for extracting protocol results.
+    pub nodes: Vec<B>,
+    /// Run statistics.
+    pub stats: SimStats,
+    /// Per-node / per-link breakdowns, when enabled.
+    pub breakdown: Option<SimBreakdown>,
+}
+
+/// Failure-injection callback: sees `(from, to, msg)` and returns `true`
+/// to drop the message.
+pub type DropHook = Box<dyn FnMut(usize, usize, &[u8]) -> bool>;
+
+/// Delivery observer: `(time, from, to, msg)` for every delivered message,
+/// in delivery order. For tracing, visualization, and protocol tests.
+pub type TraceHook = Box<dyn FnMut(SimTime, usize, usize, &[u8])>;
+
+/// The discrete-event simulator.
+pub struct Sim<B: Behavior> {
+    nodes: Vec<B>,
+    link: LinkModel,
+    cost: CostModel,
+    /// Optional failure injection.
+    drop_hook: Option<DropHook>,
+    /// Optional delivery observer.
+    trace_hook: Option<TraceHook>,
+    /// Nodes that crash at a given simulated time: after it, they neither
+    /// receive nor send, and their pending timers never fire.
+    fail_at: HashMap<usize, SimTime>,
+    /// Whether to collect per-node / per-link breakdowns.
+    breakdown: bool,
+    /// Safety valve against runaway protocols.
+    max_events: u64,
+}
+
+/// Context implementation handed to behaviors during DES runs.
+struct DesCtx {
+    node: usize,
+    now: SimTime,
+    outbox: Vec<(usize, u64, Vec<u8>)>,
+    timers: Vec<(SimTime, u64)>,
+    work: WorkReport,
+    /// How many times the handler declared a computation finished (one
+    /// handler can complete several concurrent queries).
+    finish: usize,
+}
+
+impl Context for DesCtx {
+    fn node_id(&self) -> usize {
+        self.node
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn send(&mut self, to: usize, bytes: u64, msg: Vec<u8>) {
+        self.outbox.push((to, bytes, msg));
+    }
+    fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+    fn report_work(&mut self, work: WorkReport) {
+        self.work.dominance_tests += work.dominance_tests;
+        self.work.points_scanned += work.points_scanned;
+        if let Some(d) = work.measured {
+            self.work.measured = Some(self.work.measured.unwrap_or_default() + d);
+        }
+    }
+    fn finish(&mut self) {
+        self.finish += 1;
+    }
+}
+
+impl<B: Behavior> Sim<B> {
+    /// Creates a simulator over `nodes` with the given link and cost
+    /// models.
+    pub fn new(nodes: Vec<B>, link: LinkModel, cost: CostModel) -> Self {
+        Sim {
+            nodes,
+            link,
+            cost,
+            drop_hook: None,
+            trace_hook: None,
+            fail_at: HashMap::new(),
+            breakdown: false,
+            max_events: 100_000_000,
+        }
+    }
+
+    /// Enables per-node compute and per-link byte breakdowns in the
+    /// outcome (small constant overhead per event).
+    pub fn with_breakdown(mut self) -> Self {
+        self.breakdown = true;
+        self
+    }
+
+    /// Installs a delivery observer invoked (in delivery order) for every
+    /// message that reaches a node.
+    pub fn with_trace_hook(
+        mut self,
+        hook: impl FnMut(SimTime, usize, usize, &[u8]) + 'static,
+    ) -> Self {
+        self.trace_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Crashes `node` at simulated time `at`: from then on it neither
+    /// receives nor sends messages and its timers are cancelled. Models
+    /// the peer failures the paper defers to future work.
+    pub fn with_node_failure(mut self, node: usize, at: SimTime) -> Self {
+        self.fail_at.insert(node, at);
+        self
+    }
+
+    /// Installs a failure-injection hook; it sees every message just before
+    /// delivery and returns `true` to drop it.
+    pub fn with_drop_hook(
+        mut self,
+        hook: impl FnMut(usize, usize, &[u8]) -> bool + 'static,
+    ) -> Self {
+        self.drop_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Caps the number of delivered events (default 10⁸).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Runs the simulation: `on_start` fires on `start` at t = 0, then
+    /// events are delivered until the queue drains, `finish` is called, or
+    /// the event cap trips.
+    pub fn run(self, start: usize) -> SimOutcome<B> {
+        self.run_multi(&[start], 1)
+    }
+
+    /// Runs with several start nodes (`on_start` fires on each at t = 0)
+    /// and stops once [`Context::finish`] has been called
+    /// `required_finishes` times — the makespan of a batch of concurrent
+    /// computations. `finished_at` reports the last of those finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts` is empty, contains duplicates or out-of-range
+    /// nodes, or if `required_finishes == 0`.
+    pub fn run_multi(mut self, starts: &[usize], required_finishes: usize) -> SimOutcome<B> {
+        assert!(!starts.is_empty(), "need at least one start node");
+        assert!(required_finishes >= 1, "need at least one required finish");
+        for (i, &s) in starts.iter().enumerate() {
+            assert!(s < self.nodes.len(), "start node {s} out of range");
+            assert!(!starts[..i].contains(&s), "duplicate start node {s}");
+        }
+        let mut stats = SimStats::default();
+        let mut breakdown = self.breakdown.then(|| SimBreakdown {
+            compute_ns: vec![0; self.nodes.len()],
+            handled: vec![0; self.nodes.len()],
+            link_bytes: HashMap::new(),
+        });
+        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut busy_until: Vec<SimTime> = vec![0; self.nodes.len()];
+        // Per directed link: when the link becomes free again. Transfers on
+        // one link serialize (and are therefore FIFO).
+        let mut link_free: HashMap<(usize, usize), SimTime> = HashMap::new();
+        let mut seq = 0u64;
+        let mut finishes_seen = 0usize;
+        let mut finished: Option<SimTime> = None;
+
+        // Start-of-run hooks on the initiators.
+        for &start in starts {
+            let mut ctx = DesCtx {
+                node: start,
+                now: busy_until[start],
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                work: WorkReport::default(),
+                finish: 0,
+            };
+            self.nodes[start].on_start(&mut ctx);
+            self.absorb_ctx(ctx, start, &mut stats, &mut breakdown, &mut busy_until, &mut link_free, &mut heap, &mut seq, &mut finishes_seen, &mut finished);
+        }
+
+        let mut delivered = 0u64;
+        while let Some(Reverse(ev)) = heap.pop() {
+            if finishes_seen >= required_finishes {
+                break;
+            }
+            if delivered >= self.max_events {
+                panic!("DES event cap exceeded: protocol is not terminating");
+            }
+            delivered += 1;
+            let node_dead =
+                |id: usize, t: SimTime, fail: &HashMap<usize, SimTime>| fail.get(&id).is_some_and(|&at| t >= at);
+            let (from, msg_or_timer) = match ev.payload {
+                Payload::Message { from, msg } => {
+                    if node_dead(from, ev.time, &self.fail_at) || node_dead(ev.to, ev.time, &self.fail_at) {
+                        stats.dropped += 1;
+                        continue;
+                    }
+                    if let Some(hook) = &mut self.drop_hook {
+                        if hook(from, ev.to, &msg) {
+                            stats.dropped += 1;
+                            continue;
+                        }
+                    }
+                    stats.messages += 1;
+                    if let Some(b) = &mut breakdown {
+                        b.handled[ev.to] += 1;
+                    }
+                    if let Some(hook) = &mut self.trace_hook {
+                        hook(ev.time, from, ev.to, &msg);
+                    }
+                    (from, Some(msg))
+                }
+                Payload::Timer { tag } => {
+                    if node_dead(ev.to, ev.time, &self.fail_at) {
+                        continue;
+                    }
+                    (tag as usize, None)
+                }
+            };
+            // The node is sequential: processing starts when it is free.
+            let begin = ev.time.max(busy_until[ev.to]);
+            let mut ctx = DesCtx {
+                node: ev.to,
+                now: begin,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                work: WorkReport::default(),
+                finish: 0,
+            };
+            match msg_or_timer {
+                Some(msg) => self.nodes[ev.to].on_message(from, msg, &mut ctx),
+                None => self.nodes[ev.to].on_timer(from as u64, &mut ctx),
+            }
+            self.absorb_ctx(ctx, ev.to, &mut stats, &mut breakdown, &mut busy_until, &mut link_free, &mut heap, &mut seq, &mut finishes_seen, &mut finished);
+        }
+        stats.finished_at = (finishes_seen >= required_finishes).then_some(finished.unwrap_or(0));
+        SimOutcome { nodes: self.nodes, stats, breakdown }
+    }
+
+    /// Applies a handler's effects: service time, outgoing messages (with
+    /// per-link transfer queuing), timers, and the finish flag.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_ctx(
+        &mut self,
+        ctx: DesCtx,
+        node: usize,
+        stats: &mut SimStats,
+        breakdown: &mut Option<SimBreakdown>,
+        busy_until: &mut [SimTime],
+        link_free: &mut HashMap<(usize, usize), SimTime>,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+        finishes_seen: &mut usize,
+        finished: &mut Option<SimTime>,
+    ) {
+        let service = self.cost.service_ns(&ctx.work);
+        stats.compute_ns_total += service;
+        if let Some(b) = breakdown.as_mut() {
+            b.compute_ns[node] += service;
+        }
+        let begin = ctx.now;
+        let end = begin + service;
+        busy_until[node] = end;
+        stats.last_event_at = stats.last_event_at.max(end);
+        if ctx.finish > 0 {
+            *finishes_seen += ctx.finish;
+            *finished = Some(finished.map_or(end, |f| f.max(end)));
+        }
+        for (to, bytes, msg) in ctx.outbox {
+            stats.bytes += bytes;
+            if let Some(b) = breakdown.as_mut() {
+                *b.link_bytes.entry((node, to)).or_insert(0) += bytes;
+            }
+            let free = link_free.entry((node, to)).or_insert(0);
+            let xfer_start = end.max(*free);
+            let arrive = xfer_start + self.link.delay(bytes);
+            *free = arrive;
+            heap.push(Reverse(Event {
+                time: arrive,
+                seq: *seq,
+                to,
+                payload: Payload::Message { from: node, msg },
+            }));
+            *seq += 1;
+        }
+        for (delay, tag) in ctx.timers {
+            heap.push(Reverse(Event {
+                time: end + delay,
+                seq: *seq,
+                to: node,
+                payload: Payload::Timer { tag },
+            }));
+            *seq += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    /// A relay ring: node i forwards a counter to (i+1) % n until it
+    /// reaches `hops`, then finishes.
+    struct Ring {
+        n: usize,
+        hops: u64,
+        seen: u64,
+    }
+
+    impl Behavior for Ring {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.send((ctx.node_id() + 1) % self.n, 100, vec![0]);
+        }
+        fn on_message(&mut self, _from: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
+            self.seen += 1;
+            let hop = msg[0] as u64 + 1;
+            ctx.report_work(WorkReport { dominance_tests: 10, points_scanned: 1, measured: None });
+            if hop >= self.hops {
+                ctx.finish();
+            } else {
+                ctx.send((ctx.node_id() + 1) % self.n, 100, vec![hop as u8]);
+            }
+        }
+    }
+
+    fn ring(n: usize, hops: u64) -> Vec<Ring> {
+        (0..n).map(|_| Ring { n, hops, seen: 0 }).collect()
+    }
+
+    #[test]
+    fn message_count_and_completion() {
+        let sim = Sim::new(ring(4, 6), LinkModel::zero_delay(), CostModel::default());
+        let out = sim.run(0);
+        assert_eq!(out.stats.messages, 6);
+        assert!(out.stats.finished_at.is_some());
+        assert_eq!(out.stats.bytes, 600);
+        let seen: u64 = out.nodes.iter().map(|n| n.seen).sum();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn transfer_delay_accumulates_per_hop() {
+        let link = LinkModel { latency_ns: 0, ns_per_byte: 10 };
+        let cost = CostModel::Analytic { base_ns: 0, per_test_ns: 0, per_point_ns: 0 };
+        let out = Sim::new(ring(3, 3), link, cost).run(0);
+        // 3 hops × 100 bytes × 10 ns/byte = 3000 ns of pure transfer.
+        assert_eq!(out.stats.finished_at, Some(3000));
+    }
+
+    #[test]
+    fn compute_time_accumulates_per_handler() {
+        let cost = CostModel::Analytic { base_ns: 1000, per_test_ns: 1, per_point_ns: 0 };
+        let out = Sim::new(ring(3, 4), LinkModel::zero_delay(), cost).run(0);
+        // on_start costs the base 1000 ns; then 4 handler invocations of
+        // 1000 + 10 tests = 1010 ns each.
+        assert_eq!(out.stats.compute_ns_total, 1000 + 4 * 1010);
+        assert_eq!(out.stats.finished_at, Some(1000 + 4 * 1010));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = Sim::new(ring(5, 20), LinkModel::paper_4kbps(), CostModel::default()).run(2);
+        let b = Sim::new(ring(5, 20), LinkModel::paper_4kbps(), CostModel::default()).run(2);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn drop_hook_loses_messages() {
+        let sim = Sim::new(ring(4, 8), LinkModel::zero_delay(), CostModel::default())
+            .with_drop_hook(|_, to, _| to == 2); // node 2 never hears anything
+        let out = sim.run(0);
+        assert!(out.stats.finished_at.is_none(), "the ring is broken, no completion");
+        assert_eq!(out.stats.dropped, 1);
+        assert_eq!(out.stats.messages, 1, "only the 0→1 hop is delivered");
+    }
+
+    /// Two messages arriving while a node is busy are processed back to
+    /// back in arrival order.
+    struct Sink {
+        got: Vec<(usize, SimTime)>,
+    }
+    struct Source;
+    enum Node {
+        Src(Source),
+        Snk(Sink),
+    }
+    impl Behavior for Node {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            if let Node::Src(_) = self {
+                ctx.send(1, 0, vec![1]);
+                ctx.send(1, 0, vec![2]);
+            }
+        }
+        fn on_message(&mut self, from: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
+            if let Node::Snk(s) = self {
+                s.got.push((msg[0] as usize, ctx.now()));
+                ctx.report_work(WorkReport {
+                    dominance_tests: 0,
+                    points_scanned: 100,
+                    measured: None,
+                });
+                let _ = from;
+            }
+        }
+    }
+
+    #[test]
+    fn busy_node_serializes_processing() {
+        let cost = CostModel::Analytic { base_ns: 0, per_test_ns: 0, per_point_ns: 10 };
+        let nodes = vec![Node::Src(Source), Node::Snk(Sink { got: Vec::new() })];
+        let out = Sim::new(nodes, LinkModel::zero_delay(), cost).run(0);
+        let Node::Snk(sink) = &out.nodes[1] else { panic!() };
+        assert_eq!(sink.got.len(), 2);
+        // First message starts at t=0, takes 1000 ns; second starts at 1000.
+        assert_eq!(sink.got[0], (1, 0));
+        assert_eq!(sink.got[1], (2, 1000));
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_simulated_time() {
+        struct Waiter {
+            fired: Vec<(u64, SimTime)>,
+        }
+        impl Behavior for Waiter {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.set_timer(5_000, 7);
+                ctx.set_timer(1_000, 3);
+            }
+            fn on_message(&mut self, _f: usize, _m: Vec<u8>, _c: &mut dyn Context) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut dyn Context) {
+                self.fired.push((tag, ctx.now()));
+                if self.fired.len() == 2 {
+                    ctx.finish();
+                }
+            }
+        }
+        let cost = CostModel::Analytic { base_ns: 0, per_test_ns: 0, per_point_ns: 0 };
+        let out =
+            Sim::new(vec![Waiter { fired: Vec::new() }], LinkModel::zero_delay(), cost).run(0);
+        let w = &out.nodes[0];
+        assert_eq!(w.fired, vec![(3, 1_000), (7, 5_000)], "timers fire in deadline order");
+        assert_eq!(out.stats.messages, 0, "timers are not messages");
+        assert_eq!(out.stats.bytes, 0);
+    }
+
+    #[test]
+    fn failed_node_goes_silent() {
+        // A ring with node 2 crashed at t = 0: the token never returns.
+        let sim = Sim::new(ring(4, 8), LinkModel::zero_delay(), CostModel::default())
+            .with_node_failure(2, 0);
+        let out = sim.run(0);
+        assert!(out.stats.finished_at.is_none());
+        assert!(out.stats.dropped >= 1, "the message into the dead node is dropped");
+        assert_eq!(out.stats.messages, 1, "only hop 0→1 is delivered; 1→2 is dropped");
+    }
+
+    #[test]
+    fn failure_time_is_respected() {
+        // Node 2 fails only after t = 10ms; a fast ring completes first.
+        let cost = CostModel::Analytic { base_ns: 10, per_test_ns: 0, per_point_ns: 0 };
+        let out = Sim::new(ring(4, 8), LinkModel::zero_delay(), cost)
+            .with_node_failure(2, 10_000_000)
+            .run(0);
+        assert!(out.stats.finished_at.is_some(), "failure scheduled after completion");
+    }
+
+    #[test]
+    fn dead_nodes_timers_never_fire() {
+        struct T {
+            fired: bool,
+        }
+        impl Behavior for T {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.set_timer(1_000, 1);
+                ctx.set_timer(10_000, 2);
+            }
+            fn on_message(&mut self, _f: usize, _m: Vec<u8>, _c: &mut dyn Context) {}
+            fn on_timer(&mut self, tag: u64, _c: &mut dyn Context) {
+                if tag == 2 {
+                    self.fired = true;
+                }
+            }
+        }
+        let out =
+            Sim::new(vec![T { fired: false }], LinkModel::zero_delay(), CostModel::default())
+                .with_node_failure(0, 5_000)
+                .run(0);
+        assert!(!out.nodes[0].fired, "timer past the crash must not fire");
+    }
+
+    #[test]
+    fn links_are_fifo_even_with_size_inversion() {
+        // Node 0 sends a huge message then a tiny one to node 1; despite the
+        // tiny one having a far smaller transfer delay, delivery order must
+        // match send order.
+        struct Src;
+        struct Dst {
+            got: Vec<u8>,
+        }
+        enum N {
+            Src(Src),
+            Dst(Dst),
+        }
+        impl Behavior for N {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                if let N::Src(_) = self {
+                    ctx.send(1, 1_000_000, vec![1]);
+                    ctx.send(1, 1, vec![2]);
+                }
+            }
+            fn on_message(&mut self, _f: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
+                if let N::Dst(d) = self {
+                    d.got.push(msg[0]);
+                    if d.got.len() == 2 {
+                        ctx.finish();
+                    }
+                }
+            }
+        }
+        let link = LinkModel { latency_ns: 0, ns_per_byte: 100 };
+        let out = Sim::new(vec![N::Src(Src), N::Dst(Dst { got: Vec::new() })], link, CostModel::default()).run(0);
+        let N::Dst(d) = &out.nodes[1] else { panic!() };
+        assert_eq!(d.got, vec![1, 2], "FIFO violated on a single link");
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap")]
+    fn runaway_protocol_trips_cap() {
+        struct Forever;
+        impl Behavior for Forever {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.send(0, 1, vec![]);
+            }
+            fn on_message(&mut self, _f: usize, _m: Vec<u8>, ctx: &mut dyn Context) {
+                ctx.send(0, 1, vec![]);
+            }
+        }
+        let _ = Sim::new(vec![Forever], LinkModel::zero_delay(), CostModel::default())
+            .with_max_events(1000)
+            .run(0);
+    }
+}
+
+#[cfg(test)]
+mod breakdown_tests {
+    use super::*;
+
+    struct Fan {
+        n: usize,
+    }
+    impl Behavior for Fan {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            for to in 1..self.n {
+                ctx.send(to, 100 * to as u64, vec![]);
+            }
+        }
+        fn on_message(&mut self, _f: usize, _m: Vec<u8>, ctx: &mut dyn Context) {
+            ctx.report_work(WorkReport {
+                dominance_tests: 10 * ctx.node_id() as u64,
+                points_scanned: 0,
+                measured: None,
+            });
+            if ctx.node_id() == 3 {
+                ctx.finish();
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_tracks_nodes_and_links() {
+        let cost = CostModel::Analytic { base_ns: 0, per_test_ns: 1, per_point_ns: 0 };
+        let nodes: Vec<Fan> = (0..4).map(|_| Fan { n: 4 }).collect();
+        let out = Sim::new(nodes, LinkModel::zero_delay(), cost).with_breakdown().run(0);
+        let b = out.breakdown.expect("breakdown enabled");
+        assert_eq!(b.compute_ns[1], 10);
+        assert_eq!(b.compute_ns[2], 20);
+        assert_eq!(b.compute_ns[3], 30);
+        assert_eq!(b.hottest_node(), Some((3, 30)));
+        assert_eq!(b.link_bytes[&(0, 2)], 200);
+        assert_eq!(b.hottest_link(), Some(((0, 3), 300)));
+        assert_eq!(b.handled[1] + b.handled[2] + b.handled[3], out.stats.messages);
+    }
+
+    #[test]
+    fn breakdown_off_by_default() {
+        let nodes: Vec<Fan> = (0..4).map(|_| Fan { n: 4 }).collect();
+        let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
+        assert!(out.breakdown.is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! Live threaded runtime: the same [`Behavior`] implementations as the
+//! DES, but on real OS threads with crossbeam channels.
+//!
+//! This runtime exists to demonstrate that the SKYPEER protocol logic is
+//! not a simulation artifact: every super-peer runs on its own thread,
+//! messages really race, and the result must still be exact. It is used by
+//! the integration tests (DES ↔ live agreement) and the `live_network`
+//! example. Scale it to hundreds of nodes, not tens of thousands — that is
+//! what the DES is for.
+
+use crate::cost::WorkReport;
+use crate::des::{Behavior, Context, SimTime};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+enum Envelope {
+    App { from: usize, msg: Vec<u8> },
+    Shutdown,
+}
+
+/// Statistics of a live run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiveStats {
+    /// Messages delivered to handlers.
+    pub messages: u64,
+    /// Bytes put on the wire (as declared by senders).
+    pub bytes: u64,
+    /// Wall-clock duration until `finish` was signalled.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a live run: the nodes (in id order) and statistics.
+pub struct LiveOutcome<B> {
+    /// Final node states.
+    pub nodes: Vec<B>,
+    /// Run statistics.
+    pub stats: LiveStats,
+}
+
+struct LiveCtx<'a> {
+    node: usize,
+    started: Instant,
+    senders: &'a [Sender<Envelope>],
+    bytes: &'a AtomicU64,
+    messages: &'a AtomicU64,
+    finish_tx: &'a Sender<()>,
+    /// Timers armed during this handler: (fire-at, tag).
+    timers: &'a mut Vec<(Instant, u64)>,
+}
+
+impl Context for LiveCtx<'_> {
+    fn node_id(&self) -> usize {
+        self.node
+    }
+    fn now(&self) -> SimTime {
+        self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+    fn send(&mut self, to: usize, bytes: u64, msg: Vec<u8>) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        // A send to a node that already shut down is a no-op, mirroring a
+        // network send to a departed peer.
+        let _ = self.senders[to].send(Envelope::App { from: self.node, msg });
+    }
+    fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((Instant::now() + Duration::from_nanos(delay), tag));
+    }
+    fn report_work(&mut self, _work: WorkReport) {
+        // Live time is real time; the report is informational here.
+    }
+    fn finish(&mut self) {
+        let _ = self.finish_tx.send(());
+    }
+}
+
+/// Runs `nodes` live: `on_start` fires on `start`, then every node
+/// processes its inbox on its own thread until some handler calls
+/// [`Context::finish`] (or `timeout` expires — the run then returns
+/// `None`, with node threads shut down either way).
+pub fn run_live<B>(nodes: Vec<B>, start: usize, timeout: Duration) -> Option<LiveOutcome<B>>
+where
+    B: Behavior + Send + 'static,
+{
+    run_live_multi(nodes, &[start], 1, timeout)
+}
+
+/// Multi-start live run: `on_start` fires on every node in `starts`, and
+/// the run succeeds once [`Context::finish`] has been signalled
+/// `required_finishes` times within `timeout` — live concurrent query
+/// batches.
+///
+/// # Panics
+///
+/// Panics on an empty or out-of-range `starts` list or
+/// `required_finishes == 0`.
+pub fn run_live_multi<B>(
+    nodes: Vec<B>,
+    starts: &[usize],
+    required_finishes: usize,
+    timeout: Duration,
+) -> Option<LiveOutcome<B>>
+where
+    B: Behavior + Send + 'static,
+{
+    assert!(!starts.is_empty(), "need at least one start node");
+    assert!(required_finishes >= 1, "need at least one required finish");
+    for &start in starts {
+        assert!(start < nodes.len(), "start node {start} out of range");
+    }
+    let n = nodes.len();
+    let started = Instant::now();
+    let bytes = Arc::new(AtomicU64::new(0));
+    let messages = Arc::new(AtomicU64::new(0));
+    let (finish_tx, finish_rx) = unbounded::<()>();
+
+    let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+
+    let mut handles = Vec::with_capacity(n);
+    for (id, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
+        let senders = Arc::clone(&senders);
+        let bytes = Arc::clone(&bytes);
+        let messages = Arc::clone(&messages);
+        let finish_tx = finish_tx.clone();
+        let is_start = starts.contains(&id);
+        handles.push(std::thread::spawn(move || {
+            // Pending timers for this node: (deadline, tag).
+            let mut timers: Vec<(Instant, u64)> = Vec::new();
+            if is_start {
+                let mut ctx = LiveCtx {
+                    node: id,
+                    started,
+                    senders: &senders,
+                    bytes: &bytes,
+                    messages: &messages,
+                    finish_tx: &finish_tx,
+                    timers: &mut timers,
+                };
+                node.on_start(&mut ctx);
+            }
+            loop {
+                // Fire any expired timers before blocking again.
+                let now = Instant::now();
+                while let Some(pos) = timers.iter().position(|(at, _)| *at <= now) {
+                    let (_, tag) = timers.swap_remove(pos);
+                    let mut fired: Vec<(Instant, u64)> = Vec::new();
+                    let mut ctx = LiveCtx {
+                        node: id,
+                        started,
+                        senders: &senders,
+                        bytes: &bytes,
+                        messages: &messages,
+                        finish_tx: &finish_tx,
+                        timers: &mut fired,
+                    };
+                    node.on_timer(tag, &mut ctx);
+                    timers.extend(fired);
+                }
+                // Block until the next message or the earliest deadline.
+                let env = match timers.iter().map(|(at, _)| *at).min() {
+                    Some(deadline) => {
+                        let wait = deadline.saturating_duration_since(Instant::now());
+                        match rx.recv_timeout(wait) {
+                            Ok(env) => env,
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    None => match rx.recv() {
+                        Ok(env) => env,
+                        Err(_) => break,
+                    },
+                };
+                match env {
+                    Envelope::App { from, msg } => {
+                        let mut armed: Vec<(Instant, u64)> = Vec::new();
+                        let mut ctx = LiveCtx {
+                            node: id,
+                            started,
+                            senders: &senders,
+                            bytes: &bytes,
+                            messages: &messages,
+                            finish_tx: &finish_tx,
+                            timers: &mut armed,
+                        };
+                        node.on_message(from, msg, &mut ctx);
+                        timers.extend(armed);
+                    }
+                    Envelope::Shutdown => break,
+                }
+            }
+            node
+        }));
+    }
+
+    let deadline = Instant::now() + timeout;
+    let mut finishes = 0usize;
+    while finishes < required_finishes {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match finish_rx.recv_timeout(remaining) {
+            Ok(()) => finishes += 1,
+            Err(_) => break,
+        }
+    }
+    let finished = finishes >= required_finishes;
+    // Shutdown goes through the same FIFO channels, so every message sent
+    // before the finish signal is processed first.
+    for tx in senders.iter() {
+        let _ = tx.send(Envelope::Shutdown);
+    }
+    let elapsed = started.elapsed();
+    let mut nodes: Vec<B> = Vec::with_capacity(n);
+    for h in handles {
+        nodes.push(h.join().expect("node thread panicked"));
+    }
+    finished.then_some(LiveOutcome {
+        nodes,
+        stats: LiveStats {
+            messages: messages.load(Ordering::Relaxed),
+            bytes: bytes.load(Ordering::Relaxed),
+            elapsed,
+        },
+    })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    struct Ring {
+        n: usize,
+        hops: u64,
+    }
+
+    impl Behavior for Ring {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.send((ctx.node_id() + 1) % self.n, 64, vec![0]);
+        }
+        fn on_message(&mut self, _from: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
+            let hop = u64::from(msg[0]) + 1;
+            if hop >= self.hops {
+                ctx.finish();
+            } else {
+                ctx.send((ctx.node_id() + 1) % self.n, 64, vec![hop as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_completes_live() {
+        let nodes: Vec<Ring> = (0..4).map(|_| Ring { n: 4, hops: 9 }).collect();
+        let out = run_live(nodes, 0, Duration::from_secs(5)).expect("ring must complete");
+        assert_eq!(out.stats.messages, 9);
+        assert_eq!(out.stats.bytes, 9 * 64);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        struct Mute;
+        impl Behavior for Mute {
+            fn on_message(&mut self, _f: usize, _m: Vec<u8>, _c: &mut dyn Context) {}
+        }
+        let out = run_live(vec![Mute, Mute], 0, Duration::from_millis(50));
+        assert!(out.is_none(), "nothing ever finishes");
+    }
+
+    #[test]
+    fn nodes_returned_in_id_order() {
+        struct Tag(usize);
+        impl Behavior for Tag {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.finish();
+            }
+            fn on_message(&mut self, _f: usize, _m: Vec<u8>, _c: &mut dyn Context) {}
+        }
+        let out =
+            run_live(vec![Tag(0), Tag(1), Tag(2)], 0, Duration::from_secs(1)).expect("finishes");
+        for (i, t) in out.nodes.iter().enumerate() {
+            assert_eq!(t.0, i);
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Super-peer topology generation and peer assignment.
+//!
+//! The paper uses the GT-ITM topology generator to create "well-connected
+//! random graphs of `N_sp` peers with a user-specified average connectivity
+//! (`DEG_sp`)". GT-ITM's flat random graphs are Waxman graphs: nodes are
+//! placed uniformly in the unit square and an edge `(u, v)` is accepted
+//! with probability `β · exp(−dist(u,v) / (α · L))`. We implement that
+//! model (plus a plain Erdős–Rényi alternative), target the requested
+//! average degree by drawing edges until `⌈N_sp · DEG_sp / 2⌉` are in
+//! place, and then splice any disconnected components together so the
+//! backbone is always connected — matching "well-connected".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which random-graph family to draw the backbone from.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TopologyModel {
+    /// Waxman graph (GT-ITM's flat random model). `alpha` controls how
+    /// sharply edge probability decays with distance; `beta` scales overall
+    /// density (only their combination relative to the target edge count
+    /// matters here, since we draw a fixed number of edges).
+    Waxman {
+        /// Distance-decay parameter, typically in `(0, 1]`.
+        alpha: f64,
+        /// Density parameter, typically in `(0, 1]`.
+        beta: f64,
+    },
+    /// Uniform random graph with a fixed number of edges, G(n, M).
+    ErdosRenyi,
+}
+
+/// Specification of a super-peer network.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Number of super-peers `N_sp`.
+    pub n_superpeers: usize,
+    /// Target average super-peer degree `DEG_sp` (paper: 4–7).
+    pub avg_degree: f64,
+    /// Graph family.
+    pub model: TopologyModel,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TopologySpec {
+    /// The paper's default backbone: Waxman graph, `DEG_sp = 4`.
+    pub fn paper_default(n_superpeers: usize, seed: u64) -> Self {
+        TopologySpec {
+            n_superpeers,
+            avg_degree: 4.0,
+            model: TopologyModel::Waxman { alpha: 0.4, beta: 0.6 },
+            seed,
+        }
+    }
+
+    /// Generates the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_superpeers == 0` or the requested degree is not
+    /// achievable (`avg_degree ≥ n_superpeers`).
+    pub fn generate(&self) -> Topology {
+        let n = self.n_superpeers;
+        assert!(n > 0, "need at least one super-peer");
+        assert!(
+            n == 1 || self.avg_degree < n as f64,
+            "average degree {} impossible with {} nodes",
+            self.avg_degree,
+            n
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let target_edges = ((n as f64 * self.avg_degree) / 2.0).round() as usize;
+        let max_edges = n * (n - 1) / 2;
+        let target_edges = target_edges.min(max_edges);
+
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut present = EdgeSet::new(n);
+
+        match self.model {
+            TopologyModel::Waxman { alpha, beta } => {
+                let coords: Vec<(f64, f64)> =
+                    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+                let l = f64::sqrt(2.0); // max distance in the unit square
+                let mut edges = 0usize;
+                let mut attempts = 0usize;
+                // Rejection-sample Waxman edges until the target count; the
+                // attempt cap guards against pathological parameters, after
+                // which we fall back to uniform edges.
+                while edges < target_edges && attempts < 200 * max_edges.max(1) {
+                    attempts += 1;
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u == v || present.contains(u, v) {
+                        continue;
+                    }
+                    let (ux, uy) = coords[u];
+                    let (vx, vy) = coords[v];
+                    let dist = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+                    let p = beta * (-dist / (alpha * l)).exp();
+                    if rng.gen::<f64>() < p {
+                        present.insert(u, v);
+                        adj[u].push(v);
+                        adj[v].push(u);
+                        edges += 1;
+                    }
+                }
+                fill_uniform(&mut rng, &mut adj, &mut present, target_edges, n);
+            }
+            TopologyModel::ErdosRenyi => {
+                fill_uniform(&mut rng, &mut adj, &mut present, target_edges, n);
+            }
+        }
+
+        let mut topo = Topology { adj };
+        topo.connect_components(&mut rng, &mut present);
+        topo
+    }
+}
+
+/// Upper-triangular bitmap of existing edges.
+struct EdgeSet {
+    n: usize,
+    bits: Vec<u64>,
+}
+
+impl EdgeSet {
+    fn new(n: usize) -> Self {
+        EdgeSet { n, bits: vec![0; (n * n).div_ceil(64)] }
+    }
+    fn key(&self, u: usize, v: usize) -> usize {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        a * self.n + b
+    }
+    fn contains(&self, u: usize, v: usize) -> bool {
+        let k = self.key(u, v);
+        self.bits[k / 64] & (1 << (k % 64)) != 0
+    }
+    fn insert(&mut self, u: usize, v: usize) {
+        let k = self.key(u, v);
+        self.bits[k / 64] |= 1 << (k % 64);
+    }
+}
+
+/// Adds uniformly random edges until `target` edges exist in total.
+fn fill_uniform(
+    rng: &mut StdRng,
+    adj: &mut [Vec<usize>],
+    present: &mut EdgeSet,
+    target: usize,
+    n: usize,
+) {
+    let mut edges: usize = adj.iter().map(|a| a.len()).sum::<usize>() / 2;
+    while edges < target {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || present.contains(u, v) {
+            continue;
+        }
+        present.insert(u, v);
+        adj[u].push(v);
+        adj[v].push(u);
+        edges += 1;
+    }
+}
+
+/// A generated super-peer backbone: undirected adjacency lists.
+///
+/// ```
+/// use skypeer_netsim::topology::TopologySpec;
+/// let topo = TopologySpec::paper_default(20, 42).generate();
+/// assert!(topo.is_connected());
+/// assert!((topo.avg_degree() - 4.0).abs() < 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from explicit undirected edges (for tests and
+    /// hand-crafted examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n && u != v, "bad edge ({u},{v}) for n={n}");
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        Topology { adj }
+    }
+
+    /// Number of super-peers.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbors of super-peer `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// BFS hop distances from `src` (`usize::MAX` for unreachable nodes).
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.adj.len()];
+        let mut q = VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS spanning tree rooted at `root`: `children[v]` lists the tree
+    /// children of `v` (deterministic: neighbors are visited in adjacency
+    /// order). Unreachable nodes have no parent and no children.
+    pub fn bfs_tree(&self, root: usize) -> Vec<Vec<usize>> {
+        let mut children = vec![Vec::new(); self.adj.len()];
+        let mut seen = vec![false; self.adj.len()];
+        let mut q = VecDeque::new();
+        seen[root] = true;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    children[u].push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        children
+    }
+
+    /// Whether every node can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Eccentricity of `src`: max BFS distance to any node.
+    pub fn eccentricity(&self, src: usize) -> usize {
+        self.bfs_distances(src).into_iter().max().unwrap_or(0)
+    }
+
+    /// Assigns `n_peers` peers to super-peers as evenly as possible
+    /// (the paper distributes data "evenly among the peers" and peers
+    /// among super-peers). Returns `peer → super-peer`.
+    pub fn assign_peers(&self, n_peers: usize) -> Vec<usize> {
+        (0..n_peers).map(|p| p % self.adj.len()).collect()
+    }
+
+    /// Skewed assignment: peer counts per super-peer follow a Zipf
+    /// distribution with exponent `s` (0 = even, 1 ≈ classic web skew).
+    /// Real super-peer networks are rarely balanced; this knob lets
+    /// experiments measure what imbalance does to SKYPEER's load.
+    pub fn assign_peers_skewed(&self, n_peers: usize, s: f64, seed: u64) -> Vec<usize> {
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let n_sp = self.adj.len();
+        let weights: Vec<f64> = (1..=n_sp).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        // Deterministic shuffled ranking of super-peers, so the heavy rank
+        // is not always node 0.
+        let mut order: Vec<usize> = (0..n_sp).collect();
+        {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        }
+        // Largest-remainder apportionment of n_peers over the weights.
+        let mut counts: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * n_peers as f64).floor() as usize)
+            .collect();
+        let mut assigned: usize = counts.iter().sum();
+        let mut remainders: Vec<(f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| ((w / total) * n_peers as f64 - counts[i] as f64, i))
+            .collect();
+        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite remainders"));
+        let mut r = 0;
+        while assigned < n_peers {
+            counts[remainders[r % n_sp].1] += 1;
+            assigned += 1;
+            r += 1;
+        }
+        let mut out = Vec::with_capacity(n_peers);
+        for (rank, &sp) in order.iter().enumerate() {
+            out.extend(std::iter::repeat_n(sp, counts[rank]));
+        }
+        out
+    }
+
+    /// Splices disconnected components together by linking a random node
+    /// of each smaller component to a random node of the first component.
+    fn connect_components(&mut self, rng: &mut StdRng, present: &mut EdgeSet) {
+        let n = self.adj.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let cid = components.len();
+            let mut members = vec![start];
+            comp[start] = cid;
+            let mut q = VecDeque::from([start]);
+            while let Some(u) = q.pop_front() {
+                for &v in &self.adj[u] {
+                    if comp[v] == usize::MAX {
+                        comp[v] = cid;
+                        members.push(v);
+                        q.push_back(v);
+                    }
+                }
+            }
+            components.push(members);
+        }
+        for extra in components.iter().skip(1) {
+            let u = extra[rng.gen_range(0..extra.len())];
+            let v = components[0][rng.gen_range(0..components[0].len())];
+            if !present.contains(u, v) {
+                present.insert(u, v);
+                self.adj[u].push(v);
+                self.adj[v].push(u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_connected_and_near_target_degree() {
+        for &n in &[5usize, 20, 100, 400] {
+            for &deg in &[4.0f64, 7.0] {
+                if deg >= n as f64 {
+                    continue;
+                }
+                for model in [
+                    TopologyModel::Waxman { alpha: 0.4, beta: 0.6 },
+                    TopologyModel::ErdosRenyi,
+                ] {
+                    let spec = TopologySpec { n_superpeers: n, avg_degree: deg, model, seed: 11 };
+                    let t = spec.generate();
+                    assert!(t.is_connected(), "n={n} deg={deg} model={model:?}");
+                    let got = t.avg_degree();
+                    assert!(
+                        (got - deg).abs() < 1.5,
+                        "n={n}: wanted avg degree ≈{deg}, got {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TopologySpec::paper_default(50, 3);
+        assert_eq!(spec.generate(), spec.generate());
+        let other = TopologySpec { seed: 4, ..spec };
+        assert_ne!(spec.generate(), other.generate());
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let spec = TopologySpec::paper_default(1, 0);
+        let t = spec.generate();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_connected());
+        assert_eq!(t.edge_count(), 0);
+    }
+
+    #[test]
+    fn higher_degree_means_shorter_paths() {
+        let lo = TopologySpec {
+            n_superpeers: 200,
+            avg_degree: 4.0,
+            model: TopologyModel::ErdosRenyi,
+            seed: 5,
+        }
+        .generate();
+        let hi = TopologySpec {
+            n_superpeers: 200,
+            avg_degree: 7.0,
+            model: TopologyModel::ErdosRenyi,
+            seed: 5,
+        }
+        .generate();
+        let ecc_lo: usize = (0..20).map(|i| lo.eccentricity(i)).sum();
+        let ecc_hi: usize = (0..20).map(|i| hi.eccentricity(i)).sum();
+        assert!(
+            ecc_hi <= ecc_lo,
+            "DEG_sp=7 should not have longer routing paths than DEG_sp=4 ({ecc_hi} vs {ecc_lo})"
+        );
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.bfs_distances(0), vec![0, 1, 2, 3]);
+        assert_eq!(t.eccentricity(1), 2);
+    }
+
+    #[test]
+    fn peer_assignment_is_even() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let homes = t.assign_peers(10);
+        assert_eq!(homes.len(), 10);
+        let counts = [0, 1, 2].map(|sp| homes.iter().filter(|&&h| h == sp).count());
+        assert_eq!(counts.iter().max().unwrap() - counts.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn skewed_assignment_is_complete_and_skewed() {
+        let t = Topology::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let homes = t.assign_peers_skewed(1000, 1.0, 7);
+        assert_eq!(homes.len(), 1000);
+        let counts: Vec<usize> =
+            (0..5).map(|sp| homes.iter().filter(|&&h| h == sp).count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        let max = *counts.iter().max().expect("counts");
+        let min = *counts.iter().min().expect("counts");
+        assert!(max > 3 * min, "Zipf(1) over 5 nodes should be clearly skewed: {counts:?}");
+        // Exponent 0 degenerates to an even split.
+        let even = t.assign_peers_skewed(1000, 0.0, 7);
+        let even_counts: Vec<usize> =
+            (0..5).map(|sp| even.iter().filter(|&&h| h == sp).count()).collect();
+        assert!(even_counts.iter().all(|&c| c == 200), "{even_counts:?}");
+    }
+
+    #[test]
+    fn skewed_assignment_is_deterministic() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.assign_peers_skewed(100, 0.8, 1), t.assign_peers_skewed(100, 0.8, 1));
+        assert_ne!(t.assign_peers_skewed(100, 0.8, 1), t.assign_peers_skewed(100, 0.8, 2));
+    }
+
+    #[test]
+    fn disconnected_input_gets_spliced() {
+        // Force a degenerate spec (0 target edges) — components must still
+        // be joined.
+        let spec = TopologySpec {
+            n_superpeers: 10,
+            avg_degree: 0.0,
+            model: TopologyModel::ErdosRenyi,
+            seed: 9,
+        };
+        let t = spec.generate();
+        assert!(t.is_connected());
+        assert!(t.edge_count() >= 9, "a spanning structure needs ≥ n−1 edges");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_loop_free() {
+        let t = TopologySpec::paper_default(80, 2).generate();
+        for u in 0..t.len() {
+            for &v in t.neighbors(u) {
+                assert_ne!(u, v, "self-loop at {u}");
+                assert!(t.neighbors(v).contains(&u), "asymmetric edge {u}->{v}");
+            }
+        }
+    }
+}

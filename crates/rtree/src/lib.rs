@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Main-memory R-tree with runtime-chosen dimensionality.
+//!
+//! SKYPEER's local subspace-skyline computation (Algorithm 1 of the paper)
+//! performs two hot operations against the set of skyline points found so
+//! far:
+//!
+//! 1. *is the candidate dominated by any current skyline point?* — a window
+//!    query over the box `[origin, candidate]`, and
+//! 2. *drop every current skyline point the candidate dominates* — a window
+//!    query over the box `[candidate, +inf)` followed by deletions.
+//!
+//! The paper performs both "in a way similar to traditional window queries
+//! using a main-memory R-tree with dimensionality equal to the query
+//! dimensionality" (Section 5.2.1). This crate provides exactly that
+//! substrate: a Guttman R-tree held entirely in memory, with quadratic-split
+//! insertion, deletion with orphan reinsertion, STR bulk loading, window
+//! queries, and the two dominance-specific queries above.
+//!
+//! The tree stores points (degenerate rectangles) tagged with a `u64`
+//! identifier. Dimensionality is fixed per tree at construction but chosen
+//! at runtime, because the query dimensionality `k = |U|` varies per query.
+//!
+//! # Example
+//!
+//! ```
+//! use skypeer_rtree::RTree;
+//!
+//! let mut tree = RTree::new(2);
+//! tree.insert(&[1.0, 4.0], 1);
+//! tree.insert(&[3.0, 2.0], 2);
+//! tree.insert(&[4.0, 4.0], 3);
+//!
+//! // (4,4) is dominated by both (1,4) and (3,2).
+//! assert!(tree.is_dominated(&[4.0, 4.0]));
+//! // (0.5, 0.5) dominates everything.
+//! let gone = tree.remove_dominated_by(&[0.5, 0.5]);
+//! assert_eq!(gone.len(), 3);
+//! assert!(tree.is_empty());
+//! ```
+
+mod rect;
+mod tree;
+
+pub use rect::Rect;
+pub use tree::{NodeRef, RTree, TreeStats};
+
+#[cfg(test)]
+mod tests;

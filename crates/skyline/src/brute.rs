@@ -1,0 +1,128 @@
+//! Quadratic brute-force skyline oracles.
+//!
+//! These are the ground truth every optimized kernel and the whole
+//! distributed protocol are tested against. They do the obvious O(n²)
+//! pairwise scan and nothing clever.
+
+use crate::dominance::Dominance;
+use crate::point::PointSet;
+use crate::subspace::Subspace;
+
+/// Indices of the points of `set` not dominated by any other point on `u`,
+/// under the given dominance flavour, in input order.
+pub fn skyline_indices(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<usize> {
+    (0..set.len())
+        .filter(|&i| {
+            let p = set.point(i);
+            !(0..set.len()).any(|j| j != i && flavour.dominates(set.point(j), p, u))
+        })
+        .collect()
+}
+
+/// Identifiers (sorted, deduplicated) of the skyline of `set` on `u`.
+pub fn skyline_ids(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<u64> {
+    let mut ids: Vec<u64> = skyline_indices(set, u, flavour)
+        .into_iter()
+        .map(|i| set.id(i))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// The union of the skylines of *every* non-empty subspace of `u` —
+/// the set the extended skyline must cover (Observation 4). Exponential in
+/// `u.k()`; test-sized inputs only.
+pub fn all_subspace_skyline_ids(set: &PointSet, u: Subspace) -> Vec<u64> {
+    let dims: Vec<usize> = u.dims().collect();
+    let mut ids: Vec<u64> = Vec::new();
+    for mask in 1u32..(1 << dims.len()) {
+        let sub_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| mask & (1 << *b) != 0)
+            .map(|(_, &d)| d)
+            .collect();
+        let v = Subspace::from_dims(&sub_dims);
+        ids.extend(skyline_ids(set, v, Dominance::Standard));
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn paper_peer_a() -> PointSet {
+        // Peer P_A of the paper's Figure 2 (4-dimensional).
+        let mut s = PointSet::new(4);
+        s.push(&[2.0, 2.0, 2.0, 2.0], 1); // A1
+        s.push(&[1.0, 3.0, 2.0, 3.0], 2); // A2
+        s.push(&[1.0, 3.0, 5.0, 4.0], 3); // A3
+        s.push(&[2.0, 3.0, 2.0, 1.0], 4); // A4
+        s.push(&[5.0, 2.0, 4.0, 1.0], 5); // A5
+        s
+    }
+
+    #[test]
+    fn figure2_peer_a_skyline_and_ext_skyline() {
+        let s = paper_peer_a();
+        let d = Subspace::full(4);
+        // Four of the five points are skyline points; A3 is dominated by A2.
+        let sky = skyline_ids(&s, d, Dominance::Standard);
+        assert_eq!(sky, vec![1, 2, 4, 5]);
+        // The paper: A3 is nevertheless an ext-skyline point (ties with A2).
+        let ext = skyline_ids(&s, d, Dominance::Extended);
+        assert_eq!(ext, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn figure2_peer_c() {
+        // Peer P_C of Figure 2: "for P_C the skyline point is C4, while the
+        // ext-skyline points are C4 and C5". Reconstructed values with that
+        // property: C5 ties C4 on the last dimension, so it is dominated
+        // but not ext-dominated.
+        let mut s = PointSet::new(4);
+        s.push(&[5.0, 7.0, 5.0, 8.0], 1); // C1
+        s.push(&[7.0, 7.0, 7.0, 5.0], 2); // C2
+        s.push(&[7.0, 7.0, 7.0, 7.0], 3); // C3
+        s.push(&[1.0, 1.0, 3.0, 4.0], 4); // C4
+        s.push(&[6.0, 6.0, 6.0, 4.0], 5); // C5
+        let d = Subspace::full(4);
+        let sky = skyline_ids(&s, d, Dominance::Standard);
+        assert_eq!(sky, vec![4], "only C4 is undominated");
+        let ext = skyline_ids(&s, d, Dominance::Extended);
+        assert_eq!(ext, vec![4, 5], "C5 joins the ext-skyline via its tie with C4");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = PointSet::new(2);
+        assert!(skyline_indices(&s, Subspace::full(2), Dominance::Standard).is_empty());
+        let mut s1 = PointSet::new(2);
+        s1.push(&[4.0, 4.0], 9);
+        assert_eq!(skyline_ids(&s1, Subspace::full(2), Dominance::Standard), vec![9]);
+    }
+
+    #[test]
+    fn duplicates_all_survive_standard_dominance() {
+        let mut s = PointSet::new(2);
+        s.push(&[1.0, 1.0], 1);
+        s.push(&[1.0, 1.0], 2);
+        s.push(&[2.0, 2.0], 3);
+        assert_eq!(skyline_ids(&s, Subspace::full(2), Dominance::Standard), vec![1, 2]);
+    }
+
+    #[test]
+    fn all_subspace_union_within_ext_skyline() {
+        let s = paper_peer_a();
+        let d = Subspace::full(4);
+        let union = all_subspace_skyline_ids(&s, d);
+        let ext = skyline_ids(&s, d, Dominance::Extended);
+        for id in &union {
+            assert!(ext.contains(id), "Observation 4 violated for id {id}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Constrained subspace skylines.
+//!
+//! The paper's related work (Dellis et al., CIKM'06, its reference [6])
+//! poses *constrained* subspace skylines — skylines over the subset of
+//! points falling inside per-dimension value ranges — as "the
+//! generalization of all meaningful skyline queries over a given dataset".
+//! This module implements them for the centralized engines.
+//!
+//! **Important negative result** (tested in
+//! `ext_skyline_cannot_answer_constrained_queries`): SKYPEER's extended
+//! skyline is *not* sufficient to answer constrained queries. A constraint
+//! window can exclude a dominator while retaining the points it dominated;
+//! those points then belong to the constrained skyline, but the
+//! preprocessing has already discarded them. Supporting constrained
+//! queries in a SKYPEER-like system requires shipping more than the
+//! ext-skyline, which is exactly why the paper scopes its guarantee to
+//! unconstrained subspace skylines.
+
+use crate::dominance::Dominance;
+use crate::point::PointSet;
+use crate::subspace::Subspace;
+use serde::{Deserialize, Serialize};
+
+/// A closed per-dimension interval constraint. Dimensions absent from the
+/// map are unconstrained.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintBox {
+    /// `(dimension, lo, hi)` triples, `lo <= hi`.
+    ranges: Vec<(usize, f64, f64)>,
+}
+
+impl ConstraintBox {
+    /// The unconstrained box.
+    pub fn unconstrained() -> Self {
+        ConstraintBox { ranges: Vec::new() }
+    }
+
+    /// Adds a range constraint on one dimension (replacing any previous
+    /// constraint on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn with_range(mut self, dim: usize, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi}]");
+        self.ranges.retain(|(d, _, _)| *d != dim);
+        self.ranges.push((dim, lo, hi));
+        self
+    }
+
+    /// Whether `p` satisfies every range.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        self.ranges.iter().all(|&(d, lo, hi)| d < p.len() && p[d] >= lo && p[d] <= hi)
+    }
+
+    /// Number of constrained dimensions.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether no dimension is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Computes the constrained subspace skyline: the skyline (on `u`, under
+/// `flavour`) of the points of `set` satisfying `constraints`. Returns
+/// sorted identifiers.
+pub fn constrained_skyline_ids(
+    set: &PointSet,
+    u: Subspace,
+    constraints: &ConstraintBox,
+    flavour: Dominance,
+) -> Vec<u64> {
+    let eligible: Vec<usize> =
+        (0..set.len()).filter(|&i| constraints.contains(set.point(i))).collect();
+    let filtered = set.gather(&eligible);
+    crate::bnl::skyline_ids(&filtered, u, flavour)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::extended::ext_skyline;
+    use crate::sorted::DominanceIndex;
+
+    fn sample() -> PointSet {
+        let mut s = PointSet::new(2);
+        s.push(&[1.0, 1.0], 0); // global skyline point
+        s.push(&[2.0, 3.0], 1); // dominated by 0 (and ext-dominated)
+        s.push(&[3.0, 2.0], 2); // dominated by 0 (and ext-dominated)
+        s.push(&[5.0, 5.0], 3); // dominated by everyone
+        s
+    }
+
+    #[test]
+    fn unconstrained_equals_plain_skyline() {
+        let s = sample();
+        let u = Subspace::full(2);
+        assert_eq!(
+            constrained_skyline_ids(&s, u, &ConstraintBox::unconstrained(), Dominance::Standard),
+            crate::brute::skyline_ids(&s, u, Dominance::Standard)
+        );
+    }
+
+    #[test]
+    fn constraints_filter_before_dominance() {
+        let s = sample();
+        let u = Subspace::full(2);
+        // Exclude the global winner: the previously-dominated points form
+        // the constrained skyline.
+        let c = ConstraintBox::unconstrained().with_range(0, 1.5, 10.0);
+        assert_eq!(
+            constrained_skyline_ids(&s, u, &c, Dominance::Standard),
+            vec![1, 2],
+            "with (1,1) excluded, (2,3) and (3,2) are undominated"
+        );
+    }
+
+    #[test]
+    fn empty_window_gives_empty_skyline() {
+        let s = sample();
+        let c = ConstraintBox::unconstrained().with_range(0, 100.0, 200.0);
+        assert!(constrained_skyline_ids(&s, Subspace::full(2), &c, Dominance::Standard)
+            .is_empty());
+    }
+
+    #[test]
+    fn repeated_range_on_same_dim_replaces() {
+        let c = ConstraintBox::unconstrained()
+            .with_range(0, 0.0, 1.0)
+            .with_range(0, 5.0, 6.0);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(&[5.5, 0.0]));
+        assert!(!c.contains(&[0.5, 0.0]));
+    }
+
+    /// The negative result: the extended skyline loses points that
+    /// constrained queries need.
+    #[test]
+    fn ext_skyline_cannot_answer_constrained_queries() {
+        let s = sample();
+        let u = Subspace::full(2);
+        // The preprocessing keeps only the ext-skyline...
+        let stored = ext_skyline(&s, DominanceIndex::Linear).result;
+        let stored_ids: Vec<u64> = (0..stored.len()).map(|i| stored.points().id(i)).collect();
+        assert_eq!(stored_ids, vec![0], "only (1,1) survives ext-domination");
+        // ...but the constrained query needs points the store discarded.
+        let c = ConstraintBox::unconstrained().with_range(0, 1.5, 10.0);
+        let truth = constrained_skyline_ids(&s, u, &c, Dominance::Standard);
+        let from_store = constrained_skyline_ids(stored.points(), u, &c, Dominance::Standard);
+        assert_eq!(truth, vec![1, 2]);
+        assert!(from_store.is_empty(), "the store cannot reconstruct the constrained answer");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_rejected() {
+        let _ = ConstraintBox::unconstrained().with_range(0, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Divide & conquer skyline (the D&C scheme of Börzsönyi et al., ICDE'01).
+//!
+//! Recursively splits the input in half, computes each half's skyline, and
+//! merges by mutual filtering: a point survives iff no point of the *other*
+//! half's skyline dominates it. Points within one half have already been
+//! filtered against each other by the recursion, so the merge only needs
+//! cross-half tests.
+
+use crate::dominance::Dominance;
+use crate::point::PointSet;
+use crate::subspace::Subspace;
+
+/// Below this size the recursion bottoms out into a direct BNL pass.
+const LEAF_SIZE: usize = 16;
+
+/// Computes the skyline of `set` on `u` under `flavour`, returning indices
+/// into `set`.
+pub fn skyline(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<usize> {
+    let indices: Vec<usize> = (0..set.len()).collect();
+    rec(set, &indices, u, flavour)
+}
+
+fn rec(set: &PointSet, indices: &[usize], u: Subspace, flavour: Dominance) -> Vec<usize> {
+    if indices.len() <= LEAF_SIZE {
+        return leaf(set, indices, u, flavour);
+    }
+    let mid = indices.len() / 2;
+    let left = rec(set, &indices[..mid], u, flavour);
+    let right = rec(set, &indices[mid..], u, flavour);
+    merge_halves(set, left, right, u, flavour)
+}
+
+/// BNL over an index slice.
+fn leaf(set: &PointSet, indices: &[usize], u: Subspace, flavour: Dominance) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'outer: for &i in indices {
+        let p = set.point(i);
+        let mut w = 0;
+        while w < window.len() {
+            let c = set.point(window[w]);
+            if flavour.dominates(c, p, u) {
+                continue 'outer;
+            }
+            if flavour.dominates(p, c, u) {
+                window.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        window.push(i);
+    }
+    window
+}
+
+/// Mutual filter: keep the points of each half not dominated by the other
+/// half's skyline.
+fn merge_halves(
+    set: &PointSet,
+    left: Vec<usize>,
+    right: Vec<usize>,
+    u: Subspace,
+    flavour: Dominance,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend(left.iter().copied().filter(|&i| {
+        let p = set.point(i);
+        !right.iter().any(|&j| flavour.dominates(set.point(j), p, u))
+    }));
+    out.extend(right.iter().copied().filter(|&i| {
+        let p = set.point(i);
+        !left.iter().any(|&j| flavour.dominates(set.point(j), p, u))
+    }));
+    out
+}
+
+/// Skyline identifiers (sorted).
+pub fn skyline_ids(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<u64> {
+    let mut ids: Vec<u64> = skyline(set, u, flavour).into_iter().map(|i| set.id(i)).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::brute;
+
+    #[test]
+    fn matches_brute_above_leaf_size() {
+        // 100 deterministic pseudo-random points force several recursion
+        // levels (LEAF_SIZE = 16).
+        let mut s = PointSet::new(3);
+        let mut x = 12345u64;
+        for i in 0..100u64 {
+            let mut coords = [0.0; 3];
+            for c in &mut coords {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *c = ((x >> 33) % 1000) as f64 / 100.0;
+            }
+            s.push(&coords, i);
+        }
+        for u in [Subspace::full(3), Subspace::from_dims(&[0, 2]), Subspace::from_dims(&[1])] {
+            for flavour in [Dominance::Standard, Dominance::Extended] {
+                assert_eq!(
+                    skyline_ids(&s, u, flavour),
+                    brute::skyline_ids(&s, u, flavour),
+                    "subspace {u} flavour {flavour:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_half_ties_survive() {
+        // Duplicates that land in different halves must both survive the
+        // mutual filter under standard dominance.
+        let mut s = PointSet::new(2);
+        for i in 0..20u64 {
+            s.push(&[1.0, 1.0], i);
+        }
+        let sky = skyline(&s, Subspace::full(2), Dominance::Standard);
+        assert_eq!(sky.len(), 20);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let s = PointSet::new(2);
+        assert!(skyline(&s, Subspace::full(2), Dominance::Standard).is_empty());
+        let mut s1 = PointSet::new(2);
+        s1.push(&[1.0, 1.0], 7);
+        assert_eq!(skyline_ids(&s1, Subspace::full(2), Dominance::Standard), vec![7]);
+    }
+}

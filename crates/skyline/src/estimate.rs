@@ -1,0 +1,124 @@
+//! Skyline cardinality estimation.
+//!
+//! For `n` points with independent, continuously-distributed coordinates
+//! (the paper's *uniform* dataset), the expected skyline size `E(n, d)`
+//! obeys the classic recurrence over dominance ranks
+//!
+//! ```text
+//! E(n, d) = E(n − 1, d) + E(n, d − 1) / n,    E(n, 1) = 1,  E(0, d) = 0,
+//! ```
+//!
+//! with the asymptotic form `E(n, d) ≈ ln(n)^(d−1) / (d−1)!`. These
+//! estimates predict how many points SKYPEER's stores, messages, and
+//! results will hold — useful for capacity planning, for choosing the
+//! dominance index, and as a sanity oracle on the synthetic generators
+//! (a correlated dataset must fall far below the independence estimate,
+//! an anticorrelated one far above).
+
+/// Expected skyline size of `n` independent continuously-distributed
+/// points in `d` dimensions (exact recurrence, O(n·d) time, O(n) space).
+///
+/// ```
+/// use skypeer_skyline::estimate::expected_skyline_size;
+/// // E(n, 2) is the n-th harmonic number.
+/// assert!((expected_skyline_size(3, 2) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn expected_skyline_size(n: usize, d: usize) -> f64 {
+    assert!(d >= 1, "dimensionality must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    // E(i, 1) = 1 for all i >= 1.
+    let mut prev: Vec<f64> = vec![1.0; n + 1];
+    prev[0] = 0.0;
+    let mut cur = vec![0.0f64; n + 1];
+    for _dim in 2..=d {
+        cur[0] = 0.0;
+        for i in 1..=n {
+            cur[i] = cur[i - 1] + prev[i] / i as f64;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// The asymptotic approximation `ln(n)^(d−1) / (d−1)!`.
+pub fn asymptotic_skyline_size(n: usize, d: usize) -> f64 {
+    assert!(d >= 1, "dimensionality must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let ln_n = (n as f64).ln().max(0.0);
+    let mut fact = 1.0;
+    for i in 1..d {
+        fact *= i as f64;
+    }
+    ln_n.powi(d as i32 - 1) / fact
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{bnl, Dominance, PointSet, Subspace};
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(expected_skyline_size(0, 3), 0.0);
+        assert_eq!(expected_skyline_size(1, 5), 1.0);
+        assert_eq!(expected_skyline_size(100, 1), 1.0, "1-d skyline is the unique minimum");
+    }
+
+    #[test]
+    fn two_dimensions_is_harmonic_number() {
+        // E(n, 2) = H_n, the n-th harmonic number.
+        let n = 50;
+        let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+        assert!((expected_skyline_size(n, 2) - h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_n_and_d() {
+        assert!(expected_skyline_size(1000, 4) > expected_skyline_size(100, 4));
+        assert!(expected_skyline_size(1000, 6) > expected_skyline_size(1000, 4));
+    }
+
+    #[test]
+    fn asymptotic_tracks_exact_at_scale() {
+        for d in 2..=5 {
+            let exact = expected_skyline_size(100_000, d);
+            let approx = asymptotic_skyline_size(100_000, d);
+            let ratio = approx / exact;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "d={d}: approx {approx:.1} vs exact {exact:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_generator_matches_theory() {
+        // Empirical skyline size of uniform points must land within a
+        // factor of the independence estimate.
+        let mut s = PointSet::new(4);
+        let mut x = 31u64;
+        let n = 4000;
+        for i in 0..n {
+            let mut c = [0.0; 4];
+            for v in &mut c {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = ((x >> 11) as f64) / (u64::MAX >> 11) as f64;
+            }
+            s.push(&c, i as u64);
+        }
+        let got = bnl::skyline(&s, Subspace::full(4), Dominance::Standard).len() as f64;
+        let want = expected_skyline_size(n as usize, 4);
+        assert!(
+            (0.5..2.0).contains(&(got / want)),
+            "empirical {got} vs theoretical {want:.1}"
+        );
+    }
+}

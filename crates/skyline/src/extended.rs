@@ -1,0 +1,128 @@
+//! Extended skyline computation (Section 4 of the paper).
+//!
+//! The *extended skyline* `ext-SKY_U` is the set of points not
+//! ext-dominated (strictly smaller on every dimension of `U`) by any other
+//! point. The paper proves:
+//!
+//! * **Observation 3**: `SKY_U ⊆ ext-SKY_U`;
+//! * **Observation 4**: `SKY_V ⊆ ext-SKY_U` for every `V ⊆ U`.
+//!
+//! Hence `ext-SKY_D` — computed once per peer in the preprocessing phase —
+//! suffices to answer any subspace skyline query exactly, which is what
+//! makes SKYPEER's data reduction lossless.
+//!
+//! As the paper notes (Section 5.3), *any* skyline algorithm yields the
+//! ext-skyline once its domination test is swapped for ext-domination.
+//! This module wires that up for the threshold engine of [`crate::sorted`]
+//! (the paper's choice) and exposes size accounting used by the
+//! pre-processing statistics experiment (Figure 3(a)).
+
+use crate::dominance::Dominance;
+use crate::point::PointSet;
+use crate::sorted::{DominanceIndex, SortedDataset, ThresholdOutcome};
+use crate::subspace::Subspace;
+
+/// Computes the extended skyline of `set` over the full space, returning it
+/// `f`-sorted, ready for upload to a super-peer.
+///
+/// This is the peer-side half of the preprocessing phase (Section 5.3).
+pub fn ext_skyline(set: &PointSet, index: DominanceIndex) -> ThresholdOutcome {
+    let sorted = SortedDataset::from_set(set);
+    sorted.subspace_skyline(
+        Subspace::full(set.dim()),
+        Dominance::Extended,
+        f64::INFINITY,
+        index,
+    )
+}
+
+/// Computes the extended skyline on an explicit subspace `u` (the paper
+/// only ever needs `u = D`, but the definition is parametric).
+pub fn ext_skyline_on(set: &PointSet, u: Subspace, index: DominanceIndex) -> ThresholdOutcome {
+    let sorted = SortedDataset::from_set(set);
+    sorted.subspace_skyline(u, Dominance::Extended, f64::INFINITY, index)
+}
+
+/// Selectivity of a reduction step: `|reduced| / |original|`, the quantity
+/// plotted in Figure 3(a) (`SEL_p`, `SEL_sp`).
+pub fn selectivity(reduced: usize, original: usize) -> f64 {
+    if original == 0 {
+        0.0
+    } else {
+        reduced as f64 / original as f64
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::brute;
+
+    fn figure2_peer_a() -> PointSet {
+        let mut s = PointSet::new(4);
+        s.push(&[2.0, 2.0, 2.0, 2.0], 1);
+        s.push(&[1.0, 3.0, 2.0, 3.0], 2);
+        s.push(&[1.0, 3.0, 5.0, 4.0], 3);
+        s.push(&[2.0, 3.0, 2.0, 1.0], 4);
+        s.push(&[5.0, 2.0, 4.0, 1.0], 5);
+        s
+    }
+
+    #[test]
+    fn paper_example_peer_a() {
+        // Figure 2: all five points of P_A belong to the ext-skyline (A3 is
+        // dominated but shares its x-value with A2, so it survives
+        // ext-domination).
+        let out = ext_skyline(&figure2_peer_a(), DominanceIndex::Linear);
+        assert_eq!(out.result.len(), 5);
+    }
+
+    #[test]
+    fn matches_brute_force_under_both_indexes() {
+        let s = figure2_peer_a();
+        for index in [DominanceIndex::Linear, DominanceIndex::RTree] {
+            let out = ext_skyline(&s, index);
+            let mut ids: Vec<u64> =
+                (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, brute::skyline_ids(&s, Subspace::full(4), Dominance::Extended));
+        }
+    }
+
+    #[test]
+    fn observation4_on_paper_example() {
+        let s = figure2_peer_a();
+        let ext = ext_skyline(&s, DominanceIndex::Linear);
+        let ext_ids: Vec<u64> =
+            (0..ext.result.len()).map(|i| ext.result.points().id(i)).collect();
+        for id in brute::all_subspace_skyline_ids(&s, Subspace::full(4)) {
+            assert!(ext_ids.contains(&id), "subspace skyline point {id} missing from ext-skyline");
+        }
+    }
+
+    #[test]
+    fn ext_skyline_is_superset_of_skyline() {
+        let s = figure2_peer_a();
+        let ext = brute::skyline_ids(&s, Subspace::full(4), Dominance::Extended);
+        for id in brute::skyline_ids(&s, Subspace::full(4), Dominance::Standard) {
+            assert!(ext.contains(&id), "Observation 3 violated for {id}");
+        }
+    }
+
+    #[test]
+    fn selectivity_bounds() {
+        assert_eq!(selectivity(0, 0), 0.0);
+        assert_eq!(selectivity(5, 10), 0.5);
+        assert_eq!(selectivity(10, 10), 1.0);
+    }
+
+    #[test]
+    fn subspace_parametric_variant() {
+        let s = figure2_peer_a();
+        let u = Subspace::from_dims(&[0, 1]);
+        let out = ext_skyline_on(&s, u, DominanceIndex::Linear);
+        let mut ids: Vec<u64> = (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, brute::skyline_ids(&s, u, Dominance::Extended));
+    }
+}

@@ -1,0 +1,109 @@
+//! The 1-d mapping of Section 5.1 and its pruning rule (Observation 5).
+//!
+//! Every point `p` is mapped once, in the full space `D`, to
+//! `f(p) = min_{i ∈ D} p[i]` (Equation 1). At query time, for a subspace
+//! `U`, `dist_U(p) = max_{i ∈ U} p[i]` is the L∞ distance from the origin
+//! restricted to `U`.
+//!
+//! **Observation 5.** If `p_sky ∈ SKY_U` and `f(p) > dist_U(p_sky)`, then
+//! `p ∉ SKY_U`: every coordinate of `p` (in particular those in `U`) is at
+//! least `f(p)`, which strictly exceeds every `U`-coordinate of `p_sky`, so
+//! `p_sky` (ext-)dominates `p` on `U`.
+//!
+//! Note the strictness: a point with `f(p) == dist_U(p_sky)` may *tie*
+//! `p_sky` on every dimension of `U` and still belong to the skyline. The
+//! paper's pseudocode loops `while f(p) < threshold`; we deliberately keep
+//! scanning through equality (`f(p) <= threshold`) and only prune on strict
+//! excess — see DESIGN.md ("Known deviation").
+
+/// `f(p) = min_i p[i]` over the *full* space (Equation 1 of the paper).
+#[inline]
+pub fn f_value(p: &[f64]) -> f64 {
+    p.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// `dist_U(p) = max_{i∈U} p[i]`, the L∞ distance from the origin on `u`.
+#[inline]
+pub fn dist(p: &[f64], u: crate::Subspace) -> f64 {
+    u.dims().map(|i| p[i]).fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Whether Observation 5 prunes a point with mapped value `f_p` given the
+/// current threshold (the minimum `dist_U` over skyline points found so
+/// far). Strict comparison — ties survive.
+#[inline]
+pub fn pruned_by_threshold(f_p: f64, threshold: f64) -> bool {
+    f_p > threshold
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::Subspace;
+
+    #[test]
+    fn f_is_min_over_full_space() {
+        assert_eq!(f_value(&[3.0, 1.0, 2.0]), 1.0);
+        assert_eq!(f_value(&[5.0]), 5.0);
+        assert_eq!(f_value(&[0.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn dist_is_max_over_subspace() {
+        let p = [3.0, 1.0, 9.0];
+        assert_eq!(dist(&p, Subspace::full(3)), 9.0);
+        assert_eq!(dist(&p, Subspace::from_dims(&[0, 1])), 3.0);
+        assert_eq!(dist(&p, Subspace::from_dims(&[1])), 1.0);
+    }
+
+    #[test]
+    fn observation5_soundness_exhaustive_grid() {
+        // For every pair (p, q) on a small 2-d grid and every subspace:
+        // if f(p) > dist_U(q) then q dominates p on U.
+        let vals = [0.0, 1.0, 2.0, 3.0];
+        let subspaces = [
+            Subspace::from_dims(&[0]),
+            Subspace::from_dims(&[1]),
+            Subspace::full(2),
+        ];
+        for &px in &vals {
+            for &py in &vals {
+                for &qx in &vals {
+                    for &qy in &vals {
+                        let p = [px, py];
+                        let q = [qx, qy];
+                        for &u in &subspaces {
+                            if f_value(&p) > dist(&q, u) {
+                                assert!(
+                                    crate::dominance::dominates(&q, &p, u),
+                                    "Obs 5 violated: q={q:?} p={p:?} U={u}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_are_not_pruned() {
+        assert!(!pruned_by_threshold(3.0, 3.0));
+        assert!(pruned_by_threshold(3.0 + f64::EPSILON * 8.0, 3.0));
+        assert!(!pruned_by_threshold(2.9, 3.0));
+    }
+
+    #[test]
+    fn paper_figure_1b_example() {
+        // The paper's Figure 1(b): a skyline point with f(p_sky)=3 lying on
+        // the diagonal prunes everything beyond the dist threshold.
+        let p_sky = [3.0, 3.0];
+        let u = Subspace::full(2);
+        assert_eq!(f_value(&p_sky), 3.0);
+        assert_eq!(dist(&p_sky, u), 3.0);
+        // A point entirely beyond the threshold is dominated.
+        let far = [4.0, 5.0];
+        assert!(pruned_by_threshold(f_value(&far), dist(&p_sky, u)));
+        assert!(crate::dominance::dominates(&p_sky, &far, u));
+    }
+}

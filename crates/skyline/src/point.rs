@@ -1,0 +1,202 @@
+//! Flat, row-major point storage.
+//!
+//! Skyline kernels touch every coordinate of many points; storing them in a
+//! single contiguous `Vec<f64>` (rather than one allocation per point) keeps
+//! them cache-friendly and allocation-free on the hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported dimensionality. [`crate::Subspace`] packs dimension
+/// sets into a `u32`, which comfortably covers the paper's `d ∈ [5, 10]`.
+pub const MAX_DIM: usize = 32;
+
+/// A set of `d`-dimensional points with `u64` identifiers, stored row-major.
+///
+/// Identifiers are caller-assigned and need not be unique or dense — in the
+/// distributed setting they are global point ids that survive shipping
+/// between peers.
+///
+/// All coordinate values must be finite and non-negative (the paper's
+/// standing assumption); [`PointSet::push`] enforces this.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PointSet {
+    dim: usize,
+    ids: Vec<u64>,
+    data: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates an empty set of `dim`-dimensional points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero or exceeds [`MAX_DIM`].
+    pub fn new(dim: usize) -> Self {
+        assert!((1..=MAX_DIM).contains(&dim), "dimensionality {dim} out of range 1..={MAX_DIM}");
+        PointSet { dim, ids: Vec::new(), data: Vec::new() }
+    }
+
+    /// Creates an empty set with room for `cap` points.
+    pub fn with_capacity(dim: usize, cap: usize) -> Self {
+        let mut s = Self::new(dim);
+        s.ids.reserve(cap);
+        s.data.reserve(cap * dim);
+        s
+    }
+
+    /// Appends a point. Returns its index within this set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch or non-finite / negative values.
+    pub fn push(&mut self, coords: &[f64], id: u64) -> usize {
+        assert_eq!(coords.len(), self.dim, "point dimensionality mismatch");
+        assert!(
+            coords.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "coordinates must be finite and non-negative: {coords:?}"
+        );
+        self.data.extend_from_slice(coords);
+        self.ids.push(id);
+        self.ids.len() - 1
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality of the full space `D`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of the `i`-th point.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Identifier of the `i`-th point.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Iterates over `(index, id, coords)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &[f64])> + '_ {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(move |(i, &id)| (i, id, self.point(i)))
+    }
+
+    /// Builds a new set containing the points at `indices`, in order.
+    pub fn gather(&self, indices: &[usize]) -> PointSet {
+        let mut out = PointSet::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.data.extend_from_slice(self.point(i));
+            out.ids.push(self.ids[i]);
+        }
+        out
+    }
+
+    /// Appends every point of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn extend_from(&mut self, other: &PointSet) {
+        assert_eq!(self.dim, other.dim, "cannot extend across dimensionalities");
+        self.data.extend_from_slice(&other.data);
+        self.ids.extend_from_slice(&other.ids);
+    }
+
+    /// Total bytes this set occupies on the wire: one `u64` id plus `dim`
+    /// `f64` coordinates per point. Used by the network cost model.
+    #[inline]
+    pub fn wire_bytes(&self) -> u64 {
+        (self.len() as u64) * Self::wire_bytes_per_point(self.dim)
+    }
+
+    /// On-wire size of a single `dim`-dimensional identified point.
+    #[inline]
+    pub fn wire_bytes_per_point(dim: usize) -> u64 {
+        8 + 8 * dim as u64
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = PointSet::new(2);
+        let i0 = s.push(&[1.0, 2.0], 10);
+        let i1 = s.push(&[3.0, 4.0], 20);
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(0), &[1.0, 2.0]);
+        assert_eq!(s.point(1), &[3.0, 4.0]);
+        assert_eq!(s.id(1), 20);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut s = PointSet::new(1);
+        s.push(&[5.0], 1);
+        s.push(&[6.0], 2);
+        let collected: Vec<(usize, u64, Vec<f64>)> =
+            s.iter().map(|(i, id, p)| (i, id, p.to_vec())).collect();
+        assert_eq!(collected, vec![(0, 1, vec![5.0]), (1, 2, vec![6.0])]);
+    }
+
+    #[test]
+    fn gather_preserves_order_and_ids() {
+        let mut s = PointSet::new(2);
+        for i in 0..5u64 {
+            s.push(&[i as f64, i as f64], i * 100);
+        }
+        let g = s.gather(&[3, 1]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.id(0), 300);
+        assert_eq!(g.id(1), 100);
+        assert_eq!(g.point(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn wire_bytes_counts_ids_and_coords() {
+        let mut s = PointSet::new(4);
+        s.push(&[0.0; 4], 1);
+        s.push(&[1.0; 4], 2);
+        assert_eq!(s.wire_bytes(), 2 * (8 + 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coordinates_rejected() {
+        let mut s = PointSet::new(2);
+        s.push(&[-1.0, 0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dim_zero_rejected() {
+        let _ = PointSet::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_arity_rejected() {
+        let mut s = PointSet::new(3);
+        s.push(&[1.0, 2.0], 1);
+    }
+}

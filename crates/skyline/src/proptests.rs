@@ -1,0 +1,336 @@
+//! Cross-engine property tests: every optimized kernel must agree with the
+//! quadratic oracle, and the paper's observations must hold on random data.
+
+use crate::sorted::{threshold_skyline, DominanceIndex, SortedDataset};
+use crate::{bnl, brute, dnc, merge, sfs};
+use crate::{Dominance, PointSet, Subspace};
+use proptest::prelude::*;
+
+/// Strategy: a point set of `n` points in `dim` dimensions on a coarse grid
+/// (to force ties, the interesting case) mixed with fine values.
+fn point_set(dim: usize, max_n: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(
+        prop::collection::vec(
+            prop_oneof![
+                (0u32..8).prop_map(f64::from),       // coarse: ties
+                (0.0f64..8.0).prop_map(|v| (v * 64.0).round() / 64.0), // finer grid
+            ],
+            dim,
+        ),
+        0..max_n,
+    )
+    .prop_map(move |rows| {
+        let mut s = PointSet::new(dim);
+        for (i, r) in rows.iter().enumerate() {
+            s.push(r, i as u64);
+        }
+        s
+    })
+}
+
+fn subspace_of(dim: usize) -> impl Strategy<Value = Subspace> {
+    (1u32..(1u32 << dim)).prop_map(Subspace::from_mask)
+}
+
+fn ids_of(result: &SortedDataset) -> Vec<u64> {
+    let mut ids: Vec<u64> = (0..result.len()).map(|i| result.points().id(i)).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// BNL, SFS, D&C, and Algorithm 1 (both indexes) all equal brute force,
+    /// for both dominance flavours, on random subspaces.
+    #[test]
+    fn prop_all_engines_agree(set in point_set(4, 60), u in subspace_of(4)) {
+        for flavour in [Dominance::Standard, Dominance::Extended] {
+            let want = brute::skyline_ids(&set, u, flavour);
+            prop_assert_eq!(&bnl::skyline_ids(&set, u, flavour), &want);
+            prop_assert_eq!(&sfs::skyline_ids(&set, u, flavour), &want);
+            prop_assert_eq!(&dnc::skyline_ids(&set, u, flavour), &want);
+            let sorted = SortedDataset::from_set(&set);
+            for index in [DominanceIndex::Linear, DominanceIndex::RTree] {
+                let out = threshold_skyline(&sorted, u, flavour, f64::INFINITY, index);
+                prop_assert_eq!(ids_of(&out.result), want.clone());
+            }
+        }
+    }
+
+    /// Observation 3: SKY_U ⊆ ext-SKY_U on every subspace.
+    #[test]
+    fn prop_skyline_within_ext_skyline(set in point_set(4, 60), u in subspace_of(4)) {
+        let sky = brute::skyline_ids(&set, u, Dominance::Standard);
+        let ext = brute::skyline_ids(&set, u, Dominance::Extended);
+        for id in sky {
+            prop_assert!(ext.contains(&id));
+        }
+    }
+
+    /// Observation 4: SKY_V ⊆ ext-SKY_U for every V ⊆ U. Tested with
+    /// U = D against every subspace skyline.
+    #[test]
+    fn prop_ext_skyline_covers_all_subspaces(set in point_set(3, 40)) {
+        let d = Subspace::full(3);
+        let ext = brute::skyline_ids(&set, d, Dominance::Extended);
+        for id in brute::all_subspace_skyline_ids(&set, d) {
+            prop_assert!(ext.contains(&id), "Observation 4 violated for id {}", id);
+        }
+    }
+
+    /// Algorithm 2 over an arbitrary partition of the data (each part
+    /// reduced to its local skyline first) equals the centralized skyline.
+    /// This is the heart of the distributed correctness argument.
+    #[test]
+    fn prop_merge_of_partitions_is_exact(
+        set in point_set(3, 60),
+        u in subspace_of(3),
+        assignment in prop::collection::vec(0usize..4, 0..60),
+    ) {
+        // Partition points across up to 4 "peers".
+        let mut parts: Vec<PointSet> = (0..4).map(|_| PointSet::new(3)).collect();
+        for (i, _, coords) in set.iter() {
+            let part = assignment.get(i).copied().unwrap_or(0);
+            parts[part].push(coords, set.id(i));
+        }
+        let locals: Vec<SortedDataset> = parts
+            .iter()
+            .map(|p| {
+                threshold_skyline(
+                    &SortedDataset::from_set(p),
+                    u,
+                    Dominance::Standard,
+                    f64::INFINITY,
+                    DominanceIndex::Linear,
+                ).result
+            })
+            .collect();
+        let refs: Vec<&SortedDataset> = locals.iter().collect();
+        let merged = merge::merge_sorted(&refs, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        prop_assert_eq!(ids_of(&merged.result), brute::skyline_ids(&set, u, Dominance::Standard));
+    }
+
+    /// The distributed reduction pipeline end-to-end: per-part *ext*-skyline
+    /// (full space), ext-merge at the "super-peer", then a subspace query
+    /// over the merged store — must equal the centralized subspace skyline.
+    #[test]
+    fn prop_ext_pipeline_answers_subspace_queries(
+        set in point_set(3, 50),
+        u in subspace_of(3),
+        assignment in prop::collection::vec(0usize..3, 0..50),
+    ) {
+        let d = Subspace::full(3);
+        let mut parts: Vec<PointSet> = (0..3).map(|_| PointSet::new(3)).collect();
+        for (i, _, coords) in set.iter() {
+            let part = assignment.get(i).copied().unwrap_or(0);
+            parts[part].push(coords, set.id(i));
+        }
+        // Peers upload ext-skylines; super-peer ext-merges them.
+        let uploads: Vec<SortedDataset> = parts
+            .iter()
+            .map(|p| crate::extended::ext_skyline(p, DominanceIndex::Linear).result)
+            .collect();
+        let refs: Vec<&SortedDataset> = uploads.iter().collect();
+        let store = merge::merge_sorted(&refs, d, Dominance::Extended, f64::INFINITY, DominanceIndex::Linear);
+        // Query time: Algorithm 1 over the stored ext-skyline.
+        let answer = threshold_skyline(&store.result, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        prop_assert_eq!(ids_of(&answer.result), brute::skyline_ids(&set, u, Dominance::Standard));
+    }
+
+    /// Threshold propagation soundness: seeding Algorithm 1 with the final
+    /// threshold of a *different* partition never loses true skyline
+    /// points once results are merged (the FT* correctness argument).
+    #[test]
+    fn prop_foreign_threshold_is_lossless(
+        set in point_set(3, 60),
+        u in subspace_of(3),
+        split in 0usize..60,
+    ) {
+        let n = set.len();
+        let cut = split.min(n);
+        let first = set.gather(&(0..cut).collect::<Vec<_>>());
+        let second = set.gather(&(cut..n).collect::<Vec<_>>());
+        // "Initiator" computes its local skyline, yielding threshold t.
+        let init = threshold_skyline(
+            &SortedDataset::from_set(&first), u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        // Remote super-peer computes with the foreign threshold.
+        let remote = threshold_skyline(
+            &SortedDataset::from_set(&second), u, Dominance::Standard, init.threshold, DominanceIndex::Linear);
+        // Merging both local results recovers the exact global skyline.
+        let merged = merge::merge_sorted(
+            &[&init.result, &remote.result], u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        prop_assert_eq!(ids_of(&merged.result), brute::skyline_ids(&set, u, Dominance::Standard));
+    }
+
+    /// The final threshold returned by Algorithm 1 is exactly
+    /// `min(initial, min over result of dist_U)`.
+    #[test]
+    fn prop_threshold_is_min_dist(set in point_set(3, 40), u in subspace_of(3)) {
+        let sorted = SortedDataset::from_set(&set);
+        let out = threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        if out.result.is_empty() {
+            prop_assert!(out.threshold.is_infinite());
+        } else {
+            let min_dist = (0..out.result.len())
+                .map(|i| crate::mapping::dist(out.result.points().point(i), u))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(out.threshold, min_dist);
+        }
+    }
+
+    /// Skyline results never contain a dominated point and never omit an
+    /// undominated one (self-consistency without the oracle).
+    #[test]
+    fn prop_result_is_maximal_antichain(set in point_set(5, 50), u in subspace_of(5)) {
+        let sorted = SortedDataset::from_set(&set);
+        let out = threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::RTree);
+        let res = out.result.points();
+        for i in 0..res.len() {
+            for j in 0..res.len() {
+                if i != j {
+                    prop_assert!(
+                        !crate::dominance::dominates(res.point(j), res.point(i), u),
+                        "result contains a dominated point"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BBS agrees with brute force on random data and subspaces.
+    #[test]
+    fn prop_bbs_matches_brute(set in point_set(4, 80), u in subspace_of(4)) {
+        for flavour in [Dominance::Standard, Dominance::Extended] {
+            prop_assert_eq!(
+                crate::bbs::skyline_ids(&set, u, flavour),
+                brute::skyline_ids(&set, u, flavour)
+            );
+        }
+    }
+
+    /// The progressive iterator yields exactly the skyline, in an order
+    /// where no later emission dominates an earlier one.
+    #[test]
+    fn prop_progressive_matches_brute(set in point_set(3, 60), u in subspace_of(3)) {
+        let out: Vec<(usize, u64)> =
+            crate::progressive::ProgressiveSkyline::new(&set, u, Dominance::Standard).collect();
+        let mut ids: Vec<u64> = out.iter().map(|(_, id)| *id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, brute::skyline_ids(&set, u, Dominance::Standard));
+        for (a, (i, _)) in out.iter().enumerate() {
+            for (j, _) in &out[a + 1..] {
+                prop_assert!(!crate::dominance::dominates(set.point(*j), set.point(*i), u));
+            }
+        }
+    }
+
+    /// The skyband is consistent with per-point dominance counts, nests
+    /// monotonically in k, and skyband(1) is the skyline.
+    #[test]
+    fn prop_skyband_invariants(set in point_set(3, 50), u in subspace_of(3), k in 1usize..6) {
+        let counts = crate::skyband::dominance_counts(&set, u, Dominance::Standard);
+        let band = crate::skyband::skyband(&set, u, k, Dominance::Standard);
+        let expect: Vec<usize> = (0..set.len()).filter(|&i| counts[i] < k).collect();
+        prop_assert_eq!(&band, &expect);
+        if k > 1 {
+            let smaller = crate::skyband::skyband(&set, u, k - 1, Dominance::Standard);
+            for i in &smaller {
+                prop_assert!(band.contains(i), "skyband must nest in k");
+            }
+        }
+        prop_assert_eq!(
+            crate::skyband::skyband_ids(&set, u, 1, Dominance::Standard),
+            brute::skyline_ids(&set, u, Dominance::Standard)
+        );
+    }
+
+    /// Constrained skylines with the empty constraint equal the plain
+    /// skyline, and any constraint produces a subset of the eligible set.
+    #[test]
+    fn prop_constrained_consistency(
+        set in point_set(3, 50),
+        u in subspace_of(3),
+        lo in 0.0f64..4.0,
+        width in 0.5f64..4.0,
+    ) {
+        use crate::constrained::{constrained_skyline_ids, ConstraintBox};
+        let unconstrained = constrained_skyline_ids(
+            &set, u, &ConstraintBox::unconstrained(), Dominance::Standard);
+        prop_assert_eq!(unconstrained, brute::skyline_ids(&set, u, Dominance::Standard));
+        let c = ConstraintBox::unconstrained().with_range(0, lo, lo + width);
+        let ids = constrained_skyline_ids(&set, u, &c, Dominance::Standard);
+        for id in &ids {
+            let i = (0..set.len()).find(|&i| set.id(i) == *id).expect("id exists");
+            prop_assert!(c.contains(set.point(i)), "result violates the constraint");
+        }
+    }
+
+    /// The independence estimate brackets empirical uniform skylines
+    /// within a generous factor (catches gross regressions in either the
+    /// estimate or the generators).
+    #[test]
+    fn prop_estimate_brackets_uniform(seed in 0u64..50) {
+        let spec = skypeer_rtree_free_uniform(seed);
+        let sky = crate::bnl::skyline(&spec, Subspace::full(3), Dominance::Standard).len() as f64;
+        let want = crate::estimate::expected_skyline_size(spec.len(), 3);
+        prop_assert!(sky / want < 4.0 && want / sky < 4.0, "empirical {} vs theory {}", sky, want);
+    }
+}
+
+/// 500 deterministic pseudo-uniform points (no rand dependency here).
+fn skypeer_rtree_free_uniform(seed: u64) -> PointSet {
+    let mut s = PointSet::new(3);
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for i in 0..500u64 {
+        let mut c = [0.0f64; 3];
+        for v in &mut c {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((x >> 11) as f64) / ((u64::MAX >> 11) as f64);
+        }
+        s.push(&c, i);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Observation 1: no containment relationship between SKY_U and SKY_V
+    /// is *assumed* anywhere — concretely, both directions of containment
+    /// fail on witnesses (this test only checks the sound half: a point in
+    /// SKY_V for V ⊃ U need not be in SKY_U and vice versa — we assert
+    /// subspace results are mutually consistent with brute force, which
+    /// the machinery relies on instead of any containment).
+    ///
+    /// Observation 2: for U ⊂ V, every q ∈ SKY_U is, on V, either
+    /// dominated by another point of SKY_U or a member of SKY_V.
+    #[test]
+    fn prop_observation2(set in point_set(4, 50)) {
+        let d = Subspace::full(4);
+        let sky_d = brute::skyline_ids(&set, d, Dominance::Standard);
+        for u in Subspace::enumerate_all(4) {
+            if u == d {
+                continue;
+            }
+            let sky_u = brute::skyline_indices(&set, u, Dominance::Standard);
+            for &qi in &sky_u {
+                let q = set.point(qi);
+                let in_sky_d = sky_d.contains(&set.id(qi));
+                let dominated_by_peer = sky_u.iter().any(|&pi| {
+                    pi != qi && crate::dominance::dominates(set.point(pi), q, d)
+                });
+                prop_assert!(
+                    in_sky_d || dominated_by_peer,
+                    "Observation 2 violated for point {} on U={}",
+                    set.id(qi),
+                    u
+                );
+            }
+        }
+    }
+}

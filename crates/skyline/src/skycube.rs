@@ -1,0 +1,146 @@
+//! The skycube: skylines of every non-empty subspace.
+//!
+//! SKYPEER never materializes the skycube — that is the whole point of the
+//! extended skyline — but the cube is the natural validation artifact for
+//! Observation 4 (`∪_U SKY_U ⊆ ext-SKY_D`) and a useful analysis tool for
+//! workloads. The computation here is the straightforward per-subspace
+//! evaluation (with optional sharing of the top-level ext-skyline as a
+//! reduced input, which Observation 4 makes lossless).
+
+use crate::dominance::Dominance;
+use crate::extended::ext_skyline;
+use crate::point::PointSet;
+use crate::sorted::DominanceIndex;
+use crate::subspace::Subspace;
+use crate::{bnl, sorted::SortedDataset};
+use std::collections::BTreeMap;
+
+/// The skyline of every non-empty subspace of a `d`-dimensional dataset,
+/// keyed by subspace. Values are sorted point identifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Skycube {
+    dim: usize,
+    cube: BTreeMap<Subspace, Vec<u64>>,
+}
+
+impl Skycube {
+    /// Computes the skycube naively: one BNL run per subspace over the full
+    /// dataset. Exponential in `d`; intended for validation and analysis.
+    pub fn compute(set: &PointSet) -> Self {
+        let mut cube = BTreeMap::new();
+        for u in Subspace::enumerate_all(set.dim()) {
+            cube.insert(u, bnl::skyline_ids(set, u, Dominance::Standard));
+        }
+        Skycube { dim: set.dim(), cube }
+    }
+
+    /// Computes the skycube over the extended skyline instead of the raw
+    /// dataset. By Observation 4 this is exact, and it is how a super-peer
+    /// could answer all subspace queries from its stored ext-skyline.
+    pub fn compute_via_ext_skyline(set: &PointSet) -> Self {
+        let ext = ext_skyline(set, DominanceIndex::Linear);
+        Self::compute(ext.result.points())
+    }
+
+    /// Dimensionality of the underlying space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The skyline identifiers of subspace `u` (sorted), if `u` is a
+    /// subspace of this cube's space.
+    pub fn skyline(&self, u: Subspace) -> Option<&[u64]> {
+        self.cube.get(&u).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(subspace, skyline ids)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Subspace, &[u64])> {
+        self.cube.iter().map(|(u, v)| (*u, v.as_slice()))
+    }
+
+    /// Union of all subspace skylines (sorted, deduplicated) — the minimal
+    /// set a lossless pre-filter must retain.
+    pub fn union_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.cube.values().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of subspaces (always `2^d − 1`).
+    pub fn len(&self) -> usize {
+        self.cube.len()
+    }
+
+    /// Whether the cube is empty (never, for a valid dimensionality).
+    pub fn is_empty(&self) -> bool {
+        self.cube.is_empty()
+    }
+}
+
+/// Convenience: does the given `f`-sorted candidate set contain every
+/// subspace skyline of `set`? Used in tests to validate preprocessing.
+pub fn covers_all_subspace_skylines(candidate: &SortedDataset, set: &PointSet) -> bool {
+    let cube = Skycube::compute(set);
+    let have: Vec<u64> = (0..candidate.len()).map(|i| candidate.points().id(i)).collect();
+    cube.union_ids().iter().all(|id| have.contains(id))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn sample() -> PointSet {
+        let mut s = PointSet::new(3);
+        s.push(&[1.0, 5.0, 4.0], 0);
+        s.push(&[2.0, 2.0, 2.0], 1);
+        s.push(&[5.0, 1.0, 3.0], 2);
+        s.push(&[4.0, 4.0, 1.0], 3);
+        s.push(&[5.0, 5.0, 5.0], 4);
+        s
+    }
+
+    #[test]
+    fn cube_has_all_subspaces() {
+        let cube = Skycube::compute(&sample());
+        assert_eq!(cube.len(), 7);
+        for u in Subspace::enumerate_all(3) {
+            assert!(cube.skyline(u).is_some(), "missing subspace {u}");
+        }
+    }
+
+    #[test]
+    fn single_dimension_skylines_are_minima() {
+        let cube = Skycube::compute(&sample());
+        assert_eq!(cube.skyline(Subspace::from_dims(&[0])).unwrap(), &[0]);
+        assert_eq!(cube.skyline(Subspace::from_dims(&[1])).unwrap(), &[2]);
+        assert_eq!(cube.skyline(Subspace::from_dims(&[2])).unwrap(), &[3]);
+    }
+
+    #[test]
+    fn no_containment_between_subspace_and_superspace() {
+        // Observation 1: in general neither SKY_U ⊆ SKY_V nor the reverse.
+        // Here point 4 is in no skyline and point 1 is in SKY_{xy} but not
+        // in SKY_x or SKY_y.
+        let cube = Skycube::compute(&sample());
+        let xy = cube.skyline(Subspace::from_dims(&[0, 1])).unwrap();
+        assert!(xy.contains(&1));
+        assert!(!cube.skyline(Subspace::from_dims(&[0])).unwrap().contains(&1));
+        assert!(!cube.skyline(Subspace::from_dims(&[1])).unwrap().contains(&1));
+    }
+
+    #[test]
+    fn via_ext_skyline_is_identical() {
+        let s = sample();
+        let direct = Skycube::compute(&s);
+        let via = Skycube::compute_via_ext_skyline(&s);
+        assert_eq!(direct, via, "Observation 4: ext-skyline answers every subspace exactly");
+    }
+
+    #[test]
+    fn union_is_covered_by_ext_skyline() {
+        let s = sample();
+        let ext = ext_skyline(&s, DominanceIndex::Linear);
+        assert!(covers_all_subspace_skylines(&ext.result, &s));
+    }
+}

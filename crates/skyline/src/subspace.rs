@@ -1,0 +1,221 @@
+//! Dimension subsets `U ⊆ D` as bitmasks.
+
+use crate::point::MAX_DIM;
+use serde::{Deserialize, Serialize};
+
+/// A non-empty subset of the dimensions of a `d`-dimensional space, packed
+/// into a `u32` bitmask (bit `i` set ⇔ dimension `i` ∈ `U`).
+///
+/// A subspace skyline query `q(U)` carries one of these; the full-space
+/// skyline is `q(Subspace::full(d))`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Subspace(u32);
+
+impl Subspace {
+    /// The full space `D` of dimensionality `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero or exceeds [`MAX_DIM`].
+    pub fn full(d: usize) -> Self {
+        assert!((1..=MAX_DIM).contains(&d), "dimensionality {d} out of range");
+        if d == MAX_DIM {
+            Subspace(u32::MAX)
+        } else {
+            Subspace((1u32 << d) - 1)
+        }
+    }
+
+    /// A subspace from explicit dimension indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains an index `≥ MAX_DIM`.
+    pub fn from_dims(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "a subspace must contain at least one dimension");
+        let mut mask = 0u32;
+        for &d in dims {
+            assert!(d < MAX_DIM, "dimension index {d} out of range");
+            mask |= 1 << d;
+        }
+        Subspace(mask)
+    }
+
+    /// A subspace directly from a bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is zero.
+    pub fn from_mask(mask: u32) -> Self {
+        assert!(mask != 0, "a subspace must contain at least one dimension");
+        Subspace(mask)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub fn mask(self) -> u32 {
+        self.0
+    }
+
+    /// Number of dimensions in the subspace (the paper's `k`).
+    #[inline]
+    pub fn k(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether dimension `i` belongs to the subspace.
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        i < MAX_DIM && self.0 & (1 << i) != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: Subspace) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Iterates over the dimension indices in ascending order.
+    #[inline]
+    pub fn dims(self) -> impl Iterator<Item = usize> {
+        let mut mask = self.0;
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                None
+            } else {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Projects a full-space point onto this subspace, in ascending
+    /// dimension order, appending into `out` (cleared first).
+    pub fn project_into(self, p: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for i in self.dims() {
+            out.push(p[i]);
+        }
+    }
+
+    /// Enumerates every non-empty subspace of a `d`-dimensional space
+    /// (`2^d − 1` of them). Useful for skycube computation; keep `d` small.
+    pub fn enumerate_all(d: usize) -> impl Iterator<Item = Subspace> {
+        assert!((1..=20).contains(&d), "enumerate_all is exponential; d={d} refused");
+        (1u32..(1u32 << d)).map(Subspace)
+    }
+
+    /// Enumerates every subspace of exactly `k` dimensions out of `d`
+    /// (Gosper's hack over bitmasks).
+    pub fn enumerate_k(d: usize, k: usize) -> impl Iterator<Item = Subspace> {
+        assert!(k >= 1 && k <= d && d <= 20, "invalid k={k} of d={d}");
+        let limit = 1u32 << d;
+        let mut cur = (1u32 << k) - 1;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done || cur >= limit {
+                return None;
+            }
+            let out = Subspace(cur);
+            // Gosper's hack: next larger integer with the same popcount.
+            let c = cur & cur.wrapping_neg();
+            let r = cur + c;
+            if c == 0 || r == 0 {
+                done = true;
+            } else {
+                cur = (((r ^ cur) >> 2) / c) | r;
+            }
+            Some(out)
+        })
+    }
+}
+
+impl std::fmt::Display for Subspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (n, d) in self.dims().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "d{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn full_space_has_all_dims() {
+        let u = Subspace::full(5);
+        assert_eq!(u.k(), 5);
+        assert_eq!(u.dims().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(Subspace::full(MAX_DIM).k(), MAX_DIM);
+    }
+
+    #[test]
+    fn from_dims_roundtrip() {
+        let u = Subspace::from_dims(&[4, 1, 6]);
+        assert_eq!(u.k(), 3);
+        assert!(u.contains(1) && u.contains(4) && u.contains(6));
+        assert!(!u.contains(0) && !u.contains(5));
+        assert_eq!(u.dims().collect::<Vec<_>>(), vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let u = Subspace::from_dims(&[1, 3]);
+        let v = Subspace::from_dims(&[1, 2, 3]);
+        assert!(u.is_subset_of(v));
+        assert!(!v.is_subset_of(u));
+        assert!(u.is_subset_of(u));
+    }
+
+    #[test]
+    fn projection_orders_ascending() {
+        let u = Subspace::from_dims(&[3, 0]);
+        let mut out = Vec::new();
+        u.project_into(&[9.0, 8.0, 7.0, 6.0], &mut out);
+        assert_eq!(out, vec![9.0, 6.0]);
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(Subspace::enumerate_all(1).count(), 1);
+        assert_eq!(Subspace::enumerate_all(4).count(), 15);
+        assert_eq!(Subspace::enumerate_all(8).count(), 255);
+    }
+
+    #[test]
+    fn enumerate_k_counts_binomial() {
+        assert_eq!(Subspace::enumerate_k(5, 1).count(), 5);
+        assert_eq!(Subspace::enumerate_k(5, 2).count(), 10);
+        assert_eq!(Subspace::enumerate_k(5, 5).count(), 1);
+        assert_eq!(Subspace::enumerate_k(8, 3).count(), 56);
+        for u in Subspace::enumerate_k(8, 3) {
+            assert_eq!(u.k(), 3);
+        }
+    }
+
+    #[test]
+    fn enumerate_k_is_exhaustive_and_unique() {
+        let mut seen: Vec<u32> = Subspace::enumerate_k(6, 3).map(|u| u.mask()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_subspace_rejected() {
+        let _ = Subspace::from_dims(&[]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Subspace::from_dims(&[0, 2]).to_string(), "{d0,d2}");
+    }
+}

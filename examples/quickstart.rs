@@ -1,0 +1,67 @@
+//! Quickstart: build a small SKYPEER network, ask one subspace skyline
+//! query, and inspect the answer and its cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use skypeer::prelude::*;
+use skypeer::core::engine::SkypeerEngine;
+use skypeer_data::Query;
+
+fn main() {
+    // A 400-peer network with the paper's defaults: d = 8, 250 points per
+    // peer, uniform data, DEG_sp = 4, N_sp = 5% of the peers.
+    let config = skypeer::core::EngineConfig::paper_default(400, 2024);
+    println!(
+        "building network: {} peers, {} super-peers, d = {} ...",
+        config.n_peers, config.n_superpeers, config.dataset.dim
+    );
+    let engine = SkypeerEngine::build(config);
+
+    let report = engine.preprocess_report();
+    println!(
+        "preprocessing: {} raw points → {} uploaded (SEL_p = {:.1}%) → {} stored (SEL_sp = {:.1}%)",
+        report.raw_points,
+        report.uploaded_points,
+        100.0 * report.sel_p(),
+        report.stored_points,
+        100.0 * report.sel_sp(),
+    );
+
+    // Ask for the skyline on dimensions {0, 2, 5} — e.g. price, distance,
+    // noise — initiated at super-peer 3.
+    let query = Query { subspace: Subspace::from_dims(&[0, 2, 5]), initiator: 3 };
+    println!("\nquery: skyline on subspace {} from super-peer {}", query.subspace, query.initiator);
+
+    for variant in Variant::ALL {
+        let out = engine.run_query(query, variant);
+        println!(
+            "  {:>5}: {:3} skyline points | comp {:>8.3} ms | total {:>9.3} ms | {:>7.1} KB in {:>3} msgs",
+            variant.mnemonic(),
+            out.result_ids.len(),
+            out.comp_time_ns as f64 / 1e6,
+            out.total_time_ns as f64 / 1e6,
+            out.volume_bytes as f64 / 1024.0,
+            out.messages,
+        );
+    }
+
+    // Every variant returns the exact same (provably correct) answer.
+    let exact = engine.centralized_skyline(query.subspace);
+    let out = engine.run_query(query, Variant::Ftpm);
+    assert_eq!(out.result_ids, exact, "SKYPEER answers are exact");
+    println!("\nfirst skyline points (global id → coordinates):");
+    for i in 0..out.result.len().min(5) {
+        println!(
+            "  #{:<8} {:?}",
+            out.result.points().id(i),
+            out.result
+                .points()
+                .point(i)
+                .iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
+    }
+}

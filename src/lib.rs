@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # SKYPEER — efficient subspace skyline computation over distributed data
+//!
+//! A full Rust reproduction of the ICDE 2007 paper by Vlachou, Doulkeridis,
+//! Kotidis and Vazirgiannis. This facade crate re-exports the whole
+//! workspace so that examples and downstream users need a single
+//! dependency:
+//!
+//! * [`skyline`] — centralized skyline algorithms, the extended skyline,
+//!   and the paper's Algorithms 1 and 2;
+//! * [`rtree`] — the main-memory R-tree used for dominance tests;
+//! * [`data`] — synthetic dataset generators and query workloads;
+//! * [`netsim`] — super-peer topologies, the discrete-event network
+//!   simulator, and the live threaded runtime;
+//! * [`core`] — the SKYPEER protocol itself: preprocessing, the four
+//!   threshold/merging variants, and the naive baseline.
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable
+//! end-to-end scenarios.
+//!
+//! ```
+//! use skypeer::prelude::*;
+//! use skypeer::core::engine::SkypeerEngine;
+//! use skypeer::core::EngineConfig;
+//! use skypeer::data::Query;
+//!
+//! let engine = SkypeerEngine::build(EngineConfig::paper_default(60, 42));
+//! let query = Query { subspace: Subspace::from_dims(&[0, 2, 5]), initiator: 1 };
+//! let out = engine.run_query(query, Variant::Ftpm);
+//! assert_eq!(out.result_ids, engine.centralized_skyline(query.subspace)); // exact
+//! ```
+
+pub use skypeer_core as core;
+pub use skypeer_data as data;
+pub use skypeer_netsim as netsim;
+pub use skypeer_rtree as rtree;
+pub use skypeer_skyline as skyline;
+
+/// Convenience prelude pulling in the types almost every user needs.
+pub mod prelude {
+    pub use skypeer_core::{
+        engine::{QueryMetrics, SkypeerEngine},
+        variants::Variant,
+    };
+    pub use skypeer_data::{DatasetKind, DatasetSpec, WorkloadSpec};
+    pub use skypeer_netsim::topology::TopologySpec;
+    pub use skypeer_skyline::{Dominance, PointSet, Subspace};
+}

@@ -1,0 +1,80 @@
+//! Tiny-scale regression tests on the *shapes* the paper's figures claim.
+//! These run the same experiment code as the `figures` binary at
+//! `Scale::tiny()`, asserting the qualitative orderings rather than any
+//! absolute numbers.
+
+use skypeer_bench::experiments::{self, Scale};
+
+fn scale() -> Scale {
+    // 1/25 of the paper's peers: 160 peers / 8 super-peers at the default
+    // configuration — the smallest scale where the merging-strategy
+    // differences are structural rather than noise.
+    Scale { peer_divisor: 25, queries: 4, seed: 7 }
+}
+
+/// Figure 3(a): ext-skyline selectivity grows with dimensionality, and
+/// merging at the super-peer always discards something (SEL_sp < SEL_p).
+#[test]
+fn fig3a_shape() {
+    let fig = experiments::fig3a(scale());
+    let sel_p: Vec<f64> = fig.rows.iter().map(|(_, v)| v[0]).collect();
+    assert!(sel_p.windows(2).all(|w| w[0] <= w[1] + 3.0), "SEL_p not rising: {sel_p:?}");
+    for (_, v) in &fig.rows {
+        assert!(v[1] < v[0], "SEL_sp must be below SEL_p");
+    }
+}
+
+/// Figure 3(b): naive is the most expensive computation at every d, and
+/// progressive merging beats fixed merging.
+#[test]
+fn fig3b_shape() {
+    let fig = experiments::fig3b(scale());
+    // Series order: FTFM, FTPM, RTFM, RTPM, naive.
+    for (d, v) in &fig.rows {
+        assert!(v[4] > v[0] && v[4] > v[1], "naive must be slowest at d={d}: {v:?}");
+        assert!(v[1] <= v[0] * 1.15, "FTPM should not lose badly to FTFM at d={d}");
+    }
+}
+
+/// Figure 3(c): progressive merging dominates total time at every d.
+#[test]
+fn fig3c_shape() {
+    let fig = experiments::fig3c(scale());
+    for (d, v) in &fig.rows {
+        assert!(v[1] < v[0], "FTPM total must beat FTFM at d={d}");
+        assert!(v[3] < v[2], "RTPM total must beat RTFM at d={d}");
+    }
+}
+
+/// Figure 3(d): volume grows with query dimensionality and progressive
+/// merging always ships less.
+#[test]
+fn fig3d_shape() {
+    let fig = experiments::fig3d(scale());
+    // Series: FTFM k=2, FTPM k=2, FTFM k=3, FTPM k=3.
+    for (d, v) in &fig.rows {
+        assert!(v[1] < v[0], "FTPM k=2 must ship less at d={d}");
+        assert!(v[3] < v[2], "FTPM k=3 must ship less at d={d}");
+        assert!(v[2] > v[0], "k=3 must outweigh k=2 at d={d}");
+    }
+}
+
+/// Figure 4(f): more points per peer means more total time, and
+/// progressive merging keeps its lead at every size.
+#[test]
+fn fig4f_shape() {
+    let fig = experiments::fig4f(scale());
+    for (ppp, v) in &fig.rows {
+        assert!(v[1] < v[0], "FTPM must lead FTFM at {ppp} points/peer");
+        assert!(v[4] >= v[1], "naive cannot beat FTPM at {ppp} points/peer");
+    }
+    // The growth trend: 1000 points/peer must cost clearly more than 250
+    // for the volume-bound fixed-merging variant (small-sample noise can
+    // wiggle individual steps, so only the endpoints are compared).
+    let first_total = fig.rows.first().expect("rows").1[0];
+    let last_total = fig.rows.last().expect("rows").1[0];
+    assert!(
+        last_total > first_total * 0.9,
+        "total time collapsed with 4x the data: {first_total} -> {last_total}"
+    );
+}
