@@ -20,10 +20,9 @@ fn dataset(kind: DatasetKind, n: usize, dim: usize) -> PointSet {
 fn bench_engines(c: &mut Criterion) {
     let dim = 8;
     let u = Subspace::from_dims(&[0, 3, 6]);
-    for (kind, label) in [
-        (DatasetKind::Uniform, "uniform"),
-        (DatasetKind::Anticorrelated, "anticorrelated"),
-    ] {
+    for (kind, label) in
+        [(DatasetKind::Uniform, "uniform"), (DatasetKind::Anticorrelated, "anticorrelated")]
+    {
         let mut group = c.benchmark_group(format!("skyline/{label}"));
         for n in [1_000usize, 10_000] {
             let set = dataset(kind, n, dim);
@@ -100,12 +99,8 @@ fn bench_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge");
     for lists in [4usize, 16, 64] {
         let u = Subspace::from_dims(&[0, 2, 4]);
-        let spec = DatasetSpec {
-            dim: 8,
-            points_per_peer: 500,
-            kind: DatasetKind::Uniform,
-            seed: 7,
-        };
+        let spec =
+            DatasetSpec { dim: 8, points_per_peer: 500, kind: DatasetKind::Uniform, seed: 7 };
         let parts: Vec<SortedDataset> = (0..lists)
             .map(|p| {
                 let set = spec.generate_peer(p, 0);

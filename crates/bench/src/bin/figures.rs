@@ -103,6 +103,7 @@ fn fig_to_json(fig: &skypeer_bench::FigureData) -> serde_json::Value {
         "y_label": fig.y_label,
         "series": fig.series,
         "rows": fig.rows.iter().map(|(x, vals)| serde_json::json!({"x": x, "values": vals})).collect::<Vec<_>>(),
+        "metrics": fig.metrics.iter().map(|(name, v)| serde_json::json!({"name": name, "value": v})).collect::<Vec<_>>(),
     })
 }
 

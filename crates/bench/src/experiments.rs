@@ -60,6 +60,41 @@ pub struct FigureData {
     pub series: Vec<String>,
     /// `(x, values)` rows, one value per series.
     pub rows: Vec<(f64, Vec<f64>)>,
+    /// Run-level observability metrics for the whole sweep (e.g. queries
+    /// run, average messages/volume/drops per query), rendered as a table
+    /// footer and exported to JSON. Empty for figures that run no queries.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Accumulates per-query observability metrics across every `measure`
+/// call of one figure, so each regenerated figure also reports how much
+/// network traffic (and how many drops) stood behind its curves.
+#[derive(Clone, Debug, Default)]
+struct MetricsAcc {
+    queries: u64,
+    sum_messages: f64,
+    sum_volume_bytes: f64,
+    sum_dropped: f64,
+}
+
+impl MetricsAcc {
+    fn add(&mut self, m: &QueryMetrics, queries: usize) {
+        let q = queries as f64;
+        self.queries += queries as u64;
+        self.sum_messages += m.avg_messages * q;
+        self.sum_volume_bytes += m.avg_volume_bytes * q;
+        self.sum_dropped += m.avg_dropped * q;
+    }
+
+    fn finish(self) -> Vec<(String, f64)> {
+        let q = (self.queries as f64).max(1.0);
+        vec![
+            ("queries".into(), self.queries as f64),
+            ("avg messages/query".into(), self.sum_messages / q),
+            ("avg volume KB/query".into(), self.sum_volume_bytes / q / KB),
+            ("avg dropped/query".into(), self.sum_dropped / q),
+        ]
+    }
 }
 
 const MS: f64 = 1e6; // ns per millisecond
@@ -89,8 +124,16 @@ fn build_engine(
     })
 }
 
-/// Runs `queries` random `k`-subspace queries under `variant` and averages.
-fn measure(engine: &SkypeerEngine, k: usize, queries: usize, seed: u64, variant: Variant) -> QueryMetrics {
+/// Runs `queries` random `k`-subspace queries under `variant`, averages,
+/// and feeds the figure-wide metrics accumulator.
+fn measure(
+    engine: &SkypeerEngine,
+    k: usize,
+    queries: usize,
+    seed: u64,
+    variant: Variant,
+    acc: &mut MetricsAcc,
+) -> QueryMetrics {
     let spec = WorkloadSpec {
         dim: engine.config().dataset.dim,
         k,
@@ -99,7 +142,9 @@ fn measure(engine: &SkypeerEngine, k: usize, queries: usize, seed: u64, variant:
         seed,
     };
     let outcomes = engine.run_workload(&spec.generate(), variant);
-    QueryMetrics::from_outcomes(&outcomes)
+    let m = QueryMetrics::from_outcomes(&outcomes);
+    acc.add(&m, queries);
+    m
 }
 
 /// **Figure 3(a)** — pre-processing selectivities vs data dimensionality.
@@ -109,14 +154,13 @@ fn measure(engine: &SkypeerEngine, k: usize, queries: usize, seed: u64, variant:
 pub fn fig3a(scale: Scale) -> FigureData {
     let n_peers = scale.peers(4000);
     let mut rows = Vec::new();
+    let (mut raw, mut stored) = (0u64, 0u64);
     for dim in 5..=10 {
         let engine = build_engine(n_peers, dim, 250, DatasetKind::Uniform, 4.0, scale.seed);
         let r = engine.preprocess_report();
-        rows.push((dim as f64, vec![
-            100.0 * r.sel_p(),
-            100.0 * r.sel_sp(),
-            100.0 * r.sel_ratio(),
-        ]));
+        raw += r.raw_points as u64;
+        stored += r.stored_points as u64;
+        rows.push((dim as f64, vec![100.0 * r.sel_p(), 100.0 * r.sel_sp(), 100.0 * r.sel_ratio()]));
     }
     FigureData {
         id: "fig3a",
@@ -125,6 +169,10 @@ pub fn fig3a(scale: Scale) -> FigureData {
         y_label: "% of dataset",
         series: vec!["SEL_p %".into(), "SEL_sp %".into(), "SEL_sp/SEL_p %".into()],
         rows,
+        metrics: vec![
+            ("raw points (all d)".into(), raw as f64),
+            ("stored points (all d)".into(), stored as f64),
+        ],
     }
 }
 
@@ -134,12 +182,13 @@ fn sweep_dimensionality(scale: Scale) -> (FigureData, FigureData) {
     let n_peers = scale.peers(4000);
     let mut comp_rows = Vec::new();
     let mut total_rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for dim in 5..=10 {
         let engine = build_engine(n_peers, dim, 250, DatasetKind::Uniform, 4.0, scale.seed);
         let mut comp = Vec::new();
         let mut total = Vec::new();
         for variant in Variant::ALL {
-            let m = measure(&engine, 3, scale.queries, scale.seed ^ dim as u64, variant);
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ dim as u64, variant, &mut acc);
             comp.push(m.avg_comp_time_ns / MS);
             total.push(m.avg_total_time_ns / MS);
         }
@@ -147,6 +196,7 @@ fn sweep_dimensionality(scale: Scale) -> (FigureData, FigureData) {
         total_rows.push((dim as f64, total));
     }
     let series: Vec<String> = Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect();
+    let metrics = acc.finish();
     (
         FigureData {
             id: "fig3b",
@@ -155,6 +205,7 @@ fn sweep_dimensionality(scale: Scale) -> (FigureData, FigureData) {
             y_label: "comp time (ms)",
             series: series.clone(),
             rows: comp_rows,
+            metrics: metrics.clone(),
         },
         FigureData {
             id: "fig3c",
@@ -163,6 +214,7 @@ fn sweep_dimensionality(scale: Scale) -> (FigureData, FigureData) {
             y_label: "total time (ms)",
             series,
             rows: total_rows,
+            metrics,
         },
     )
 }
@@ -182,12 +234,20 @@ pub fn fig3c(scale: Scale) -> FigureData {
 pub fn fig3d(scale: Scale) -> FigureData {
     let n_peers = scale.peers(4000);
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for dim in 5..=10 {
         let engine = build_engine(n_peers, dim, 250, DatasetKind::Uniform, 4.0, scale.seed);
         let mut vals = Vec::new();
         for k in [2usize, 3] {
             for variant in [Variant::Ftfm, Variant::Ftpm] {
-                let m = measure(&engine, k, scale.queries, scale.seed ^ (dim * 10 + k) as u64, variant);
+                let m = measure(
+                    &engine,
+                    k,
+                    scale.queries,
+                    scale.seed ^ (dim * 10 + k) as u64,
+                    variant,
+                    &mut acc,
+                );
                 vals.push(m.avg_volume_bytes / KB);
             }
         }
@@ -198,13 +258,9 @@ pub fn fig3d(scale: Scale) -> FigureData {
         title: format!("Volume of messages vs d, uniform, {n_peers} peers"),
         x_label: "d",
         y_label: "volume (KB)",
-        series: vec![
-            "FTFM k=2".into(),
-            "FTPM k=2".into(),
-            "FTFM k=3".into(),
-            "FTPM k=3".into(),
-        ],
+        series: vec!["FTFM k=2".into(), "FTPM k=2".into(), "FTFM k=3".into(), "FTPM k=3".into()],
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -214,9 +270,10 @@ pub fn fig3e(scale: Scale) -> FigureData {
     let n_peers = scale.peers(12000);
     let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for k in 2..=4 {
-        let ft = measure(&engine, k, scale.queries, scale.seed ^ k as u64, Variant::Ftfm);
-        let rt = measure(&engine, k, scale.queries, scale.seed ^ k as u64, Variant::Rtfm);
+        let ft = measure(&engine, k, scale.queries, scale.seed ^ k as u64, Variant::Ftfm, &mut acc);
+        let rt = measure(&engine, k, scale.queries, scale.seed ^ k as u64, Variant::Rtfm, &mut acc);
         rows.push((k as f64, vec![ft.avg_comp_time_ns / MS, rt.avg_comp_time_ns / MS]));
     }
     FigureData {
@@ -226,6 +283,7 @@ pub fn fig3e(scale: Scale) -> FigureData {
         y_label: "comp time (ms)",
         series: vec!["FTFM".into(), "RTFM".into()],
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -233,13 +291,22 @@ pub fn fig3e(scale: Scale) -> FigureData {
 /// ratio) as the network grows from 4000 to 12000 peers.
 pub fn fig3f(scale: Scale) -> FigureData {
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for paper_n in [4000usize, 8000, 12000] {
         let n_peers = scale.peers(paper_n);
         let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
-        let naive = measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Naive);
+        let naive = measure(
+            &engine,
+            3,
+            scale.queries,
+            scale.seed ^ paper_n as u64,
+            Variant::Naive,
+            &mut acc,
+        );
         let mut vals = Vec::new();
         for variant in Variant::SKYPEER {
-            let m = measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, variant);
+            let m =
+                measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, variant, &mut acc);
             vals.push(naive.avg_total_time_ns / m.avg_total_time_ns);
         }
         rows.push((n_peers as f64, vals));
@@ -251,6 +318,7 @@ pub fn fig3f(scale: Scale) -> FigureData {
         y_label: "naive / variant",
         series: Variant::SKYPEER.iter().map(|v| v.mnemonic().to_string()).collect(),
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -260,10 +328,18 @@ pub fn fig4a(scale: Scale) -> FigureData {
     let n_peers = scale.peers(12000);
     let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for k in 2..=5 {
         let mut vals = Vec::new();
         for variant in Variant::ALL {
-            let m = measure(&engine, k, scale.queries, scale.seed ^ (400 + k) as u64, variant);
+            let m = measure(
+                &engine,
+                k,
+                scale.queries,
+                scale.seed ^ (400 + k) as u64,
+                variant,
+                &mut acc,
+            );
             vals.push(m.avg_total_time_ns / MS);
         }
         rows.push((k as f64, vals));
@@ -275,6 +351,7 @@ pub fn fig4a(scale: Scale) -> FigureData {
         y_label: "total time (ms)",
         series: Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect(),
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -283,6 +360,7 @@ pub fn fig4a(scale: Scale) -> FigureData {
 fn sweep_large_networks(scale: Scale) -> (FigureData, FigureData) {
     let mut comp_rows = Vec::new();
     let mut total_rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for paper_n in [20000usize, 40000, 60000, 80000] {
         let n_peers = scale.peers(paper_n);
         // Preserve the paper's 1% super-peer ratio even at reduced scale.
@@ -307,7 +385,8 @@ fn sweep_large_networks(scale: Scale) -> (FigureData, FigureData) {
         let mut comp = Vec::new();
         let mut total = Vec::new();
         for variant in Variant::ALL {
-            let m = measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, variant);
+            let m =
+                measure(&engine, 3, scale.queries, scale.seed ^ paper_n as u64, variant, &mut acc);
             comp.push(m.avg_comp_time_ns / MS);
             total.push(m.avg_total_time_ns / MS);
         }
@@ -315,6 +394,7 @@ fn sweep_large_networks(scale: Scale) -> (FigureData, FigureData) {
         total_rows.push((n_peers as f64, total));
     }
     let series: Vec<String> = Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect();
+    let metrics = acc.finish();
     (
         FigureData {
             id: "fig4b",
@@ -323,6 +403,7 @@ fn sweep_large_networks(scale: Scale) -> (FigureData, FigureData) {
             y_label: "comp time (ms)",
             series: series.clone(),
             rows: comp_rows,
+            metrics: metrics.clone(),
         },
         FigureData {
             id: "fig4c",
@@ -331,6 +412,7 @@ fn sweep_large_networks(scale: Scale) -> (FigureData, FigureData) {
             y_label: "total time (ms)",
             series,
             rows: total_rows,
+            metrics,
         },
     )
 }
@@ -351,13 +433,20 @@ fn sweep_degree(scale: Scale) -> (FigureData, FigureData) {
     let n_peers = scale.peers(4000);
     let mut comp_rows = Vec::new();
     let mut total_rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for deg in 4..=7 {
-        let engine =
-            build_engine(n_peers, 8, 250, DatasetKind::Uniform, deg as f64, scale.seed);
+        let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, deg as f64, scale.seed);
         let mut comp = Vec::new();
         let mut total = Vec::new();
         for variant in Variant::ALL {
-            let m = measure(&engine, 3, scale.queries, scale.seed ^ (deg * 31) as u64, variant);
+            let m = measure(
+                &engine,
+                3,
+                scale.queries,
+                scale.seed ^ (deg * 31) as u64,
+                variant,
+                &mut acc,
+            );
             comp.push(m.avg_comp_time_ns / MS);
             total.push(m.avg_total_time_ns / MS);
         }
@@ -365,6 +454,7 @@ fn sweep_degree(scale: Scale) -> (FigureData, FigureData) {
         total_rows.push((deg as f64, total));
     }
     let series: Vec<String> = Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect();
+    let metrics = acc.finish();
     (
         FigureData {
             id: "fig4d",
@@ -373,6 +463,7 @@ fn sweep_degree(scale: Scale) -> (FigureData, FigureData) {
             y_label: "comp time (ms)",
             series: series.clone(),
             rows: comp_rows,
+            metrics: metrics.clone(),
         },
         FigureData {
             id: "fig4e",
@@ -381,6 +472,7 @@ fn sweep_degree(scale: Scale) -> (FigureData, FigureData) {
             y_label: "total time (ms)",
             series,
             rows: total_rows,
+            metrics,
         },
     )
 }
@@ -399,11 +491,12 @@ pub fn fig4e(scale: Scale) -> FigureData {
 pub fn fig4f(scale: Scale) -> FigureData {
     let n_peers = scale.peers(4000);
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for ppp in [250usize, 500, 750, 1000] {
         let engine = build_engine(n_peers, 8, ppp, DatasetKind::Uniform, 4.0, scale.seed);
         let mut vals = Vec::new();
         for variant in Variant::ALL {
-            let m = measure(&engine, 3, scale.queries, scale.seed ^ ppp as u64, variant);
+            let m = measure(&engine, 3, scale.queries, scale.seed ^ ppp as u64, variant, &mut acc);
             vals.push(m.avg_total_time_ns / MS);
         }
         rows.push((ppp as f64, vals));
@@ -415,6 +508,7 @@ pub fn fig4f(scale: Scale) -> FigureData {
         y_label: "total time (ms)",
         series: Variant::ALL.iter().map(|v| v.mnemonic().to_string()).collect(),
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -432,8 +526,9 @@ pub fn fig4g(scale: Scale) -> FigureData {
         scale.seed,
     );
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for (i, variant) in Variant::ALL.iter().enumerate() {
-        let m = measure(&engine, 3, scale.queries, scale.seed ^ 0x46, *variant);
+        let m = measure(&engine, 3, scale.queries, scale.seed ^ 0x46, *variant, &mut acc);
         rows.push((i as f64, vec![m.avg_comp_time_ns / MS, m.avg_total_time_ns / MS]));
     }
     FigureData {
@@ -446,6 +541,7 @@ pub fn fig4g(scale: Scale) -> FigureData {
         y_label: "time (ms)",
         series: vec!["comp (ms)".into(), "total (ms)".into()],
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -454,6 +550,7 @@ pub fn fig4g(scale: Scale) -> FigureData {
 pub fn fig4h(scale: Scale) -> FigureData {
     let n_peers = scale.peers(4000);
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for dim in 3..=6 {
         let engine = build_engine(
             n_peers,
@@ -466,7 +563,14 @@ pub fn fig4h(scale: Scale) -> FigureData {
         let k = dim.min(3);
         let mut vals = Vec::new();
         for variant in [Variant::Ftfm, Variant::Ftpm, Variant::Rtfm, Variant::Rtpm] {
-            let m = measure(&engine, k, scale.queries, scale.seed ^ (0x48 + dim) as u64, variant);
+            let m = measure(
+                &engine,
+                k,
+                scale.queries,
+                scale.seed ^ (0x48 + dim) as u64,
+                variant,
+                &mut acc,
+            );
             vals.push(m.avg_total_time_ns / MS);
         }
         rows.push((dim as f64, vals));
@@ -478,6 +582,7 @@ pub fn fig4h(scale: Scale) -> FigureData {
         y_label: "total time (ms)",
         series: vec!["FTFM".into(), "FTPM".into(), "RTFM".into(), "RTPM".into()],
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -488,6 +593,7 @@ pub fn fig4h(scale: Scale) -> FigureData {
 pub fn extra_routing(scale: Scale) -> FigureData {
     use skypeer_core::engine::RoutingMode;
     let mut rows = Vec::new();
+    let mut acc = MetricsAcc::default();
     for paper_n in [2000usize, 4000, 8000] {
         let n_peers = scale.peers(paper_n);
         let n_superpeers = EngineConfig::paper_superpeers(n_peers);
@@ -509,12 +615,20 @@ pub fn extra_routing(scale: Scale) -> FigureData {
             routing: RoutingMode::Flood,
         };
         let flood = SkypeerEngine::build(base);
-        let tree = SkypeerEngine::build(EngineConfig { routing: RoutingMode::SpanningTree, ..base });
-        let mf = measure(&flood, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Ftpm);
-        let mt = measure(&tree, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Ftpm);
+        let tree =
+            SkypeerEngine::build(EngineConfig { routing: RoutingMode::SpanningTree, ..base });
+        let mf =
+            measure(&flood, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Ftpm, &mut acc);
+        let mt =
+            measure(&tree, 3, scale.queries, scale.seed ^ paper_n as u64, Variant::Ftpm, &mut acc);
         rows.push((
             n_peers as f64,
-            vec![mf.avg_messages, mt.avg_messages, mf.avg_volume_bytes / KB, mt.avg_volume_bytes / KB],
+            vec![
+                mf.avg_messages,
+                mt.avg_messages,
+                mf.avg_volume_bytes / KB,
+                mt.avg_volume_bytes / KB,
+            ],
         ));
     }
     FigureData {
@@ -522,13 +636,9 @@ pub fn extra_routing(scale: Scale) -> FigureData {
         title: "Ablation (beyond the paper): flooding vs spanning-tree routing, FTPM".into(),
         x_label: "N_p",
         y_label: "msgs / volume",
-        series: vec![
-            "flood msgs".into(),
-            "tree msgs".into(),
-            "flood KB".into(),
-            "tree KB".into(),
-        ],
+        series: vec!["flood msgs".into(), "tree msgs".into(), "flood KB".into(), "tree KB".into()],
         rows,
+        metrics: acc.finish(),
     }
 }
 
@@ -541,6 +651,7 @@ pub fn extra_concurrency(scale: Scale) -> FigureData {
     let engine = build_engine(n_peers, 8, 250, DatasetKind::Uniform, 4.0, scale.seed);
     let n_sp = engine.config().n_superpeers;
     let mut rows = Vec::new();
+    let mut queries_run = 0u64;
     for batch_size in [1usize, 2, 4, 8] {
         let wl = WorkloadSpec {
             dim: 8,
@@ -555,6 +666,7 @@ pub fn extra_concurrency(scale: Scale) -> FigureData {
         let concurrent = engine.run_concurrent(&batch);
         let serial_sum: u64 =
             wl.iter().map(|q| engine.run_query(*q, Variant::Ftpm).total_time_ns).sum();
+        queries_run += 2 * batch_size as u64;
         rows.push((
             batch_size as f64,
             vec![concurrent.makespan_ns as f64 / MS, serial_sum as f64 / MS],
@@ -569,6 +681,7 @@ pub fn extra_concurrency(scale: Scale) -> FigureData {
         y_label: "time (ms)",
         series: vec!["concurrent makespan".into(), "serial sum".into()],
         rows,
+        metrics: vec![("queries".into(), queries_run as f64)],
     }
 }
 

@@ -19,8 +19,7 @@ pub fn render(fig: &FigureData, height: usize) -> String {
     if n_cols == 0 || fig.series.is_empty() {
         return format!("## {} — (no data)\n", fig.id);
     }
-    let all: Vec<f64> =
-        fig.rows.iter().flat_map(|(_, vals)| vals.iter().copied()).collect();
+    let all: Vec<f64> = fig.rows.iter().flat_map(|(_, vals)| vals.iter().copied()).collect();
     let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = if hi > lo { hi - lo } else { 1.0 };
@@ -51,9 +50,7 @@ pub fn render(fig: &FigureData, height: usize) -> String {
     out.push_str("   +");
     out.push_str(&"-".repeat(n_cols * col_width));
     out.push_str(&format!("\n   min {lo:.3}; x = {}: ", fig.x_label));
-    out.push_str(
-        &fig.rows.iter().map(|(x, _)| format!("{x}")).collect::<Vec<_>>().join(", "),
-    );
+    out.push_str(&fig.rows.iter().map(|(x, _)| format!("{x}")).collect::<Vec<_>>().join(", "));
     out.push('\n');
     for (i, name) in fig.series.iter().enumerate() {
         out.push_str(&format!("   {} {}\n", GLYPHS[i % GLYPHS.len()], name));
@@ -72,11 +69,8 @@ mod unit {
             x_label: "d",
             y_label: "ms",
             series: vec!["up".into(), "down".into()],
-            rows: vec![
-                (1.0, vec![0.0, 10.0]),
-                (2.0, vec![5.0, 5.0]),
-                (3.0, vec![10.0, 0.0]),
-            ],
+            rows: vec![(1.0, vec![0.0, 10.0]), (2.0, vec![5.0, 5.0]), (3.0, vec![10.0, 0.0])],
+            metrics: vec![],
         }
     }
 
@@ -111,6 +105,7 @@ mod unit {
             y_label: "y",
             series: vec![],
             rows: vec![],
+            metrics: vec![],
         };
         assert!(render(&empty, 8).contains("no data"));
     }
@@ -124,6 +119,7 @@ mod unit {
             y_label: "y",
             series: vec!["c".into()],
             rows: vec![(1.0, vec![3.0]), (2.0, vec![3.0])],
+            metrics: vec![],
         };
         let s = render(&flat, 6);
         assert!(s.contains('o'));

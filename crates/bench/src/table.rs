@@ -40,6 +40,11 @@ pub fn render(fig: &FigureData) -> String {
         out.push_str(&fmt_row(row));
         out.push('\n');
     }
+    if !fig.metrics.is_empty() {
+        let cells: Vec<String> =
+            fig.metrics.iter().map(|(name, v)| format!("{name}: {}", trim_float(*v))).collect();
+        out.push_str(&format!("   [{}]\n", cells.join(" | ")));
+    }
     out
 }
 
@@ -68,13 +73,15 @@ mod unit {
             y_label: "time (s)",
             series: vec!["a".into(), "long-series".into()],
             rows: vec![(5.0, vec![1.0, 2.5]), (10.0, vec![100.25, 0.125])],
+            metrics: vec![("queries".into(), 40.0), ("avg dropped/query".into(), 0.0)],
         };
         let s = render(&fig);
         assert!(s.contains("figX"));
         assert!(s.contains("long-series"));
         let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 6, "header block + 2 data rows: {s}");
+        assert_eq!(lines.len(), 7, "header block + 2 data rows + metrics: {s}");
         assert!(lines[5].contains("0.125"));
+        assert!(lines[6].contains("queries: 40") && lines[6].contains("avg dropped/query: 0"));
     }
 
     #[test]

@@ -80,9 +80,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.raw(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("invalid value '{v}' for --{name}"))),
+            Some(v) => v.parse().map_err(|_| ArgError(format!("invalid value '{v}' for --{name}"))),
         }
     }
 

@@ -11,7 +11,7 @@ use skypeer_skyline::{DominanceIndex, Subspace};
 
 /// Builds an engine from the shared network flags:
 /// `--peers`, `--superpeers`, `--dim`, `--points`, `--degree`, `--data`,
-/// `--seed`.
+/// `--seed`, `--routing`.
 fn engine_from(args: &Args) -> Result<SkypeerEngine, ArgError> {
     let n_peers: usize = args.get_or("peers", 400)?;
     let default_sp = EngineConfig::paper_superpeers(n_peers);
@@ -33,8 +33,12 @@ fn engine_from(args: &Args) -> Result<SkypeerEngine, ArgError> {
     // Small networks cannot host the default degree; clamp like the bench
     // harness does rather than bothering the user.
     let degree = degree.min(n_superpeers.saturating_sub(1) as f64);
-    let index =
-        if args.flag("linear")? { DominanceIndex::Linear } else { DominanceIndex::RTree };
+    let index = if args.flag("linear")? { DominanceIndex::Linear } else { DominanceIndex::RTree };
+    let routing = match args.str_or("routing", "flood").as_str() {
+        "flood" => skypeer_core::engine::RoutingMode::Flood,
+        "tree" => skypeer_core::engine::RoutingMode::SpanningTree,
+        other => return Err(ArgError(format!("unknown --routing '{other}' (flood|tree)"))),
+    };
     let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xD1CE);
     topology.avg_degree = degree;
     Ok(SkypeerEngine::build(EngineConfig {
@@ -45,7 +49,7 @@ fn engine_from(args: &Args) -> Result<SkypeerEngine, ArgError> {
         index,
         cost: CostModel::default(),
         link: LinkModel::paper_4kbps(),
-        routing: skypeer_core::engine::RoutingMode::Flood,
+        routing,
     }))
 }
 
@@ -66,15 +70,33 @@ fn variant_from(args: &Args) -> Result<Variant, ArgError> {
 /// network (the Figure 3(a) quantities).
 pub fn stats(args: &Args) -> Result<(), ArgError> {
     let engine = engine_from(args)?;
+    let per_node = args.flag("per-node")?;
     args.reject_unknown()?;
     let r = engine.preprocess_report();
     let cfg = engine.config();
-    println!("network: {} peers / {} super-peers / d={}", cfg.n_peers, cfg.n_superpeers, cfg.dataset.dim);
+    println!(
+        "network: {} peers / {} super-peers / d={}",
+        cfg.n_peers, cfg.n_superpeers, cfg.dataset.dim
+    );
     println!("raw points        : {}", r.raw_points);
     println!("uploaded (ext-sky): {}  (SEL_p  = {:.2}%)", r.uploaded_points, 100.0 * r.sel_p());
     println!("stored at SPs     : {}  (SEL_sp = {:.2}%)", r.stored_points, 100.0 * r.sel_sp());
     println!("survivor rate     : {:.2}%", 100.0 * r.sel_ratio());
     println!("upload volume     : {:.1} KB", r.uploaded_bytes as f64 / 1024.0);
+    if per_node {
+        println!("per super-peer stores:");
+        println!("{:>6}  {:>9}  {:>9}", "node", "points", "share");
+        let total = r.stored_points.max(1);
+        for sp in 0..cfg.n_superpeers {
+            let len = engine.store(sp).len();
+            println!(
+                "{:>6}  {:>9}  {:>8.2}%",
+                format!("SP{sp}"),
+                len,
+                100.0 * len as f64 / total as f64
+            );
+        }
+    }
     Ok(())
 }
 
@@ -99,6 +121,7 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
     println!("comp time : {:.3} ms", out.comp_time_ns as f64 / 1e6);
     println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
     println!("volume    : {:.1} KB in {} messages", out.volume_bytes as f64 / 1024.0, out.messages);
+    println!("dropped   : {} messages", out.dropped);
     for i in 0..out.result.len().min(show) {
         let p = out.result.points().point(i);
         let rounded: Vec<f64> = p.iter().map(|v| (v * 1000.0).round() / 1000.0).collect();
@@ -106,6 +129,102 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
     }
     if out.result.len() > show {
         println!("  ... {} more (raise --show)", out.result.len() - show);
+    }
+    Ok(())
+}
+
+/// `skypeer-cli trace` — run one query with full tracing: metrics
+/// registry, per-node work table, hottest node/link, and the critical
+/// path that determined the response time. Optionally exports the raw
+/// event log (`--jsonl`) and a Perfetto/chrome://tracing file
+/// (`--perfetto`).
+pub fn trace(args: &Args) -> Result<(), ArgError> {
+    use skypeer_netsim::obs::{self, MemTracer, MetricsRegistry, Tracer};
+    use std::sync::Arc;
+
+    let engine = engine_from(args)?;
+    let variant = variant_from(args)?;
+    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
+    let initiator: usize = args.get_or("initiator", 0)?;
+    let jsonl_path = args.str_or("jsonl", "");
+    let perfetto_path = args.str_or("perfetto", "");
+    args.reject_unknown()?;
+    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
+        return Err(ArgError("--dims index out of range for --dim".into()));
+    }
+    if initiator >= engine.config().n_superpeers {
+        return Err(ArgError("--initiator out of range".into()));
+    }
+
+    let q = Query { subspace: Subspace::from_dims(&dims), initiator };
+    let tracer = Arc::new(MemTracer::new());
+    let out = engine.run_query_traced(q, variant, Arc::clone(&tracer) as Arc<dyn Tracer>);
+    let events = tracer.take();
+
+    println!("query     : skyline on {} from SP{initiator} via {variant}", q.subspace);
+    println!("result    : {} points (exact)", out.result_ids.len());
+    println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
+    println!("events    : {}", events.len());
+
+    let m = MetricsRegistry::from_events(&events);
+    println!("\ncounters:");
+    for (name, value) in &m.counters {
+        println!("  {name:<22} {value}");
+    }
+    println!("\nhistograms:");
+    println!("  service time (ns)    {}", m.service_ns.summary());
+    println!("  message size (bytes) {}", m.msg_bytes.summary());
+    println!("  hop latency (ns)     {}", m.hop_latency_ns.summary());
+    println!("  dominance tests/span {}", m.dominance_tests.summary());
+
+    println!("\nper-node work:");
+    println!(
+        "{:>6}  {:>6}  {:>11}  {:>7}  {:>7}  {:>10}  {:>10}  {:>10}",
+        "node", "spans", "service ms", "msg in", "msg out", "bytes in", "bytes out", "dom tests"
+    );
+    for (node, nm) in m.per_node.iter().enumerate() {
+        if nm.spans == 0 && nm.msgs_in == 0 && nm.msgs_out == 0 {
+            continue;
+        }
+        println!(
+            "{:>6}  {:>6}  {:>11.3}  {:>7}  {:>7}  {:>10}  {:>10}  {:>10}",
+            format!("SP{node}"),
+            nm.spans,
+            nm.service_ns as f64 / 1e6,
+            nm.msgs_in,
+            nm.msgs_out,
+            nm.bytes_in,
+            nm.bytes_out,
+            nm.dominance_tests
+        );
+    }
+    if let Some((node, ns)) = m.hottest_node() {
+        println!("hottest node: SP{node} ({:.3} ms service time)", ns as f64 / 1e6);
+    }
+    if let Some(((a, b), bytes)) = m.hottest_link() {
+        println!("hottest link: SP{a} -> SP{b} ({bytes} bytes)");
+    }
+    if !m.thresholds.is_empty() {
+        println!("\nthreshold samples (sim-time ms, node, value):");
+        for s in &m.thresholds {
+            println!("  {:>10.3}  SP{:<4}  {:.6}", s.at as f64 / 1e6, s.node, s.value);
+        }
+    }
+
+    match obs::critical_path(&events) {
+        Some(path) => println!("\n{}", obs::critical::render(&path)),
+        None => println!("\nno critical path (no finish event recorded)"),
+    }
+
+    if !jsonl_path.is_empty() {
+        std::fs::write(&jsonl_path, obs::jsonl(&events))
+            .map_err(|e| ArgError(format!("cannot write {jsonl_path}: {e}")))?;
+        println!("wrote event log: {jsonl_path}");
+    }
+    if !perfetto_path.is_empty() {
+        std::fs::write(&perfetto_path, obs::chrome_trace(&events))
+            .map_err(|e| ArgError(format!("cannot write {perfetto_path}: {e}")))?;
+        println!("wrote Perfetto trace: {perfetto_path} (open at https://ui.perfetto.dev)");
     }
     Ok(())
 }
@@ -193,23 +312,26 @@ pub fn faults(args: &Args) -> Result<(), ArgError> {
     if fail.contains(&0) {
         return Err(ArgError("cannot fail the initiator (SP0)".into()));
     }
-    let failures: Vec<(usize, u64)> =
-        fail.iter().map(|&sp| (sp, fail_at_ms * 1_000_000)).collect();
+    let failures: Vec<(usize, u64)> = fail.iter().map(|&sp| (sp, fail_at_ms * 1_000_000)).collect();
     let healthy = engine.run_query(q, variant);
-    let degraded =
-        engine.run_query_with_failures(q, variant, &failures, timeout_s * 1_000_000_000);
-    println!("query: skyline on {} via {variant}; failing SPs {fail:?} at t={fail_at_ms}ms", q.subspace);
+    let degraded = engine.run_query_with_failures(q, variant, &failures, timeout_s * 1_000_000_000);
     println!(
-        "healthy : {} points, complete={}, total {:.1} ms",
-        healthy.result_ids.len(),
-        healthy.complete,
-        healthy.total_time_ns as f64 / 1e6
+        "query: skyline on {} via {variant}; failing SPs {fail:?} at t={fail_at_ms}ms",
+        q.subspace
     );
     println!(
-        "degraded: {} points, complete={}, total {:.1} ms",
+        "healthy : {} points, complete={}, total {:.1} ms, {} msgs dropped",
+        healthy.result_ids.len(),
+        healthy.complete,
+        healthy.total_time_ns as f64 / 1e6,
+        healthy.dropped
+    );
+    println!(
+        "degraded: {} points, complete={}, total {:.1} ms, {} msgs dropped",
         degraded.result_ids.len(),
         degraded.complete,
-        degraded.total_time_ns as f64 / 1e6
+        degraded.total_time_ns as f64 / 1e6,
+        degraded.dropped
     );
     let missing: Vec<u64> =
         healthy.result_ids.iter().copied().filter(|id| !degraded.result_ids.contains(id)).collect();
@@ -233,10 +355,7 @@ pub fn estimate(args: &Args) -> Result<(), ArgError> {
     for d in 1..=max_d {
         let exact = skypeer_skyline::estimate::expected_skyline_size(n, d);
         let approx = skypeer_skyline::estimate::asymptotic_skyline_size(n, d);
-        println!(
-            "{d:>3}  {exact:>14.1}  {approx:>14.1}  {:>8.3}%",
-            100.0 * exact / n as f64
-        );
+        println!("{d:>3}  {exact:>14.1}  {approx:>14.1}  {:>8.3}%", 100.0 * exact / n as f64);
     }
     Ok(())
 }
@@ -276,8 +395,7 @@ pub fn csv_query(args: &Args) -> Result<(), ArgError> {
         columns,
         id_column: (id_column >= 0).then_some(id_column as usize),
     };
-    let f = std::fs::File::open(&file)
-        .map_err(|e| ArgError(format!("cannot open {file}: {e}")))?;
+    let f = std::fs::File::open(&file).map_err(|e| ArgError(format!("cannot open {file}: {e}")))?;
     let mut set = read_points(std::io::BufReader::new(f), &opts)
         .map_err(|e| ArgError(format!("{file}: {e}")))?;
     for &col in &invert {
@@ -305,8 +423,7 @@ pub fn csv_query(args: &Args) -> Result<(), ArgError> {
     let dim = set.dim();
     let stores: Vec<Arc<skypeer_skyline::SortedDataset>> = (0..n_superpeers)
         .map(|sp| {
-            let mine: Vec<_> =
-                parts[sp * peers_per_sp..(sp + 1) * peers_per_sp].to_vec();
+            let mine: Vec<_> = parts[sp * peers_per_sp..(sp + 1) * peers_per_sp].to_vec();
             Arc::new(SuperPeerStore::preprocess(&mine, dim, DominanceIndex::RTree).store)
         })
         .collect();
@@ -329,13 +446,8 @@ pub fn csv_query(args: &Args) -> Result<(), ArgError> {
         })
         .collect();
     let out = Sim::new(nodes, LinkModel::paper_4kbps(), CostModel::default()).run(0);
-    let answer = out
-        .nodes
-        .into_iter()
-        .next()
-        .expect("initiator")
-        .into_outcome()
-        .expect("query completes");
+    let answer =
+        out.nodes.into_iter().next().expect("initiator").into_outcome().expect("query completes");
     println!(
         "\nskyline on {subspace} via {variant}: {} points | {:.1} ms total | {:.1} KB",
         answer.result.len(),

@@ -6,19 +6,21 @@
 //! skypeer-cli workload [--k K] [--queries Q] [...]
 //! skypeer-cli topology [--superpeers N] [--degree DEG]
 //! skypeer-cli faults   [--fail 1,2] [--fail-at-ms T] [--timeout-s S] [...]
+//! skypeer-cli trace    [--dims 0,2,5] [--variant ftpm] [--jsonl F] [--perfetto F] [...]
 //! ```
 //!
 //! Shared network flags for every command that builds a network:
 //! `--peers` (400), `--superpeers` (paper rule), `--dim` (8), `--points`
 //! (250), `--degree` (4), `--data uniform|clustered|correlated|
-//! anticorrelated`, `--seed` (42).
+//! anticorrelated`, `--seed` (42), `--routing flood|tree`.
 
 mod args;
 mod commands;
 
 use args::Args;
 
-const USAGE: &str = "usage: skypeer-cli <stats|query|workload|topology|faults|estimate|csv-query> [flags]
+const USAGE: &str =
+    "usage: skypeer-cli <stats|query|trace|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 fn main() {
@@ -42,6 +44,7 @@ fn main() {
     let result = match cmd.as_str() {
         "stats" => commands::stats(&parsed),
         "query" => commands::query(&parsed),
+        "trace" => commands::trace(&parsed),
         "workload" => commands::workload(&parsed),
         "topology" => commands::topology(&parsed),
         "faults" => commands::faults(&parsed),

@@ -4,10 +4,8 @@
 use std::process::Command;
 
 fn run(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_skypeer-cli"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_skypeer-cli")).args(args).output().expect("binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -26,8 +24,7 @@ fn stats_reports_selectivities() {
 
 #[test]
 fn query_returns_exact_count_deterministically() {
-    let args =
-        ["query", "--peers", "60", "--dim", "5", "--dims", "0,3", "--variant", "rtpm"];
+    let args = ["query", "--peers", "60", "--dim", "5", "--dims", "0,3", "--variant", "rtpm"];
     let (a, _, ok_a) = run(&args);
     let (b, _, ok_b) = run(&args);
     assert!(ok_a && ok_b);
@@ -102,10 +99,64 @@ fn bad_flags_fail_fast() {
 #[test]
 fn faults_command_reports_degradation() {
     let (stdout, _, ok) = run(&[
-        "faults", "--peers", "60", "--dim", "4", "--dims", "0,1", "--fail", "2",
-        "--timeout-s", "200",
+        "faults",
+        "--peers",
+        "60",
+        "--dim",
+        "4",
+        "--dims",
+        "0,1",
+        "--fail",
+        "2",
+        "--timeout-s",
+        "200",
     ]);
     assert!(ok);
     assert!(stdout.contains("healthy"));
     assert!(stdout.contains("degraded"));
+}
+
+#[test]
+fn trace_reports_metrics_and_critical_path_and_writes_exports() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let jsonl = dir.join("q.jsonl");
+    let perfetto = dir.join("q.trace.json");
+    let (stdout, stderr, ok) = run(&[
+        "trace",
+        "--peers",
+        "60",
+        "--dim",
+        "5",
+        "--dims",
+        "0,3",
+        "--variant",
+        "ftpm",
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+        "--perfetto",
+        perfetto.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("messages_sent"), "{stdout}");
+    assert!(stdout.contains("per-node work:"), "{stdout}");
+    assert!(stdout.contains("critical path"), "{stdout}");
+    let log = std::fs::read_to_string(&jsonl).expect("jsonl written");
+    assert!(log.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "one object per line");
+    let trace = std::fs::read_to_string(&perfetto).expect("perfetto written");
+    assert!(trace.starts_with("{\"traceEvents\":["), "{}", &trace[..trace.len().min(80)]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn routing_flag_selects_spanning_tree() {
+    let base = ["query", "--peers", "60", "--dim", "5", "--dims", "0,3"];
+    let (flood, _, ok_a) = run(&[&base[..], &["--routing", "flood"]].concat());
+    let (tree, _, ok_b) = run(&[&base[..], &["--routing", "tree"]].concat());
+    assert!(ok_a && ok_b);
+    assert_ne!(flood, tree, "routing mode should change traffic totals");
+    let (_, stderr, ok_c) = run(&[&base[..], &["--routing", "carrier-pigeon"]].concat());
+    assert!(!ok_c);
+    assert!(stderr.contains("unknown --routing"));
 }

@@ -268,13 +268,19 @@ impl ChurnScenarioSpec {
                     kind: skypeer_data::DatasetKind::Uniform,
                     seed: self.seed ^ 0xC0FFEE,
                 };
-                out.push(ChurnEvent::PeerJoin { superpeer: sp, points: spec.generate_peer(peer_no, sp) });
+                out.push(ChurnEvent::PeerJoin {
+                    superpeer: sp,
+                    points: spec.generate_peer(peer_no, sp),
+                });
                 peer_no += 1;
             } else if roll < 65 && down.len() < self.max_concurrent_failures {
                 let candidates: Vec<usize> = (0..self.n_superpeers)
                     .filter(|&sp| sp != self.initiator && !down.contains(&sp))
                     .collect();
-                if let Some(&sp) = candidates.get(rng.gen_range(0..candidates.len().max(1)).min(candidates.len().saturating_sub(1))) {
+                if let Some(&sp) = candidates.get(
+                    rng.gen_range(0..candidates.len().max(1))
+                        .min(candidates.len().saturating_sub(1)),
+                ) {
                     down.push(sp);
                     out.push(ChurnEvent::SuperPeerCrash { superpeer: sp });
                 }
@@ -367,15 +373,13 @@ mod unit {
         }
         let u = Subspace::from_dims(&[1, 3]);
         let q = Query { subspace: u, initiator: 0 };
-        let healthy = r
-            .apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm })
-            .expect("report");
+        let healthy =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
         assert!(healthy.complete && healthy.exact_for_live_data);
 
         r.apply(ChurnEvent::SuperPeerCrash { superpeer: 2 });
-        let degraded = r
-            .apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm })
-            .expect("report");
+        let degraded =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
         // The crash may or may not cut off additional super-peers; either
         // way the query terminated and the verdicts are consistent.
         if degraded.complete {
@@ -383,9 +387,8 @@ mod unit {
         }
 
         r.apply(ChurnEvent::SuperPeerRecover { superpeer: 2 });
-        let recovered = r
-            .apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm })
-            .expect("report");
+        let recovered =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
         assert!(recovered.complete);
         assert_eq!(recovered.result_ids, healthy.result_ids, "recovery restores the answer");
     }

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use skypeer_data::{DatasetSpec, Query};
 use skypeer_netsim::cost::CostModel;
 use skypeer_netsim::des::{LinkModel, Sim, SimStats};
+use skypeer_netsim::obs::Tracer;
 use skypeer_netsim::topology::{Topology, TopologySpec};
 use skypeer_skyline::{Dominance, DominanceIndex, SortedDataset, Subspace};
 
@@ -113,6 +114,9 @@ pub struct QueryOutcome {
     pub volume_bytes: u64,
     /// Messages delivered (configured-link run).
     pub messages: u64,
+    /// Messages dropped — by dead nodes or injected faults (configured-link
+    /// run; always 0 on a failure-free query).
+    pub dropped: u64,
     /// Total computation service time across all super-peers, ns.
     pub compute_ns_total: u64,
 }
@@ -130,6 +134,8 @@ pub struct QueryMetrics {
     pub avg_volume_bytes: f64,
     /// Mean delivered messages.
     pub avg_messages: f64,
+    /// Mean dropped messages (non-zero only under failure injection).
+    pub avg_dropped: f64,
 }
 
 impl QueryMetrics {
@@ -145,6 +151,7 @@ impl QueryMetrics {
             avg_comp_time_ns: outcomes.iter().map(|o| o.comp_time_ns as f64).sum::<f64>() / n,
             avg_volume_bytes: outcomes.iter().map(|o| o.volume_bytes as f64).sum::<f64>() / n,
             avg_messages: outcomes.iter().map(|o| o.messages as f64).sum::<f64>() / n,
+            avg_dropped: outcomes.iter().map(|o| o.dropped as f64).sum::<f64>() / n,
         }
     }
 }
@@ -218,9 +225,8 @@ impl SkypeerEngine {
         );
         let topology = config.topology.generate();
         let peer_home = topology.assign_peers(config.n_peers);
-        let peer_sets: Vec<_> = (0..config.n_peers)
-            .map(|p| config.dataset.generate_peer(p, peer_home[p]))
-            .collect();
+        let peer_sets: Vec<_> =
+            (0..config.n_peers).map(|p| config.dataset.generate_peer(p, peer_home[p])).collect();
         let (stores, preprocess) = preprocess_network(
             &peer_sets,
             &peer_home,
@@ -302,12 +308,38 @@ impl SkypeerEngine {
     /// Panics if either simulation fails to complete (a protocol bug) or if
     /// the two runs disagree on the result (ditto).
     pub fn run_query(&self, query: Query, variant: Variant) -> QueryOutcome {
+        self.run_query_inner(query, variant, None)
+    }
+
+    /// [`SkypeerEngine::run_query`] with a [`Tracer`] observing the
+    /// total-time (configured-link) run — the run whose timings define the
+    /// response time, so its trace is the one worth profiling. The
+    /// zero-delay computational-time run stays untraced.
+    pub fn run_query_traced(
+        &self,
+        query: Query,
+        variant: Variant,
+        tracer: Arc<dyn Tracer>,
+    ) -> QueryOutcome {
+        self.run_query_inner(query, variant, Some(tracer))
+    }
+
+    fn run_query_inner(
+        &self,
+        query: Query,
+        variant: Variant,
+        tracer: Option<Arc<dyn Tracer>>,
+    ) -> QueryOutcome {
         let qid = self.next_qid.get();
         self.next_qid.set(qid.wrapping_add(1));
 
         // Total-time run with the configured (4 KB/s) links.
-        let real = Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost)
-            .run(query.initiator);
+        let mut sim =
+            Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost);
+        if let Some(tracer) = tracer {
+            sim = sim.with_tracer(tracer);
+        }
+        let real = sim.run(query.initiator);
         let (real_stats, real_result, real_complete) = extract(real, query.initiator);
 
         // Computational-time run with zero-delay links.
@@ -339,6 +371,7 @@ impl SkypeerEngine {
             comp_time_ns: zero_stats.finished_at.expect("query must complete"),
             volume_bytes: real_stats.bytes,
             messages: real_stats.messages,
+            dropped: real_stats.dropped,
             compute_ns_total: real_stats.compute_ns_total,
         }
     }
@@ -393,8 +426,8 @@ impl SkypeerEngine {
                 starts.push(q.initiator);
             }
         }
-        let out = Sim::new(nodes, self.config.link, self.config.cost)
-            .run_multi(&starts, batch.len());
+        let out =
+            Sim::new(nodes, self.config.link, self.config.cost).run_multi(&starts, batch.len());
         let makespan_ns = out.stats.finished_at.expect("batch must complete");
 
         let mut per_query: Vec<Vec<u64>> = Vec::with_capacity(batch.len());
@@ -425,9 +458,10 @@ impl SkypeerEngine {
     pub fn profile_query(&self, query: Query, variant: Variant) -> QueryProfile {
         let qid = self.next_qid.get();
         self.next_qid.set(qid.wrapping_add(1));
-        let out = Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost)
-            .with_breakdown()
-            .run(query.initiator);
+        let out =
+            Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost)
+                .with_breakdown()
+                .run(query.initiator);
         let breakdown = out.breakdown.expect("breakdown enabled");
         let total: u64 = breakdown.compute_ns.iter().sum();
         let initiator_share = if total == 0 {
@@ -493,6 +527,7 @@ impl SkypeerEngine {
             comp_time_ns: stats.finished_at.expect("timeouts guarantee completion"),
             volume_bytes: stats.bytes,
             messages: stats.messages,
+            dropped: stats.dropped,
             compute_ns_total: stats.compute_ns_total,
         }
     }
@@ -541,12 +576,7 @@ mod unit {
         EngineConfig {
             n_peers: 12,
             n_superpeers,
-            dataset: DatasetSpec {
-                dim: 4,
-                points_per_peer: 30,
-                kind: DatasetKind::Uniform,
-                seed,
-            },
+            dataset: DatasetSpec { dim: 4, points_per_peer: 30, kind: DatasetKind::Uniform, seed },
             topology: TopologySpec::paper_default(n_superpeers, seed),
             index: DominanceIndex::Linear,
             cost: CostModel::default(),
@@ -571,11 +601,7 @@ mod unit {
     fn exactness_across_initiators_and_subspaces() {
         let engine = SkypeerEngine::build(tiny_config(8));
         for initiator in 0..6 {
-            for u in [
-                Subspace::from_dims(&[1]),
-                Subspace::from_dims(&[0, 3]),
-                Subspace::full(4),
-            ] {
+            for u in [Subspace::from_dims(&[1]), Subspace::from_dims(&[0, 3]), Subspace::full(4)] {
                 let want = engine.centralized_skyline(u);
                 let query = Query { subspace: u, initiator };
                 for variant in [Variant::Ftpm, Variant::Rtfm, Variant::Naive] {
@@ -626,10 +652,31 @@ mod unit {
         let outcomes = engine.run_workload(&queries, Variant::Ftpm);
         let m = QueryMetrics::from_outcomes(&outcomes);
         assert_eq!(m.queries, 2);
-        let manual =
-            (outcomes[0].total_time_ns as f64 + outcomes[1].total_time_ns as f64) / 2.0;
+        let manual = (outcomes[0].total_time_ns as f64 + outcomes[1].total_time_ns as f64) / 2.0;
         assert_eq!(m.avg_total_time_ns, manual);
         assert_eq!(QueryMetrics::from_outcomes(&[]), QueryMetrics::default());
+    }
+
+    #[test]
+    fn traced_query_is_identical_and_critical_path_accounts_response_time() {
+        use skypeer_netsim::obs::{critical_path, MemTracer, Tracer};
+        let engine = SkypeerEngine::build(tiny_config(9));
+        let query = Query { subspace: Subspace::from_dims(&[0, 2]), initiator: 1 };
+        let plain = engine.run_query(query, Variant::Ftpm);
+        let tracer = Arc::new(MemTracer::new());
+        let traced =
+            engine.run_query_traced(query, Variant::Ftpm, Arc::clone(&tracer) as Arc<dyn Tracer>);
+        assert_eq!(plain.result_ids, traced.result_ids);
+        assert_eq!(plain.total_time_ns, traced.total_time_ns);
+        assert_eq!(plain.volume_bytes, traced.volume_bytes);
+        let events = tracer.take();
+        assert!(!events.is_empty());
+        let path = critical_path(&events).expect("query finished");
+        assert_eq!(path.finish_at, traced.total_time_ns);
+        assert_eq!(
+            path.total_ns, traced.total_time_ns,
+            "critical path must account for the whole response time"
+        );
     }
 
     #[test]

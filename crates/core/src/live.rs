@@ -45,8 +45,7 @@ pub fn run_query_live(
     assert!(initiator < topology.len(), "initiator out of range");
     let nodes: Vec<SuperPeerNode> = (0..topology.len())
         .map(|sp| {
-            let init =
-                (sp == initiator).then_some(InitQuery { qid: 1, subspace, variant });
+            let init = (sp == initiator).then_some(InitQuery { qid: 1, subspace, variant });
             SuperPeerNode::new(
                 sp,
                 topology.neighbors(sp).to_vec(),
@@ -88,9 +87,8 @@ mod unit {
         let mut all = PointSet::new(4);
         let mut stores = Vec::new();
         for sp in 0..n_superpeers {
-            let sets: Vec<PointSet> = (0..peers_per_sp)
-                .map(|i| spec.generate_peer(sp * peers_per_sp + i, sp))
-                .collect();
+            let sets: Vec<PointSet> =
+                (0..peers_per_sp).map(|i| spec.generate_peer(sp * peers_per_sp + i, sp)).collect();
             for s in &sets {
                 all.extend_from(s);
             }
@@ -104,11 +102,8 @@ mod unit {
     fn live_run_is_exact_for_every_variant() {
         let (topo, stores, all) = build_stores(6, 3, 42);
         let u = Subspace::from_dims(&[0, 2]);
-        let want = skypeer_skyline::brute::skyline_ids(
-            &all,
-            u,
-            skypeer_skyline::Dominance::Standard,
-        );
+        let want =
+            skypeer_skyline::brute::skyline_ids(&all, u, skypeer_skyline::Dominance::Standard);
         for variant in Variant::ALL {
             let out = run_query_live(
                 &topo,

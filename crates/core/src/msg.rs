@@ -229,7 +229,8 @@ mod unit {
 
     #[test]
     fn wire_size_tracks_point_count() {
-        let empty = Msg::Answer { qid: 0, done: true, complete: true, points: SortedDataset::empty(3) };
+        let empty =
+            Msg::Answer { qid: 0, done: true, complete: true, points: SortedDataset::empty(3) };
         let full = Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() };
         // Two 3-d points cost 2 × (8 id + 24 coords) = 64 extra bytes.
         assert_eq!(full.wire_bytes(), empty.wire_bytes() + 64);
@@ -261,14 +262,14 @@ mod unit {
     #[test]
     fn hostile_payloads_are_rejected_not_panicking() {
         // Negative coordinate inside an Answer.
-        let mut ans = Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() }
-            .encode();
+        let mut ans =
+            Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() }.encode();
         let coord_off = ans.len() - 8;
         ans[coord_off..].copy_from_slice(&(-1.0f64).to_be_bytes());
         assert_eq!(Msg::decode(&ans), None, "negative coordinate must be rejected");
         // NaN coordinate.
-        let mut nan = Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() }
-            .encode();
+        let mut nan =
+            Msg::Answer { qid: 0, done: true, complete: true, points: sample_points() }.encode();
         nan[coord_off..].copy_from_slice(&f64::NAN.to_be_bytes());
         assert_eq!(Msg::decode(&nan), None, "NaN coordinate must be rejected");
         // NaN threshold in a Query.
@@ -282,13 +283,9 @@ mod unit {
         q[9..17].copy_from_slice(&f64::NAN.to_be_bytes());
         assert_eq!(Msg::decode(&q), None, "NaN threshold must be rejected");
         // Oversized declared dimensionality.
-        let mut big = Msg::Answer {
-            qid: 0,
-            done: true,
-            complete: true,
-            points: SortedDataset::empty(3),
-        }
-        .encode();
+        let mut big =
+            Msg::Answer { qid: 0, done: true, complete: true, points: SortedDataset::empty(3) }
+                .encode();
         big[7] = 255; // dim byte (tag + qid + done + complete precede it)
         assert_eq!(Msg::decode(&big), None, "dim > MAX_DIM must be rejected");
     }

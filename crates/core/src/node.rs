@@ -35,6 +35,7 @@ use std::time::Instant;
 
 use skypeer_netsim::cost::WorkReport;
 use skypeer_netsim::des::{Behavior, Context};
+use skypeer_netsim::obs::{ProtoEvent, QueryPhase};
 use skypeer_skyline::merge::merge_sorted;
 use skypeer_skyline::sorted::KernelStats;
 use skypeer_skyline::{bnl, Dominance, DominanceIndex, PointSet, SortedDataset, Subspace};
@@ -195,6 +196,7 @@ impl SuperPeerNode {
     fn compute_local(&mut self, qid: u32, ctx: &mut dyn Context) {
         let state = self.states.get_mut(&qid).expect("compute without state");
         let index = self.policy.resolve(self.store.len(), state.subspace);
+        let old_threshold = state.threshold;
         let started = Instant::now();
         let (result, threshold, stats) = if state.variant.uses_threshold() {
             let out = self.store.subspace_skyline(
@@ -222,6 +224,13 @@ impl SuperPeerNode {
         });
         state.threshold = threshold;
         state.local = Some(result);
+        if state.variant.uses_threshold() {
+            ctx.note(ProtoEvent::ThresholdRefine { qid, old: old_threshold, new: threshold });
+        }
+        if stats.pruned_by_threshold > 0 {
+            ctx.note(ProtoEvent::Prune { qid, pruned: stats.pruned_by_threshold });
+        }
+        ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::LocalDone });
     }
 
     /// Sends the query onward to every neighbor except the parent and
@@ -268,6 +277,7 @@ impl SuperPeerNode {
         state.finalized = true;
         let is_initiator = state.parent.is_none();
         let complete = state.complete;
+        ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Finalized });
 
         if is_initiator {
             // Merge everything that reached us with our local result.
@@ -282,13 +292,15 @@ impl SuperPeerNode {
                 lists.push(&local);
                 lists.extend(collected.iter());
                 let index = self.policy.resolve(self.store.len(), subspace);
-                let merged =
-                    merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
+                let merged = merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
                 ctx.report_work(WorkReport {
                     dominance_tests: merged.stats.dominance_tests,
                     points_scanned: merged.stats.points_scanned,
                     measured: Some(started.elapsed()),
                 });
+                if merged.stats.pruned_by_threshold > 0 {
+                    ctx.note(ProtoEvent::Prune { qid, pruned: merged.stats.pruned_by_threshold });
+                }
                 merged.result
             } else {
                 // Naive: plain BNL over the concatenation of all lists.
@@ -298,7 +310,8 @@ impl SuperPeerNode {
                 for l in &collected {
                     all.extend_from(l.points());
                 }
-                let (indices, bstats) = bnl::skyline_with_stats(&all, subspace, Dominance::Standard);
+                let (indices, bstats) =
+                    bnl::skyline_with_stats(&all, subspace, Dominance::Standard);
                 ctx.report_work(WorkReport {
                     dominance_tests: bstats.dominance_tests,
                     points_scanned: bstats.points_scanned,
@@ -321,8 +334,7 @@ impl SuperPeerNode {
                 lists.push(&local);
                 lists.extend(collected.iter());
                 let index = self.policy.resolve(self.store.len(), subspace);
-                let merged =
-                    merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
+                let merged = merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
                 ctx.report_work(WorkReport {
                     dominance_tests: merged.stats.dominance_tests,
                     points_scanned: merged.stats.points_scanned,
@@ -369,16 +381,24 @@ impl SuperPeerNode {
                 complete: true,
             },
         );
+        ctx.note(ProtoEvent::ThresholdInstall { qid, value: threshold });
+        ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Started });
         if variant.refines_threshold() {
             // RT*: compute first (tightening the threshold), then forward.
             self.compute_local(qid, ctx);
             let sent = self.forward_query(qid, ctx);
+            if !sent.is_empty() {
+                ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Forwarded });
+            }
             self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
             self.check_finalize(qid, ctx);
         } else {
             // FT*/naive: forward immediately, defer computation so that
             // query propagation is not serialized behind it.
             let sent = self.forward_query(qid, ctx);
+            if !sent.is_empty() {
+                ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Forwarded });
+            }
             self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
             let tick = Msg::ComputeLocal { qid };
             ctx.send(self.id, tick.wire_bytes(), tick.encode());
@@ -446,16 +466,23 @@ impl SuperPeerNode {
             },
         );
         assert!(prev.is_none(), "duplicate query id {qid} in one run");
+        ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Started });
         if init.variant.uses_threshold() {
             // "P_init first executes the local subspace skyline computation
             // to obtain an initial value for t, and then the query is
             // forwarded" (Section 5.2.3).
             self.compute_local(qid, ctx);
             let sent = self.forward_query(qid, ctx);
+            if !sent.is_empty() {
+                ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Forwarded });
+            }
             self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
             self.check_finalize(qid, ctx);
         } else {
             let sent = self.forward_query(qid, ctx);
+            if !sent.is_empty() {
+                ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Forwarded });
+            }
             self.states.get_mut(&qid).expect("state installed above").outstanding = sent;
             let tick = Msg::ComputeLocal { qid };
             ctx.send(self.id, tick.wire_bytes(), tick.encode());
@@ -510,6 +537,7 @@ impl Behavior for SuperPeerNode {
         }
         state.outstanding.clear();
         state.complete = false;
+        ctx.note(ProtoEvent::Phase { qid, phase: QueryPhase::Abandoned });
         self.check_finalize(qid, ctx);
     }
 }
@@ -656,8 +684,7 @@ mod unit {
             })
             .collect();
         let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
-        let answer =
-            out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
+        let answer = out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
         assert!(answer.complete, "generous timeout must never fire on a healthy run");
         let mut ids: Vec<u64> =
             (0..answer.result.len()).map(|i| answer.result.points().id(i)).collect();
@@ -688,8 +715,7 @@ mod unit {
             })
             .collect();
         let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
-        let answer =
-            out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
+        let answer = out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
         assert!(!answer.complete, "instant timeout abandons all children");
     }
 

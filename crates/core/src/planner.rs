@@ -104,10 +104,20 @@ mod unit {
         let set = spec.generate_peer(0, 0);
         let sorted = SortedDataset::from_set(&set);
         for u in [Subspace::from_dims(&[0, 5]), Subspace::full(6)] {
-            let lin =
-                threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
-            let tree =
-                threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::RTree);
+            let lin = threshold_skyline(
+                &sorted,
+                u,
+                Dominance::Standard,
+                f64::INFINITY,
+                DominanceIndex::Linear,
+            );
+            let tree = threshold_skyline(
+                &sorted,
+                u,
+                Dominance::Standard,
+                f64::INFINITY,
+                DominanceIndex::RTree,
+            );
             assert_eq!(lin.result, tree.result);
         }
     }

@@ -221,8 +221,14 @@ mod unit {
         let all = union(&ps);
         let sp = SuperPeerStore::preprocess(&ps, 4, DominanceIndex::Linear);
         for u in Subspace::enumerate_all(4) {
-            let out = sp.store.subspace_skyline(u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
-            let mut got: Vec<u64> = (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
+            let out = sp.store.subspace_skyline(
+                u,
+                Dominance::Standard,
+                f64::INFINITY,
+                DominanceIndex::Linear,
+            );
+            let mut got: Vec<u64> =
+                (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
             got.sort_unstable();
             assert_eq!(got, brute::skyline_ids(&all, u, Dominance::Standard), "subspace {u}");
         }
@@ -271,10 +277,7 @@ mod unit {
         let (stores, report) = preprocess_network(&ps, &homes, 2, 4, DominanceIndex::Linear);
         assert_eq!(stores.len(), 2);
         assert_eq!(report.raw_points, 15);
-        assert_eq!(
-            report.stored_points,
-            stores.iter().map(|s| s.store.len()).sum::<usize>()
-        );
+        assert_eq!(report.stored_points, stores.iter().map(|s| s.store.len()).sum::<usize>());
         assert!(report.sel_p() > 0.0 && report.sel_p() <= 1.0);
         assert!(report.sel_ratio() <= 1.0);
     }

@@ -28,8 +28,13 @@ pub fn exact_skyline_ids(set: &PointSet, u: Subspace, cutoff: usize) -> Vec<u64>
         brute::skyline_ids(set, u, Dominance::Standard)
     } else {
         let sorted = SortedDataset::from_set(set);
-        let out =
-            threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::RTree);
+        let out = threshold_skyline(
+            &sorted,
+            u,
+            Dominance::Standard,
+            f64::INFINITY,
+            DominanceIndex::RTree,
+        );
         let mut ids: Vec<u64> = (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
         ids.sort_unstable();
         ids
@@ -82,7 +87,8 @@ mod unit {
 
     #[test]
     fn oracle_consistent_above_and_below_cutoff() {
-        let spec = DatasetSpec { dim: 3, points_per_peer: 120, kind: DatasetKind::Uniform, seed: 5 };
+        let spec =
+            DatasetSpec { dim: 3, points_per_peer: 120, kind: DatasetKind::Uniform, seed: 5 };
         let set = spec.generate_peer(0, 0);
         let u = Subspace::from_dims(&[0, 2]);
         assert_eq!(

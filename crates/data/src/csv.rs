@@ -85,10 +85,9 @@ pub fn read_points<R: BufRead>(reader: R, opts: &CsvOptions) -> Result<PointSet,
         }
         let mut coords = Vec::with_capacity(d);
         for &c in &wanted {
-            let raw = fields.get(c).ok_or_else(|| CsvError {
-                line: lineno,
-                message: format!("missing column {c}"),
-            })?;
+            let raw = fields
+                .get(c)
+                .ok_or_else(|| CsvError { line: lineno, message: format!("missing column {c}") })?;
             let v: f64 = raw.parse().map_err(|_| CsvError {
                 line: lineno,
                 message: format!("'{raw}' is not a number (column {c})"),
@@ -170,11 +169,7 @@ mod unit {
 
     #[test]
     fn column_selection_and_id_column() {
-        let opts = CsvOptions {
-            columns: vec![2, 1],
-            id_column: Some(0),
-            ..CsvOptions::default()
-        };
+        let opts = CsvOptions { columns: vec![2, 1], id_column: Some(0), ..CsvOptions::default() };
         let set = parse("id,a,b\n100,1,2\n200,3,4\n", &opts).expect("parses");
         assert_eq!(set.id(0), 100);
         assert_eq!(set.point(0), &[2.0, 1.0], "columns load in requested order");

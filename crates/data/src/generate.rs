@@ -117,12 +117,9 @@ impl DatasetSpec {
     /// The centroid pool of one super-peer: deterministic in the spec seed
     /// and the super-peer index, shared by every attached peer.
     pub fn superpeer_centroids(&self, super_peer: usize, count: usize) -> Vec<Vec<f64>> {
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ 0x5bd1_e995_u64.wrapping_mul(super_peer as u64 + 1),
-        );
-        (0..count.max(1))
-            .map(|_| (0..self.dim).map(|_| rng.gen::<f64>()).collect())
-            .collect()
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ 0x5bd1_e995_u64.wrapping_mul(super_peer as u64 + 1));
+        (0..count.max(1)).map(|_| (0..self.dim).map(|_| rng.gen::<f64>()).collect()).collect()
     }
 
     /// Independent RNG stream for one peer.
@@ -175,9 +172,9 @@ mod unit {
         let set = s.generate_peer(11, 5);
         let mut near = 0;
         for (_, _, p) in set.iter() {
-            let close = centroids.iter().any(|c| {
-                p.iter().zip(c).all(|(v, m)| (v - m).abs() < 4.0 * CLUSTER_STDDEV + 1e-9)
-            });
+            let close = centroids
+                .iter()
+                .any(|c| p.iter().zip(c).all(|(v, m)| (v - m).abs() < 4.0 * CLUSTER_STDDEV + 1e-9));
             if close {
                 near += 1;
             }

@@ -17,8 +17,10 @@
 //! result list.
 
 use crate::cost::{CostModel, WorkReport};
+use skypeer_obs::{DropReason, ProtoEvent, SpanCause, TraceEvent, Tracer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Simulated time in nanoseconds since the start of a run.
 pub type SimTime = u64;
@@ -73,6 +75,11 @@ pub trait Context {
     /// Declares the global computation finished (e.g. the query initiator
     /// has the final answer). The runtime stops delivering messages.
     fn finish(&mut self);
+    /// Emits a protocol-level observability event ([`ProtoEvent`]:
+    /// threshold installs/refinements, prunes, query phase transitions).
+    /// A no-op unless the runtime has a [`Tracer`] attached, so behaviors
+    /// can call it unconditionally.
+    fn note(&mut self, _ev: ProtoEvent) {}
 }
 
 /// A node's protocol logic. Messages are byte buffers; protocol crates
@@ -101,14 +108,17 @@ pub struct SimBreakdown {
 }
 
 impl SimBreakdown {
-    /// The busiest node by compute time, `(node, ns)`.
+    /// The busiest node by compute time, `(node, ns)`. Ties go to the
+    /// smallest node id so the answer is deterministic.
     pub fn hottest_node(&self) -> Option<(usize, u64)> {
-        self.compute_ns.iter().copied().enumerate().max_by_key(|&(_, ns)| ns)
+        self.compute_ns.iter().copied().enumerate().max_by_key(|&(i, ns)| (ns, Reverse(i)))
     }
 
-    /// The busiest directed link by bytes, `((from, to), bytes)`.
+    /// The busiest directed link by bytes, `((from, to), bytes)`. Ties go
+    /// to the lexicographically smallest link so the answer does not
+    /// depend on `HashMap` iteration order.
     pub fn hottest_link(&self) -> Option<((usize, usize), u64)> {
-        self.link_bytes.iter().map(|(&l, &b)| (l, b)).max_by_key(|&(_, b)| b)
+        self.link_bytes.iter().map(|(&l, &b)| (l, b)).max_by_key(|&(l, b)| (b, Reverse(l)))
     }
 }
 
@@ -186,6 +196,10 @@ pub struct Sim<B: Behavior> {
     drop_hook: Option<DropHook>,
     /// Optional delivery observer.
     trace_hook: Option<TraceHook>,
+    /// Optional structured-event tracer. With `None` every emission site
+    /// is a single branch, so untraced runs behave exactly like the seed
+    /// simulator (bit-for-bit identical `SimStats` / `SimBreakdown`).
+    tracer: Option<Arc<dyn Tracer>>,
     /// Nodes that crash at a given simulated time: after it, they neither
     /// receive nor send, and their pending timers never fire.
     fail_at: HashMap<usize, SimTime>,
@@ -205,6 +219,25 @@ struct DesCtx {
     /// How many times the handler declared a computation finished (one
     /// handler can complete several concurrent queries).
     finish: usize,
+    /// Protocol events noted by the handler; buffered only when a tracer
+    /// is attached.
+    notes: Vec<ProtoEvent>,
+    tracing: bool,
+}
+
+impl DesCtx {
+    fn new(node: usize, now: SimTime, tracing: bool) -> Self {
+        DesCtx {
+            node,
+            now,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            work: WorkReport::default(),
+            finish: 0,
+            notes: Vec::new(),
+            tracing,
+        }
+    }
 }
 
 impl Context for DesCtx {
@@ -230,6 +263,29 @@ impl Context for DesCtx {
     fn finish(&mut self) {
         self.finish += 1;
     }
+    fn note(&mut self, ev: ProtoEvent) {
+        if self.tracing {
+            self.notes.push(ev);
+        }
+    }
+}
+
+/// Mutable per-run simulator state, threaded through
+/// [`Sim::absorb_ctx`].
+struct RunState {
+    stats: SimStats,
+    breakdown: Option<SimBreakdown>,
+    busy_until: Vec<SimTime>,
+    /// Per directed link: when the link becomes free again. Transfers on
+    /// one link serialize (and are therefore FIFO).
+    link_free: HashMap<(usize, usize), SimTime>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    finishes_seen: usize,
+    finished: Option<SimTime>,
+    /// Next service-span id (one per handler invocation, in execution
+    /// order; only meaningful to tracers).
+    next_span: u64,
 }
 
 impl<B: Behavior> Sim<B> {
@@ -242,10 +298,19 @@ impl<B: Behavior> Sim<B> {
             cost,
             drop_hook: None,
             trace_hook: None,
+            tracer: None,
             fail_at: HashMap::new(),
             breakdown: false,
             max_events: 100_000_000,
         }
+    }
+
+    /// Attaches a structured-event [`Tracer`]; it observes every service
+    /// span, message movement, timer, finish, and protocol note. Sim-time
+    /// only — attaching a tracer cannot change simulation results.
+    pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Enables per-node compute and per-link byte breakdowns in the
@@ -312,148 +377,208 @@ impl<B: Behavior> Sim<B> {
             assert!(s < self.nodes.len(), "start node {s} out of range");
             assert!(!starts[..i].contains(&s), "duplicate start node {s}");
         }
-        let mut stats = SimStats::default();
-        let mut breakdown = self.breakdown.then(|| SimBreakdown {
-            compute_ns: vec![0; self.nodes.len()],
-            handled: vec![0; self.nodes.len()],
-            link_bytes: HashMap::new(),
-        });
-        let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
-        let mut busy_until: Vec<SimTime> = vec![0; self.nodes.len()];
-        // Per directed link: when the link becomes free again. Transfers on
-        // one link serialize (and are therefore FIFO).
-        let mut link_free: HashMap<(usize, usize), SimTime> = HashMap::new();
-        let mut seq = 0u64;
-        let mut finishes_seen = 0usize;
-        let mut finished: Option<SimTime> = None;
+        let mut rs = RunState {
+            stats: SimStats::default(),
+            breakdown: self.breakdown.then(|| SimBreakdown {
+                compute_ns: vec![0; self.nodes.len()],
+                handled: vec![0; self.nodes.len()],
+                link_bytes: HashMap::new(),
+            }),
+            busy_until: vec![0; self.nodes.len()],
+            link_free: HashMap::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            finishes_seen: 0,
+            finished: None,
+            next_span: 0,
+        };
+        let tracing = self.tracer.is_some();
 
         // Start-of-run hooks on the initiators.
         for &start in starts {
-            let mut ctx = DesCtx {
-                node: start,
-                now: busy_until[start],
-                outbox: Vec::new(),
-                timers: Vec::new(),
-                work: WorkReport::default(),
-                finish: 0,
-            };
+            let mut ctx = DesCtx::new(start, rs.busy_until[start], tracing);
             self.nodes[start].on_start(&mut ctx);
-            self.absorb_ctx(ctx, start, &mut stats, &mut breakdown, &mut busy_until, &mut link_free, &mut heap, &mut seq, &mut finishes_seen, &mut finished);
+            self.absorb_ctx(ctx, start, SpanCause::Start, &mut rs);
         }
 
         let mut delivered = 0u64;
-        while let Some(Reverse(ev)) = heap.pop() {
-            if finishes_seen >= required_finishes {
+        while let Some(Reverse(ev)) = rs.heap.pop() {
+            if rs.finishes_seen >= required_finishes {
                 break;
             }
             if delivered >= self.max_events {
                 panic!("DES event cap exceeded: protocol is not terminating");
             }
             delivered += 1;
-            let node_dead =
-                |id: usize, t: SimTime, fail: &HashMap<usize, SimTime>| fail.get(&id).is_some_and(|&at| t >= at);
-            let (from, msg_or_timer) = match ev.payload {
+            let node_dead = |id: usize, t: SimTime, fail: &HashMap<usize, SimTime>| {
+                fail.get(&id).is_some_and(|&at| t >= at)
+            };
+            let (from, msg_or_timer, cause) = match ev.payload {
                 Payload::Message { from, msg } => {
-                    if node_dead(from, ev.time, &self.fail_at) || node_dead(ev.to, ev.time, &self.fail_at) {
-                        stats.dropped += 1;
+                    let dead_from = node_dead(from, ev.time, &self.fail_at);
+                    if dead_from || node_dead(ev.to, ev.time, &self.fail_at) {
+                        rs.stats.dropped += 1;
+                        if let Some(tr) = &self.tracer {
+                            tr.record(TraceEvent::Drop {
+                                msg_seq: ev.seq,
+                                at: ev.time,
+                                from,
+                                to: ev.to,
+                                reason: if dead_from {
+                                    DropReason::DeadSender
+                                } else {
+                                    DropReason::DeadReceiver
+                                },
+                            });
+                        }
                         continue;
                     }
                     if let Some(hook) = &mut self.drop_hook {
                         if hook(from, ev.to, &msg) {
-                            stats.dropped += 1;
+                            rs.stats.dropped += 1;
+                            if let Some(tr) = &self.tracer {
+                                tr.record(TraceEvent::Drop {
+                                    msg_seq: ev.seq,
+                                    at: ev.time,
+                                    from,
+                                    to: ev.to,
+                                    reason: DropReason::Injected,
+                                });
+                            }
                             continue;
                         }
                     }
-                    stats.messages += 1;
-                    if let Some(b) = &mut breakdown {
+                    rs.stats.messages += 1;
+                    if let Some(b) = &mut rs.breakdown {
                         b.handled[ev.to] += 1;
                     }
                     if let Some(hook) = &mut self.trace_hook {
                         hook(ev.time, from, ev.to, &msg);
                     }
-                    (from, Some(msg))
+                    if let Some(tr) = &self.tracer {
+                        tr.record(TraceEvent::Deliver {
+                            msg_seq: ev.seq,
+                            at: ev.time,
+                            from,
+                            to: ev.to,
+                        });
+                    }
+                    (from, Some(msg), SpanCause::Msg(ev.seq))
                 }
                 Payload::Timer { tag } => {
                     if node_dead(ev.to, ev.time, &self.fail_at) {
                         continue;
                     }
-                    (tag as usize, None)
+                    if let Some(tr) = &self.tracer {
+                        tr.record(TraceEvent::TimerFire {
+                            timer_seq: ev.seq,
+                            at: ev.time,
+                            node: ev.to,
+                            tag,
+                        });
+                    }
+                    (tag as usize, None, SpanCause::Timer(ev.seq))
                 }
             };
             // The node is sequential: processing starts when it is free.
-            let begin = ev.time.max(busy_until[ev.to]);
-            let mut ctx = DesCtx {
-                node: ev.to,
-                now: begin,
-                outbox: Vec::new(),
-                timers: Vec::new(),
-                work: WorkReport::default(),
-                finish: 0,
-            };
+            let begin = ev.time.max(rs.busy_until[ev.to]);
+            let mut ctx = DesCtx::new(ev.to, begin, tracing);
             match msg_or_timer {
                 Some(msg) => self.nodes[ev.to].on_message(from, msg, &mut ctx),
                 None => self.nodes[ev.to].on_timer(from as u64, &mut ctx),
             }
-            self.absorb_ctx(ctx, ev.to, &mut stats, &mut breakdown, &mut busy_until, &mut link_free, &mut heap, &mut seq, &mut finishes_seen, &mut finished);
+            self.absorb_ctx(ctx, ev.to, cause, &mut rs);
         }
-        stats.finished_at = (finishes_seen >= required_finishes).then_some(finished.unwrap_or(0));
-        SimOutcome { nodes: self.nodes, stats, breakdown }
+        rs.stats.finished_at =
+            (rs.finishes_seen >= required_finishes).then_some(rs.finished.unwrap_or(0));
+        SimOutcome { nodes: self.nodes, stats: rs.stats, breakdown: rs.breakdown }
     }
 
     /// Applies a handler's effects: service time, outgoing messages (with
-    /// per-link transfer queuing), timers, and the finish flag.
-    #[allow(clippy::too_many_arguments)]
-    fn absorb_ctx(
-        &mut self,
-        ctx: DesCtx,
-        node: usize,
-        stats: &mut SimStats,
-        breakdown: &mut Option<SimBreakdown>,
-        busy_until: &mut [SimTime],
-        link_free: &mut HashMap<(usize, usize), SimTime>,
-        heap: &mut BinaryHeap<Reverse<Event>>,
-        seq: &mut u64,
-        finishes_seen: &mut usize,
-        finished: &mut Option<SimTime>,
-    ) {
+    /// per-link transfer queuing), timers, and the finish flag; emits the
+    /// span's trace events when a tracer is attached.
+    fn absorb_ctx(&mut self, ctx: DesCtx, node: usize, cause: SpanCause, rs: &mut RunState) {
         let service = self.cost.service_ns(&ctx.work);
-        stats.compute_ns_total += service;
-        if let Some(b) = breakdown.as_mut() {
+        rs.stats.compute_ns_total += service;
+        if let Some(b) = rs.breakdown.as_mut() {
             b.compute_ns[node] += service;
         }
         let begin = ctx.now;
         let end = begin + service;
-        busy_until[node] = end;
-        stats.last_event_at = stats.last_event_at.max(end);
+        rs.busy_until[node] = end;
+        rs.stats.last_event_at = rs.stats.last_event_at.max(end);
         if ctx.finish > 0 {
-            *finishes_seen += ctx.finish;
-            *finished = Some(finished.map_or(end, |f| f.max(end)));
+            rs.finishes_seen += ctx.finish;
+            rs.finished = Some(rs.finished.map_or(end, |f| f.max(end)));
+        }
+        let span = rs.next_span;
+        rs.next_span += 1;
+        if let Some(tr) = &self.tracer {
+            tr.record(TraceEvent::Service {
+                span,
+                node,
+                begin,
+                end,
+                cause,
+                dominance_tests: ctx.work.dominance_tests,
+                points_scanned: ctx.work.points_scanned,
+                finished: ctx.finish > 0,
+            });
+            for ev in &ctx.notes {
+                tr.record(TraceEvent::Proto { span, node, at: begin, event: *ev });
+            }
         }
         for (to, bytes, msg) in ctx.outbox {
-            stats.bytes += bytes;
-            if let Some(b) = breakdown.as_mut() {
+            rs.stats.bytes += bytes;
+            if let Some(b) = rs.breakdown.as_mut() {
                 *b.link_bytes.entry((node, to)).or_insert(0) += bytes;
             }
-            let free = link_free.entry((node, to)).or_insert(0);
+            let free = rs.link_free.entry((node, to)).or_insert(0);
             let xfer_start = end.max(*free);
             let arrive = xfer_start + self.link.delay(bytes);
             *free = arrive;
-            heap.push(Reverse(Event {
+            if let Some(tr) = &self.tracer {
+                tr.record(TraceEvent::Send {
+                    msg_seq: rs.seq,
+                    span,
+                    from: node,
+                    to,
+                    bytes,
+                    queued_at: end,
+                    sent_at: xfer_start,
+                    arrive_at: arrive,
+                });
+            }
+            rs.heap.push(Reverse(Event {
                 time: arrive,
-                seq: *seq,
+                seq: rs.seq,
                 to,
                 payload: Payload::Message { from: node, msg },
             }));
-            *seq += 1;
+            rs.seq += 1;
         }
         for (delay, tag) in ctx.timers {
-            heap.push(Reverse(Event {
+            if let Some(tr) = &self.tracer {
+                tr.record(TraceEvent::TimerSet {
+                    timer_seq: rs.seq,
+                    span,
+                    node,
+                    fire_at: end + delay,
+                    tag,
+                });
+            }
+            rs.heap.push(Reverse(Event {
                 time: end + delay,
-                seq: *seq,
+                seq: rs.seq,
                 to: node,
                 payload: Payload::Timer { tag },
             }));
-            *seq += 1;
+            rs.seq += 1;
+        }
+        if let Some(tr) = &self.tracer {
+            for _ in 0..ctx.finish {
+                tr.record(TraceEvent::Finish { span, node, at: end });
+            }
         }
     }
 }
@@ -644,10 +769,9 @@ mod unit {
                 }
             }
         }
-        let out =
-            Sim::new(vec![T { fired: false }], LinkModel::zero_delay(), CostModel::default())
-                .with_node_failure(0, 5_000)
-                .run(0);
+        let out = Sim::new(vec![T { fired: false }], LinkModel::zero_delay(), CostModel::default())
+            .with_node_failure(0, 5_000)
+            .run(0);
         assert!(!out.nodes[0].fired, "timer past the crash must not fire");
     }
 
@@ -681,7 +805,12 @@ mod unit {
             }
         }
         let link = LinkModel { latency_ns: 0, ns_per_byte: 100 };
-        let out = Sim::new(vec![N::Src(Src), N::Dst(Dst { got: Vec::new() })], link, CostModel::default()).run(0);
+        let out = Sim::new(
+            vec![N::Src(Src), N::Dst(Dst { got: Vec::new() })],
+            link,
+            CostModel::default(),
+        )
+        .run(0);
         let N::Dst(d) = &out.nodes[1] else { panic!() };
         assert_eq!(d.got, vec![1, 2], "FIFO violated on a single link");
     }
@@ -749,5 +878,115 @@ mod breakdown_tests {
         let nodes: Vec<Fan> = (0..4).map(|_| Fan { n: 4 }).collect();
         let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
         assert!(out.breakdown.is_none());
+    }
+
+    #[test]
+    fn hottest_node_breaks_ties_by_smallest_id() {
+        let b = SimBreakdown {
+            compute_ns: vec![5, 9, 9, 9, 2],
+            handled: vec![0; 5],
+            link_bytes: HashMap::new(),
+        };
+        assert_eq!(b.hottest_node(), Some((1, 9)));
+    }
+
+    #[test]
+    fn hottest_link_breaks_ties_lexicographically() {
+        // All-equal weights: the answer must not depend on HashMap
+        // iteration order.
+        let mut link_bytes = HashMap::new();
+        for l in [(3, 1), (0, 2), (2, 0), (0, 1)] {
+            link_bytes.insert(l, 700u64);
+        }
+        let b = SimBreakdown { compute_ns: vec![], handled: vec![], link_bytes };
+        assert_eq!(b.hottest_link(), Some(((0, 1), 700)));
+    }
+}
+
+#[cfg(test)]
+mod tracer_tests {
+    use super::*;
+    use skypeer_obs::{critical_path, MemTracer};
+
+    struct Relay {
+        n: usize,
+        hops: u64,
+    }
+    impl Behavior for Relay {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.note(ProtoEvent::Phase { qid: 1, phase: skypeer_obs::QueryPhase::Started });
+            ctx.send((ctx.node_id() + 1) % self.n, 100, vec![0]);
+        }
+        fn on_message(&mut self, _from: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
+            let hop = msg[0] as u64 + 1;
+            ctx.report_work(WorkReport { dominance_tests: 5, points_scanned: 2, measured: None });
+            if hop >= self.hops {
+                ctx.finish();
+            } else {
+                ctx.send((ctx.node_id() + 1) % self.n, 100, vec![hop as u8]);
+            }
+        }
+    }
+
+    fn relay(n: usize, hops: u64) -> Vec<Relay> {
+        (0..n).map(|_| Relay { n, hops }).collect()
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let plain = Sim::new(relay(4, 7), LinkModel::paper_4kbps(), CostModel::default()).run(0);
+        let tracer = Arc::new(MemTracer::new());
+        let traced = Sim::new(relay(4, 7), LinkModel::paper_4kbps(), CostModel::default())
+            .with_tracer(tracer.clone())
+            .run(0);
+        assert_eq!(plain.stats, traced.stats);
+        assert!(!tracer.is_empty());
+    }
+
+    #[test]
+    fn trace_is_consistent_with_stats_and_critical_path() {
+        let tracer = Arc::new(MemTracer::new());
+        let cost = CostModel::Analytic { base_ns: 100, per_test_ns: 1, per_point_ns: 1 };
+        let out = Sim::new(relay(3, 5), LinkModel::paper_4kbps(), cost)
+            .with_tracer(tracer.clone())
+            .run(0);
+        let events = tracer.take();
+        let delivers =
+            events.iter().filter(|e| matches!(e, TraceEvent::Deliver { .. })).count() as u64;
+        assert_eq!(delivers, out.stats.messages);
+        let sent_bytes: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sent_bytes, out.stats.bytes);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Proto { event: ProtoEvent::Phase { qid: 1, .. }, .. }
+        )));
+        let path = critical_path(&events).expect("run finished");
+        assert_eq!(Some(path.finish_at), out.stats.finished_at);
+        assert_eq!(path.total_ns, out.stats.finished_at.unwrap(), "path reaches back to t=0");
+    }
+
+    #[test]
+    fn dropped_messages_are_traced_with_reason() {
+        let tracer = Arc::new(MemTracer::new());
+        let out = Sim::new(relay(4, 8), LinkModel::zero_delay(), CostModel::default())
+            .with_drop_hook(|_, to, _| to == 2)
+            .with_tracer(tracer.clone())
+            .run(0);
+        assert_eq!(out.stats.dropped, 1);
+        let drops: Vec<_> = tracer
+            .take()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Drop { to, reason, .. } => Some((to, reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![(2, DropReason::Injected)]);
     }
 }

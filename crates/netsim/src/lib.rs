@@ -23,11 +23,20 @@
 //!
 //! Protocol logic is written once against the [`Behavior`]/[`Context`]
 //! traits and runs unchanged on both runtimes.
+//!
+//! Both runtimes accept an optional [`obs::Tracer`] and emit structured
+//! [`obs::TraceEvent`]s (service spans, message movement, timers,
+//! protocol notes); see the `skypeer-obs` crate for the event model,
+//! metrics registry, exporters, and critical-path analysis.
 
 pub mod cost;
 pub mod des;
 pub mod live;
 pub mod topology;
+
+/// The observability crate, re-exported so behaviors can name
+/// [`obs::ProtoEvent`] & co. without a direct dependency.
+pub use skypeer_obs as obs;
 
 pub use cost::CostModel;
 pub use des::{Behavior, Context, LinkModel, Sim, SimBreakdown, SimStats, SimTime};

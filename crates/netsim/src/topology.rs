@@ -301,10 +301,8 @@ impl Topology {
             order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
         }
         // Largest-remainder apportionment of n_peers over the weights.
-        let mut counts: Vec<usize> = weights
-            .iter()
-            .map(|w| ((w / total) * n_peers as f64).floor() as usize)
-            .collect();
+        let mut counts: Vec<usize> =
+            weights.iter().map(|w| ((w / total) * n_peers as f64).floor() as usize).collect();
         let mut assigned: usize = counts.iter().sum();
         let mut remainders: Vec<(f64, usize)> = weights
             .iter()
@@ -373,18 +371,14 @@ mod unit {
                 if deg >= n as f64 {
                     continue;
                 }
-                for model in [
-                    TopologyModel::Waxman { alpha: 0.4, beta: 0.6 },
-                    TopologyModel::ErdosRenyi,
-                ] {
+                for model in
+                    [TopologyModel::Waxman { alpha: 0.4, beta: 0.6 }, TopologyModel::ErdosRenyi]
+                {
                     let spec = TopologySpec { n_superpeers: n, avg_degree: deg, model, seed: 11 };
                     let t = spec.generate();
                     assert!(t.is_connected(), "n={n} deg={deg} model={model:?}");
                     let got = t.avg_degree();
-                    assert!(
-                        (got - deg).abs() < 1.5,
-                        "n={n}: wanted avg degree ≈{deg}, got {got}"
-                    );
+                    assert!((got - deg).abs() < 1.5, "n={n}: wanted avg degree ≈{deg}, got {got}");
                 }
             }
         }

@@ -1,0 +1,412 @@
+//! Critical-path analysis over a recorded trace.
+//!
+//! The DES trace forms a DAG: a service span is caused by a message
+//! (whose send span ran earlier) or a timer (armed by an earlier span),
+//! and a span that starts later than its trigger arrived was queued
+//! behind the previous span on the same node. [`critical_path`] walks
+//! this DAG backwards from the last required `finish` and returns the
+//! contiguous chain of segments — services, link queuing, transfers,
+//! timer waits — whose lengths sum to the query's response time. That is
+//! exactly the chain an optimisation must shorten to improve latency.
+
+use crate::event::{SimTime, SpanCause, TraceEvent};
+use std::collections::{BTreeMap, HashSet};
+
+/// What a critical-path segment's time was spent on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepKind {
+    /// A handler ran on the node.
+    Service {
+        /// Span id.
+        span: u64,
+        /// What triggered the span.
+        cause: SpanCause,
+        /// Dominance tests performed by the span.
+        dominance_tests: u64,
+        /// Points scanned by the span.
+        points_scanned: u64,
+    },
+    /// The trigger had arrived but the node was still serving something
+    /// else (only appears if the busy predecessor span cannot be found —
+    /// normally the predecessor's own service segment covers this time).
+    NodeQueue,
+    /// A message was in flight on a link.
+    Transfer {
+        /// Message seq.
+        msg_seq: u64,
+        /// Sending node.
+        from_node: usize,
+        /// Wire size in bytes.
+        bytes: u64,
+    },
+    /// A message waited for earlier transfers on the same directed link.
+    LinkQueue {
+        /// Message seq.
+        msg_seq: u64,
+        /// Sending node.
+        from_node: usize,
+    },
+    /// The node was waiting for a timer to expire.
+    TimerWait {
+        /// Timer seq.
+        timer_seq: u64,
+        /// Behavior-level tag.
+        tag: u64,
+    },
+}
+
+/// One contiguous segment of the critical path, on `node`, covering
+/// `from..to` in sim-time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathStep {
+    /// Node the segment is attributed to (receiver for link segments).
+    pub node: usize,
+    /// Segment start.
+    pub from: SimTime,
+    /// Segment end.
+    pub to: SimTime,
+    /// What the time was spent on.
+    pub kind: StepKind,
+}
+
+/// The chain of segments that determined the response time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalPath {
+    /// Segments in chronological order; adjacent segments share their
+    /// boundary timestamps.
+    pub steps: Vec<PathStep>,
+    /// Node the terminal `finish` ran on.
+    pub finish_node: usize,
+    /// Time of the terminal `finish` (the response time).
+    pub finish_at: SimTime,
+    /// Sum of segment lengths; equals `finish_at` when the chain reaches
+    /// back to time zero (always, on a DES trace).
+    pub total_ns: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Svc {
+    node: usize,
+    begin: SimTime,
+    end: SimTime,
+    cause: SpanCause,
+    dominance_tests: u64,
+    points_scanned: u64,
+}
+
+#[derive(Clone, Copy)]
+struct SendRec {
+    span: u64,
+    from: usize,
+    bytes: u64,
+    queued_at: SimTime,
+    sent_at: SimTime,
+    arrive_at: SimTime,
+}
+
+impl Svc {
+    fn step(&self, span: u64) -> PathStep {
+        PathStep {
+            node: self.node,
+            from: self.begin,
+            to: self.end,
+            kind: StepKind::Service {
+                span,
+                cause: self.cause,
+                dominance_tests: self.dominance_tests,
+                points_scanned: self.points_scanned,
+            },
+        }
+    }
+}
+
+/// Walks the event DAG backwards from the latest `finish` and returns the
+/// critical path, or `None` if the trace contains no finish.
+pub fn critical_path(events: &[TraceEvent]) -> Option<CriticalPath> {
+    let mut svcs: BTreeMap<u64, Svc> = BTreeMap::new();
+    let mut sends: BTreeMap<u64, SendRec> = BTreeMap::new();
+    let mut timers: BTreeMap<u64, (u64, SimTime, u64)> = BTreeMap::new();
+    let mut by_node_end: BTreeMap<usize, Vec<(SimTime, u64)>> = BTreeMap::new();
+    let mut finish: Option<(SimTime, u64, usize)> = None;
+    for ev in events {
+        match *ev {
+            TraceEvent::Service {
+                span,
+                node,
+                begin,
+                end,
+                cause,
+                dominance_tests,
+                points_scanned,
+                ..
+            } => {
+                svcs.insert(span, Svc { node, begin, end, cause, dominance_tests, points_scanned });
+                by_node_end.entry(node).or_default().push((end, span));
+            }
+            TraceEvent::Send {
+                msg_seq, span, from, bytes, queued_at, sent_at, arrive_at, ..
+            } => {
+                sends.insert(msg_seq, SendRec { span, from, bytes, queued_at, sent_at, arrive_at });
+            }
+            TraceEvent::TimerSet { timer_seq, span, fire_at, tag, .. } => {
+                timers.insert(timer_seq, (span, fire_at, tag));
+            }
+            TraceEvent::Finish { span, node, at } => {
+                let cand = (at, span, node);
+                if finish.map(|f| (f.0, f.1) < (at, span)).unwrap_or(true) {
+                    finish = Some(cand);
+                }
+            }
+            _ => {}
+        }
+    }
+    let (finish_at, finish_span, finish_node) = finish?;
+
+    // Latest span (by id) on `node` whose service ended exactly at `t` —
+    // the span the node was busy with when a trigger had to wait.
+    let pred = |node: usize, t: SimTime, before: u64| -> Option<u64> {
+        by_node_end
+            .get(&node)?
+            .iter()
+            .filter(|&&(end, span)| end == t && span < before)
+            .map(|&(_, span)| span)
+            .max()
+    };
+
+    let mut steps = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut cur_span = finish_span;
+    while let Some(cur) = svcs.get(&cur_span).copied() {
+        if !visited.insert(cur_span) {
+            break; // malformed trace; refuse to loop
+        }
+        steps.push(cur.step(cur_span));
+        // The time the span's trigger became available on this node.
+        let ready_at = match cur.cause {
+            SpanCause::Start => 0,
+            SpanCause::Msg(seq) => match sends.get(&seq) {
+                Some(s) => s.arrive_at,
+                None => break,
+            },
+            SpanCause::Timer(seq) => match timers.get(&seq) {
+                Some(&(_, fire_at, _)) => fire_at,
+                None => break,
+            },
+        };
+        if cur.begin > ready_at {
+            // Queued behind the node's previous span: its service segment
+            // is the next link in the chain.
+            match pred(cur.node, cur.begin, cur_span) {
+                Some(p) => {
+                    cur_span = p;
+                    continue;
+                }
+                None => {
+                    steps.push(PathStep {
+                        node: cur.node,
+                        from: ready_at,
+                        to: cur.begin,
+                        kind: StepKind::NodeQueue,
+                    });
+                }
+            }
+        }
+        match cur.cause {
+            SpanCause::Start => break,
+            SpanCause::Msg(seq) => {
+                let s = sends[&seq];
+                steps.push(PathStep {
+                    node: cur.node,
+                    from: s.sent_at,
+                    to: s.arrive_at,
+                    kind: StepKind::Transfer { msg_seq: seq, from_node: s.from, bytes: s.bytes },
+                });
+                if s.sent_at > s.queued_at {
+                    steps.push(PathStep {
+                        node: cur.node,
+                        from: s.queued_at,
+                        to: s.sent_at,
+                        kind: StepKind::LinkQueue { msg_seq: seq, from_node: s.from },
+                    });
+                }
+                cur_span = s.span;
+            }
+            SpanCause::Timer(seq) => {
+                let (setter, fire_at, tag) = timers[&seq];
+                let set_at = svcs.get(&setter).map(|s| s.end).unwrap_or(fire_at);
+                steps.push(PathStep {
+                    node: cur.node,
+                    from: set_at,
+                    to: fire_at,
+                    kind: StepKind::TimerWait { timer_seq: seq, tag },
+                });
+                cur_span = setter;
+            }
+        }
+    }
+    steps.reverse();
+    let total_ns = steps.iter().map(|s| s.to - s.from).sum();
+    Some(CriticalPath { steps, finish_node, finish_at, total_ns })
+}
+
+/// Renders a critical path as an aligned human-readable report.
+pub fn render(path: &CriticalPath) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical path: {} segments, {} ns to finish on SP{}\n",
+        path.steps.len(),
+        path.finish_at,
+        path.finish_node
+    ));
+    let w = path.finish_at.to_string().len().max(4);
+    for s in &path.steps {
+        let what = match s.kind {
+            StepKind::Service { span, cause, dominance_tests, points_scanned } => {
+                let cause = match cause {
+                    SpanCause::Start => "start".to_string(),
+                    SpanCause::Msg(seq) => format!("msg #{seq}"),
+                    SpanCause::Timer(seq) => format!("timer #{seq}"),
+                };
+                format!(
+                    "SP{} service #{span} ({cause}) [{dominance_tests} tests, {points_scanned} scanned]",
+                    s.node
+                )
+            }
+            StepKind::NodeQueue => format!("SP{} queued (node busy)", s.node),
+            StepKind::Transfer { msg_seq, from_node, bytes } => {
+                format!("SP{from_node}->SP{} transfer msg #{msg_seq} ({bytes} B)", s.node)
+            }
+            StepKind::LinkQueue { msg_seq, from_node } => {
+                format!("SP{from_node}->SP{} link queue msg #{msg_seq}", s.node)
+            }
+            StepKind::TimerWait { timer_seq, tag } => {
+                format!("SP{} timer wait #{timer_seq} (tag {tag})", s.node)
+            }
+        };
+        out.push_str(&format!(
+            "  {:>w$} .. {:>w$}  ({:>w$} ns)  {}\n",
+            s.from,
+            s.to,
+            s.to - s.from,
+            what,
+            w = w
+        ));
+    }
+    out.push_str(&format!("  total accounted: {} ns\n", path.total_ns));
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn svc(span: u64, node: usize, begin: u64, end: u64, cause: SpanCause) -> TraceEvent {
+        TraceEvent::Service {
+            span,
+            node,
+            begin,
+            end,
+            cause,
+            dominance_tests: 1,
+            points_scanned: 2,
+            finished: false,
+        }
+    }
+
+    #[test]
+    fn chain_through_transfer_link_queue_and_timer_sums_to_finish() {
+        let events = vec![
+            svc(0, 0, 0, 1500, SpanCause::Start),
+            TraceEvent::Send {
+                msg_seq: 10,
+                span: 0,
+                from: 0,
+                to: 1,
+                bytes: 64,
+                queued_at: 1500,
+                sent_at: 1600,
+                arrive_at: 2000,
+            },
+            TraceEvent::Deliver { msg_seq: 10, at: 2000, from: 0, to: 1 },
+            svc(1, 1, 2000, 2600, SpanCause::Msg(10)),
+            TraceEvent::TimerSet { timer_seq: 11, span: 1, node: 1, fire_at: 3000, tag: 7 },
+            TraceEvent::TimerFire { timer_seq: 11, at: 3000, node: 1, tag: 7 },
+            svc(2, 1, 3000, 3200, SpanCause::Timer(11)),
+            TraceEvent::Finish { span: 2, node: 1, at: 3200 },
+        ];
+        let p = critical_path(&events).expect("has finish");
+        assert_eq!(p.finish_at, 3200);
+        assert_eq!(p.finish_node, 1);
+        assert_eq!(p.total_ns, 3200, "contiguous back to t=0");
+        let kinds: Vec<_> = p
+            .steps
+            .iter()
+            .map(|s| match s.kind {
+                StepKind::Service { span, .. } => format!("svc{span}"),
+                StepKind::Transfer { msg_seq, .. } => format!("xfer{msg_seq}"),
+                StepKind::LinkQueue { msg_seq, .. } => format!("lq{msg_seq}"),
+                StepKind::TimerWait { timer_seq, .. } => format!("tw{timer_seq}"),
+                StepKind::NodeQueue => "nq".to_string(),
+            })
+            .collect();
+        assert_eq!(kinds, ["svc0", "lq10", "xfer10", "svc1", "tw11", "svc2"]);
+        // Chronological and contiguous.
+        for w in p.steps.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        let report = render(&p);
+        assert!(report.contains("3200 ns to finish on SP1"));
+        assert!(report.contains("transfer msg #10 (64 B)"));
+    }
+
+    #[test]
+    fn busy_node_follows_predecessor_span() {
+        let events = vec![
+            svc(0, 0, 0, 100, SpanCause::Start),
+            TraceEvent::Send {
+                msg_seq: 1,
+                span: 0,
+                from: 0,
+                to: 1,
+                bytes: 8,
+                queued_at: 100,
+                sent_at: 100,
+                arrive_at: 200,
+            },
+            TraceEvent::Send {
+                msg_seq: 2,
+                span: 0,
+                from: 0,
+                to: 1,
+                bytes: 8,
+                queued_at: 100,
+                sent_at: 105,
+                arrive_at: 210,
+            },
+            svc(1, 1, 200, 400, SpanCause::Msg(1)),
+            // Arrived at 210 but the node was busy until 400.
+            svc(2, 1, 400, 500, SpanCause::Msg(2)),
+            TraceEvent::Finish { span: 2, node: 1, at: 500 },
+        ];
+        let p = critical_path(&events).expect("has finish");
+        assert_eq!(p.total_ns, 500);
+        assert_eq!(p.finish_at, 500);
+        // The wait behind span 1 is attributed to span 1's service, not a
+        // queue segment: svc0 -> xfer1 -> svc1 -> svc2.
+        let spans: Vec<_> = p
+            .steps
+            .iter()
+            .filter_map(|s| match s.kind {
+                StepKind::Service { span, .. } => Some(span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, [0, 1, 2]);
+        assert!(!p.steps.iter().any(|s| matches!(s.kind, StepKind::NodeQueue)));
+    }
+
+    #[test]
+    fn no_finish_means_no_path() {
+        assert!(critical_path(&[svc(0, 0, 0, 10, SpanCause::Start)]).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! The trace event model.
+//!
+//! Events are flat `Copy` records keyed by three id spaces that the
+//! emitting runtime allocates:
+//!
+//! * **spans** — one id per handler invocation (`on_start`, `on_message`,
+//!   `on_timer`), allocated in execution order;
+//! * **message seqs** — one id per sent message, allocated at send time
+//!   (the DES reuses its heap sequence numbers, so seqs also identify
+//!   events uniquely within a run);
+//! * **timer seqs** — one id per armed timer, from the same sequence
+//!   space as messages in the DES.
+//!
+//! Every timestamp is the runtime's own clock: deterministic simulated
+//! nanoseconds on the DES, nanoseconds since run start on the live
+//! runtime. No event ever records a wall-clock date, so DES traces are
+//! reproducible byte for byte.
+
+/// Time in nanoseconds since run start (mirrors `skypeer-netsim`'s alias;
+/// this crate stays dependency-free).
+pub type SimTime = u64;
+
+/// What triggered a handler invocation (a service span).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanCause {
+    /// The start-of-run hook on an initiator.
+    Start,
+    /// Delivery of the message with this seq.
+    Msg(u64),
+    /// Expiry of the timer with this seq.
+    Timer(u64),
+}
+
+/// Why a message never reached its handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The sender was crashed (node-failure injection) at delivery time.
+    DeadSender,
+    /// The receiver was crashed at delivery time.
+    DeadReceiver,
+    /// A failure-injection drop hook discarded it.
+    Injected,
+}
+
+/// Phases of one query's lifecycle on one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// Query state installed (initiator start or first receipt).
+    Started,
+    /// Query forwarded to children / neighbors.
+    Forwarded,
+    /// Local subspace-skyline computation finished.
+    LocalDone,
+    /// Outstanding subtrees abandoned by the child timeout.
+    Abandoned,
+    /// Final answer produced (merged and sent up, or finished at the
+    /// initiator).
+    Finalized,
+}
+
+/// Protocol-level events emitted by the SKYPEER state machine through
+/// `Context::note` (the runtimes wrap them in [`TraceEvent::Proto`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProtoEvent {
+    /// A threshold arrived with a query and was installed verbatim.
+    ThresholdInstall {
+        /// Query id.
+        qid: u32,
+        /// Installed threshold value (`∞` for naive runs).
+        value: f64,
+    },
+    /// The local computation tightened (or confirmed) the threshold.
+    ThresholdRefine {
+        /// Query id.
+        qid: u32,
+        /// Threshold before the local computation.
+        old: f64,
+        /// Threshold after the local computation.
+        new: f64,
+    },
+    /// Points the threshold pruned from a kernel invocation.
+    Prune {
+        /// Query id.
+        qid: u32,
+        /// Points skipped thanks to the threshold.
+        pruned: u64,
+    },
+    /// A query phase transition on this node.
+    Phase {
+        /// Query id.
+        qid: u32,
+        /// The phase entered.
+        phase: QueryPhase,
+    },
+}
+
+/// One recorded event. See the module docs for the id spaces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// One handler invocation: the node was busy `begin..end` serving it.
+    Service {
+        /// Span id.
+        span: u64,
+        /// Node the handler ran on.
+        node: usize,
+        /// Service start (≥ the triggering event's time when queued).
+        begin: SimTime,
+        /// Service end (`begin` + modelled service time).
+        end: SimTime,
+        /// What triggered this invocation.
+        cause: SpanCause,
+        /// Dominance tests reported by the handler.
+        dominance_tests: u64,
+        /// Points scanned reported by the handler.
+        points_scanned: u64,
+        /// Whether the handler declared (at least one) finish.
+        finished: bool,
+    },
+    /// A message left a node. `queued_at ≤ sent_at ≤ arrive_at`:
+    /// the gap to `sent_at` is FIFO queuing behind earlier transfers on
+    /// the same directed link, the rest is the transfer itself. The live
+    /// runtime has no link model and reports all three equal.
+    Send {
+        /// Message seq.
+        msg_seq: u64,
+        /// Span that sent it.
+        span: u64,
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Wire size in bytes.
+        bytes: u64,
+        /// When the sending handler handed it to the link.
+        queued_at: SimTime,
+        /// When the link started transferring it.
+        sent_at: SimTime,
+        /// When it arrives at the receiver.
+        arrive_at: SimTime,
+    },
+    /// A message reached its destination node's inbox.
+    Deliver {
+        /// Message seq.
+        msg_seq: u64,
+        /// Arrival time.
+        at: SimTime,
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+    },
+    /// A message was discarded instead of delivered.
+    Drop {
+        /// Message seq.
+        msg_seq: u64,
+        /// When the drop happened (scheduled arrival time).
+        at: SimTime,
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A one-shot timer was armed.
+    TimerSet {
+        /// Timer seq.
+        timer_seq: u64,
+        /// Span that armed it.
+        span: u64,
+        /// Node it will fire on.
+        node: usize,
+        /// Expiry time.
+        fire_at: SimTime,
+        /// Behavior-level tag.
+        tag: u64,
+    },
+    /// A timer expired and its handler is about to run.
+    TimerFire {
+        /// Timer seq.
+        timer_seq: u64,
+        /// Expiry time.
+        at: SimTime,
+        /// Node it fired on.
+        node: usize,
+        /// Behavior-level tag.
+        tag: u64,
+    },
+    /// A handler called `Context::finish`.
+    Finish {
+        /// Span that finished.
+        span: u64,
+        /// Node it ran on.
+        node: usize,
+        /// Service-end time of that span (the response time when this is
+        /// the run's last required finish).
+        at: SimTime,
+    },
+    /// A protocol-level event (threshold, prune, phase) emitted from
+    /// inside a handler.
+    Proto {
+        /// Span it was emitted from.
+        span: u64,
+        /// Node it happened on.
+        node: usize,
+        /// Service-begin time of that span.
+        at: SimTime,
+        /// The protocol event itself.
+        event: ProtoEvent,
+    },
+}
+
+impl TraceEvent {
+    /// The node this event is primarily attributed to (the receiver for
+    /// message movement events).
+    pub fn node(&self) -> usize {
+        match *self {
+            TraceEvent::Service { node, .. }
+            | TraceEvent::TimerSet { node, .. }
+            | TraceEvent::TimerFire { node, .. }
+            | TraceEvent::Finish { node, .. }
+            | TraceEvent::Proto { node, .. } => node,
+            TraceEvent::Send { from, .. } => from,
+            TraceEvent::Deliver { to, .. } | TraceEvent::Drop { to, .. } => to,
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Trace exporters: deterministic JSONL and Chrome trace-event JSON.
+//!
+//! * [`jsonl`] — one JSON object per event, in record order, with a
+//!   stable key order and byte-deterministic number formatting. This is
+//!   the format the trace-determinism goldens compare.
+//! * [`chrome_trace`] — the Chrome trace-event format (JSON object form),
+//!   loadable in Perfetto / `chrome://tracing`: one track (`tid`) per
+//!   super-peer, handler invocations as complete slices, messages as flow
+//!   arrows between the sending and receiving slices, thresholds as
+//!   counter tracks, and timers/drops/finishes as instant events.
+
+use crate::event::{DropReason, ProtoEvent, QueryPhase, SpanCause, TraceEvent};
+use crate::json::{float, Obj};
+
+fn cause_fields(o: Obj, cause: SpanCause) -> Obj {
+    match cause {
+        SpanCause::Start => o.str("cause", "start"),
+        SpanCause::Msg(seq) => o.str("cause", "msg").u64("cause_seq", seq),
+        SpanCause::Timer(seq) => o.str("cause", "timer").u64("cause_seq", seq),
+    }
+}
+
+fn drop_reason(reason: DropReason) -> &'static str {
+    match reason {
+        DropReason::DeadSender => "dead-sender",
+        DropReason::DeadReceiver => "dead-receiver",
+        DropReason::Injected => "injected",
+    }
+}
+
+fn phase_name(phase: QueryPhase) -> &'static str {
+    match phase {
+        QueryPhase::Started => "started",
+        QueryPhase::Forwarded => "forwarded",
+        QueryPhase::LocalDone => "local-done",
+        QueryPhase::Abandoned => "abandoned",
+        QueryPhase::Finalized => "finalized",
+    }
+}
+
+/// Renders one event as a single-line JSON object.
+pub fn event_json(ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::Service {
+            span,
+            node,
+            begin,
+            end,
+            cause,
+            dominance_tests,
+            points_scanned,
+            finished,
+        } => cause_fields(
+            Obj::new()
+                .str("type", "service")
+                .u64("span", span)
+                .u64("node", node as u64)
+                .u64("begin", begin)
+                .u64("end", end),
+            cause,
+        )
+        .u64("dominance_tests", dominance_tests)
+        .u64("points_scanned", points_scanned)
+        .bool("finished", finished)
+        .build(),
+        TraceEvent::Send { msg_seq, span, from, to, bytes, queued_at, sent_at, arrive_at } => {
+            Obj::new()
+                .str("type", "send")
+                .u64("msg_seq", msg_seq)
+                .u64("span", span)
+                .u64("from", from as u64)
+                .u64("to", to as u64)
+                .u64("bytes", bytes)
+                .u64("queued_at", queued_at)
+                .u64("sent_at", sent_at)
+                .u64("arrive_at", arrive_at)
+                .build()
+        }
+        TraceEvent::Deliver { msg_seq, at, from, to } => Obj::new()
+            .str("type", "deliver")
+            .u64("msg_seq", msg_seq)
+            .u64("at", at)
+            .u64("from", from as u64)
+            .u64("to", to as u64)
+            .build(),
+        TraceEvent::Drop { msg_seq, at, from, to, reason } => Obj::new()
+            .str("type", "drop")
+            .u64("msg_seq", msg_seq)
+            .u64("at", at)
+            .u64("from", from as u64)
+            .u64("to", to as u64)
+            .str("reason", drop_reason(reason))
+            .build(),
+        TraceEvent::TimerSet { timer_seq, span, node, fire_at, tag } => Obj::new()
+            .str("type", "timer-set")
+            .u64("timer_seq", timer_seq)
+            .u64("span", span)
+            .u64("node", node as u64)
+            .u64("fire_at", fire_at)
+            .u64("tag", tag)
+            .build(),
+        TraceEvent::TimerFire { timer_seq, at, node, tag } => Obj::new()
+            .str("type", "timer-fire")
+            .u64("timer_seq", timer_seq)
+            .u64("at", at)
+            .u64("node", node as u64)
+            .u64("tag", tag)
+            .build(),
+        TraceEvent::Finish { span, node, at } => Obj::new()
+            .str("type", "finish")
+            .u64("span", span)
+            .u64("node", node as u64)
+            .u64("at", at)
+            .build(),
+        TraceEvent::Proto { span, node, at, event } => {
+            let o = Obj::new()
+                .str("type", "proto")
+                .u64("span", span)
+                .u64("node", node as u64)
+                .u64("at", at);
+            match event {
+                ProtoEvent::ThresholdInstall { qid, value } => o
+                    .str("event", "threshold-install")
+                    .u64("qid", u64::from(qid))
+                    .f64("value", value)
+                    .build(),
+                ProtoEvent::ThresholdRefine { qid, old, new } => o
+                    .str("event", "threshold-refine")
+                    .u64("qid", u64::from(qid))
+                    .f64("old", old)
+                    .f64("new", new)
+                    .build(),
+                ProtoEvent::Prune { qid, pruned } => {
+                    o.str("event", "prune").u64("qid", u64::from(qid)).u64("pruned", pruned).build()
+                }
+                ProtoEvent::Phase { qid, phase } => o
+                    .str("event", "phase")
+                    .u64("qid", u64::from(qid))
+                    .str("phase", phase_name(phase))
+                    .build(),
+            }
+        }
+    }
+}
+
+/// Renders a trace as JSONL: one event per line, trailing newline,
+/// byte-deterministic for a deterministic event stream.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Nanoseconds → the trace format's microsecond timestamps, rendered
+/// deterministically with fixed precision.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Renders a trace in Chrome trace-event JSON (object form with a
+/// `traceEvents` array), loadable in Perfetto. Super-peers appear as one
+/// track each (`tid` = node id) inside a single process.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut rows: Vec<String> = Vec::new();
+    rows.push(
+        Obj::new()
+            .str("ph", "M")
+            .str("name", "process_name")
+            .u64("pid", 0)
+            .raw("args", &Obj::new().str("name", "skypeer").build())
+            .build(),
+    );
+    let n_nodes = events.iter().map(|e| e.node() + 1).max().unwrap_or(0);
+    for node in 0..n_nodes {
+        rows.push(
+            Obj::new()
+                .str("ph", "M")
+                .str("name", "thread_name")
+                .u64("pid", 0)
+                .u64("tid", node as u64)
+                .raw("args", &Obj::new().str("name", &format!("SP{node}")).build())
+                .build(),
+        );
+    }
+    for ev in events {
+        match *ev {
+            TraceEvent::Service {
+                span,
+                node,
+                begin,
+                end,
+                cause,
+                dominance_tests,
+                points_scanned,
+                finished,
+            } => {
+                let name = match cause {
+                    SpanCause::Start => "start",
+                    SpanCause::Msg(_) => "handle-msg",
+                    SpanCause::Timer(_) => "handle-timer",
+                };
+                let args = cause_fields(
+                    Obj::new()
+                        .u64("span", span)
+                        .u64("dominance_tests", dominance_tests)
+                        .u64("points_scanned", points_scanned)
+                        .bool("finished", finished),
+                    cause,
+                );
+                rows.push(
+                    Obj::new()
+                        .str("ph", "X")
+                        .str("name", name)
+                        .str("cat", "service")
+                        .u64("pid", 0)
+                        .u64("tid", node as u64)
+                        .raw("ts", &us(begin))
+                        .raw("dur", &us(end - begin))
+                        .raw("args", &args.build())
+                        .build(),
+                );
+            }
+            TraceEvent::Send { msg_seq, from, to, bytes, queued_at, .. } => {
+                rows.push(
+                    Obj::new()
+                        .str("ph", "s")
+                        .str("name", "msg")
+                        .str("cat", "msg")
+                        .u64("id", msg_seq)
+                        .u64("pid", 0)
+                        .u64("tid", from as u64)
+                        .raw("ts", &us(queued_at))
+                        .raw("args", &Obj::new().u64("bytes", bytes).u64("to", to as u64).build())
+                        .build(),
+                );
+            }
+            TraceEvent::Deliver { msg_seq, at, to, .. } => {
+                rows.push(
+                    Obj::new()
+                        .str("ph", "f")
+                        .str("bp", "e")
+                        .str("name", "msg")
+                        .str("cat", "msg")
+                        .u64("id", msg_seq)
+                        .u64("pid", 0)
+                        .u64("tid", to as u64)
+                        .raw("ts", &us(at))
+                        .build(),
+                );
+            }
+            TraceEvent::Drop { msg_seq, at, to, reason, .. } => {
+                rows.push(
+                    Obj::new()
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .str("name", "drop")
+                        .str("cat", "msg")
+                        .u64("pid", 0)
+                        .u64("tid", to as u64)
+                        .raw("ts", &us(at))
+                        .raw(
+                            "args",
+                            &Obj::new()
+                                .u64("msg_seq", msg_seq)
+                                .str("reason", drop_reason(reason))
+                                .build(),
+                        )
+                        .build(),
+                );
+            }
+            TraceEvent::TimerSet { timer_seq, node, fire_at, tag, .. } => {
+                rows.push(
+                    Obj::new()
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .str("name", "timer-set")
+                        .str("cat", "timer")
+                        .u64("pid", 0)
+                        .u64("tid", node as u64)
+                        .raw("ts", &us(fire_at))
+                        .raw(
+                            "args",
+                            &Obj::new().u64("timer_seq", timer_seq).u64("tag", tag).build(),
+                        )
+                        .build(),
+                );
+            }
+            TraceEvent::TimerFire { timer_seq, at, node, tag } => {
+                rows.push(
+                    Obj::new()
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .str("name", "timer-fire")
+                        .str("cat", "timer")
+                        .u64("pid", 0)
+                        .u64("tid", node as u64)
+                        .raw("ts", &us(at))
+                        .raw(
+                            "args",
+                            &Obj::new().u64("timer_seq", timer_seq).u64("tag", tag).build(),
+                        )
+                        .build(),
+                );
+            }
+            TraceEvent::Finish { span, node, at } => {
+                rows.push(
+                    Obj::new()
+                        .str("ph", "i")
+                        .str("s", "p")
+                        .str("name", "finish")
+                        .str("cat", "query")
+                        .u64("pid", 0)
+                        .u64("tid", node as u64)
+                        .raw("ts", &us(at))
+                        .raw("args", &Obj::new().u64("span", span).build())
+                        .build(),
+                );
+            }
+            TraceEvent::Proto { node, at, event, .. } => match event {
+                // Threshold values become counter tracks (one per query),
+                // with one series per super-peer. Infinite values (naive /
+                // pre-refinement) are unrepresentable in the format and
+                // skipped; the JSONL log keeps them.
+                ProtoEvent::ThresholdInstall { qid, value }
+                | ProtoEvent::ThresholdRefine { qid, new: value, .. } => {
+                    if value.is_finite() {
+                        rows.push(
+                            Obj::new()
+                                .str("ph", "C")
+                                .str("name", &format!("threshold q{qid}"))
+                                .u64("pid", 0)
+                                .raw("ts", &us(at))
+                                .raw(
+                                    "args",
+                                    &Obj::new().raw(&format!("SP{node}"), &float(value)).build(),
+                                )
+                                .build(),
+                        );
+                    }
+                }
+                ProtoEvent::Prune { qid, pruned } => {
+                    rows.push(
+                        Obj::new()
+                            .str("ph", "i")
+                            .str("s", "t")
+                            .str("name", "prune")
+                            .str("cat", "query")
+                            .u64("pid", 0)
+                            .u64("tid", node as u64)
+                            .raw("ts", &us(at))
+                            .raw(
+                                "args",
+                                &Obj::new()
+                                    .u64("qid", u64::from(qid))
+                                    .u64("pruned", pruned)
+                                    .build(),
+                            )
+                            .build(),
+                    );
+                }
+                ProtoEvent::Phase { qid, phase } => {
+                    rows.push(
+                        Obj::new()
+                            .str("ph", "i")
+                            .str("s", "t")
+                            .str("name", &format!("phase:{}", phase_name(phase)))
+                            .str("cat", "query")
+                            .u64("pid", 0)
+                            .u64("tid", node as u64)
+                            .raw("ts", &us(at))
+                            .raw("args", &Obj::new().u64("qid", u64::from(qid)).build())
+                            .build(),
+                    );
+                }
+            },
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(row);
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn tiny_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Service {
+                span: 0,
+                node: 0,
+                begin: 0,
+                end: 1500,
+                cause: SpanCause::Start,
+                dominance_tests: 4,
+                points_scanned: 9,
+                finished: false,
+            },
+            TraceEvent::Send {
+                msg_seq: 0,
+                span: 0,
+                from: 0,
+                to: 1,
+                bytes: 32,
+                queued_at: 1500,
+                sent_at: 1500,
+                arrive_at: 2000,
+            },
+            TraceEvent::Deliver { msg_seq: 0, at: 2000, from: 0, to: 1 },
+            TraceEvent::Proto {
+                span: 1,
+                node: 1,
+                at: 2000,
+                event: ProtoEvent::ThresholdInstall { qid: 3, value: f64::INFINITY },
+            },
+            TraceEvent::Finish { span: 1, node: 1, at: 2500 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_line_per_event() {
+        let t = tiny_trace();
+        let a = jsonl(&t);
+        let b = jsonl(&t);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), t.len());
+        assert!(a.starts_with(r#"{"type":"service","span":0,"node":0,"#));
+        assert!(a.contains(r#""value":"inf""#), "infinity must encode as a string: {a}");
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_slices_and_flows() {
+        let s = chrome_trace(&tiny_trace());
+        assert!(s.starts_with("{\"traceEvents\":[\n"));
+        assert!(s.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(s.contains(r#""name":"thread_name""#));
+        assert!(s.contains(r#""name":"SP1""#));
+        assert!(s.contains(r#""ph":"X""#));
+        assert!(s.contains(r#""ph":"s""#) && s.contains(r#""ph":"f""#));
+        // Infinite threshold is skipped in the counter track.
+        assert!(!s.contains("inf"));
+        // Timestamps are µs with fixed precision: 1500 ns = 1.500 µs.
+        assert!(s.contains(r#""ts":1.500"#));
+    }
+
+    #[test]
+    fn every_event_kind_renders() {
+        let all = vec![
+            TraceEvent::Drop { msg_seq: 1, at: 5, from: 0, to: 2, reason: DropReason::Injected },
+            TraceEvent::TimerSet { timer_seq: 2, span: 0, node: 1, fire_at: 50, tag: 7 },
+            TraceEvent::TimerFire { timer_seq: 2, at: 50, node: 1, tag: 7 },
+            TraceEvent::Proto {
+                span: 0,
+                node: 1,
+                at: 0,
+                event: ProtoEvent::Prune { qid: 1, pruned: 12 },
+            },
+            TraceEvent::Proto {
+                span: 0,
+                node: 1,
+                at: 0,
+                event: ProtoEvent::Phase { qid: 1, phase: QueryPhase::Forwarded },
+            },
+            TraceEvent::Proto {
+                span: 0,
+                node: 1,
+                at: 0,
+                event: ProtoEvent::ThresholdRefine { qid: 1, old: 9.5, new: 7.25 },
+            },
+        ];
+        let lines = jsonl(&all);
+        assert_eq!(lines.lines().count(), all.len());
+        assert!(lines.contains(r#""reason":"injected""#));
+        assert!(lines.contains(r#""phase":"forwarded""#));
+        assert!(lines.contains(r#""old":9.5"#) && lines.contains(r#""new":7.25"#));
+        let chrome = chrome_trace(&all);
+        assert!(chrome.contains("timer-fire") && chrome.contains("prune"));
+    }
+}

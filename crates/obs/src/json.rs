@@ -1,0 +1,136 @@
+//! Minimal hand-rolled JSON building.
+//!
+//! The exporters must be byte-deterministic (goldens are compared with
+//! `==`), so we control the formatting of every value ourselves instead of
+//! pulling in a serializer: keys appear in insertion order, floats render
+//! via Rust's shortest-roundtrip `{:?}`, and non-finite floats (legal
+//! thresholds: `∞`) become JSON strings.
+
+/// Escapes a string for a JSON string literal (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float as a JSON value: shortest-roundtrip decimal for finite
+/// values, `"inf"` / `"-inf"` / `"nan"` strings otherwise (bare `inf` is
+/// not JSON).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "\"nan\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// An object under construction: `{"k": v, ...}` with keys in push order.
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a pre-rendered JSON value.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Adds a string value.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer value.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float value (see [`float`] for the encoding).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&float(v));
+        self
+    }
+
+    /// Adds a boolean value.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn builds_ordered_objects() {
+        let s = Obj::new().str("type", "send").u64("bytes", 7).bool("ok", true).build();
+        assert_eq!(s, r#"{"type":"send","bytes":7,"ok":true}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_infinities_are_strings() {
+        assert_eq!(float(1.5), "1.5");
+        assert_eq!(float(2.0), "2.0");
+        assert_eq!(float(f64::INFINITY), "\"inf\"");
+        assert_eq!(float(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(float(f64::NAN), "\"nan\"");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Observability layer for SKYPEER: per-query tracing, a metrics
+//! registry, trace exporters, and critical-path analysis.
+//!
+//! The runtimes (`skypeer-netsim`'s DES and live runtime) and the protocol
+//! state machine (`skypeer-core`'s `SuperPeerNode`) emit [`TraceEvent`]s
+//! through a [`Tracer`] when one is installed; with no tracer installed
+//! every emission site is a single branch on a `None`, so simulation
+//! results are bit-for-bit identical to untraced runs.
+//!
+//! On top of the raw event stream:
+//!
+//! * [`metrics`] — a per-query registry of counters, fixed-bucket
+//!   histograms (dominance tests, points scanned, message sizes, per-hop
+//!   latency), bytes per directed link, and the threshold-over-time
+//!   series;
+//! * [`export`] — a deterministic JSONL event log and a Chrome
+//!   trace-event JSON loadable in Perfetto (super-peers as tracks);
+//! * [`critical`] — a critical-path analyzer that walks the recorded
+//!   event DAG backwards from the `finish` call and reports the chain of
+//!   service, transfer, and wait spans that determined response time.
+//!
+//! This crate is dependency-free and knows nothing about the simulator:
+//! events carry plain integers and floats. Times are the runtime's
+//! `SimTime` (nanoseconds since run start) — never wall clocks — so a
+//! deterministic runtime yields a byte-deterministic trace.
+
+pub mod critical;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+mod json;
+
+pub use critical::{critical_path, CriticalPath, PathStep, StepKind};
+pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEvent};
+pub use export::{chrome_trace, jsonl};
+pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
+pub use tracer::{MemTracer, Tracer};

@@ -1,0 +1,351 @@
+//! The per-query metrics registry, built from a recorded trace.
+//!
+//! Counters and fixed-bucket histograms over the quantities the paper's
+//! evaluation argues about: dominance tests and points scanned per
+//! handler, message sizes, per-hop latency, bytes per directed link, and
+//! the threshold value over simulated time.
+
+use crate::event::{ProtoEvent, SimTime, TraceEvent};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose value needs `i` bits (`0` in bucket 0,
+/// `1` in bucket 1, `2..=3` in bucket 2, …). 65 buckets cover the full
+/// `u64` range, so recording never saturates or reallocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[(64 - v.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Occupied buckets as `(lower_bound, upper_bound, count)` triples.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    0
+                } else if i == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// One-line rendering: `n=…, mean=…, min=…, max=…`.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!("n={} mean={:.1} min={} max={}", self.count, self.mean(), self.min, self.max)
+    }
+}
+
+/// Per-node aggregates of one traced run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Handler invocations served.
+    pub spans: u64,
+    /// Total modelled service time, ns.
+    pub service_ns: u64,
+    /// Messages sent / received.
+    pub msgs_out: u64,
+    /// Messages delivered to this node.
+    pub msgs_in: u64,
+    /// Bytes sent.
+    pub bytes_out: u64,
+    /// Bytes received (of delivered messages).
+    pub bytes_in: u64,
+    /// Dominance tests performed.
+    pub dominance_tests: u64,
+    /// Points scanned.
+    pub points_scanned: u64,
+}
+
+/// One sample of the threshold-over-time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThresholdSample {
+    /// When (span service-begin time).
+    pub at: SimTime,
+    /// Node that installed / refined the threshold.
+    pub node: usize,
+    /// Query id.
+    pub qid: u32,
+    /// Threshold value after the event.
+    pub value: f64,
+}
+
+/// Counters, histograms, and series distilled from one trace.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    /// Scalar counters, keyed by stable names (see [`MetricsRegistry::from_events`]).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Service time per handler invocation, ns.
+    pub service_ns: Histogram,
+    /// Dominance tests per handler invocation.
+    pub dominance_tests: Histogram,
+    /// Points scanned per handler invocation.
+    pub points_scanned: Histogram,
+    /// Wire size per message, bytes.
+    pub msg_bytes: Histogram,
+    /// Per-hop latency (link queue + transfer), ns.
+    pub hop_latency_ns: Histogram,
+    /// Bytes per directed link, deterministically ordered.
+    pub link_bytes: BTreeMap<(usize, usize), u64>,
+    /// Threshold installs/refinements over simulated time, in trace order.
+    pub thresholds: Vec<ThresholdSample>,
+    /// Per-node aggregates, indexed by node id.
+    pub per_node: Vec<NodeMetrics>,
+}
+
+impl MetricsRegistry {
+    /// Distills a recorded trace into the registry.
+    ///
+    /// Counter keys: `spans`, `messages_sent`, `messages_delivered`,
+    /// `messages_dropped`, `bytes_sent`, `dominance_tests`,
+    /// `points_scanned`, `timers_set`, `timers_fired`, `finishes`,
+    /// `threshold_installs`, `threshold_refines`, `pruned_points`.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut m = MetricsRegistry::default();
+        let bump = |reg: &mut BTreeMap<&'static str, u64>, k: &'static str, by: u64| {
+            *reg.entry(k).or_insert(0) += by;
+        };
+        let n_nodes = events.iter().map(|e| e.node() + 1).max().unwrap_or(0);
+        m.per_node = vec![NodeMetrics::default(); n_nodes];
+        for ev in events {
+            match *ev {
+                TraceEvent::Service {
+                    node, begin, end, dominance_tests, points_scanned, ..
+                } => {
+                    bump(&mut m.counters, "spans", 1);
+                    bump(&mut m.counters, "dominance_tests", dominance_tests);
+                    bump(&mut m.counters, "points_scanned", points_scanned);
+                    m.service_ns.record(end - begin);
+                    m.dominance_tests.record(dominance_tests);
+                    m.points_scanned.record(points_scanned);
+                    let pn = &mut m.per_node[node];
+                    pn.spans += 1;
+                    pn.service_ns += end - begin;
+                    pn.dominance_tests += dominance_tests;
+                    pn.points_scanned += points_scanned;
+                }
+                TraceEvent::Send { from, to, bytes, queued_at, arrive_at, .. } => {
+                    bump(&mut m.counters, "messages_sent", 1);
+                    bump(&mut m.counters, "bytes_sent", bytes);
+                    m.msg_bytes.record(bytes);
+                    m.hop_latency_ns.record(arrive_at - queued_at);
+                    *m.link_bytes.entry((from, to)).or_insert(0) += bytes;
+                    m.per_node[from].msgs_out += 1;
+                    m.per_node[from].bytes_out += bytes;
+                    m.per_node[to].bytes_in += bytes;
+                }
+                TraceEvent::Deliver { to, .. } => {
+                    bump(&mut m.counters, "messages_delivered", 1);
+                    m.per_node[to].msgs_in += 1;
+                }
+                TraceEvent::Drop { .. } => bump(&mut m.counters, "messages_dropped", 1),
+                TraceEvent::TimerSet { .. } => bump(&mut m.counters, "timers_set", 1),
+                TraceEvent::TimerFire { .. } => bump(&mut m.counters, "timers_fired", 1),
+                TraceEvent::Finish { .. } => bump(&mut m.counters, "finishes", 1),
+                TraceEvent::Proto { node, at, event, .. } => match event {
+                    ProtoEvent::ThresholdInstall { qid, value } => {
+                        bump(&mut m.counters, "threshold_installs", 1);
+                        m.thresholds.push(ThresholdSample { at, node, qid, value });
+                    }
+                    ProtoEvent::ThresholdRefine { qid, new, .. } => {
+                        bump(&mut m.counters, "threshold_refines", 1);
+                        m.thresholds.push(ThresholdSample { at, node, qid, value: new });
+                    }
+                    ProtoEvent::Prune { pruned, .. } => {
+                        bump(&mut m.counters, "pruned_points", pruned);
+                    }
+                    ProtoEvent::Phase { .. } => {}
+                },
+            }
+        }
+        // Make headline counters present even when zero, so reports have a
+        // stable shape.
+        for k in ["spans", "messages_sent", "messages_delivered", "messages_dropped", "finishes"] {
+            m.counters.entry(k).or_insert(0);
+        }
+        m
+    }
+
+    /// The directed link that carried the most bytes (smallest link wins
+    /// ties, deterministically).
+    pub fn hottest_link(&self) -> Option<((usize, usize), u64)> {
+        use std::cmp::Reverse;
+        self.link_bytes.iter().map(|(&l, &b)| (l, b)).max_by_key(|&(l, b)| (b, Reverse(l)))
+    }
+
+    /// The node with the most service time (smallest id wins ties).
+    pub fn hottest_node(&self) -> Option<(usize, u64)> {
+        use std::cmp::Reverse;
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, n.service_ns))
+            .max_by_key(|&(i, ns)| (ns, Reverse(i)))
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::event::{QueryPhase, SpanCause};
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let buckets = h.buckets();
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3;
+        // 1000 → bucket 10 (512..=1023).
+        assert_eq!(buckets, vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (4, 7, 1), (512, 1023, 1)]);
+        assert!(h.summary().starts_with("n=6"));
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_aggregates_a_tiny_trace() {
+        let events = vec![
+            TraceEvent::Service {
+                span: 0,
+                node: 0,
+                begin: 0,
+                end: 100,
+                cause: SpanCause::Start,
+                dominance_tests: 5,
+                points_scanned: 10,
+                finished: false,
+            },
+            TraceEvent::Send {
+                msg_seq: 0,
+                span: 0,
+                from: 0,
+                to: 1,
+                bytes: 64,
+                queued_at: 100,
+                sent_at: 100,
+                arrive_at: 300,
+            },
+            TraceEvent::Deliver { msg_seq: 0, at: 300, from: 0, to: 1 },
+            TraceEvent::Service {
+                span: 1,
+                node: 1,
+                begin: 300,
+                end: 450,
+                cause: SpanCause::Msg(0),
+                dominance_tests: 7,
+                points_scanned: 3,
+                finished: true,
+            },
+            TraceEvent::Proto {
+                span: 1,
+                node: 1,
+                at: 300,
+                event: ProtoEvent::ThresholdRefine { qid: 9, old: 5.0, new: 4.0 },
+            },
+            TraceEvent::Proto {
+                span: 1,
+                node: 1,
+                at: 300,
+                event: ProtoEvent::Phase { qid: 9, phase: QueryPhase::LocalDone },
+            },
+            TraceEvent::Finish { span: 1, node: 1, at: 450 },
+        ];
+        let m = MetricsRegistry::from_events(&events);
+        assert_eq!(m.counters["spans"], 2);
+        assert_eq!(m.counters["messages_sent"], 1);
+        assert_eq!(m.counters["bytes_sent"], 64);
+        assert_eq!(m.counters["dominance_tests"], 12);
+        assert_eq!(m.counters["finishes"], 1);
+        assert_eq!(m.counters["messages_dropped"], 0);
+        assert_eq!(m.link_bytes[&(0, 1)], 64);
+        assert_eq!(m.hop_latency_ns.max(), Some(200));
+        assert_eq!(m.per_node.len(), 2);
+        assert_eq!(m.per_node[0].msgs_out, 1);
+        assert_eq!(m.per_node[1].msgs_in, 1);
+        assert_eq!(m.per_node[1].service_ns, 150);
+        assert_eq!(m.thresholds.len(), 1);
+        assert_eq!(m.thresholds[0].value, 4.0);
+        assert_eq!(m.hottest_node(), Some((1, 150)));
+        assert_eq!(m.hottest_link(), Some(((0, 1), 64)));
+    }
+
+    #[test]
+    fn hottest_ties_break_deterministically() {
+        let mut m = MetricsRegistry::default();
+        m.per_node = vec![NodeMetrics { service_ns: 7, ..Default::default() }; 3];
+        assert_eq!(m.hottest_node(), Some((0, 7)));
+        m.link_bytes.insert((2, 0), 9);
+        m.link_bytes.insert((1, 5), 9);
+        assert_eq!(m.hottest_link(), Some(((1, 5), 9)));
+    }
+}

@@ -1,0 +1,91 @@
+//! The [`Tracer`] sink trait and the in-memory implementation.
+
+use crate::event::TraceEvent;
+use std::sync::Mutex;
+
+/// A sink for trace events.
+///
+/// Runtimes hold an `Option<Arc<dyn Tracer>>`; with `None` every emission
+/// site is one branch, so untraced runs behave bit-for-bit like the seed
+/// simulator. Implementations must be `Send + Sync` because the live
+/// runtime records from every node thread concurrently.
+///
+/// DES emission order is deterministic; live emission order is whatever
+/// the thread interleaving produced (sort or group by ids when
+/// determinism matters).
+pub trait Tracer: Send + Sync {
+    /// Records one event. Must not block for long — it runs inside the
+    /// simulation loop / node threads.
+    fn record(&self, ev: TraceEvent);
+}
+
+/// Collects events into memory, in `record` order.
+#[derive(Default)]
+pub struct MemTracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemTracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        MemTracer::default()
+    }
+
+    /// Takes the recorded events out, leaving the tracer empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().expect("tracer poisoned"))
+    }
+
+    /// A copy of the events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("tracer poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("tracer poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Tracer for MemTracer {
+    fn record(&self, ev: TraceEvent) {
+        self.events.lock().expect("tracer poisoned").push(ev);
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::event::SpanCause;
+
+    #[test]
+    fn mem_tracer_keeps_order_and_drains() {
+        let t = MemTracer::new();
+        assert!(t.is_empty());
+        for span in 0..3 {
+            t.record(TraceEvent::Service {
+                span,
+                node: span as usize,
+                begin: 0,
+                end: 1,
+                cause: SpanCause::Start,
+                dominance_tests: 0,
+                points_scanned: 0,
+                finished: false,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        let evs = t.take();
+        assert_eq!(evs.len(), 3);
+        assert!(t.is_empty());
+        match evs[2] {
+            TraceEvent::Service { span, .. } => assert_eq!(span, 2),
+            _ => panic!("wrong event"),
+        }
+    }
+}

@@ -19,10 +19,7 @@ impl Rect {
     /// on any axis.
     pub fn new(lo: &[f64], hi: &[f64]) -> Self {
         assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
-        assert!(
-            lo.iter().zip(hi).all(|(l, h)| l <= h),
-            "inverted rectangle: lo {lo:?} hi {hi:?}"
-        );
+        assert!(lo.iter().zip(hi).all(|(l, h)| l <= h), "inverted rectangle: lo {lo:?} hi {hi:?}");
         Rect { lo: lo.into(), hi: hi.into() }
     }
 
@@ -98,11 +95,7 @@ impl Rect {
     #[inline]
     pub fn contains_point(&self, p: &[f64]) -> bool {
         debug_assert_eq!(self.dim(), p.len());
-        self.lo
-            .iter()
-            .zip(&*self.hi)
-            .zip(p)
-            .all(|((lo, hi), v)| lo <= v && v <= hi)
+        self.lo.iter().zip(&*self.hi).zip(p).all(|((lo, hi), v)| lo <= v && v <= hi)
     }
 
     /// Grows `self` in place to cover `other`.
@@ -135,11 +128,7 @@ impl Rect {
     /// volume; infinite boxes have infinite volume.
     #[inline]
     pub fn volume(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&*self.hi)
-            .map(|(lo, hi)| hi - lo)
-            .product()
+        self.lo.iter().zip(&*self.hi).map(|(lo, hi)| hi - lo).product()
     }
 
     /// Sum of side lengths. Used as a tie-break objective during splits:

@@ -27,11 +27,7 @@ impl Oracle {
     }
 
     fn window(&self, w: &Rect) -> Vec<(Vec<f64>, u64)> {
-        self.points
-            .iter()
-            .filter(|(c, _)| w.contains_point(c))
-            .cloned()
-            .collect()
+        self.points.iter().filter(|(c, _)| w.contains_point(c)).cloned().collect()
     }
 
     fn is_dominated(&self, q: &[f64]) -> bool {
@@ -41,9 +37,7 @@ impl Oracle {
     }
 
     fn is_ext_dominated(&self, q: &[f64]) -> bool {
-        self.points
-            .iter()
-            .any(|(c, _)| c.iter().zip(q).all(|(a, b)| a < b))
+        self.points.iter().any(|(c, _)| c.iter().zip(q).all(|(a, b)| a < b))
     }
 }
 
@@ -165,9 +159,8 @@ fn bulk_load_matches_inserts() {
     let mut rng = StdRng::seed_from_u64(99);
     for &n in &[0usize, 1, 5, 16, 17, 100, 1000] {
         for &dim in &[1usize, 2, 3, 5] {
-            let pts: Vec<(Vec<f64>, u64)> = (0..n)
-                .map(|i| ((0..dim).map(|_| rng.gen::<f64>()).collect(), i as u64))
-                .collect();
+            let pts: Vec<(Vec<f64>, u64)> =
+                (0..n).map(|i| ((0..dim).map(|_| rng.gen::<f64>()).collect(), i as u64)).collect();
             let refs: Vec<(&[f64], u64)> = pts.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
             let tree = RTree::bulk_load(dim, &refs);
             assert_eq!(tree.len(), n, "bulk load n={n} dim={dim}");

@@ -310,9 +310,8 @@ impl RTree {
                 })
                 .sum()
         };
-        let point_dist2 = |p: &[f64], q: &[f64]| -> f64 {
-            p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let point_dist2 =
+            |p: &[f64], q: &[f64]| -> f64 { p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum() };
 
         let mut heap = std::collections::BinaryHeap::new();
         let mut seq = 0u64;
@@ -667,9 +666,8 @@ impl RTree {
         let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
         for i in 0..n {
             for j in (i + 1)..n {
-                let waste = rects[i].union_volume(&rects[j])
-                    - rects[i].volume()
-                    - rects[j].volume();
+                let waste =
+                    rects[i].union_volume(&rects[j]) - rects[i].volume() - rects[j].volume();
                 if waste > worst {
                     worst = waste;
                     seed_a = i;

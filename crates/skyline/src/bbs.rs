@@ -66,7 +66,11 @@ pub fn skyline_from_tree(tree: &RTree, flavour: Dominance) -> Vec<(Vec<f64>, u64
     let mut heap: BinaryHeap<Keyed<'_>> = BinaryHeap::new();
     let mut seq = 0u64;
     if !tree.is_empty() {
-        heap.push(Keyed { mindist: tree.root().mbr().mindist_l1(), seq, cand: Candidate::Node(tree.root()) });
+        heap.push(Keyed {
+            mindist: tree.root().mbr().mindist_l1(),
+            seq,
+            cand: Candidate::Node(tree.root()),
+        });
         seq += 1;
     }
     let mut skyline: Vec<(Vec<f64>, u64)> = Vec::new();
@@ -130,7 +134,8 @@ pub fn skyline_ids(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<u64> 
     }
     let refs: Vec<(&[f64], u64)> = projected.iter().map(|(p, id)| (p.as_slice(), *id)).collect();
     let tree = RTree::bulk_load(u.k(), &refs);
-    let mut ids: Vec<u64> = skyline_from_tree(&tree, flavour).into_iter().map(|(_, id)| id).collect();
+    let mut ids: Vec<u64> =
+        skyline_from_tree(&tree, flavour).into_iter().map(|(_, id)| id).collect();
     ids.sort_unstable();
     ids
 }

@@ -83,8 +83,14 @@ mod unit {
     fn matches_brute_force_full_space() {
         let s = sample();
         let u = Subspace::full(3);
-        assert_eq!(skyline_ids(&s, u, Dominance::Standard), brute::skyline_ids(&s, u, Dominance::Standard));
-        assert_eq!(skyline_ids(&s, u, Dominance::Extended), brute::skyline_ids(&s, u, Dominance::Extended));
+        assert_eq!(
+            skyline_ids(&s, u, Dominance::Standard),
+            brute::skyline_ids(&s, u, Dominance::Standard)
+        );
+        assert_eq!(
+            skyline_ids(&s, u, Dominance::Extended),
+            brute::skyline_ids(&s, u, Dominance::Extended)
+        );
     }
 
     #[test]

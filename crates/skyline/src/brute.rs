@@ -21,10 +21,8 @@ pub fn skyline_indices(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<u
 
 /// Identifiers (sorted, deduplicated) of the skyline of `set` on `u`.
 pub fn skyline_ids(set: &PointSet, u: Subspace, flavour: Dominance) -> Vec<u64> {
-    let mut ids: Vec<u64> = skyline_indices(set, u, flavour)
-        .into_iter()
-        .map(|i| set.id(i))
-        .collect();
+    let mut ids: Vec<u64> =
+        skyline_indices(set, u, flavour).into_iter().map(|i| set.id(i)).collect();
     ids.sort_unstable();
     ids.dedup();
     ids

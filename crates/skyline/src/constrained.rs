@@ -122,15 +122,12 @@ mod unit {
     fn empty_window_gives_empty_skyline() {
         let s = sample();
         let c = ConstraintBox::unconstrained().with_range(0, 100.0, 200.0);
-        assert!(constrained_skyline_ids(&s, Subspace::full(2), &c, Dominance::Standard)
-            .is_empty());
+        assert!(constrained_skyline_ids(&s, Subspace::full(2), &c, Dominance::Standard).is_empty());
     }
 
     #[test]
     fn repeated_range_on_same_dim_replaces() {
-        let c = ConstraintBox::unconstrained()
-            .with_range(0, 0.0, 1.0)
-            .with_range(0, 5.0, 6.0);
+        let c = ConstraintBox::unconstrained().with_range(0, 0.0, 1.0).with_range(0, 5.0, 6.0);
         assert_eq!(c.len(), 1);
         assert!(c.contains(&[5.5, 0.0]));
         assert!(!c.contains(&[0.5, 0.0]));

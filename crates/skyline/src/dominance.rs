@@ -83,17 +83,16 @@ mod unit {
     #[test]
     fn extended_requires_all_strict() {
         assert!(ext_dominates(&[0.5, 1.0], &[1.0, 2.0], u2()));
-        assert!(!ext_dominates(&[1.0, 1.0], &[1.0, 2.0], u2()), "tie on one dim blocks ext-dominance");
+        assert!(
+            !ext_dominates(&[1.0, 1.0], &[1.0, 2.0], u2()),
+            "tie on one dim blocks ext-dominance"
+        );
         assert!(!ext_dominates(&[1.0, 1.0], &[1.0, 1.0], u2()));
     }
 
     #[test]
     fn ext_dominance_implies_standard() {
-        let cases = [
-            ([0.0, 0.0], [1.0, 1.0]),
-            ([0.1, 0.2], [0.3, 0.4]),
-            ([2.0, 1.0], [3.0, 5.0]),
-        ];
+        let cases = [([0.0, 0.0], [1.0, 1.0]), ([0.1, 0.2], [0.3, 0.4]), ([2.0, 1.0], [3.0, 5.0])];
         for (p, q) in cases {
             assert!(ext_dominates(&p, &q, u2()));
             assert!(dominates(&p, &q, u2()), "ext-dominance must imply dominance");

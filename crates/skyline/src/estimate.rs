@@ -92,10 +92,7 @@ mod unit {
             let exact = expected_skyline_size(100_000, d);
             let approx = asymptotic_skyline_size(100_000, d);
             let ratio = approx / exact;
-            assert!(
-                (0.3..3.0).contains(&ratio),
-                "d={d}: approx {approx:.1} vs exact {exact:.1}"
-            );
+            assert!((0.3..3.0).contains(&ratio), "d={d}: approx {approx:.1} vs exact {exact:.1}");
         }
     }
 
@@ -116,9 +113,6 @@ mod unit {
         }
         let got = bnl::skyline(&s, Subspace::full(4), Dominance::Standard).len() as f64;
         let want = expected_skyline_size(n as usize, 4);
-        assert!(
-            (0.5..2.0).contains(&(got / want)),
-            "empirical {got} vs theoretical {want:.1}"
-        );
+        assert!((0.5..2.0).contains(&(got / want)), "empirical {got} vs theoretical {want:.1}");
     }
 }

@@ -28,12 +28,7 @@ use crate::subspace::Subspace;
 /// This is the peer-side half of the preprocessing phase (Section 5.3).
 pub fn ext_skyline(set: &PointSet, index: DominanceIndex) -> ThresholdOutcome {
     let sorted = SortedDataset::from_set(set);
-    sorted.subspace_skyline(
-        Subspace::full(set.dim()),
-        Dominance::Extended,
-        f64::INFINITY,
-        index,
-    )
+    sorted.subspace_skyline(Subspace::full(set.dim()), Dominance::Extended, f64::INFINITY, index)
 }
 
 /// Computes the extended skyline on an explicit subspace `u` (the paper
@@ -93,8 +88,7 @@ mod unit {
     fn observation4_on_paper_example() {
         let s = figure2_peer_a();
         let ext = ext_skyline(&s, DominanceIndex::Linear);
-        let ext_ids: Vec<u64> =
-            (0..ext.result.len()).map(|i| ext.result.points().id(i)).collect();
+        let ext_ids: Vec<u64> = (0..ext.result.len()).map(|i| ext.result.points().id(i)).collect();
         for id in brute::all_subspace_skyline_ids(&s, Subspace::full(4)) {
             assert!(ext_ids.contains(&id), "subspace skyline point {id} missing from ext-skyline");
         }

@@ -61,11 +61,7 @@ mod unit {
         // For every pair (p, q) on a small 2-d grid and every subspace:
         // if f(p) > dist_U(q) then q dominates p on U.
         let vals = [0.0, 1.0, 2.0, 3.0];
-        let subspaces = [
-            Subspace::from_dims(&[0]),
-            Subspace::from_dims(&[1]),
-            Subspace::full(2),
-        ];
+        let subspaces = [Subspace::from_dims(&[0]), Subspace::from_dims(&[1]), Subspace::full(2)];
         for &px in &vals {
             for &py in &vals {
                 for &qx in &vals {

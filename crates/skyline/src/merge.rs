@@ -77,11 +77,7 @@ pub fn merge_sorted(
     initial_threshold: f64,
     index: DominanceIndex,
 ) -> ThresholdOutcome {
-    let dim = lists
-        .iter()
-        .map(|l| l.dim())
-        .max()
-        .unwrap_or(u.dims().last().map_or(1, |d| d + 1));
+    let dim = lists.iter().map(|l| l.dim()).max().unwrap_or(u.dims().last().map_or(1, |d| d + 1));
     for l in lists {
         assert_eq!(l.dim(), dim, "merged lists must share dimensionality");
     }
@@ -102,10 +98,7 @@ pub fn merge_sorted(
             // The globally smallest remaining head already exceeds the
             // threshold: everything left in every list is pruned.
             pruned += (list.len() - head.pos) as u64;
-            pruned += heap
-                .drain()
-                .map(|h| (lists[h.list].len() - h.pos) as u64)
-                .sum::<u64>();
+            pruned += heap.drain().map(|h| (lists[h.list].len() - h.pos) as u64).sum::<u64>();
             break;
         }
         let coords = list.points().point(head.pos);
@@ -117,7 +110,12 @@ pub fn merge_sorted(
         }
         let next = head.pos + 1;
         if next < list.len() {
-            heap.push(Head { f: list.f(next), id: list.points().id(next), list: head.list, pos: next });
+            heap.push(Head {
+                f: list.f(next),
+                id: list.points().id(next),
+                list: head.list,
+                pos: next,
+            });
         }
     }
     let mut out = window.into_outcome(dim, threshold);
@@ -154,7 +152,8 @@ mod unit {
         let c = sorted_of(&[(&[0.5, 9.0], 6)], 2);
         let lists = [&a, &b, &c];
         let u = Subspace::full(2);
-        let out = merge_sorted(&lists, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        let out =
+            merge_sorted(&lists, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
         let mut got: Vec<u64> = (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
         got.sort_unstable();
         let all = union(&lists, 2);
@@ -178,8 +177,20 @@ mod unit {
             let left = sorted_of(&raw[..split], 3);
             let right = sorted_of(&raw[split..], 3);
             // Reduce each side to its local skyline first, as SKYPEER does.
-            let ls = threshold_skyline(&left, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
-            let rs = threshold_skyline(&right, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+            let ls = threshold_skyline(
+                &left,
+                u,
+                Dominance::Standard,
+                f64::INFINITY,
+                DominanceIndex::Linear,
+            );
+            let rs = threshold_skyline(
+                &right,
+                u,
+                Dominance::Standard,
+                f64::INFINITY,
+                DominanceIndex::Linear,
+            );
             let merged = merge_sorted(
                 &[&ls.result, &rs.result],
                 u,

@@ -92,10 +92,7 @@ impl PointSet {
 
     /// Iterates over `(index, id, coords)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &[f64])> + '_ {
-        self.ids
-            .iter()
-            .enumerate()
-            .map(move |(i, &id)| (i, id, self.point(i)))
+        self.ids.iter().enumerate().map(move |(i, &id)| (i, id, self.point(i)))
     }
 
     /// Builds a new set containing the points at `indices`, in order.

@@ -69,10 +69,8 @@ impl Iterator for ProgressiveSkyline<'_> {
             let i = self.order[self.cursor];
             self.cursor += 1;
             let p = self.set.point(i);
-            let dominated = self
-                .accepted
-                .iter()
-                .any(|&s| self.flavour.dominates(self.set.point(s), p, self.u));
+            let dominated =
+                self.accepted.iter().any(|&s| self.flavour.dominates(self.set.point(s), p, self.u));
             if !dominated {
                 self.accepted.push(i);
                 return Some((i, self.set.id(i)));
@@ -167,8 +165,13 @@ mod unit {
         let s = sample();
         let sorted = SortedDataset::from_set(&s);
         let u = Subspace::full(3);
-        let out =
-            threshold_skyline(&sorted, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        let out = threshold_skyline(
+            &sorted,
+            u,
+            Dominance::Standard,
+            f64::INFINITY,
+            DominanceIndex::Linear,
+        );
         let min_dist = (0..out.result.len())
             .map(|i| crate::mapping::dist(out.result.points().point(i), u))
             .fold(f64::INFINITY, f64::min);

@@ -12,7 +12,7 @@ fn point_set(dim: usize, max_n: usize) -> impl Strategy<Value = PointSet> {
     prop::collection::vec(
         prop::collection::vec(
             prop_oneof![
-                (0u32..8).prop_map(f64::from),       // coarse: ties
+                (0u32..8).prop_map(f64::from),                         // coarse: ties
                 (0.0f64..8.0).prop_map(|v| (v * 64.0).round() / 64.0), // finer grid
             ],
             dim,

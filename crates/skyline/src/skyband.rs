@@ -112,8 +112,7 @@ mod unit {
         assert_eq!(counts, vec![0, 1, 2, 0, 4]);
         for k in 1..=5 {
             let band = skyband(&s, u, k, Dominance::Standard);
-            let expect: Vec<usize> =
-                (0..s.len()).filter(|&i| counts[i] < k).collect();
+            let expect: Vec<usize> = (0..s.len()).filter(|&i| counts[i] < k).collect();
             assert_eq!(band, expect, "k={k}");
         }
     }

@@ -446,7 +446,8 @@ mod unit {
             &[3.0, 3.0, 3.0],
         ]);
         let u = Subspace::from_dims(&[0, 1]);
-        let a = threshold_skyline(&d, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
+        let a =
+            threshold_skyline(&d, u, Dominance::Standard, f64::INFINITY, DominanceIndex::Linear);
         let b = threshold_skyline(&d, u, Dominance::Standard, f64::INFINITY, DominanceIndex::RTree);
         assert_eq!(a.result, b.result);
         assert_eq!(a.threshold, b.threshold);

@@ -13,18 +13,14 @@ use skypeer::data::Query;
 use skypeer::prelude::*;
 
 fn main() {
-    let max_batch: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let max_batch: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
     let engine = SkypeerEngine::build(EngineConfig::paper_default(400, 11));
     let n_sp = engine.config().n_superpeers;
     println!(
         "network: {} peers / {n_sp} super-peers; variant FTPM; batch sizes 1..={max_batch}\n",
         engine.config().n_peers
     );
-    println!(
-        "{:>6}  {:>14}  {:>12}  {:>8}",
-        "batch", "makespan (ms)", "serial (ms)", "speedup"
-    );
+    println!("{:>6}  {:>14}  {:>12}  {:>8}", "batch", "makespan (ms)", "serial (ms)", "speedup");
     let mut size = 1;
     while size <= max_batch {
         let wl = WorkloadSpec {

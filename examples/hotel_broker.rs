@@ -34,8 +34,8 @@ fn synth_hotels(rng: &mut StdRng, n: usize, base_id: u64) -> skypeer_skyline::Po
         // raises price.
         let centrality = rng.gen::<f64>(); // 0 = city center
         let quality = rng.gen::<f64>(); // 0 = excellent
-        let price = 40.0 + 260.0 * (1.0 - centrality) * (1.0 - 0.5 * quality)
-            + rng.gen_range(0.0..40.0);
+        let price =
+            40.0 + 260.0 * (1.0 - centrality) * (1.0 - 0.5 * quality) + rng.gen_range(0.0..40.0);
         let distance = 0.2 + 14.0 * centrality + rng.gen_range(0.0..1.0);
         let noise = (8.0 * (1.0 - centrality) + rng.gen_range(0.0..2.0)).min(10.0);
         let inv_rating = 10.0 * quality;

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use skypeer::prelude::*;
 use skypeer::core::engine::SkypeerEngine;
+use skypeer::prelude::*;
 use skypeer_data::Query;
 
 fn main() {

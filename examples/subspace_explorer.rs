@@ -16,8 +16,7 @@ use skypeer::skyline::{DominanceIndex, Subspace};
 fn main() {
     let dim = 5;
     let n = 2000;
-    let spec =
-        DatasetSpec { dim, points_per_peer: n, kind: DatasetKind::Uniform, seed: 11 };
+    let spec = DatasetSpec { dim, points_per_peer: n, kind: DatasetKind::Uniform, seed: 11 };
     let set = spec.generate_peer(0, 0);
     println!("dataset: {n} uniform points, d = {dim}\n");
 
@@ -33,13 +32,11 @@ fn main() {
     let cube = Skycube::compute(&set);
     println!("\nskycube ({} subspaces):", cube.len());
     for k in 1..=dim {
-        let (count, total, largest) = Subspace::enumerate_k(dim, k).fold(
-            (0usize, 0usize, 0usize),
-            |(c, t, l), u| {
+        let (count, total, largest) =
+            Subspace::enumerate_k(dim, k).fold((0usize, 0usize, 0usize), |(c, t, l), u| {
                 let s = cube.skyline(u).map_or(0, <[u64]>::len);
                 (c + 1, t + s, l.max(s))
-            },
-        );
+            });
         let theory = expected_skyline_size(n, k);
         println!(
             "  k={k}: {count:>2} subspaces, avg skyline {:>7.1}, max {largest:>5}, theory {:>7.1} (asymptotic {:>8.1})",
@@ -62,16 +59,12 @@ fn main() {
         covered
     );
     assert_eq!(covered, union.len(), "Observation 4 must hold");
-    println!(
-        "ext-skyline overhead beyond the union: {} points",
-        ext.result.len() - union.len()
-    );
+    println!("ext-skyline overhead beyond the union: {} points", ext.result.len() - union.len());
 
     // 4. Distribution contrast: the same counts on hostile data.
-    for (kind, label) in [
-        (DatasetKind::Correlated, "correlated"),
-        (DatasetKind::Anticorrelated, "anticorrelated"),
-    ] {
+    for (kind, label) in
+        [(DatasetKind::Correlated, "correlated"), (DatasetKind::Anticorrelated, "anticorrelated")]
+    {
         let other = DatasetSpec { dim, points_per_peer: n, kind, seed: 11 }.generate_peer(0, 0);
         let e = ext_skyline(&other, DominanceIndex::RTree);
         println!(

@@ -12,8 +12,7 @@ use skypeer::prelude::*;
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
         if args.is_empty() {
             vec![200, 400, 800]
         } else {

@@ -14,7 +14,9 @@
 //! * [`netsim`] — super-peer topologies, the discrete-event network
 //!   simulator, and the live threaded runtime;
 //! * [`core`] — the SKYPEER protocol itself: preprocessing, the four
-//!   threshold/merging variants, and the naive baseline.
+//!   threshold/merging variants, and the naive baseline;
+//! * [`obs`] — per-query tracing, the metrics registry, JSONL/Perfetto
+//!   exporters, and critical-path analysis.
 //!
 //! See `README.md` for a guided tour and `examples/` for runnable
 //! end-to-end scenarios.
@@ -34,6 +36,7 @@
 pub use skypeer_core as core;
 pub use skypeer_data as data;
 pub use skypeer_netsim as netsim;
+pub use skypeer_obs as obs;
 pub use skypeer_rtree as rtree;
 pub use skypeer_skyline as skyline;
 

@@ -98,7 +98,12 @@ fn make_nodes(
 fn line_stores(n: usize) -> Vec<Arc<skypeer::skyline::SortedDataset>> {
     peer_sets(n, 50)
         .iter()
-        .map(|p| Arc::new(SuperPeerStore::preprocess(std::slice::from_ref(p), 4, DominanceIndex::Linear).store))
+        .map(|p| {
+            Arc::new(
+                SuperPeerStore::preprocess(std::slice::from_ref(p), 4, DominanceIndex::Linear)
+                    .store,
+            )
+        })
         .collect()
 }
 
@@ -137,7 +142,14 @@ fn unaffected_links_still_deliver_exact_results() {
         let nodes = make_nodes(&topo, &stores, 0, Variant::Ftfm);
         let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
         let mut ids: Vec<u64> = {
-            let r = out.nodes.into_iter().next().expect("node 0").into_outcome().expect("result").result;
+            let r = out
+                .nodes
+                .into_iter()
+                .next()
+                .expect("node 0")
+                .into_outcome()
+                .expect("result")
+                .result;
             (0..r.len()).map(|i| r.points().id(i)).collect()
         };
         ids.sort_unstable();
@@ -149,7 +161,8 @@ fn unaffected_links_still_deliver_exact_results() {
         .run(0);
     assert!(out.stats.finished_at.is_some());
     let mut ids: Vec<u64> = {
-        let r = out.nodes.into_iter().next().expect("node 0").into_outcome().expect("result").result;
+        let r =
+            out.nodes.into_iter().next().expect("node 0").into_outcome().expect("result").result;
         (0..r.len()).map(|i| r.points().id(i)).collect()
     };
     ids.sort_unstable();

@@ -26,10 +26,8 @@ fn engine(seed: u64) -> SkypeerEngine {
 #[test]
 fn concurrent_answers_equal_serial_answers() {
     let engine = engine(1);
-    let workload =
-        WorkloadSpec { dim: 5, k: 3, queries: 6, n_superpeers: 8, seed: 5 }.generate();
-    let batch: Vec<(Query, Variant)> =
-        workload.iter().map(|q| (*q, Variant::Ftpm)).collect();
+    let workload = WorkloadSpec { dim: 5, k: 3, queries: 6, n_superpeers: 8, seed: 5 }.generate();
+    let batch: Vec<(Query, Variant)> = workload.iter().map(|q| (*q, Variant::Ftpm)).collect();
     let concurrent = engine.run_concurrent(&batch);
     assert_eq!(concurrent.result_ids.len(), 6);
     for (i, q) in workload.iter().enumerate() {
@@ -72,9 +70,8 @@ fn several_queries_from_one_initiator() {
 fn contention_makes_batches_slower_than_one_query_but_faster_than_serial_sum() {
     let engine = engine(4);
     let u = Subspace::from_dims(&[0, 1, 2]);
-    let queries: Vec<(Query, Variant)> = (0..4)
-        .map(|i| (Query { subspace: u, initiator: i * 2 }, Variant::Ftpm))
-        .collect();
+    let queries: Vec<(Query, Variant)> =
+        (0..4).map(|i| (Query { subspace: u, initiator: i * 2 }, Variant::Ftpm)).collect();
     let lone = engine.run_query(queries[0].0, Variant::Ftpm);
     let batch = engine.run_concurrent(&queries);
     assert!(
@@ -83,10 +80,7 @@ fn contention_makes_batches_slower_than_one_query_but_faster_than_serial_sum() {
         batch.makespan_ns,
         lone.total_time_ns
     );
-    let serial_sum: u64 = queries
-        .iter()
-        .map(|(q, v)| engine.run_query(*q, *v).total_time_ns)
-        .sum();
+    let serial_sum: u64 = queries.iter().map(|(q, v)| engine.run_query(*q, *v).total_time_ns).sum();
     assert!(
         batch.makespan_ns < serial_sum,
         "concurrency must beat running the batch back-to-back ({} >= {serial_sum})",
@@ -114,8 +108,7 @@ fn live_runtime_handles_a_concurrent_batch() {
 
     let engine = engine(6);
     let n_sp = engine.config().n_superpeers;
-    let stores: Vec<Arc<_>> =
-        (0..n_sp).map(|sp| Arc::new(engine.store(sp).clone())).collect();
+    let stores: Vec<Arc<_>> = (0..n_sp).map(|sp| Arc::new(engine.store(sp).clone())).collect();
     let u1 = Subspace::from_dims(&[0, 1]);
     let u2 = Subspace::from_dims(&[2, 3]);
     let u3 = Subspace::full(5);
@@ -135,12 +128,11 @@ fn live_runtime_handles_a_concurrent_batch() {
     nodes[0].push_init_query(InitQuery { qid: 2, subspace: u2, variant: Variant::Rtfm });
     nodes[4].push_init_query(InitQuery { qid: 3, subspace: u3, variant: Variant::Naive });
 
-    let out = run_live_multi(nodes, &[0, 4], 3, Duration::from_secs(30))
-        .expect("live batch completes");
+    let out =
+        run_live_multi(nodes, &[0, 4], 3, Duration::from_secs(30)).expect("live batch completes");
     let sorted_ids = |qid: u32, node: usize| {
         let a = out.nodes[node].outcome_for(qid).expect("answer present");
-        let mut ids: Vec<u64> =
-            (0..a.result.len()).map(|i| a.result.points().id(i)).collect();
+        let mut ids: Vec<u64> = (0..a.result.len()).map(|i| a.result.points().id(i)).collect();
         ids.sort_unstable();
         ids
     };

@@ -148,10 +148,8 @@ fn one_dimensional_subspace_returns_minima() {
         let got = engine.run_query(q, Variant::Ftfm);
         // The 1-d skyline is every point attaining the global minimum.
         let min = (0..all.len()).map(|i| all.point(i)[d]).fold(f64::INFINITY, f64::min);
-        let mut want: Vec<u64> = (0..all.len())
-            .filter(|&i| all.point(i)[d] == min)
-            .map(|i| all.id(i))
-            .collect();
+        let mut want: Vec<u64> =
+            (0..all.len()).filter(|&i| all.point(i)[d] == min).map(|i| all.id(i)).collect();
         want.sort_unstable();
         assert_eq!(got.result_ids, want, "dimension {d}");
     }

@@ -52,13 +52,10 @@ fn crashed_superpeer_yields_incomplete_but_terminating_query() {
             // stores; at minimum it cannot invent points from nowhere.
             let survivors: Vec<u64> = {
                 use skypeer::skyline::{merge::merge_sorted, Dominance, SortedDataset};
-                let stores: Vec<&SortedDataset> = (0..engine.config().n_superpeers)
-                    .map(|sp| engine.store(sp))
-                    .collect();
-                let mut all_ids: Vec<u64> = stores
-                    .iter()
-                    .flat_map(|s| (0..s.len()).map(|i| s.points().id(i)))
-                    .collect();
+                let stores: Vec<&SortedDataset> =
+                    (0..engine.config().n_superpeers).map(|sp| engine.store(sp)).collect();
+                let mut all_ids: Vec<u64> =
+                    stores.iter().flat_map(|s| (0..s.len()).map(|i| s.points().id(i))).collect();
                 all_ids.sort_unstable();
                 let _ = merge_sorted(
                     &stores,
@@ -83,12 +80,7 @@ fn mid_query_crash_still_terminates() {
     let q = Query { subspace: Subspace::from_dims(&[0, 1, 2]), initiator: 2 };
     // Crash a node 2 simulated seconds in — after it likely received the
     // query but before large transfers complete.
-    let out = engine.run_query_with_failures(
-        q,
-        Variant::Ftfm,
-        &[(5, 2_000_000_000)],
-        TIMEOUT_NS,
-    );
+    let out = engine.run_query_with_failures(q, Variant::Ftfm, &[(5, 2_000_000_000)], TIMEOUT_NS);
     assert!(out.total_time_ns > 0);
     // Whether the crash bites depends on the spanning tree; in either case
     // the query terminated and the flag is consistent with exactness.
@@ -101,8 +93,7 @@ fn mid_query_crash_still_terminates() {
 fn incomplete_answer_is_subset_of_survivor_skyline_union() {
     let engine = engine(4);
     let q = Query { subspace: Subspace::full(4), initiator: 0 };
-    let out =
-        engine.run_query_with_failures(q, Variant::Rtpm, &[(3, 0), (6, 0)], TIMEOUT_NS);
+    let out = engine.run_query_with_failures(q, Variant::Rtpm, &[(3, 0), (6, 0)], TIMEOUT_NS);
     assert!(!out.complete);
     // Every returned point must come from a surviving super-peer's store.
     let mut survivor_ids: Vec<u64> = (0..engine.config().n_superpeers)
@@ -138,8 +129,7 @@ fn timeout_cost_shows_up_in_response_time() {
     let engine = engine(6);
     let q = Query { subspace: Subspace::from_dims(&[0, 3]), initiator: 0 };
     let healthy = engine.run_query_with_failures(q, Variant::Ftpm, &[], TIMEOUT_NS);
-    let degraded =
-        engine.run_query_with_failures(q, Variant::Ftpm, &[(2, 0)], TIMEOUT_NS);
+    let degraded = engine.run_query_with_failures(q, Variant::Ftpm, &[(2, 0)], TIMEOUT_NS);
     if !degraded.complete {
         assert!(
             degraded.total_time_ns >= TIMEOUT_NS.min(healthy.total_time_ns),

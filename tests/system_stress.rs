@@ -50,8 +50,7 @@ fn skewed_data_placement_stays_exact() {
             })
             .collect();
         let out = Sim::new(nodes, LinkModel::paper_4kbps(), CostModel::default()).run(1);
-        let answer =
-            out.nodes.into_iter().nth(1).expect("initiator").into_outcome().expect("done");
+        let answer = out.nodes.into_iter().nth(1).expect("initiator").into_outcome().expect("done");
         let mut got: Vec<u64> =
             (0..answer.result.len()).map(|i| answer.result.points().id(i)).collect();
         got.sort_unstable();
@@ -67,12 +66,7 @@ fn auto_index_policy_is_transparent() {
     let cfg = EngineConfig {
         n_peers: 24,
         n_superpeers,
-        dataset: DatasetSpec {
-            dim: 6,
-            points_per_peer: 50,
-            kind: DatasetKind::Uniform,
-            seed: 12,
-        },
+        dataset: DatasetSpec { dim: 6, points_per_peer: 50, kind: DatasetKind::Uniform, seed: 12 },
         topology: TopologySpec::paper_default(n_superpeers, 13),
         index: DominanceIndex::RTree,
         cost: CostModel::default(),
@@ -81,8 +75,7 @@ fn auto_index_policy_is_transparent() {
     };
     let engine = SkypeerEngine::build(cfg);
     // Drive the policy directly at node level over the engine's stores.
-    let workload =
-        WorkloadSpec { dim: 6, k: 3, queries: 5, n_superpeers, seed: 7 }.generate();
+    let workload = WorkloadSpec { dim: 6, k: 3, queries: 5, n_superpeers, seed: 7 }.generate();
     for q in &workload {
         let fixed = engine.run_query(*q, Variant::Ftpm);
         let nodes: Vec<SuperPeerNode> = (0..n_superpeers)
@@ -102,8 +95,7 @@ fn auto_index_policy_is_transparent() {
                 .with_index_policy(IndexPolicy::Auto)
             })
             .collect();
-        let out =
-            Sim::new(nodes, LinkModel::paper_4kbps(), CostModel::default()).run(q.initiator);
+        let out = Sim::new(nodes, LinkModel::paper_4kbps(), CostModel::default()).run(q.initiator);
         let answer = out
             .nodes
             .into_iter()
@@ -141,14 +133,9 @@ fn long_mixed_gauntlet() {
             routing: skypeer_core::engine::RoutingMode::Flood,
         };
         let engine = SkypeerEngine::build(cfg);
-        let workload = WorkloadSpec {
-            dim: 4,
-            k: 2,
-            queries: 10,
-            n_superpeers,
-            seed: 1000 + ki as u64,
-        }
-        .generate();
+        let workload =
+            WorkloadSpec { dim: 4, k: 2, queries: 10, n_superpeers, seed: 1000 + ki as u64 }
+                .generate();
         for (i, q) in workload.iter().enumerate() {
             let variant = Variant::ALL[i % Variant::ALL.len()];
             let out = engine.run_query(*q, variant);

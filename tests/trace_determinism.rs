@@ -1,0 +1,70 @@
+//! Trace determinism: a fixed-seed query on the paper-default network
+//! must yield a byte-identical JSONL event log on every run, for both
+//! routing modes. The exported log is also pinned against a golden file
+//! (self-bootstrapping: the first run writes it, later runs compare).
+//!
+//! This is the strongest statement of the "tracing does not perturb the
+//! simulation" invariant: the trace is a pure function of (config, seed,
+//! query, variant), with no wall clocks or iteration-order leaks.
+
+use skypeer::core::engine::{RoutingMode, SkypeerEngine};
+use skypeer::core::{EngineConfig, Variant};
+use skypeer::data::Query;
+use skypeer::obs::{self, MemTracer, Tracer};
+use skypeer::skyline::Subspace;
+use std::sync::Arc;
+
+/// Runs one traced fixed-seed FTPM query and returns the JSONL event log,
+/// after checking the critical path accounts for the full response time.
+fn traced_jsonl(routing: RoutingMode) -> String {
+    let mut cfg = EngineConfig::paper_default(60, 42);
+    cfg.routing = routing;
+    let engine = SkypeerEngine::build(cfg);
+    let q = Query { subspace: Subspace::from_dims(&[0, 1, 2]), initiator: 0 };
+    let tracer = Arc::new(MemTracer::new());
+    let out = engine.run_query_traced(q, Variant::Ftpm, Arc::clone(&tracer) as Arc<dyn Tracer>);
+    let events = tracer.take();
+    assert!(!events.is_empty(), "traced query produced no events");
+    let path = obs::critical_path(&events).expect("query finished, critical path exists");
+    assert_eq!(path.finish_at, out.total_time_ns, "critical path ends at the finish");
+    assert_eq!(path.total_ns, out.total_time_ns, "critical path spans the full response time");
+    obs::jsonl(&events)
+}
+
+/// Compares against `tests/goldens/<name>`; writes it on first run.
+fn check_golden(name: &str, contents: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let path = dir.join(name);
+    if path.exists() {
+        let want = std::fs::read_to_string(&path).expect("read golden");
+        assert_eq!(want, contents, "trace drifted from golden {name}; delete the file to re-bless");
+    } else {
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+        std::fs::write(&path, contents).expect("write golden");
+    }
+}
+
+#[test]
+fn flood_trace_is_byte_identical_across_runs() {
+    let a = traced_jsonl(RoutingMode::Flood);
+    let b = traced_jsonl(RoutingMode::Flood);
+    assert_eq!(a, b, "two identical flood runs must trace identically");
+    check_golden("trace_flood.jsonl", &a);
+}
+
+#[test]
+fn spanning_tree_trace_is_byte_identical_across_runs() {
+    let a = traced_jsonl(RoutingMode::SpanningTree);
+    let b = traced_jsonl(RoutingMode::SpanningTree);
+    assert_eq!(a, b, "two identical spanning-tree runs must trace identically");
+    check_golden("trace_tree.jsonl", &a);
+}
+
+#[test]
+fn routing_modes_trace_differently() {
+    // Sanity that the goldens really pin distinct behaviors: constrained
+    // flooding and spanning-tree routing move different message sets.
+    let flood = traced_jsonl(RoutingMode::Flood);
+    let tree = traced_jsonl(RoutingMode::SpanningTree);
+    assert_ne!(flood, tree, "flood and tree routing should differ on this network");
+}
