@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-7d623096474e7fd6.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-7d623096474e7fd6.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a2764d415bed3629.d: .devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a2764d415bed3629.rmeta: .devstubs/bytes/src/lib.rs
+
+.devstubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn_and_failures-8693fc4fd6f15dc6.d: tests/churn_and_failures.rs
+
+/root/repo/target/debug/deps/libchurn_and_failures-8693fc4fd6f15dc6.rmeta: tests/churn_and_failures.rs
+
+tests/churn_and_failures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/churn_and_failures-936ae6deef8f048f.d: tests/churn_and_failures.rs
+
+/root/repo/target/debug/deps/libchurn_and_failures-936ae6deef8f048f.rmeta: tests/churn_and_failures.rs
+
+tests/churn_and_failures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b9c4e30928392caf.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-b9c4e30928392caf.rmeta: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_skypeer-cli=placeholder:skypeer-cli

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-de0c461bfa0202fb.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-de0c461bfa0202fb.rmeta: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_skypeer-cli=placeholder:skypeer-cli

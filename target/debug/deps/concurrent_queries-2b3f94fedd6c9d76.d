@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_queries-2b3f94fedd6c9d76.d: tests/concurrent_queries.rs
+
+/root/repo/target/debug/deps/libconcurrent_queries-2b3f94fedd6c9d76.rmeta: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

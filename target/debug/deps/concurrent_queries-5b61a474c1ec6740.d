@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_queries-5b61a474c1ec6740.d: tests/concurrent_queries.rs
+
+/root/repo/target/debug/deps/libconcurrent_queries-5b61a474c1ec6740.rmeta: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

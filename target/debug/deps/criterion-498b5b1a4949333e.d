@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-498b5b1a4949333e.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-498b5b1a4949333e.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b4cbbf2017f31d9b.d: .devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b4cbbf2017f31d9b.rmeta: .devstubs/criterion/src/lib.rs
+
+.devstubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-12f64e4d5535306a.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-12f64e4d5535306a.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-8d2b7230b1bcacfe.d: .devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-8d2b7230b1bcacfe.rmeta: .devstubs/crossbeam/src/lib.rs
+
+.devstubs/crossbeam/src/lib.rs:

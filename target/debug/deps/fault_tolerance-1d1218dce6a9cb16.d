@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-1d1218dce6a9cb16.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/libfault_tolerance-1d1218dce6a9cb16.rmeta: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

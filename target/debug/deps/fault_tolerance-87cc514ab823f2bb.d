@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-87cc514ab823f2bb.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/libfault_tolerance-87cc514ab823f2bb.rmeta: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

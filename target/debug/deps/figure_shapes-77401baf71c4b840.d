@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-77401baf71c4b840.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/libfigure_shapes-77401baf71c4b840.rmeta: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-da0a8c55f7746e92.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/libfigure_shapes-da0a8c55f7746e92.rmeta: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

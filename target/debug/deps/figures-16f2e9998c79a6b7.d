@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-16f2e9998c79a6b7.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-16f2e9998c79a6b7.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

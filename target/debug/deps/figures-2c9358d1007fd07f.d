@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-2c9358d1007fd07f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-2c9358d1007fd07f.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

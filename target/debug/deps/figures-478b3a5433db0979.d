@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-478b3a5433db0979.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-478b3a5433db0979.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

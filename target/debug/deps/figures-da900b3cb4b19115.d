@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-da900b3cb4b19115.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-da900b3cb4b19115.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

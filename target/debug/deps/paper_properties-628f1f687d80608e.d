@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-628f1f687d80608e.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/libpaper_properties-628f1f687d80608e.rmeta: tests/paper_properties.rs
+
+tests/paper_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-7e0f8ae15d63e5e9.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/libpaper_properties-7e0f8ae15d63e5e9.rmeta: tests/paper_properties.rs
+
+tests/paper_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-7d9c4ab44ca69470.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7d9c4ab44ca69470.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-b7bc9f4d068d9d7e.d: .devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b7bc9f4d068d9d7e.rmeta: .devstubs/parking_lot/src/lib.rs
+
+.devstubs/parking_lot/src/lib.rs:

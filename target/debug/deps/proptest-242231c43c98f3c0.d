@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-242231c43c98f3c0.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-242231c43c98f3c0.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c6daf1c1bc45b11c.d: .devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c6daf1c1bc45b11c.rmeta: .devstubs/proptest/src/lib.rs
+
+.devstubs/proptest/src/lib.rs:

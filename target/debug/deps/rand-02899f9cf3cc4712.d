@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-02899f9cf3cc4712.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-02899f9cf3cc4712.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3e6ba82267a13b21.d: .devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3e6ba82267a13b21.rmeta: .devstubs/rand/src/lib.rs
+
+.devstubs/rand/src/lib.rs:

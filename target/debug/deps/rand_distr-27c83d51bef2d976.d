@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-27c83d51bef2d976.d: .devstubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-27c83d51bef2d976.rmeta: .devstubs/rand_distr/src/lib.rs
+
+.devstubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-9d9b034638d0bde5.d: .devstubs/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-9d9b034638d0bde5.rmeta: .devstubs/rand_distr/src/lib.rs
+
+.devstubs/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a513a3baf01dfa72.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a513a3baf01dfa72.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-bd1c3b8ee42e020a.d: .devstubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bd1c3b8ee42e020a.rmeta: .devstubs/serde/src/lib.rs
+
+.devstubs/serde/src/lib.rs:

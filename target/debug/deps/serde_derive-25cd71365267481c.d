@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-25cd71365267481c.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-25cd71365267481c.rmeta: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-699dcd3ecf7cdfa9.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-699dcd3ecf7cdfa9.rmeta: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

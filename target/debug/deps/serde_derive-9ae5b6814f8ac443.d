@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-9ae5b6814f8ac443.d: .devstubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-9ae5b6814f8ac443.so: .devstubs/serde_derive/src/lib.rs
+
+.devstubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-20b309309f8d49f4.d: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-20b309309f8d49f4.rmeta: .devstubs/serde_json/src/lib.rs
+
+.devstubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-fb84951fd1467cd8.d: .devstubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-fb84951fd1467cd8.rmeta: .devstubs/serde_json/src/lib.rs
+
+.devstubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skypeer-256c0d2dd2add3d0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libskypeer-256c0d2dd2add3d0.rmeta: src/lib.rs
+
+src/lib.rs:

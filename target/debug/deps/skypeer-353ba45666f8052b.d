@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skypeer-353ba45666f8052b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libskypeer-353ba45666f8052b.rmeta: src/lib.rs
+
+src/lib.rs:

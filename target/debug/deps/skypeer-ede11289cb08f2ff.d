@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skypeer-ede11289cb08f2ff.d: src/lib.rs
+
+/root/repo/target/debug/deps/libskypeer-ede11289cb08f2ff.rmeta: src/lib.rs
+
+src/lib.rs:

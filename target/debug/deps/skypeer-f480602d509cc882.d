@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skypeer-f480602d509cc882.d: src/lib.rs
+
+/root/repo/target/debug/deps/libskypeer-f480602d509cc882.rmeta: src/lib.rs
+
+src/lib.rs:

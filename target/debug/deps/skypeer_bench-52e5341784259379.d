@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/skypeer_bench-52e5341784259379.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libskypeer_bench-52e5341784259379.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:

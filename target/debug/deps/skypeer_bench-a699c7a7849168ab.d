@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/skypeer_bench-a699c7a7849168ab.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libskypeer_bench-a699c7a7849168ab.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/plot.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/table.rs:

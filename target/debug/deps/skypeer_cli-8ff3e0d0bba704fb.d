@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skypeer_cli-8ff3e0d0bba704fb.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libskypeer_cli-8ff3e0d0bba704fb.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skypeer_cli-fa8df9f7fd9d08eb.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/libskypeer_cli-fa8df9f7fd9d08eb.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

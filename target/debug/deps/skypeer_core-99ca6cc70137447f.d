@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/skypeer_core-99ca6cc70137447f.d: crates/core/src/lib.rs crates/core/src/churn.rs crates/core/src/engine.rs crates/core/src/live.rs crates/core/src/msg.rs crates/core/src/node.rs crates/core/src/planner.rs crates/core/src/preprocess.rs crates/core/src/variants.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libskypeer_core-99ca6cc70137447f.rmeta: crates/core/src/lib.rs crates/core/src/churn.rs crates/core/src/engine.rs crates/core/src/live.rs crates/core/src/msg.rs crates/core/src/node.rs crates/core/src/planner.rs crates/core/src/preprocess.rs crates/core/src/variants.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/churn.rs:
+crates/core/src/engine.rs:
+crates/core/src/live.rs:
+crates/core/src/msg.rs:
+crates/core/src/node.rs:
+crates/core/src/planner.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/variants.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skypeer_data-2185f8189cf8c625.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/generate.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/workload.rs
+
+/root/repo/target/debug/deps/libskypeer_data-2185f8189cf8c625.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/generate.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/workload.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/generate.rs:
+crates/data/src/partition.rs:
+crates/data/src/stats.rs:
+crates/data/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skypeer_data-a987f225869c70a5.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/generate.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/workload.rs
+
+/root/repo/target/debug/deps/libskypeer_data-a987f225869c70a5.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/generate.rs crates/data/src/partition.rs crates/data/src/stats.rs crates/data/src/workload.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/generate.rs:
+crates/data/src/partition.rs:
+crates/data/src/stats.rs:
+crates/data/src/workload.rs:

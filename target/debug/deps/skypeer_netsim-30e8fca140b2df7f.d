@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skypeer_netsim-30e8fca140b2df7f.d: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs crates/netsim/src/proptests.rs
+
+/root/repo/target/debug/deps/libskypeer_netsim-30e8fca140b2df7f.rmeta: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs crates/netsim/src/proptests.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/cost.rs:
+crates/netsim/src/des.rs:
+crates/netsim/src/live.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/proptests.rs:

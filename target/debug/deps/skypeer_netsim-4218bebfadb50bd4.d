@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/skypeer_netsim-4218bebfadb50bd4.d: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs crates/netsim/src/proptests.rs
+
+/root/repo/target/debug/deps/libskypeer_netsim-4218bebfadb50bd4.rmeta: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs crates/netsim/src/proptests.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/cost.rs:
+crates/netsim/src/des.rs:
+crates/netsim/src/live.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skypeer_netsim-78cbd8380ef05403.d: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libskypeer_netsim-78cbd8380ef05403.rmeta: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/cost.rs:
+crates/netsim/src/des.rs:
+crates/netsim/src/live.rs:
+crates/netsim/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skypeer_netsim-ca6763ebca314200.d: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs
+
+/root/repo/target/debug/deps/libskypeer_netsim-ca6763ebca314200.rmeta: crates/netsim/src/lib.rs crates/netsim/src/cost.rs crates/netsim/src/des.rs crates/netsim/src/live.rs crates/netsim/src/topology.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/cost.rs:
+crates/netsim/src/des.rs:
+crates/netsim/src/live.rs:
+crates/netsim/src/topology.rs:

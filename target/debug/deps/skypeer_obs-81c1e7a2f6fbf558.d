@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/skypeer_obs-81c1e7a2f6fbf558.d: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+/root/repo/target/debug/deps/libskypeer_obs-81c1e7a2f6fbf558.rlib: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+/root/repo/target/debug/deps/libskypeer_obs-81c1e7a2f6fbf558.rmeta: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/critical.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/tracer.rs:
+crates/obs/src/json.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skypeer_obs-ae8abcc83e80d590.d: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+/root/repo/target/debug/deps/libskypeer_obs-ae8abcc83e80d590.rmeta: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/critical.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/tracer.rs:
+crates/obs/src/json.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/skypeer_obs-d08abe69afae4939.d: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+/root/repo/target/debug/deps/libskypeer_obs-d08abe69afae4939.rmeta: crates/obs/src/lib.rs crates/obs/src/critical.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/tracer.rs crates/obs/src/json.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/critical.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/tracer.rs:
+crates/obs/src/json.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/skypeer_rtree-92db8ce714f77bd5.d: crates/rtree/src/lib.rs crates/rtree/src/rect.rs crates/rtree/src/tree.rs
+
+/root/repo/target/debug/deps/libskypeer_rtree-92db8ce714f77bd5.rmeta: crates/rtree/src/lib.rs crates/rtree/src/rect.rs crates/rtree/src/tree.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/rect.rs:
+crates/rtree/src/tree.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/skypeer_rtree-bfc5d6deed13c32d.d: crates/rtree/src/lib.rs crates/rtree/src/rect.rs crates/rtree/src/tree.rs crates/rtree/src/tests.rs
+
+/root/repo/target/debug/deps/libskypeer_rtree-bfc5d6deed13c32d.rmeta: crates/rtree/src/lib.rs crates/rtree/src/rect.rs crates/rtree/src/tree.rs crates/rtree/src/tests.rs
+
+crates/rtree/src/lib.rs:
+crates/rtree/src/rect.rs:
+crates/rtree/src/tree.rs:
+crates/rtree/src/tests.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/skypeer_skyline-2932371c5757f904.d: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/brute.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/dominance.rs crates/skyline/src/estimate.rs crates/skyline/src/extended.rs crates/skyline/src/mapping.rs crates/skyline/src/merge.rs crates/skyline/src/point.rs crates/skyline/src/progressive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs crates/skyline/src/skycube.rs crates/skyline/src/sorted.rs crates/skyline/src/subspace.rs
+
+/root/repo/target/debug/deps/libskypeer_skyline-2932371c5757f904.rmeta: crates/skyline/src/lib.rs crates/skyline/src/bbs.rs crates/skyline/src/bnl.rs crates/skyline/src/brute.rs crates/skyline/src/constrained.rs crates/skyline/src/dnc.rs crates/skyline/src/dominance.rs crates/skyline/src/estimate.rs crates/skyline/src/extended.rs crates/skyline/src/mapping.rs crates/skyline/src/merge.rs crates/skyline/src/point.rs crates/skyline/src/progressive.rs crates/skyline/src/sfs.rs crates/skyline/src/skyband.rs crates/skyline/src/skycube.rs crates/skyline/src/sorted.rs crates/skyline/src/subspace.rs
+
+crates/skyline/src/lib.rs:
+crates/skyline/src/bbs.rs:
+crates/skyline/src/bnl.rs:
+crates/skyline/src/brute.rs:
+crates/skyline/src/constrained.rs:
+crates/skyline/src/dnc.rs:
+crates/skyline/src/dominance.rs:
+crates/skyline/src/estimate.rs:
+crates/skyline/src/extended.rs:
+crates/skyline/src/mapping.rs:
+crates/skyline/src/merge.rs:
+crates/skyline/src/point.rs:
+crates/skyline/src/progressive.rs:
+crates/skyline/src/sfs.rs:
+crates/skyline/src/skyband.rs:
+crates/skyline/src/skycube.rs:
+crates/skyline/src/sorted.rs:
+crates/skyline/src/subspace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_stress-601a1761885b033c.d: tests/system_stress.rs
+
+/root/repo/target/debug/deps/libsystem_stress-601a1761885b033c.rmeta: tests/system_stress.rs
+
+tests/system_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_stress-fdb1f1d1eecadcc7.d: tests/system_stress.rs
+
+/root/repo/target/debug/deps/libsystem_stress-fdb1f1d1eecadcc7.rmeta: tests/system_stress.rs
+
+tests/system_stress.rs:

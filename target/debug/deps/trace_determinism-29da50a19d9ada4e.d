@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trace_determinism-29da50a19d9ada4e.d: tests/trace_determinism.rs
+
+/root/repo/target/debug/deps/libtrace_determinism-29da50a19d9ada4e.rmeta: tests/trace_determinism.rs
+
+tests/trace_determinism.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

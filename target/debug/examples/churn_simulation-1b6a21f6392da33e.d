@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/churn_simulation-1b6a21f6392da33e.d: examples/churn_simulation.rs
+
+/root/repo/target/debug/examples/libchurn_simulation-1b6a21f6392da33e.rmeta: examples/churn_simulation.rs
+
+examples/churn_simulation.rs:

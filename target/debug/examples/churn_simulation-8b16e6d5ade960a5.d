@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/churn_simulation-8b16e6d5ade960a5.d: examples/churn_simulation.rs
+
+/root/repo/target/debug/examples/libchurn_simulation-8b16e6d5ade960a5.rmeta: examples/churn_simulation.rs
+
+examples/churn_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_load-d7720d79721067c7.d: examples/concurrent_load.rs
+
+/root/repo/target/debug/examples/libconcurrent_load-d7720d79721067c7.rmeta: examples/concurrent_load.rs
+
+examples/concurrent_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_load-db82c196ef5a16eb.d: examples/concurrent_load.rs
+
+/root/repo/target/debug/examples/libconcurrent_load-db82c196ef5a16eb.rmeta: examples/concurrent_load.rs
+
+examples/concurrent_load.rs:

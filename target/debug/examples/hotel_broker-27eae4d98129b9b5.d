@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotel_broker-27eae4d98129b9b5.d: examples/hotel_broker.rs
+
+/root/repo/target/debug/examples/libhotel_broker-27eae4d98129b9b5.rmeta: examples/hotel_broker.rs
+
+examples/hotel_broker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotel_broker-c6728488a09b5458.d: examples/hotel_broker.rs
+
+/root/repo/target/debug/examples/libhotel_broker-c6728488a09b5458.rmeta: examples/hotel_broker.rs
+
+examples/hotel_broker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_network-26087c26e20386ab.d: examples/live_network.rs
+
+/root/repo/target/debug/examples/liblive_network-26087c26e20386ab.rmeta: examples/live_network.rs
+
+examples/live_network.rs:

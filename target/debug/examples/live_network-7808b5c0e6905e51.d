@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_network-7808b5c0e6905e51.d: examples/live_network.rs
+
+/root/repo/target/debug/examples/liblive_network-7808b5c0e6905e51.rmeta: examples/live_network.rs
+
+examples/live_network.rs:

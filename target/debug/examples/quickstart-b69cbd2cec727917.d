@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b69cbd2cec727917.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-b69cbd2cec727917.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cbc02091f39da37c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-cbc02091f39da37c.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

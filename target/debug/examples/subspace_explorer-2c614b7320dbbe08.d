@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subspace_explorer-2c614b7320dbbe08.d: examples/subspace_explorer.rs
+
+/root/repo/target/debug/examples/libsubspace_explorer-2c614b7320dbbe08.rmeta: examples/subspace_explorer.rs
+
+examples/subspace_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subspace_explorer-7b50314fb4a10248.d: examples/subspace_explorer.rs
+
+/root/repo/target/debug/examples/libsubspace_explorer-7b50314fb4a10248.rmeta: examples/subspace_explorer.rs
+
+examples/subspace_explorer.rs:

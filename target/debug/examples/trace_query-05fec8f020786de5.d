@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_query-05fec8f020786de5.d: examples/trace_query.rs
+
+/root/repo/target/debug/examples/libtrace_query-05fec8f020786de5.rmeta: examples/trace_query.rs
+
+examples/trace_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_query-d933025fc6003c24.d: examples/trace_query.rs
+
+/root/repo/target/debug/examples/libtrace_query-d933025fc6003c24.rmeta: examples/trace_query.rs
+
+examples/trace_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variant_faceoff-0d9ab1d726821070.d: examples/variant_faceoff.rs
+
+/root/repo/target/debug/examples/libvariant_faceoff-0d9ab1d726821070.rmeta: examples/variant_faceoff.rs
+
+examples/variant_faceoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variant_faceoff-2a73adedf1a6815a.d: examples/variant_faceoff.rs
+
+/root/repo/target/debug/examples/libvariant_faceoff-2a73adedf1a6815a.rmeta: examples/variant_faceoff.rs
+
+examples/variant_faceoff.rs:
