@@ -1,0 +1,76 @@
+//! Offline stub of `rand_distr`: the `Distribution` trait and a
+//! Box–Muller `Normal`.
+
+use rand::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a distribution (non-finite or negative scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution, sampled via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// `N(mean, std_dev²)`; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; reject u1 == 0 so the log is finite.
+        let mut u1: f64 = rng.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = Normal::new(2.0, 0.5).expect("valid");
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

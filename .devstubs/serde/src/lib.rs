@@ -1,0 +1,10 @@
+//! Offline stub of `serde`: marker traits plus re-exported no-op
+//! derives, so `#[derive(Serialize, Deserialize)]` compiles unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive`. The derives are accepted and expand
+//! to nothing: no code in this workspace serializes the derived types
+//! through serde's data model (JSON goes through the `serde_json` stub's
+//! `Value` or `skypeer-obs`'s deterministic writer).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

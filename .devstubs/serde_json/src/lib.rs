@@ -1,0 +1,712 @@
+//! Offline stub of `serde_json`: an owned `Value` tree, the `json!`
+//! macro (values must be Rust expressions or nested `json!` calls), a
+//! serializer with `serde_json`-compatible formatting (objects sorted by
+//! key, as with the real crate's default `BTreeMap` backend), and a
+//! recursive-descent parser for `from_str`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Anything with a fractional part or exponent.
+    Float(f64),
+}
+
+impl Number {
+    /// Lossy conversion to `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+/// An owned JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (see [`Number`]).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// Key–value map, sorted by key.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// The map if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize);
+
+macro_rules! value_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::PosInt(v as u64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+value_from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::from(*v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(f64::from(v)))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+impl<T> From<&Vec<T>> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+impl<T> From<&[T]> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+
+/// Conversion used by `json!` values: implemented on references so the
+/// macro never moves out of borrowed fields (expressions like
+/// `fig.title` with `fig: &FigureData` work as they do with the real
+/// crate's serializer-based macro).
+pub trait ToJson {
+    /// Build an owned [`Value`] from a borrowed value.
+    fn to_json(&self) -> Value;
+}
+
+/// Entry point the `json!` macro expands to.
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::from(*self) }
+        }
+    )*};
+}
+to_json_via_from!(bool, f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Build a [`Value`] literally: JSON object/array literals, `null`, and
+/// Rust expressions as leaf values (evaluated by reference).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = std::collections::BTreeMap::<String, $crate::Value>::new();
+        $crate::__json_object!(__m $($body)*);
+        $crate::Value::Object(__m)
+    }};
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __a = Vec::<$crate::Value>::new();
+        $crate::__json_array!(__a $($body)*);
+        $crate::Value::Array(__a)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Object-body muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    ($m:ident) => {};
+    ($m:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $( $crate::__json_object!($m $($rest)*); )?
+    };
+    ($m:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $( $crate::__json_object!($m $($rest)*); )?
+    };
+    ($m:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $( $crate::__json_object!($m $($rest)*); )?
+    };
+    ($m:ident $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::to_value(&$value));
+        $( $crate::__json_object!($m $($rest)*); )?
+    };
+}
+
+/// Array-body muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    ($a:ident) => {};
+    ($a:ident null $(, $($rest:tt)*)?) => {
+        $a.push($crate::Value::Null);
+        $( $crate::__json_array!($a $($rest)*); )?
+    };
+    ($a:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!({ $($inner)* }));
+        $( $crate::__json_array!($a $($rest)*); )?
+    };
+    ($a:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $a.push($crate::json!([ $($inner)* ]));
+        $( $crate::__json_array!($a $($rest)*); )?
+    };
+    ($a:ident $value:expr $(, $($rest:tt)*)?) => {
+        $a.push($crate::to_value(&$value));
+        $( $crate::__json_array!($a $($rest)*); )?
+    };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.is_finite() {
+                // {:?} gives the shortest representation that round-trips,
+                // with a trailing ".0" on integral floats — same shape as
+                // the real serde_json.
+                let s = format!("{v:?}");
+                out.push_str(&s);
+            } else {
+                // Real serde_json rejects non-finite numbers; emit null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Compact one-line JSON.
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&mut out, v);
+    Ok(out)
+}
+
+/// Two-space-indented JSON, same layout as the real `serde_json`.
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, v, 0);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, Error> {
+        Err(Error { msg: format!("{msg} at byte {}", self.pos) })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{kw}'"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                    .map_err(|_| Error {
+                                        msg: "bad \\u escape".to_string(),
+                                    })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error { msg: "bad \\u escape".to_string() })?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    if start + width > self.bytes.len() {
+                        return self.err("truncated UTF-8");
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + width])
+                        .map_err(|_| Error { msg: "invalid UTF-8".to_string() })?;
+                    out.push_str(s);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error { msg: "invalid number".to_string() })?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Value::Number(Number::Float(v))),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.parse_value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_roundtrip() {
+        let doc = json!({
+            "name": "fig3a",
+            "values": vec![1.5f64, 2.0, 3.25],
+            "count": 3u64,
+            "nested": json!({"ok": true}),
+        });
+        let pretty = to_string_pretty(&doc).unwrap();
+        let back = from_str(&pretty).unwrap();
+        assert_eq!(doc, back);
+        assert_eq!(back.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(back.get("name").and_then(Value::as_str), Some("fig3a"));
+        assert_eq!(
+            back.get("nested").and_then(|n| n.get("ok")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn numbers_keep_integers_exact() {
+        let v = from_str("[18446744073709551615, -3, 1.5, 2e3]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(u64::MAX));
+        assert_eq!(a[1], Value::Number(Number::NegInt(-3)));
+        assert_eq!(a[2].as_f64(), Some(1.5));
+        assert_eq!(a[3].as_f64(), Some(2000.0));
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let v = Value::String("a\"b\\c\nd\u{1}é".to_string());
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{oops}").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("12 34").is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! `bench-regress` — run the pinned perf-regression subset, or compare
+//! two `BENCH_regress.json` files.
+//!
+//! ```text
+//! bench-regress                      # run, write BENCH_regress.json at the repo root
+//! bench-regress --out FILE           # run, write FILE instead
+//! bench-regress --compare BASE CUR   # diff two files; exit 1 on >15% regression
+//! bench-regress --compare BASE CUR --threshold 0.20
+//! bench-regress --compare BASE CUR --report-only   # never exit nonzero
+//! ```
+
+use skypeer_bench::regress::{compare, BenchReport};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench-regress [--out FILE] | --compare BASELINE CURRENT [--threshold F] [--report-only]");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--compare") {
+        let baseline_path =
+            args.get(pos + 1).ok_or("--compare needs BASELINE and CURRENT paths")?;
+        let current_path = args.get(pos + 2).ok_or("--compare needs a CURRENT path")?;
+        let threshold = match args.iter().position(|a| a == "--threshold") {
+            Some(t) => args
+                .get(t + 1)
+                .ok_or("--threshold needs a value")?
+                .parse::<f64>()
+                .map_err(|e| format!("bad --threshold: {e}"))?,
+            None => 0.15,
+        };
+        let report_only = args.iter().any(|a| a == "--report-only");
+        let baseline = load(baseline_path)?;
+        let current = load(current_path)?;
+        let cmp = compare(&baseline, &current, threshold);
+        print!("{}", cmp.render(threshold));
+        if cmp.regressions.is_empty() && cmp.improvements.is_empty() {
+            println!("all {} shared entries within threshold", shared(&baseline, &current));
+        }
+        return Ok(if cmp.is_regression() && !report_only {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
+
+    // Run mode.
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(p) => args.get(p + 1).ok_or("--out needs a path")?.clone(),
+        None => default_output_path(),
+    };
+    eprintln!("running pinned regression subset (deterministic DES, 3 figures x 5 variants)...");
+    let entries = skypeer_bench::regress::run_pinned();
+    let report = BenchReport { commit: current_commit(), date: utc_date(), entries };
+    std::fs::write(&out_path, report.to_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {} entries to {out_path} (commit {})", report.entries.len(), report.commit);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn shared(a: &BenchReport, b: &BenchReport) -> usize {
+    let keys: std::collections::BTreeSet<_> =
+        a.entries.iter().map(|e| (&e.figure, &e.variant, &e.metric)).collect();
+    b.entries.iter().filter(|e| keys.contains(&(&e.figure, &e.variant, &e.metric))).count()
+}
+
+/// `<repo root>/BENCH_regress.json`, resolved relative to this crate.
+fn default_output_path() -> String {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.join("BENCH_regress.json").to_string_lossy().into_owned()
+}
+
+fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// UTC date as `YYYY-MM-DD` from the system clock (civil-from-days, no
+/// date-crate dependency).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days algorithm.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -16,6 +16,8 @@
 
 pub mod experiments;
 pub mod plot;
+pub mod regress;
 pub mod table;
 
 pub use experiments::{FigureData, Scale};
+pub use regress::{compare, BenchEntry, BenchReport, Comparison};

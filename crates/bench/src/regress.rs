@@ -1,0 +1,402 @@
+//! Perf-regression harness: pinned DES runs, `BENCH_regress.json`, and a
+//! two-file comparator.
+//!
+//! [`run_pinned`] executes a small pinned subset of the paper's figure
+//! configurations — one engine per figure, one traced query per variant —
+//! entirely on the deterministic DES, and records five metrics per
+//! `(figure, variant)`:
+//!
+//! * `wall_time_ms` — real time the run took (the only nondeterministic
+//!   metric; everything else is byte-stable for a given toolchain);
+//! * `sim_time_ns` — simulated response time under the paper's 4 KB/s
+//!   links;
+//! * `total_bytes` — volume transferred;
+//! * `dominance_tests` — total dominance tests across all super-peers;
+//! * `peak_queue_depth` — worst per-node inbox backlog observed.
+//!
+//! The `bench-regress` binary writes these as `BENCH_regress.json` at the
+//! repository root with schema `{commit, date, entries: [{figure,
+//! variant, metric, value}]}`, and [`compare`] diffs two such files: an
+//! entry whose value grew by more than the threshold (15% by default) is
+//! a regression (for every metric, higher is worse); entries present in
+//! only one file are reported but never fatal.
+
+use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
+use skypeer_data::{DatasetKind, DatasetSpec, Query};
+use skypeer_netsim::cost::CostModel;
+use skypeer_netsim::des::LinkModel;
+use skypeer_netsim::obs::{json, MemTracer, MetricsRegistry, Tracer};
+use skypeer_netsim::topology::TopologySpec;
+use skypeer_skyline::{DominanceIndex, Subspace};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured value of one pinned run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Pinned figure id, e.g. `"fig3b_d8"`.
+    pub figure: String,
+    /// Variant mnemonic (`FTFM` … `naive`).
+    pub variant: String,
+    /// Metric name (see module docs).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// A `BENCH_regress.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// `git rev-parse HEAD` at run time, or `"unknown"`.
+    pub commit: String,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// All measurements, in pinned-run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serializes in the `BENCH_regress.json` schema (pretty, stable key
+    /// order).
+    pub fn to_json(&self) -> String {
+        let entries = json::arr(self.entries.iter().map(|e| {
+            json::Obj::new()
+                .str("figure", &e.figure)
+                .str("variant", &e.variant)
+                .str("metric", &e.metric)
+                .f64("value", e.value)
+                .build()
+        }));
+        let compact = json::Obj::new()
+            .str("commit", &self.commit)
+            .str("date", &self.date)
+            .raw("entries", &entries)
+            .build();
+        // Re-indent through the parser so humans can diff the file.
+        match serde_json::from_str(&compact) {
+            Ok(v) => serde_json::to_string_pretty(&v).unwrap_or(compact),
+            Err(_) => compact,
+        }
+    }
+
+    /// Parses a `BENCH_regress.json` document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+        let obj = v.as_object().ok_or("top level must be an object")?;
+        let commit =
+            obj.get("commit").and_then(|c| c.as_str()).ok_or("missing 'commit'")?.to_string();
+        let date = obj.get("date").and_then(|d| d.as_str()).ok_or("missing 'date'")?.to_string();
+        let raw = obj.get("entries").and_then(|e| e.as_array()).ok_or("missing 'entries' array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let o = e.as_object().ok_or_else(|| format!("entries[{i}] must be an object"))?;
+            let field = |k: &str| -> Result<String, String> {
+                o.get(k)
+                    .and_then(|s| s.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entries[{i}] missing '{k}'"))
+            };
+            entries.push(BenchEntry {
+                figure: field("figure")?,
+                variant: field("variant")?,
+                metric: field("metric")?,
+                value: o
+                    .get("value")
+                    .and_then(|n| n.as_f64())
+                    .ok_or_else(|| format!("entries[{i}] missing numeric 'value'"))?,
+            });
+        }
+        Ok(BenchReport { commit, date, entries })
+    }
+}
+
+/// A pinned figure configuration: a small deterministic stand-in for one
+/// paper figure, sized to run in well under a second per variant.
+struct Pinned {
+    figure: &'static str,
+    config: EngineConfig,
+    query: Query,
+}
+
+fn pinned_set() -> Vec<Pinned> {
+    let mk = |n_peers: usize, n_superpeers: usize, dim, points, degree: f64, seed: u64| {
+        let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xD1CE);
+        topology.avg_degree = degree.min(n_superpeers.saturating_sub(1) as f64);
+        EngineConfig {
+            n_peers,
+            n_superpeers,
+            dataset: DatasetSpec { dim, points_per_peer: points, kind: DatasetKind::Uniform, seed },
+            topology,
+            index: DominanceIndex::RTree,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: skypeer_core::engine::RoutingMode::Flood,
+        }
+    };
+    vec![
+        // Figure 3(b): response time at the paper's default d=8 — shrunk.
+        Pinned {
+            figure: "fig3b_d8",
+            config: mk(80, 8, 8, 60, 4.0, 42),
+            query: Query { subspace: Subspace::from_dims(&[0, 3, 6]), initiator: 0 },
+        },
+        // Figure 3(d): transferred volume, low-dimensional subspace.
+        Pinned {
+            figure: "fig3d_k2",
+            config: mk(80, 8, 6, 60, 4.0, 43),
+            query: Query { subspace: Subspace::from_dims(&[1, 4]), initiator: 2 },
+        },
+        // Figure 4(c): degree sweep point DEG_sp=6 — denser backbone.
+        Pinned {
+            figure: "fig4c_deg6",
+            config: mk(60, 10, 6, 40, 6.0, 44),
+            query: Query { subspace: Subspace::from_dims(&[0, 2, 4]), initiator: 5 },
+        },
+    ]
+}
+
+/// Runs the pinned subset and returns one entry per
+/// `(figure, variant, metric)`.
+pub fn run_pinned() -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    for p in pinned_set() {
+        let engine = SkypeerEngine::build(p.config);
+        for variant in Variant::ALL {
+            let tracer = Arc::new(MemTracer::new());
+            let started = Instant::now();
+            let out =
+                engine.run_query_traced(p.query, variant, Arc::clone(&tracer) as Arc<dyn Tracer>);
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            let m = MetricsRegistry::from_events(&tracer.take());
+            let mut push = |metric: &str, value: f64| {
+                entries.push(BenchEntry {
+                    figure: p.figure.to_string(),
+                    variant: variant.mnemonic().to_string(),
+                    metric: metric.to_string(),
+                    value,
+                });
+            };
+            push("wall_time_ms", wall_ms);
+            push("sim_time_ns", out.total_time_ns as f64);
+            push("total_bytes", out.volume_bytes as f64);
+            push("dominance_tests", m.counters.get("dominance_tests").copied().unwrap_or(0) as f64);
+            push("peak_queue_depth", m.max_queue_depth() as f64);
+        }
+    }
+    entries
+}
+
+/// One comparator finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// `figure/variant/metric` key.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `(current - baseline) / baseline`.
+    pub ratio: f64,
+}
+
+/// Outcome of diffing two reports.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Entries that grew by more than the threshold — the failures.
+    pub regressions: Vec<Delta>,
+    /// Entries that shrank by more than the threshold (informational).
+    pub improvements: Vec<Delta>,
+    /// Keys only in the current report (non-fatal).
+    pub new_entries: Vec<String>,
+    /// Keys only in the baseline (non-fatal).
+    pub removed_entries: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether the comparison should fail a gate.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self, threshold: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "regressions (> {:.0}% growth): {}\n",
+            threshold * 100.0,
+            self.regressions.len()
+        ));
+        for d in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSED {}  {:.3} -> {:.3}  (+{:.1}%)\n",
+                d.key,
+                d.baseline,
+                d.current,
+                d.ratio * 100.0
+            ));
+        }
+        for d in &self.improvements {
+            out.push_str(&format!(
+                "  improved  {}  {:.3} -> {:.3}  ({:.1}%)\n",
+                d.key,
+                d.baseline,
+                d.current,
+                d.ratio * 100.0
+            ));
+        }
+        for k in &self.new_entries {
+            out.push_str(&format!("  new       {k} (not compared)\n"));
+        }
+        for k in &self.removed_entries {
+            out.push_str(&format!("  removed   {k} (not compared)\n"));
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`. For every metric here, higher is
+/// worse: an entry regresses when
+/// `current > baseline * (1 + threshold)` (a zero baseline regresses only
+/// if the current value is positive).
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Comparison {
+    let key = |e: &BenchEntry| format!("{}/{}/{}", e.figure, e.variant, e.metric);
+    let base: BTreeMap<String, f64> = baseline.entries.iter().map(|e| (key(e), e.value)).collect();
+    let cur: BTreeMap<String, f64> = current.entries.iter().map(|e| (key(e), e.value)).collect();
+    let mut cmp = Comparison::default();
+    for (k, &b) in &base {
+        match cur.get(k) {
+            None => cmp.removed_entries.push(k.clone()),
+            Some(&c) => {
+                let ratio = if b == 0.0 {
+                    if c == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (c - b) / b
+                };
+                let delta = Delta { key: k.clone(), baseline: b, current: c, ratio };
+                if ratio > threshold {
+                    cmp.regressions.push(delta);
+                } else if ratio < -threshold {
+                    cmp.improvements.push(delta);
+                }
+            }
+        }
+    }
+    for k in cur.keys() {
+        if !base.contains_key(k) {
+            cmp.new_entries.push(k.clone());
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn report(values: &[(&str, &str, &str, f64)]) -> BenchReport {
+        BenchReport {
+            commit: "deadbeef".to_string(),
+            date: "2026-01-01".to_string(),
+            entries: values
+                .iter()
+                .map(|&(f, v, m, value)| BenchEntry {
+                    figure: f.to_string(),
+                    variant: v.to_string(),
+                    metric: m.to_string(),
+                    value,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[
+            ("fig3b_d8", "FTPM", "wall_time_ms", 12.5),
+            ("fig3b_d8", "FTPM", "total_bytes", 4096.0),
+        ]);
+        let cmp = compare(&r, &r, 0.15);
+        assert!(!cmp.is_regression());
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.improvements.is_empty());
+        assert!(cmp.new_entries.is_empty());
+        assert!(cmp.removed_entries.is_empty());
+    }
+
+    #[test]
+    fn twenty_percent_wall_time_growth_is_a_regression() {
+        let base = report(&[("fig3b_d8", "RTPM", "wall_time_ms", 10.0)]);
+        let cur = report(&[("fig3b_d8", "RTPM", "wall_time_ms", 12.0)]);
+        let cmp = compare(&base, &cur, 0.15);
+        assert!(cmp.is_regression());
+        assert_eq!(cmp.regressions.len(), 1);
+        let d = &cmp.regressions[0];
+        assert_eq!(d.key, "fig3b_d8/RTPM/wall_time_ms");
+        assert!((d.ratio - 0.2).abs() < 1e-12);
+        assert!(cmp.render(0.15).contains("REGRESSED fig3b_d8/RTPM/wall_time_ms"));
+    }
+
+    #[test]
+    fn within_threshold_and_improvements_do_not_fail() {
+        let base =
+            report(&[("a", "FTFM", "sim_time_ns", 100.0), ("a", "FTFM", "total_bytes", 1000.0)]);
+        let cur = report(&[
+            ("a", "FTFM", "sim_time_ns", 110.0), // +10% < 15%
+            ("a", "FTFM", "total_bytes", 500.0), // big improvement
+        ]);
+        let cmp = compare(&base, &cur, 0.15);
+        assert!(!cmp.is_regression());
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn new_and_removed_entries_are_reported_but_non_fatal() {
+        let base =
+            report(&[("a", "FTFM", "sim_time_ns", 100.0), ("gone", "FTFM", "sim_time_ns", 5.0)]);
+        let cur =
+            report(&[("a", "FTFM", "sim_time_ns", 100.0), ("fresh", "naive", "total_bytes", 7.0)]);
+        let cmp = compare(&base, &cur, 0.15);
+        assert!(!cmp.is_regression());
+        assert_eq!(cmp.new_entries, vec!["fresh/naive/total_bytes".to_string()]);
+        assert_eq!(cmp.removed_entries, vec!["gone/FTFM/sim_time_ns".to_string()]);
+        let text = cmp.render(0.15);
+        assert!(text.contains("new       fresh/naive/total_bytes"));
+        assert!(text.contains("removed   gone/FTFM/sim_time_ns"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(&[
+            ("fig3b_d8", "FTPM", "wall_time_ms", 12.5),
+            ("fig4c_deg6", "naive", "peak_queue_depth", 3.0),
+        ]);
+        let text = r.to_json();
+        assert!(text.contains("\"commit\""));
+        assert!(text.contains("\"entries\""));
+        let back = BenchReport::from_json(&text).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pinned_runs_are_deterministic_where_promised() {
+        // Two fresh runs must agree on every metric except wall time.
+        let key = |e: &BenchEntry| format!("{}/{}/{}", e.figure, e.variant, e.metric);
+        let a: BTreeMap<String, f64> =
+            run_pinned().into_iter().map(|e| (key(&e), e.value)).collect();
+        let b: BTreeMap<String, f64> =
+            run_pinned().into_iter().map(|e| (key(&e), e.value)).collect();
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() >= 3 * 5 * 5, "3 figures x 5 variants x 5 metrics");
+        for (k, va) in &a {
+            if k.ends_with("wall_time_ms") {
+                continue;
+            }
+            assert_eq!(Some(va), b.get(k).map(|v| v), "{k} must be deterministic");
+        }
+    }
+}

@@ -229,6 +229,33 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `skypeer-cli explain` — EXPLAIN/ANALYZE one query: plan and execution
+/// tree (variant, fan-out, threshold timeline, per-super-peer prune
+/// effectiveness, bytes per link vs. the naive baseline, annotated
+/// critical path). `--json` emits the byte-deterministic machine form.
+pub fn explain(args: &Args) -> Result<(), ArgError> {
+    let engine = engine_from(args)?;
+    let variant = variant_from(args)?;
+    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
+    let initiator: usize = args.get_or("initiator", 0)?;
+    let json = args.flag("json")?;
+    args.reject_unknown()?;
+    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
+        return Err(ArgError("--dims index out of range for --dim".into()));
+    }
+    if initiator >= engine.config().n_superpeers {
+        return Err(ArgError("--initiator out of range".into()));
+    }
+    let q = Query { subspace: Subspace::from_dims(&dims), initiator };
+    let report = engine.explain_query(q, variant);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(())
+}
+
 /// `skypeer-cli workload` — averaged metrics over a random workload, all
 /// variants side by side.
 pub fn workload(args: &Args) -> Result<(), ArgError> {

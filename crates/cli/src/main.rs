@@ -7,6 +7,7 @@
 //! skypeer-cli topology [--superpeers N] [--degree DEG]
 //! skypeer-cli faults   [--fail 1,2] [--fail-at-ms T] [--timeout-s S] [...]
 //! skypeer-cli trace    [--dims 0,2,5] [--variant ftpm] [--jsonl F] [--perfetto F] [...]
+//! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
 //! ```
 //!
 //! Shared network flags for every command that builds a network:
@@ -20,7 +21,7 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 fn main() {
@@ -45,6 +46,7 @@ fn main() {
         "stats" => commands::stats(&parsed),
         "query" => commands::query(&parsed),
         "trace" => commands::trace(&parsed),
+        "explain" => commands::explain(&parsed),
         "workload" => commands::workload(&parsed),
         "topology" => commands::topology(&parsed),
         "faults" => commands::faults(&parsed),

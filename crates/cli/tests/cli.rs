@@ -160,3 +160,87 @@ fn routing_flag_selects_spanning_tree() {
     assert!(!ok_c);
     assert!(stderr.contains("unknown --routing"));
 }
+
+#[test]
+fn explain_renders_every_section_for_all_variants() {
+    for variant in ["ftfm", "ftpm", "rtfm", "rtpm", "naive"] {
+        let (stdout, stderr, ok) = run(&[
+            "explain",
+            "--peers",
+            "60",
+            "--superpeers",
+            "6",
+            "--dim",
+            "5",
+            "--points",
+            "40",
+            "--dims",
+            "0,3",
+            "--variant",
+            variant,
+            "--seed",
+            "11",
+        ]);
+        assert!(ok, "{variant} stderr: {stderr}");
+        for section in [
+            "EXPLAIN skyline",
+            "query fan-out",
+            "threshold timeline",
+            "per-super-peer pruning",
+            "link usage vs naive",
+            "critical path",
+        ] {
+            assert!(stdout.contains(section), "{variant}: missing '{section}' in:\n{stdout}");
+        }
+    }
+}
+
+/// Golden test for the machine-readable explain output. Self-bootstraps:
+/// the first run writes `tests/goldens/explain_rtpm.json`; every later
+/// run must reproduce it byte for byte (the DES is deterministic and the
+/// JSON builder is byte-stable).
+#[test]
+fn explain_json_is_byte_deterministic_and_matches_golden() {
+    let args = [
+        "explain",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--dims",
+        "0,3",
+        "--variant",
+        "rtpm",
+        "--seed",
+        "11",
+        "--json",
+    ];
+    let (a, stderr, ok_a) = run(&args);
+    let (b, _, ok_b) = run(&args);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "two fresh processes must emit identical bytes");
+    assert!(a.starts_with("{\"query\":"), "{}", &a[..a.len().min(80)]);
+    for key in
+        ["\"thresholds\":", "\"threshold_monotone\":true", "\"pruning\":", "\"critical_path\":"]
+    {
+        assert!(a.contains(key), "missing {key}");
+    }
+
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/explain_rtpm.json");
+    if !golden.exists() {
+        std::fs::create_dir_all(golden.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&golden, &a).expect("bootstrap golden");
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden readable");
+    assert_eq!(
+        a,
+        want,
+        "explain --json drifted from {}; if the change is intentional, delete the golden and rerun",
+        golden.display()
+    );
+}

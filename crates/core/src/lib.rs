@@ -31,6 +31,7 @@
 
 pub mod churn;
 pub mod engine;
+pub mod explain;
 pub mod live;
 pub mod msg;
 pub mod node;
@@ -40,5 +41,6 @@ pub mod variants;
 pub mod verify;
 
 pub use engine::{EngineConfig, QueryMetrics, QueryOutcome, SkypeerEngine};
+pub use explain::ExplainReport;
 pub use preprocess::{preprocess_network, PreprocessReport, SuperPeerStore};
 pub use variants::Variant;

@@ -9,7 +9,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use skypeer_netsim::live::{run_live, LiveStats};
+use skypeer_netsim::live::{run_live_multi_traced, LiveStats};
+use skypeer_netsim::obs::{SamplerHandle, Tracer};
 use skypeer_netsim::topology::Topology;
 use skypeer_skyline::{DominanceIndex, SortedDataset, Subspace};
 
@@ -41,6 +42,27 @@ pub fn run_query_live(
     index: DominanceIndex,
     timeout: Duration,
 ) -> Option<LiveQueryOutcome> {
+    run_query_live_traced(
+        topology, stores, subspace, initiator, variant, index, timeout, None, None,
+    )
+}
+
+/// [`run_query_live`] with an optional [`Tracer`] observing every node
+/// thread and an optional metrics [`SamplerHandle`] flushing a Prometheus
+/// snapshot of the same tracer to its file while the query runs (plus one
+/// final flush after all threads join).
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_live_traced(
+    topology: &Topology,
+    stores: &[Arc<SortedDataset>],
+    subspace: Subspace,
+    initiator: usize,
+    variant: Variant,
+    index: DominanceIndex,
+    timeout: Duration,
+    tracer: Option<Arc<dyn Tracer>>,
+    sampler: Option<&SamplerHandle>,
+) -> Option<LiveQueryOutcome> {
     assert_eq!(topology.len(), stores.len(), "one store per super-peer required");
     assert!(initiator < topology.len(), "initiator out of range");
     let nodes: Vec<SuperPeerNode> = (0..topology.len())
@@ -55,7 +77,7 @@ pub fn run_query_live(
             )
         })
         .collect();
-    let out = run_live(nodes, initiator, timeout)?;
+    let out = run_live_multi_traced(nodes, &[initiator], 1, timeout, tracer, sampler)?;
     let answer = out
         .nodes
         .into_iter()

@@ -18,7 +18,7 @@
 use crate::cost::WorkReport;
 use crate::des::{Behavior, Context, SimTime};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use skypeer_obs::{DropReason, ProtoEvent, SpanCause, TraceEvent, Tracer};
+use skypeer_obs::{DropReason, ProtoEvent, SamplerHandle, SpanCause, TraceEvent, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -174,18 +174,25 @@ pub fn run_live_multi<B>(
 where
     B: Behavior + Send + 'static,
 {
-    run_live_multi_traced(nodes, starts, required_finishes, timeout, None)
+    run_live_multi_traced(nodes, starts, required_finishes, timeout, None, None)
 }
 
 /// [`run_live_multi`] with an optional [`Tracer`] observing every node
 /// thread. With `None` the emission sites reduce to a branch each, so
 /// [`LiveStats`] is unaffected by the instrumentation.
+///
+/// When a [`SamplerHandle`] is supplied it keeps flushing metrics to its
+/// file on its own interval while the run executes (it should sample the
+/// same tracer), and the runtime forces one final flush after all node
+/// threads have joined, so the metrics file always ends at the complete
+/// run.
 pub fn run_live_multi_traced<B>(
     nodes: Vec<B>,
     starts: &[usize],
     required_finishes: usize,
     timeout: Duration,
     tracer: Option<Arc<dyn Tracer>>,
+    sampler: Option<&SamplerHandle>,
 ) -> Option<LiveOutcome<B>>
 where
     B: Behavior + Send + 'static,
@@ -351,6 +358,9 @@ where
     for h in handles {
         nodes.push(h.join().expect("node thread panicked"));
     }
+    if let Some(s) = sampler {
+        let _ = s.flush();
+    }
     finished.then_some(LiveOutcome {
         nodes,
         stats: LiveStats {
@@ -429,6 +439,7 @@ mod unit {
             1,
             Duration::from_secs(5),
             Some(tracer.clone() as Arc<dyn Tracer>),
+            None,
         )
         .expect("ring must complete");
         let events = tracer.take();
@@ -445,5 +456,38 @@ mod unit {
         let services = events.iter().filter(|e| matches!(e, TraceEvent::Service { .. })).count();
         let delivers = events.iter().filter(|e| matches!(e, TraceEvent::Deliver { .. })).count();
         assert_eq!(services, delivers + 1, "one span per delivered message, plus on_start");
+    }
+
+    #[test]
+    fn sampler_exposes_metrics_of_a_live_run() {
+        use skypeer_obs::Sampler;
+        let dir = std::env::temp_dir().join(format!("skypeer-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("live.prom");
+        let tracer = Arc::new(MemTracer::new());
+        let handle = Sampler::start(Arc::clone(&tracer), &path, Duration::from_millis(5))
+            .expect("sampler starts");
+        let nodes: Vec<Ring> = (0..3).map(|_| Ring { n: 3, hops: 6 }).collect();
+        let out = run_live_multi_traced(
+            nodes,
+            &[0],
+            1,
+            Duration::from_secs(5),
+            Some(tracer.clone() as Arc<dyn Tracer>),
+            Some(&handle),
+        )
+        .expect("ring must complete");
+        // The runtime's post-join flush makes the file reflect at least
+        // every send the stats counted.
+        let text = std::fs::read_to_string(&path).expect("metrics file exists");
+        let sent: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("skypeer_messages_sent_total "))
+            .expect("messages_sent series present")
+            .parse()
+            .expect("integer value");
+        assert_eq!(sent, out.stats.messages);
+        handle.finish().expect("sampler stops");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

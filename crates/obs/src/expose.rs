@@ -1,0 +1,343 @@
+//! Metrics exposition for long-running processes.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time copy of the
+//! [`MetricsRegistry`] distilled from a tracer's buffer, with a
+//! Prometheus-text-format serializer. A [`Sampler`] captures snapshots
+//! on an interval and flushes them **atomically** (write temp file, then
+//! rename) to a metrics file, so `tail`/scrape-style consumers never see
+//! a half-written exposition. No HTTP server is involved: a file is
+//! enough for the live runtime's lifetime, and node exporters can pick
+//! it up from disk.
+//!
+//! Exposition rules:
+//!
+//! * counters become `skypeer_<name>_total`;
+//! * histograms use cumulative `_bucket{le="…"}` series over the
+//!   registry's power-of-two buckets, plus `_sum`/`_count`;
+//! * per-link and per-node aggregates become labelled series
+//!   (`skypeer_link_bytes_total{src="0",dst="3"}`);
+//! * output order is deterministic (sorted maps, node index order), so
+//!   two snapshots of the same trace are byte-identical.
+
+use crate::metrics::MetricsRegistry;
+use crate::tracer::MemTracer;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A point-in-time copy of a run's metrics.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Number of trace events the snapshot was distilled from.
+    pub events: usize,
+    /// The distilled registry.
+    pub registry: MetricsRegistry,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot the tracer's current buffer (does not drain it).
+    pub fn capture(tracer: &MemTracer) -> Self {
+        let events = tracer.snapshot();
+        MetricsSnapshot { events: events.len(), registry: MetricsRegistry::from_events(&events) }
+    }
+
+    /// Build a snapshot from an explicit event slice.
+    pub fn from_events(events: &[crate::event::TraceEvent]) -> Self {
+        MetricsSnapshot { events: events.len(), registry: MetricsRegistry::from_events(events) }
+    }
+
+    /// Render in the Prometheus text exposition format (version 0.0.4).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let r = &self.registry;
+
+        let _ = writeln!(out, "# HELP skypeer_trace_events Trace events in the buffer.");
+        let _ = writeln!(out, "# TYPE skypeer_trace_events gauge");
+        let _ = writeln!(out, "skypeer_trace_events {}", self.events);
+
+        for (name, value) in &r.counters {
+            let _ = writeln!(out, "# TYPE skypeer_{name}_total counter");
+            let _ = writeln!(out, "skypeer_{name}_total {value}");
+        }
+
+        for (name, help, hist) in [
+            ("service_ns", "Service time per handler invocation, ns.", &r.service_ns),
+            (
+                "dominance_tests_per_span",
+                "Dominance tests per handler invocation.",
+                &r.dominance_tests,
+            ),
+            (
+                "points_scanned_per_span",
+                "Points scanned per handler invocation.",
+                &r.points_scanned,
+            ),
+            ("msg_bytes", "Wire size per message, bytes.", &r.msg_bytes),
+            ("hop_latency_ns", "Per-hop latency (link queue + transfer), ns.", &r.hop_latency_ns),
+        ] {
+            let _ = writeln!(out, "# HELP skypeer_{name} {help}");
+            let _ = writeln!(out, "# TYPE skypeer_{name} histogram");
+            let mut cumulative = 0u64;
+            for (_lo, hi, count) in hist.buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "skypeer_{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "skypeer_{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+            let _ = writeln!(out, "skypeer_{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "skypeer_{name}_count {}", hist.count());
+        }
+
+        if !r.link_bytes.is_empty() {
+            let _ = writeln!(out, "# TYPE skypeer_link_bytes_total counter");
+            for (&(from, to), &bytes) in &r.link_bytes {
+                let _ = writeln!(
+                    out,
+                    "skypeer_link_bytes_total{{src=\"{from}\",dst=\"{to}\"}} {bytes}"
+                );
+            }
+        }
+
+        if !r.per_node.is_empty() {
+            for (name, get) in [
+                ("node_spans_total", (|n| n.spans) as fn(&crate::metrics::NodeMetrics) -> u64),
+                ("node_service_ns_total", |n| n.service_ns),
+                ("node_msgs_out_total", |n| n.msgs_out),
+                ("node_msgs_in_total", |n| n.msgs_in),
+                ("node_bytes_out_total", |n| n.bytes_out),
+                ("node_bytes_in_total", |n| n.bytes_in),
+                ("node_dominance_tests_total", |n| n.dominance_tests),
+            ] {
+                let _ = writeln!(out, "# TYPE skypeer_{name} counter");
+                for (i, n) in r.per_node.iter().enumerate() {
+                    let _ = writeln!(out, "skypeer_{name}{{node=\"{i}\"}} {}", get(n));
+                }
+            }
+            let _ = writeln!(out, "# TYPE skypeer_node_peak_queue_depth gauge");
+            for (i, d) in r.peak_queue_depth.iter().enumerate() {
+                let _ = writeln!(out, "skypeer_node_peak_queue_depth{{node=\"{i}\"}} {d}");
+            }
+        }
+
+        if let Some(last) = r.thresholds.last() {
+            let _ = writeln!(out, "# HELP skypeer_threshold Most recent threshold value.");
+            let _ = writeln!(out, "# TYPE skypeer_threshold gauge");
+            let value = if last.value.is_finite() {
+                format!("{:?}", last.value)
+            } else if last.value > 0.0 {
+                "+Inf".to_string()
+            } else {
+                "-Inf".to_string()
+            };
+            let _ = writeln!(out, "skypeer_threshold{{qid=\"{}\"}} {value}", last.qid);
+        }
+
+        out
+    }
+}
+
+/// Atomically replace `path` with `contents` (temp file + rename, same
+/// directory so the rename cannot cross filesystems).
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = match (path.parent(), path.file_name()) {
+        (Some(dir), Some(name)) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            dir.join(n)
+        }
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidInput, "bad metrics path")),
+    };
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+struct SamplerShared {
+    tracer: Arc<MemTracer>,
+    path: PathBuf,
+    stop: AtomicBool,
+    flushes: AtomicU64,
+}
+
+impl SamplerShared {
+    fn flush(&self) -> io::Result<()> {
+        let snap = MetricsSnapshot::capture(&self.tracer);
+        write_atomic(&self.path, &snap.prometheus())?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Periodic exposition sampler. [`Sampler::start`] spawns a thread that
+/// flushes a [`MetricsSnapshot`] of the tracer to a file on an interval;
+/// the returned [`SamplerHandle`] flushes on demand and stops the thread
+/// when finished (or dropped).
+pub struct Sampler;
+
+impl Sampler {
+    /// Start sampling `tracer` into `path` every `interval`.
+    ///
+    /// An initial flush happens immediately, so the file exists as soon
+    /// as this returns.
+    pub fn start(
+        tracer: Arc<MemTracer>,
+        path: impl Into<PathBuf>,
+        interval: Duration,
+    ) -> io::Result<SamplerHandle> {
+        let shared = Arc::new(SamplerShared {
+            tracer,
+            path: path.into(),
+            stop: AtomicBool::new(false),
+            flushes: AtomicU64::new(0),
+        });
+        shared.flush()?;
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("skypeer-metrics-sampler".to_string())
+            .spawn(move || {
+                // Sleep in small slices so stop requests are honored
+                // promptly even with long intervals.
+                let slice = interval.min(Duration::from_millis(25));
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if worker.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        let _ = worker.flush();
+                    }
+                }
+            })?;
+        Ok(SamplerHandle { shared, thread: Some(thread) })
+    }
+}
+
+/// Handle to a running [`Sampler`]. Stops the worker thread on
+/// [`SamplerHandle::finish`] or drop.
+pub struct SamplerHandle {
+    shared: Arc<SamplerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Write a snapshot now, regardless of the interval.
+    pub fn flush(&self) -> io::Result<()> {
+        self.shared.flush()
+    }
+
+    /// Number of successful flushes so far (including the initial one).
+    pub fn flushes(&self) -> u64 {
+        self.shared.flushes.load(Ordering::Relaxed)
+    }
+
+    /// The metrics file being written.
+    pub fn path(&self) -> &Path {
+        &self.shared.path
+    }
+
+    /// Stop the worker, join it, and write one final snapshot.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.stop_and_join();
+        self.shared.flush()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::event::{SpanCause, TraceEvent};
+    use crate::tracer::Tracer;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Service {
+                span: 0,
+                node: 0,
+                begin: 0,
+                end: 120,
+                cause: SpanCause::Start,
+                dominance_tests: 4,
+                points_scanned: 9,
+                finished: false,
+            },
+            TraceEvent::Send {
+                msg_seq: 0,
+                span: 0,
+                from: 0,
+                to: 1,
+                bytes: 256,
+                queued_at: 120,
+                sent_at: 120,
+                arrive_at: 500,
+            },
+            TraceEvent::Deliver { msg_seq: 0, at: 500, from: 0, to: 1 },
+            TraceEvent::Finish { span: 1, node: 1, at: 700 },
+        ]
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed_and_deterministic() {
+        let snap = MetricsSnapshot::from_events(&sample_events());
+        let text = snap.prometheus();
+        assert!(text.contains("skypeer_messages_sent_total 1"));
+        assert!(text.contains("skypeer_bytes_sent_total 256"));
+        assert!(text.contains("skypeer_link_bytes_total{src=\"0\",dst=\"1\"} 256"));
+        assert!(text.contains("skypeer_service_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("skypeer_service_ns_sum 120"));
+        assert!(text.contains("skypeer_node_msgs_in_total{node=\"1\"} 1"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().expect("value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+                "bad value in line: {line}"
+            );
+            assert!(parts.next().expect("name").starts_with("skypeer_"), "{line}");
+        }
+        assert_eq!(text, MetricsSnapshot::from_events(&sample_events()).prometheus());
+    }
+
+    #[test]
+    fn sampler_flushes_atomically_and_on_finish() {
+        let dir = std::env::temp_dir().join(format!("skypeer-expose-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("metrics.prom");
+        let tracer = Arc::new(MemTracer::new());
+        let handle = Sampler::start(Arc::clone(&tracer), &path, Duration::from_secs(3600))
+            .expect("sampler starts");
+        // Initial flush happened; file exists and parses as an exposition
+        // of an empty trace.
+        let first = std::fs::read_to_string(&path).expect("file written");
+        assert!(first.contains("skypeer_trace_events 0"));
+        for ev in sample_events() {
+            tracer.record(ev);
+        }
+        handle.flush().expect("manual flush");
+        let second = std::fs::read_to_string(&path).expect("file re-written");
+        assert!(second.contains("skypeer_trace_events 4"));
+        assert!(handle.flushes() >= 2);
+        handle.finish().expect("final flush");
+        // No temp file left behind.
+        assert!(!dir.join("metrics.prom.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -38,6 +38,19 @@ pub fn float(v: f64) -> String {
     }
 }
 
+/// Renders a JSON array from pre-rendered element values.
+pub fn arr<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
 /// An object under construction: `{"k": v, ...}` with keys in push order.
 pub struct Obj {
     buf: String,

@@ -19,7 +19,12 @@
 //!   trace-event JSON loadable in Perfetto (super-peers as tracks);
 //! * [`critical`] — a critical-path analyzer that walks the recorded
 //!   event DAG backwards from the `finish` call and reports the chain of
-//!   service, transfer, and wait spans that determined response time.
+//!   service, transfer, and wait spans that determined response time;
+//! * [`expose`] — a point-in-time [`MetricsSnapshot`] with a
+//!   Prometheus-text-format serializer and a periodic file sampler for
+//!   long-running live-mode processes;
+//! * [`json`] — the byte-deterministic JSON builder the exporters (and
+//!   downstream crates' reports) share.
 //!
 //! This crate is dependency-free and knows nothing about the simulator:
 //! events carry plain integers and floats. Times are the runtime's
@@ -29,13 +34,14 @@
 pub mod critical;
 pub mod event;
 pub mod export;
+pub mod expose;
+pub mod json;
 pub mod metrics;
 pub mod tracer;
-
-mod json;
 
 pub use critical::{critical_path, CriticalPath, PathStep, StepKind};
 pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEvent};
 pub use export::{chrome_trace, jsonl};
+pub use expose::{MetricsSnapshot, Sampler, SamplerHandle};
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
 pub use tracer::{MemTracer, Tracer};

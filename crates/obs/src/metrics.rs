@@ -156,6 +156,10 @@ pub struct MetricsRegistry {
     pub thresholds: Vec<ThresholdSample>,
     /// Per-node aggregates, indexed by node id.
     pub per_node: Vec<NodeMetrics>,
+    /// Peak number of messages delivered to a node but not yet being
+    /// served, indexed by node id — the inbox backlog a slow node builds
+    /// up. 0 everywhere on an uncontended run.
+    pub peak_queue_depth: Vec<u64>,
 }
 
 impl MetricsRegistry {
@@ -228,7 +232,14 @@ impl MetricsRegistry {
         for k in ["spans", "messages_sent", "messages_delivered", "messages_dropped", "finishes"] {
             m.counters.entry(k).or_insert(0);
         }
+        m.peak_queue_depth = peak_queue_depths(events, n_nodes);
         m
+    }
+
+    /// The largest inbox backlog any node reached (see
+    /// [`MetricsRegistry::peak_queue_depth`]).
+    pub fn max_queue_depth(&self) -> u64 {
+        self.peak_queue_depth.iter().copied().max().unwrap_or(0)
     }
 
     /// The directed link that carried the most bytes (smallest link wins
@@ -247,6 +258,50 @@ impl MetricsRegistry {
             .map(|(i, n)| (i, n.service_ns))
             .max_by_key(|&(i, ns)| (ns, Reverse(i)))
     }
+}
+
+/// Per-node peak of "delivered but not yet being served".
+///
+/// Each message waits on its receiver from its `Deliver` timestamp until
+/// the service span it causes begins; a message never serviced (run cut
+/// short) waits forever. A sweep over those intervals — departures
+/// processed before arrivals at equal timestamps, so an immediately
+/// served message contributes no backlog — yields the peak concurrent
+/// backlog per node.
+fn peak_queue_depths(events: &[TraceEvent], n_nodes: usize) -> Vec<u64> {
+    use crate::event::SpanCause;
+    let mut deliver_at: BTreeMap<u64, (usize, SimTime)> = BTreeMap::new();
+    let mut marks: Vec<Vec<(SimTime, i64)>> = vec![Vec::new(); n_nodes];
+    for ev in events {
+        match *ev {
+            TraceEvent::Deliver { msg_seq, at, to, .. } => {
+                deliver_at.insert(msg_seq, (to, at));
+                marks[to].push((at, 1));
+            }
+            TraceEvent::Service { node, begin, cause: SpanCause::Msg(seq), .. } => {
+                if let Some(&(to, _)) = deliver_at.get(&seq) {
+                    if to == node {
+                        marks[node].push((begin, -1));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    marks
+        .into_iter()
+        .map(|mut ms| {
+            // (time, -1) sorts before (time, +1): departures first.
+            ms.sort_unstable();
+            let mut depth: i64 = 0;
+            let mut peak: i64 = 0;
+            for (_, delta) in ms {
+                depth += delta;
+                peak = peak.max(depth);
+            }
+            peak as u64
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -339,10 +394,57 @@ mod unit {
         assert_eq!(m.hottest_link(), Some(((0, 1), 64)));
     }
 
+    fn msg_service(node: usize, seq: u64, begin: u64) -> TraceEvent {
+        TraceEvent::Service {
+            span: seq,
+            node,
+            begin,
+            end: begin + 50,
+            cause: SpanCause::Msg(seq),
+            dominance_tests: 0,
+            points_scanned: 0,
+            finished: false,
+        }
+    }
+
+    #[test]
+    fn queue_depth_counts_waiting_messages() {
+        // Node 1: three messages land at t=0/10/20 but are served
+        // back-to-back starting at t=100 — backlog peaks at 3. Node 0
+        // serves its one message the instant it arrives — no backlog.
+        let events = vec![
+            TraceEvent::Deliver { msg_seq: 1, at: 0, from: 0, to: 1 },
+            TraceEvent::Deliver { msg_seq: 2, at: 10, from: 0, to: 1 },
+            TraceEvent::Deliver { msg_seq: 3, at: 20, from: 0, to: 1 },
+            msg_service(1, 1, 100),
+            msg_service(1, 2, 150),
+            msg_service(1, 3, 200),
+            TraceEvent::Deliver { msg_seq: 4, at: 30, from: 1, to: 0 },
+            msg_service(0, 4, 30),
+        ];
+        let m = MetricsRegistry::from_events(&events);
+        assert_eq!(m.peak_queue_depth, vec![0, 3]);
+        assert_eq!(m.max_queue_depth(), 3);
+    }
+
+    #[test]
+    fn queue_depth_of_unserviced_message_persists() {
+        // A message that is delivered but never served counts as backlog.
+        let events = vec![
+            TraceEvent::Deliver { msg_seq: 1, at: 40, from: 0, to: 1 },
+            TraceEvent::Deliver { msg_seq: 2, at: 50, from: 0, to: 1 },
+            msg_service(1, 1, 60),
+        ];
+        let m = MetricsRegistry::from_events(&events);
+        assert_eq!(m.peak_queue_depth, vec![0, 2]);
+    }
+
     #[test]
     fn hottest_ties_break_deterministically() {
-        let mut m = MetricsRegistry::default();
-        m.per_node = vec![NodeMetrics { service_ns: 7, ..Default::default() }; 3];
+        let mut m = MetricsRegistry {
+            per_node: vec![NodeMetrics { service_ns: 7, ..Default::default() }; 3],
+            ..Default::default()
+        };
         assert_eq!(m.hottest_node(), Some((0, 7)));
         m.link_bytes.insert((2, 0), 9);
         m.link_bytes.insert((1, 5), 9);

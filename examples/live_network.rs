@@ -4,17 +4,43 @@
 //!
 //! ```text
 //! cargo run --release --example live_network
+//! cargo run --release --example live_network -- --metrics-file /tmp/skypeer.prom
 //! ```
+//!
+//! With `--metrics-file PATH` every node thread reports into a shared
+//! tracer and a background sampler keeps flushing a Prometheus text
+//! snapshot to PATH (atomically, every 250 ms) while the queries run.
 
 use skypeer::core::engine::SkypeerEngine;
-use skypeer::core::live::run_query_live;
+use skypeer::core::live::run_query_live_traced;
 use skypeer::core::EngineConfig;
+use skypeer::obs::{MemTracer, Sampler, Tracer};
 use skypeer::prelude::*;
 use skypeer_data::Query;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_file = match args.iter().position(|a| a == "--metrics-file") {
+        Some(p) => match args.get(p + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("error: --metrics-file needs a path");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    let tracer: Option<Arc<MemTracer>> = metrics_file.is_some().then(Arc::<MemTracer>::default);
+    let sampler = metrics_file.as_ref().map(|path| {
+        let t = Arc::clone(tracer.as_ref().expect("tracer exists when a path was given"));
+        Sampler::start(t, path.clone(), Duration::from_millis(250)).unwrap_or_else(|e| {
+            eprintln!("error: cannot write metrics file {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
     let config = EngineConfig::paper_default(200, 31);
     println!(
         "building {}-peer network ({} super-peer threads) ...",
@@ -35,7 +61,7 @@ fn main() {
 
     for (i, q) in workload.iter().enumerate() {
         let des = engine.run_query(*q, Variant::Rtpm);
-        let live = run_query_live(
+        let live = run_query_live_traced(
             engine.topology(),
             &stores,
             q.subspace,
@@ -43,6 +69,8 @@ fn main() {
             Variant::Rtpm,
             config.index,
             Duration::from_secs(30),
+            tracer.clone().map(|t| t as Arc<dyn Tracer>),
+            sampler.as_ref(),
         )
         .expect("live query completes");
         assert_eq!(
@@ -61,4 +89,10 @@ fn main() {
         let _ = Query { subspace: q.subspace, initiator: q.initiator };
     }
     println!("\nall live answers match the DES — the protocol is schedule-independent");
+    if let Some(s) = sampler {
+        let path = s.path().display().to_string();
+        let flushes = s.flushes();
+        s.finish().expect("final metrics flush succeeds");
+        println!("metrics: {} snapshots flushed to {path}", flushes + 1);
+    }
 }
