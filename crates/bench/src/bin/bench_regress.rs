@@ -4,10 +4,16 @@
 //! ```text
 //! bench-regress                      # run, write BENCH_regress.json at the repo root
 //! bench-regress --out FILE           # run, write FILE instead
-//! bench-regress --compare BASE CUR   # diff two files; exit 1 on >15% regression
+//! bench-regress --compare BASE CUR   # exit 1 if a deterministic metric grew >15%
 //! bench-regress --compare BASE CUR --threshold 0.20
 //! bench-regress --compare BASE CUR --report-only   # never exit nonzero
 //! ```
+//!
+//! The gate is hard by default: `sim_time_ns`, `total_bytes`,
+//! `dominance_tests`, and `peak_queue_depth` are byte-deterministic for a
+//! given toolchain, so growth beyond the threshold fails the exit code.
+//! `wall_time_ms` is host-dependent and always advisory — printed, never
+//! fatal.
 
 use skypeer_bench::regress::{compare, BenchReport};
 use std::process::ExitCode;

@@ -1,0 +1,199 @@
+//! `soak` — run a seeded query workload through the deterministic DES and
+//! report tail-latency percentiles, SLO verdicts, and the worst-query
+//! digest.
+//!
+//! ```text
+//! soak                                  # default: 100 queries x 5 variants
+//! soak --queries 500 --seed 11          # bigger seeded run
+//! soak --variants ftpm,naive            # restrict variants
+//! soak --k 3 | --k-min 2 --k-max 5 --k-theta 1.1
+//! soak --initiator-theta 1.0            # hot-initiator skew
+//! soak --slo-p99-ms 900 --gate          # exit 1 if any variant misses
+//! soak --out SOAK_summary.json --jsonl rows.jsonl --prom soak.prom
+//! ```
+//!
+//! The summary JSON is byte-deterministic for a given flag set (no wall
+//! clocks, commits, or dates), so CI can archive and diff it.
+
+use skypeer_bench::soak::{run_soak, SoakSpec};
+use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
+use skypeer_data::{DatasetKind, DatasetSpec, InitiatorMix, KMix, MixedWorkloadSpec};
+use skypeer_netsim::cost::CostModel;
+use skypeer_netsim::des::LinkModel;
+use skypeer_netsim::obs::SloSpec;
+use skypeer_netsim::topology::TopologySpec;
+use skypeer_skyline::DominanceIndex;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: soak [--peers N] [--superpeers N] [--dim D] [--points P] \
+[--queries Q] [--seed S] [--variants LIST|all] [--k K | --k-min A --k-max B [--k-theta T]] \
+[--initiator-theta T] [--top-k K] [--slo-p50-ms F] [--slo-p99-ms F] [--slo-p999-ms F] \
+[--slo-max-ms F] [--slo-p99-bytes N] [--out FILE] [--jsonl FILE] [--prom FILE] [--gate]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(p) => {
+            Ok(Some(args.get(p + 1).ok_or_else(|| format!("{name} needs a value"))?.clone()))
+        }
+        None => Ok(None),
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name)? {
+        Some(v) => v.parse::<T>().map_err(|e| format!("bad {name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn ms_to_ns(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    Ok(match flag(args, name)? {
+        Some(v) => {
+            let ms = v.parse::<f64>().map_err(|e| format!("bad {name}: {e}"))?;
+            Some((ms * 1e6) as u64)
+        }
+        None => None,
+    })
+}
+
+fn parse_variants(spec: &str) -> Result<Vec<Variant>, String> {
+    if spec == "all" {
+        return Ok(Variant::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|v| match v.trim().to_ascii_lowercase().as_str() {
+            "ftfm" => Ok(Variant::Ftfm),
+            "ftpm" => Ok(Variant::Ftpm),
+            "rtfm" => Ok(Variant::Rtfm),
+            "rtpm" => Ok(Variant::Rtpm),
+            "naive" => Ok(Variant::Naive),
+            other => Err(format!("unknown variant '{other}'")),
+        })
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let n_peers: usize = parse(args, "--peers", 80)?;
+    let n_superpeers: usize = parse(args, "--superpeers", 8)?;
+    let dim: usize = parse(args, "--dim", 6)?;
+    let points: usize = parse(args, "--points", 60)?;
+    let queries: usize = parse(args, "--queries", 100)?;
+    let seed: u64 = parse(args, "--seed", 42)?;
+    let tail_k: usize = parse(args, "--top-k", 8)?;
+    let variants = parse_variants(&flag(args, "--variants")?.unwrap_or_else(|| "all".into()))?;
+
+    let k_mix = match (flag(args, "--k-min")?, flag(args, "--k-max")?) {
+        (Some(a), Some(b)) => KMix::Zipf {
+            k_min: a.parse().map_err(|e| format!("bad --k-min: {e}"))?,
+            k_max: b.parse().map_err(|e| format!("bad --k-max: {e}"))?,
+            exponent: parse(args, "--k-theta", 1.0f64)?,
+        },
+        (None, None) => KMix::Fixed(parse(args, "--k", 3usize)?),
+        _ => return Err("--k-min and --k-max must be given together".into()),
+    };
+    let initiator_mix = match flag(args, "--initiator-theta")? {
+        Some(t) => InitiatorMix::Zipf {
+            exponent: t.parse().map_err(|e| format!("bad --initiator-theta: {e}"))?,
+        },
+        None => InitiatorMix::Uniform,
+    };
+
+    let slo = SloSpec {
+        p50_latency_ns: ms_to_ns(args, "--slo-p50-ms")?,
+        p99_latency_ns: ms_to_ns(args, "--slo-p99-ms")?,
+        p999_latency_ns: ms_to_ns(args, "--slo-p999-ms")?,
+        max_latency_ns: ms_to_ns(args, "--slo-max-ms")?,
+        p99_bytes: match flag(args, "--slo-p99-bytes")? {
+            Some(v) => Some(v.parse().map_err(|e| format!("bad --slo-p99-bytes: {e}"))?),
+            None => None,
+        },
+    };
+    let gate = args.iter().any(|a| a == "--gate");
+
+    let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xD1CE);
+    topology.avg_degree = topology.avg_degree.min(n_superpeers.saturating_sub(1) as f64);
+    let engine = SkypeerEngine::build(EngineConfig {
+        n_peers,
+        n_superpeers,
+        dataset: DatasetSpec { dim, points_per_peer: points, kind: DatasetKind::Uniform, seed },
+        topology,
+        index: DominanceIndex::RTree,
+        cost: CostModel::default(),
+        link: LinkModel::paper_4kbps(),
+        routing: skypeer_core::engine::RoutingMode::Flood,
+    });
+    let spec = SoakSpec {
+        variants,
+        workload: MixedWorkloadSpec { dim, queries, n_superpeers, seed, k_mix, initiator_mix },
+        slo,
+        tail_k,
+        hdr_precision: parse(args, "--precision", 7u32)?,
+    };
+
+    eprintln!(
+        "soaking {} queries x {} variants over {} peers / {} super-peers (seed {seed})...",
+        queries,
+        spec.variants.len(),
+        n_peers,
+        n_superpeers
+    );
+
+    let mut jsonl = match flag(args, "--jsonl")? {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let outcome = run_soak(&engine, &spec, |row| {
+        if let Some(w) = &mut jsonl {
+            let _ = writeln!(w, "{}", row.to_json());
+        }
+    });
+    if let Some(mut w) = jsonl {
+        w.flush().map_err(|e| format!("flushing jsonl: {e}"))?;
+    }
+
+    print!("{}", outcome.render_table());
+    print!("{}", outcome.worst_digest());
+    if !spec.slo.is_empty() {
+        print!("{}", outcome.render_slo());
+    }
+
+    if let Some(path) = flag(args, "--out")? {
+        std::fs::write(&path, outcome.summary_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote summary to {path}");
+    }
+    if let Some(path) = flag(args, "--prom")? {
+        std::fs::write(&path, outcome.prometheus())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote Prometheus exposition to {path}");
+    }
+
+    if gate && !outcome.pass() {
+        eprintln!("SLO gate FAILED");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -17,7 +17,9 @@
 pub mod experiments;
 pub mod plot;
 pub mod regress;
+pub mod soak;
 pub mod table;
 
 pub use experiments::{FigureData, Scale};
 pub use regress::{compare, BenchEntry, BenchReport, Comparison};
+pub use soak::{run_soak, QueryRow, SoakOutcome, SoakSpec, VariantSoak};

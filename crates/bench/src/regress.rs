@@ -16,10 +16,14 @@
 //!
 //! The `bench-regress` binary writes these as `BENCH_regress.json` at the
 //! repository root with schema `{commit, date, entries: [{figure,
-//! variant, metric, value}]}`, and [`compare`] diffs two such files: an
-//! entry whose value grew by more than the threshold (15% by default) is
-//! a regression (for every metric, higher is worse); entries present in
-//! only one file are reported but never fatal.
+//! variant, metric, value}]}`, and [`compare`] diffs two such files: a
+//! deterministic entry (`sim_time_ns`, `total_bytes`, `dominance_tests`,
+//! `peak_queue_depth`) whose value grew by more than the threshold (15%
+//! by default) is a regression and fails the gate (for every metric,
+//! higher is worse). `wall_time_ms` movement is *advisory* — reported,
+//! never fatal — because wall time depends on the host, not the change
+//! under test. Entries present in only one file are likewise reported
+//! but never fatal.
 
 use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
 use skypeer_data::{DatasetKind, DatasetSpec, Query};
@@ -203,10 +207,16 @@ pub struct Delta {
 /// Outcome of diffing two reports.
 #[derive(Clone, Debug, Default)]
 pub struct Comparison {
-    /// Entries that grew by more than the threshold — the failures.
+    /// Deterministic entries that grew by more than the threshold — the
+    /// failures that gate CI.
     pub regressions: Vec<Delta>,
-    /// Entries that shrank by more than the threshold (informational).
+    /// Deterministic entries that shrank by more than the threshold
+    /// (informational).
     pub improvements: Vec<Delta>,
+    /// `wall_time_ms` entries that moved by more than the threshold in
+    /// either direction. Wall time is the one nondeterministic metric
+    /// (host load, CPU model), so these are reported but never fatal.
+    pub advisory: Vec<Delta>,
     /// Keys only in the current report (non-fatal).
     pub new_entries: Vec<String>,
     /// Keys only in the baseline (non-fatal).
@@ -214,7 +224,8 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Whether the comparison should fail a gate.
+    /// Whether the comparison should fail a gate. Only deterministic
+    /// metrics count; advisory (`wall_time_ms`) movement never fails.
     pub fn is_regression(&self) -> bool {
         !self.regressions.is_empty()
     }
@@ -239,6 +250,15 @@ impl Comparison {
         for d in &self.improvements {
             out.push_str(&format!(
                 "  improved  {}  {:.3} -> {:.3}  ({:.1}%)\n",
+                d.key,
+                d.baseline,
+                d.current,
+                d.ratio * 100.0
+            ));
+        }
+        for d in &self.advisory {
+            out.push_str(&format!(
+                "  advisory  {}  {:.3} -> {:.3}  ({:+.1}%, wall time, never fatal)\n",
                 d.key,
                 d.baseline,
                 d.current,
@@ -278,7 +298,11 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
                     (c - b) / b
                 };
                 let delta = Delta { key: k.clone(), baseline: b, current: c, ratio };
-                if ratio > threshold {
+                if k.ends_with("/wall_time_ms") {
+                    if ratio.abs() > threshold {
+                        cmp.advisory.push(delta);
+                    }
+                } else if ratio > threshold {
                     cmp.regressions.push(delta);
                 } else if ratio < -threshold {
                     cmp.improvements.push(delta);
@@ -329,16 +353,34 @@ mod unit {
     }
 
     #[test]
-    fn twenty_percent_wall_time_growth_is_a_regression() {
-        let base = report(&[("fig3b_d8", "RTPM", "wall_time_ms", 10.0)]);
-        let cur = report(&[("fig3b_d8", "RTPM", "wall_time_ms", 12.0)]);
+    fn twenty_percent_sim_time_growth_is_a_regression() {
+        let base = report(&[("fig3b_d8", "RTPM", "sim_time_ns", 10.0)]);
+        let cur = report(&[("fig3b_d8", "RTPM", "sim_time_ns", 12.0)]);
         let cmp = compare(&base, &cur, 0.15);
         assert!(cmp.is_regression());
         assert_eq!(cmp.regressions.len(), 1);
         let d = &cmp.regressions[0];
-        assert_eq!(d.key, "fig3b_d8/RTPM/wall_time_ms");
+        assert_eq!(d.key, "fig3b_d8/RTPM/sim_time_ns");
         assert!((d.ratio - 0.2).abs() < 1e-12);
-        assert!(cmp.render(0.15).contains("REGRESSED fig3b_d8/RTPM/wall_time_ms"));
+        assert!(cmp.render(0.15).contains("REGRESSED fig3b_d8/RTPM/sim_time_ns"));
+    }
+
+    #[test]
+    fn wall_time_growth_is_advisory_never_fatal() {
+        let base = report(&[("fig3b_d8", "RTPM", "wall_time_ms", 10.0)]);
+        let cur = report(&[("fig3b_d8", "RTPM", "wall_time_ms", 30.0)]);
+        let cmp = compare(&base, &cur, 0.15);
+        assert!(!cmp.is_regression(), "wall time must never gate");
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.advisory.len(), 1);
+        assert_eq!(cmp.advisory[0].key, "fig3b_d8/RTPM/wall_time_ms");
+        let text = cmp.render(0.15);
+        assert!(text.contains("advisory  fig3b_d8/RTPM/wall_time_ms"));
+        assert!(text.contains("never fatal"));
+        // Shrinking wall time is advisory too, not an "improvement".
+        let cmp = compare(&cur, &base, 0.15);
+        assert!(cmp.improvements.is_empty());
+        assert_eq!(cmp.advisory.len(), 1);
     }
 
     #[test]

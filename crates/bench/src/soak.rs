@@ -1,0 +1,516 @@
+//! Workload soak runner: many queries, every one traced, tail-latency
+//! percentiles and SLO verdicts out.
+//!
+//! [`run_soak`] drives a seeded [`MixedWorkloadSpec`] through the
+//! deterministic DES for each requested variant using the engine's
+//! single-simulation observed path
+//! ([`SkypeerEngine::run_query_observed`]): one simulation per query, a
+//! [`MemTracer`] on each, per-query rows streamed to the caller (JSONL),
+//! and per-variant aggregation into
+//!
+//! * HDR latency and bytes histograms
+//!   ([`HdrHistogram`]) — p50/p90/p99/p999 within the documented
+//!   bucket-error bound;
+//! * a [`FlightRecorder`] that keeps the full trace of only the top-K
+//!   slowest queries, so a 10k-query soak stays memory-bounded while
+//!   every p99 offender remains explainable via `skypeer-cli explain`;
+//! * an [`SloSpec`] verdict per variant for CI gating.
+//!
+//! Everything in [`SoakOutcome::summary_json`] derives from sim-time and
+//! counters — no wall clocks, commits, or dates — so the summary is
+//! byte-deterministic for a seeded config and golden-testable.
+
+use skypeer_core::{SkypeerEngine, Variant};
+use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec, Query};
+use skypeer_netsim::obs::expose::hdr_prometheus;
+use skypeer_netsim::obs::{
+    json, FlightRecorder, HdrHistogram, MemTracer, SloReport, SloSpec, TraceEvent, Tracer,
+};
+use std::sync::Arc;
+
+/// What a soak run executes and how it judges the result.
+#[derive(Clone, Debug)]
+pub struct SoakSpec {
+    /// Variants to run the workload under, in execution order.
+    pub variants: Vec<Variant>,
+    /// The seeded query workload (shared by every variant).
+    pub workload: MixedWorkloadSpec,
+    /// Budgets evaluated per variant at the end of the run.
+    /// `max_latency_ns` doubles as the per-query over-SLO flag.
+    pub slo: SloSpec,
+    /// Flight-recorder capacity: full traces retained per variant.
+    pub tail_k: usize,
+    /// HDR histogram precision (sub-bucket bits).
+    pub hdr_precision: u32,
+}
+
+impl SoakSpec {
+    /// A spec over all five variants with default precision and a top-8
+    /// tail, no SLO.
+    pub fn all_variants(workload: MixedWorkloadSpec) -> Self {
+        SoakSpec {
+            variants: Variant::ALL.to_vec(),
+            workload,
+            slo: SloSpec::default(),
+            tail_k: 8,
+            hdr_precision: HdrHistogram::DEFAULT_PRECISION,
+        }
+    }
+}
+
+/// One query's measurements, streamed to the caller as it completes.
+#[derive(Clone, Debug)]
+pub struct QueryRow {
+    /// Variant mnemonic the query ran under.
+    pub variant: &'static str,
+    /// Query index within the workload (0-based).
+    pub query: usize,
+    /// Requested dimensions.
+    pub dims: Vec<usize>,
+    /// Initiating super-peer.
+    pub initiator: usize,
+    /// Simulated response time, ns.
+    pub latency_ns: u64,
+    /// Bytes transferred.
+    pub volume_bytes: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Dominance tests across all super-peers (from the trace).
+    pub dominance_tests: u64,
+    /// Result-set size.
+    pub result_points: usize,
+    /// Whether the query broke the per-query latency ceiling.
+    pub over_slo: bool,
+    /// Whether the flight recorder kept this query's full trace (at the
+    /// time it was observed — later, slower queries may evict it).
+    pub retained: bool,
+}
+
+impl QueryRow {
+    /// One deterministic JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("variant", self.variant)
+            .u64("query", self.query as u64)
+            .raw("dims", &json::arr(self.dims.iter().map(|d| d.to_string())))
+            .u64("initiator", self.initiator as u64)
+            .u64("latency_ns", self.latency_ns)
+            .u64("volume_bytes", self.volume_bytes)
+            .u64("messages", self.messages)
+            .u64("dominance_tests", self.dominance_tests)
+            .u64("result_points", self.result_points as u64)
+            .bool("over_slo", self.over_slo)
+            .bool("retained", self.retained)
+            .build()
+    }
+}
+
+/// Per-variant aggregation of a soak run.
+pub struct VariantSoak {
+    /// The variant.
+    pub variant: Variant,
+    /// HDR histogram of simulated per-query latencies, ns.
+    pub latency_ns: HdrHistogram,
+    /// HDR histogram of per-query transferred bytes.
+    pub bytes: HdrHistogram,
+    /// Sum of simulated response times, ns.
+    pub sim_time_total_ns: u64,
+    /// Total bytes transferred.
+    pub bytes_total: u64,
+    /// Total messages delivered.
+    pub messages_total: u64,
+    /// Total dominance tests.
+    pub dominance_tests_total: u64,
+    /// The tail-trace recorder (worst queries first).
+    pub recorder: FlightRecorder,
+    /// The variant's SLO verdict.
+    pub slo: SloReport,
+}
+
+/// Everything a soak run produced.
+pub struct SoakOutcome {
+    /// The spec the run executed.
+    pub spec: SoakSpec,
+    /// The generated workload, in query order.
+    pub queries: Vec<Query>,
+    /// Per-variant aggregates, in `spec.variants` order.
+    pub variants: Vec<VariantSoak>,
+}
+
+/// Runs the workload under every requested variant. `on_row` observes
+/// each query's [`QueryRow`] as it completes (stream it to JSONL, a
+/// dashboard, or ignore it).
+pub fn run_soak(
+    engine: &SkypeerEngine,
+    spec: &SoakSpec,
+    mut on_row: impl FnMut(&QueryRow),
+) -> SoakOutcome {
+    assert!(!spec.variants.is_empty(), "need at least one variant");
+    assert_eq!(
+        spec.workload.n_superpeers,
+        engine.config().n_superpeers,
+        "workload initiators must match the engine's super-peer count"
+    );
+    assert!(
+        spec.workload.dim <= engine.config().dataset.dim,
+        "workload dimensionality exceeds the dataset's"
+    );
+    let queries = spec.workload.generate();
+    let mut variants = Vec::with_capacity(spec.variants.len());
+    for &variant in &spec.variants {
+        let mut vs = VariantSoak {
+            variant,
+            latency_ns: HdrHistogram::new(spec.hdr_precision),
+            bytes: HdrHistogram::new(spec.hdr_precision),
+            sim_time_total_ns: 0,
+            bytes_total: 0,
+            messages_total: 0,
+            dominance_tests_total: 0,
+            recorder: FlightRecorder::new(spec.tail_k),
+            slo: SloReport { label: String::new(), checks: Vec::new() },
+        };
+        for (i, &q) in queries.iter().enumerate() {
+            let tracer = Arc::new(MemTracer::new());
+            let out =
+                engine.run_query_observed(q, variant, Some(Arc::clone(&tracer) as Arc<dyn Tracer>));
+            let events = tracer.take();
+            let dominance_tests: u64 = events
+                .iter()
+                .map(|e| match e {
+                    TraceEvent::Service { dominance_tests, .. } => *dominance_tests,
+                    _ => 0,
+                })
+                .sum();
+            let latency_ns = out.total_time_ns;
+            let over_slo = spec.slo.max_latency_ns.is_some_and(|b| latency_ns > b);
+            let retained = vs.recorder.observe(
+                format!("{}/q{i}", variant.mnemonic()),
+                latency_ns,
+                over_slo,
+                events,
+            );
+            vs.latency_ns.record(latency_ns);
+            vs.bytes.record(out.volume_bytes);
+            vs.sim_time_total_ns += latency_ns;
+            vs.bytes_total += out.volume_bytes;
+            vs.messages_total += out.messages;
+            vs.dominance_tests_total += dominance_tests;
+            on_row(&QueryRow {
+                variant: variant.mnemonic(),
+                query: i,
+                dims: q.subspace.dims().collect(),
+                initiator: q.initiator,
+                latency_ns,
+                volume_bytes: out.volume_bytes,
+                messages: out.messages,
+                dominance_tests,
+                result_points: out.result_ids.len(),
+                over_slo,
+                retained,
+            });
+        }
+        vs.slo = spec.slo.evaluate(variant.mnemonic(), &vs.latency_ns, &vs.bytes);
+        variants.push(vs);
+    }
+    SoakOutcome { spec: spec.clone(), queries, variants }
+}
+
+fn describe_k_mix(m: KMix) -> String {
+    match m {
+        KMix::Fixed(k) => format!("fixed({k})"),
+        KMix::Zipf { k_min, k_max, exponent } => {
+            format!("zipf({k_min}..{k_max},theta={exponent:?})")
+        }
+    }
+}
+
+fn describe_initiator_mix(m: InitiatorMix) -> String {
+    match m {
+        InitiatorMix::Uniform => "uniform".to_string(),
+        InitiatorMix::Zipf { exponent } => format!("zipf(theta={exponent:?})"),
+    }
+}
+
+fn percentile_obj(h: &HdrHistogram) -> String {
+    json::Obj::new()
+        .u64("p50", h.p50().unwrap_or(0))
+        .u64("p90", h.p90().unwrap_or(0))
+        .u64("p99", h.p99().unwrap_or(0))
+        .u64("p999", h.p999().unwrap_or(0))
+        .u64("min", h.min().unwrap_or(0))
+        .u64("max", h.max().unwrap_or(0))
+        .f64("mean", h.mean())
+        .build()
+}
+
+impl SoakOutcome {
+    /// `true` iff every variant's SLO verdict passed.
+    pub fn pass(&self) -> bool {
+        self.variants.iter().all(|v| v.slo.pass())
+    }
+
+    /// The deterministic `SoakSummary` JSON: workload echo, per-variant
+    /// percentiles, totals, SLO verdicts, and the retained-tail digest.
+    /// Contains nothing host- or time-dependent, so two runs of the same
+    /// seeded spec are byte-identical (golden-pinned in the CLI tests).
+    pub fn summary_json(&self) -> String {
+        let w = &self.spec.workload;
+        let workload = json::Obj::new()
+            .u64("dim", w.dim as u64)
+            .u64("queries", w.queries as u64)
+            .u64("n_superpeers", w.n_superpeers as u64)
+            .u64("seed", w.seed)
+            .str("k_mix", &describe_k_mix(w.k_mix))
+            .str("initiator_mix", &describe_initiator_mix(w.initiator_mix))
+            .build();
+        let variants = json::arr(self.variants.iter().map(|v| {
+            let worst = json::arr(v.recorder.retained().iter().map(|r| {
+                let q = self.queries[r.seq as usize];
+                json::Obj::new()
+                    .u64("query", r.seq)
+                    .u64("latency_ns", r.latency_ns)
+                    .raw("dims", &json::arr(q.subspace.dims().map(|d| d.to_string())))
+                    .u64("initiator", q.initiator as u64)
+                    .bool("over_slo", r.over_slo)
+                    .build()
+            }));
+            json::Obj::new()
+                .str("variant", v.variant.mnemonic())
+                .u64("queries", v.latency_ns.count())
+                .raw("latency_ns", &percentile_obj(&v.latency_ns))
+                .raw("volume_bytes", &percentile_obj(&v.bytes))
+                .raw(
+                    "totals",
+                    &json::Obj::new()
+                        .u64("sim_time_ns", v.sim_time_total_ns)
+                        .u64("bytes", v.bytes_total)
+                        .u64("messages", v.messages_total)
+                        .u64("dominance_tests", v.dominance_tests_total)
+                        .build(),
+                )
+                .raw("slo", &v.slo.to_json())
+                .raw("worst", &worst)
+                .build()
+        }));
+        json::Obj::new()
+            .raw("workload", &workload)
+            .u64("tail_k", self.spec.tail_k as u64)
+            .u64("hdr_precision", u64::from(self.spec.hdr_precision))
+            .bool("pass", self.pass())
+            .raw("variants", &variants)
+            .build()
+    }
+
+    /// Prometheus exposition of the per-variant latency and bytes
+    /// histograms (one family each, labelled by variant).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, pick) in [
+            (
+                "skypeer_soak_latency_ns",
+                "Simulated per-query response time, ns.",
+                (|v: &VariantSoak| &v.latency_ns) as fn(&VariantSoak) -> &HdrHistogram,
+            ),
+            ("skypeer_soak_volume_bytes", "Per-query transferred bytes.", |v| &v.bytes),
+        ] {
+            for (i, v) in self.variants.iter().enumerate() {
+                let text =
+                    hdr_prometheus(name, help, &[("variant", v.variant.mnemonic())], pick(v));
+                if i == 0 {
+                    out.push_str(&text);
+                } else {
+                    // HELP/TYPE belong to the family, not the series: emit
+                    // them once and append the other variants' series.
+                    for line in text.lines().filter(|l| !l.starts_with('#')) {
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The percentile table as fixed-width text (latencies in simulated
+    /// milliseconds).
+    pub fn render_table(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
+            "variant", "queries", "p50 ms", "p90 ms", "p99 ms", "p999 ms", "max ms", "slo"
+        ));
+        for v in &self.variants {
+            let h = &v.latency_ns;
+            out.push_str(&format!(
+                "{:<8} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>10}\n",
+                v.variant.mnemonic(),
+                h.count(),
+                ms(h.p50().unwrap_or(0)),
+                ms(h.p90().unwrap_or(0)),
+                ms(h.p99().unwrap_or(0)),
+                ms(h.p999().unwrap_or(0)),
+                ms(h.max().unwrap_or(0)),
+                if v.slo.checks.is_empty() {
+                    "-"
+                } else if v.slo.pass() {
+                    "pass"
+                } else {
+                    "FAIL"
+                },
+            ));
+        }
+        out
+    }
+
+    /// One line per variant describing its worst retained query, with a
+    /// replay command through the existing explain path.
+    pub fn worst_digest(&self) -> String {
+        let mut out = String::new();
+        for v in &self.variants {
+            if let Some(worst) = v.recorder.worst() {
+                let q = self.queries[worst.seq as usize];
+                let dims: Vec<String> = q.subspace.dims().map(|d| d.to_string()).collect();
+                out.push_str(&format!(
+                    "worst {}: q{} at {:.3} ms (dims {}, initiator {}{}) — replay: \
+                     skypeer-cli explain --dims {} --initiator {} --variant {}\n",
+                    v.variant.mnemonic(),
+                    worst.seq,
+                    worst.latency_ns as f64 / 1e6,
+                    dims.join(","),
+                    q.initiator,
+                    if worst.over_slo { ", OVER SLO" } else { "" },
+                    dims.join(","),
+                    q.initiator,
+                    v.variant.mnemonic().to_lowercase(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Concatenated SLO verdict rendering for all variants.
+    pub fn render_slo(&self) -> String {
+        self.variants.iter().map(|v| v.slo.render()).collect()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use skypeer_core::EngineConfig;
+    use skypeer_data::{DatasetKind, DatasetSpec, WorkloadSpec};
+    use skypeer_netsim::cost::CostModel;
+    use skypeer_netsim::des::LinkModel;
+    use skypeer_netsim::topology::TopologySpec;
+    use skypeer_skyline::DominanceIndex;
+
+    fn engine() -> SkypeerEngine {
+        let n_superpeers = 6;
+        SkypeerEngine::build(EngineConfig {
+            n_peers: 12,
+            n_superpeers,
+            dataset: DatasetSpec {
+                dim: 4,
+                points_per_peer: 30,
+                kind: DatasetKind::Uniform,
+                seed: 5,
+            },
+            topology: TopologySpec::paper_default(n_superpeers, 5),
+            index: DominanceIndex::Linear,
+            cost: CostModel::default(),
+            link: LinkModel::paper_4kbps(),
+            routing: skypeer_core::engine::RoutingMode::Flood,
+        })
+    }
+
+    fn small_spec(n_superpeers: usize) -> SoakSpec {
+        SoakSpec {
+            variants: vec![Variant::Ftpm, Variant::Naive],
+            workload: MixedWorkloadSpec::uniform(WorkloadSpec {
+                dim: 4,
+                k: 2,
+                queries: 12,
+                n_superpeers,
+                seed: 9,
+            }),
+            slo: SloSpec::default(),
+            tail_k: 3,
+            hdr_precision: 7,
+        }
+    }
+
+    #[test]
+    fn soak_streams_one_row_per_query_per_variant() {
+        let engine = engine();
+        let spec = small_spec(engine.config().n_superpeers);
+        let mut rows = Vec::new();
+        let out = run_soak(&engine, &spec, |r| rows.push(r.to_json()));
+        assert_eq!(rows.len(), 12 * 2);
+        assert_eq!(out.variants.len(), 2);
+        for v in &out.variants {
+            assert_eq!(v.latency_ns.count(), 12);
+            assert_eq!(v.recorder.observed(), 12);
+            assert_eq!(v.recorder.retained().len(), 3);
+            assert!(v.bytes_total > 0 || v.variant == Variant::Naive);
+        }
+        assert!(rows[0].starts_with("{\"variant\":\"FTPM\",\"query\":0,"));
+    }
+
+    #[test]
+    fn recorder_keeps_exactly_the_top_k_latencies() {
+        let engine = engine();
+        let spec = small_spec(engine.config().n_superpeers);
+        let mut latencies: Vec<u64> = Vec::new();
+        let out = run_soak(&engine, &spec, |r| {
+            if r.variant == "FTPM" {
+                latencies.push(r.latency_ns);
+            }
+        });
+        latencies.sort_unstable_by(|a, b| b.cmp(a));
+        let retained: Vec<u64> =
+            out.variants[0].recorder.retained().iter().map(|r| r.latency_ns).collect();
+        assert_eq!(retained, latencies[..3].to_vec(), "top-K by latency, worst first");
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_slo_gates() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        let a = run_soak(&engine, &spec, |_| {}).summary_json();
+        let b = run_soak(&engine, &spec, |_| {}).summary_json();
+        assert_eq!(a, b, "summary must be byte-deterministic");
+        assert!(a.contains("\"pass\":true"));
+        // An impossible latency budget fails the gate.
+        spec.slo.p50_latency_ns = Some(1);
+        let gated = run_soak(&engine, &spec, |_| {});
+        assert!(!gated.pass());
+        assert!(gated.summary_json().contains("\"pass\":false"));
+        assert!(gated.render_slo().contains("[FAIL]"));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_one_family_per_metric() {
+        let engine = engine();
+        let spec = small_spec(engine.config().n_superpeers);
+        let out = run_soak(&engine, &spec, |_| {});
+        let text = out.prometheus();
+        assert_eq!(text.matches("# TYPE skypeer_soak_latency_ns histogram").count(), 1);
+        assert_eq!(text.matches("# TYPE skypeer_soak_volume_bytes histogram").count(), 1);
+        assert!(text.contains("skypeer_soak_latency_ns_bucket{variant=\"FTPM\",le=\""));
+        assert!(text.contains("skypeer_soak_latency_ns_count{variant=\"naive\"} 12"));
+    }
+
+    #[test]
+    fn table_and_digest_render() {
+        let engine = engine();
+        let spec = small_spec(engine.config().n_superpeers);
+        let out = run_soak(&engine, &spec, |_| {});
+        let table = out.render_table();
+        assert!(table.contains("p999 ms"));
+        assert!(table.lines().count() >= 3);
+        let digest = out.worst_digest();
+        assert!(digest.contains("worst FTPM: q"));
+        assert!(digest.contains("skypeer-cli explain --dims"));
+    }
+}

@@ -53,8 +53,8 @@ fn engine_from(args: &Args) -> Result<SkypeerEngine, ArgError> {
     }))
 }
 
-fn variant_from(args: &Args) -> Result<Variant, ArgError> {
-    match args.str_or("variant", "ftpm").to_lowercase().as_str() {
+fn parse_variant(name: &str) -> Result<Variant, ArgError> {
+    match name.to_lowercase().as_str() {
         "ftfm" => Ok(Variant::Ftfm),
         "ftpm" => Ok(Variant::Ftpm),
         "rtfm" => Ok(Variant::Rtfm),
@@ -64,6 +64,25 @@ fn variant_from(args: &Args) -> Result<Variant, ArgError> {
             "unknown --variant '{other}' (expected ftfm|ftpm|rtfm|rtpm|naive)"
         ))),
     }
+}
+
+fn variant_from(args: &Args) -> Result<Variant, ArgError> {
+    parse_variant(&args.str_or("variant", "ftpm"))
+}
+
+/// Parses and validates the shared query flags (`--dims`, `--initiator`)
+/// against an already-built engine. Shared by `query`/`trace`/`explain`
+/// (and, per workload query, by `soak`'s replay digest).
+fn query_from(args: &Args, engine: &SkypeerEngine) -> Result<Query, ArgError> {
+    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
+    let initiator: usize = args.get_or("initiator", 0)?;
+    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
+        return Err(ArgError("--dims index out of range for --dim".into()));
+    }
+    if initiator >= engine.config().n_superpeers {
+        return Err(ArgError("--initiator out of range".into()));
+    }
+    Ok(Query { subspace: Subspace::from_dims(&dims), initiator })
 }
 
 /// `skypeer-cli stats` — preprocessing selectivities of a generated
@@ -104,19 +123,11 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
 pub fn query(args: &Args) -> Result<(), ArgError> {
     let engine = engine_from(args)?;
     let variant = variant_from(args)?;
-    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
-    let initiator: usize = args.get_or("initiator", 0)?;
+    let q = query_from(args, &engine)?;
     let show: usize = args.get_or("show", 10)?;
     args.reject_unknown()?;
-    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
-        return Err(ArgError("--dims index out of range for --dim".into()));
-    }
-    if initiator >= engine.config().n_superpeers {
-        return Err(ArgError("--initiator out of range".into()));
-    }
-    let q = Query { subspace: Subspace::from_dims(&dims), initiator };
     let out = engine.run_query(q, variant);
-    println!("query     : skyline on {} from SP{initiator} via {variant}", q.subspace);
+    println!("query     : skyline on {} from SP{} via {variant}", q.subspace, q.initiator);
     println!("result    : {} points (exact)", out.result_ids.len());
     println!("comp time : {:.3} ms", out.comp_time_ns as f64 / 1e6);
     println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
@@ -144,24 +155,16 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
 
     let engine = engine_from(args)?;
     let variant = variant_from(args)?;
-    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
-    let initiator: usize = args.get_or("initiator", 0)?;
+    let q = query_from(args, &engine)?;
     let jsonl_path = args.str_or("jsonl", "");
     let perfetto_path = args.str_or("perfetto", "");
     args.reject_unknown()?;
-    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
-        return Err(ArgError("--dims index out of range for --dim".into()));
-    }
-    if initiator >= engine.config().n_superpeers {
-        return Err(ArgError("--initiator out of range".into()));
-    }
 
-    let q = Query { subspace: Subspace::from_dims(&dims), initiator };
     let tracer = Arc::new(MemTracer::new());
     let out = engine.run_query_traced(q, variant, Arc::clone(&tracer) as Arc<dyn Tracer>);
     let events = tracer.take();
 
-    println!("query     : skyline on {} from SP{initiator} via {variant}", q.subspace);
+    println!("query     : skyline on {} from SP{} via {variant}", q.subspace, q.initiator);
     println!("result    : {} points (exact)", out.result_ids.len());
     println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
     println!("events    : {}", events.len());
@@ -236,17 +239,9 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
 pub fn explain(args: &Args) -> Result<(), ArgError> {
     let engine = engine_from(args)?;
     let variant = variant_from(args)?;
-    let dims: Vec<usize> = args.list_or("dims", &[0usize, 1, 2])?;
-    let initiator: usize = args.get_or("initiator", 0)?;
+    let q = query_from(args, &engine)?;
     let json = args.flag("json")?;
     args.reject_unknown()?;
-    if dims.iter().any(|&d| d >= engine.config().dataset.dim) {
-        return Err(ArgError("--dims index out of range for --dim".into()));
-    }
-    if initiator >= engine.config().n_superpeers {
-        return Err(ArgError("--initiator out of range".into()));
-    }
-    let q = Query { subspace: Subspace::from_dims(&dims), initiator };
     let report = engine.explain_query(q, variant);
     if json {
         println!("{}", report.to_json());
@@ -383,6 +378,167 @@ pub fn estimate(args: &Args) -> Result<(), ArgError> {
         let exact = skypeer_skyline::estimate::expected_skyline_size(n, d);
         let approx = skypeer_skyline::estimate::asymptotic_skyline_size(n, d);
         println!("{d:>3}  {exact:>14.1}  {approx:>14.1}  {:>8.3}%", 100.0 * exact / n as f64);
+    }
+    Ok(())
+}
+
+/// `skypeer-cli soak` — run a seeded (optionally skewed) query workload
+/// through the DES across variants: HDR latency/bytes percentiles, a
+/// top-K tail-latency flight recorder with an `explain` replay digest,
+/// and per-variant SLO verdicts. While running on a terminal, a live
+/// stderr line shows progress and sliding-window throughput; the final
+/// stdout report (or `--json` summary) is byte-deterministic.
+pub fn soak(args: &Args) -> Result<(), ArgError> {
+    use skypeer_bench::soak::{run_soak, SoakSpec};
+    use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec};
+    use skypeer_netsim::obs::SloSpec;
+    use std::collections::VecDeque;
+    use std::io::{IsTerminal, Write};
+    use std::time::Instant;
+
+    let engine = engine_from(args)?;
+    let cfg = *engine.config();
+    let queries: usize = args.get_or("queries", 100)?;
+    let wl_seed: u64 = args.get_or("workload-seed", 1)?;
+    let variants_spec = args.str_or("variants", "all");
+    let variants: Vec<Variant> = if variants_spec == "all" {
+        Variant::ALL.to_vec()
+    } else {
+        variants_spec.split(',').map(|v| parse_variant(v.trim())).collect::<Result<_, _>>()?
+    };
+    let k_min: usize = args.get_or("k-min", 0)?;
+    let k_max: usize = args.get_or("k-max", 0)?;
+    let k_mix = match (k_min, k_max) {
+        (0, 0) => KMix::Fixed(args.get_or("k", 3)?),
+        (a, b) if a >= 1 && b >= a => {
+            KMix::Zipf { k_min: a, k_max: b, exponent: args.get_or("k-theta", 1.0f64)? }
+        }
+        _ => return Err(ArgError("--k-min and --k-max need 1 <= min <= max".into())),
+    };
+    let max_k = match k_mix {
+        KMix::Fixed(k) => k,
+        KMix::Zipf { k_max, .. } => k_max,
+    };
+    if max_k == 0 || max_k > cfg.dataset.dim {
+        return Err(ArgError(format!("query k {max_k} out of range for d={}", cfg.dataset.dim)));
+    }
+    let initiator_mix = match args.get_or("initiator-theta", 0.0f64)? {
+        t if t > 0.0 => InitiatorMix::Zipf { exponent: t },
+        _ => InitiatorMix::Uniform,
+    };
+    let ms_budget = |name: &str| -> Result<Option<u64>, ArgError> {
+        let ms: f64 = args.get_or(name, -1.0f64)?;
+        Ok((ms >= 0.0).then_some((ms * 1e6) as u64))
+    };
+    let slo = SloSpec {
+        p50_latency_ns: ms_budget("slo-p50-ms")?,
+        p99_latency_ns: ms_budget("slo-p99-ms")?,
+        p999_latency_ns: ms_budget("slo-p999-ms")?,
+        max_latency_ns: ms_budget("slo-max-ms")?,
+        p99_bytes: {
+            let b: i64 = args.get_or("slo-p99-bytes", -1i64)?;
+            (b >= 0).then_some(b as u64)
+        },
+    };
+    let tail_k: usize = args.get_or("top-k", 8)?;
+    let jsonl_path = args.str_or("jsonl", "");
+    let out_path = args.str_or("out", "");
+    let prom_path = args.str_or("prom", "");
+    let json = args.flag("json")?;
+    let gate = args.flag("gate")?;
+    args.reject_unknown()?;
+
+    let spec = SoakSpec {
+        variants,
+        workload: MixedWorkloadSpec {
+            dim: cfg.dataset.dim,
+            queries,
+            n_superpeers: cfg.n_superpeers,
+            seed: wl_seed,
+            k_mix,
+            initiator_mix,
+        },
+        slo,
+        tail_k,
+        hdr_precision: args.get_or("precision", 7u32)?,
+    };
+
+    let mut jsonl = match jsonl_path.as_str() {
+        "" => None,
+        path => Some(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?,
+        )),
+    };
+    // Live dashboard only when a human is watching; deterministic output
+    // stays on stdout either way.
+    let dashboard = std::io::stderr().is_terminal();
+    let total_rows = queries * spec.variants.len();
+    let mut done = 0usize;
+    let mut window: VecDeque<Instant> = VecDeque::with_capacity(64);
+    let outcome = run_soak(&engine, &spec, |row| {
+        if let Some(w) = &mut jsonl {
+            let _ = writeln!(w, "{}", row.to_json());
+        }
+        done += 1;
+        if dashboard {
+            let now = Instant::now();
+            window.push_back(now);
+            if window.len() > 64 {
+                window.pop_front();
+            }
+            if done % 10 == 0 || done == total_rows {
+                let span = now.duration_since(*window.front().expect("nonempty")).as_secs_f64();
+                let qps = if span > 0.0 { (window.len() - 1) as f64 / span } else { 0.0 };
+                eprint!(
+                    "\r{done}/{total_rows} queries | {qps:6.1} q/s | {} q{} {:9.1} ms{}   ",
+                    row.variant,
+                    row.query,
+                    row.latency_ns as f64 / 1e6,
+                    if row.over_slo { " OVER SLO" } else { "" },
+                );
+                let _ = std::io::stderr().flush();
+            }
+        }
+    });
+    if dashboard {
+        eprintln!();
+    }
+    if let Some(mut w) = jsonl {
+        w.flush().map_err(|e| ArgError(format!("flushing {jsonl_path}: {e}")))?;
+    }
+
+    if json {
+        println!("{}", outcome.summary_json());
+    } else {
+        print!("{}", outcome.render_table());
+        print!("{}", outcome.worst_digest());
+        if !spec.slo.is_empty() {
+            print!("{}", outcome.render_slo());
+        }
+    }
+    if !out_path.is_empty() {
+        std::fs::write(&out_path, outcome.summary_json())
+            .map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+        if !json {
+            println!("wrote summary to {out_path}");
+        }
+    }
+    if !prom_path.is_empty() {
+        std::fs::write(&prom_path, outcome.prometheus())
+            .map_err(|e| ArgError(format!("cannot write {prom_path}: {e}")))?;
+        if !json {
+            println!("wrote Prometheus exposition to {prom_path}");
+        }
+    }
+    if gate && !outcome.pass() {
+        let failing: Vec<&str> = outcome
+            .variants
+            .iter()
+            .filter(|v| !v.slo.pass())
+            .map(|v| v.variant.mnemonic())
+            .collect();
+        return Err(ArgError(format!("SLO gate failed for {}", failing.join(", "))));
     }
     Ok(())
 }

@@ -8,6 +8,9 @@
 //! skypeer-cli faults   [--fail 1,2] [--fail-at-ms T] [--timeout-s S] [...]
 //! skypeer-cli trace    [--dims 0,2,5] [--variant ftpm] [--jsonl F] [--perfetto F] [...]
 //! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
+//! skypeer-cli soak     [--queries Q] [--variants LIST|all] [--k K | --k-min A --k-max B]
+//!                      [--initiator-theta T] [--top-k K] [--slo-p99-ms F] [--gate]
+//!                      [--json] [--out F] [--jsonl F] [--prom F] [...]
 //! ```
 //!
 //! Shared network flags for every command that builds a network:
@@ -21,7 +24,7 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|explain|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|soak|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 fn main() {
@@ -47,6 +50,7 @@ fn main() {
         "query" => commands::query(&parsed),
         "trace" => commands::trace(&parsed),
         "explain" => commands::explain(&parsed),
+        "soak" => commands::soak(&parsed),
         "workload" => commands::workload(&parsed),
         "topology" => commands::topology(&parsed),
         "faults" => commands::faults(&parsed),

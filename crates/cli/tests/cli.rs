@@ -195,6 +195,137 @@ fn explain_renders_every_section_for_all_variants() {
     }
 }
 
+#[test]
+fn soak_reports_percentiles_digest_and_slo() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let jsonl = dir.join("rows.jsonl");
+    let prom = dir.join("soak.prom");
+    let (stdout, stderr, ok) = run(&[
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--queries",
+        "20",
+        "--variants",
+        "ftpm,naive",
+        "--top-k",
+        "4",
+        "--slo-p99-ms",
+        "100000",
+        "--seed",
+        "11",
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("p999 ms"), "{stdout}");
+    assert!(stdout.contains("FTPM"), "{stdout}");
+    assert!(stdout.contains("naive"), "{stdout}");
+    assert!(stdout.contains("worst FTPM: q"), "{stdout}");
+    assert!(stdout.contains("skypeer-cli explain --dims"), "{stdout}");
+    assert!(stdout.contains("[PASS]"), "{stdout}");
+    let rows = std::fs::read_to_string(&jsonl).expect("jsonl written");
+    assert_eq!(rows.lines().count(), 40, "one JSONL row per query per variant");
+    assert!(rows.lines().all(|l| l.starts_with("{\"variant\":") && l.ends_with('}')));
+    let exposition = std::fs::read_to_string(&prom).expect("prom written");
+    assert!(exposition.contains("# TYPE skypeer_soak_latency_ns histogram"));
+    assert!(exposition.contains("skypeer_soak_latency_ns_bucket{variant=\"FTPM\",le=\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn soak_slo_gate_fails_on_impossible_budget() {
+    let (_, stderr, ok) = run(&[
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--queries",
+        "5",
+        "--variants",
+        "ftpm",
+        "--slo-p50-ms",
+        "0.000001",
+        "--gate",
+    ]);
+    assert!(!ok, "an unmeetable p50 budget must fail the gate");
+    assert!(stderr.contains("SLO gate failed for FTPM"), "{stderr}");
+}
+
+/// The tentpole acceptance test: a seeded 500-query skewed workload over
+/// all five variants must produce a byte-deterministic SoakSummary with
+/// p50/p90/p99/p999 per variant. Self-bootstraps like the explain golden:
+/// first run writes `tests/goldens/soak_summary.json`, later runs must
+/// reproduce it byte for byte.
+#[test]
+fn soak_summary_json_is_byte_deterministic_and_matches_golden() {
+    let args = [
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--queries",
+        "500",
+        "--seed",
+        "11",
+        "--workload-seed",
+        "3",
+        "--k-min",
+        "2",
+        "--k-max",
+        "4",
+        "--k-theta",
+        "1.1",
+        "--initiator-theta",
+        "0.8",
+        "--json",
+    ];
+    let (a, stderr, ok_a) = run(&args);
+    let (b, _, ok_b) = run(&args);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "two fresh processes must emit identical bytes");
+    assert!(a.starts_with("{\"workload\":"), "{}", &a[..a.len().min(80)]);
+    for variant in ["FTFM", "FTPM", "RTFM", "RTPM", "naive"] {
+        assert!(a.contains(&format!("\"variant\":\"{variant}\"")), "missing {variant}");
+    }
+    for key in ["\"p50\":", "\"p90\":", "\"p99\":", "\"p999\":", "\"worst\":", "\"totals\":"] {
+        assert!(a.contains(key), "missing {key}");
+    }
+
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/soak_summary.json");
+    if !golden.exists() {
+        std::fs::create_dir_all(golden.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&golden, &a).expect("bootstrap golden");
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden readable");
+    assert_eq!(
+        a,
+        want,
+        "soak --json drifted from {}; if the change is intentional, delete the golden and rerun",
+        golden.display()
+    );
+}
+
 /// Golden test for the machine-readable explain output. Self-bootstraps:
 /// the first run writes `tests/goldens/explain_rtpm.json`; every later
 /// run must reproduce it byte for byte (the DES is deterministic and the

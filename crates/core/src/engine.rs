@@ -168,6 +168,11 @@ pub struct ConcurrentOutcome {
     pub volume_bytes: u64,
     /// Total messages delivered.
     pub messages: u64,
+    /// Simulated completion time of each query, in completion order (one
+    /// entry per query; the last equals `makespan_ns`). Captured via the
+    /// DES finish hook, so a workload driver can build a latency
+    /// distribution from a single concurrent batch.
+    pub finish_times_ns: Vec<u64>,
 }
 
 /// Where one query's work and traffic concentrated (see
@@ -324,6 +329,44 @@ impl SkypeerEngine {
         self.run_query_inner(query, variant, Some(tracer))
     }
 
+    /// The soak-runner path: executes one query in a **single** simulation
+    /// with the configured links, optionally traced. Unlike
+    /// [`SkypeerEngine::run_query`] there is no second zero-delay run and
+    /// no cross-check between the two, so a long workload pays one
+    /// simulation per query instead of two; consequently `comp_time_ns`
+    /// is reported as 0 (the zero-delay run is what defines it). The
+    /// answer is still asserted complete.
+    pub fn run_query_observed(
+        &self,
+        query: Query,
+        variant: Variant,
+        tracer: Option<Arc<dyn Tracer>>,
+    ) -> QueryOutcome {
+        let qid = self.next_qid.get();
+        self.next_qid.set(qid.wrapping_add(1));
+        let mut sim =
+            Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost);
+        if let Some(tracer) = tracer {
+            sim = sim.with_tracer(tracer);
+        }
+        let out = sim.run(query.initiator);
+        let (stats, result, complete) = extract(out, query.initiator);
+        assert!(complete, "failure-free runs must be complete");
+        let mut result_ids: Vec<u64> = (0..result.len()).map(|i| result.points().id(i)).collect();
+        result_ids.sort_unstable();
+        QueryOutcome {
+            result_ids,
+            complete,
+            result,
+            total_time_ns: stats.finished_at.expect("query must complete"),
+            comp_time_ns: 0,
+            volume_bytes: stats.bytes,
+            messages: stats.messages,
+            dropped: stats.dropped,
+            compute_ns_total: stats.compute_ns_total,
+        }
+    }
+
     fn run_query_inner(
         &self,
         query: Query,
@@ -426,9 +469,13 @@ impl SkypeerEngine {
                 starts.push(q.initiator);
             }
         }
-        let out =
-            Sim::new(nodes, self.config.link, self.config.cost).run_multi(&starts, batch.len());
+        let finish_times: std::rc::Rc<std::cell::RefCell<Vec<u64>>> = Default::default();
+        let sink = std::rc::Rc::clone(&finish_times);
+        let out = Sim::new(nodes, self.config.link, self.config.cost)
+            .with_finish_hook(move |_node, at| sink.borrow_mut().push(at))
+            .run_multi(&starts, batch.len());
         let makespan_ns = out.stats.finished_at.expect("batch must complete");
+        let finish_times_ns = finish_times.borrow().clone();
 
         let mut per_query: Vec<Vec<u64>> = Vec::with_capacity(batch.len());
         for (i, (q, _)) in batch.iter().enumerate() {
@@ -447,6 +494,7 @@ impl SkypeerEngine {
             makespan_ns,
             volume_bytes: out.stats.bytes,
             messages: out.stats.messages,
+            finish_times_ns,
         }
     }
 
@@ -677,6 +725,40 @@ mod unit {
             path.total_ns, traced.total_time_ns,
             "critical path must account for the whole response time"
         );
+    }
+
+    #[test]
+    fn observed_run_matches_the_real_link_leg_of_run_query() {
+        use skypeer_netsim::obs::{MemTracer, Tracer};
+        let engine = SkypeerEngine::build(tiny_config(17));
+        let query = Query { subspace: Subspace::from_dims(&[0, 3]), initiator: 2 };
+        let full = engine.run_query(query, Variant::Rtpm);
+        let tracer = Arc::new(MemTracer::new());
+        let observed = engine.run_query_observed(
+            query,
+            Variant::Rtpm,
+            Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+        );
+        assert_eq!(observed.result_ids, full.result_ids);
+        assert_eq!(observed.total_time_ns, full.total_time_ns);
+        assert_eq!(observed.volume_bytes, full.volume_bytes);
+        assert_eq!(observed.messages, full.messages);
+        assert_eq!(observed.comp_time_ns, 0, "no zero-delay leg on the observed path");
+        assert!(!tracer.take().is_empty(), "the single sim is traced");
+    }
+
+    #[test]
+    fn concurrent_batch_reports_per_query_finish_times() {
+        let engine = SkypeerEngine::build(tiny_config(11));
+        let batch = [
+            (Query { subspace: Subspace::from_dims(&[0, 1]), initiator: 0 }, Variant::Ftpm),
+            (Query { subspace: Subspace::from_dims(&[2, 3]), initiator: 4 }, Variant::Rtfm),
+            (Query { subspace: Subspace::from_dims(&[1, 2]), initiator: 2 }, Variant::Naive),
+        ];
+        let out = engine.run_concurrent(&batch);
+        assert_eq!(out.finish_times_ns.len(), batch.len());
+        assert!(out.finish_times_ns.windows(2).all(|w| w[0] <= w[1]), "completion order");
+        assert_eq!(*out.finish_times_ns.last().unwrap(), out.makespan_ns);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct LiveQueryOutcome {
     pub result: SortedDataset,
     /// Wire statistics of the run.
     pub stats: LiveStats,
+    /// Wall-clock nanoseconds (since run start) at which the query's
+    /// `finish` was observed — the live runtime's per-query latency
+    /// sample.
+    pub finish_ns: u64,
 }
 
 /// Executes one subspace skyline query over `stores` live, with one thread
@@ -78,6 +82,7 @@ pub fn run_query_live_traced(
         })
         .collect();
     let out = run_live_multi_traced(nodes, &[initiator], 1, timeout, tracer, sampler)?;
+    let finish_ns = out.finish_times.first().copied().unwrap_or(0);
     let answer = out
         .nodes
         .into_iter()
@@ -88,7 +93,13 @@ pub fn run_query_live_traced(
     let result = answer.result;
     let mut result_ids: Vec<u64> = (0..result.len()).map(|i| result.points().id(i)).collect();
     result_ids.sort_unstable();
-    Some(LiveQueryOutcome { result_ids, complete: answer.complete, result, stats: out.stats })
+    Some(LiveQueryOutcome {
+        result_ids,
+        complete: answer.complete,
+        result,
+        stats: out.stats,
+        finish_ns,
+    })
 }
 
 #[cfg(test)]

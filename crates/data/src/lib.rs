@@ -25,4 +25,4 @@ pub mod workload;
 pub use csv::{read_points, CsvOptions};
 pub use generate::{DatasetKind, DatasetSpec};
 pub use partition::partition_even;
-pub use workload::{Query, WorkloadSpec};
+pub use workload::{InitiatorMix, KMix, MixedWorkloadSpec, Query, WorkloadSpec};

@@ -54,6 +54,151 @@ impl WorkloadSpec {
     }
 }
 
+/// How the query dimensionality `k` is chosen per query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KMix {
+    /// Every query has the same `k` (the paper's setup).
+    Fixed(usize),
+    /// Zipf-weighted `k ∈ [k_min, k_max]`: value `k_min + r` has weight
+    /// `(r + 1)^-exponent`, so low-dimensional queries dominate —
+    /// the common observation about real subspace-skyline workloads.
+    Zipf {
+        /// Smallest query dimensionality (≥ 1).
+        k_min: usize,
+        /// Largest query dimensionality (≤ `dim`).
+        k_max: usize,
+        /// Skew exponent `θ ≥ 0` (0 = uniform over the range).
+        exponent: f64,
+    },
+}
+
+/// How the initiating super-peer is chosen per query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InitiatorMix {
+    /// Uniform over all super-peers (the paper's setup).
+    Uniform,
+    /// Zipf-weighted hot spots: rank `r` (1-based) of a seeded random
+    /// permutation of the super-peers gets weight `r^-exponent`, so a few
+    /// "hot" super-peers originate most queries. The permutation is drawn
+    /// from `seed ^ INITIATOR_PERM_SALT`, independent of the query
+    /// stream, so which super-peers are hot varies with the seed.
+    Zipf {
+        /// Skew exponent `θ ≥ 0` (0 = uniform).
+        exponent: f64,
+    },
+}
+
+/// Salt for the hot-initiator permutation RNG (kept out of the main query
+/// stream so mixes stay comparable across the same seed).
+const INITIATOR_PERM_SALT: u64 = 0x5EED_0F_1217;
+
+/// A skewed query workload: [`WorkloadSpec`] generalized with pluggable
+/// `k` and initiator mixes, behind the same seeded determinism.
+///
+/// With `KMix::Fixed(k)` + `InitiatorMix::Uniform` the generator consumes
+/// the RNG stream exactly like [`WorkloadSpec::generate`], so it
+/// reproduces the uniform workload query for query (pinned by a unit
+/// test).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixedWorkloadSpec {
+    /// Dimensionality `d` of the data space.
+    pub dim: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// Number of super-peers to choose initiators from.
+    pub n_superpeers: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Per-query dimensionality mix.
+    pub k_mix: KMix,
+    /// Per-query initiator mix.
+    pub initiator_mix: InitiatorMix,
+}
+
+impl MixedWorkloadSpec {
+    /// The uniform workload of [`WorkloadSpec`] as a mixed spec
+    /// (`Fixed(k)` + `Uniform`).
+    pub fn uniform(spec: WorkloadSpec) -> Self {
+        MixedWorkloadSpec {
+            dim: spec.dim,
+            queries: spec.queries,
+            n_superpeers: spec.n_superpeers,
+            seed: spec.seed,
+            k_mix: KMix::Fixed(spec.k),
+            initiator_mix: InitiatorMix::Uniform,
+        }
+    }
+
+    /// Generates the workload deterministically from the seed.
+    pub fn generate(&self) -> Vec<Query> {
+        assert!(self.n_superpeers > 0, "need at least one super-peer");
+        let (k_min, k_max) = match self.k_mix {
+            KMix::Fixed(k) => (k, k),
+            KMix::Zipf { k_min, k_max, exponent } => {
+                assert!(exponent >= 0.0, "negative zipf exponent");
+                assert!(k_min <= k_max, "k_min {k_min} > k_max {k_max}");
+                (k_min, k_max)
+            }
+        };
+        assert!(
+            k_min >= 1 && k_max <= self.dim,
+            "invalid k range [{k_min}, {k_max}] for d={}",
+            self.dim
+        );
+        let k_cdf = match self.k_mix {
+            KMix::Fixed(_) => Vec::new(),
+            KMix::Zipf { exponent, .. } => zipf_cdf(k_max - k_min + 1, exponent),
+        };
+        // The hot-initiator identity permutation comes from a salted side
+        // RNG, leaving the main stream untouched.
+        let (init_cdf, init_perm) = match self.initiator_mix {
+            InitiatorMix::Uniform => (Vec::new(), Vec::new()),
+            InitiatorMix::Zipf { exponent } => {
+                assert!(exponent >= 0.0, "negative zipf exponent");
+                let mut perm: Vec<usize> = (0..self.n_superpeers).collect();
+                perm.shuffle(&mut StdRng::seed_from_u64(self.seed ^ INITIATOR_PERM_SALT));
+                (zipf_cdf(self.n_superpeers, exponent), perm)
+            }
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dims: Vec<usize> = (0..self.dim).collect();
+        (0..self.queries)
+            .map(|_| {
+                let k = match self.k_mix {
+                    KMix::Fixed(k) => k,
+                    KMix::Zipf { k_min, .. } => k_min + draw_rank(&k_cdf, rng.gen::<f64>()),
+                };
+                dims.shuffle(&mut rng);
+                let subspace = Subspace::from_dims(&dims[..k]);
+                let initiator = match self.initiator_mix {
+                    InitiatorMix::Uniform => rng.gen_range(0..self.n_superpeers),
+                    InitiatorMix::Zipf { .. } => init_perm[draw_rank(&init_cdf, rng.gen::<f64>())],
+                };
+                Query { subspace, initiator }
+            })
+            .collect()
+    }
+}
+
+/// Cumulative (unnormalized) zipf weights: rank `r ∈ 1..=n` has weight
+/// `r^-exponent`.
+fn zipf_cdf(n: usize, exponent: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for r in 1..=n {
+        total += (r as f64).powf(-exponent);
+        cum.push(total);
+    }
+    cum
+}
+
+/// Inverts the CDF for a uniform draw `u ∈ [0, 1)`: the 0-based rank.
+fn draw_rank(cdf: &[f64], u: f64) -> usize {
+    let target = u * cdf.last().copied().unwrap_or(0.0);
+    cdf.partition_point(|&c| c <= target).min(cdf.len() - 1)
+}
+
 #[cfg(test)]
 mod unit {
     use super::*;
@@ -109,6 +254,75 @@ mod unit {
         let w = WorkloadSpec { dim: 3, k: 4, queries: 1, n_superpeers: 1, seed: 0 };
         let _ = w.generate();
     }
+
+    fn skewed() -> MixedWorkloadSpec {
+        MixedWorkloadSpec {
+            dim: 8,
+            queries: 400,
+            n_superpeers: 10,
+            seed: 4,
+            k_mix: KMix::Zipf { k_min: 2, k_max: 6, exponent: 1.2 },
+            initiator_mix: InitiatorMix::Zipf { exponent: 1.0 },
+        }
+    }
+
+    #[test]
+    fn fixed_uniform_mix_reproduces_the_plain_workload() {
+        // Backward-compat pin: the mixed generator with Fixed + Uniform
+        // consumes the RNG stream exactly like WorkloadSpec::generate.
+        let plain = spec().generate();
+        let mixed = MixedWorkloadSpec::uniform(spec()).generate();
+        assert_eq!(plain, mixed);
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic() {
+        assert_eq!(skewed().generate(), skewed().generate());
+        let other = MixedWorkloadSpec { seed: 5, ..skewed() };
+        assert_ne!(skewed().generate(), other.generate());
+    }
+
+    #[test]
+    fn zipf_k_mix_prefers_low_dimensionality() {
+        let qs = skewed().generate();
+        let mut count = [0usize; 9];
+        for q in &qs {
+            let k = q.subspace.k();
+            assert!((2..=6).contains(&k), "k={k} outside the mix range");
+            count[k] += 1;
+        }
+        assert!(
+            count[2] > count[6] * 2,
+            "zipf mix should favor small k: k=2 seen {} vs k=6 seen {}",
+            count[2],
+            count[6]
+        );
+    }
+
+    #[test]
+    fn zipf_initiator_mix_creates_hot_superpeers() {
+        let qs = skewed().generate();
+        let mut count = [0usize; 10];
+        for q in &qs {
+            count[q.initiator] += 1;
+        }
+        let hottest = *count.iter().max().unwrap();
+        // Uniform share would be 40 of 400; the rank-1 zipf weight at
+        // θ = 1 over 10 super-peers is 1/H_10 ≈ 34%.
+        assert!(hottest > 80, "hot initiator only got {hottest}/400 queries");
+    }
+
+    #[test]
+    fn skewed_sequences_are_pinned() {
+        // Pins the exact generated sequence (first six queries) so any
+        // change to the sampling algorithm or RNG stream is loud.
+        let got: Vec<(usize, usize)> =
+            skewed().generate().iter().take(6).map(|q| (q.subspace.k(), q.initiator)).collect();
+        assert_eq!(got, PINNED_HEAD);
+    }
+
+    /// `(k, initiator)` of the first six queries of `skewed()`.
+    const PINNED_HEAD: [(usize, usize); 6] = [(3, 8), (2, 1), (3, 1), (5, 6), (5, 9), (4, 1)];
 
     #[test]
     fn initiators_spread_across_superpeers() {

@@ -187,6 +187,12 @@ pub type DropHook = Box<dyn FnMut(usize, usize, &[u8]) -> bool>;
 /// in delivery order. For tracing, visualization, and protocol tests.
 pub type TraceHook = Box<dyn FnMut(SimTime, usize, usize, &[u8])>;
 
+/// Finish observer: `(node, at)` for every [`Context::finish`] call, in
+/// execution order. Lets a workload driver timestamp each query's
+/// completion inside a multi-query batch, where `SimStats::finished_at`
+/// only reports the last one (the makespan).
+pub type FinishHook = Box<dyn FnMut(usize, SimTime)>;
+
 /// The discrete-event simulator.
 pub struct Sim<B: Behavior> {
     nodes: Vec<B>,
@@ -196,6 +202,8 @@ pub struct Sim<B: Behavior> {
     drop_hook: Option<DropHook>,
     /// Optional delivery observer.
     trace_hook: Option<TraceHook>,
+    /// Optional per-finish observer.
+    finish_hook: Option<FinishHook>,
     /// Optional structured-event tracer. With `None` every emission site
     /// is a single branch, so untraced runs behave exactly like the seed
     /// simulator (bit-for-bit identical `SimStats` / `SimBreakdown`).
@@ -298,6 +306,7 @@ impl<B: Behavior> Sim<B> {
             cost,
             drop_hook: None,
             trace_hook: None,
+            finish_hook: None,
             tracer: None,
             fail_at: HashMap::new(),
             breakdown: false,
@@ -327,6 +336,14 @@ impl<B: Behavior> Sim<B> {
         hook: impl FnMut(SimTime, usize, usize, &[u8]) + 'static,
     ) -> Self {
         self.trace_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Installs a finish observer invoked as `(node, sim_time)` once per
+    /// [`Context::finish`] call, in execution order. Observation only:
+    /// it cannot change simulation results.
+    pub fn with_finish_hook(mut self, hook: impl FnMut(usize, SimTime) + 'static) -> Self {
+        self.finish_hook = Some(Box::new(hook));
         self
     }
 
@@ -510,6 +527,11 @@ impl<B: Behavior> Sim<B> {
         if ctx.finish > 0 {
             rs.finishes_seen += ctx.finish;
             rs.finished = Some(rs.finished.map_or(end, |f| f.max(end)));
+            if let Some(hook) = &mut self.finish_hook {
+                for _ in 0..ctx.finish {
+                    hook(node, end);
+                }
+            }
         }
         let span = rs.next_span;
         rs.next_span += 1;
@@ -650,6 +672,23 @@ mod unit {
         let a = Sim::new(ring(5, 20), LinkModel::paper_4kbps(), CostModel::default()).run(2);
         let b = Sim::new(ring(5, 20), LinkModel::paper_4kbps(), CostModel::default()).run(2);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn finish_hook_sees_every_finish_with_its_time() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let finishes: Rc<RefCell<Vec<(usize, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&finishes);
+        let link = LinkModel { latency_ns: 0, ns_per_byte: 10 };
+        let cost = CostModel::Analytic { base_ns: 0, per_test_ns: 0, per_point_ns: 0 };
+        let out = Sim::new(ring(3, 3), link, cost)
+            .with_finish_hook(move |node, at| sink.borrow_mut().push((node, at)))
+            .run(0);
+        // One finish, at the node 3 hops around the ring, at the same time
+        // the stats report.
+        assert_eq!(*finishes.borrow(), vec![(0, 3000)]);
+        assert_eq!(out.stats.finished_at, Some(3000));
     }
 
     #[test]

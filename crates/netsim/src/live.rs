@@ -45,6 +45,11 @@ pub struct LiveOutcome<B> {
     pub nodes: Vec<B>,
     /// Run statistics.
     pub stats: LiveStats,
+    /// Wall-clock nanoseconds since run start of each observed
+    /// [`Context::finish`] call, in signal-arrival order (one entry per
+    /// required finish; late finishes racing shutdown are not waited
+    /// for). The live analogue of the DES finish hook.
+    pub finish_times: Vec<SimTime>,
 }
 
 fn ns_since(started: Instant) -> SimTime {
@@ -57,7 +62,7 @@ struct LiveCtx<'a> {
     senders: &'a [Sender<Envelope>],
     bytes: &'a AtomicU64,
     messages: &'a AtomicU64,
-    finish_tx: &'a Sender<()>,
+    finish_tx: &'a Sender<SimTime>,
     /// Timers armed during this handler: (fire-at, tag, timer seq).
     timers: &'a mut Vec<(Instant, u64, u64)>,
     tracer: Option<&'a Arc<dyn Tracer>>,
@@ -131,7 +136,7 @@ impl Context for LiveCtx<'_> {
     }
     fn finish(&mut self) {
         self.finishes += 1;
-        let _ = self.finish_tx.send(());
+        let _ = self.finish_tx.send(ns_since(self.started));
     }
     fn note(&mut self, ev: ProtoEvent) {
         if let Some(tr) = self.tracer {
@@ -210,7 +215,7 @@ where
     let msg_seq = Arc::new(AtomicU64::new(0));
     let timer_seq = Arc::new(AtomicU64::new(0));
     let span_seq = Arc::new(AtomicU64::new(0));
-    let (finish_tx, finish_rx) = unbounded::<()>();
+    let (finish_tx, finish_rx) = unbounded::<SimTime>();
 
     let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
@@ -339,15 +344,15 @@ where
     }
 
     let deadline = Instant::now() + timeout;
-    let mut finishes = 0usize;
-    while finishes < required_finishes {
+    let mut finish_times: Vec<SimTime> = Vec::with_capacity(required_finishes);
+    while finish_times.len() < required_finishes {
         let remaining = deadline.saturating_duration_since(Instant::now());
         match finish_rx.recv_timeout(remaining) {
-            Ok(()) => finishes += 1,
+            Ok(at) => finish_times.push(at),
             Err(_) => break,
         }
     }
-    let finished = finishes >= required_finishes;
+    let finished = finish_times.len() >= required_finishes;
     // Shutdown goes through the same FIFO channels, so every message sent
     // before the finish signal is processed first.
     for tx in senders.iter() {
@@ -368,6 +373,7 @@ where
             bytes: bytes.load(Ordering::Relaxed),
             elapsed,
         },
+        finish_times,
     })
 }
 
@@ -401,6 +407,8 @@ mod unit {
         let out = run_live(nodes, 0, Duration::from_secs(5)).expect("ring must complete");
         assert_eq!(out.stats.messages, 9);
         assert_eq!(out.stats.bytes, 9 * 64);
+        assert_eq!(out.finish_times.len(), 1, "one finish time per required finish");
+        assert!(out.finish_times[0] <= out.stats.elapsed.as_nanos() as u64);
     }
 
     #[test]

@@ -139,6 +139,61 @@ impl MetricsSnapshot {
     }
 }
 
+/// Escapes a label *value* for the Prometheus exposition format:
+/// backslash, double quote, and newline must be escaped inside the
+/// `label="value"` quoting (exposition format 0.0.4).
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an [`HdrHistogram`](crate::hdr::HdrHistogram) as one
+/// Prometheus histogram family: cumulative `_bucket{le="…"}` series over
+/// the occupied HDR buckets (upper bounds), a `+Inf` bucket, and
+/// `_sum`/`_count`. `labels` are attached to every series (values escaped
+/// via [`escape_label`]); `le` is appended after them on bucket lines.
+pub fn hdr_prometheus(
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    hist: &crate::hdr::HdrHistogram,
+) -> String {
+    let base = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let bucket_labels = |le: &str| {
+        if base.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{{{base},le=\"{le}\"}}")
+        }
+    };
+    let plain = if base.is_empty() { String::new() } else { format!("{{{base}}}") };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (_lo, hi, count) in hist.buckets() {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{} {cumulative}", bucket_labels(&hi.to_string()));
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", bucket_labels("+Inf"), hist.count());
+    let _ = writeln!(out, "{name}_sum{plain} {}", hist.sum());
+    let _ = writeln!(out, "{name}_count{plain} {}", hist.count());
+    out
+}
+
 /// Atomically replace `path` with `contents` (temp file + rename, same
 /// directory so the rename cannot cross filesystems).
 pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
@@ -314,6 +369,72 @@ mod unit {
             assert!(parts.next().expect("name").starts_with("skypeer_"), "{line}");
         }
         assert_eq!(text, MetricsSnapshot::from_events(&sample_events()).prometheus());
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative() {
+        // Registry histograms: every `_bucket` series must be
+        // non-decreasing in `le`, and `+Inf` must equal `_count`.
+        let text = MetricsSnapshot::from_events(&sample_events()).prometheus();
+        check_cumulative(&text, "skypeer_service_ns");
+        check_cumulative(&text, "skypeer_msg_bytes");
+
+        // HDR exposition obeys the same contract.
+        let mut h = crate::hdr::HdrHistogram::new(3);
+        for v in [1u64, 1, 9, 130, 130, 131, 70_000] {
+            h.record(v);
+        }
+        let hdr = hdr_prometheus("skypeer_soak_latency_ns", "Latency.", &[], &h);
+        check_cumulative(&hdr, "skypeer_soak_latency_ns");
+        assert!(hdr.contains("skypeer_soak_latency_ns_sum 70402"));
+        assert!(hdr.contains("skypeer_soak_latency_ns_count 7"));
+    }
+
+    fn check_cumulative(text: &str, family: &str) {
+        let prefix = format!("{family}_bucket");
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        let mut buckets = 0;
+        for line in text.lines().filter(|l| l.starts_with(&prefix)) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().expect("count");
+            assert!(value >= last, "bucket counts must be cumulative: {line}");
+            last = value;
+            buckets += 1;
+            if line.contains("le=\"+Inf\"") {
+                saw_inf = true;
+            }
+        }
+        assert!(buckets > 0, "no bucket series for {family}");
+        assert!(saw_inf, "missing +Inf bucket for {family}");
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with(&format!("{family}_count")))
+            .expect("_count series");
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(last, count, "+Inf bucket must equal _count for {family}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+
+        let mut h = crate::hdr::HdrHistogram::new(2);
+        h.record(5);
+        let text = hdr_prometheus(
+            "skypeer_soak_latency_ns",
+            "Latency.",
+            &[("variant", "we\"ird\\na\nme"), ("mix", "uniform")],
+            &h,
+        );
+        assert!(text.contains(
+            "skypeer_soak_latency_ns_bucket{variant=\"we\\\"ird\\\\na\\nme\",mix=\"uniform\",le=\"5\"} 1"
+        ));
+        assert!(text.contains(
+            "skypeer_soak_latency_ns_sum{variant=\"we\\\"ird\\\\na\\nme\",mix=\"uniform\"} 5"
+        ));
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Log-linear HDR-style histograms with bounded relative error.
+//!
+//! The registry's [`Histogram`](crate::metrics::Histogram) answers "what
+//! order of magnitude" with 65 power-of-two buckets; that is fine for a
+//! per-query report but useless for workload percentiles — a p99 read
+//! from a bucket spanning `[2^30, 2^31)` can be off by a factor of two.
+//! [`HdrHistogram`] subdivides every power-of-two range into `2^precision`
+//! linear sub-buckets (the classic HDR layout), so any quantile estimate
+//! is within a relative error of `2^-precision` of the exact sorted-rank
+//! value:
+//!
+//! ```text
+//! exact ≤ estimate ≤ exact + (exact >> precision)
+//! ```
+//!
+//! Values below `2^precision` are counted exactly (one bucket per value),
+//! so small counts have zero error. Counts live in a sorted sparse map,
+//! which keeps a histogram of nanosecond latencies small and makes
+//! [`HdrHistogram::merge`] and iteration deterministic.
+
+use std::collections::BTreeMap;
+
+/// A log-linear histogram of `u64` samples with `2^-precision` relative
+/// error on quantiles (see the module docs for the exact bound).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HdrHistogram {
+    /// Sub-bucket bits: every `[2^e, 2^(e+1))` range is split into
+    /// `2^precision` equal sub-buckets.
+    precision: u32,
+    /// Sparse bucket counts, keyed by bucket index (ascending = ascending
+    /// value ranges).
+    counts: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HdrHistogram {
+    /// The default precision (7 bits → ≤ 1/128 ≈ 0.8% relative error).
+    pub const DEFAULT_PRECISION: u32 = 7;
+
+    /// An empty histogram with the given sub-bucket precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ precision ≤ 20` (beyond 20 bits the bucket count
+    /// stops buying accuracy anyone can observe).
+    pub fn new(precision: u32) -> Self {
+        assert!((1..=20).contains(&precision), "precision must be in 1..=20, got {precision}");
+        HdrHistogram { precision, counts: BTreeMap::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// An empty histogram at [`HdrHistogram::DEFAULT_PRECISION`].
+    pub fn with_default_precision() -> Self {
+        HdrHistogram::new(Self::DEFAULT_PRECISION)
+    }
+
+    /// This histogram's sub-bucket precision in bits.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// The documented quantile error bound, `2^-precision`, as a fraction.
+    pub fn error_bound(&self) -> f64 {
+        1.0 / (1u64 << self.precision) as f64
+    }
+
+    /// Bucket index of a value.
+    fn index_of(&self, v: u64) -> u32 {
+        let p = self.precision;
+        if v < (1u64 << p) {
+            return v as u32; // exact linear region
+        }
+        let e = 63 - v.leading_zeros(); // 2^e ≤ v < 2^(e+1), e ≥ p
+        let shift = e - p;
+        let sub = ((v >> shift) as u32) & ((1u32 << p) - 1);
+        ((e - p + 1) << p) + sub
+    }
+
+    /// `[lo, hi]` value bounds of bucket `i` (inverse of `index_of`).
+    fn bounds(&self, i: u32) -> (u64, u64) {
+        let p = self.precision;
+        if i < (1u32 << p) {
+            return (u64::from(i), u64::from(i));
+        }
+        let g = u64::from(i >> p); // ≥ 1
+        let sub = u64::from(i & ((1u32 << p) - 1));
+        let e = g + u64::from(p) - 1;
+        let shift = e - u64::from(p); // = g - 1
+        let lo = (1u64 << e) + (sub << shift);
+        let hi = lo + ((1u64 << shift) - 1);
+        (lo, hi)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        *self.counts.entry(self.index_of(v)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Deterministic: the result depends only
+    /// on the multiset of recorded samples, not on merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the precisions differ (the bucket layouts would not
+    /// line up).
+    pub fn merge(&mut self, other: &HdrHistogram) {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge HDR histograms of different precision"
+        );
+        for (&i, &c) in &other.counts {
+            *self.counts.entry(i).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact-rank quantile estimate: the value at rank `⌈q·n⌉` of the
+    /// sorted samples, reported as its bucket's upper bound (clamped to
+    /// the recorded max). Per the bucket layout,
+    /// `exact ≤ quantile(q) ≤ exact + (exact >> precision)`.
+    ///
+    /// `q` is clamped to `[0, 1]`; returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (&i, &c) in &self.counts {
+            cumulative += c;
+            if cumulative >= rank {
+                let (_, hi) = self.bounds(i);
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max) // unreachable: cumulative ends at self.count ≥ rank
+    }
+
+    /// The median (see [`HdrHistogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// Occupied buckets as `(lower_bound, upper_bound, count)` triples in
+    /// ascending value order.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .map(|(&i, &c)| {
+                let (lo, hi) = self.bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// One-line rendering: `n=… p50=… p99=… max=…`.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} p50={} p90={} p99={} p999={} max={}",
+            self.count,
+            self.p50().unwrap_or(0),
+            self.p90().unwrap_or(0),
+            self.p99().unwrap_or(0),
+            self.p999().unwrap_or(0),
+            self.max
+        )
+    }
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        HdrHistogram::with_default_precision()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = HdrHistogram::new(4);
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for (i, (lo, hi, c)) in h.buckets().into_iter().enumerate() {
+            assert_eq!((lo, hi, c), (i as u64, i as u64, 1));
+        }
+        assert_eq!(h.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn bucket_indexing_is_contiguous_and_invertible() {
+        let h = HdrHistogram::new(3);
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket indices are monotone in the value.
+        let mut last_index = 0u32;
+        for v in (0..4096u64).chain([u64::MAX - 1, u64::MAX]) {
+            let i = h.index_of(v);
+            let (lo, hi) = h.bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} outside bucket {i} [{lo}, {hi}]");
+            assert!(i >= last_index || v >= u64::MAX - 1, "index not monotone at v={v}");
+            last_index = last_index.max(i);
+        }
+        // Adjacent buckets tile the space with no gap.
+        for i in 0..h.index_of(1 << 20) {
+            let (_, hi) = h.bounds(i);
+            let (lo_next, _) = h.bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn top_bucket_reaches_u64_max() {
+        let h = HdrHistogram::new(7);
+        let i = h.index_of(u64::MAX);
+        assert_eq!(h.bounds(i).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_track_exact_ranks_within_bound() {
+        let mut h = HdrHistogram::new(7);
+        let mut samples: Vec<u64> = (0..1000u64).map(|i| i * i * 37 + 11).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let est = h.quantile(q).expect("non-empty");
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(est <= exact + (exact >> 7), "q={q}: est {est} too far above {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = HdrHistogram::new(6);
+        let mut b = HdrHistogram::new(6);
+        let mut all = HdrHistogram::new(6);
+        for v in [3u64, 77, 1_000_000, 42] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [9u64, 77, 123_456_789] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must equal single-pass recording");
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_mismatched_precision() {
+        let mut a = HdrHistogram::new(4);
+        a.merge(&HdrHistogram::new(5));
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let h = HdrHistogram::with_default_precision();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary(), "n=0");
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut h = HdrHistogram::new(7);
+        h.record(123_456_789);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(123_456_789), "estimate clamps to max");
+        }
+    }
+
+    #[test]
+    fn precision_trades_error() {
+        assert_eq!(HdrHistogram::new(1).error_bound(), 0.5);
+        assert_eq!(HdrHistogram::new(7).error_bound(), 1.0 / 128.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The acceptance property: for any sample set and quantile, the
+        /// HDR estimate is within the documented bucket-error bound of the
+        /// exact sorted-rank value.
+        #[test]
+        fn quantile_estimates_respect_error_bound(
+            samples in prop::collection::vec(0u64..1u64 << 48, 1..200),
+            q in 0.0f64..1.0f64,
+            precision in 1u32..10u32,
+        ) {
+            let mut h = HdrHistogram::new(precision);
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples;
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q).expect("non-empty");
+            prop_assert!(est >= exact, "est {} < exact {}", est, exact);
+            prop_assert!(
+                est <= exact + (exact >> precision),
+                "est {} above bound for exact {} at precision {}",
+                est, exact, precision
+            );
+        }
+    }
+}

@@ -26,6 +26,16 @@
 //! * [`json`] — the byte-deterministic JSON builder the exporters (and
 //!   downstream crates' reports) share.
 //!
+//! Workload-level observability (soak runs over many queries):
+//!
+//! * [`hdr`] — log-linear HDR-style histograms with deterministic merge
+//!   and exact-rank p50/p90/p99/p999 within a documented `2^-precision`
+//!   bucket-error bound;
+//! * [`recorder`] — a bounded-memory flight recorder that traces every
+//!   query but retains full traces only for the top-K tail;
+//! * [`slo`] — per-variant latency/bytes budgets evaluated into a
+//!   pass/fail report for CI gating.
+//!
 //! This crate is dependency-free and knows nothing about the simulator:
 //! events carry plain integers and floats. Times are the runtime's
 //! `SimTime` (nanoseconds since run start) — never wall clocks — so a
@@ -35,13 +45,19 @@ pub mod critical;
 pub mod event;
 pub mod export;
 pub mod expose;
+pub mod hdr;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
+pub mod slo;
 pub mod tracer;
 
 pub use critical::{critical_path, CriticalPath, PathStep, StepKind};
 pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEvent};
 pub use export::{chrome_trace, jsonl};
 pub use expose::{MetricsSnapshot, Sampler, SamplerHandle};
+pub use hdr::HdrHistogram;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
+pub use recorder::{FlightRecorder, RetainedQuery};
+pub use slo::{SloCheck, SloReport, SloSpec};
 pub use tracer::{MemTracer, Tracer};

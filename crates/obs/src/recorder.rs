@@ -1,0 +1,181 @@
+//! Tail-latency flight recorder: trace everything, keep the offenders.
+//!
+//! A soak run executes every query with a tracer installed, but holding
+//! ten thousand full traces in memory defeats the point of a long run.
+//! [`FlightRecorder`] accepts every `(label, latency, events)` observation
+//! and retains the full event trace only for the current **top-K tail** —
+//! the K slowest queries seen so far, ranked by simulated latency with
+//! observation order breaking ties. Everything else is reduced to
+//! counters and dropped, so memory stays `O(K · trace)` regardless of
+//! workload length while every p99 offender remains fully explainable
+//! (the retained events feed the existing `ExplainReport` / critical-path
+//! machinery unchanged).
+//!
+//! Queries that exceeded their SLO are flagged on the retained record;
+//! pick `K` at least as large as the tolerated violation count and every
+//! violator that matters is guaranteed to still be resident (violations
+//! are by construction the slowest queries when the SLO is a latency
+//! budget).
+
+use crate::event::{SimTime, TraceEvent};
+
+/// A query whose full trace is currently retained by the recorder.
+#[derive(Clone, Debug)]
+pub struct RetainedQuery {
+    /// Observation sequence number (0-based, in `observe` call order).
+    pub seq: u64,
+    /// Caller-chosen label, e.g. `"rtpm/q17"`.
+    pub label: String,
+    /// Simulated end-to-end latency of the query.
+    pub latency_ns: SimTime,
+    /// Whether the query violated its SLO at observation time.
+    pub over_slo: bool,
+    /// The full trace, exactly as the tracer recorded it.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Bounded-memory recorder retaining full traces for the top-K slowest
+/// queries observed so far. See the module docs for the retention rule.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Sorted worst-first: latency descending, then `seq` ascending.
+    retained: Vec<RetainedQuery>,
+    observed: u64,
+    over_slo_seen: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder that retains at most `capacity` full traces.
+    /// `capacity == 0` degenerates to pure counting (nothing retained).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            retained: Vec::with_capacity(capacity.min(1024)),
+            observed: 0,
+            over_slo_seen: 0,
+        }
+    }
+
+    /// Offers one finished query to the recorder. Returns `true` if its
+    /// trace was retained (it ranks in the current top-K), `false` if the
+    /// events were dropped on the spot.
+    pub fn observe(
+        &mut self,
+        label: impl Into<String>,
+        latency_ns: SimTime,
+        over_slo: bool,
+        events: Vec<TraceEvent>,
+    ) -> bool {
+        let seq = self.observed;
+        self.observed += 1;
+        if over_slo {
+            self.over_slo_seen += 1;
+        }
+        if self.capacity == 0 {
+            return false;
+        }
+        // Worst-first order: earlier entry ⇔ (higher latency, then lower seq).
+        // All resident entries have lower seq, so ties sort before the newcomer.
+        let pos = self.retained.partition_point(|r| r.latency_ns >= latency_ns);
+        if pos >= self.capacity {
+            return false; // slower-or-equal queries already fill the budget
+        }
+        self.retained
+            .insert(pos, RetainedQuery { seq, label: label.into(), latency_ns, over_slo, events });
+        self.retained.truncate(self.capacity);
+        true
+    }
+
+    /// The currently retained tail, worst (slowest) first.
+    pub fn retained(&self) -> &[RetainedQuery] {
+        &self.retained
+    }
+
+    /// The slowest query seen so far, if any was retained.
+    pub fn worst(&self) -> Option<&RetainedQuery> {
+        self.retained.first()
+    }
+
+    /// Total queries offered via [`FlightRecorder::observe`].
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Queries whose traces are *not* resident (observed − retained).
+    pub fn evicted(&self) -> u64 {
+        self.observed - self.retained.len() as u64
+    }
+
+    /// Queries flagged over-SLO at observation time (retained or not).
+    pub fn over_slo_seen(&self) -> u64 {
+        self.over_slo_seen
+    }
+
+    /// The retention capacity `K` this recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn ev() -> Vec<TraceEvent> {
+        // A minimal stand-in trace; content is irrelevant to retention.
+        vec![TraceEvent::Finish { span: 0, node: 0, at: 1 }]
+    }
+
+    #[test]
+    fn retains_exactly_top_k_by_latency() {
+        let mut rec = FlightRecorder::new(3);
+        let latencies = [50u64, 10, 99, 40, 70, 5, 99];
+        for (i, &l) in latencies.iter().enumerate() {
+            rec.observe(format!("q{i}"), l, false, ev());
+        }
+        let kept: Vec<(u64, u64)> = rec.retained().iter().map(|r| (r.latency_ns, r.seq)).collect();
+        // Two 99s tie; the earlier observation wins the earlier slot.
+        assert_eq!(kept, vec![(99, 2), (99, 6), (70, 4)]);
+        assert_eq!(rec.observed(), 7);
+        assert_eq!(rec.evicted(), 4);
+        assert_eq!(rec.worst().unwrap().label, "q2");
+    }
+
+    #[test]
+    fn eviction_frees_the_trace_not_the_counters() {
+        let mut rec = FlightRecorder::new(1);
+        assert!(rec.observe("slow", 100, true, ev()));
+        assert!(!rec.observe("fast", 1, false, ev()));
+        assert_eq!(rec.retained().len(), 1);
+        assert_eq!(rec.over_slo_seen(), 1);
+        assert!(rec.retained()[0].over_slo);
+        // A new slowest query displaces the resident one.
+        assert!(rec.observe("slower", 200, false, ev()));
+        assert_eq!(rec.worst().unwrap().label, "slower");
+        assert_eq!(rec.retained().len(), 1);
+        assert_eq!(rec.evicted(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_never_retains() {
+        let mut rec = FlightRecorder::new(0);
+        assert!(!rec.observe("q", 10, true, ev()));
+        assert_eq!(rec.observed(), 1);
+        assert_eq!(rec.over_slo_seen(), 1);
+        assert!(rec.retained().is_empty());
+        assert!(rec.worst().is_none());
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_long_runs() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10_000u64 {
+            rec.observe(format!("q{i}"), i % 977, false, ev());
+        }
+        assert_eq!(rec.retained().len(), 4);
+        assert_eq!(rec.observed(), 10_000);
+        // All four retained latencies are the maximal residue.
+        assert!(rec.retained().iter().all(|r| r.latency_ns == 976));
+    }
+}

@@ -1,0 +1,207 @@
+//! Service-level objectives over workload histograms.
+//!
+//! An [`SloSpec`] is a set of optional budgets — latency percentiles, a
+//! hard latency ceiling, and a per-query bytes percentile — evaluated
+//! against the [`HdrHistogram`](crate::hdr::HdrHistogram)s a soak run
+//! accumulates. Evaluation produces an [`SloReport`]: one
+//! [`SloCheck`] per budget actually set, each a plain
+//! budget-vs-actual comparison, suitable both for a human table and for
+//! gating CI (exit nonzero when [`SloReport::pass`] is `false`).
+//!
+//! Budgets are inclusive: `actual ≤ budget` passes. An unset budget
+//! produces no check, and a set budget over an *empty* histogram fails
+//! loudly (an SLO over zero queries is a configuration error, not a
+//! pass).
+
+use crate::hdr::HdrHistogram;
+use crate::json::{self, Obj};
+
+/// Optional budgets for one variant (or one whole run). All fields are
+/// upper bounds; `None` means "no objective for this metric".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Budget for the median simulated latency, in nanoseconds.
+    pub p50_latency_ns: Option<u64>,
+    /// Budget for the 99th-percentile simulated latency, in nanoseconds.
+    pub p99_latency_ns: Option<u64>,
+    /// Budget for the 99.9th-percentile simulated latency, in nanoseconds.
+    pub p999_latency_ns: Option<u64>,
+    /// Hard ceiling on the slowest observed query, in nanoseconds.
+    pub max_latency_ns: Option<u64>,
+    /// Budget for 99th-percentile per-query network volume, in bytes.
+    pub p99_bytes: Option<u64>,
+}
+
+impl SloSpec {
+    /// `true` when no budget is set (evaluation yields an empty, passing
+    /// report).
+    pub fn is_empty(&self) -> bool {
+        *self == SloSpec::default()
+    }
+
+    /// Evaluates every set budget against the run's latency and bytes
+    /// histograms.
+    pub fn evaluate(
+        &self,
+        label: &str,
+        latency_ns: &HdrHistogram,
+        bytes: &HdrHistogram,
+    ) -> SloReport {
+        let mut checks = Vec::new();
+        let mut push = |metric: &'static str, budget: Option<u64>, actual: Option<u64>| {
+            if let Some(budget) = budget {
+                checks.push(SloCheck {
+                    metric,
+                    budget,
+                    actual,
+                    pass: actual.is_some_and(|a| a <= budget),
+                });
+            }
+        };
+        push("latency_p50_ns", self.p50_latency_ns, latency_ns.p50());
+        push("latency_p99_ns", self.p99_latency_ns, latency_ns.p99());
+        push("latency_p999_ns", self.p999_latency_ns, latency_ns.p999());
+        push("latency_max_ns", self.max_latency_ns, latency_ns.max());
+        push("bytes_p99", self.p99_bytes, bytes.p99());
+        SloReport { label: label.to_string(), checks }
+    }
+}
+
+/// One budget-vs-actual comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloCheck {
+    /// Which objective this checks, e.g. `"latency_p99_ns"`.
+    pub metric: &'static str,
+    /// The configured upper bound.
+    pub budget: u64,
+    /// The observed value (`None` when the histogram was empty).
+    pub actual: Option<u64>,
+    /// `actual ≤ budget`; `false` when `actual` is `None`.
+    pub pass: bool,
+}
+
+/// The outcome of evaluating an [`SloSpec`] for one labelled scope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloReport {
+    /// The scope the spec was evaluated for, e.g. a variant name.
+    pub label: String,
+    /// One entry per budget that was set.
+    pub checks: Vec<SloCheck>,
+}
+
+impl SloReport {
+    /// `true` iff every check passed (vacuously true with no checks).
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Number of failed checks.
+    pub fn violations(&self) -> usize {
+        self.checks.iter().filter(|c| !c.pass).count()
+    }
+
+    /// Human rendering, one line per check:
+    /// `  [PASS] rtpm latency_p99_ns: 1200 ≤ budget 5000`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let verdict = if c.pass { "PASS" } else { "FAIL" };
+            let actual = match c.actual {
+                Some(a) => a.to_string(),
+                None => "n/a (no samples)".to_string(),
+            };
+            let op = if c.pass { "<=" } else { ">" };
+            out.push_str(&format!(
+                "  [{verdict}] {} {}: {actual} {op} budget {}\n",
+                self.label, c.metric, c.budget
+            ));
+        }
+        out
+    }
+
+    /// Deterministic JSON object (via [`crate::json`]):
+    /// `{"label":…,"pass":…,"checks":[{"metric":…,…},…]}`.
+    pub fn to_json(&self) -> String {
+        let checks = json::arr(self.checks.iter().map(|c| {
+            let mut o = Obj::new();
+            o = o.str("metric", c.metric).u64("budget", c.budget);
+            o = match c.actual {
+                Some(a) => o.u64("actual", a),
+                None => o.raw("actual", "null"),
+            };
+            o.bool("pass", c.pass).build()
+        }));
+        Obj::new()
+            .str("label", &self.label)
+            .bool("pass", self.pass())
+            .raw("checks", &checks)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn hist(values: &[u64]) -> HdrHistogram {
+        let mut h = HdrHistogram::with_default_precision();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn only_set_budgets_are_checked() {
+        let spec = SloSpec { p99_latency_ns: Some(10_000), ..Default::default() };
+        let report = spec.evaluate("rtpm", &hist(&[100, 200, 300]), &hist(&[9]));
+        assert_eq!(report.checks.len(), 1);
+        assert_eq!(report.checks[0].metric, "latency_p99_ns");
+        assert!(report.pass());
+        assert_eq!(report.violations(), 0);
+    }
+
+    #[test]
+    fn violations_fail_the_report() {
+        let spec = SloSpec {
+            p50_latency_ns: Some(1_000_000),
+            max_latency_ns: Some(50),
+            ..Default::default()
+        };
+        let report = spec.evaluate("naive", &hist(&[10, 20, 9_999]), &hist(&[]));
+        assert!(!report.pass());
+        assert_eq!(report.violations(), 1);
+        let rendered = report.render();
+        assert!(rendered.contains("[PASS] naive latency_p50_ns"));
+        assert!(rendered.contains("[FAIL] naive latency_max_ns: 9999 > budget 50"));
+    }
+
+    #[test]
+    fn budget_over_empty_histogram_fails() {
+        let spec = SloSpec { p99_bytes: Some(4096), ..Default::default() };
+        let report = spec.evaluate("ftfm", &hist(&[]), &hist(&[]));
+        assert!(!report.pass());
+        assert_eq!(report.checks[0].actual, None);
+        assert!(report.render().contains("n/a (no samples)"));
+    }
+
+    #[test]
+    fn empty_spec_passes_vacuously() {
+        let spec = SloSpec::default();
+        assert!(spec.is_empty());
+        let report = spec.evaluate("ftpm", &hist(&[1]), &hist(&[1]));
+        assert!(report.checks.is_empty());
+        assert!(report.pass());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_shaped() {
+        let spec = SloSpec { p99_latency_ns: Some(500), ..Default::default() };
+        let report = spec.evaluate("rtfm", &hist(&[400, 600]), &hist(&[]));
+        let j = report.to_json();
+        assert_eq!(j, report.to_json());
+        assert!(j.starts_with("{\"label\":\"rtfm\",\"pass\":false,\"checks\":["));
+        assert!(j.contains("\"metric\":\"latency_p99_ns\""));
+        assert!(j.contains("\"budget\":500"));
+    }
+}
