@@ -66,7 +66,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some(p) => args.get(p + 1).ok_or("--out needs a path")?.clone(),
         None => default_output_path(),
     };
-    eprintln!("running pinned regression subset (deterministic DES, 3 figures x 5 variants)...");
+    eprintln!(
+        "running pinned regression subset (deterministic DES, 3 figures x 5 variants + cache)..."
+    );
     let entries = skypeer_bench::regress::run_pinned();
     let report = BenchReport { commit: current_commit(), date: utc_date(), entries };
     std::fs::write(&out_path, report.to_json())

@@ -29,7 +29,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: soak [--peers N] [--superpeers N] [--dim D] [--points P] \
 [--queries Q] [--seed S] [--variants LIST|all] [--k K | --k-min A --k-max B [--k-theta T]] \
 [--initiator-theta T] [--top-k K] [--slo-p50-ms F] [--slo-p99-ms F] [--slo-p999-ms F] \
-[--slo-max-ms F] [--slo-p99-bytes N] [--out FILE] [--jsonl FILE] [--prom FILE] [--gate]";
+[--slo-max-ms F] [--slo-p99-bytes N] [--cache] [--cache-bytes N] [--min-hit-rate F] \
+[--out FILE] [--jsonl FILE] [--prom FILE] [--gate]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -131,6 +132,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     let gate = args.iter().any(|a| a == "--gate");
 
+    let cache_bytes: Option<u64> = match flag(args, "--cache-bytes")? {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --cache-bytes: {e}"))?),
+        None if args.iter().any(|a| a == "--cache") => Some(4 << 20),
+        None => None,
+    };
+    let min_hit_rate: Option<f64> = match flag(args, "--min-hit-rate")? {
+        Some(v) => {
+            if cache_bytes.is_none() {
+                return Err("--min-hit-rate requires --cache".into());
+            }
+            Some(v.parse().map_err(|e| format!("bad --min-hit-rate: {e}"))?)
+        }
+        None => None,
+    };
+
     let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xD1CE);
     topology.avg_degree = topology.avg_degree.min(n_superpeers.saturating_sub(1) as f64);
     let engine = SkypeerEngine::build(EngineConfig {
@@ -149,6 +165,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         slo,
         tail_k,
         hdr_precision: parse(args, "--precision", 7u32)?,
+        cache_bytes,
     };
 
     eprintln!(
@@ -194,6 +211,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if gate && !outcome.pass() {
         eprintln!("SLO gate FAILED");
         return Ok(ExitCode::FAILURE);
+    }
+    if let Some(floor) = min_hit_rate {
+        for v in &outcome.variants {
+            let rate = v.cache.as_ref().map(|st| st.hit_rate()).unwrap_or(0.0);
+            if rate < floor {
+                eprintln!(
+                    "cache hit-rate gate FAILED: {} hit rate {:.3} < {:.3}",
+                    v.variant.mnemonic(),
+                    rate,
+                    floor
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -2,7 +2,8 @@
 //! two-file comparator.
 //!
 //! [`run_pinned`] executes a small pinned subset of the paper's figure
-//! configurations — one engine per figure, one traced query per variant —
+//! configurations — one engine per figure, one traced query per variant,
+//! plus a cache-fronted `FTPM+cache` cold+warm pair per figure —
 //! entirely on the deterministic DES, and records five metrics per
 //! `(figure, variant)`:
 //!
@@ -25,6 +26,7 @@
 //! under test. Entries present in only one file are likewise reported
 //! but never fatal.
 
+use skypeer_core::cached::CachedEngine;
 use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
 use skypeer_data::{DatasetKind, DatasetSpec, Query};
 use skypeer_netsim::cost::CostModel;
@@ -187,6 +189,50 @@ pub fn run_pinned() -> Vec<BenchEntry> {
             push("dominance_tests", m.counters.get("dominance_tests").copied().unwrap_or(0) as f64);
             push("peak_queue_depth", m.max_queue_depth() as f64);
         }
+
+        // Cache-on entries: the same query twice through a cache-fronted
+        // FTPM engine — a cold miss (Extended run + local refine) followed
+        // by a warm hit. The combined totals pin both the cache's miss
+        // overhead and its hit savings; growth here means subsumption
+        // lookup or refinement got more expensive.
+        let variant = Variant::Ftpm;
+        let mut cached = CachedEngine::new(&engine, 4 << 20);
+        let started = Instant::now();
+        let cold_tracer = Arc::new(MemTracer::new());
+        let cold = cached.run_query_traced(
+            p.query,
+            variant,
+            Some(Arc::clone(&cold_tracer) as Arc<dyn Tracer>),
+        );
+        let warm_tracer = Arc::new(MemTracer::new());
+        let warm = cached.run_query_traced(
+            p.query,
+            variant,
+            Some(Arc::clone(&warm_tracer) as Arc<dyn Tracer>),
+        );
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut events = cold_tracer.take();
+        events.extend(warm_tracer.take());
+        let m = MetricsRegistry::from_events(&events);
+        let label = format!("{}+cache", variant.mnemonic());
+        let mut push = |metric: &str, value: f64| {
+            entries.push(BenchEntry {
+                figure: p.figure.to_string(),
+                variant: label.clone(),
+                metric: metric.to_string(),
+                value,
+            });
+        };
+        push("wall_time_ms", wall_ms);
+        push("sim_time_ns", (cold.outcome.total_time_ns + warm.outcome.total_time_ns) as f64);
+        push("total_bytes", (cold.outcome.volume_bytes + warm.outcome.volume_bytes) as f64);
+        push(
+            "dominance_tests",
+            (m.counters.get("dominance_tests").copied().unwrap_or(0)
+                + cold.refine_tests
+                + warm.refine_tests) as f64,
+        );
+        push("peak_queue_depth", m.max_queue_depth() as f64);
     }
     entries
 }

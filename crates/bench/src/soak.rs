@@ -20,6 +20,8 @@
 //! counters — no wall clocks, commits, or dates — so the summary is
 //! byte-deterministic for a seeded config and golden-testable.
 
+use skypeer_cache::CacheStats;
+use skypeer_core::cached::CachedEngine;
 use skypeer_core::{SkypeerEngine, Variant};
 use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec, Query};
 use skypeer_netsim::obs::expose::hdr_prometheus;
@@ -42,6 +44,12 @@ pub struct SoakSpec {
     pub tail_k: usize,
     /// HDR histogram precision (sub-bucket bits).
     pub hdr_precision: u32,
+    /// When set, every variant runs through a fresh
+    /// [`CachedEngine`] with this byte budget: misses execute the
+    /// Extended-flavour backbone query and admit its result, hits are
+    /// served locally. `None` (the default paths) leaves the summary
+    /// byte-identical to a cacheless build.
+    pub cache_bytes: Option<u64>,
 }
 
 impl SoakSpec {
@@ -54,6 +62,7 @@ impl SoakSpec {
             slo: SloSpec::default(),
             tail_k: 8,
             hdr_precision: HdrHistogram::DEFAULT_PRECISION,
+            cache_bytes: None,
         }
     }
 }
@@ -84,12 +93,17 @@ pub struct QueryRow {
     /// Whether the flight recorder kept this query's full trace (at the
     /// time it was observed — later, slower queries may evict it).
     pub retained: bool,
+    /// `Some(true)` when the subspace cache answered this query without a
+    /// backbone execution; `None` when the run is cache-less (the field is
+    /// then omitted from the JSONL line, keeping cache-off output
+    /// byte-identical to earlier releases).
+    pub served_from_cache: Option<bool>,
 }
 
 impl QueryRow {
     /// One deterministic JSONL line (no trailing newline).
     pub fn to_json(&self) -> String {
-        json::Obj::new()
+        let mut obj = json::Obj::new()
             .str("variant", self.variant)
             .u64("query", self.query as u64)
             .raw("dims", &json::arr(self.dims.iter().map(|d| d.to_string())))
@@ -100,8 +114,11 @@ impl QueryRow {
             .u64("dominance_tests", self.dominance_tests)
             .u64("result_points", self.result_points as u64)
             .bool("over_slo", self.over_slo)
-            .bool("retained", self.retained)
-            .build()
+            .bool("retained", self.retained);
+        if let Some(hit) = self.served_from_cache {
+            obj = obj.bool("cache_hit", hit);
+        }
+        obj.build()
     }
 }
 
@@ -125,6 +142,9 @@ pub struct VariantSoak {
     pub recorder: FlightRecorder,
     /// The variant's SLO verdict.
     pub slo: SloReport,
+    /// Cache counters, when the run was cache-fronted
+    /// ([`SoakSpec::cache_bytes`]).
+    pub cache: Option<CacheStats>,
 }
 
 /// Everything a soak run produced.
@@ -168,19 +188,42 @@ pub fn run_soak(
             dominance_tests_total: 0,
             recorder: FlightRecorder::new(spec.tail_k),
             slo: SloReport { label: String::new(), checks: Vec::new() },
+            cache: None,
         };
+        // A fresh cache per variant, so per-variant numbers stay
+        // independent and comparable.
+        let mut cached = spec.cache_bytes.map(|b| CachedEngine::new(engine, b));
         for (i, &q) in queries.iter().enumerate() {
             let tracer = Arc::new(MemTracer::new());
-            let out =
-                engine.run_query_observed(q, variant, Some(Arc::clone(&tracer) as Arc<dyn Tracer>));
+            let (out, refine_tests, served_from_cache) = match cached.as_mut() {
+                Some(c) => {
+                    let co = c.run_query_traced(
+                        q,
+                        variant,
+                        Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+                    );
+                    let hit = co.served_from_cache();
+                    (co.outcome, co.refine_tests, Some(hit))
+                }
+                None => (
+                    engine.run_query_observed(
+                        q,
+                        variant,
+                        Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+                    ),
+                    0,
+                    None,
+                ),
+            };
             let events = tracer.take();
-            let dominance_tests: u64 = events
-                .iter()
-                .map(|e| match e {
-                    TraceEvent::Service { dominance_tests, .. } => *dominance_tests,
-                    _ => 0,
-                })
-                .sum();
+            let dominance_tests: u64 = refine_tests
+                + events
+                    .iter()
+                    .map(|e| match e {
+                        TraceEvent::Service { dominance_tests, .. } => *dominance_tests,
+                        _ => 0,
+                    })
+                    .sum::<u64>();
             let latency_ns = out.total_time_ns;
             let over_slo = spec.slo.max_latency_ns.is_some_and(|b| latency_ns > b);
             let retained = vs.recorder.observe(
@@ -207,9 +250,11 @@ pub fn run_soak(
                 result_points: out.result_ids.len(),
                 over_slo,
                 retained,
+                served_from_cache,
             });
         }
         vs.slo = spec.slo.evaluate(variant.mnemonic(), &vs.latency_ns, &vs.bytes);
+        vs.cache = cached.as_ref().map(|c| c.stats());
         variants.push(vs);
     }
     SoakOutcome { spec: spec.clone(), queries, variants }
@@ -274,7 +319,7 @@ impl SoakOutcome {
                     .bool("over_slo", r.over_slo)
                     .build()
             }));
-            json::Obj::new()
+            let mut obj = json::Obj::new()
                 .str("variant", v.variant.mnemonic())
                 .u64("queries", v.latency_ns.count())
                 .raw("latency_ns", &percentile_obj(&v.latency_ns))
@@ -287,10 +332,27 @@ impl SoakOutcome {
                         .u64("messages", v.messages_total)
                         .u64("dominance_tests", v.dominance_tests_total)
                         .build(),
-                )
-                .raw("slo", &v.slo.to_json())
-                .raw("worst", &worst)
-                .build()
+                );
+            // Present only on cache-fronted runs, so cache-off summaries
+            // stay byte-identical to older goldens.
+            if let Some(st) = &v.cache {
+                obj = obj.raw(
+                    "cache",
+                    &json::Obj::new()
+                        .f64("hit_rate", st.hit_rate())
+                        .u64("lookups", st.lookups)
+                        .u64("exact_hits", st.exact_hits)
+                        .u64("subsumption_hits", st.subsumption_hits)
+                        .u64("misses", st.misses)
+                        .u64("stale_rejects", st.stale_rejects)
+                        .u64("coalesced", st.coalesced)
+                        .u64("admissions", st.admissions)
+                        .u64("evictions", st.evictions)
+                        .u64("bytes_saved", st.bytes_saved)
+                        .build(),
+                );
+            }
+            obj.raw("slo", &v.slo.to_json()).raw("worst", &worst).build()
         }));
         json::Obj::new()
             .raw("workload", &workload)
@@ -328,6 +390,27 @@ impl SoakOutcome {
                 }
             }
         }
+        // Cache counters, one family per counter, labelled by variant —
+        // present only on cache-fronted runs.
+        let with_cache: Vec<(&'static str, CacheStats)> = self
+            .variants
+            .iter()
+            .filter_map(|v| v.cache.map(|st| (v.variant.mnemonic(), st)))
+            .collect();
+        if let Some((_, first)) = with_cache.first() {
+            for (ci, (name, _)) in first.counter_pairs().iter().enumerate() {
+                out.push_str(&format!(
+                    "# HELP skypeer_{name}_total Subspace result cache counter.\n\
+                     # TYPE skypeer_{name}_total counter\n"
+                ));
+                for (mnemonic, st) in &with_cache {
+                    out.push_str(&format!(
+                        "skypeer_{name}_total{{variant=\"{mnemonic}\"}} {}\n",
+                        st.counter_pairs()[ci].1
+                    ));
+                }
+            }
+        }
         out
     }
 
@@ -335,15 +418,20 @@ impl SoakOutcome {
     /// milliseconds).
     pub fn render_table(&self) -> String {
         let ms = |ns: u64| ns as f64 / 1e6;
+        let cache_on = self.variants.iter().any(|v| v.cache.is_some());
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}\n",
+            "{:<8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
             "variant", "queries", "p50 ms", "p90 ms", "p99 ms", "p999 ms", "max ms", "slo"
         ));
+        if cache_on {
+            out.push_str(&format!(" {:>7}", "hit%"));
+        }
+        out.push('\n');
         for v in &self.variants {
             let h = &v.latency_ns;
             out.push_str(&format!(
-                "{:<8} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>10}\n",
+                "{:<8} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>10}",
                 v.variant.mnemonic(),
                 h.count(),
                 ms(h.p50().unwrap_or(0)),
@@ -359,6 +447,13 @@ impl SoakOutcome {
                     "FAIL"
                 },
             ));
+            if cache_on {
+                match &v.cache {
+                    Some(st) => out.push_str(&format!(" {:>6.1}%", st.hit_rate() * 100.0)),
+                    None => out.push_str(&format!(" {:>7}", "-")),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -437,6 +532,7 @@ mod unit {
             slo: SloSpec::default(),
             tail_k: 3,
             hdr_precision: 7,
+            cache_bytes: None,
         }
     }
 
@@ -499,6 +595,40 @@ mod unit {
         assert_eq!(text.matches("# TYPE skypeer_soak_volume_bytes histogram").count(), 1);
         assert!(text.contains("skypeer_soak_latency_ns_bucket{variant=\"FTPM\",le=\""));
         assert!(text.contains("skypeer_soak_latency_ns_count{variant=\"naive\"} 12"));
+    }
+
+    #[test]
+    fn cached_soak_is_exact_cheaper_and_reports_hit_rate() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        let mut off_points = Vec::new();
+        let off = run_soak(&engine, &spec, |r| off_points.push(r.result_points));
+        assert!(!off.summary_json().contains("\"cache\""), "cache-off summary is unchanged");
+
+        spec.cache_bytes = Some(4 << 20);
+        let mut on_points = Vec::new();
+        let on = run_soak(&engine, &spec, |r| on_points.push(r.result_points));
+        assert_eq!(on_points, off_points, "cache must not change any query's answer");
+        for (c, u) in on.variants.iter().zip(&off.variants) {
+            assert!(
+                c.bytes_total < u.bytes_total,
+                "{}: cached {} bytes must beat uncached {}",
+                c.variant.mnemonic(),
+                c.bytes_total,
+                u.bytes_total
+            );
+            let st = c.cache.expect("cache stats present");
+            assert!(st.hits() > 0, "the 12-query uniform mix repeats subspaces");
+            assert_eq!(st.lookups, 12);
+        }
+        let summary = on.summary_json();
+        assert!(summary.contains("\"cache\":{\"hit_rate\":"));
+        assert!(on.render_table().contains("hit%"));
+        let prom = on.prometheus();
+        assert_eq!(prom.matches("# TYPE skypeer_cache_lookups_total counter").count(), 1);
+        assert!(prom.contains("skypeer_cache_lookups_total{variant=\"FTPM\"} 12"));
+        // Determinism holds with the cache on, too.
+        assert_eq!(summary, run_soak(&engine, &spec, |_| {}).summary_json());
     }
 
     #[test]

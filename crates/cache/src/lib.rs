@@ -1,0 +1,804 @@
+#![warn(missing_docs)]
+
+//! Subsumption-aware subspace skyline result cache.
+//!
+//! SKYPEER's central observation (Observations 3–4 of the paper) is that
+//! the *extended* skyline `ext-SKY_V` contains `SKY_U` for every `U ⊆ V` —
+//! and, stronger, that `SKY_U` of the *whole* dataset can be recovered from
+//! `ext-SKY_V` alone by re-running the local kernel with standard dominance
+//! (see [`skypeer_skyline::extended::refine_from_ext`]). A cached extended
+//! result for one subspace therefore answers any later query for a
+//! *contained* subspace locally, with zero network traffic.
+//!
+//! [`SubspaceCache`] implements that reuse:
+//!
+//! * entries are **extended** results keyed by [`Subspace`] and answer
+//!   lookups for any contained subspace (the smallest covering entry is
+//!   refined);
+//! * eviction is **cost-aware** (GreedyDual-Size-Frequency): entries are
+//!   weighted by the network bytes a hit saves per cached byte, so a small
+//!   entry that short-circuits an expensive backbone fan-out outlives a
+//!   large one that saves little;
+//! * every entry carries the **epoch** it was admitted under; membership
+//!   changes (peer joins, super-peer crashes/recoveries) bump the epoch
+//!   and stale entries are rejected — and dropped — at lookup;
+//! * [`SubspaceCache::plan_flight`] / [`SharedSubspaceCache`] implement
+//!   **single-flight admission**: simultaneous identical or subsumed
+//!   queries coalesce onto one backbone execution and share its result.
+
+use skypeer_skyline::extended::refine_from_ext;
+use skypeer_skyline::sorted::KernelStats;
+use skypeer_skyline::{DominanceIndex, SortedDataset, Subspace};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sizing and refinement knobs for a [`SubspaceCache`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheConfig {
+    /// Byte budget for cached extended results (wire-size accounting, the
+    /// same [`SortedDataset::wire_bytes`] the network simulator charges).
+    pub max_bytes: u64,
+    /// Dominance index used when refining a cached extended result into a
+    /// standard subspace skyline.
+    pub index: DominanceIndex,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { max_bytes: 4 << 20, index: DominanceIndex::RTree }
+    }
+}
+
+impl CacheConfig {
+    /// A config with an explicit byte budget and the default index.
+    pub fn with_max_bytes(max_bytes: u64) -> Self {
+        CacheConfig { max_bytes, ..CacheConfig::default() }
+    }
+}
+
+/// Monotonic counters describing cache behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries that consulted the cache (excludes single-flight followers'
+    /// post-coalesce reads).
+    pub lookups: u64,
+    /// Hits served by an entry keyed by the queried subspace itself.
+    pub exact_hits: u64,
+    /// Hits served by refining a strictly larger covering entry.
+    pub subsumption_hits: u64,
+    /// Lookups no live entry could answer.
+    pub misses: u64,
+    /// Entries rejected (and dropped) at lookup because their epoch was
+    /// older than the cache's.
+    pub stale_rejects: u64,
+    /// Queries that coalesced onto another query's in-flight execution
+    /// instead of running their own.
+    pub coalesced: u64,
+    /// Entries admitted.
+    pub admissions: u64,
+    /// Entries evicted by the byte budget.
+    pub evictions: u64,
+    /// Cumulative network bytes hits avoided (each hit credits the bytes
+    /// the backbone execution that built the entry actually shipped).
+    pub bytes_saved: u64,
+}
+
+impl CacheStats {
+    /// Exact plus subsumption hits.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.subsumption_hits
+    }
+
+    /// Subsumption-inclusive hit rate over all counted lookups, in `[0,1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups as f64
+        }
+    }
+
+    /// Stable counter names and values, for folding into a metrics
+    /// registry (e.g. `skypeer_obs::MetricsRegistry::bump`), whose
+    /// Prometheus exposition then renders each as
+    /// `skypeer_<name>_total`.
+    pub fn counter_pairs(&self) -> [(&'static str, u64); 9] {
+        [
+            ("cache_lookups", self.lookups),
+            ("cache_exact_hits", self.exact_hits),
+            ("cache_subsumption_hits", self.subsumption_hits),
+            ("cache_misses", self.misses),
+            ("cache_stale_rejects", self.stale_rejects),
+            ("cache_coalesced", self.coalesced),
+            ("cache_admissions", self.admissions),
+            ("cache_evictions", self.evictions),
+            ("cache_bytes_saved", self.bytes_saved),
+        ]
+    }
+}
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitKind {
+    /// The queried subspace itself was cached.
+    Exact,
+    /// A strictly larger cached subspace was projected and refined.
+    Subsumed,
+}
+
+/// A query answered from cache.
+#[derive(Clone, Debug)]
+pub struct CacheAnswer {
+    /// Exact or subsumption hit.
+    pub kind: HitKind,
+    /// The cached subspace the answer was refined from.
+    pub source: Subspace,
+    /// `SKY_U`, still `f`-sorted (refined with standard dominance).
+    pub result: SortedDataset,
+    /// Result ids, sorted ascending — the engine's canonical result form.
+    pub result_ids: Vec<u64>,
+    /// Kernel work the local refinement cost (feeds the latency model).
+    pub refine_stats: KernelStats,
+    /// Network bytes this hit avoided re-shipping.
+    pub saved_bytes: u64,
+}
+
+struct Entry {
+    result: SortedDataset,
+    epoch: u64,
+    bytes: u64,
+    saved_bytes: u64,
+    freq: u64,
+    priority: f64,
+    last_touch: u64,
+}
+
+impl Entry {
+    /// GDSF gain: network bytes a hit saves per cached byte.
+    fn gain(&self) -> f64 {
+        self.saved_bytes as f64 / self.bytes as f64
+    }
+}
+
+/// Role a query of a simultaneous batch plays under single-flight
+/// admission (see [`SubspaceCache::plan_flight`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightRole {
+    /// Answerable from the cache right now.
+    Served,
+    /// First uncovered miss of its coverage group: executes the backbone
+    /// query and admits the result.
+    Leader,
+    /// Covered by the leader at this batch index; shares that result
+    /// instead of executing.
+    Follower(usize),
+}
+
+/// The cache proper: extended subspace results with subsumption lookup,
+/// cost-aware eviction, and epoch invalidation. Single-threaded; wrap in
+/// [`SharedSubspaceCache`] for the live runtime.
+pub struct SubspaceCache {
+    config: CacheConfig,
+    /// Keyed by subspace mask; `BTreeMap` so iteration — and therefore
+    /// covering-entry selection and eviction tie-breaks — is deterministic.
+    entries: BTreeMap<u32, Entry>,
+    epoch: u64,
+    /// GDSF clock: ratchets to the evicted priority so long-resident
+    /// entries age out relative to fresh admissions.
+    clock: f64,
+    tick: u64,
+    bytes: u64,
+    stats: CacheStats,
+}
+
+impl SubspaceCache {
+    /// An empty cache with the given config.
+    pub fn new(config: CacheConfig) -> Self {
+        SubspaceCache {
+            config,
+            entries: BTreeMap::new(),
+            epoch: 0,
+            clock: 0.0,
+            tick: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently cached.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Invalidate everything admitted so far: any membership or data
+    /// change (peer join, super-peer crash or recovery) makes every cached
+    /// global result potentially wrong, so the epoch moves and stale
+    /// entries are rejected lazily at their next lookup.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Look the subspace up, counting the outcome in [`CacheStats`].
+    pub fn lookup(&mut self, u: Subspace) -> Option<CacheAnswer> {
+        match self.answer_via(u) {
+            Some(ans) => {
+                self.count_hit(&ans);
+                Some(ans)
+            }
+            None => {
+                self.stats.lookups += 1;
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look the subspace up **without** counting a lookup/hit/miss — the
+    /// read path for single-flight followers, whose outcome is already
+    /// accounted as `coalesced`. Stale entries encountered are still
+    /// dropped (and counted) — staleness is a correctness event, not an
+    /// accounting one.
+    pub fn answer_via(&mut self, u: Subspace) -> Option<CacheAnswer> {
+        self.drop_stale_covering(u);
+        let best = self
+            .entries
+            .iter()
+            .filter(|(&m, _)| u.is_subset_of(Subspace::from_mask(m)))
+            .min_by_key(|(&m, e)| (e.result.len(), Subspace::from_mask(m).k(), m))
+            .map(|(&m, _)| m)?;
+        self.tick += 1;
+        let tick = self.tick;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(&best).expect("selected entry exists");
+        entry.freq += 1;
+        entry.last_touch = tick;
+        entry.priority = clock + entry.freq as f64 * entry.gain();
+        let refined = refine_from_ext(&entry.result, u, self.config.index);
+        let mut result_ids: Vec<u64> =
+            (0..refined.result.len()).map(|i| refined.result.points().id(i)).collect();
+        result_ids.sort_unstable();
+        Some(CacheAnswer {
+            kind: if best == u.mask() { HitKind::Exact } else { HitKind::Subsumed },
+            source: Subspace::from_mask(best),
+            result: refined.result,
+            result_ids,
+            refine_stats: refined.stats,
+            saved_bytes: entry.saved_bytes,
+        })
+    }
+
+    /// Whether a live entry covers `u` (drops stale covering entries as a
+    /// side effect, like a lookup would, but performs no refinement).
+    pub fn covers(&mut self, u: Subspace) -> bool {
+        self.drop_stale_covering(u);
+        self.entries.keys().any(|&m| u.is_subset_of(Subspace::from_mask(m)))
+    }
+
+    /// Admit the **extended** result for subspace `v`, replacing any
+    /// previous entry for the same key. `saved_bytes` is the network
+    /// volume the backbone execution shipped — the bytes every future hit
+    /// avoids, and the numerator of the eviction gain. Returns `false`
+    /// when the entry alone exceeds the byte budget and was not admitted.
+    pub fn admit(&mut self, v: Subspace, ext_result: SortedDataset, saved_bytes: u64) -> bool {
+        let bytes = ext_result.wire_bytes().max(1);
+        if bytes > self.config.max_bytes {
+            return false;
+        }
+        self.remove(v.mask());
+        while self.bytes + bytes > self.config.max_bytes {
+            self.evict_one();
+        }
+        self.tick += 1;
+        let entry = Entry {
+            result: ext_result,
+            epoch: self.epoch,
+            bytes,
+            saved_bytes,
+            freq: 1,
+            priority: 0.0,
+            last_touch: self.tick,
+        };
+        let priority = self.clock + entry.gain();
+        self.entries.insert(v.mask(), Entry { priority, ..entry });
+        self.bytes += bytes;
+        self.stats.admissions += 1;
+        true
+    }
+
+    /// Assign single-flight roles to a batch of simultaneous queries:
+    /// cache-covered queries are [`FlightRole::Served`]; of the rest, the
+    /// first query of each coverage group leads and every later query
+    /// whose subspace the leader's contains coalesces onto it (counted in
+    /// [`CacheStats::coalesced`]). Callers execute leaders only, admit
+    /// their results, then answer followers via [`SubspaceCache::answer_via`].
+    pub fn plan_flight(&mut self, subspaces: &[Subspace]) -> Vec<FlightRole> {
+        let mut roles = Vec::with_capacity(subspaces.len());
+        let mut leaders: Vec<(usize, Subspace)> = Vec::new();
+        for (i, &u) in subspaces.iter().enumerate() {
+            if self.covers(u) {
+                roles.push(FlightRole::Served);
+            } else if let Some(&(l, _)) = leaders.iter().find(|(_, v)| u.is_subset_of(*v)) {
+                self.stats.coalesced += 1;
+                roles.push(FlightRole::Follower(l));
+            } else {
+                leaders.push((i, u));
+                roles.push(FlightRole::Leader);
+            }
+        }
+        roles
+    }
+
+    fn count_hit(&mut self, ans: &CacheAnswer) {
+        self.stats.lookups += 1;
+        match ans.kind {
+            HitKind::Exact => self.stats.exact_hits += 1,
+            HitKind::Subsumed => self.stats.subsumption_hits += 1,
+        }
+        self.stats.bytes_saved += ans.saved_bytes;
+    }
+
+    fn drop_stale_covering(&mut self, u: Subspace) {
+        let epoch = self.epoch;
+        let stale: Vec<u32> = self
+            .entries
+            .iter()
+            .filter(|(&m, e)| e.epoch != epoch && u.is_subset_of(Subspace::from_mask(m)))
+            .map(|(&m, _)| m)
+            .collect();
+        for m in stale {
+            self.remove(m);
+            self.stats.stale_rejects += 1;
+        }
+    }
+
+    fn remove(&mut self, mask: u32) {
+        if let Some(e) = self.entries.remove(&mask) {
+            self.bytes -= e.bytes;
+        }
+    }
+
+    fn evict_one(&mut self) {
+        // Stale entries are free wins: evict the oldest of those first.
+        let epoch = self.epoch;
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.epoch != epoch)
+            .min_by_key(|(&m, e)| (e.last_touch, m))
+            .map(|(&m, _)| m)
+            .or_else(|| {
+                self.entries
+                    .iter()
+                    .min_by(|(am, a), (bm, b)| {
+                        a.priority
+                            .partial_cmp(&b.priority)
+                            .expect("priorities are finite")
+                            .then(a.last_touch.cmp(&b.last_touch))
+                            .then(am.cmp(bm))
+                    })
+                    .map(|(&m, _)| m)
+            })
+            .expect("evict_one called on a non-empty over-budget cache");
+        if let Some(e) = self.entries.get(&victim) {
+            if e.priority > self.clock {
+                self.clock = e.priority;
+            }
+        }
+        self.remove(victim);
+        self.stats.evictions += 1;
+    }
+}
+
+/// How [`SharedSubspaceCache::begin`] resolved a query.
+#[derive(Debug)]
+pub enum Flight {
+    /// Served from cache (possibly after coalescing onto another thread's
+    /// execution).
+    Hit(CacheAnswer),
+    /// This thread leads: it must execute the backbone query and then call
+    /// [`SharedSubspaceCache::complete`] (or [`SharedSubspaceCache::abort`]
+    /// on failure) so waiting followers make progress.
+    Lead,
+}
+
+struct FlightState {
+    cache: SubspaceCache,
+    in_flight: Vec<u32>,
+}
+
+/// Thread-safe wrapper for the live runtime: a [`SubspaceCache`] behind a
+/// mutex plus a condvar implementing blocking single-flight admission.
+#[derive(Clone)]
+pub struct SharedSubspaceCache {
+    inner: Arc<(Mutex<FlightState>, Condvar)>,
+}
+
+impl SharedSubspaceCache {
+    /// An empty shared cache.
+    pub fn new(config: CacheConfig) -> Self {
+        SharedSubspaceCache {
+            inner: Arc::new((
+                Mutex::new(FlightState {
+                    cache: SubspaceCache::new(config),
+                    in_flight: Vec::new(),
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Resolve a query: a cache hit returns immediately; a miss covered by
+    /// an in-flight execution blocks until that execution completes (or
+    /// aborts) and is counted as coalesced; otherwise this caller becomes
+    /// the leader.
+    pub fn begin(&self, u: Subspace) -> Flight {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().expect("cache lock");
+        let mut coalesced = false;
+        loop {
+            let found = st.cache.answer_via(u);
+            if let Some(ans) = found {
+                if !coalesced {
+                    st.cache.count_hit(&ans);
+                }
+                return Flight::Hit(ans);
+            }
+            let covered = st.in_flight.iter().any(|&m| u.is_subset_of(Subspace::from_mask(m)));
+            if covered {
+                if !coalesced {
+                    st.cache.stats.coalesced += 1;
+                    coalesced = true;
+                }
+                st = cv.wait(st).expect("cache lock");
+                continue;
+            }
+            if !coalesced {
+                st.cache.stats.lookups += 1;
+                st.cache.stats.misses += 1;
+            }
+            st.in_flight.push(u.mask());
+            return Flight::Lead;
+        }
+    }
+
+    /// Leader success: admit the extended result for `v` and wake
+    /// followers. Only call with a *complete* result — partial results
+    /// (timeouts, dead children) must [`SharedSubspaceCache::abort`].
+    pub fn complete(&self, v: Subspace, ext_result: SortedDataset, saved_bytes: u64) {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().expect("cache lock");
+        st.cache.admit(v, ext_result, saved_bytes);
+        st.in_flight.retain(|&m| m != v.mask());
+        cv.notify_all();
+    }
+
+    /// Leader failure: release the flight so followers retry (one of them
+    /// will become the next leader).
+    pub fn abort(&self, v: Subspace) {
+        let (lock, cv) = &*self.inner;
+        let mut st = lock.lock().expect("cache lock");
+        st.in_flight.retain(|&m| m != v.mask());
+        cv.notify_all();
+    }
+
+    /// Bump the epoch (membership changed); wakes waiters so nobody
+    /// blocks on a flight whose answer is about to go stale.
+    pub fn bump_epoch(&self) {
+        let (lock, cv) = &*self.inner;
+        lock.lock().expect("cache lock").cache.bump_epoch();
+        cv.notify_all();
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        let (lock, _) = &*self.inner;
+        lock.lock().expect("cache lock").cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use skypeer_skyline::extended::{ext_skyline, ext_skyline_on};
+    use skypeer_skyline::skycube::Skycube;
+    use skypeer_skyline::{brute, Dominance, PointSet};
+
+    fn grid_set(seed: u64, n: usize, dim: usize) -> PointSet {
+        // Coordinates on a small integer grid so duplicate values — the
+        // strict-inequality edge case of extended dominance — are common.
+        let mut s = PointSet::new(dim);
+        let mut state = seed | 1;
+        for i in 0..n {
+            let mut coords = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                coords.push((state >> 33) as f64 % 7.0);
+            }
+            s.push(&coords, i as u64);
+        }
+        s
+    }
+
+    fn cache() -> SubspaceCache {
+        SubspaceCache::new(CacheConfig::default())
+    }
+
+    #[test]
+    fn exact_hit_after_admit() {
+        let set = grid_set(7, 40, 3);
+        let u = Subspace::from_dims(&[0, 2]);
+        let ext = ext_skyline_on(&set, u, DominanceIndex::Linear);
+        let mut c = cache();
+        assert!(c.lookup(u).is_none());
+        c.admit(u, ext.result, 1234);
+        let ans = c.lookup(u).expect("hit");
+        assert_eq!(ans.kind, HitKind::Exact);
+        assert_eq!(ans.source, u);
+        assert_eq!(ans.saved_bytes, 1234);
+        assert_eq!(ans.result_ids, brute::skyline_ids(&set, u, Dominance::Standard));
+        let st = c.stats();
+        assert_eq!((st.lookups, st.exact_hits, st.misses, st.bytes_saved), (2, 1, 1, 1234));
+    }
+
+    #[test]
+    fn subsumption_hits_match_skycube_oracle() {
+        // One full-space extended entry must answer *every* subspace
+        // exactly; the oracle is the skycube computed via the ext-skyline
+        // (itself validated against brute force in skypeer-skyline).
+        let set = grid_set(21, 60, 4);
+        let ext = ext_skyline(&set, DominanceIndex::RTree);
+        let cube = Skycube::compute_via_ext_skyline(&set);
+        let mut c = cache();
+        c.admit(Subspace::full(4), ext.result, 10);
+        for u in Subspace::enumerate_all(4) {
+            let ans = c.lookup(u).expect("full-space entry covers everything");
+            let want = cube.skyline(u).expect("skycube has every subspace");
+            assert_eq!(ans.result_ids, want, "U={u}");
+            if u == Subspace::full(4) {
+                assert_eq!(ans.kind, HitKind::Exact);
+            } else {
+                assert_eq!(ans.kind, HitKind::Subsumed);
+            }
+        }
+        assert_eq!(c.stats().hits(), 15);
+        assert!((c.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smallest_covering_entry_is_chosen() {
+        let set = grid_set(3, 50, 4);
+        let big = Subspace::full(4);
+        let small = Subspace::from_dims(&[0, 1]);
+        let mut c = cache();
+        c.admit(big, ext_skyline(&set, DominanceIndex::Linear).result, 1);
+        c.admit(small, ext_skyline_on(&set, small, DominanceIndex::Linear).result, 1);
+        // {d0} is contained in both; the 2-d entry has (weakly) fewer
+        // points and must win the tie-break chain.
+        let ans = c.lookup(Subspace::from_dims(&[0])).expect("hit");
+        assert_eq!(ans.source, small);
+    }
+
+    #[test]
+    fn epoch_bump_rejects_stale_entries_at_lookup() {
+        let set = grid_set(9, 30, 3);
+        let u = Subspace::full(3);
+        let mut c = cache();
+        c.admit(u, ext_skyline(&set, DominanceIndex::Linear).result, 5);
+        assert!(c.lookup(u).is_some());
+        c.bump_epoch();
+        assert!(c.lookup(u).is_none(), "stale entry must not serve");
+        let st = c.stats();
+        assert_eq!(st.stale_rejects, 1);
+        assert_eq!(c.len(), 0, "stale entry is dropped, not kept");
+        // Re-admission under the new epoch serves again.
+        c.admit(u, ext_skyline(&set, DominanceIndex::Linear).result, 5);
+        assert!(c.lookup(u).is_some());
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_prefers_low_gain() {
+        let set = grid_set(5, 80, 3);
+        let a = Subspace::from_dims(&[0, 1]);
+        let b = Subspace::from_dims(&[1, 2]);
+        let c_sub = Subspace::from_dims(&[0, 2]);
+        let ra = ext_skyline_on(&set, a, DominanceIndex::Linear).result;
+        let rb = ext_skyline_on(&set, b, DominanceIndex::Linear).result;
+        let rc = ext_skyline_on(&set, c_sub, DominanceIndex::Linear).result;
+        let budget = ra.wire_bytes() + rb.wire_bytes() + rc.wire_bytes() / 2;
+        let mut c = SubspaceCache::new(CacheConfig::with_max_bytes(budget));
+        c.admit(a, ra, 1_000_000); // high gain: expensive to recompute
+        c.admit(b, rb, 1); // low gain: cheap to recompute
+        assert_eq!(c.len(), 2);
+        c.admit(c_sub, rc, 500_000);
+        assert!(c.bytes() <= budget, "budget respected after eviction");
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.covers(a), "high-gain entry survives");
+        assert!(!c.covers(b), "low-gain entry is the victim");
+    }
+
+    #[test]
+    fn oversized_entry_is_refused() {
+        let set = grid_set(11, 60, 3);
+        let ext = ext_skyline(&set, DominanceIndex::Linear);
+        let mut c = SubspaceCache::new(CacheConfig::with_max_bytes(8));
+        assert!(!c.admit(Subspace::full(3), ext.result, 9));
+        assert_eq!(c.stats().admissions, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn plan_flight_serves_leads_and_coalesces() {
+        let set = grid_set(13, 40, 3);
+        let full = Subspace::full(3);
+        let xy = Subspace::from_dims(&[0, 1]);
+        let mut c = cache();
+        c.admit(xy, ext_skyline_on(&set, xy, DominanceIndex::Linear).result, 1);
+        let batch = [Subspace::from_dims(&[0]), full, Subspace::from_dims(&[1, 2]), full, xy];
+        let roles = c.plan_flight(&batch);
+        assert_eq!(
+            roles,
+            vec![
+                FlightRole::Served,      // {d0} ⊆ cached {d0,d1}
+                FlightRole::Leader,      // full space: first miss
+                FlightRole::Follower(1), // {d1,d2} ⊆ full, coalesces
+                FlightRole::Follower(1), // identical to the leader
+                FlightRole::Served,      // exact cached
+            ]
+        );
+        assert_eq!(c.stats().coalesced, 2);
+        // After the leader admits, followers are answered without new
+        // lookup accounting.
+        let before = c.stats().lookups;
+        c.admit(full, ext_skyline(&set, DominanceIndex::Linear).result, 10);
+        let ans = c.answer_via(Subspace::from_dims(&[1, 2])).expect("follower answered");
+        assert_eq!(
+            ans.result_ids,
+            brute::skyline_ids(&set, Subspace::from_dims(&[1, 2]), Dominance::Standard)
+        );
+        assert_eq!(c.stats().lookups, before);
+    }
+
+    #[test]
+    fn shared_cache_single_flight_coalesces_threads() {
+        let set = grid_set(17, 50, 3);
+        let full = Subspace::full(3);
+        let shared = SharedSubspaceCache::new(CacheConfig::default());
+        let leader = match shared.begin(full) {
+            Flight::Lead => true,
+            Flight::Hit(_) => false,
+        };
+        assert!(leader, "empty cache: first caller leads");
+        // Followers (same or contained subspace) block until completion.
+        let mut joins = Vec::new();
+        for u in [full, Subspace::from_dims(&[0, 1])] {
+            let shared = shared.clone();
+            joins.push(std::thread::spawn(move || match shared.begin(u) {
+                Flight::Hit(ans) => ans.result_ids,
+                Flight::Lead => panic!("must coalesce onto the in-flight leader"),
+            }));
+        }
+        // Give followers time to park on the condvar before completing.
+        while shared.stats().coalesced < 2 {
+            std::thread::yield_now();
+        }
+        let ext = ext_skyline(&set, DominanceIndex::Linear);
+        shared.complete(full, ext.result, 77);
+        let got: Vec<Vec<u64>> = joins.into_iter().map(|j| j.join().expect("join")).collect();
+        assert_eq!(got[0], brute::skyline_ids(&set, full, Dominance::Standard));
+        assert_eq!(
+            got[1],
+            brute::skyline_ids(&set, Subspace::from_dims(&[0, 1]), Dominance::Standard)
+        );
+        let st = shared.stats();
+        assert_eq!(st.coalesced, 2);
+        assert_eq!(st.misses, 1, "only the leader's miss is counted");
+    }
+
+    #[test]
+    fn shared_cache_abort_elects_new_leader() {
+        let full = Subspace::full(2);
+        let shared = SharedSubspaceCache::new(CacheConfig::default());
+        assert!(matches!(shared.begin(full), Flight::Lead));
+        let waiter = {
+            let shared = shared.clone();
+            std::thread::spawn(move || shared.begin(full))
+        };
+        while shared.stats().coalesced < 1 {
+            std::thread::yield_now();
+        }
+        shared.abort(full);
+        match waiter.join().expect("join") {
+            Flight::Lead => {}
+            Flight::Hit(_) => panic!("aborted flight cannot produce a hit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use skypeer_skyline::extended::ext_skyline_on;
+    use skypeer_skyline::{brute, Dominance, PointSet};
+
+    fn arb_grid_points(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+        // Values from {0..4} so duplicate coordinates (ties) are the norm,
+        // exercising extended dominance's strict-inequality edge cases.
+        prop::collection::vec(prop::collection::vec(0u8..5, dim), 1..40).prop_map(|rows| {
+            rows.into_iter().map(|r| r.into_iter().map(f64::from).collect()).collect()
+        })
+    }
+
+    proptest! {
+        /// The tentpole exactness property: for every `U ⊆ V`, answering
+        /// `SKY_U` by refining the cached `ext-SKY_V` equals the brute
+        /// skyline of the original dataset.
+        #[test]
+        fn subsumption_answers_equal_brute_for_every_contained_subspace(
+            rows in arb_grid_points(4),
+            v_mask in 1u32..16,
+        ) {
+            let mut set = PointSet::new(4);
+            for (i, r) in rows.iter().enumerate() {
+                set.push(r, i as u64);
+            }
+            let v = Subspace::from_mask(v_mask);
+            let mut c = SubspaceCache::new(CacheConfig::default());
+            c.admit(v, ext_skyline_on(&set, v, DominanceIndex::Linear).result, 1);
+            for u in Subspace::enumerate_all(4) {
+                if !u.is_subset_of(v) {
+                    prop_assert!(c.answer_via(u).is_none(), "U={u} ⊄ V={v} must miss");
+                    continue;
+                }
+                let ans = c.lookup(u).expect("covered subspace must hit");
+                prop_assert_eq!(
+                    ans.result_ids,
+                    brute::skyline_ids(&set, u, Dominance::Standard),
+                    "U={} V={}", u, v
+                );
+            }
+        }
+
+        /// Eviction never exceeds the budget and never corrupts answers.
+        #[test]
+        fn eviction_preserves_budget_and_exactness(
+            rows in arb_grid_points(3),
+            budget in 64u64..2048,
+        ) {
+            let mut set = PointSet::new(3);
+            for (i, r) in rows.iter().enumerate() {
+                set.push(r, i as u64);
+            }
+            let mut c = SubspaceCache::new(CacheConfig::with_max_bytes(budget));
+            for u in Subspace::enumerate_all(3) {
+                c.admit(u, ext_skyline_on(&set, u, DominanceIndex::Linear).result, u.mask() as u64);
+                prop_assert!(c.bytes() <= budget);
+            }
+            for u in Subspace::enumerate_all(3) {
+                if let Some(ans) = c.lookup(u) {
+                    prop_assert_eq!(ans.result_ids, brute::skyline_ids(&set, u, Dominance::Standard));
+                }
+            }
+        }
+    }
+}

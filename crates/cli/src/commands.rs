@@ -446,7 +446,16 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     let prom_path = args.str_or("prom", "");
     let json = args.flag("json")?;
     let gate = args.flag("gate")?;
+    let cache = args.flag("cache")?;
+    let cache_bytes_arg: u64 = args.get_or("cache-bytes", 0u64)?;
     args.reject_unknown()?;
+    let cache_bytes: Option<u64> = if cache_bytes_arg > 0 {
+        Some(cache_bytes_arg)
+    } else if cache {
+        Some(4 << 20) // 4 MiB default budget
+    } else {
+        None
+    };
 
     let spec = SoakSpec {
         variants,
@@ -461,6 +470,7 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         slo,
         tail_k,
         hdr_precision: args.get_or("precision", 7u32)?,
+        cache_bytes,
     };
 
     let mut jsonl = match jsonl_path.as_str() {
@@ -475,12 +485,18 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     let dashboard = std::io::stderr().is_terminal();
     let total_rows = queries * spec.variants.len();
     let mut done = 0usize;
+    let mut cache_lookups = 0u64;
+    let mut cache_hits = 0u64;
     let mut window: VecDeque<Instant> = VecDeque::with_capacity(64);
     let outcome = run_soak(&engine, &spec, |row| {
         if let Some(w) = &mut jsonl {
             let _ = writeln!(w, "{}", row.to_json());
         }
         done += 1;
+        if let Some(hit) = row.served_from_cache {
+            cache_lookups += 1;
+            cache_hits += u64::from(hit);
+        }
         if dashboard {
             let now = Instant::now();
             window.push_back(now);
@@ -490,8 +506,13 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
             if done % 10 == 0 || done == total_rows {
                 let span = now.duration_since(*window.front().expect("nonempty")).as_secs_f64();
                 let qps = if span > 0.0 { (window.len() - 1) as f64 / span } else { 0.0 };
+                let hit_rate = if cache_lookups > 0 {
+                    format!(" | hit {:5.1}%", 100.0 * cache_hits as f64 / cache_lookups as f64)
+                } else {
+                    String::new()
+                };
                 eprint!(
-                    "\r{done}/{total_rows} queries | {qps:6.1} q/s | {} q{} {:9.1} ms{}   ",
+                    "\r{done}/{total_rows} queries | {qps:6.1} q/s{hit_rate} | {} q{} {:9.1} ms{}   ",
                     row.variant,
                     row.query,
                     row.latency_ns as f64 / 1e6,
@@ -618,7 +639,7 @@ pub fn csv_query(args: &Args) -> Result<(), ArgError> {
 
     let nodes: Vec<SuperPeerNode> = (0..n_superpeers)
         .map(|sp| {
-            let init = (sp == 0).then_some(InitQuery { qid: 1, subspace, variant });
+            let init = (sp == 0).then_some(InitQuery::standard(1, subspace, variant));
             SuperPeerNode::new(
                 sp,
                 topo.neighbors(sp).to_vec(),

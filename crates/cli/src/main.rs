@@ -10,7 +10,7 @@
 //! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
 //! skypeer-cli soak     [--queries Q] [--variants LIST|all] [--k K | --k-min A --k-max B]
 //!                      [--initiator-theta T] [--top-k K] [--slo-p99-ms F] [--gate]
-//!                      [--json] [--out F] [--jsonl F] [--prom F] [...]
+//!                      [--cache] [--cache-bytes N] [--json] [--out F] [--jsonl F] [--prom F] [...]
 //! ```
 //!
 //! Shared network flags for every command that builds a network:

@@ -326,6 +326,101 @@ fn soak_summary_json_is_byte_deterministic_and_matches_golden() {
     );
 }
 
+/// Extracts every occurrence of `key` followed by a number from flat
+/// deterministic JSON (no nesting-aware parsing needed: the keys probed
+/// here are unique within their enclosing objects).
+fn json_numbers(s: &str, key: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(p) = rest.find(key) {
+        rest = &rest[p + key.len()..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit() && c != '-' && c != '.' && c != 'e' && c != '+')
+            .unwrap_or(rest.len());
+        out.push(rest[..end].parse().expect("numeric field"));
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// The cache acceptance test: the same seeded 500-query Zipf workload,
+/// run with `--cache`, must stay byte-deterministic, hit at least 30% of
+/// lookups on every variant (exact + subsumption), and move strictly
+/// fewer backbone bytes than the uncached golden run — while this golden
+/// pins the exact output next to `soak_summary.json`.
+#[test]
+fn cached_soak_summary_matches_golden_and_beats_uncached() {
+    let args = [
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--queries",
+        "500",
+        "--seed",
+        "11",
+        "--workload-seed",
+        "3",
+        "--k-min",
+        "2",
+        "--k-max",
+        "4",
+        "--k-theta",
+        "1.1",
+        "--initiator-theta",
+        "0.8",
+        "--cache",
+        "--json",
+    ];
+    let (a, stderr, ok_a) = run(&args);
+    let (b, _, ok_b) = run(&args);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "cached soak must be byte-deterministic");
+
+    let rates = json_numbers(&a, "\"hit_rate\":");
+    assert_eq!(rates.len(), 5, "one cache block per variant:\n{a}");
+    for r in &rates {
+        assert!(*r >= 0.30, "hit rate {r} below the 30% acceptance floor");
+    }
+
+    let goldens = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let golden = goldens.join("soak_summary_cached.json");
+    if !golden.exists() {
+        std::fs::create_dir_all(&goldens).expect("goldens dir");
+        std::fs::write(&golden, &a).expect("bootstrap golden");
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden readable");
+    assert_eq!(
+        a,
+        want,
+        "cached soak --json drifted from {}; if the change is intentional, delete the golden and rerun",
+        golden.display()
+    );
+
+    // Bootstrap the uncached golden ourselves if the sibling test has not
+    // run yet, so the byte comparison below never races on test order.
+    let uncached_golden = goldens.join("soak_summary.json");
+    if !uncached_golden.exists() {
+        let uncached_args: Vec<&str> = args.iter().copied().filter(|s| *s != "--cache").collect();
+        let (u, _, ok) = run(&uncached_args);
+        assert!(ok);
+        std::fs::write(&uncached_golden, &u).expect("bootstrap uncached golden");
+    }
+    let uncached = std::fs::read_to_string(&uncached_golden).expect("uncached golden readable");
+    let cached_bytes = json_numbers(&a, "\"bytes\":");
+    let uncached_bytes = json_numbers(&uncached, "\"bytes\":");
+    assert_eq!(cached_bytes.len(), 5, "one totals block per variant");
+    assert_eq!(uncached_bytes.len(), 5);
+    for (v, (c, u)) in cached_bytes.iter().zip(&uncached_bytes).enumerate() {
+        assert!(c < u, "variant #{v}: cached run must move fewer bytes ({c} !< {u})");
+    }
+}
+
 /// Golden test for the machine-readable explain output. Self-bootstraps:
 /// the first run writes `tests/goldens/explain_rtpm.json`; every later
 /// run must reproduce it byte for byte (the DES is deterministic and the

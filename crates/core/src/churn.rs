@@ -13,10 +13,12 @@
 
 use std::sync::Arc;
 
+use skypeer_cache::{CacheConfig, CacheStats, SubspaceCache};
 use skypeer_data::Query;
-use skypeer_netsim::cost::CostModel;
+use skypeer_netsim::cost::{CostModel, WorkReport};
 use skypeer_netsim::des::{LinkModel, Sim};
 use skypeer_netsim::topology::Topology;
+use skypeer_skyline::extended::refine_from_ext;
 use skypeer_skyline::merge::merge_sorted;
 use skypeer_skyline::{Dominance, DominanceIndex, PointSet, SortedDataset, Subspace};
 
@@ -64,10 +66,15 @@ pub struct ChurnQueryReport {
     /// Whether the answer equals the exact skyline of all currently-alive
     /// stores (always true when `complete`; checked independently).
     pub exact_for_live_data: bool,
-    /// Simulated response time (ns).
+    /// Simulated response time (ns). For a cache-served answer this is the
+    /// local refinement cost alone — no network round trip happened.
     pub total_time_ns: u64,
     /// Bytes moved.
     pub volume_bytes: u64,
+    /// Whether the answer came from the runner's [`SubspaceCache`] without
+    /// touching the backbone (always `false` without
+    /// [`ChurnRunner::with_cache`]).
+    pub served_from_cache: bool,
 }
 
 /// The evolving network state of a churn scenario.
@@ -82,6 +89,10 @@ pub struct ChurnRunner {
     /// Child timeout for query execution while peers may be down.
     child_timeout_ns: u64,
     next_qid: u32,
+    /// Optional result cache. Every membership event bumps its epoch, so a
+    /// query issued after a join/crash/recovery can never be served a
+    /// result computed against the previous network.
+    cache: Option<SubspaceCache>,
 }
 
 impl ChurnRunner {
@@ -106,7 +117,25 @@ impl ChurnRunner {
             link,
             child_timeout_ns,
             next_qid: 1,
+            cache: None,
         }
+    }
+
+    /// Enables the subsumption-aware result cache with the given byte
+    /// budget. Queries then first consult the cache; misses execute an
+    /// **Extended**-flavour backbone query whose global `ext-SKY_U` result
+    /// is admitted (when complete) and refined locally — so later queries
+    /// for the same or any contained subspace are answered without
+    /// touching the network. Every churn event invalidates the cache by
+    /// bumping its epoch.
+    pub fn with_cache(mut self, max_bytes: u64) -> Self {
+        self.cache = Some(SubspaceCache::new(CacheConfig { max_bytes, index: self.index }));
+        self
+    }
+
+    /// Cache counters, when the cache is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// The store currently held by super-peer `sp`.
@@ -150,22 +179,102 @@ impl ChurnRunner {
             ChurnEvent::PeerJoin { superpeer, points } => {
                 assert!(self.alive[superpeer], "cannot join a dead super-peer");
                 self.stores[superpeer].join_peer(&points, self.index);
+                self.invalidate_cache();
                 None
             }
             ChurnEvent::SuperPeerCrash { superpeer } => {
                 self.alive[superpeer] = false;
+                self.invalidate_cache();
                 None
             }
             ChurnEvent::SuperPeerRecover { superpeer } => {
                 self.alive[superpeer] = true;
+                self.invalidate_cache();
                 None
             }
             ChurnEvent::Query { query, variant } => Some(self.run_query(query, variant)),
         }
     }
 
+    /// The reachable data just changed; no cached global result can be
+    /// trusted any more.
+    fn invalidate_cache(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.bump_epoch();
+        }
+    }
+
     fn run_query(&mut self, query: Query, variant: Variant) -> ChurnQueryReport {
         assert!(self.alive[query.initiator], "initiator is down");
+        if self.cache.is_some() {
+            return self.run_query_cached(query, variant);
+        }
+        let run = self.run_distributed(query, variant, Dominance::Standard);
+        let mut result_ids: Vec<u64> =
+            (0..run.result.len()).map(|i| run.result.points().id(i)).collect();
+        result_ids.sort_unstable();
+        let exact = result_ids == self.live_skyline(query.subspace);
+        ChurnQueryReport {
+            result_ids,
+            complete: run.complete,
+            exact_for_live_data: exact,
+            total_time_ns: run.total_time_ns,
+            volume_bytes: run.volume_bytes,
+            served_from_cache: false,
+        }
+    }
+
+    /// Cache-first query path: a (non-stale) covering entry answers
+    /// locally; a miss runs the backbone query with the **Extended**
+    /// flavour so its result is admissible for every contained subspace,
+    /// then refines locally to the standard skyline. Incomplete results
+    /// (super-peers down) are never admitted.
+    fn run_query_cached(&mut self, query: Query, variant: Variant) -> ChurnQueryReport {
+        let cache = self.cache.as_mut().expect("cached path requires a cache");
+        if let Some(ans) = cache.lookup(query.subspace) {
+            let refine_ns = self.cost.service_ns(&WorkReport::from_counts(
+                ans.refine_stats.dominance_tests,
+                ans.refine_stats.points_scanned,
+            ));
+            let exact = ans.result_ids == self.live_skyline(query.subspace);
+            return ChurnQueryReport {
+                result_ids: ans.result_ids,
+                complete: true,
+                exact_for_live_data: exact,
+                total_time_ns: refine_ns,
+                volume_bytes: 0,
+                served_from_cache: true,
+            };
+        }
+        let run = self.run_distributed(query, variant, Dominance::Extended);
+        let refined = refine_from_ext(&run.result, query.subspace, self.index);
+        let mut result_ids: Vec<u64> =
+            (0..refined.result.len()).map(|i| refined.result.points().id(i)).collect();
+        result_ids.sort_unstable();
+        if run.complete {
+            self.cache.as_mut().expect("cached path requires a cache").admit(
+                query.subspace,
+                run.result,
+                run.volume_bytes,
+            );
+        }
+        let exact = result_ids == self.live_skyline(query.subspace);
+        ChurnQueryReport {
+            result_ids,
+            complete: run.complete,
+            exact_for_live_data: exact,
+            total_time_ns: run.total_time_ns,
+            volume_bytes: run.volume_bytes,
+            served_from_cache: false,
+        }
+    }
+
+    fn run_distributed(
+        &mut self,
+        query: Query,
+        variant: Variant,
+        flavour: Dominance,
+    ) -> DistributedRun {
         let qid = self.next_qid;
         self.next_qid = self.next_qid.wrapping_add(1);
         let nodes: Vec<SuperPeerNode> = (0..self.topology.len())
@@ -174,6 +283,7 @@ impl ChurnRunner {
                     qid,
                     subspace: query.subspace,
                     variant,
+                    flavour,
                 });
                 SuperPeerNode::new(
                     sp,
@@ -199,14 +309,9 @@ impl ChurnRunner {
             .expect("initiator exists")
             .into_outcome()
             .expect("child timeouts guarantee completion");
-        let mut result_ids: Vec<u64> =
-            (0..answer.result.len()).map(|i| answer.result.points().id(i)).collect();
-        result_ids.sort_unstable();
-        let exact = result_ids == self.live_skyline(query.subspace);
-        ChurnQueryReport {
-            result_ids,
+        DistributedRun {
+            result: answer.result,
             complete: answer.complete,
-            exact_for_live_data: exact,
             total_time_ns: out.stats.finished_at.expect("completed"),
             volume_bytes: out.stats.bytes,
         }
@@ -222,6 +327,14 @@ impl ChurnRunner {
     pub fn dim(&self) -> usize {
         self.dim
     }
+}
+
+/// What one backbone execution produced (initiator's view).
+struct DistributedRun {
+    result: SortedDataset,
+    complete: bool,
+    total_time_ns: u64,
+    volume_bytes: u64,
 }
 
 /// A seeded generator of random churn scenarios, for stress tests: waves
@@ -416,6 +529,94 @@ mod unit {
         let mut r = runner(3, 5);
         r.apply(ChurnEvent::SuperPeerCrash { superpeer: 1 });
         r.apply(ChurnEvent::PeerJoin { superpeer: 1, points: peer(1, 0) });
+    }
+
+    #[test]
+    fn cached_repeat_query_is_served_locally_and_exact() {
+        let mut r = runner(5, 12).with_cache(4 << 20);
+        for sp in 0..5 {
+            r.apply(ChurnEvent::PeerJoin { superpeer: sp, points: peer(23, sp) });
+        }
+        let q = Query { subspace: Subspace::from_dims(&[0, 2, 3]), initiator: 1 };
+        let miss = r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(!miss.served_from_cache);
+        assert!(miss.exact_for_live_data, "extended-flavour miss run must still be exact");
+        assert!(miss.volume_bytes > 0);
+
+        let hit = r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(hit.served_from_cache, "repeat query must hit");
+        assert_eq!(hit.result_ids, miss.result_ids);
+        assert!(hit.exact_for_live_data);
+        assert_eq!(hit.volume_bytes, 0, "a hit moves no bytes");
+
+        // Subsumption: a contained subspace is also served from the cache.
+        let sub = Query { subspace: Subspace::from_dims(&[0, 3]), initiator: 1 };
+        let sub_hit =
+            r.apply(ChurnEvent::Query { query: sub, variant: Variant::Ftpm }).expect("report");
+        assert!(sub_hit.served_from_cache);
+        assert!(sub_hit.exact_for_live_data);
+        assert_eq!(sub_hit.result_ids, r.live_skyline(sub.subspace));
+
+        let st = r.cache_stats().expect("cache enabled");
+        assert_eq!((st.exact_hits, st.subsumption_hits, st.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn post_churn_query_never_serves_a_stale_epoch() {
+        let mut r = runner(5, 31).with_cache(4 << 20);
+        for sp in 0..5 {
+            r.apply(ChurnEvent::PeerJoin { superpeer: sp, points: peer(29, sp) });
+        }
+        let q = Query { subspace: Subspace::from_dims(&[1, 2]), initiator: 0 };
+        let warm = r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(!warm.served_from_cache);
+        let hit = r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(hit.served_from_cache, "cache is warm before the crash");
+
+        // A crash makes the cached global result untrustworthy: the next
+        // query must go back to the network, and whatever it returns is
+        // checked against the *current* live data.
+        r.apply(ChurnEvent::SuperPeerCrash { superpeer: 3 });
+        let after =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(!after.served_from_cache, "crash must invalidate the cache");
+        if after.complete {
+            assert!(after.exact_for_live_data);
+        }
+        let st = r.cache_stats().expect("cache enabled");
+        assert!(st.stale_rejects >= 1, "the stale entry was rejected at lookup");
+
+        // Same story for recovery (data grows back) and joins (data grows).
+        r.apply(ChurnEvent::SuperPeerRecover { superpeer: 3 });
+        let recovered =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(!recovered.served_from_cache, "recovery must invalidate too");
+        assert!(recovered.exact_for_live_data);
+
+        r.apply(ChurnEvent::PeerJoin { superpeer: 2, points: peer(77, 9) });
+        let joined =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        assert!(!joined.served_from_cache, "a join must invalidate too");
+        assert!(joined.exact_for_live_data);
+    }
+
+    #[test]
+    fn incomplete_results_are_never_admitted() {
+        let mut r = runner(6, 41).with_cache(4 << 20);
+        for sp in 0..6 {
+            r.apply(ChurnEvent::PeerJoin { superpeer: sp, points: peer(43, sp) });
+        }
+        r.apply(ChurnEvent::SuperPeerCrash { superpeer: 4 });
+        let q = Query { subspace: Subspace::from_dims(&[0, 1]), initiator: 0 };
+        let first =
+            r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+        if !first.complete {
+            // The partial answer must not have been cached: the repeat
+            // query goes to the network again.
+            let again =
+                r.apply(ChurnEvent::Query { query: q, variant: Variant::Ftpm }).expect("report");
+            assert!(!again.served_from_cache);
+        }
     }
 
     #[test]

@@ -277,7 +277,13 @@ impl SkypeerEngine {
     }
 
     /// Builds the per-run node vector.
-    fn make_nodes(&self, query: Query, variant: Variant, qid: u32) -> Vec<SuperPeerNode> {
+    fn make_nodes(
+        &self,
+        query: Query,
+        variant: Variant,
+        qid: u32,
+        flavour: Dominance,
+    ) -> Vec<SuperPeerNode> {
         let tree = match self.config.routing {
             RoutingMode::Flood => None,
             RoutingMode::SpanningTree => Some(self.topology.bfs_tree(query.initiator)),
@@ -288,6 +294,7 @@ impl SkypeerEngine {
                     qid,
                     subspace: query.subspace,
                     variant,
+                    flavour,
                 });
                 let node = SuperPeerNode::new(
                     sp,
@@ -342,10 +349,44 @@ impl SkypeerEngine {
         variant: Variant,
         tracer: Option<Arc<dyn Tracer>>,
     ) -> QueryOutcome {
+        self.run_observed_inner(query, variant, Dominance::Standard, tracer)
+    }
+
+    /// [`SkypeerEngine::run_query_observed`] with the **Extended** dominance
+    /// flavour: every kernel along the way (local filtering, threshold
+    /// pruning, merging) uses ext-domination, so the initiator ends up with
+    /// the *global extended skyline* `ext-SKY_U`. That result is a superset
+    /// of `SKY_U` (Observation 3) and, crucially, can be refined locally
+    /// into the exact `SKY_{U'}` for **any** `U' ⊆ U` (see
+    /// [`skypeer_skyline::extended::refine_from_ext`]) — which is what
+    /// makes it worth caching. The run is exact because removing
+    /// ext-dominated points never removes a point another peer could not
+    /// also ext-dominate, and threshold pruning stays sound: `f(p) >
+    /// dist_U(q)` implies `q` is strictly smaller than `p` on every
+    /// dimension of `U`.
+    pub fn run_query_ext_observed(
+        &self,
+        query: Query,
+        variant: Variant,
+        tracer: Option<Arc<dyn Tracer>>,
+    ) -> QueryOutcome {
+        self.run_observed_inner(query, variant, Dominance::Extended, tracer)
+    }
+
+    fn run_observed_inner(
+        &self,
+        query: Query,
+        variant: Variant,
+        flavour: Dominance,
+        tracer: Option<Arc<dyn Tracer>>,
+    ) -> QueryOutcome {
         let qid = self.next_qid.get();
         self.next_qid.set(qid.wrapping_add(1));
-        let mut sim =
-            Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost);
+        let mut sim = Sim::new(
+            self.make_nodes(query, variant, qid, flavour),
+            self.config.link,
+            self.config.cost,
+        );
         if let Some(tracer) = tracer {
             sim = sim.with_tracer(tracer);
         }
@@ -377,8 +418,11 @@ impl SkypeerEngine {
         self.next_qid.set(qid.wrapping_add(1));
 
         // Total-time run with the configured (4 KB/s) links.
-        let mut sim =
-            Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost);
+        let mut sim = Sim::new(
+            self.make_nodes(query, variant, qid, Dominance::Standard),
+            self.config.link,
+            self.config.cost,
+        );
         if let Some(tracer) = tracer {
             sim = sim.with_tracer(tracer);
         }
@@ -387,7 +431,7 @@ impl SkypeerEngine {
 
         // Computational-time run with zero-delay links.
         let zero = Sim::new(
-            self.make_nodes(query, variant, qid),
+            self.make_nodes(query, variant, qid, Dominance::Standard),
             LinkModel::zero_delay(),
             self.config.cost,
         )
@@ -460,11 +504,7 @@ impl SkypeerEngine {
         let mut starts: Vec<usize> = Vec::new();
         for (i, (q, variant)) in batch.iter().enumerate() {
             let qid = base_qid.wrapping_add(i as u32);
-            nodes[q.initiator].push_init_query(crate::node::InitQuery {
-                qid,
-                subspace: q.subspace,
-                variant: *variant,
-            });
+            nodes[q.initiator].push_init_query(InitQuery::standard(qid, q.subspace, *variant));
             if !starts.contains(&q.initiator) {
                 starts.push(q.initiator);
             }
@@ -506,10 +546,13 @@ impl SkypeerEngine {
     pub fn profile_query(&self, query: Query, variant: Variant) -> QueryProfile {
         let qid = self.next_qid.get();
         self.next_qid.set(qid.wrapping_add(1));
-        let out =
-            Sim::new(self.make_nodes(query, variant, qid), self.config.link, self.config.cost)
-                .with_breakdown()
-                .run(query.initiator);
+        let out = Sim::new(
+            self.make_nodes(query, variant, qid, Dominance::Standard),
+            self.config.link,
+            self.config.cost,
+        )
+        .with_breakdown()
+        .run(query.initiator);
         let breakdown = out.breakdown.expect("breakdown enabled");
         let total: u64 = breakdown.compute_ns.iter().sum();
         let initiator_share = if total == 0 {
@@ -555,7 +598,7 @@ impl SkypeerEngine {
         let qid = self.next_qid.get();
         self.next_qid.set(qid.wrapping_add(1));
         let nodes: Vec<SuperPeerNode> = self
-            .make_nodes(query, variant, qid)
+            .make_nodes(query, variant, qid, Dominance::Standard)
             .into_iter()
             .map(|n| n.with_child_timeout(child_timeout_ns))
             .collect();

@@ -29,6 +29,7 @@
 //! paper's scalability experiments) and on the live threaded runtime (to
 //! prove the logic under real concurrency) — see [`engine`] and [`live`].
 
+pub mod cached;
 pub mod churn;
 pub mod engine;
 pub mod explain;

@@ -9,10 +9,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use skypeer_cache::{Flight, SharedSubspaceCache};
 use skypeer_netsim::live::{run_live_multi_traced, LiveStats};
 use skypeer_netsim::obs::{SamplerHandle, Tracer};
 use skypeer_netsim::topology::Topology;
-use skypeer_skyline::{DominanceIndex, SortedDataset, Subspace};
+use skypeer_skyline::{Dominance, DominanceIndex, SortedDataset, Subspace};
 
 use crate::node::{InitQuery, SuperPeerNode};
 use crate::variants::Variant;
@@ -67,11 +68,125 @@ pub fn run_query_live_traced(
     tracer: Option<Arc<dyn Tracer>>,
     sampler: Option<&SamplerHandle>,
 ) -> Option<LiveQueryOutcome> {
+    run_live_inner(
+        topology,
+        stores,
+        subspace,
+        initiator,
+        variant,
+        Dominance::Standard,
+        index,
+        timeout,
+        tracer,
+        sampler,
+    )
+}
+
+/// [`run_query_live`] with the **Extended** dominance flavour: the
+/// initiator ends up with the global `ext-SKY_U`, which a
+/// [`skypeer_cache::SubspaceCache`] can admit and later refine into the
+/// exact `SKY_{U'}` for any `U' ⊆ U`. This is the miss path of the live
+/// cached runtime.
+pub fn run_query_live_ext(
+    topology: &Topology,
+    stores: &[Arc<SortedDataset>],
+    subspace: Subspace,
+    initiator: usize,
+    variant: Variant,
+    index: DominanceIndex,
+    timeout: Duration,
+) -> Option<LiveQueryOutcome> {
+    run_live_inner(
+        topology,
+        stores,
+        subspace,
+        initiator,
+        variant,
+        Dominance::Extended,
+        index,
+        timeout,
+        None,
+        None,
+    )
+}
+
+/// Executes one query through a [`SharedSubspaceCache`] with blocking
+/// single-flight admission — the live runtime's cached initiator path:
+///
+/// * a cache hit (exact or subsumed) is served locally, with zero wire
+///   traffic (`stats` is all zeros);
+/// * a miss whose subspace an in-flight execution covers blocks inside
+///   [`SharedSubspaceCache::begin`] until that leader completes, then is
+///   served from the freshly admitted entry;
+/// * otherwise this caller leads: it runs the **Extended**-flavour live
+///   query, admits the complete result (waking followers), and refines it
+///   locally to the standard skyline. Timeouts and incomplete results
+///   abort the flight so a waiting follower becomes the next leader.
+#[allow(clippy::too_many_arguments)]
+pub fn run_query_live_cached(
+    topology: &Topology,
+    stores: &[Arc<SortedDataset>],
+    subspace: Subspace,
+    initiator: usize,
+    variant: Variant,
+    index: DominanceIndex,
+    timeout: Duration,
+    cache: &SharedSubspaceCache,
+) -> Option<LiveQueryOutcome> {
+    match cache.begin(subspace) {
+        Flight::Hit(ans) => Some(LiveQueryOutcome {
+            result_ids: ans.result_ids,
+            complete: true,
+            result: ans.result,
+            stats: LiveStats::default(),
+            finish_ns: 0,
+        }),
+        Flight::Lead => {
+            match run_query_live_ext(topology, stores, subspace, initiator, variant, index, timeout)
+            {
+                Some(out) if out.complete => {
+                    cache.complete(subspace, out.result.clone(), out.stats.bytes);
+                    let refined =
+                        skypeer_skyline::extended::refine_from_ext(&out.result, subspace, index);
+                    let mut result_ids: Vec<u64> =
+                        (0..refined.result.len()).map(|i| refined.result.points().id(i)).collect();
+                    result_ids.sort_unstable();
+                    Some(LiveQueryOutcome {
+                        result_ids,
+                        complete: true,
+                        result: refined.result,
+                        stats: out.stats,
+                        finish_ns: out.finish_ns,
+                    })
+                }
+                other => {
+                    cache.abort(subspace);
+                    other
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_live_inner(
+    topology: &Topology,
+    stores: &[Arc<SortedDataset>],
+    subspace: Subspace,
+    initiator: usize,
+    variant: Variant,
+    flavour: Dominance,
+    index: DominanceIndex,
+    timeout: Duration,
+    tracer: Option<Arc<dyn Tracer>>,
+    sampler: Option<&SamplerHandle>,
+) -> Option<LiveQueryOutcome> {
     assert_eq!(topology.len(), stores.len(), "one store per super-peer required");
     assert!(initiator < topology.len(), "initiator out of range");
     let nodes: Vec<SuperPeerNode> = (0..topology.len())
         .map(|sp| {
-            let init = (sp == initiator).then_some(InitQuery { qid: 1, subspace, variant });
+            let init =
+                (sp == initiator).then_some(InitQuery { qid: 1, subspace, variant, flavour });
             SuperPeerNode::new(
                 sp,
                 topology.neighbors(sp).to_vec(),
@@ -151,6 +266,66 @@ mod unit {
             assert_eq!(out.result_ids, want, "variant {variant}");
             assert!(out.stats.messages > 0);
         }
+    }
+
+    #[test]
+    fn live_cached_single_flight_is_exact_and_saves_traffic() {
+        use skypeer_cache::{CacheConfig, SharedSubspaceCache};
+        let (topo, stores, all) = build_stores(5, 2, 99);
+        let cache = SharedSubspaceCache::new(CacheConfig {
+            max_bytes: 4 << 20,
+            index: DominanceIndex::Linear,
+        });
+        let u = Subspace::from_dims(&[0, 2]);
+        let sub = Subspace::from_dims(&[0]);
+        let outs: Vec<LiveQueryOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = [u, u, u, sub]
+                .into_iter()
+                .map(|q| {
+                    let (topo, stores, cache) = (&topo, &stores, &cache);
+                    s.spawn(move || {
+                        run_query_live_cached(
+                            topo,
+                            stores,
+                            q,
+                            1,
+                            Variant::Ftpm,
+                            DominanceIndex::Linear,
+                            Duration::from_secs(20),
+                            cache,
+                        )
+                        .expect("live cached query must complete")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).collect()
+        });
+        let std = skypeer_skyline::Dominance::Standard;
+        for (out, q) in outs.iter().zip([u, u, u, sub]) {
+            assert_eq!(out.result_ids, skypeer_skyline::brute::skyline_ids(&all, q, std));
+            assert!(out.complete);
+        }
+        // Single-flight: exactly one of the four executions touched the
+        // wire; the rest were hits or coalesced followers.
+        let executed = outs.iter().filter(|o| o.stats.messages > 0).count();
+        assert_eq!(executed, 1, "one leader, three cache-served");
+        let st = cache.stats();
+        assert_eq!(st.hits() + st.coalesced, 3);
+        assert_eq!(st.misses, 1);
+        // And a later identical query is a plain local hit.
+        let again = run_query_live_cached(
+            &topo,
+            &stores,
+            u,
+            0,
+            Variant::Rtfm,
+            DominanceIndex::Linear,
+            Duration::from_secs(20),
+            &cache,
+        )
+        .expect("hit");
+        assert_eq!(again.stats.bytes, 0);
+        assert_eq!(again.result_ids, skypeer_skyline::brute::skyline_ids(&all, u, std));
     }
 
     #[test]

@@ -12,9 +12,26 @@
 //! them would inflate volume for nothing).
 
 use bytes::{Buf, BufMut, BytesMut};
-use skypeer_skyline::{PointSet, SortedDataset, Subspace};
+use skypeer_skyline::{Dominance, PointSet, SortedDataset, Subspace};
 
 use crate::variants::Variant;
+
+/// Compact wire encoding of the dominance flavour a query runs under.
+fn flavour_to_wire(flavour: Dominance) -> u8 {
+    match flavour {
+        Dominance::Standard => 0,
+        Dominance::Extended => 1,
+    }
+}
+
+/// Decodes [`flavour_to_wire`].
+fn flavour_from_wire(v: u8) -> Option<Dominance> {
+    match v {
+        0 => Some(Dominance::Standard),
+        1 => Some(Dominance::Extended),
+        _ => None,
+    }
+}
 
 /// One protocol message between super-peers (or a super-peer and itself,
 /// for the deferred-computation trick in `FT*` modes).
@@ -30,6 +47,12 @@ pub enum Msg {
         threshold: f64,
         /// Execution strategy.
         variant: Variant,
+        /// Dominance flavour every kernel along the way applies.
+        /// [`Dominance::Standard`] is the ordinary protocol;
+        /// [`Dominance::Extended`] makes the distributed run produce the
+        /// global *extended* subspace skyline — the cacheable superset
+        /// that can later answer any contained subspace locally.
+        flavour: Dominance,
     },
     /// A result list flowing back toward the initiator. `done` marks the
     /// single final message of a child's subtree; `FT*M`/naive relays may
@@ -68,12 +91,13 @@ impl Msg {
     pub fn encode(&self) -> Vec<u8> {
         let mut b = BytesMut::new();
         match self {
-            Msg::Query { qid, subspace, threshold, variant } => {
+            Msg::Query { qid, subspace, threshold, variant, flavour } => {
                 b.put_u8(1);
                 b.put_u32(*qid);
                 b.put_u32(subspace.mask());
                 b.put_f64(*threshold);
                 b.put_u8(variant.to_wire());
+                b.put_u8(flavour_to_wire(*flavour));
             }
             Msg::Answer { qid, done, complete, points } => {
                 b.put_u8(2);
@@ -109,7 +133,7 @@ impl Msg {
         }
         match buf.get_u8() {
             1 => {
-                if buf.remaining() < 4 + 4 + 8 + 1 {
+                if buf.remaining() < 4 + 4 + 8 + 1 + 1 {
                     return None;
                 }
                 let qid = buf.get_u32();
@@ -124,7 +148,14 @@ impl Msg {
                     return None;
                 }
                 let variant = Variant::from_wire(buf.get_u8())?;
-                Some(Msg::Query { qid, subspace: Subspace::from_mask(mask), threshold, variant })
+                let flavour = flavour_from_wire(buf.get_u8())?;
+                Some(Msg::Query {
+                    qid,
+                    subspace: Subspace::from_mask(mask),
+                    threshold,
+                    variant,
+                    flavour,
+                })
             }
             2 => {
                 if buf.remaining() < 4 + 1 + 1 + 1 + 4 {
@@ -198,13 +229,33 @@ mod unit {
 
     #[test]
     fn query_roundtrip() {
-        let m = Msg::Query {
-            qid: 42,
-            subspace: Subspace::from_dims(&[1, 3, 5]),
-            threshold: 0.75,
-            variant: Variant::Rtpm,
-        };
-        assert_eq!(Msg::decode(&m.encode()), Some(m));
+        for flavour in [Dominance::Standard, Dominance::Extended] {
+            let m = Msg::Query {
+                qid: 42,
+                subspace: Subspace::from_dims(&[1, 3, 5]),
+                threshold: 0.75,
+                variant: Variant::Rtpm,
+                flavour,
+            };
+            assert_eq!(Msg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn bad_flavour_byte_rejected() {
+        let mut q = Msg::Query {
+            qid: 0,
+            subspace: Subspace::from_mask(1),
+            threshold: 1.0,
+            variant: Variant::Ftfm,
+            flavour: Dominance::Standard,
+        }
+        .encode();
+        let flavour_off = q.len() - 1;
+        for bad in [2u8, 255] {
+            q[flavour_off] = bad;
+            assert_eq!(Msg::decode(&q), None, "flavour byte {bad} must be rejected");
+        }
     }
 
     #[test]
@@ -248,6 +299,7 @@ mod unit {
             subspace: Subspace::from_mask(1),
             threshold: 1.0,
             variant: Variant::Ftfm,
+            flavour: Dominance::Standard,
         }
         .encode();
         bad[5..9].fill(0);
@@ -278,6 +330,7 @@ mod unit {
             subspace: Subspace::from_mask(1),
             threshold: 1.0,
             variant: Variant::Ftfm,
+            flavour: Dominance::Standard,
         }
         .encode();
         q[9..17].copy_from_slice(&f64::NAN.to_be_bytes());
@@ -297,6 +350,7 @@ mod unit {
             subspace: Subspace::from_mask(1),
             threshold: f64::INFINITY,
             variant: Variant::Naive,
+            flavour: Dominance::Standard,
         };
         let Some(Msg::Query { threshold, .. }) = Msg::decode(&m.encode()) else { panic!() };
         assert!(threshold.is_infinite());
@@ -341,12 +395,14 @@ mod unit {
                 mask in 1u32..=0xFF,
                 threshold in prop_oneof![(0.0f64..1e12), Just(f64::INFINITY)],
                 variant_idx in 0usize..5,
+                flavour_idx in 0usize..2,
             ) {
                 let m = Msg::Query {
                     qid,
                     subspace: Subspace::from_mask(mask),
                     threshold,
                     variant: Variant::ALL[variant_idx],
+                    flavour: [Dominance::Standard, Dominance::Extended][flavour_idx],
                 };
                 prop_assert_eq!(Msg::decode(&m.encode()), Some(m));
             }

@@ -53,12 +53,36 @@ pub struct InitQuery {
     pub subspace: Subspace,
     /// Execution strategy.
     pub variant: Variant,
+    /// Dominance flavour applied by every kernel of the run. Standard is
+    /// the ordinary protocol; Extended computes the global extended
+    /// subspace skyline (the cacheable superset — see `skypeer-cache`).
+    pub flavour: Dominance,
+}
+
+impl InitQuery {
+    /// An ordinary (standard-dominance) query.
+    pub fn standard(qid: u32, subspace: Subspace, variant: Variant) -> Self {
+        InitQuery { qid, subspace, variant, flavour: Dominance::Standard }
+    }
+
+    /// An extended-dominance query: the distributed run returns
+    /// `ext-SKY_U`, which a cache can refine into `SKY_V` for any
+    /// `V ⊆ U`. Exactness holds because the per-super-peer stores are
+    /// extended skylines (so no global ext-skyline point is lost locally)
+    /// and threshold pruning is sound under extended dominance:
+    /// `f(p) > dist_U(q)` means `q` is strictly below `p` on every
+    /// dimension of `U`, i.e. `q` ext-dominates `p`.
+    pub fn extended(qid: u32, subspace: Subspace, variant: Variant) -> Self {
+        InitQuery { qid, subspace, variant, flavour: Dominance::Extended }
+    }
 }
 
 /// Per-query bookkeeping on one super-peer.
 struct QueryState {
     subspace: Subspace,
     variant: Variant,
+    /// Dominance flavour every kernel of this query applies.
+    flavour: Dominance,
     /// Tightest threshold known to this node (∞ for naive).
     threshold: f64,
     /// Node the query arrived from (`None` on the initiator).
@@ -199,16 +223,12 @@ impl SuperPeerNode {
         let old_threshold = state.threshold;
         let started = Instant::now();
         let (result, threshold, stats) = if state.variant.uses_threshold() {
-            let out = self.store.subspace_skyline(
-                state.subspace,
-                Dominance::Standard,
-                state.threshold,
-                index,
-            );
+            let out =
+                self.store.subspace_skyline(state.subspace, state.flavour, state.threshold, index);
             (out.result, out.threshold, out.stats)
         } else {
             let (indices, bstats) =
-                bnl::skyline_with_stats(self.store.points(), state.subspace, Dominance::Standard);
+                bnl::skyline_with_stats(self.store.points(), state.subspace, state.flavour);
             let set = self.store.points().gather(&indices);
             let stats = KernelStats {
                 dominance_tests: bstats.dominance_tests,
@@ -243,6 +263,7 @@ impl SuperPeerNode {
             subspace: state.subspace,
             threshold: state.threshold,
             variant: state.variant,
+            flavour: state.flavour,
         };
         let bytes = msg.wire_bytes();
         let encoded = msg.encode();
@@ -286,13 +307,14 @@ impl SuperPeerNode {
             let subspace = state.subspace;
             let threshold = state.threshold;
             let variant = state.variant;
+            let flavour = state.flavour;
             let final_result = if variant.uses_threshold() {
                 let started = Instant::now();
                 let mut lists: Vec<&SortedDataset> = Vec::with_capacity(collected.len() + 1);
                 lists.push(&local);
                 lists.extend(collected.iter());
                 let index = self.policy.resolve(self.store.len(), subspace);
-                let merged = merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
+                let merged = merge_sorted(&lists, subspace, flavour, threshold, index);
                 ctx.report_work(WorkReport {
                     dominance_tests: merged.stats.dominance_tests,
                     points_scanned: merged.stats.points_scanned,
@@ -310,8 +332,7 @@ impl SuperPeerNode {
                 for l in &collected {
                     all.extend_from(l.points());
                 }
-                let (indices, bstats) =
-                    bnl::skyline_with_stats(&all, subspace, Dominance::Standard);
+                let (indices, bstats) = bnl::skyline_with_stats(&all, subspace, flavour);
                 ctx.report_work(WorkReport {
                     dominance_tests: bstats.dominance_tests,
                     points_scanned: bstats.points_scanned,
@@ -329,12 +350,13 @@ impl SuperPeerNode {
                 let collected = std::mem::take(&mut state.collected);
                 let subspace = state.subspace;
                 let threshold = state.threshold;
+                let flavour = state.flavour;
                 let started = Instant::now();
                 let mut lists: Vec<&SortedDataset> = Vec::with_capacity(collected.len() + 1);
                 lists.push(&local);
                 lists.extend(collected.iter());
                 let index = self.policy.resolve(self.store.len(), subspace);
-                let merged = merge_sorted(&lists, subspace, Dominance::Standard, threshold, index);
+                let merged = merge_sorted(&lists, subspace, flavour, threshold, index);
                 ctx.report_work(WorkReport {
                     dominance_tests: merged.stats.dominance_tests,
                     points_scanned: merged.stats.points_scanned,
@@ -351,6 +373,7 @@ impl SuperPeerNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_query(
         &mut self,
         from: usize,
@@ -358,6 +381,7 @@ impl SuperPeerNode {
         subspace: Subspace,
         threshold: f64,
         variant: Variant,
+        flavour: Dominance,
         ctx: &mut dyn Context,
     ) {
         if self.states.contains_key(&qid) {
@@ -372,6 +396,7 @@ impl SuperPeerNode {
             QueryState {
                 subspace,
                 variant,
+                flavour,
                 threshold,
                 parent: Some(from),
                 outstanding: Vec::new(),
@@ -456,6 +481,7 @@ impl SuperPeerNode {
             QueryState {
                 subspace: init.subspace,
                 variant: init.variant,
+                flavour: init.flavour,
                 threshold: f64::INFINITY,
                 parent: None,
                 outstanding: Vec::new(),
@@ -501,8 +527,8 @@ impl Behavior for SuperPeerNode {
 
     fn on_message(&mut self, from: usize, msg: Vec<u8>, ctx: &mut dyn Context) {
         match Msg::decode(&msg) {
-            Some(Msg::Query { qid, subspace, threshold, variant }) => {
-                self.on_query(from, qid, subspace, threshold, variant, ctx);
+            Some(Msg::Query { qid, subspace, threshold, variant, flavour }) => {
+                self.on_query(from, qid, subspace, threshold, variant, flavour, ctx);
             }
             Some(Msg::Answer { qid, done, complete, points }) => {
                 self.on_answer(from, qid, done, complete, points, ctx);
@@ -583,7 +609,7 @@ mod unit {
     ) -> (Vec<u64>, bool, skypeer_netsim::des::SimStats) {
         let nodes: Vec<SuperPeerNode> = (0..topo.len())
             .map(|sp| {
-                let init = (sp == initiator).then_some(InitQuery { qid: 9, subspace: u, variant });
+                let init = (sp == initiator).then_some(InitQuery::standard(9, u, variant));
                 SuperPeerNode::new(
                     sp,
                     topo.neighbors(sp).to_vec(),
@@ -671,8 +697,7 @@ mod unit {
         let u = Subspace::from_dims(&[0, 2]);
         let nodes: Vec<SuperPeerNode> = (0..4)
             .map(|sp| {
-                let init =
-                    (sp == 0).then_some(InitQuery { qid: 1, subspace: u, variant: Variant::Rtpm });
+                let init = (sp == 0).then_some(InitQuery::standard(1, u, Variant::Rtpm));
                 SuperPeerNode::new(
                     sp,
                     topo.neighbors(sp).to_vec(),
@@ -702,8 +727,7 @@ mod unit {
         let u = Subspace::from_dims(&[0]);
         let nodes: Vec<SuperPeerNode> = (0..3)
             .map(|sp| {
-                let init =
-                    (sp == 0).then_some(InitQuery { qid: 1, subspace: u, variant: Variant::Ftpm });
+                let init = (sp == 0).then_some(InitQuery::standard(1, u, Variant::Ftpm));
                 SuperPeerNode::new(
                     sp,
                     topo.neighbors(sp).to_vec(),
@@ -717,6 +741,46 @@ mod unit {
         let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(0);
         let answer = out.nodes.into_iter().next().expect("node 0").into_outcome().expect("done");
         assert!(!answer.complete, "instant timeout abandons all children");
+    }
+
+    #[test]
+    fn extended_flavour_run_returns_global_ext_skyline() {
+        // An Extended-flavour distributed query must return exactly the
+        // extended subspace skyline of the *union* of all raw data — the
+        // invariant the result cache depends on. Threshold pruning and
+        // progressive merging must not lose any ext-skyline point.
+        let topo = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (stores, all) = stores(4, 25);
+        for u in [Subspace::from_dims(&[0, 1]), Subspace::full(3), Subspace::from_dims(&[2])] {
+            let want = brute::skyline_ids(&all, u, Dominance::Extended);
+            for variant in Variant::ALL {
+                let nodes: Vec<SuperPeerNode> = (0..4)
+                    .map(|sp| {
+                        let init = (sp == 1).then_some(InitQuery::extended(5, u, variant));
+                        SuperPeerNode::new(
+                            sp,
+                            topo.neighbors(sp).to_vec(),
+                            Arc::clone(&stores[sp]),
+                            DominanceIndex::Linear,
+                            init,
+                        )
+                    })
+                    .collect();
+                let out = Sim::new(nodes, LinkModel::zero_delay(), CostModel::default()).run(1);
+                let answer = out
+                    .nodes
+                    .into_iter()
+                    .nth(1)
+                    .expect("initiator")
+                    .into_outcome()
+                    .expect("query completed");
+                assert!(answer.complete);
+                let mut ids: Vec<u64> =
+                    (0..answer.result.len()).map(|i| answer.result.points().id(i)).collect();
+                ids.sort_unstable();
+                assert_eq!(ids, want, "U={u} {variant}");
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct WorkReport {
     pub measured: Option<Duration>,
 }
 
+impl WorkReport {
+    /// A report from raw counts, with no wall-time measurement — the shape
+    /// every analytic-model caller wants.
+    pub fn from_counts(dominance_tests: u64, points_scanned: u64) -> Self {
+        WorkReport { dominance_tests, points_scanned, measured: None }
+    }
+}
+
 /// Translates a [`WorkReport`] into simulated service nanoseconds.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CostModel {

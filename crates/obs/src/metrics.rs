@@ -236,6 +236,14 @@ impl MetricsRegistry {
         m
     }
 
+    /// Adds `by` to counter `k`, creating it at zero first. This is how
+    /// subsystems that are not part of the trace — e.g. a result cache at
+    /// the initiator — contribute counters to the same registry (and
+    /// therefore to the same Prometheus exposition).
+    pub fn bump(&mut self, k: &'static str, by: u64) {
+        *self.counters.entry(k).or_insert(0) += by;
+    }
+
     /// The largest inbox backlog any node reached (see
     /// [`MetricsRegistry::peak_queue_depth`]).
     pub fn max_queue_depth(&self) -> u64 {

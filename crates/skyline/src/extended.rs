@@ -38,6 +38,38 @@ pub fn ext_skyline_on(set: &PointSet, u: Subspace, index: DominanceIndex) -> Thr
     sorted.subspace_skyline(u, Dominance::Extended, f64::INFINITY, index)
 }
 
+/// Answers the **standard** subspace skyline `SKY_U` from a stored
+/// extended result `ext-SKY_V`, for any `U ⊆ V`.
+///
+/// This is the generalization of Observation 4 that makes result *reuse*
+/// (not just data reduction) lossless: if `q` ext-dominates `p` on `V`
+/// then it does so on every `U ⊆ V`, hence `ext-SKY_U ⊆ ext-SKY_V` and in
+/// particular `SKY_U ⊆ ext-SKY_V`. Dominators are preserved too — any
+/// point of the original dataset that dominates `p` on `U` is itself
+/// (transitively) represented in `ext-SKY_V` by a point that still
+/// dominates `p` on `U` — so running Algorithm 1 over the cached extended
+/// result with *standard* dominance yields `SKY_U` of the full dataset
+/// exactly. This is what lets a cache keyed by `V` serve every contained
+/// subspace locally.
+///
+/// # Panics
+///
+/// Debug-asserts `u` fits the dataset's dimensionality; the *semantic*
+/// precondition `U ⊆ V` (where `V` is the subspace `ext` was computed on)
+/// cannot be checked here and is the caller's contract.
+pub fn refine_from_ext(
+    ext: &SortedDataset,
+    u: Subspace,
+    index: DominanceIndex,
+) -> ThresholdOutcome {
+    debug_assert!(
+        u.dims().all(|d| d < ext.dim()),
+        "subspace {u} out of range for a {}-dimensional dataset",
+        ext.dim()
+    );
+    ext.subspace_skyline(u, Dominance::Standard, f64::INFINITY, index)
+}
+
 /// Selectivity of a reduction step: `|reduced| / |original|`, the quantity
 /// plotted in Figure 3(a) (`SEL_p`, `SEL_sp`).
 pub fn selectivity(reduced: usize, original: usize) -> f64 {
@@ -108,6 +140,29 @@ mod unit {
         assert_eq!(selectivity(0, 0), 0.0);
         assert_eq!(selectivity(5, 10), 0.5);
         assert_eq!(selectivity(10, 10), 1.0);
+    }
+
+    #[test]
+    fn refine_from_ext_recovers_every_contained_skyline() {
+        let s = figure2_peer_a();
+        let v = crate::subspace::Subspace::from_dims(&[0, 1, 3]);
+        let ext = ext_skyline_on(&s, v, DominanceIndex::Linear);
+        for u in crate::subspace::Subspace::enumerate_all(4) {
+            if !u.is_subset_of(v) {
+                continue;
+            }
+            for index in [DominanceIndex::Linear, DominanceIndex::RTree] {
+                let out = refine_from_ext(&ext.result, u, index);
+                let mut ids: Vec<u64> =
+                    (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
+                ids.sort_unstable();
+                assert_eq!(
+                    ids,
+                    brute::skyline_ids(&s, u, Dominance::Standard),
+                    "U={u} ⊆ V={v} must refine exactly"
+                );
+            }
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ fn main() {
 
     let nodes: Vec<SuperPeerNode> = (0..n_sp)
         .map(|sp| {
-            let init = (sp == initiator).then_some(InitQuery { qid: 1, subspace, variant });
+            let init = (sp == initiator).then_some(InitQuery::standard(1, subspace, variant));
             SuperPeerNode::new(
                 sp,
                 topo.neighbors(sp).to_vec(),

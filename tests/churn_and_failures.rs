@@ -79,11 +79,11 @@ fn make_nodes(
 ) -> Vec<SuperPeerNode> {
     (0..topo.len())
         .map(|sp| {
-            let init = (sp == initiator).then_some(InitQuery {
-                qid: 1,
-                subspace: Subspace::from_dims(&[0, 1]),
+            let init = (sp == initiator).then_some(InitQuery::standard(
+                1,
+                Subspace::from_dims(&[0, 1]),
                 variant,
-            });
+            ));
             SuperPeerNode::new(
                 sp,
                 topo.neighbors(sp).to_vec(),

@@ -124,9 +124,9 @@ fn live_runtime_handles_a_concurrent_batch() {
             )
         })
         .collect();
-    nodes[0].push_init_query(InitQuery { qid: 1, subspace: u1, variant: Variant::Ftpm });
-    nodes[0].push_init_query(InitQuery { qid: 2, subspace: u2, variant: Variant::Rtfm });
-    nodes[4].push_init_query(InitQuery { qid: 3, subspace: u3, variant: Variant::Naive });
+    nodes[0].push_init_query(InitQuery::standard(1, u1, Variant::Ftpm));
+    nodes[0].push_init_query(InitQuery::standard(2, u2, Variant::Rtfm));
+    nodes[4].push_init_query(InitQuery::standard(3, u3, Variant::Naive));
 
     let out =
         run_live_multi(nodes, &[0, 4], 3, Duration::from_secs(30)).expect("live batch completes");

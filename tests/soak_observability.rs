@@ -41,6 +41,7 @@ fn skewed_spec(queries: usize, tail_k: usize) -> SoakSpec {
         slo: SloSpec::default(),
         tail_k,
         hdr_precision: 7,
+        cache_bytes: None,
     }
 }
 
@@ -121,6 +122,7 @@ fn uniform_soak_matches_plain_workload_latencies() {
         slo: SloSpec::default(),
         tail_k: 2,
         hdr_precision: 7,
+        cache_bytes: None,
     };
     let out = run_soak(&engine, &spec, |_| {});
     assert_eq!(out.queries, plain);

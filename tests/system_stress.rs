@@ -38,7 +38,7 @@ fn skewed_data_placement_stays_exact() {
     for variant in Variant::ALL {
         let nodes: Vec<SuperPeerNode> = (0..n_sp)
             .map(|sp| {
-                let init = (sp == 1).then_some(InitQuery { qid: 1, subspace: u, variant });
+                let init = (sp == 1).then_some(InitQuery::standard(1, u, variant));
                 SuperPeerNode::new(
                     sp,
                     topo.neighbors(sp).to_vec(),
@@ -80,11 +80,11 @@ fn auto_index_policy_is_transparent() {
         let fixed = engine.run_query(*q, Variant::Ftpm);
         let nodes: Vec<SuperPeerNode> = (0..n_superpeers)
             .map(|sp| {
-                let init = (sp == q.initiator).then_some(InitQuery {
-                    qid: 77,
-                    subspace: q.subspace,
-                    variant: Variant::Ftpm,
-                });
+                let init = (sp == q.initiator).then_some(InitQuery::standard(
+                    77,
+                    q.subspace,
+                    Variant::Ftpm,
+                ));
                 SuperPeerNode::new(
                     sp,
                     engine.topology().neighbors(sp).to_vec(),
