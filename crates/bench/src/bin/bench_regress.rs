@@ -7,6 +7,8 @@
 //! bench-regress --compare BASE CUR   # exit 1 if a deterministic metric grew >15%
 //! bench-regress --compare BASE CUR --threshold 0.20
 //! bench-regress --compare BASE CUR --report-only   # never exit nonzero
+//! bench-regress --compare BASE CUR --attribution-out FILE   # where the root-cause
+//!                                                           # report lands on failure
 //! ```
 //!
 //! The gate is hard by default: `sim_time_ns`, `total_bytes`,
@@ -14,8 +16,17 @@
 //! given toolchain, so growth beyond the threshold fails the exit code.
 //! `wall_time_ms` is host-dependent and always advisory — printed, never
 //! fatal.
+//!
+//! Run mode also writes a `*_digests.json` sibling next to the report
+//! (per-figure trace digests). When a compare fails and digest siblings
+//! exist for both paths, the gate emits an attribution report naming the
+//! phase/node/link behind each regressed metric — the CI artifact to read
+//! first when the gate goes red.
 
-use skypeer_bench::regress::{compare, BenchReport};
+use skypeer_bench::regress::{
+    compare, digests_from_json, digests_to_json, BenchReport, FigureDigest, HostFingerprint,
+};
+use skypeer_netsim::obs::diff::AttributionReport;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -31,7 +42,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench-regress [--out FILE] | --compare BASELINE CURRENT [--threshold F] [--report-only]");
+        eprintln!("usage: bench-regress [--out FILE] | --compare BASELINE CURRENT [--threshold F] [--report-only] [--attribution-out FILE]");
         return Ok(ExitCode::SUCCESS);
     }
     if let Some(pos) = args.iter().position(|a| a == "--compare") {
@@ -47,12 +58,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             None => 0.15,
         };
         let report_only = args.iter().any(|a| a == "--report-only");
+        let attribution_out = match args.iter().position(|a| a == "--attribution-out") {
+            Some(p) => args.get(p + 1).ok_or("--attribution-out needs a path")?.clone(),
+            None => "BENCH_attribution.txt".to_string(),
+        };
         let baseline = load(baseline_path)?;
         let current = load(current_path)?;
         let cmp = compare(&baseline, &current, threshold);
         print!("{}", cmp.render(threshold));
         if cmp.regressions.is_empty() && cmp.improvements.is_empty() {
             println!("all {} shared entries within threshold", shared(&baseline, &current));
+        }
+        if cmp.is_regression() {
+            attribute_regressions(baseline_path, current_path, &cmp, &attribution_out);
         }
         return Ok(if cmp.is_regression() && !report_only {
             ExitCode::FAILURE
@@ -69,12 +87,91 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     eprintln!(
         "running pinned regression subset (deterministic DES, 3 figures x 5 variants + cache)..."
     );
-    let entries = skypeer_bench::regress::run_pinned();
-    let report = BenchReport { commit: current_commit(), date: utc_date(), entries };
+    let (entries, digests) = skypeer_bench::regress::run_pinned_full();
+    let report = BenchReport {
+        commit: current_commit(),
+        date: utc_date(),
+        host: Some(HostFingerprint::current()),
+        entries,
+    };
     std::fs::write(&out_path, report.to_json())
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let digest_path = digests_path(&out_path);
+    std::fs::write(&digest_path, digests_to_json(&report.commit, &digests))
+        .map_err(|e| format!("cannot write {digest_path}: {e}"))?;
     println!("wrote {} entries to {out_path} (commit {})", report.entries.len(), report.commit);
+    println!("wrote {} trace digests to {digest_path}", digests.len());
     Ok(ExitCode::SUCCESS)
+}
+
+/// The digest sibling of a report path: `X.json` -> `X_digests.json`.
+fn digests_path(report_path: &str) -> String {
+    match report_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_digests.json"),
+        None => format!("{report_path}_digests.json"),
+    }
+}
+
+fn load_digests(report_path: &str) -> Result<Vec<FigureDigest>, String> {
+    let path = digests_path(report_path);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    digests_from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// On gate failure, decompose each regressed figure/variant's deltas down
+/// to phase/node/link using the digest sibling files. Best-effort: a
+/// missing or stale digest file prints a note instead of masking the
+/// (already-failing) gate with a second error.
+fn attribute_regressions(
+    baseline_path: &str,
+    current_path: &str,
+    cmp: &skypeer_bench::regress::Comparison,
+    out_path: &str,
+) {
+    let (base_digests, cur_digests) =
+        match (load_digests(baseline_path), load_digests(current_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (b, c) => {
+                for err in [b.err(), c.err()].into_iter().flatten() {
+                    eprintln!("note: no attribution report: {err}");
+                }
+                return;
+            }
+        };
+    // Regressed keys are `figure/variant/metric`; attribute each
+    // figure/variant pair once.
+    let mut pairs: Vec<(String, String)> = cmp
+        .regressions
+        .iter()
+        .filter_map(|d| {
+            let mut it = d.key.split('/');
+            Some((it.next()?.to_string(), it.next()?.to_string()))
+        })
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    let mut out = String::new();
+    for (figure, variant) in &pairs {
+        let find = |ds: &[FigureDigest]| {
+            ds.iter()
+                .find(|d| &d.figure == figure && &d.variant == variant)
+                .map(|d| d.digest.clone())
+        };
+        match (find(&base_digests), find(&cur_digests)) {
+            (Some(b), Some(c)) => {
+                out.push_str(&format!("== {figure}/{variant} ==\n"));
+                out.push_str(&AttributionReport::attribute(&b, &c).render());
+                out.push('\n');
+            }
+            _ => out.push_str(&format!("== {figure}/{variant} ==\n  (no digest on one side)\n\n")),
+        }
+    }
+    match std::fs::write(out_path, &out) {
+        Ok(()) => {
+            println!("attribution report for {} regressed figure(s): {out_path}", pairs.len())
+        }
+        Err(e) => eprintln!("note: cannot write attribution report {out_path}: {e}"),
+    }
 }
 
 fn load(path: &str) -> Result<BenchReport, String> {

@@ -1,0 +1,450 @@
+//! Soak-summary diffing: per-variant percentile drift, cache hit-rate
+//! deltas, and SLO margin movement between two `SOAK_summary.json`
+//! documents (see [`crate::soak::SoakOutcome::summary_json`]).
+//!
+//! This is the workload-level counterpart of the per-trace attribution
+//! in `skypeer_obs::diff`: where a trace diff names the phase/node/link
+//! behind a single query's delta, a soak diff names the variant and
+//! statistic behind a workload's drift. Output is byte-deterministic
+//! (stable key order, [`json`]-formatted floats) so it can be
+//! golden-pinned like every other report in the repo.
+
+use skypeer_netsim::obs::json::{self, float, Obj};
+use std::collections::BTreeSet;
+
+/// The latency/volume percentile statistics a soak summary records, in
+/// report order.
+const PCT_STATS: [&str; 6] = ["p50", "p90", "p99", "p999", "min", "max"];
+/// The per-variant totals a soak summary records, in report order.
+const TOTAL_STATS: [&str; 4] = ["sim_time_ns", "bytes", "messages", "dominance_tests"];
+
+/// One statistic's movement between baseline and candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatDrift {
+    /// Statistic name (`p50` … `max`, or a totals key).
+    pub stat: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Candidate value.
+    pub candidate: u64,
+}
+
+impl StatDrift {
+    /// Signed delta, candidate − baseline.
+    pub fn delta(&self) -> i64 {
+        self.candidate as i64 - self.baseline as i64
+    }
+}
+
+/// One SLO check's margin (budget − actual; positive = headroom)
+/// movement. `None` margins mean the check was absent (or had no
+/// samples) on that side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloMarginMove {
+    /// The objective, e.g. `"latency_p99_ns"`.
+    pub metric: String,
+    /// Baseline margin.
+    pub baseline_margin: Option<i64>,
+    /// Candidate margin.
+    pub candidate_margin: Option<i64>,
+}
+
+/// One variant's drift between two soak summaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VariantDrift {
+    /// Variant mnemonic.
+    pub variant: String,
+    /// Latency percentile drift (`latency_ns` histogram).
+    pub latency_ns: Vec<StatDrift>,
+    /// Per-query volume percentile drift (`volume_bytes` histogram).
+    pub volume_bytes: Vec<StatDrift>,
+    /// Totals drift.
+    pub totals: Vec<StatDrift>,
+    /// Cache hit rates, when either side ran cache-fronted.
+    pub cache_hit_rate: Option<(Option<f64>, Option<f64>)>,
+    /// SLO margin movement, one row per check present on either side.
+    pub slo: Vec<SloMarginMove>,
+}
+
+/// The full diff of two soak summaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoakSummaryDiff {
+    /// Gate outcome on each side.
+    pub baseline_pass: bool,
+    /// Candidate gate outcome.
+    pub candidate_pass: bool,
+    /// Per-variant drift, in baseline variant order.
+    pub variants: Vec<VariantDrift>,
+    /// Variants only the baseline ran.
+    pub only_in_baseline: Vec<String>,
+    /// Variants only the candidate ran.
+    pub only_in_candidate: Vec<String>,
+}
+
+type Value = serde_json::Value;
+
+fn req<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{what} missing '{key}'"))
+}
+
+fn req_u64(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    req(v, key, what)?.as_u64().ok_or_else(|| format!("{what}.{key} is not a u64"))
+}
+
+fn req_bool(v: &Value, key: &str, what: &str) -> Result<bool, String> {
+    match req(v, key, what)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("{what}.{key} is not a bool")),
+    }
+}
+
+/// One parsed variant block of a summary.
+struct VariantBlock {
+    variant: String,
+    latency: Vec<(String, u64)>,
+    volume: Vec<(String, u64)>,
+    totals: Vec<(String, u64)>,
+    cache_hit_rate: Option<f64>,
+    /// `metric -> margin` (budget − actual; `None` actual = no samples).
+    slo: Vec<(String, Option<i64>)>,
+}
+
+fn parse_variants(doc: &Value) -> Result<Vec<VariantBlock>, String> {
+    let rows =
+        req(doc, "variants", "summary")?.as_array().ok_or("summary.variants is not an array")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let variant =
+            req(row, "variant", "variant")?.as_str().ok_or("variant name not a string")?;
+        let stats = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            let obj = req(row, key, variant)?;
+            PCT_STATS.iter().map(|&s| Ok((s.to_string(), req_u64(obj, s, key)?))).collect()
+        };
+        let totals_obj = req(row, "totals", variant)?;
+        let totals = TOTAL_STATS
+            .iter()
+            .map(|&s| Ok((s.to_string(), req_u64(totals_obj, s, "totals")?)))
+            .collect::<Result<Vec<_>, String>>()?;
+        let cache_hit_rate = match row.get("cache") {
+            Some(c) => Some(
+                req(c, "hit_rate", "cache")?.as_f64().ok_or("cache.hit_rate is not a number")?,
+            ),
+            None => None,
+        };
+        let mut slo = Vec::new();
+        if let Some(checks) = req(row, "slo", variant)?.get("checks").and_then(|c| c.as_array()) {
+            for c in checks {
+                let metric =
+                    req(c, "metric", "slo check")?.as_str().ok_or("slo metric not a string")?;
+                let budget = req_u64(c, "budget", "slo check")? as i64;
+                let margin = c.get("actual").and_then(|a| a.as_u64()).map(|a| budget - a as i64);
+                slo.push((metric.to_string(), margin));
+            }
+        }
+        out.push(VariantBlock {
+            variant: variant.to_string(),
+            latency: stats("latency_ns")?,
+            volume: stats("volume_bytes")?,
+            totals,
+            cache_hit_rate,
+            slo,
+        });
+    }
+    Ok(out)
+}
+
+fn drift(base: &[(String, u64)], cand: &[(String, u64)]) -> Vec<StatDrift> {
+    base.iter()
+        .filter_map(|(stat, b)| {
+            cand.iter().find(|(s, _)| s == stat).map(|(_, c)| StatDrift {
+                stat: stat.clone(),
+                baseline: *b,
+                candidate: *c,
+            })
+        })
+        .collect()
+}
+
+/// Diffs two soak-summary JSON documents. Variants are aligned by name;
+/// within a variant every pinned statistic is reported (changed or not)
+/// so goldens stay stable when nothing moves.
+pub fn diff_soak_summaries(baseline: &str, candidate: &str) -> Result<SoakSummaryDiff, String> {
+    let b: Value =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline: invalid JSON: {e:?}"))?;
+    let c: Value =
+        serde_json::from_str(candidate).map_err(|e| format!("candidate: invalid JSON: {e:?}"))?;
+    let bv = parse_variants(&b).map_err(|e| format!("baseline: {e}"))?;
+    let cv = parse_variants(&c).map_err(|e| format!("candidate: {e}"))?;
+
+    let mut variants = Vec::new();
+    let mut only_in_baseline = Vec::new();
+    for vb in &bv {
+        let Some(vc) = cv.iter().find(|v| v.variant == vb.variant) else {
+            only_in_baseline.push(vb.variant.clone());
+            continue;
+        };
+        let cache_hit_rate = if vb.cache_hit_rate.is_some() || vc.cache_hit_rate.is_some() {
+            Some((vb.cache_hit_rate, vc.cache_hit_rate))
+        } else {
+            None
+        };
+        let metrics: BTreeSet<String> =
+            vb.slo.iter().chain(vc.slo.iter()).map(|(m, _)| m.clone()).collect();
+        let slo = metrics
+            .into_iter()
+            .map(|metric| SloMarginMove {
+                baseline_margin: vb.slo.iter().find(|(m, _)| *m == metric).and_then(|(_, v)| *v),
+                candidate_margin: vc.slo.iter().find(|(m, _)| *m == metric).and_then(|(_, v)| *v),
+                metric,
+            })
+            .collect();
+        variants.push(VariantDrift {
+            variant: vb.variant.clone(),
+            latency_ns: drift(&vb.latency, &vc.latency),
+            volume_bytes: drift(&vb.volume, &vc.volume),
+            totals: drift(&vb.totals, &vc.totals),
+            cache_hit_rate,
+            slo,
+        });
+    }
+    let only_in_candidate = cv
+        .iter()
+        .filter(|v| !bv.iter().any(|b| b.variant == v.variant))
+        .map(|v| v.variant.clone())
+        .collect();
+
+    Ok(SoakSummaryDiff {
+        baseline_pass: req_bool(&b, "pass", "baseline summary")?,
+        candidate_pass: req_bool(&c, "pass", "candidate summary")?,
+        variants,
+        only_in_baseline,
+        only_in_candidate,
+    })
+}
+
+fn drift_arr(rows: &[StatDrift]) -> String {
+    json::arr(rows.iter().map(|d| {
+        Obj::new()
+            .str("stat", &d.stat)
+            .u64("baseline", d.baseline)
+            .u64("candidate", d.candidate)
+            .raw("delta", &d.delta().to_string())
+            .build()
+    }))
+}
+
+fn opt_i64(v: Option<i64>) -> String {
+    v.map_or("null".to_string(), |x| x.to_string())
+}
+
+impl SoakSummaryDiff {
+    /// `true` when nothing moved anywhere: every statistic, hit rate,
+    /// SLO margin, and gate outcome is identical.
+    pub fn all_zero(&self) -> bool {
+        self.baseline_pass == self.candidate_pass
+            && self.only_in_baseline.is_empty()
+            && self.only_in_candidate.is_empty()
+            && self.variants.iter().all(|v| {
+                v.latency_ns.iter().all(|d| d.delta() == 0)
+                    && v.volume_bytes.iter().all(|d| d.delta() == 0)
+                    && v.totals.iter().all(|d| d.delta() == 0)
+                    && v.cache_hit_rate.is_none_or(|(b, c)| b == c)
+                    && v.slo.iter().all(|m| m.baseline_margin == m.candidate_margin)
+            })
+    }
+
+    /// Deterministic JSON rendering (via the shared [`json`] builder).
+    pub fn to_json(&self) -> String {
+        let variants = json::arr(self.variants.iter().map(|v| {
+            let mut o = Obj::new()
+                .str("variant", &v.variant)
+                .raw("latency_ns", &drift_arr(&v.latency_ns))
+                .raw("volume_bytes", &drift_arr(&v.volume_bytes))
+                .raw("totals", &drift_arr(&v.totals));
+            if let Some((b, c)) = v.cache_hit_rate {
+                let fmt = |x: Option<f64>| x.map_or("null".to_string(), float);
+                o = o.raw(
+                    "cache_hit_rate",
+                    &Obj::new().raw("baseline", &fmt(b)).raw("candidate", &fmt(c)).build(),
+                );
+            }
+            let slo = json::arr(v.slo.iter().map(|m| {
+                Obj::new()
+                    .str("metric", &m.metric)
+                    .raw("baseline_margin", &opt_i64(m.baseline_margin))
+                    .raw("candidate_margin", &opt_i64(m.candidate_margin))
+                    .build()
+            }));
+            o.raw("slo_margins", &slo).build()
+        }));
+        Obj::new()
+            .bool("all_zero", self.all_zero())
+            .bool("baseline_pass", self.baseline_pass)
+            .bool("candidate_pass", self.candidate_pass)
+            .raw("variants", &variants)
+            .raw(
+                "only_in_baseline",
+                &json::arr(
+                    self.only_in_baseline.iter().map(|s| format!("\"{}\"", json::escape(s))),
+                ),
+            )
+            .raw(
+                "only_in_candidate",
+                &json::arr(
+                    self.only_in_candidate.iter().map(|s| format!("\"{}\"", json::escape(s))),
+                ),
+            )
+            .build()
+    }
+
+    /// Human-readable table, one block per variant.
+    pub fn render(&self) -> String {
+        let mut out = String::from("soak summary diff (candidate vs baseline)\n");
+        out.push_str(&format!(
+            "  gate: baseline {} -> candidate {}\n",
+            if self.baseline_pass { "PASS" } else { "FAIL" },
+            if self.candidate_pass { "PASS" } else { "FAIL" },
+        ));
+        if self.all_zero() {
+            out.push_str("  summaries are identical: no drift\n");
+            return out;
+        }
+        for v in &self.variants {
+            out.push_str(&format!("  variant {}\n", v.variant));
+            let mut section = |name: &str, rows: &[StatDrift]| {
+                for d in rows {
+                    if d.delta() != 0 {
+                        out.push_str(&format!(
+                            "    {name}.{:<16} {:+}  ({} -> {})\n",
+                            d.stat,
+                            d.delta(),
+                            d.baseline,
+                            d.candidate
+                        ));
+                    }
+                }
+            };
+            section("latency_ns", &v.latency_ns);
+            section("volume_bytes", &v.volume_bytes);
+            section("totals", &v.totals);
+            if let Some((b, c)) = v.cache_hit_rate {
+                if b != c {
+                    let fmt = |x: Option<f64>| x.map_or("n/a".to_string(), |f| format!("{f:.4}"));
+                    out.push_str(&format!(
+                        "    cache.hit_rate          {} -> {}\n",
+                        fmt(b),
+                        fmt(c)
+                    ));
+                }
+            }
+            for m in &v.slo {
+                if m.baseline_margin != m.candidate_margin {
+                    let fmt = |x: Option<i64>| x.map_or("n/a".to_string(), |v| format!("{v}"));
+                    out.push_str(&format!(
+                        "    slo_margin.{:<14} {} -> {}\n",
+                        m.metric,
+                        fmt(m.baseline_margin),
+                        fmt(m.candidate_margin)
+                    ));
+                }
+            }
+        }
+        for v in &self.only_in_baseline {
+            out.push_str(&format!("  only in baseline: {v}\n"));
+        }
+        for v in &self.only_in_candidate {
+            out.push_str(&format!("  only in candidate: {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn summary(
+        variant: &str,
+        p99: u64,
+        sim_time: u64,
+        hit_rate: Option<f64>,
+        pass: bool,
+    ) -> String {
+        let cache = hit_rate
+            .map(|h| {
+                format!(
+                    r#","cache":{{"hit_rate":{h},"lookups":10,"exact_hits":3,"subsumption_hits":2,"misses":5,"stale_rejects":0,"coalesced":0,"admissions":5,"evictions":0,"bytes_saved":1000}}"#
+                )
+            })
+            .unwrap_or_default();
+        format!(
+            r#"{{"workload":{{"dim":6,"queries":10,"n_superpeers":6,"seed":7,"k_mix":"uniform","initiator_mix":"fixed"}},"tail_k":3,"hdr_precision":7,"pass":{pass},"variants":[{{"variant":"{variant}","queries":10,"latency_ns":{{"p50":100,"p90":200,"p99":{p99},"p999":{p99},"min":50,"max":{p99},"mean":123.5}},"volume_bytes":{{"p50":10,"p90":20,"p99":30,"p999":30,"min":5,"max":30,"mean":15.0}},"totals":{{"sim_time_ns":{sim_time},"bytes":4000,"messages":60,"dominance_tests":900}}{cache},"slo":{{"label":"{variant}","pass":{pass},"checks":[{{"metric":"latency_p99_ns","budget":1000,"actual":{p99},"pass":{pass}}}]}},"worst":[]}}]}}"#
+        )
+    }
+
+    #[test]
+    fn identical_summaries_diff_to_all_zero() {
+        let s = summary("rtpm", 300, 5000, None, true);
+        let d = diff_soak_summaries(&s, &s).expect("parses");
+        assert!(d.all_zero());
+        assert!(d.render().contains("no drift"));
+        assert!(d.to_json().starts_with("{\"all_zero\":true,"));
+        assert_eq!(d.to_json(), diff_soak_summaries(&s, &s).unwrap().to_json());
+    }
+
+    #[test]
+    fn drift_is_reported_per_stat_with_slo_margins() {
+        let base = summary("rtpm", 300, 5000, None, true);
+        let cand = summary("rtpm", 800, 9000, None, true);
+        let d = diff_soak_summaries(&base, &cand).expect("parses");
+        assert!(!d.all_zero());
+        let v = &d.variants[0];
+        let p99 = v.latency_ns.iter().find(|s| s.stat == "p99").unwrap();
+        assert_eq!((p99.baseline, p99.candidate), (300, 800));
+        let sim = v.totals.iter().find(|s| s.stat == "sim_time_ns").unwrap();
+        assert_eq!(sim.delta(), 4000);
+        // Margin: budget 1000 − actual, so 700 -> 200.
+        assert_eq!(
+            v.slo,
+            vec![SloMarginMove {
+                metric: "latency_p99_ns".to_string(),
+                baseline_margin: Some(700),
+                candidate_margin: Some(200),
+            }]
+        );
+        let text = d.render();
+        assert!(text.contains("latency_ns.p99"));
+        assert!(text.contains("slo_margin.latency_p99_ns 700 -> 200"));
+    }
+
+    #[test]
+    fn cache_hit_rate_movement_and_variant_mismatch() {
+        let base = summary("ftpm", 300, 5000, Some(0.25), true);
+        let cand = summary("ftpm", 300, 5000, Some(0.5), true);
+        let d = diff_soak_summaries(&base, &cand).expect("parses");
+        assert_eq!(d.variants[0].cache_hit_rate, Some((Some(0.25), Some(0.5))));
+        assert!(!d.all_zero());
+        assert!(d.render().contains("cache.hit_rate"));
+        // Different variant sets are reported, not an error.
+        let other = summary("naive", 300, 5000, None, true);
+        let d = diff_soak_summaries(&base, &other).expect("parses");
+        assert_eq!(d.only_in_baseline, vec!["ftpm".to_string()]);
+        assert_eq!(d.only_in_candidate, vec!["naive".to_string()]);
+        assert!(!d.all_zero());
+    }
+
+    #[test]
+    fn gate_flip_alone_is_not_all_zero() {
+        let base = summary("rtfm", 300, 5000, None, true);
+        let cand = summary("rtfm", 300, 5000, None, false);
+        let d = diff_soak_summaries(&base, &cand).expect("parses");
+        assert!(!d.all_zero());
+        assert!(d.render().contains("PASS") && d.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(diff_soak_summaries("nope", "{}").unwrap_err().contains("baseline"));
+        assert!(diff_soak_summaries("{}", "{}").unwrap_err().contains("variants"));
+    }
+}

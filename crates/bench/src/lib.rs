@@ -14,12 +14,17 @@
 //! so the default invocation finishes in minutes while preserving the
 //! *shape* of every curve. `Scale::paper()` reproduces the full setup.
 
+pub mod diff;
 pub mod experiments;
 pub mod plot;
 pub mod regress;
 pub mod soak;
 pub mod table;
 
+pub use diff::{diff_soak_summaries, SoakSummaryDiff, StatDrift, VariantDrift};
 pub use experiments::{FigureData, Scale};
-pub use regress::{compare, BenchEntry, BenchReport, Comparison};
+pub use regress::{
+    compare, digests_from_json, digests_to_json, run_pinned_full, BenchEntry, BenchReport,
+    Comparison, FigureDigest, HostFingerprint,
+};
 pub use soak::{run_soak, QueryRow, SoakOutcome, SoakSpec, VariantSoak};

@@ -31,6 +31,7 @@ use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
 use skypeer_data::{DatasetKind, DatasetSpec, Query};
 use skypeer_netsim::cost::CostModel;
 use skypeer_netsim::des::LinkModel;
+use skypeer_netsim::obs::diff::{LinkAgg, NodeAgg, PhaseAgg, TraceDigest};
 use skypeer_netsim::obs::{json, MemTracer, MetricsRegistry, Tracer};
 use skypeer_netsim::topology::TopologySpec;
 use skypeer_skyline::{DominanceIndex, Subspace};
@@ -51,6 +52,46 @@ pub struct BenchEntry {
     pub value: f64,
 }
 
+/// The machine a report was produced on. Purely descriptive: the
+/// comparator never looks at it, but it makes advisory `wall_time_ms`
+/// drift interpretable ("the baseline ran on a different CPU").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostFingerprint {
+    /// CPU model string (from `/proc/cpuinfo`), or `"unknown"`.
+    pub cpu_model: String,
+    /// Logical core count visible to the process.
+    pub core_count: u64,
+    /// `rustc --version` output, or `"unknown"`.
+    pub rustc: String,
+}
+
+impl HostFingerprint {
+    /// Probes the current machine. Never fails — unknown facts come back
+    /// as `"unknown"` / `0` so report writing cannot break on exotic
+    /// hosts.
+    pub fn current() -> Self {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines().find_map(|l| {
+                    l.strip_prefix("model name")
+                        .and_then(|rest| rest.split_once(':'))
+                        .map(|(_, v)| v.trim().to_string())
+                })
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let core_count = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(0);
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        HostFingerprint { cpu_model, core_count, rustc }
+    }
+}
+
 /// A `BENCH_regress.json` document.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -58,6 +99,10 @@ pub struct BenchReport {
     pub commit: String,
     /// UTC date of the run, `YYYY-MM-DD`.
     pub date: String,
+    /// Machine the run happened on, when recorded. Optional so older
+    /// baselines (and hand-written fixtures) still parse; ignored by
+    /// [`compare`].
+    pub host: Option<HostFingerprint>,
     /// All measurements, in pinned-run order.
     pub entries: Vec<BenchEntry>,
 }
@@ -74,11 +119,16 @@ impl BenchReport {
                 .f64("value", e.value)
                 .build()
         }));
-        let compact = json::Obj::new()
-            .str("commit", &self.commit)
-            .str("date", &self.date)
-            .raw("entries", &entries)
-            .build();
+        let mut doc = json::Obj::new().str("commit", &self.commit).str("date", &self.date);
+        if let Some(h) = &self.host {
+            let host = json::Obj::new()
+                .str("cpu_model", &h.cpu_model)
+                .u64("core_count", h.core_count)
+                .str("rustc", &h.rustc)
+                .build();
+            doc = doc.raw("host", &host);
+        }
+        let compact = doc.raw("entries", &entries).build();
         // Re-indent through the parser so humans can diff the file.
         match serde_json::from_str(&compact) {
             Ok(v) => serde_json::to_string_pretty(&v).unwrap_or(compact),
@@ -86,13 +136,22 @@ impl BenchReport {
         }
     }
 
-    /// Parses a `BENCH_regress.json` document.
+    /// Parses a `BENCH_regress.json` document. The `host` fingerprint is
+    /// optional (older baselines predate it).
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
         let obj = v.as_object().ok_or("top level must be an object")?;
         let commit =
             obj.get("commit").and_then(|c| c.as_str()).ok_or("missing 'commit'")?.to_string();
         let date = obj.get("date").and_then(|d| d.as_str()).ok_or("missing 'date'")?.to_string();
+        let host = obj.get("host").map(|h| {
+            let s = |k: &str| h.get(k).and_then(|v| v.as_str()).unwrap_or("unknown").to_string();
+            HostFingerprint {
+                cpu_model: s("cpu_model"),
+                core_count: h.get("core_count").and_then(|v| v.as_u64()).unwrap_or(0),
+                rustc: s("rustc"),
+            }
+        });
         let raw = obj.get("entries").and_then(|e| e.as_array()).ok_or("missing 'entries' array")?;
         let mut entries = Vec::with_capacity(raw.len());
         for (i, e) in raw.iter().enumerate() {
@@ -113,8 +172,119 @@ impl BenchReport {
                     .ok_or_else(|| format!("entries[{i}] missing numeric 'value'"))?,
             });
         }
-        Ok(BenchReport { commit, date, entries })
+        Ok(BenchReport { commit, date, host, entries })
     }
+}
+
+/// The pinned trace digest of one `(figure, variant)` run — the
+/// root-cause companion to the scalar [`BenchEntry`] metrics. Digest
+/// files live *alongside* `BENCH_regress.json` (they never change its
+/// byte format) and are what the failure path attributes deltas with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FigureDigest {
+    /// Pinned figure id, e.g. `"fig3b_d8"`.
+    pub figure: String,
+    /// Variant mnemonic (`FTFM` … `naive`, `FTPM+cache`).
+    pub variant: String,
+    /// The run's trace digest.
+    pub digest: TraceDigest,
+}
+
+/// Serializes pinned digests as a pretty, stable-key-order JSON document
+/// (`{commit, digests: [{figure, variant, digest}, …]}`).
+pub fn digests_to_json(commit: &str, digests: &[FigureDigest]) -> String {
+    let rows = json::arr(digests.iter().map(|d| {
+        json::Obj::new()
+            .str("figure", &d.figure)
+            .str("variant", &d.variant)
+            .raw("digest", &d.digest.to_json())
+            .build()
+    }));
+    let compact = json::Obj::new().str("commit", commit).raw("digests", &rows).build();
+    match serde_json::from_str(&compact) {
+        Ok(v) => serde_json::to_string_pretty(&v).unwrap_or(compact),
+        Err(_) => compact,
+    }
+}
+
+fn digest_from_value(v: &serde_json::Value) -> Result<TraceDigest, String> {
+    let u = |o: &serde_json::Value, k: &str| -> Result<u64, String> {
+        o.get(k).and_then(|x| x.as_u64()).ok_or_else(|| format!("digest missing u64 '{k}'"))
+    };
+    let rows = |k: &str| -> Result<Vec<serde_json::Value>, String> {
+        Ok(v.get(k)
+            .and_then(|x| x.as_array())
+            .ok_or_else(|| format!("digest missing array '{k}'"))?
+            .clone())
+    };
+    let mut phases = Vec::new();
+    for p in rows("phases")? {
+        phases.push(PhaseAgg {
+            phase: p
+                .get("phase")
+                .and_then(|x| x.as_str())
+                .ok_or("phase row missing 'phase'")?
+                .to_string(),
+            spans: u(&p, "spans")?,
+            service_ns: u(&p, "service_ns")?,
+            dominance_tests: u(&p, "dominance_tests")?,
+        });
+    }
+    let mut nodes = Vec::new();
+    for n in rows("nodes")? {
+        nodes.push(NodeAgg {
+            node: u(&n, "node")? as usize,
+            spans: u(&n, "spans")?,
+            service_ns: u(&n, "service_ns")?,
+            dominance_tests: u(&n, "dominance_tests")?,
+            bytes_out: u(&n, "bytes_out")?,
+            peak_queue_depth: u(&n, "peak_queue_depth")?,
+        });
+    }
+    let mut links = Vec::new();
+    for l in rows("links")? {
+        links.push(LinkAgg {
+            from: u(&l, "from")? as usize,
+            to: u(&l, "to")? as usize,
+            messages: u(&l, "messages")?,
+            bytes: u(&l, "bytes")?,
+            transfer_ns: u(&l, "transfer_ns")?,
+        });
+    }
+    Ok(TraceDigest {
+        sim_time_ns: u(v, "sim_time_ns")?,
+        total_bytes: u(v, "total_bytes")?,
+        dominance_tests: u(v, "dominance_tests")?,
+        peak_queue_depth: u(v, "peak_queue_depth")?,
+        phases,
+        nodes,
+        links,
+    })
+}
+
+/// Parses a [`digests_to_json`] document back into its digests.
+pub fn digests_from_json(text: &str) -> Result<Vec<FigureDigest>, String> {
+    let v = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let rows =
+        v.get("digests").and_then(|d| d.as_array()).ok_or("digest file missing 'digests' array")?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let s = |k: &str| -> Result<String, String> {
+            row.get(k)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("digests[{i}] missing '{k}'"))
+        };
+        out.push(FigureDigest {
+            figure: s("figure")?,
+            variant: s("variant")?,
+            digest: digest_from_value(
+                row.get("digest").ok_or_else(|| format!("digests[{i}] missing 'digest'"))?,
+            )
+            .map_err(|e| format!("digests[{i}]: {e}"))?,
+        });
+    }
+    Ok(out)
 }
 
 /// A pinned figure configuration: a small deterministic stand-in for one
@@ -165,7 +335,15 @@ fn pinned_set() -> Vec<Pinned> {
 /// Runs the pinned subset and returns one entry per
 /// `(figure, variant, metric)`.
 pub fn run_pinned() -> Vec<BenchEntry> {
+    run_pinned_full().0
+}
+
+/// [`run_pinned`] plus the per-`(figure, variant)` [`FigureDigest`]s
+/// built from the very same traced runs — so the scalar gate and the
+/// root-cause digests can never disagree about what was measured.
+pub fn run_pinned_full() -> (Vec<BenchEntry>, Vec<FigureDigest>) {
     let mut entries = Vec::new();
+    let mut digests = Vec::new();
     for p in pinned_set() {
         let engine = SkypeerEngine::build(p.config);
         for variant in Variant::ALL {
@@ -174,7 +352,13 @@ pub fn run_pinned() -> Vec<BenchEntry> {
             let out =
                 engine.run_query_traced(p.query, variant, Arc::clone(&tracer) as Arc<dyn Tracer>);
             let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-            let m = MetricsRegistry::from_events(&tracer.take());
+            let events = tracer.take();
+            let m = MetricsRegistry::from_events(&events);
+            digests.push(FigureDigest {
+                figure: p.figure.to_string(),
+                variant: variant.mnemonic().to_string(),
+                digest: TraceDigest::from_events(&events),
+            });
             let mut push = |metric: &str, value: f64| {
                 entries.push(BenchEntry {
                     figure: p.figure.to_string(),
@@ -215,6 +399,11 @@ pub fn run_pinned() -> Vec<BenchEntry> {
         events.extend(warm_tracer.take());
         let m = MetricsRegistry::from_events(&events);
         let label = format!("{}+cache", variant.mnemonic());
+        digests.push(FigureDigest {
+            figure: p.figure.to_string(),
+            variant: label.clone(),
+            digest: TraceDigest::from_events(&events),
+        });
         let mut push = |metric: &str, value: f64| {
             entries.push(BenchEntry {
                 figure: p.figure.to_string(),
@@ -234,7 +423,7 @@ pub fn run_pinned() -> Vec<BenchEntry> {
         );
         push("peak_queue_depth", m.max_queue_depth() as f64);
     }
-    entries
+    (entries, digests)
 }
 
 /// One comparator finding.
@@ -372,6 +561,7 @@ mod unit {
         BenchReport {
             commit: "deadbeef".to_string(),
             date: "2026-01-01".to_string(),
+            host: None,
             entries: values
                 .iter()
                 .map(|&(f, v, m, value)| BenchEntry {
@@ -466,8 +656,79 @@ mod unit {
         let text = r.to_json();
         assert!(text.contains("\"commit\""));
         assert!(text.contains("\"entries\""));
+        assert!(!text.contains("\"host\""), "no fingerprint recorded, none serialized");
         let back = BenchReport::from_json(&text).expect("parses");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn host_fingerprint_round_trips_and_never_gates() {
+        let mut r = report(&[("a", "FTFM", "sim_time_ns", 100.0)]);
+        r.host = Some(HostFingerprint {
+            cpu_model: "Engineering Sample 9000".to_string(),
+            core_count: 64,
+            rustc: "rustc 1.75.0".to_string(),
+        });
+        let text = r.to_json();
+        assert!(text.contains("\"cpu_model\""));
+        let back = BenchReport::from_json(&text).expect("parses");
+        assert_eq!(back, r);
+        // A baseline without a fingerprint compares cleanly against a
+        // current report with one: the comparator ignores the host.
+        let bare = report(&[("a", "FTFM", "sim_time_ns", 100.0)]);
+        let cmp = compare(&bare, &r, 0.15);
+        assert!(!cmp.is_regression());
+        assert!(cmp.new_entries.is_empty() && cmp.removed_entries.is_empty());
+    }
+
+    #[test]
+    fn probed_fingerprint_has_no_empty_fields() {
+        let h = HostFingerprint::current();
+        assert!(!h.cpu_model.is_empty());
+        assert!(!h.rustc.is_empty());
+    }
+
+    #[test]
+    fn digest_documents_round_trip() {
+        // A tiny hand-built digest avoids paying for a pinned run here.
+        let d = TraceDigest {
+            sim_time_ns: 5800,
+            total_bytes: 96,
+            dominance_tests: 9,
+            peak_queue_depth: 2,
+            phases: vec![PhaseAgg {
+                phase: "started".to_string(),
+                spans: 1,
+                service_ns: 1000,
+                dominance_tests: 3,
+            }],
+            nodes: vec![NodeAgg {
+                node: 0,
+                spans: 2,
+                service_ns: 1800,
+                dominance_tests: 6,
+                bytes_out: 64,
+                peak_queue_depth: 2,
+            }],
+            links: vec![LinkAgg { from: 0, to: 1, messages: 1, bytes: 64, transfer_ns: 2000 }],
+        };
+        let digests = vec![
+            FigureDigest {
+                figure: "fig3b_d8".to_string(),
+                variant: "FTFM".to_string(),
+                digest: d.clone(),
+            },
+            FigureDigest {
+                figure: "fig3b_d8".to_string(),
+                variant: "FTPM+cache".to_string(),
+                digest: d,
+            },
+        ];
+        let text = digests_to_json("deadbeef", &digests);
+        assert_eq!(text, digests_to_json("deadbeef", &digests), "byte-deterministic");
+        let back = digests_from_json(&text).expect("parses");
+        assert_eq!(back, digests);
+        assert!(digests_from_json("{}").is_err());
     }
 
     #[test]
@@ -484,7 +745,7 @@ mod unit {
             if k.ends_with("wall_time_ms") {
                 continue;
             }
-            assert_eq!(Some(va), b.get(k).map(|v| v), "{k} must be deterministic");
+            assert_eq!(Some(va), b.get(k), "{k} must be deterministic");
         }
     }
 }

@@ -144,11 +144,35 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Parses a `--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]` spec into a
+/// directed-link override. An omitted `NS_PER_BYTE` keeps the engine's
+/// configured per-byte cost and only replaces the latency.
+fn parse_perturb_link(spec: &str, base: LinkModel) -> Result<(usize, usize, LinkModel), ArgError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err(ArgError(format!(
+            "bad --perturb-link '{spec}' (expected FROM:TO:LATENCY_NS[:NS_PER_BYTE])"
+        )));
+    }
+    let field = |i: usize, what: &str| -> Result<u64, ArgError> {
+        parts[i]
+            .parse()
+            .map_err(|_| ArgError(format!("bad {what} '{}' in --perturb-link", parts[i])))
+    };
+    let from = field(0, "FROM")? as usize;
+    let to = field(1, "TO")? as usize;
+    let latency_ns = field(2, "LATENCY_NS")?;
+    let ns_per_byte = if parts.len() == 4 { field(3, "NS_PER_BYTE")? } else { base.ns_per_byte };
+    Ok((from, to, LinkModel { latency_ns, ns_per_byte }))
+}
+
 /// `skypeer-cli trace` — run one query with full tracing: metrics
 /// registry, per-node work table, hottest node/link, and the critical
 /// path that determined the response time. Optionally exports the raw
 /// event log (`--jsonl`) and a Perfetto/chrome://tracing file
-/// (`--perfetto`).
+/// (`--perfetto`). `--perturb-link` re-runs the same deterministic query
+/// with one directed link degraded — capture both logs and feed them to
+/// `skypeer-cli diff` to see the attribution name that link.
 pub fn trace(args: &Args) -> Result<(), ArgError> {
     use skypeer_netsim::obs::{self, MemTracer, MetricsRegistry, Tracer};
     use std::sync::Arc;
@@ -158,13 +182,38 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     let q = query_from(args, &engine)?;
     let jsonl_path = args.str_or("jsonl", "");
     let perfetto_path = args.str_or("perfetto", "");
+    let perturb_spec = args.str_or("perturb-link", "");
     args.reject_unknown()?;
+    let overrides = if perturb_spec.is_empty() {
+        Vec::new()
+    } else {
+        let (from, to, link) = parse_perturb_link(&perturb_spec, engine.config().link)?;
+        if from >= engine.config().n_superpeers || to >= engine.config().n_superpeers {
+            return Err(ArgError("--perturb-link node out of range".into()));
+        }
+        vec![(from, to, link)]
+    };
 
     let tracer = Arc::new(MemTracer::new());
-    let out = engine.run_query_traced(q, variant, Arc::clone(&tracer) as Arc<dyn Tracer>);
+    let out = if overrides.is_empty() {
+        engine.run_query_traced(q, variant, Arc::clone(&tracer) as Arc<dyn Tracer>)
+    } else {
+        engine.run_query_observed_perturbed(
+            q,
+            variant,
+            &overrides,
+            Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+        )
+    };
     let events = tracer.take();
 
     println!("query     : skyline on {} from SP{} via {variant}", q.subspace, q.initiator);
+    for (from, to, link) in &overrides {
+        println!(
+            "perturbed : SP{from} -> SP{to} latency {} ns, {} ns/byte",
+            link.latency_ns, link.ns_per_byte
+        );
+    }
     println!("result    : {} points (exact)", out.result_ids.len());
     println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
     println!("events    : {}", events.len());
@@ -247,6 +296,113 @@ pub fn explain(args: &Args) -> Result<(), ArgError> {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render());
+    }
+    Ok(())
+}
+
+/// What a capture file holds, detected from its first JSON object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CaptureKind {
+    /// A trace event log (`trace --jsonl`): lines starting `{"type":`.
+    TraceJsonl,
+    /// A soak summary (`soak --out` / `--json`): one object with a
+    /// `workload` key.
+    SoakSummary,
+}
+
+fn capture_kind(path: &str, text: &str) -> Result<CaptureKind, ArgError> {
+    let head = text.trim_start();
+    if head.starts_with("{\"type\":") {
+        Ok(CaptureKind::TraceJsonl)
+    } else if head.starts_with('{') {
+        Ok(CaptureKind::SoakSummary)
+    } else {
+        Err(ArgError(format!(
+            "{path}: not a capture (expected trace JSONL from `trace --jsonl` or a soak summary from `soak --out`)"
+        )))
+    }
+}
+
+/// `skypeer-cli diff` — root-cause the difference between two captures.
+///
+/// Accepts either two trace event logs (`trace --jsonl F`) or two soak
+/// summaries (`soak --out F`); the kind is auto-detected and must match.
+/// Trace diffs decompose the `sim_time_ns` / `total_bytes` /
+/// `dominance_tests` / queue-depth deltas down to phase, node, and link,
+/// and `--what-if-factor F` additionally ranks counterfactual
+/// interventions (scale each critical-path node/link by `F`) by predicted
+/// nanoseconds saved. Soak diffs report per-variant percentile drift,
+/// cache hit-rate movement, and SLO margin movement. `--json` emits the
+/// byte-deterministic machine form of either.
+pub fn diff(args: &Args) -> Result<(), ArgError> {
+    use skypeer_netsim::obs::{self, diff as tdiff};
+
+    let [baseline_path, candidate_path] = args.positional() else {
+        return Err(ArgError(format!(
+            "diff needs exactly two capture paths, got {}",
+            args.positional().len()
+        )));
+    };
+    let json = args.flag("json")?;
+    let what_if_factor: f64 = args.get_or("what-if-factor", 0.0f64)?;
+    args.reject_unknown()?;
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))
+    };
+    let base_text = read(baseline_path)?;
+    let cand_text = read(candidate_path)?;
+    let kind = capture_kind(baseline_path, &base_text)?;
+    let cand_kind = capture_kind(candidate_path, &cand_text)?;
+    if kind != cand_kind {
+        return Err(ArgError(format!(
+            "cannot diff a {kind:?} against a {cand_kind:?} (both captures must be the same kind)"
+        )));
+    }
+
+    match kind {
+        CaptureKind::TraceJsonl => {
+            let parse = |path: &str, text: &str| {
+                obs::parse_jsonl(text).map_err(|e| ArgError(format!("{path}: {e}")))
+            };
+            let base_events = parse(baseline_path, &base_text)?;
+            let cand_events = parse(candidate_path, &cand_text)?;
+            let report = tdiff::AttributionReport::attribute(
+                &tdiff::TraceDigest::from_events(&base_events),
+                &tdiff::TraceDigest::from_events(&cand_events),
+            );
+            let ranked = (what_if_factor > 0.0)
+                .then(|| obs::critical_path(&cand_events))
+                .flatten()
+                .map(|path| tdiff::rank_interventions(&path, what_if_factor));
+            if json {
+                let mut o = skypeer_netsim::obs::json::Obj::new()
+                    .str("kind", "trace")
+                    .raw("attribution", &report.to_json());
+                if let Some(r) = &ranked {
+                    o = o.raw("what_if", &tdiff::what_if_json(r));
+                }
+                println!("{}", o.build());
+            } else {
+                print!("{}", report.render());
+                if let Some(r) = &ranked {
+                    print!("{}", tdiff::render_what_if(r));
+                }
+            }
+        }
+        CaptureKind::SoakSummary => {
+            let d = skypeer_bench::diff_soak_summaries(&base_text, &cand_text).map_err(ArgError)?;
+            if json {
+                println!(
+                    "{}",
+                    skypeer_netsim::obs::json::Obj::new()
+                        .str("kind", "soak")
+                        .raw("diff", &d.to_json())
+                        .build()
+                );
+            } else {
+                print!("{}", d.render());
+            }
+        }
     }
     Ok(())
 }
@@ -503,7 +659,7 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
             if window.len() > 64 {
                 window.pop_front();
             }
-            if done % 10 == 0 || done == total_rows {
+            if done.is_multiple_of(10) || done == total_rows {
                 let span = now.duration_since(*window.front().expect("nonempty")).as_secs_f64();
                 let qps = if span > 0.0 { (window.len() - 1) as f64 / span } else { 0.0 };
                 let hit_rate = if cache_lookups > 0 {

@@ -6,7 +6,9 @@
 //! skypeer-cli workload [--k K] [--queries Q] [...]
 //! skypeer-cli topology [--superpeers N] [--degree DEG]
 //! skypeer-cli faults   [--fail 1,2] [--fail-at-ms T] [--timeout-s S] [...]
-//! skypeer-cli trace    [--dims 0,2,5] [--variant ftpm] [--jsonl F] [--perfetto F] [...]
+//! skypeer-cli trace    [--dims 0,2,5] [--variant ftpm] [--jsonl F] [--perfetto F]
+//!                      [--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [...]
+//! skypeer-cli diff     BASELINE CANDIDATE [--json] [--what-if-factor F]
 //! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
 //! skypeer-cli soak     [--queries Q] [--variants LIST|all] [--k K | --k-min A --k-max B]
 //!                      [--initiator-theta T] [--top-k K] [--slo-p99-ms F] [--gate]
@@ -24,7 +26,7 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|explain|soak|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|diff|soak|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 fn main() {
@@ -41,15 +43,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Some(stray) = parsed.positional().first() {
-        eprintln!("error: unexpected argument '{stray}' (all options are --flags)\n{USAGE}");
-        std::process::exit(2);
+    // `diff` takes two positional capture paths; every other command is
+    // flags-only, so a positional there is a typo worth failing fast on.
+    if cmd != "diff" {
+        if let Some(stray) = parsed.positional().first() {
+            eprintln!("error: unexpected argument '{stray}' (all options are --flags)\n{USAGE}");
+            std::process::exit(2);
+        }
     }
     let result = match cmd.as_str() {
         "stats" => commands::stats(&parsed),
         "query" => commands::query(&parsed),
         "trace" => commands::trace(&parsed),
         "explain" => commands::explain(&parsed),
+        "diff" => commands::diff(&parsed),
         "soak" => commands::soak(&parsed),
         "workload" => commands::workload(&parsed),
         "topology" => commands::topology(&parsed),

@@ -421,6 +421,185 @@ fn cached_soak_summary_matches_golden_and_beats_uncached() {
     }
 }
 
+/// Shared flags for the diff tests' trace captures.
+const DIFF_TRACE_FLAGS: [&str; 14] = [
+    "trace",
+    "--peers",
+    "60",
+    "--superpeers",
+    "6",
+    "--dim",
+    "5",
+    "--points",
+    "40",
+    "--dims",
+    "0,3",
+    "--variant",
+    "ftpm",
+    "--jsonl",
+];
+
+fn capture_trace(path: &std::path::Path, extra: &[&str]) {
+    let mut args: Vec<&str> = DIFF_TRACE_FLAGS.to_vec();
+    let p = path.to_str().unwrap();
+    args.push(p);
+    args.extend_from_slice(extra);
+    let (_, stderr, ok) = run(&args);
+    assert!(ok, "trace capture failed: {stderr}");
+}
+
+/// The all-zero acceptance criterion: two captures of the same seeded
+/// query must attribute no deltas at all, in both human and JSON form —
+/// and the JSON form must be byte-identical across processes.
+#[test]
+fn diff_of_same_seed_traces_is_all_zero() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-diff0-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let (base, cand) = (dir.join("base.jsonl"), dir.join("cand.jsonl"));
+    capture_trace(&base, &[]);
+    capture_trace(&cand, &[]);
+    let (text, stderr, ok) = run(&["diff", base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(text.contains("all metrics identical"), "{text}");
+    let json_args = ["diff", base.to_str().unwrap(), cand.to_str().unwrap(), "--json"];
+    let (a, _, ok_a) = run(&json_args);
+    let (b, _, ok_b) = run(&json_args);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "diff --json must be byte-deterministic");
+    assert!(a.starts_with("{\"kind\":\"trace\",\"attribution\":{\"all_zero\":true,"), "{a}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The perturbation acceptance criterion: bump the latency of one link
+/// the query actually uses, and the attribution must name exactly that
+/// link as the top `sim_time_ns` contributor. The link is discovered from
+/// the baseline capture's first send event, so the test tracks topology
+/// changes instead of hard-coding an edge.
+#[test]
+fn diff_names_perturbed_link_as_top_contributor() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-diffp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let (base, pert) = (dir.join("base.jsonl"), dir.join("pert.jsonl"));
+    capture_trace(&base, &[]);
+    let log = std::fs::read_to_string(&base).expect("baseline capture");
+    let first_send = log.lines().find(|l| l.contains("\"type\":\"send\"")).expect("a send event");
+    let from = json_numbers(first_send, "\"from\":")[0] as usize;
+    let to = json_numbers(first_send, "\"to\":")[0] as usize;
+    capture_trace(&pert, &["--perturb-link", &format!("{from}:{to}:50000000")]);
+
+    let (json, stderr, ok) = run(&[
+        "diff",
+        base.to_str().unwrap(),
+        pert.to_str().unwrap(),
+        "--json",
+        "--what-if-factor",
+        "0.5",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let sim = json.split("\"metric\":\"sim_time_ns\"").nth(1).expect("sim_time_ns metric");
+    let top_key = sim.split("\"key\":\"").nth(1).and_then(|s| s.split('"').next());
+    assert_eq!(
+        top_key,
+        Some(format!("SP{from}->SP{to}").as_str()),
+        "perturbed link must rank first for sim_time_ns:\n{json}"
+    );
+    assert!(json.contains("\"what_if\":["), "{json}");
+    assert!(json.contains("\"predicted_saving_ns\":"), "{json}");
+
+    // Human form names the link too, and the factor-1.0 what-if predicts
+    // exactly zero saving for every intervention.
+    let (text, _, ok) =
+        run(&["diff", base.to_str().unwrap(), pert.to_str().unwrap(), "--what-if-factor", "1"]);
+    assert!(ok);
+    assert!(text.contains(&format!("SP{from}->SP{to}")), "{text}");
+    let (unity, _, ok) = run(&[
+        "diff",
+        base.to_str().unwrap(),
+        pert.to_str().unwrap(),
+        "--json",
+        "--what-if-factor",
+        "1",
+    ]);
+    assert!(ok);
+    let savings = json_numbers(&unity, "\"predicted_saving_ns\":");
+    assert!(!savings.is_empty());
+    for saving in savings {
+        assert_eq!(saving, 0.0, "factor 1.0 must predict zero saving:\n{unity}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Soak-summary diffing, golden-pinned: diffing the two committed soak
+/// goldens (uncached vs cached) is itself byte-deterministic and matches
+/// `tests/goldens/soak_diff.json`. Self-bootstraps like the other
+/// goldens.
+#[test]
+fn soak_diff_of_pinned_summaries_matches_golden() {
+    let goldens = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let uncached = goldens.join("soak_summary.json");
+    let cached = goldens.join("soak_summary_cached.json");
+    assert!(
+        uncached.exists() && cached.exists(),
+        "soak goldens missing; run the soak golden tests first"
+    );
+    let args = ["diff", uncached.to_str().unwrap(), cached.to_str().unwrap(), "--json"];
+    let (a, stderr, ok_a) = run(&args);
+    let (b, _, ok_b) = run(&args);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "soak diff --json must be byte-deterministic");
+    assert!(a.starts_with("{\"kind\":\"soak\",\"diff\":{\"all_zero\":false,"), "{a}");
+    for key in
+        ["\"variant\":\"FTPM\"", "\"cache_hit_rate\":", "\"slo_margins\":", "\"stat\":\"p99\""]
+    {
+        assert!(a.contains(key), "missing {key} in:\n{a}");
+    }
+    // A summary diffed against itself is all-zero.
+    let (same, _, ok) = run(&["diff", uncached.to_str().unwrap(), uncached.to_str().unwrap()]);
+    assert!(ok);
+    assert!(same.contains("no drift"), "{same}");
+
+    let golden = goldens.join("soak_diff.json");
+    if !golden.exists() {
+        std::fs::write(&golden, &a).expect("bootstrap golden");
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden readable");
+    assert_eq!(
+        a,
+        want,
+        "soak diff --json drifted from {}; if the change is intentional, delete the golden and rerun",
+        golden.display()
+    );
+}
+
+/// Bad diff invocations fail fast with a useful message.
+#[test]
+fn diff_rejects_bad_inputs() {
+    let (_, stderr, ok) = run(&["diff", "/nonexistent-base"]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly two capture paths"), "{stderr}");
+
+    let goldens = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let summary = goldens.join("soak_summary.json");
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-diffbad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("t.jsonl");
+    capture_trace(&trace, &[]);
+    let (_, stderr, ok) = run(&["diff", summary.to_str().unwrap(), trace.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("must be the same kind"), "{stderr}");
+
+    let junk = dir.join("junk.txt");
+    std::fs::write(&junk, "hello\n").expect("write junk");
+    let (_, stderr, ok) = run(&["diff", junk.to_str().unwrap(), junk.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("not a capture"), "{stderr}");
+
+    let (_, stderr, ok) = run(&["trace", "--peers", "60", "--perturb-link", "0:zap:5"]);
+    assert!(!ok);
+    assert!(stderr.contains("perturb-link"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Golden test for the machine-readable explain output. Self-bootstraps:
 /// the first run writes `tests/goldens/explain_rtpm.json`; every later
 /// run must reproduce it byte for byte (the DES is deterministic and the

@@ -349,7 +349,22 @@ impl SkypeerEngine {
         variant: Variant,
         tracer: Option<Arc<dyn Tracer>>,
     ) -> QueryOutcome {
-        self.run_observed_inner(query, variant, Dominance::Standard, tracer)
+        self.run_observed_inner(query, variant, Dominance::Standard, tracer, &[])
+    }
+
+    /// [`SkypeerEngine::run_query_observed`] with per-directed-link
+    /// overrides of the configured [`LinkModel`] — the perturbation hook
+    /// for regression root-cause work: capture a baseline trace, bump one
+    /// link's latency, capture again, and diff the two. Overrides change
+    /// timings only; the answer is still asserted complete.
+    pub fn run_query_observed_perturbed(
+        &self,
+        query: Query,
+        variant: Variant,
+        overrides: &[(usize, usize, LinkModel)],
+        tracer: Option<Arc<dyn Tracer>>,
+    ) -> QueryOutcome {
+        self.run_observed_inner(query, variant, Dominance::Standard, tracer, overrides)
     }
 
     /// [`SkypeerEngine::run_query_observed`] with the **Extended** dominance
@@ -370,7 +385,7 @@ impl SkypeerEngine {
         variant: Variant,
         tracer: Option<Arc<dyn Tracer>>,
     ) -> QueryOutcome {
-        self.run_observed_inner(query, variant, Dominance::Extended, tracer)
+        self.run_observed_inner(query, variant, Dominance::Extended, tracer, &[])
     }
 
     fn run_observed_inner(
@@ -379,6 +394,7 @@ impl SkypeerEngine {
         variant: Variant,
         flavour: Dominance,
         tracer: Option<Arc<dyn Tracer>>,
+        link_overrides: &[(usize, usize, LinkModel)],
     ) -> QueryOutcome {
         let qid = self.next_qid.get();
         self.next_qid.set(qid.wrapping_add(1));
@@ -387,6 +403,9 @@ impl SkypeerEngine {
             self.config.link,
             self.config.cost,
         );
+        for &(from, to, model) in link_overrides {
+            sim = sim.with_link_override(from, to, model);
+        }
         if let Some(tracer) = tracer {
             sim = sim.with_tracer(tracer);
         }

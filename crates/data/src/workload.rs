@@ -90,7 +90,7 @@ pub enum InitiatorMix {
 
 /// Salt for the hot-initiator permutation RNG (kept out of the main query
 /// stream so mixes stay comparable across the same seed).
-const INITIATOR_PERM_SALT: u64 = 0x5EED_0F_1217;
+const INITIATOR_PERM_SALT: u64 = 0x005E_ED0F_1217;
 
 /// A skewed query workload: [`WorkloadSpec`] generalized with pluggable
 /// `k` and initiator mixes, behind the same seeded determinism.

@@ -197,6 +197,10 @@ pub type FinishHook = Box<dyn FnMut(usize, SimTime)>;
 pub struct Sim<B: Behavior> {
     nodes: Vec<B>,
     link: LinkModel,
+    /// Per-directed-link overrides of the global [`LinkModel`] — the
+    /// hook what-if experiments and perturbed runs use to slow down (or
+    /// speed up) a single link without touching the rest of the network.
+    link_overrides: HashMap<(usize, usize), LinkModel>,
     cost: CostModel,
     /// Optional failure injection.
     drop_hook: Option<DropHook>,
@@ -303,6 +307,7 @@ impl<B: Behavior> Sim<B> {
         Sim {
             nodes,
             link,
+            link_overrides: HashMap::new(),
             cost,
             drop_hook: None,
             trace_hook: None,
@@ -319,6 +324,15 @@ impl<B: Behavior> Sim<B> {
     /// only — attaching a tracer cannot change simulation results.
     pub fn with_tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Overrides the transfer model of the directed link `from → to`;
+    /// every other link keeps the global model. Used for perturbation
+    /// experiments (bump one link's latency) and for applying what-if
+    /// interventions from the critical-path analyzer for real.
+    pub fn with_link_override(mut self, from: usize, to: usize, link: LinkModel) -> Self {
+        self.link_overrides.insert((from, to), link);
         self
     }
 
@@ -557,7 +571,8 @@ impl<B: Behavior> Sim<B> {
             }
             let free = rs.link_free.entry((node, to)).or_insert(0);
             let xfer_start = end.max(*free);
-            let arrive = xfer_start + self.link.delay(bytes);
+            let model = self.link_overrides.get(&(node, to)).unwrap_or(&self.link);
+            let arrive = xfer_start + model.delay(bytes);
             *free = arrive;
             if let Some(tr) = &self.tracer {
                 tr.record(TraceEvent::Send {
@@ -1008,6 +1023,68 @@ mod tracer_tests {
         let path = critical_path(&events).expect("run finished");
         assert_eq!(Some(path.finish_at), out.stats.finished_at);
         assert_eq!(path.total_ns, out.stats.finished_at.unwrap(), "path reaches back to t=0");
+    }
+
+    #[test]
+    fn link_override_changes_only_that_link() {
+        // Default ring transfer: 100 B × 10 ns/B = 1000 ns per hop.
+        let link = LinkModel { latency_ns: 0, ns_per_byte: 10 };
+        let cost = CostModel::Analytic { base_ns: 0, per_test_ns: 0, per_point_ns: 0 };
+        let base = Sim::new(relay(3, 3), link, cost).run(0);
+        assert_eq!(base.stats.finished_at, Some(3000));
+        // Bump only link 1→2 by 50µs of latency: exactly one hop pays it.
+        let pert = Sim::new(relay(3, 3), link, cost)
+            .with_link_override(1, 2, LinkModel { latency_ns: 50_000, ns_per_byte: 10 })
+            .run(0);
+        assert_eq!(pert.stats.finished_at, Some(53_000));
+        // The answer-shaping stats are untouched.
+        assert_eq!(pert.stats.messages, base.stats.messages);
+        assert_eq!(pert.stats.bytes, base.stats.bytes);
+        // Overriding a link the protocol never uses changes nothing.
+        let unused = Sim::new(relay(3, 3), link, cost)
+            .with_link_override(2, 1, LinkModel { latency_ns: 50_000, ns_per_byte: 10 })
+            .run(0);
+        assert_eq!(unused.stats.finished_at, Some(3000));
+    }
+
+    #[test]
+    fn what_if_prediction_is_directionally_correct_when_applied() {
+        use skypeer_obs::diff::{rank_interventions, Intervention};
+        // Transfers dominate: 100 B × 244µs/B per hop vs ~105 ns of
+        // service, so the top-ranked intervention must be a link.
+        let link = LinkModel::paper_4kbps();
+        let cost = CostModel::Analytic { base_ns: 100, per_test_ns: 1, per_point_ns: 0 };
+        let tracer = Arc::new(MemTracer::new());
+        let base = Sim::new(relay(3, 4), link, cost).with_tracer(tracer.clone()).run(0);
+        let base_ns = base.stats.finished_at.expect("finishes");
+        let path = critical_path(&tracer.take()).expect("finish");
+        assert_eq!(path.total_ns, base_ns);
+
+        let factor = 0.5;
+        let ranked = rank_interventions(&path, factor);
+        let top = ranked.first().expect("path has segments");
+        let Intervention::LinkSpeed { from, to, .. } = top.intervention else {
+            panic!("transfers dominate; expected a link intervention, got {:?}", top.intervention)
+        };
+        assert!(top.predicted_saving_ns > 0);
+
+        // Apply the top-ranked intervention for real: scale that link's
+        // latency and per-byte cost by the same factor.
+        let scaled = LinkModel {
+            latency_ns: (link.latency_ns as f64 * factor).round() as u64,
+            ns_per_byte: (link.ns_per_byte as f64 * factor).round() as u64,
+        };
+        let sped = Sim::new(relay(3, 4), link, cost).with_link_override(from, to, scaled).run(0);
+        let sped_ns = sped.stats.finished_at.expect("still finishes");
+        assert!(
+            sped_ns < base_ns,
+            "speeding up the top-ranked link must reduce sim time: {sped_ns} !< {base_ns}"
+        );
+
+        // A no-op scale predicts exactly zero saving for every candidate.
+        for w in rank_interventions(&path, 1.0) {
+            assert_eq!(w.predicted_saving_ns, 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,841 @@
+//! Regression root-cause analysis: trace digests, delta attribution,
+//! and counterfactual (what-if) critical-path analysis.
+//!
+//! The pipeline has three layers:
+//!
+//! 1. [`TraceDigest`] — a compact, byte-deterministic aggregation of one
+//!    trace run, keyed by the stable identities that survive across runs
+//!    (protocol phase, super-peer id, directed link). Digests are cheap
+//!    to pin next to a benchmark baseline.
+//! 2. [`AttributionReport::attribute`] — aligns two digests (baseline vs
+//!    candidate) and decomposes the deltas in `sim_time_ns`,
+//!    `total_bytes`, `dominance_tests`, and peak queue depth down to the
+//!    phase/node/link responsible, sorted by |delta|, with a human table
+//!    ([`AttributionReport::render`]) and deterministic JSON
+//!    ([`AttributionReport::to_json`]).
+//! 3. [`rank_interventions`] — causal-profiling-style what-if analysis
+//!    over a [`CriticalPath`]: for every node and directed link on the
+//!    path, predict the critical-path nanoseconds saved if that node's
+//!    service time (or that link's latency/bandwidth) were scaled by a
+//!    factor, and rank interventions by predicted saving. A no-op scale
+//!    (factor `1.0`) predicts exactly zero.
+
+use crate::critical::{CriticalPath, StepKind};
+use crate::event::{ProtoEvent, QueryPhase, TraceEvent};
+use crate::json::{self, float, Obj};
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+
+/// Phase label for service spans that run before any protocol phase
+/// transition has been observed on their node.
+pub const PRE_PHASE: &str = "(pre-start)";
+
+fn phase_label(phase: QueryPhase) -> &'static str {
+    match phase {
+        QueryPhase::Started => "started",
+        QueryPhase::Forwarded => "forwarded",
+        QueryPhase::LocalDone => "local-done",
+        QueryPhase::Abandoned => "abandoned",
+        QueryPhase::Finalized => "finalized",
+    }
+}
+
+/// Canonical ordering of phase labels in digests and reports: protocol
+/// lifecycle order, with [`PRE_PHASE`] first and unknown labels last
+/// (alphabetically).
+fn phase_rank(label: &str) -> (usize, &str) {
+    const ORDER: [&str; 6] =
+        [PRE_PHASE, "started", "forwarded", "local-done", "abandoned", "finalized"];
+    match ORDER.iter().position(|&p| p == label) {
+        Some(i) => (i, ""),
+        None => (ORDER.len(), label),
+    }
+}
+
+/// Per-phase aggregation of service work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Phase label (see [`PRE_PHASE`] and the `QueryPhase` names).
+    pub phase: String,
+    /// Service spans attributed to the phase.
+    pub spans: u64,
+    /// Total service time in the phase, ns.
+    pub service_ns: u64,
+    /// Dominance tests performed in the phase.
+    pub dominance_tests: u64,
+}
+
+/// Per-super-peer aggregation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeAgg {
+    /// Super-peer id.
+    pub node: usize,
+    /// Service spans run on the node.
+    pub spans: u64,
+    /// Total service time on the node, ns.
+    pub service_ns: u64,
+    /// Dominance tests performed on the node.
+    pub dominance_tests: u64,
+    /// Bytes sent by the node.
+    pub bytes_out: u64,
+    /// Peak inbound queue depth observed on the node.
+    pub peak_queue_depth: u64,
+}
+
+/// Per-directed-link aggregation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkAgg {
+    /// Sending super-peer.
+    pub from: usize,
+    /// Receiving super-peer.
+    pub to: usize,
+    /// Messages carried.
+    pub messages: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Total in-flight time (arrive − sent, summed over messages), ns.
+    pub transfer_ns: u64,
+}
+
+/// A compact, byte-deterministic aggregation of one trace run, keyed by
+/// the stable span keys (phase, super-peer, directed link) that survive
+/// across runs of the same workload.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TraceDigest {
+    /// Response time: the latest `finish` timestamp (falls back to the
+    /// latest event timestamp if the trace has no finish).
+    pub sim_time_ns: u64,
+    /// Total bytes sent.
+    pub total_bytes: u64,
+    /// Total dominance tests.
+    pub dominance_tests: u64,
+    /// Peak inbound queue depth across all nodes.
+    pub peak_queue_depth: u64,
+    /// Per-phase service aggregation, in lifecycle order.
+    pub phases: Vec<PhaseAgg>,
+    /// Per-node aggregation, sorted by node id.
+    pub nodes: Vec<NodeAgg>,
+    /// Per-directed-link aggregation, sorted by `(from, to)`.
+    pub links: Vec<LinkAgg>,
+}
+
+impl TraceDigest {
+    /// Builds a digest from a recorded event stream.
+    ///
+    /// Phase attribution: a service span belongs to the most recent
+    /// protocol phase entered on its node — including a phase the span
+    /// itself transitions into (its `Proto` notes carry the span id).
+    /// Spans running before any transition land in [`PRE_PHASE`].
+    pub fn from_events(events: &[TraceEvent]) -> TraceDigest {
+        // A span's own (last) phase transition, if it made one.
+        let mut span_phase: BTreeMap<u64, &'static str> = BTreeMap::new();
+        for ev in events {
+            if let TraceEvent::Proto { span, event: ProtoEvent::Phase { phase, .. }, .. } = *ev {
+                span_phase.insert(span, phase_label(phase));
+            }
+        }
+
+        let mut phases: BTreeMap<&str, PhaseAgg> = BTreeMap::new();
+        let mut nodes: BTreeMap<usize, NodeAgg> = BTreeMap::new();
+        let mut links: BTreeMap<(usize, usize), LinkAgg> = BTreeMap::new();
+        let mut node_phase: BTreeMap<usize, &'static str> = BTreeMap::new();
+        let mut total_bytes = 0u64;
+        let mut dom_total = 0u64;
+        let mut last_finish: Option<u64> = None;
+        let mut max_t = 0u64;
+
+        for ev in events {
+            match *ev {
+                TraceEvent::Service { span, node, begin, end, dominance_tests, .. } => {
+                    let label = span_phase
+                        .get(&span)
+                        .copied()
+                        .or_else(|| node_phase.get(&node).copied())
+                        .unwrap_or(PRE_PHASE);
+                    let p = phases.entry(label).or_insert_with(|| PhaseAgg {
+                        phase: label.to_string(),
+                        spans: 0,
+                        service_ns: 0,
+                        dominance_tests: 0,
+                    });
+                    p.spans += 1;
+                    p.service_ns += end - begin;
+                    p.dominance_tests += dominance_tests;
+                    let n = nodes.entry(node).or_insert_with(|| NodeAgg {
+                        node,
+                        spans: 0,
+                        service_ns: 0,
+                        dominance_tests: 0,
+                        bytes_out: 0,
+                        peak_queue_depth: 0,
+                    });
+                    n.spans += 1;
+                    n.service_ns += end - begin;
+                    n.dominance_tests += dominance_tests;
+                    dom_total += dominance_tests;
+                    if let Some(&own) = span_phase.get(&span) {
+                        node_phase.insert(node, own);
+                    }
+                    max_t = max_t.max(end);
+                }
+                TraceEvent::Send { from, to, bytes, sent_at, arrive_at, .. } => {
+                    total_bytes += bytes;
+                    let n = nodes.entry(from).or_insert_with(|| NodeAgg {
+                        node: from,
+                        spans: 0,
+                        service_ns: 0,
+                        dominance_tests: 0,
+                        bytes_out: 0,
+                        peak_queue_depth: 0,
+                    });
+                    n.bytes_out += bytes;
+                    let l = links.entry((from, to)).or_insert_with(|| LinkAgg {
+                        from,
+                        to,
+                        messages: 0,
+                        bytes: 0,
+                        transfer_ns: 0,
+                    });
+                    l.messages += 1;
+                    l.bytes += bytes;
+                    l.transfer_ns += arrive_at - sent_at;
+                    max_t = max_t.max(arrive_at);
+                }
+                TraceEvent::Deliver { at, .. }
+                | TraceEvent::Drop { at, .. }
+                | TraceEvent::TimerFire { at, .. }
+                | TraceEvent::Proto { at, .. } => max_t = max_t.max(at),
+                TraceEvent::TimerSet { fire_at, .. } => max_t = max_t.max(fire_at),
+                TraceEvent::Finish { at, .. } => {
+                    last_finish = Some(last_finish.map_or(at, |f| f.max(at)));
+                    max_t = max_t.max(at);
+                }
+            }
+        }
+
+        // Queue depths come from the metrics sweep (one source of truth
+        // for the departure-before-arrival tie-break).
+        let reg = MetricsRegistry::from_events(events);
+        for (node, &depth) in reg.peak_queue_depth.iter().enumerate() {
+            if let Some(n) = nodes.get_mut(&node) {
+                n.peak_queue_depth = depth;
+            }
+        }
+
+        let mut phase_rows: Vec<PhaseAgg> = phases.into_values().collect();
+        phase_rows.sort_by(|a, b| phase_rank(&a.phase).cmp(&phase_rank(&b.phase)));
+        TraceDigest {
+            sim_time_ns: last_finish.unwrap_or(max_t),
+            total_bytes,
+            dominance_tests: dom_total,
+            peak_queue_depth: reg.peak_queue_depth.iter().copied().max().unwrap_or(0),
+            phases: phase_rows,
+            nodes: nodes.into_values().collect(),
+            links: links.into_values().collect(),
+        }
+    }
+
+    /// Deterministic JSON object (via [`crate::json`]); stable key and
+    /// row order, byte-identical for equal digests.
+    pub fn to_json(&self) -> String {
+        let phases = json::arr(self.phases.iter().map(|p| {
+            Obj::new()
+                .str("phase", &p.phase)
+                .u64("spans", p.spans)
+                .u64("service_ns", p.service_ns)
+                .u64("dominance_tests", p.dominance_tests)
+                .build()
+        }));
+        let nodes = json::arr(self.nodes.iter().map(|n| {
+            Obj::new()
+                .u64("node", n.node as u64)
+                .u64("spans", n.spans)
+                .u64("service_ns", n.service_ns)
+                .u64("dominance_tests", n.dominance_tests)
+                .u64("bytes_out", n.bytes_out)
+                .u64("peak_queue_depth", n.peak_queue_depth)
+                .build()
+        }));
+        let links = json::arr(self.links.iter().map(|l| {
+            Obj::new()
+                .u64("from", l.from as u64)
+                .u64("to", l.to as u64)
+                .u64("messages", l.messages)
+                .u64("bytes", l.bytes)
+                .u64("transfer_ns", l.transfer_ns)
+                .build()
+        }));
+        Obj::new()
+            .u64("sim_time_ns", self.sim_time_ns)
+            .u64("total_bytes", self.total_bytes)
+            .u64("dominance_tests", self.dominance_tests)
+            .u64("peak_queue_depth", self.peak_queue_depth)
+            .raw("phases", &phases)
+            .raw("nodes", &nodes)
+            .raw("links", &links)
+            .build()
+    }
+}
+
+/// One scope's (phase / node / link) share of a metric delta.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contribution {
+    /// `"phase"`, `"node"`, or `"link"`.
+    pub scope: &'static str,
+    /// Stable key: phase label, `SPn`, or `SPa->SPb`.
+    pub key: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Candidate value.
+    pub candidate: u64,
+}
+
+impl Contribution {
+    /// Signed delta, candidate − baseline.
+    pub fn delta(&self) -> i64 {
+        self.candidate as i64 - self.baseline as i64
+    }
+}
+
+/// The decomposition of one top-level metric's delta.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricAttribution {
+    /// Metric name (`sim_time_ns`, `total_bytes`, `dominance_tests`,
+    /// `peak_queue_depth`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Candidate value.
+    pub candidate: u64,
+    /// Non-zero contributions, sorted by |delta| descending (then scope,
+    /// then key, for determinism).
+    pub contributions: Vec<Contribution>,
+}
+
+impl MetricAttribution {
+    /// Signed delta, candidate − baseline.
+    pub fn delta(&self) -> i64 {
+        self.candidate as i64 - self.baseline as i64
+    }
+}
+
+/// A hierarchical baseline-vs-candidate attribution report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributionReport {
+    /// One entry per top-level metric, in fixed order.
+    pub metrics: Vec<MetricAttribution>,
+}
+
+/// Pairs up `(key, value)` rows from two digests and keeps the rows
+/// whose values differ.
+fn paired(
+    scope: &'static str,
+    base: impl Iterator<Item = (String, u64)>,
+    cand: impl Iterator<Item = (String, u64)>,
+) -> Vec<Contribution> {
+    let mut m: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (k, v) in base {
+        m.entry(k).or_insert((0, 0)).0 += v;
+    }
+    for (k, v) in cand {
+        m.entry(k).or_insert((0, 0)).1 += v;
+    }
+    m.into_iter()
+        .filter(|&(_, (b, c))| b != c)
+        .map(|(key, (baseline, candidate))| Contribution { scope, key, baseline, candidate })
+        .collect()
+}
+
+fn sort_contributions(mut rows: Vec<Contribution>) -> Vec<Contribution> {
+    rows.sort_by(|a, b| {
+        b.delta()
+            .unsigned_abs()
+            .cmp(&a.delta().unsigned_abs())
+            .then_with(|| a.scope.cmp(b.scope))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    rows
+}
+
+fn node_key(node: usize) -> String {
+    format!("SP{node}")
+}
+
+fn link_key(from: usize, to: usize) -> String {
+    format!("SP{from}->SP{to}")
+}
+
+impl AttributionReport {
+    /// Aligns two digests by their stable keys and decomposes every
+    /// top-level metric delta down to the phase/node/link responsible.
+    pub fn attribute(baseline: &TraceDigest, candidate: &TraceDigest) -> AttributionReport {
+        let phase_rows = |d: &TraceDigest, f: fn(&PhaseAgg) -> u64| {
+            d.phases.iter().map(move |p| (p.phase.clone(), f(p))).collect::<Vec<_>>()
+        };
+        let node_rows = |d: &TraceDigest, f: fn(&NodeAgg) -> u64| {
+            d.nodes.iter().map(move |n| (node_key(n.node), f(n))).collect::<Vec<_>>()
+        };
+        let link_rows = |d: &TraceDigest, f: fn(&LinkAgg) -> u64| {
+            d.links.iter().map(move |l| (link_key(l.from, l.to), f(l))).collect::<Vec<_>>()
+        };
+
+        let mut time = paired(
+            "phase",
+            phase_rows(baseline, |p| p.service_ns).into_iter(),
+            phase_rows(candidate, |p| p.service_ns).into_iter(),
+        );
+        time.extend(paired(
+            "node",
+            node_rows(baseline, |n| n.service_ns).into_iter(),
+            node_rows(candidate, |n| n.service_ns).into_iter(),
+        ));
+        time.extend(paired(
+            "link",
+            link_rows(baseline, |l| l.transfer_ns).into_iter(),
+            link_rows(candidate, |l| l.transfer_ns).into_iter(),
+        ));
+
+        let mut bytes = paired(
+            "link",
+            link_rows(baseline, |l| l.bytes).into_iter(),
+            link_rows(candidate, |l| l.bytes).into_iter(),
+        );
+        bytes.extend(paired(
+            "node",
+            node_rows(baseline, |n| n.bytes_out).into_iter(),
+            node_rows(candidate, |n| n.bytes_out).into_iter(),
+        ));
+
+        let mut dom = paired(
+            "phase",
+            phase_rows(baseline, |p| p.dominance_tests).into_iter(),
+            phase_rows(candidate, |p| p.dominance_tests).into_iter(),
+        );
+        dom.extend(paired(
+            "node",
+            node_rows(baseline, |n| n.dominance_tests).into_iter(),
+            node_rows(candidate, |n| n.dominance_tests).into_iter(),
+        ));
+
+        let depth = paired(
+            "node",
+            node_rows(baseline, |n| n.peak_queue_depth).into_iter(),
+            node_rows(candidate, |n| n.peak_queue_depth).into_iter(),
+        );
+
+        AttributionReport {
+            metrics: vec![
+                MetricAttribution {
+                    metric: "sim_time_ns",
+                    baseline: baseline.sim_time_ns,
+                    candidate: candidate.sim_time_ns,
+                    contributions: sort_contributions(time),
+                },
+                MetricAttribution {
+                    metric: "total_bytes",
+                    baseline: baseline.total_bytes,
+                    candidate: candidate.total_bytes,
+                    contributions: sort_contributions(bytes),
+                },
+                MetricAttribution {
+                    metric: "dominance_tests",
+                    baseline: baseline.dominance_tests,
+                    candidate: candidate.dominance_tests,
+                    contributions: sort_contributions(dom),
+                },
+                MetricAttribution {
+                    metric: "peak_queue_depth",
+                    baseline: baseline.peak_queue_depth,
+                    candidate: candidate.peak_queue_depth,
+                    contributions: sort_contributions(depth),
+                },
+            ],
+        }
+    }
+
+    /// `true` iff every metric delta is zero and nothing contributed —
+    /// the two runs are indistinguishable at digest granularity.
+    pub fn all_zero(&self) -> bool {
+        self.metrics.iter().all(|m| m.delta() == 0 && m.contributions.is_empty())
+    }
+
+    /// The largest contributor to `metric`, if any changed.
+    pub fn top_contributor(&self, metric: &str) -> Option<&Contribution> {
+        self.metrics.iter().find(|m| m.metric == metric)?.contributions.first()
+    }
+
+    /// Human-readable table: one block per metric, top contributors
+    /// indented beneath.
+    pub fn render(&self) -> String {
+        let mut out = String::from("attribution report (candidate vs baseline)\n");
+        if self.all_zero() {
+            out.push_str("  all metrics identical: no deltas to attribute\n");
+            return out;
+        }
+        for m in &self.metrics {
+            out.push_str(&format!(
+                "  {}: {} -> {} ({:+})\n",
+                m.metric,
+                m.baseline,
+                m.candidate,
+                m.delta()
+            ));
+            for c in &m.contributions {
+                out.push_str(&format!(
+                    "    {:<5} {:<24} {:+}  ({} -> {})\n",
+                    c.scope,
+                    c.key,
+                    c.delta(),
+                    c.baseline,
+                    c.candidate
+                ));
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering (via [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        let metrics = json::arr(self.metrics.iter().map(|m| {
+            let contributions = json::arr(m.contributions.iter().map(|c| {
+                Obj::new()
+                    .str("scope", c.scope)
+                    .str("key", &c.key)
+                    .u64("baseline", c.baseline)
+                    .u64("candidate", c.candidate)
+                    .raw("delta", &c.delta().to_string())
+                    .build()
+            }));
+            Obj::new()
+                .str("metric", m.metric)
+                .u64("baseline", m.baseline)
+                .u64("candidate", m.candidate)
+                .raw("delta", &m.delta().to_string())
+                .raw("contributions", &contributions)
+                .build()
+        }));
+        Obj::new().bool("all_zero", self.all_zero()).raw("metrics", &metrics).build()
+    }
+}
+
+/// A counterfactual to evaluate against a critical path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Intervention {
+    /// Scale a node's service time by `factor` (< 1 = faster CPU).
+    NodeSpeed {
+        /// Super-peer id.
+        node: usize,
+        /// Multiplier applied to each of the node's service segments.
+        factor: f64,
+    },
+    /// Scale a directed link's in-flight and queueing time by `factor`
+    /// (< 1 = lower latency / higher bandwidth).
+    LinkSpeed {
+        /// Sending super-peer.
+        from: usize,
+        /// Receiving super-peer.
+        to: usize,
+        /// Multiplier applied to each transfer/link-queue segment.
+        factor: f64,
+    },
+}
+
+impl Intervention {
+    /// Stable key (`SPn` or `SPa->SPb`) for display and sorting.
+    pub fn key(&self) -> String {
+        match *self {
+            Intervention::NodeSpeed { node, .. } => node_key(node),
+            Intervention::LinkSpeed { from, to, .. } => link_key(from, to),
+        }
+    }
+
+    fn factor(&self) -> f64 {
+        match *self {
+            Intervention::NodeSpeed { factor, .. } | Intervention::LinkSpeed { factor, .. } => {
+                factor
+            }
+        }
+    }
+
+    /// Whether a path step is affected by this intervention.
+    fn applies(&self, step_node: usize, kind: &StepKind) -> bool {
+        match (*self, kind) {
+            (Intervention::NodeSpeed { node, .. }, StepKind::Service { .. }) => step_node == node,
+            (
+                Intervention::LinkSpeed { from, to, .. },
+                StepKind::Transfer { from_node, .. } | StepKind::LinkQueue { from_node, .. },
+            ) => *from_node == from && step_node == to,
+            _ => false,
+        }
+    }
+}
+
+/// The outcome of one what-if evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WhatIf {
+    /// The counterfactual evaluated.
+    pub intervention: Intervention,
+    /// Critical-path nanoseconds attributable to the intervention's
+    /// target (the budget the scaling acts on).
+    pub path_ns: u64,
+    /// Recomputed critical-path length with affected segments scaled.
+    pub predicted_total_ns: u64,
+    /// Predicted critical-path nanoseconds saved (0 for factor ≥ 1 when
+    /// nothing shrinks).
+    pub predicted_saving_ns: u64,
+}
+
+/// Recomputes the critical path length with every segment affected by
+/// `intervention` scaled by its factor (durations rounded to whole ns).
+///
+/// This is the causal-profiling estimate: the path's *shape* is held
+/// fixed and only the targeted segments shrink (or grow), so a factor of
+/// exactly `1.0` predicts exactly zero saving, and the prediction is a
+/// best-case bound — in a re-run the true path may shift elsewhere.
+pub fn what_if(path: &CriticalPath, intervention: Intervention) -> WhatIf {
+    let factor = intervention.factor().max(0.0);
+    let mut attributable = 0u64;
+    let mut predicted_total = 0u64;
+    for s in &path.steps {
+        let dur = s.to - s.from;
+        if intervention.applies(s.node, &s.kind) {
+            attributable += dur;
+            predicted_total += (dur as f64 * factor).round() as u64;
+        } else {
+            predicted_total += dur;
+        }
+    }
+    WhatIf {
+        intervention,
+        path_ns: attributable,
+        predicted_total_ns: predicted_total,
+        predicted_saving_ns: path.total_ns.saturating_sub(predicted_total),
+    }
+}
+
+/// Evaluates a `factor`-scaling what-if for every node and directed link
+/// appearing on the critical path, ranked by predicted saving (ties
+/// broken by node-before-link, then key — deterministic).
+pub fn rank_interventions(path: &CriticalPath, factor: f64) -> Vec<WhatIf> {
+    let mut nodes: Vec<usize> = Vec::new();
+    let mut links: Vec<(usize, usize)> = Vec::new();
+    for s in &path.steps {
+        match s.kind {
+            StepKind::Service { .. } if !nodes.contains(&s.node) => nodes.push(s.node),
+            StepKind::Transfer { from_node, .. } | StepKind::LinkQueue { from_node, .. }
+                if !links.contains(&(from_node, s.node)) =>
+            {
+                links.push((from_node, s.node))
+            }
+            _ => {}
+        }
+    }
+    nodes.sort_unstable();
+    links.sort_unstable();
+    let mut out: Vec<WhatIf> = nodes
+        .into_iter()
+        .map(|node| what_if(path, Intervention::NodeSpeed { node, factor }))
+        .chain(
+            links
+                .into_iter()
+                .map(|(from, to)| what_if(path, Intervention::LinkSpeed { from, to, factor })),
+        )
+        .collect();
+    out.sort_by(|a, b| {
+        b.predicted_saving_ns.cmp(&a.predicted_saving_ns).then_with(|| {
+            let kind = |w: &WhatIf| match w.intervention {
+                Intervention::NodeSpeed { .. } => 0,
+                Intervention::LinkSpeed { .. } => 1,
+            };
+            kind(a).cmp(&kind(b)).then_with(|| a.intervention.key().cmp(&b.intervention.key()))
+        })
+    });
+    out
+}
+
+/// Human-readable what-if ranking table.
+pub fn render_what_if(ranked: &[WhatIf]) -> String {
+    let mut out = String::from("what-if ranking (predicted critical-path ns saved)\n");
+    if ranked.is_empty() {
+        out.push_str("  critical path has no scalable segments\n");
+        return out;
+    }
+    for (i, w) in ranked.iter().enumerate() {
+        let (kind, factor) = match w.intervention {
+            Intervention::NodeSpeed { factor, .. } => ("node", factor),
+            Intervention::LinkSpeed { factor, .. } => ("link", factor),
+        };
+        out.push_str(&format!(
+            "  #{:<2} {:<5} {:<24} x{:<6} saves {:>12} ns (of {} ns on path)\n",
+            i + 1,
+            kind,
+            w.intervention.key(),
+            factor,
+            w.predicted_saving_ns,
+            w.path_ns
+        ));
+    }
+    out
+}
+
+/// Deterministic JSON array for a what-if ranking (via [`crate::json`]).
+pub fn what_if_json(ranked: &[WhatIf]) -> String {
+    json::arr(ranked.iter().map(|w| {
+        let (kind, factor) = match w.intervention {
+            Intervention::NodeSpeed { factor, .. } => ("node", factor),
+            Intervention::LinkSpeed { factor, .. } => ("link", factor),
+        };
+        let mut o = Obj::new().str("kind", kind).str("key", &w.intervention.key());
+        o = match w.intervention {
+            Intervention::NodeSpeed { node, .. } => o.u64("node", node as u64),
+            Intervention::LinkSpeed { from, to, .. } => {
+                o.u64("from", from as u64).u64("to", to as u64)
+            }
+        };
+        o.raw("factor", &float(factor))
+            .u64("path_ns", w.path_ns)
+            .u64("predicted_total_ns", w.predicted_total_ns)
+            .u64("predicted_saving_ns", w.predicted_saving_ns)
+            .build()
+    }))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::critical::critical_path;
+    use crate::event::SpanCause;
+
+    fn svc(span: u64, node: usize, begin: u64, end: u64, cause: SpanCause) -> TraceEvent {
+        TraceEvent::Service {
+            span,
+            node,
+            begin,
+            end,
+            cause,
+            dominance_tests: 3,
+            points_scanned: 5,
+            finished: false,
+        }
+    }
+
+    fn send(
+        msg_seq: u64,
+        span: u64,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        sent_at: u64,
+        arrive_at: u64,
+    ) -> TraceEvent {
+        TraceEvent::Send { msg_seq, span, from, to, bytes, queued_at: sent_at, sent_at, arrive_at }
+    }
+
+    fn phase(span: u64, node: usize, at: u64, phase: QueryPhase) -> TraceEvent {
+        TraceEvent::Proto { span, node, at, event: ProtoEvent::Phase { qid: 1, phase } }
+    }
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            svc(0, 0, 0, 1000, SpanCause::Start),
+            phase(0, 0, 0, QueryPhase::Started),
+            send(10, 0, 0, 1, 64, 1000, 3000),
+            TraceEvent::Deliver { msg_seq: 10, at: 3000, from: 0, to: 1 },
+            svc(1, 1, 3000, 3500, SpanCause::Msg(10)),
+            phase(1, 1, 3000, QueryPhase::LocalDone),
+            send(11, 1, 1, 0, 32, 3500, 5000),
+            TraceEvent::Deliver { msg_seq: 11, at: 5000, from: 1, to: 0 },
+            svc(2, 0, 5000, 5800, SpanCause::Msg(11)),
+            phase(2, 0, 5800, QueryPhase::Finalized),
+            TraceEvent::Finish { span: 2, node: 0, at: 5800 },
+        ]
+    }
+
+    #[test]
+    fn digest_aggregates_by_phase_node_and_link() {
+        let d = TraceDigest::from_events(&sample_trace());
+        assert_eq!(d.sim_time_ns, 5800);
+        assert_eq!(d.total_bytes, 96);
+        assert_eq!(d.dominance_tests, 9);
+        let labels: Vec<&str> = d.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(labels, ["started", "local-done", "finalized"]);
+        assert_eq!(d.phases[0].service_ns, 1000);
+        assert_eq!(d.phases[2].service_ns, 800, "finalizing span owns its own transition");
+        assert_eq!(d.nodes.len(), 2);
+        assert_eq!(d.nodes[0].service_ns, 1800);
+        assert_eq!(d.nodes[0].bytes_out, 64);
+        assert_eq!(d.links.len(), 2);
+        assert_eq!(d.links[0].transfer_ns, 2000);
+        assert_eq!(d.to_json(), TraceDigest::from_events(&sample_trace()).to_json());
+    }
+
+    #[test]
+    fn identical_digests_attribute_to_all_zero() {
+        let d = TraceDigest::from_events(&sample_trace());
+        let rep = AttributionReport::attribute(&d, &d);
+        assert!(rep.all_zero());
+        assert!(rep.render().contains("no deltas to attribute"));
+        assert!(rep.to_json().starts_with("{\"all_zero\":true,"));
+        assert_eq!(rep.to_json(), AttributionReport::attribute(&d, &d).to_json());
+    }
+
+    #[test]
+    fn perturbed_link_is_top_contributor() {
+        let base = TraceDigest::from_events(&sample_trace());
+        // Same trace, but link 0->1 takes 50µs longer in flight.
+        let mut pert = sample_trace();
+        for ev in &mut pert {
+            match ev {
+                TraceEvent::Send { from: 0, to: 1, arrive_at, .. } => *arrive_at += 50_000,
+                TraceEvent::Deliver { from: 0, to: 1, at, .. } => *at += 50_000,
+                TraceEvent::Service { span, begin, end, .. } if *span >= 1 => {
+                    *begin += 50_000;
+                    *end += 50_000;
+                }
+                TraceEvent::Send { from: 1, sent_at, arrive_at, queued_at, .. } => {
+                    *sent_at += 50_000;
+                    *arrive_at += 50_000;
+                    *queued_at += 50_000;
+                }
+                TraceEvent::Finish { at, .. } => *at += 50_000,
+                _ => {}
+            }
+        }
+        let cand = TraceDigest::from_events(&pert);
+        let rep = AttributionReport::attribute(&base, &cand);
+        assert!(!rep.all_zero());
+        let top = rep.top_contributor("sim_time_ns").expect("time moved");
+        assert_eq!(top.scope, "link");
+        assert_eq!(top.key, "SP0->SP1");
+        assert_eq!(top.delta(), 50_000);
+        // Bytes did not move at all.
+        let bytes = rep.metrics.iter().find(|m| m.metric == "total_bytes").unwrap();
+        assert_eq!(bytes.delta(), 0);
+        assert!(bytes.contributions.is_empty());
+    }
+
+    #[test]
+    fn what_if_factor_one_predicts_exactly_zero() {
+        let p = critical_path(&sample_trace()).expect("finish");
+        for w in rank_interventions(&p, 1.0) {
+            assert_eq!(w.predicted_saving_ns, 0, "{:?}", w.intervention);
+            assert_eq!(w.predicted_total_ns, p.total_ns);
+        }
+    }
+
+    #[test]
+    fn what_if_ranks_dominant_link_first() {
+        // Transfers dominate the sample path (2000 + 1500 ns in flight vs
+        // ≤1800 ns of service per node), so halving the slowest link must
+        // outrank halving any node.
+        let p = critical_path(&sample_trace()).expect("finish");
+        let ranked = rank_interventions(&p, 0.5);
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].intervention, Intervention::LinkSpeed { from: 0, to: 1, factor: 0.5 });
+        assert_eq!(ranked[0].path_ns, 2000);
+        assert_eq!(ranked[0].predicted_saving_ns, 1000);
+        // Deterministic rendering.
+        assert_eq!(what_if_json(&ranked), what_if_json(&rank_interventions(&p, 0.5)));
+        assert!(render_what_if(&ranked).contains("SP0->SP1"));
+    }
+}

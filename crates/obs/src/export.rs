@@ -154,6 +154,286 @@ pub fn jsonl(events: &[TraceEvent]) -> String {
     out
 }
 
+/// A scanned JSON scalar from one flat trace-event object.
+enum Tok {
+    Str(String),
+    Num(String),
+    Bool(bool),
+}
+
+/// Scans a single-line flat JSON object (`{"k":scalar,…}`) into its
+/// key/value pairs. Only the shapes [`event_json`] emits are accepted:
+/// string, number, and boolean values, no nesting.
+fn scan_flat_object(line: &str) -> Result<Vec<(String, Tok)>, String> {
+    let b = line.trim().as_bytes();
+    let mut i = 0usize;
+    let err = |msg: &str, i: usize| Err(format!("{msg} at byte {i}: {line}"));
+    let scan_string = |i: &mut usize| -> Result<String, String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at byte {} in: {line}", *i));
+        }
+        *i += 1;
+        let mut s = String::new();
+        loop {
+            match b.get(*i) {
+                None => return Err(format!("unterminated string in: {line}")),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = line
+                                .trim()
+                                .get(*i + 1..*i + 5)
+                                .ok_or_else(|| format!("truncated \\u escape in: {line}"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?} in: {line}"))?;
+                            s.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("bad codepoint {cp:#x} in: {line}"))?,
+                            );
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape in: {line}")),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let rest = &line.trim()[*i..];
+                    let ch = rest.chars().next().unwrap();
+                    s.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+    };
+    if b.first() != Some(&b'{') {
+        return err("expected '{'", 0);
+    }
+    i += 1;
+    let mut out = Vec::new();
+    if b.get(i) == Some(&b'}') {
+        return Ok(out);
+    }
+    loop {
+        let key = scan_string(&mut i)?;
+        if b.get(i) != Some(&b':') {
+            return err("expected ':'", i);
+        }
+        i += 1;
+        let tok = match b.get(i) {
+            Some(b'"') => Tok::Str(scan_string(&mut i)?),
+            Some(b't') if b[i..].starts_with(b"true") => {
+                i += 4;
+                Tok::Bool(true)
+            }
+            Some(b'f') if b[i..].starts_with(b"false") => {
+                i += 5;
+                Tok::Bool(false)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = i;
+                while b.get(i).is_some_and(|c| {
+                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    i += 1;
+                }
+                Tok::Num(line.trim()[start..i].to_string())
+            }
+            _ => return err("expected scalar value", i),
+        };
+        out.push((key, tok));
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(out),
+            _ => return err("expected ',' or '}'", i),
+        }
+    }
+}
+
+/// Typed accessors over one scanned event object.
+struct Fields<'a> {
+    line: &'a str,
+    kv: Vec<(String, Tok)>,
+}
+
+impl Fields<'_> {
+    fn get(&self, key: &str) -> Result<&Tok, String> {
+        self.kv
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, t)| t)
+            .ok_or_else(|| format!("missing key {key:?} in: {}", self.line))
+    }
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            Tok::Num(raw) => {
+                raw.parse().map_err(|_| format!("bad u64 {key}={raw:?} in: {}", self.line))
+            }
+            _ => Err(format!("key {key:?} is not a number in: {}", self.line)),
+        }
+    }
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        Ok(self.u64(key)? as usize)
+    }
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            Tok::Num(raw) => {
+                raw.parse().map_err(|_| format!("bad f64 {key}={raw:?} in: {}", self.line))
+            }
+            // Non-finite floats encode as strings (see crate::json::float).
+            Tok::Str(s) => match s.as_str() {
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                "nan" => Ok(f64::NAN),
+                other => Err(format!("bad float string {key}={other:?} in: {}", self.line)),
+            },
+            Tok::Bool(_) => Err(format!("key {key:?} is a bool, not a float in: {}", self.line)),
+        }
+    }
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key)? {
+            Tok::Str(s) => Ok(s),
+            _ => Err(format!("key {key:?} is not a string in: {}", self.line)),
+        }
+    }
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            Tok::Bool(v) => Ok(*v),
+            _ => Err(format!("key {key:?} is not a bool in: {}", self.line)),
+        }
+    }
+    fn cause(&self) -> Result<SpanCause, String> {
+        match self.str("cause")? {
+            "start" => Ok(SpanCause::Start),
+            "msg" => Ok(SpanCause::Msg(self.u64("cause_seq")?)),
+            "timer" => Ok(SpanCause::Timer(self.u64("cause_seq")?)),
+            other => Err(format!("unknown cause {other:?} in: {}", self.line)),
+        }
+    }
+    fn qid(&self) -> Result<u32, String> {
+        u32::try_from(self.u64("qid")?).map_err(|_| format!("qid overflow in: {}", self.line))
+    }
+}
+
+/// Parses one line of [`event_json`] output back into a [`TraceEvent`].
+pub fn parse_event_json(line: &str) -> Result<TraceEvent, String> {
+    let f = Fields { line, kv: scan_flat_object(line)? };
+    match f.str("type")? {
+        "service" => Ok(TraceEvent::Service {
+            span: f.u64("span")?,
+            node: f.usize("node")?,
+            begin: f.u64("begin")?,
+            end: f.u64("end")?,
+            cause: f.cause()?,
+            dominance_tests: f.u64("dominance_tests")?,
+            points_scanned: f.u64("points_scanned")?,
+            finished: f.bool("finished")?,
+        }),
+        "send" => Ok(TraceEvent::Send {
+            msg_seq: f.u64("msg_seq")?,
+            span: f.u64("span")?,
+            from: f.usize("from")?,
+            to: f.usize("to")?,
+            bytes: f.u64("bytes")?,
+            queued_at: f.u64("queued_at")?,
+            sent_at: f.u64("sent_at")?,
+            arrive_at: f.u64("arrive_at")?,
+        }),
+        "deliver" => Ok(TraceEvent::Deliver {
+            msg_seq: f.u64("msg_seq")?,
+            at: f.u64("at")?,
+            from: f.usize("from")?,
+            to: f.usize("to")?,
+        }),
+        "drop" => Ok(TraceEvent::Drop {
+            msg_seq: f.u64("msg_seq")?,
+            at: f.u64("at")?,
+            from: f.usize("from")?,
+            to: f.usize("to")?,
+            reason: match f.str("reason")? {
+                "dead-sender" => DropReason::DeadSender,
+                "dead-receiver" => DropReason::DeadReceiver,
+                "injected" => DropReason::Injected,
+                other => return Err(format!("unknown drop reason {other:?} in: {line}")),
+            },
+        }),
+        "timer-set" => Ok(TraceEvent::TimerSet {
+            timer_seq: f.u64("timer_seq")?,
+            span: f.u64("span")?,
+            node: f.usize("node")?,
+            fire_at: f.u64("fire_at")?,
+            tag: f.u64("tag")?,
+        }),
+        "timer-fire" => Ok(TraceEvent::TimerFire {
+            timer_seq: f.u64("timer_seq")?,
+            at: f.u64("at")?,
+            node: f.usize("node")?,
+            tag: f.u64("tag")?,
+        }),
+        "finish" => Ok(TraceEvent::Finish {
+            span: f.u64("span")?,
+            node: f.usize("node")?,
+            at: f.u64("at")?,
+        }),
+        "proto" => Ok(TraceEvent::Proto {
+            span: f.u64("span")?,
+            node: f.usize("node")?,
+            at: f.u64("at")?,
+            event: match f.str("event")? {
+                "threshold-install" => {
+                    ProtoEvent::ThresholdInstall { qid: f.qid()?, value: f.f64("value")? }
+                }
+                "threshold-refine" => ProtoEvent::ThresholdRefine {
+                    qid: f.qid()?,
+                    old: f.f64("old")?,
+                    new: f.f64("new")?,
+                },
+                "prune" => ProtoEvent::Prune { qid: f.qid()?, pruned: f.u64("pruned")? },
+                "phase" => ProtoEvent::Phase {
+                    qid: f.qid()?,
+                    phase: match f.str("phase")? {
+                        "started" => QueryPhase::Started,
+                        "forwarded" => QueryPhase::Forwarded,
+                        "local-done" => QueryPhase::LocalDone,
+                        "abandoned" => QueryPhase::Abandoned,
+                        "finalized" => QueryPhase::Finalized,
+                        other => return Err(format!("unknown phase {other:?} in: {line}")),
+                    },
+                },
+                other => return Err(format!("unknown proto event {other:?} in: {line}")),
+            },
+        }),
+        other => Err(format!("unknown event type {other:?} in: {line}")),
+    }
+}
+
+/// Parses a JSONL trace back into events — the exact inverse of
+/// [`jsonl`]. Blank lines are skipped; any malformed line is an error
+/// naming the line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_event_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
 /// Nanoseconds → the trace format's microsecond timestamps, rendered
 /// deterministically with fixed precision.
 fn us(ns: u64) -> String {
@@ -485,5 +765,59 @@ mod unit {
         assert!(lines.contains(r#""old":9.5"#) && lines.contains(r#""new":7.25"#));
         let chrome = chrome_trace(&all);
         assert!(chrome.contains("timer-fire") && chrome.contains("prune"));
+    }
+
+    #[test]
+    fn parse_jsonl_round_trips_every_event_kind() {
+        let mut all = tiny_trace();
+        all.extend([
+            TraceEvent::Drop { msg_seq: 1, at: 5, from: 0, to: 2, reason: DropReason::DeadSender },
+            TraceEvent::Drop { msg_seq: 2, at: 6, from: 0, to: 2, reason: DropReason::Injected },
+            TraceEvent::TimerSet { timer_seq: 2, span: 0, node: 1, fire_at: 50, tag: 7 },
+            TraceEvent::TimerFire { timer_seq: 2, at: 50, node: 1, tag: 7 },
+            TraceEvent::Service {
+                span: 9,
+                node: 3,
+                begin: 10,
+                end: 20,
+                cause: SpanCause::Timer(2),
+                dominance_tests: 0,
+                points_scanned: 0,
+                finished: true,
+            },
+            TraceEvent::Proto {
+                span: 0,
+                node: 1,
+                at: 0,
+                event: ProtoEvent::ThresholdRefine { qid: 1, old: f64::INFINITY, new: 7.25 },
+            },
+            TraceEvent::Proto {
+                span: 0,
+                node: 1,
+                at: 0,
+                event: ProtoEvent::Prune { qid: 1, pruned: 12 },
+            },
+            TraceEvent::Proto {
+                span: 0,
+                node: 1,
+                at: 0,
+                event: ProtoEvent::Phase { qid: 1, phase: QueryPhase::Abandoned },
+            },
+        ]);
+        let text = jsonl(&all);
+        let back = parse_jsonl(&text).expect("parses");
+        assert_eq!(back, all);
+        // And re-rendering is byte-identical: parse is a true inverse.
+        assert_eq!(jsonl(&back), text);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_malformed_lines() {
+        assert!(parse_jsonl("not json\n").unwrap_err().contains("line 1"));
+        assert!(parse_jsonl("{\"type\":\"nope\"}\n").unwrap_err().contains("unknown event type"));
+        let truncated = r#"{"type":"finish","span":0}"#;
+        assert!(parse_jsonl(truncated).unwrap_err().contains("missing key"));
+        // Blank lines are tolerated.
+        assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
     }
 }

@@ -103,17 +103,35 @@ impl HdrHistogram {
     }
 
     /// Folds `other` into `self`. Deterministic: the result depends only
-    /// on the multiset of recorded samples, not on merge order.
+    /// on the multiset of recorded samples, not on merge order. Merging
+    /// an empty histogram is a no-op; merging into an empty histogram
+    /// copies `other`.
     ///
     /// # Panics
     ///
     /// Panics if the precisions differ (the bucket layouts would not
-    /// line up).
+    /// line up). Use [`HdrHistogram::try_merge`] for a non-panicking
+    /// variant.
     pub fn merge(&mut self, other: &HdrHistogram) {
         assert_eq!(
             self.precision, other.precision,
             "cannot merge HDR histograms of different precision"
         );
+        self.try_merge(other).expect("precisions already checked equal");
+    }
+
+    /// Fallible [`HdrHistogram::merge`]: returns an error (and leaves
+    /// `self` untouched) when the precisions differ, instead of
+    /// panicking. There is no coercion between precisions — the bucket
+    /// layouts do not line up, and resampling would silently widen the
+    /// documented error bound.
+    pub fn try_merge(&mut self, other: &HdrHistogram) -> Result<(), String> {
+        if self.precision != other.precision {
+            return Err(format!(
+                "cannot merge HDR histograms of different precision ({} vs {})",
+                self.precision, other.precision
+            ));
+        }
         for (&i, &c) in &other.counts {
             *self.counts.entry(i).or_insert(0) += c;
         }
@@ -121,6 +139,7 @@ impl HdrHistogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// Number of samples.
@@ -316,6 +335,56 @@ mod unit {
     }
 
     #[test]
+    fn try_merge_rejects_mismatched_precision_without_mutating() {
+        let mut a = HdrHistogram::new(4);
+        a.record(17);
+        let before = a.clone();
+        let mut b = HdrHistogram::new(5);
+        b.record(99);
+        let err = a.try_merge(&b).unwrap_err();
+        assert!(err.contains("different precision"), "{err}");
+        assert!(err.contains("4 vs 5"), "error names both precisions: {err}");
+        assert_eq!(a, before, "failed merge must leave the target untouched");
+    }
+
+    #[test]
+    fn merging_empty_is_a_no_op() {
+        let mut a = HdrHistogram::new(6);
+        for v in [5u64, 500, 5_000_000] {
+            a.record(v);
+        }
+        let before = a.clone();
+        a.merge(&HdrHistogram::new(6));
+        assert_eq!(a, before);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(5_000_000));
+    }
+
+    #[test]
+    fn merging_into_empty_copies_the_source() {
+        let mut src = HdrHistogram::new(6);
+        for v in [1u64, 2, 3_000] {
+            src.record(v);
+        }
+        let mut dst = HdrHistogram::new(6);
+        dst.merge(&src);
+        assert_eq!(dst, src);
+        // min/max sentinels of the empty target must not leak through.
+        assert_eq!(dst.min(), Some(1));
+        assert_eq!(dst.max(), Some(3_000));
+    }
+
+    #[test]
+    fn merging_two_empties_stays_empty() {
+        let mut a = HdrHistogram::new(6);
+        a.merge(&HdrHistogram::new(6));
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.summary(), "n=0");
+    }
+
+    #[test]
     fn empty_histogram_behaves() {
         let h = HdrHistogram::with_default_precision();
         assert_eq!(h.count(), 0);
@@ -375,6 +444,36 @@ mod proptests {
                 "est {} above bound for exact {} at precision {}",
                 est, exact, precision
             );
+        }
+
+        /// Merging any partition of a sample set — in any order, empty
+        /// chunks included — preserves the total count, min, max, and sum,
+        /// and equals recording everything into one histogram.
+        #[test]
+        fn merge_preserves_count_min_and_max(
+            chunks in prop::collection::vec(
+                prop::collection::vec(0u64..1u64 << 48, 0..40),
+                1..6,
+            ),
+            precision in 1u32..10u32,
+        ) {
+            let mut merged = HdrHistogram::new(precision);
+            let mut single = HdrHistogram::new(precision);
+            let mut all: Vec<u64> = Vec::new();
+            for chunk in &chunks {
+                let mut part = HdrHistogram::new(precision);
+                for &v in chunk {
+                    part.record(v);
+                    single.record(v);
+                    all.push(v);
+                }
+                merged.merge(&part);
+            }
+            prop_assert_eq!(merged.count(), all.len() as u64);
+            prop_assert_eq!(merged.min(), all.iter().min().copied());
+            prop_assert_eq!(merged.max(), all.iter().max().copied());
+            prop_assert_eq!(merged.sum(), all.iter().sum::<u64>());
+            prop_assert_eq!(&merged, &single);
         }
     }
 }

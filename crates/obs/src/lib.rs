@@ -20,6 +20,10 @@
 //! * [`critical`] — a critical-path analyzer that walks the recorded
 //!   event DAG backwards from the `finish` call and reports the chain of
 //!   service, transfer, and wait spans that determined response time;
+//! * [`diff`] — regression root-cause analysis: compact per-run
+//!   [`TraceDigest`]s, baseline-vs-candidate delta attribution down to
+//!   the phase/node/link responsible, and counterfactual what-if
+//!   rankings over the critical path;
 //! * [`expose`] — a point-in-time [`MetricsSnapshot`] with a
 //!   Prometheus-text-format serializer and a periodic file sampler for
 //!   long-running live-mode processes;
@@ -42,6 +46,7 @@
 //! deterministic runtime yields a byte-deterministic trace.
 
 pub mod critical;
+pub mod diff;
 pub mod event;
 pub mod export;
 pub mod expose;
@@ -53,8 +58,9 @@ pub mod slo;
 pub mod tracer;
 
 pub use critical::{critical_path, CriticalPath, PathStep, StepKind};
+pub use diff::{rank_interventions, AttributionReport, Intervention, TraceDigest, WhatIf};
 pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEvent};
-pub use export::{chrome_trace, jsonl};
+pub use export::{chrome_trace, jsonl, parse_jsonl};
 pub use expose::{MetricsSnapshot, Sampler, SamplerHandle};
 pub use hdr::HdrHistogram;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
