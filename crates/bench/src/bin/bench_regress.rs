@@ -101,6 +101,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("cannot write {digest_path}: {e}"))?;
     println!("wrote {} entries to {out_path} (commit {})", report.entries.len(), report.commit);
     println!("wrote {} trace digests to {digest_path}", digests.len());
+    // Profiled second pass: per-(figure, variant) CPU-share blocks as an
+    // advisory sibling artifact. Separate from the gated run above so
+    // profiling overhead can never leak into the gated metrics, and a
+    // sibling file so BENCH_regress.json's byte format is untouched.
+    let profile_path = cpu_profile_path(&out_path);
+    let profile = skypeer_bench::regress::run_pinned_cpu_profile();
+    std::fs::write(&profile_path, &profile)
+        .map_err(|e| format!("cannot write {profile_path}: {e}"))?;
+    println!("wrote per-phase CPU-share profile to {profile_path} (advisory)");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -109,6 +118,14 @@ fn digests_path(report_path: &str) -> String {
     match report_path.strip_suffix(".json") {
         Some(stem) => format!("{stem}_digests.json"),
         None => format!("{report_path}_digests.json"),
+    }
+}
+
+/// The CPU-profile sibling of a report path: `X.json` -> `X_cpu_profile.txt`.
+fn cpu_profile_path(report_path: &str) -> String {
+    match report_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_cpu_profile.txt"),
+        None => format!("{report_path}_cpu_profile.txt"),
     }
 }
 

@@ -29,8 +29,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: soak [--peers N] [--superpeers N] [--dim D] [--points P] \
 [--queries Q] [--seed S] [--variants LIST|all] [--k K | --k-min A --k-max B [--k-theta T]] \
 [--initiator-theta T] [--top-k K] [--slo-p50-ms F] [--slo-p99-ms F] [--slo-p999-ms F] \
+[--slo-pNN-ms F (any percentile, e.g. --slo-p95-ms)] \
 [--slo-max-ms F] [--slo-p99-bytes N] [--cache] [--cache-bytes N] [--min-hit-rate F] \
-[--out FILE] [--jsonl FILE] [--prom FILE] [--gate]";
+[--out FILE] [--jsonl FILE] [--prom FILE] [--profile-out FILE] [--gate]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -120,6 +121,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         None => InitiatorMix::Uniform,
     };
 
+    // Any `--slo-p<digits>-ms` percentile is accepted; 50/99/999 map to
+    // the pinned SloSpec fields, the rest become arbitrary-quantile
+    // budgets checked via HdrHistogram::value_at_quantile.
+    let mut latency_quantiles: Vec<(String, u64)> = Vec::new();
+    for a in args {
+        let Some(digits) = a.strip_prefix("--slo-p").and_then(|s| s.strip_suffix("-ms")) else {
+            continue;
+        };
+        if matches!(digits, "50" | "99" | "999")
+            || digits.is_empty()
+            || !digits.bytes().all(|b| b.is_ascii_digit())
+        {
+            continue;
+        }
+        if skypeer_netsim::obs::quantile_from_digits(digits).is_none() {
+            return Err(format!("bad {a}: '{digits}' is not a percentile in (0, 100)"));
+        }
+        if let Some(ns) = ms_to_ns(args, a)? {
+            latency_quantiles.push((digits.to_string(), ns));
+        }
+    }
     let slo = SloSpec {
         p50_latency_ns: ms_to_ns(args, "--slo-p50-ms")?,
         p99_latency_ns: ms_to_ns(args, "--slo-p99-ms")?,
@@ -129,6 +151,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Some(v) => Some(v.parse().map_err(|e| format!("bad --slo-p99-bytes: {e}"))?),
             None => None,
         },
+        latency_quantiles,
     };
     let gate = args.iter().any(|a| a == "--gate");
 
@@ -182,13 +205,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         )),
         None => None,
     };
+    let profile_out = flag(args, "--profile-out")?;
+    if profile_out.is_some() {
+        skypeer_netsim::obs::prof::start(skypeer_netsim::obs::ClockMode::Monotonic);
+    }
     let outcome = run_soak(&engine, &spec, |row| {
         if let Some(w) = &mut jsonl {
             let _ = writeln!(w, "{}", row.to_json());
         }
     });
+    let profile = profile_out.is_some().then(skypeer_netsim::obs::prof::stop);
     if let Some(mut w) = jsonl {
         w.flush().map_err(|e| format!("flushing jsonl: {e}"))?;
+    }
+    if let (Some(path), Some(p)) = (&profile_out, &profile) {
+        std::fs::write(path, p.folded()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprint!("{}", p.render_table());
+        println!("wrote folded CPU profile to {path}");
     }
 
     print!("{}", outcome.render_table());
@@ -203,8 +236,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         println!("wrote summary to {path}");
     }
     if let Some(path) = flag(args, "--prom")? {
-        std::fs::write(&path, outcome.prometheus())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        // The workload exposition, plus skypeer_prof_* families when a
+        // profile was collected this run.
+        let mut text = outcome.prometheus();
+        if let Some(p) = &profile {
+            text.push_str(&p.prometheus());
+        }
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote Prometheus exposition to {path}");
     }
 

@@ -288,14 +288,20 @@ pub fn digests_from_json(text: &str) -> Result<Vec<FigureDigest>, String> {
 }
 
 /// A pinned figure configuration: a small deterministic stand-in for one
-/// paper figure, sized to run in well under a second per variant.
-struct Pinned {
-    figure: &'static str,
-    config: EngineConfig,
-    query: Query,
+/// paper figure, sized to run in well under a second per variant. Public
+/// so the CLI's `profile --figure` and the overhead-accounting smoke run
+/// the exact workloads the regression gate pins.
+pub struct PinnedFigure {
+    /// Stable report name (`fig3b_d8`, `fig3d_k2`, `fig4c_deg6`).
+    pub figure: &'static str,
+    /// Engine configuration of the shrunk figure.
+    pub config: EngineConfig,
+    /// The one pinned query the figure runs.
+    pub query: Query,
 }
 
-fn pinned_set() -> Vec<Pinned> {
+/// The pinned figure set the regression harness measures.
+pub fn pinned_figures() -> Vec<PinnedFigure> {
     let mk = |n_peers: usize, n_superpeers: usize, dim, points, degree: f64, seed: u64| {
         let mut topology = TopologySpec::paper_default(n_superpeers, seed ^ 0xD1CE);
         topology.avg_degree = degree.min(n_superpeers.saturating_sub(1) as f64);
@@ -312,24 +318,34 @@ fn pinned_set() -> Vec<Pinned> {
     };
     vec![
         // Figure 3(b): response time at the paper's default d=8 — shrunk.
-        Pinned {
+        PinnedFigure {
             figure: "fig3b_d8",
             config: mk(80, 8, 8, 60, 4.0, 42),
             query: Query { subspace: Subspace::from_dims(&[0, 3, 6]), initiator: 0 },
         },
         // Figure 3(d): transferred volume, low-dimensional subspace.
-        Pinned {
+        PinnedFigure {
             figure: "fig3d_k2",
             config: mk(80, 8, 6, 60, 4.0, 43),
             query: Query { subspace: Subspace::from_dims(&[1, 4]), initiator: 2 },
         },
         // Figure 4(c): degree sweep point DEG_sp=6 — denser backbone.
-        Pinned {
+        PinnedFigure {
             figure: "fig4c_deg6",
             config: mk(60, 10, 6, 40, 6.0, 44),
             query: Query { subspace: Subspace::from_dims(&[0, 2, 4]), initiator: 5 },
         },
     ]
+}
+
+/// Looks one pinned figure up by name.
+pub fn pinned_figure(name: &str) -> Option<PinnedFigure> {
+    pinned_figures().into_iter().find(|p| p.figure == name)
+}
+
+/// The pinned figure names, in report order.
+pub fn pinned_figure_names() -> Vec<&'static str> {
+    pinned_figures().iter().map(|p| p.figure).collect()
 }
 
 /// Runs the pinned subset and returns one entry per
@@ -344,7 +360,7 @@ pub fn run_pinned() -> Vec<BenchEntry> {
 pub fn run_pinned_full() -> (Vec<BenchEntry>, Vec<FigureDigest>) {
     let mut entries = Vec::new();
     let mut digests = Vec::new();
-    for p in pinned_set() {
+    for p in pinned_figures() {
         let engine = SkypeerEngine::build(p.config);
         for variant in Variant::ALL {
             let tracer = Arc::new(MemTracer::new());
@@ -424,6 +440,37 @@ pub fn run_pinned_full() -> (Vec<BenchEntry>, Vec<FigureDigest>) {
         push("peak_queue_depth", m.max_queue_depth() as f64);
     }
     (entries, digests)
+}
+
+/// Re-runs the pinned set under the calltree profiler and renders one
+/// ranked CPU-share block per `(figure, variant)` plus the `FTPM+cache`
+/// cold+warm pair. This is a *separate* pass so the gated metrics in
+/// [`run_pinned_full`] are never measured with profiling enabled; the
+/// output is wall-clock and therefore advisory, written as a sibling
+/// artifact, never part of the gated report's byte format.
+pub fn run_pinned_cpu_profile() -> String {
+    use skypeer_netsim::obs::{prof, ClockMode};
+    let mut out = String::new();
+    let mut block = |figure: &str, variant: &str, profile: &skypeer_netsim::obs::Profile| {
+        out.push_str(&format!("== {figure} / {variant} ==\n"));
+        out.push_str(&profile.render_table());
+        out.push('\n');
+    };
+    for p in pinned_figures() {
+        let engine = SkypeerEngine::build(p.config);
+        for variant in Variant::ALL {
+            let (profile, _) =
+                prof::profiled(ClockMode::Monotonic, || engine.run_query(p.query, variant));
+            block(p.figure, variant.mnemonic(), &profile);
+        }
+        let (profile, _) = prof::profiled(ClockMode::Monotonic, || {
+            let mut cached = CachedEngine::new(&engine, 4 << 20);
+            cached.run_query(p.query, Variant::Ftpm);
+            cached.run_query(p.query, Variant::Ftpm)
+        });
+        block(p.figure, "FTPM+cache", &profile);
+    }
+    out
 }
 
 /// One comparator finding.

@@ -240,6 +240,7 @@ impl SubspaceCache {
 
     /// Look the subspace up, counting the outcome in [`CacheStats`].
     pub fn lookup(&mut self, u: Subspace) -> Option<CacheAnswer> {
+        skypeer_obs::scope!("cache::lookup");
         match self.answer_via(u) {
             Some(ans) => {
                 self.count_hit(&ans);
@@ -259,6 +260,7 @@ impl SubspaceCache {
     /// dropped (and counted) — staleness is a correctness event, not an
     /// accounting one.
     pub fn answer_via(&mut self, u: Subspace) -> Option<CacheAnswer> {
+        skypeer_obs::scope!("cache::answer_via");
         self.drop_stale_covering(u);
         let best = self
             .entries
@@ -300,6 +302,7 @@ impl SubspaceCache {
     /// avoids, and the numerator of the eviction gain. Returns `false`
     /// when the entry alone exceeds the byte budget and was not admitted.
     pub fn admit(&mut self, v: Subspace, ext_result: SortedDataset, saved_bytes: u64) -> bool {
+        skypeer_obs::scope!("cache::admit");
         let bytes = ext_result.wire_bytes().max(1);
         if bytes > self.config.max_bytes {
             return false;

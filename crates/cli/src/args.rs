@@ -113,6 +113,31 @@ impl Args {
         }
     }
 
+    /// Whether the flag was given at all, without consuming it — for
+    /// detecting conflicts before the real getters run (the eventual
+    /// getter still has to consume it or `reject_unknown` fires).
+    pub fn present(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// All given flags of the shape `<prefix><digits><suffix>` (e.g.
+    /// every `--slo-p<NN>-ms`), as `(digits, value)` pairs sorted by the
+    /// digit string. Matched flags count as consumed.
+    pub fn matching(&self, prefix: &str, suffix: &str) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (key, value) in &self.flags {
+            let Some(infix) = key.strip_prefix(prefix).and_then(|k| k.strip_suffix(suffix)) else {
+                continue;
+            };
+            if infix.is_empty() || !infix.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            self.consumed.borrow_mut().push(key.clone());
+            out.push((infix.to_string(), value.clone()));
+        }
+        out
+    }
+
     /// Errors on any flag that no getter asked about — catches typos.
     pub fn reject_unknown(&self) -> Result<(), ArgError> {
         let consumed = self.consumed.borrow();
@@ -177,6 +202,30 @@ mod unit {
         let _ = a.get_or("peers", 0usize).unwrap();
         let err = a.reject_unknown().unwrap_err();
         assert!(err.0.contains("oops"));
+    }
+
+    #[test]
+    fn present_does_not_consume() {
+        let a = args(&["--figure", "fig3b_d8"]);
+        assert!(a.present("figure"));
+        assert!(!a.present("peers"));
+        assert!(a.reject_unknown().is_err(), "present() alone must not satisfy reject_unknown");
+        let _ = a.str_or("figure", "");
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn matching_collects_digit_infix_flags() {
+        let a = args(&["--slo-p95-ms", "2.5", "--slo-p50-ms", "1", "--slo-max-ms", "9"]);
+        let got = a.matching("slo-p", "-ms");
+        assert_eq!(
+            got,
+            vec![("50".to_string(), "1".to_string()), ("95".to_string(), "2.5".to_string())]
+        );
+        // --slo-max-ms has no digit infix: untouched, still unknown.
+        assert!(a.reject_unknown().is_err());
+        let _ = a.get_or("slo-max-ms", 0.0f64).unwrap();
+        assert!(a.reject_unknown().is_ok());
     }
 
     #[test]

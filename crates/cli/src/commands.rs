@@ -85,6 +85,47 @@ fn query_from(args: &Args, engine: &SkypeerEngine) -> Result<Query, ArgError> {
     Ok(Query { subspace: Subspace::from_dims(&dims), initiator })
 }
 
+/// Network/query flags that a pinned `--figure` fixes; giving both is a
+/// conflict worth failing fast on rather than silently ignoring one side.
+const FIGURE_FIXED_FLAGS: &[&str] = &[
+    "peers",
+    "superpeers",
+    "dim",
+    "points",
+    "degree",
+    "data",
+    "seed",
+    "routing",
+    "linear",
+    "dims",
+    "initiator",
+];
+
+/// Builds the engine + query either from `--figure NAME` (a pinned
+/// bench-regression figure) or from the shared network/query flags.
+/// Shared by `query`, `trace`, `explain`, and `profile` so the figure
+/// resolution — and its error text — is identical across subcommands.
+fn setup_from(args: &Args) -> Result<(SkypeerEngine, Query), ArgError> {
+    if !args.present("figure") {
+        let engine = engine_from(args)?;
+        let q = query_from(args, &engine)?;
+        return Ok((engine, q));
+    }
+    let name = args.str_or("figure", "");
+    if let Some(flag) = FIGURE_FIXED_FLAGS.iter().find(|f| args.present(f)) {
+        return Err(ArgError(format!(
+            "--{flag} conflicts with --figure (a pinned figure fixes the network and query)"
+        )));
+    }
+    let p = skypeer_bench::regress::pinned_figure(&name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown figure '{name}' (known: {})",
+            skypeer_bench::regress::pinned_figure_names().join(", ")
+        ))
+    })?;
+    Ok((SkypeerEngine::build(p.config), p.query))
+}
+
 /// `skypeer-cli stats` — preprocessing selectivities of a generated
 /// network (the Figure 3(a) quantities).
 pub fn stats(args: &Args) -> Result<(), ArgError> {
@@ -121,9 +162,8 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
 
 /// `skypeer-cli query` — run one subspace skyline query.
 pub fn query(args: &Args) -> Result<(), ArgError> {
-    let engine = engine_from(args)?;
+    let (engine, q) = setup_from(args)?;
     let variant = variant_from(args)?;
-    let q = query_from(args, &engine)?;
     let show: usize = args.get_or("show", 10)?;
     args.reject_unknown()?;
     let out = engine.run_query(q, variant);
@@ -177,9 +217,8 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     use skypeer_netsim::obs::{self, MemTracer, MetricsRegistry, Tracer};
     use std::sync::Arc;
 
-    let engine = engine_from(args)?;
+    let (engine, q) = setup_from(args)?;
     let variant = variant_from(args)?;
-    let q = query_from(args, &engine)?;
     let jsonl_path = args.str_or("jsonl", "");
     let perfetto_path = args.str_or("perfetto", "");
     let perturb_spec = args.str_or("perturb-link", "");
@@ -286,9 +325,8 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
 /// effectiveness, bytes per link vs. the naive baseline, annotated
 /// critical path). `--json` emits the byte-deterministic machine form.
 pub fn explain(args: &Args) -> Result<(), ArgError> {
-    let engine = engine_from(args)?;
+    let (engine, q) = setup_from(args)?;
     let variant = variant_from(args)?;
-    let q = query_from(args, &engine)?;
     let json = args.flag("json")?;
     args.reject_unknown()?;
     let report = engine.explain_query(q, variant);
@@ -296,6 +334,100 @@ pub fn explain(args: &Args) -> Result<(), ArgError> {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render());
+    }
+    Ok(())
+}
+
+/// `skypeer-cli profile` — in-process CPU profile of one query run as a
+/// scoped calltree: ranked self-time table by default, byte-deterministic
+/// JSON (`--json`), and folded-stack lines for flamegraph tooling
+/// (`--folded FILE`). `--clock logical` swaps the monotonic clock for a
+/// deterministic logical counter, making both exports byte-stable across
+/// hosts — the form the committed goldens pin. `--overhead` instead
+/// measures what observability costs: `--repeat` untraced runs are timed
+/// against the same runs with profiling + tracing on and the ratio is
+/// reported (advisory unless `--max-ratio` is set above zero).
+pub fn profile(args: &Args) -> Result<(), ArgError> {
+    use skypeer_netsim::obs::{prof, ClockMode, MemTracer, OverheadReport, Tracer};
+    use std::sync::Arc;
+
+    let figure_label =
+        if args.present("figure") { args.str_or("figure", "") } else { "adhoc".to_string() };
+    // Build the engine before any profiling session starts so the calltree
+    // covers only the query run, not bulk-load/preprocessing — that keeps
+    // the logical-clock goldens independent of construction details.
+    let (engine, q) = setup_from(args)?;
+    let variant = variant_from(args)?;
+    let clock = match args.str_or("clock", "monotonic").as_str() {
+        "monotonic" => ClockMode::Monotonic,
+        "logical" => ClockMode::Logical,
+        other => return Err(ArgError(format!("unknown --clock '{other}' (logical|monotonic)"))),
+    };
+    let overhead = args.flag("overhead")?;
+    let repeat: u32 = args.get_or("repeat", 3)?;
+    let max_ratio: f64 = args.get_or("max-ratio", 0.0)?;
+    let json = args.flag("json")?;
+    let folded_path = args.str_or("folded", "");
+    args.reject_unknown()?;
+
+    if overhead {
+        if repeat == 0 {
+            return Err(ArgError("--repeat must be at least 1".into()));
+        }
+        // Warm-up run outside both timers so one-time costs (allocator
+        // growth, lazy inits) do not land on either side of the ratio.
+        engine.run_query(q, variant);
+        let t0 = std::time::Instant::now();
+        for _ in 0..repeat {
+            engine.run_query(q, variant);
+        }
+        let baseline_ns = t0.elapsed().as_nanos() as u64;
+        prof::start(ClockMode::Monotonic);
+        let t1 = std::time::Instant::now();
+        for _ in 0..repeat {
+            let tracer = Arc::new(MemTracer::new());
+            engine.run_query_traced(q, variant, Arc::clone(&tracer) as Arc<dyn Tracer>);
+        }
+        let instrumented_ns = t1.elapsed().as_nanos() as u64;
+        let p = prof::stop();
+        let report = OverheadReport {
+            figure: figure_label,
+            repeats: repeat,
+            baseline_ns,
+            instrumented_ns,
+            scope_enters: p.tree.total_calls(),
+            distinct_scopes: p.tree.len() as u64,
+        };
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        if max_ratio > 0.0 && report.ratio() > max_ratio {
+            return Err(ArgError(format!(
+                "observability overhead ratio {:.3}x exceeds --max-ratio {max_ratio}",
+                report.ratio()
+            )));
+        }
+        return Ok(());
+    }
+
+    let (p, out) = prof::profiled(clock, || engine.run_query(q, variant));
+    if json {
+        println!("{}", p.to_json());
+    } else {
+        print!("{}", p.render_table());
+        println!(
+            "query: skyline on {} from SP{} via {variant} -> {} points",
+            q.subspace,
+            q.initiator,
+            out.result_ids.len()
+        );
+    }
+    if !folded_path.is_empty() {
+        std::fs::write(&folded_path, p.folded())
+            .map_err(|e| ArgError(format!("cannot write {folded_path}: {e}")))?;
+        println!("wrote folded stacks to {folded_path} (flamegraph.pl / inferno input)");
     }
     Ok(())
 }
@@ -586,15 +718,42 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         let ms: f64 = args.get_or(name, -1.0f64)?;
         Ok((ms >= 0.0).then_some((ms * 1e6) as u64))
     };
+    // Any `--slo-p<digits>-ms` is accepted: 50/99/999 land in the pinned
+    // SloSpec fields (golden-stable check names), everything else becomes
+    // an arbitrary-percentile budget. Negative budgets mean "unset".
+    let mut pinned_ms = [None, None, None]; // p50, p99, p999
+    let mut latency_quantiles = Vec::new();
+    for (digits, value) in args.matching("slo-p", "-ms") {
+        let ms: f64 = value
+            .parse()
+            .map_err(|_| ArgError(format!("invalid value '{value}' for --slo-p{digits}-ms")))?;
+        let budget = (ms >= 0.0).then_some((ms * 1e6) as u64);
+        match digits.as_str() {
+            "50" => pinned_ms[0] = budget,
+            "99" => pinned_ms[1] = budget,
+            "999" => pinned_ms[2] = budget,
+            _ => {
+                if skypeer_netsim::obs::quantile_from_digits(&digits).is_none() {
+                    return Err(ArgError(format!(
+                        "--slo-p{digits}-ms: '{digits}' is not a percentile in (0, 100)"
+                    )));
+                }
+                if let Some(b) = budget {
+                    latency_quantiles.push((digits, b));
+                }
+            }
+        }
+    }
     let slo = SloSpec {
-        p50_latency_ns: ms_budget("slo-p50-ms")?,
-        p99_latency_ns: ms_budget("slo-p99-ms")?,
-        p999_latency_ns: ms_budget("slo-p999-ms")?,
+        p50_latency_ns: pinned_ms[0],
+        p99_latency_ns: pinned_ms[1],
+        p999_latency_ns: pinned_ms[2],
         max_latency_ns: ms_budget("slo-max-ms")?,
         p99_bytes: {
             let b: i64 = args.get_or("slo-p99-bytes", -1i64)?;
             (b >= 0).then_some(b as u64)
         },
+        latency_quantiles,
     };
     let tail_k: usize = args.get_or("top-k", 8)?;
     let jsonl_path = args.str_or("jsonl", "");

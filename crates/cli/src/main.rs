@@ -10,15 +10,20 @@
 //!                      [--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [...]
 //! skypeer-cli diff     BASELINE CANDIDATE [--json] [--what-if-factor F]
 //! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
+//! skypeer-cli profile  [--figure NAME | network flags] [--clock logical|monotonic]
+//!                      [--folded F] [--json] | --overhead [--repeat N] [--max-ratio F]
 //! skypeer-cli soak     [--queries Q] [--variants LIST|all] [--k K | --k-min A --k-max B]
-//!                      [--initiator-theta T] [--top-k K] [--slo-p99-ms F] [--gate]
+//!                      [--initiator-theta T] [--top-k K] [--slo-pNN-ms F] [--gate]
 //!                      [--cache] [--cache-bytes N] [--json] [--out F] [--jsonl F] [--prom F] [...]
 //! ```
 //!
 //! Shared network flags for every command that builds a network:
 //! `--peers` (400), `--superpeers` (paper rule), `--dim` (8), `--points`
 //! (250), `--degree` (4), `--data uniform|clustered|correlated|
-//! anticorrelated`, `--seed` (42), `--routing flood|tree`.
+//! anticorrelated`, `--seed` (42), `--routing flood|tree`. Commands that
+//! run a single query (`query`, `trace`, `explain`, `profile`) also accept
+//! `--figure <fig3b_d8|fig3d_k2|fig4c_deg6>` to run a pinned bench figure
+//! instead.
 
 mod args;
 mod commands;
@@ -26,8 +31,43 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|explain|diff|soak|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|diff|profile|soak|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
+
+/// How many positional (non-`--flag`) arguments a command takes. One
+/// shared spec, checked in one place — historically each subcommand
+/// re-validated positionals slightly differently.
+enum Positionals {
+    /// Flags only; any positional is a typo worth failing fast on.
+    None,
+    /// Exactly `count` positionals, described by `what` in errors.
+    Exactly { count: usize, what: &'static str },
+}
+
+struct CommandSpec {
+    name: &'static str,
+    positionals: Positionals,
+    run: fn(&Args) -> Result<(), args::ArgError>,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec { name: "stats", positionals: Positionals::None, run: commands::stats },
+    CommandSpec { name: "query", positionals: Positionals::None, run: commands::query },
+    CommandSpec { name: "trace", positionals: Positionals::None, run: commands::trace },
+    CommandSpec { name: "explain", positionals: Positionals::None, run: commands::explain },
+    CommandSpec {
+        name: "diff",
+        positionals: Positionals::Exactly { count: 2, what: "capture paths" },
+        run: commands::diff,
+    },
+    CommandSpec { name: "profile", positionals: Positionals::None, run: commands::profile },
+    CommandSpec { name: "soak", positionals: Positionals::None, run: commands::soak },
+    CommandSpec { name: "workload", positionals: Positionals::None, run: commands::workload },
+    CommandSpec { name: "topology", positionals: Positionals::None, run: commands::topology },
+    CommandSpec { name: "faults", positionals: Positionals::None, run: commands::faults },
+    CommandSpec { name: "estimate", positionals: Positionals::None, run: commands::estimate },
+    CommandSpec { name: "csv-query", positionals: Positionals::None, run: commands::csv_query },
+];
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -43,32 +83,36 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // `diff` takes two positional capture paths; every other command is
-    // flags-only, so a positional there is a typo worth failing fast on.
-    if cmd != "diff" {
-        if let Some(stray) = parsed.positional().first() {
-            eprintln!("error: unexpected argument '{stray}' (all options are --flags)\n{USAGE}");
-            std::process::exit(2);
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == cmd) else {
+        eprintln!("error: unknown command '{}'\n{USAGE}", cmd);
+        std::process::exit(2);
+    };
+    match spec.positionals {
+        Positionals::None => {
+            if let Some(stray) = parsed.positional().first() {
+                eprintln!(
+                    "error: unexpected argument '{stray}' (all options are --flags)\n{USAGE}"
+                );
+                std::process::exit(2);
+            }
+        }
+        Positionals::Exactly { count, what } => {
+            if parsed.positional().len() != count {
+                let word = match count {
+                    1 => "one".to_string(),
+                    2 => "two".to_string(),
+                    n => n.to_string(),
+                };
+                eprintln!(
+                    "error: {} needs exactly {word} {what}, got {}",
+                    spec.name,
+                    parsed.positional().len()
+                );
+                std::process::exit(2);
+            }
         }
     }
-    let result = match cmd.as_str() {
-        "stats" => commands::stats(&parsed),
-        "query" => commands::query(&parsed),
-        "trace" => commands::trace(&parsed),
-        "explain" => commands::explain(&parsed),
-        "diff" => commands::diff(&parsed),
-        "soak" => commands::soak(&parsed),
-        "workload" => commands::workload(&parsed),
-        "topology" => commands::topology(&parsed),
-        "faults" => commands::faults(&parsed),
-        "estimate" => commands::estimate(&parsed),
-        "csv-query" => commands::csv_query(&parsed),
-        other => {
-            eprintln!("error: unknown command '{other}'\n{USAGE}");
-            std::process::exit(2);
-        }
-    };
-    if let Err(e) = result {
+    if let Err(e) = (spec.run)(&parsed) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }

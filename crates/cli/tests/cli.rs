@@ -649,3 +649,86 @@ fn explain_json_is_byte_deterministic_and_matches_golden() {
         golden.display()
     );
 }
+
+/// Golden test for the CPU profiler's deterministic exports: under
+/// `--clock logical` both the JSON calltree and the folded stacks are
+/// byte-stable for a pinned figure. Self-bootstraps like the explain
+/// golden.
+#[test]
+fn profile_logical_exports_are_byte_deterministic_and_match_goldens() {
+    let json_args = ["profile", "--figure", "fig3b_d8", "--clock", "logical", "--json"];
+    let (a, stderr, ok_a) = run(&json_args);
+    let (b, _, ok_b) = run(&json_args);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "two fresh processes must emit identical bytes");
+    assert!(a.starts_with("{\"clock\":\"logical\""), "{}", &a[..a.len().min(80)]);
+    for key in ["\"path\":\"des::run\"", "skyline::threshold_skyline", "wire::encode"] {
+        assert!(a.contains(key), "missing {key} in:\n{a}");
+    }
+
+    let dir = std::env::temp_dir().join(format!("skypeer-prof-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let folded_path = dir.join("fig3b.folded");
+    let (stdout, stderr, ok) = run(&[
+        "profile",
+        "--figure",
+        "fig3b_d8",
+        "--clock",
+        "logical",
+        "--folded",
+        folded_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("calltree profile (logical clock)"), "{stdout}");
+    let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(folded.lines().all(|l| l.rsplit_once(' ').is_some()), "bad folded lines:\n{folded}");
+
+    for (name, got) in
+        [("profile_fig3b_logical.json", &a), ("profile_fig3b_logical.folded", &folded)]
+    {
+        let golden =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name);
+        if !golden.exists() {
+            std::fs::create_dir_all(golden.parent().unwrap()).expect("goldens dir");
+            std::fs::write(&golden, got).expect("bootstrap golden");
+        }
+        let want = std::fs::read_to_string(&golden).expect("golden readable");
+        assert_eq!(
+            got,
+            &want,
+            "profile export drifted from {}; if intentional, delete the golden and rerun",
+            golden.display()
+        );
+    }
+}
+
+/// `--overhead` reports the instrumented/baseline ratio; advisory by
+/// default (exit 0 even though some overhead always exists).
+#[test]
+fn profile_overhead_reports_ratio() {
+    let (stdout, stderr, ok) =
+        run(&["profile", "--figure", "fig3d_k2", "--overhead", "--repeat", "1"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("observability overhead: figure fig3d_k2"), "{stdout}");
+    assert!(stdout.contains("ratio "), "{stdout}");
+    assert!(stdout.contains("scope enters"), "{stdout}");
+}
+
+/// `--figure` resolution is shared: every subcommand that accepts it must
+/// emit the exact same error text for an unknown figure (historically
+/// each command re-parsed its inputs slightly differently).
+#[test]
+fn bad_figure_error_is_identical_across_subcommands() {
+    let mut errors = Vec::new();
+    for cmd in ["query", "trace", "explain", "profile"] {
+        let (_, stderr, ok) = run(&[cmd, "--figure", "nope"]);
+        assert!(!ok, "{cmd} must fail on an unknown figure");
+        assert!(
+            stderr.contains("unknown figure 'nope' (known: fig3b_d8, fig3d_k2, fig4c_deg6)"),
+            "{cmd} stderr: {stderr}"
+        );
+        errors.push(stderr);
+    }
+    assert!(errors.windows(2).all(|w| w[0] == w[1]), "error text diverged: {errors:?}");
+}

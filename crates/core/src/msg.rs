@@ -89,6 +89,7 @@ impl Msg {
     /// Serializes into bytes. The buffer length is the message's wire size,
     /// except for [`Msg::ComputeLocal`], which callers send with 0 bytes.
     pub fn encode(&self) -> Vec<u8> {
+        skypeer_obs::scope!("wire::encode");
         let mut b = BytesMut::new();
         match self {
             Msg::Query { qid, subspace, threshold, variant, flavour } => {
@@ -128,6 +129,7 @@ impl Msg {
 
     /// Deserializes; returns `None` on malformed input.
     pub fn decode(mut buf: &[u8]) -> Option<Msg> {
+        skypeer_obs::scope!("wire::decode");
         if buf.remaining() < 1 {
             return None;
         }

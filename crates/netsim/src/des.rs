@@ -402,6 +402,7 @@ impl<B: Behavior> Sim<B> {
     /// Panics if `starts` is empty, contains duplicates or out-of-range
     /// nodes, or if `required_finishes == 0`.
     pub fn run_multi(mut self, starts: &[usize], required_finishes: usize) -> SimOutcome<B> {
+        skypeer_obs::scope!("des::run");
         assert!(!starts.is_empty(), "need at least one start node");
         assert!(required_finishes >= 1, "need at least one required finish");
         for (i, &s) in starts.iter().enumerate() {
@@ -514,9 +515,12 @@ impl<B: Behavior> Sim<B> {
             // The node is sequential: processing starts when it is free.
             let begin = ev.time.max(rs.busy_until[ev.to]);
             let mut ctx = DesCtx::new(ev.to, begin, tracing);
-            match msg_or_timer {
-                Some(msg) => self.nodes[ev.to].on_message(from, msg, &mut ctx),
-                None => self.nodes[ev.to].on_timer(from as u64, &mut ctx),
+            {
+                skypeer_obs::scope!("des::dispatch");
+                match msg_or_timer {
+                    Some(msg) => self.nodes[ev.to].on_message(from, msg, &mut ctx),
+                    None => self.nodes[ev.to].on_timer(from as u64, &mut ctx),
+                }
             }
             self.absorb_ctx(ctx, ev.to, cause, &mut rs);
         }
@@ -529,6 +533,7 @@ impl<B: Behavior> Sim<B> {
     /// per-link transfer queuing), timers, and the finish flag; emits the
     /// span's trace events when a tracer is attached.
     fn absorb_ctx(&mut self, ctx: DesCtx, node: usize, cause: SpanCause, rs: &mut RunState) {
+        skypeer_obs::scope!("des::absorb");
         let service = self.cost.service_ns(&ctx.work);
         rs.stats.compute_ns_total += service;
         if let Some(b) = rs.breakdown.as_mut() {

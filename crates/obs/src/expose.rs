@@ -29,6 +29,44 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Resource usage of the exposing process itself, read from `/proc`.
+///
+/// Only available on Linux; [`ProcessStats::read`] returns `None`
+/// elsewhere (or when `/proc` is unreadable) and the exposition simply
+/// omits the `process_*` families.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessStats {
+    /// Total user + system CPU time consumed, in seconds.
+    pub cpu_seconds: f64,
+    /// Resident set size, in bytes.
+    pub resident_bytes: u64,
+}
+
+impl ProcessStats {
+    /// Reads the calling process's CPU time (`/proc/self/stat`) and
+    /// resident set (`/proc/self/status` `VmRSS`).
+    pub fn read() -> Option<Self> {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // utime/stime are stat fields 14/15; everything before the
+        // closing paren is pid + comm (comm may contain spaces), so
+        // count from there: the remainder starts at field 3.
+        let rest = stat.rsplit_once(')')?.1;
+        let mut fields = rest.split_whitespace();
+        let utime: u64 = fields.nth(11)?.parse().ok()?;
+        let stime: u64 = fields.next()?.parse().ok()?;
+        // USER_HZ: fixed at 100 on Linux (sysconf(_SC_CLK_TCK); we avoid
+        // the libc call — the kernel ABI has used 100 since 2.6).
+        let cpu_seconds = (utime + stime) as f64 / 100.0;
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let rss_kb: u64 = status
+            .lines()
+            .find(|l| l.starts_with("VmRSS:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())?;
+        Some(ProcessStats { cpu_seconds, resident_bytes: rss_kb * 1024 })
+    }
+}
+
 /// A point-in-time copy of a run's metrics.
 #[derive(Clone, Debug)]
 pub struct MetricsSnapshot {
@@ -36,18 +74,30 @@ pub struct MetricsSnapshot {
     pub events: usize,
     /// The distilled registry.
     pub registry: MetricsRegistry,
+    /// Process resource usage — populated only by [`MetricsSnapshot::capture`]
+    /// (live sampling), never by [`MetricsSnapshot::from_events`], whose
+    /// output must stay byte-deterministic for goldens.
+    pub process: Option<ProcessStats>,
 }
 
 impl MetricsSnapshot {
     /// Snapshot the tracer's current buffer (does not drain it).
     pub fn capture(tracer: &MemTracer) -> Self {
         let events = tracer.snapshot();
-        MetricsSnapshot { events: events.len(), registry: MetricsRegistry::from_events(&events) }
+        MetricsSnapshot {
+            events: events.len(),
+            registry: MetricsRegistry::from_events(&events),
+            process: ProcessStats::read(),
+        }
     }
 
     /// Build a snapshot from an explicit event slice.
     pub fn from_events(events: &[crate::event::TraceEvent]) -> Self {
-        MetricsSnapshot { events: events.len(), registry: MetricsRegistry::from_events(events) }
+        MetricsSnapshot {
+            events: events.len(),
+            registry: MetricsRegistry::from_events(events),
+            process: None,
+        }
     }
 
     /// Render in the Prometheus text exposition format (version 0.0.4).
@@ -133,6 +183,18 @@ impl MetricsSnapshot {
                 "-Inf".to_string()
             };
             let _ = writeln!(out, "skypeer_threshold{{qid=\"{}\"}} {value}", last.qid);
+        }
+
+        if let Some(p) = &self.process {
+            let _ = writeln!(
+                out,
+                "# HELP process_cpu_seconds_total Total user and system CPU time, seconds."
+            );
+            let _ = writeln!(out, "# TYPE process_cpu_seconds_total counter");
+            let _ = writeln!(out, "process_cpu_seconds_total {:?}", p.cpu_seconds);
+            let _ = writeln!(out, "# HELP process_resident_bytes Resident set size, bytes.");
+            let _ = writeln!(out, "# TYPE process_resident_bytes gauge");
+            let _ = writeln!(out, "process_resident_bytes {}", p.resident_bytes);
         }
 
         out
@@ -435,6 +497,29 @@ mod unit {
         assert!(text.contains(
             "skypeer_soak_latency_ns_sum{variant=\"we\\\"ird\\\\na\\nme\",mix=\"uniform\"} 5"
         ));
+    }
+
+    #[test]
+    fn process_stats_appear_only_on_live_capture() {
+        // Event-derived snapshots (the golden path) must not carry
+        // host-dependent process lines.
+        let golden = MetricsSnapshot::from_events(&sample_events());
+        assert!(golden.process.is_none());
+        assert!(!golden.prometheus().contains("process_"));
+
+        // Live capture picks them up on Linux; elsewhere they are
+        // omitted rather than faked.
+        let tracer = MemTracer::new();
+        let live = MetricsSnapshot::capture(&tracer);
+        if let Some(p) = live.process {
+            assert!(p.resident_bytes > 0, "a running process has a resident set");
+            assert!(p.cpu_seconds >= 0.0);
+            let text = live.prometheus();
+            assert!(text.contains("process_cpu_seconds_total "));
+            assert!(text.contains(&format!("process_resident_bytes {}", p.resident_bytes)));
+        } else if cfg!(target_os = "linux") {
+            panic!("Linux must expose /proc stats");
+        }
     }
 
     #[test]

@@ -194,6 +194,14 @@ impl HdrHistogram {
         Some(self.max) // unreachable: cumulative ends at self.count ≥ rank
     }
 
+    /// The value at an arbitrary quantile `q ∈ [0, 1]` — the name the
+    /// wider HDR ecosystem uses for [`HdrHistogram::quantile`]. Lets SLO
+    /// budgets target any percentile (`--slo-p95-ms`), not just the
+    /// pinned p50/p90/p99/p999.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
+        self.quantile(q)
+    }
+
     /// The median (see [`HdrHistogram::quantile`]).
     pub fn p50(&self) -> Option<u64> {
         self.quantile(0.50)

@@ -28,7 +28,10 @@
 //!   Prometheus-text-format serializer and a periodic file sampler for
 //!   long-running live-mode processes;
 //! * [`json`] — the byte-deterministic JSON builder the exporters (and
-//!   downstream crates' reports) share.
+//!   downstream crates' reports) share;
+//! * [`prof`] — a scoped calltree CPU profiler ([`scope!`] in hot paths,
+//!   ranked-table / JSON / folded-flamegraph exports, a deterministic
+//!   logical clock for goldens, and observability-overhead accounting).
 //!
 //! Workload-level observability (soak runs over many queries):
 //!
@@ -53,6 +56,7 @@ pub mod expose;
 pub mod hdr;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod slo;
 pub mod tracer;
@@ -61,9 +65,10 @@ pub use critical::{critical_path, CriticalPath, PathStep, StepKind};
 pub use diff::{rank_interventions, AttributionReport, Intervention, TraceDigest, WhatIf};
 pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEvent};
 pub use export::{chrome_trace, jsonl, parse_jsonl};
-pub use expose::{MetricsSnapshot, Sampler, SamplerHandle};
+pub use expose::{MetricsSnapshot, ProcessStats, Sampler, SamplerHandle};
 pub use hdr::HdrHistogram;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
+pub use prof::{CallNode, CallTree, ClockMode, OverheadReport, Profile};
 pub use recorder::{FlightRecorder, RetainedQuery};
-pub use slo::{SloCheck, SloReport, SloSpec};
+pub use slo::{quantile_from_digits, SloCheck, SloReport, SloSpec};
 pub use tracer::{MemTracer, Tracer};

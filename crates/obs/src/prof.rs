@@ -1,0 +1,982 @@
+//! Scoped calltree CPU profiler.
+//!
+//! The deterministic gate metrics (`sim_time_ns`, `total_bytes`, …)
+//! observe the *simulated* system; this module observes the *process*
+//! running it. A [`scope!`] placed in a hot path records, per
+//! (parent-path, scope) calltree node, the call count, total wall
+//! nanoseconds, and (behind the `prof-alloc` feature) allocated bytes —
+//! cheap enough to leave compiled in, because an inactive session costs
+//! exactly one relaxed atomic load per scope entry.
+//!
+//! # Sessions
+//!
+//! Profiling is a global session: [`start`] arms collection (bumping an
+//! epoch so leftovers from earlier sessions are discarded), [`stop`]
+//! disarms it and merges every thread's calltree into one [`Profile`].
+//! Threads merge their data when they exit; a long-lived worker can
+//! contribute early via [`flush_thread`]. The thread that calls [`stop`]
+//! is flushed automatically.
+//!
+//! # Clocks
+//!
+//! [`ClockMode::Monotonic`] reads a monotonic wall clock — the mode for
+//! real measurements. [`ClockMode::Logical`] replaces the clock with a
+//! global counter that advances by one on every read (one read per scope
+//! entry, one per exit), so a deterministic single-threaded run produces
+//! byte-identical [`Profile::to_json`] / [`Profile::folded`] output on
+//! every host — the mode goldens pin.
+//!
+//! # Exports
+//!
+//! * [`Profile::render_table`] — human ranked table (self-time % desc);
+//! * [`Profile::to_json`] — byte-deterministic JSON via [`crate::json`];
+//! * [`Profile::folded`] — folded-stack lines (`root;child;leaf 123`,
+//!   weight = self-ns) consumable by `flamegraph.pl` / inferno;
+//! * [`Profile::prometheus`] — `skypeer_prof_*` counter exposition.
+//!
+//! With the `prof` cargo feature disabled (it is on by default) the
+//! [`scope!`] macro expands to nothing, so instrumented crates compile
+//! to exactly their un-instrumented form.
+
+use crate::json::{self, Obj};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Opens a profiling scope for the rest of the enclosing block.
+///
+/// ```ignore
+/// fn hot_loop(points: &[f64]) {
+///     skypeer_obs::scope!("skyline::hot_loop");
+///     // ... measured until the end of this block ...
+/// }
+/// ```
+///
+/// The label must be a `&'static str`; use `module::function`-style
+/// names (`;` and whitespace are replaced with `_` in exports, where
+/// they would corrupt the folded-stack format). When no session is
+/// active the expansion costs one relaxed atomic load. With the `prof`
+/// feature disabled it expands to nothing at all.
+#[cfg(feature = "prof")]
+#[macro_export]
+macro_rules! scope {
+    ($label:expr) => {
+        let _skypeer_prof_scope = $crate::prof::enter($label);
+    };
+}
+
+/// Disabled-profiling expansion: nothing at all (`prof` feature off).
+#[cfg(not(feature = "prof"))]
+#[macro_export]
+macro_rules! scope {
+    ($label:expr) => {};
+}
+
+pub use crate::scope;
+
+/// Which clock a profiling session reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Monotonic wall clock (nanoseconds since process start) — real
+    /// measurements, host-dependent output.
+    Monotonic,
+    /// A global counter that advances by one per clock read — fully
+    /// deterministic output for a deterministic single-threaded run
+    /// (every scope's total becomes `2 × descendant scopes + 1`).
+    Logical,
+}
+
+impl ClockMode {
+    /// Lowercase name used in JSON and the table header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClockMode::Monotonic => "monotonic",
+            ClockMode::Logical => "logical",
+        }
+    }
+}
+
+// Session state. ACTIVE is the only word the hot path reads; the rest
+// changes only in start()/stop().
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static LOGICAL: AtomicBool = AtomicBool::new(false);
+/// Session counter; thread-local data tagged with an older epoch is
+/// stale and discarded instead of merged.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+/// The logical clock. Reset to 0 by [`start`] so logical-mode output is
+/// byte-identical across processes.
+static TICKS: AtomicU64 = AtomicU64::new(0);
+/// Finished per-thread trees awaiting the merge in [`stop`].
+static SINK: Mutex<Vec<RawTree>> = Mutex::new(Vec::new());
+
+fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    if LOGICAL.load(Ordering::Relaxed) {
+        TICKS.fetch_add(1, Ordering::Relaxed)
+    } else {
+        process_start().elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(feature = "prof-alloc")]
+fn thread_alloc_bytes() -> u64 {
+    alloc::thread_alloc_bytes()
+}
+
+#[cfg(not(feature = "prof-alloc"))]
+fn thread_alloc_bytes() -> u64 {
+    0
+}
+
+/// One node of a thread-local calltree under construction.
+struct RawNode {
+    label: u32,
+    parent: u32,
+    children: Vec<u32>,
+    calls: u64,
+    total_ns: u64,
+    alloc_bytes: u64,
+}
+
+/// A finished thread-local tree, parked in [`SINK`] until [`stop`].
+struct RawTree {
+    epoch: u64,
+    labels: Vec<&'static str>,
+    nodes: Vec<RawNode>,
+}
+
+struct Frame {
+    node: u32,
+    start_ns: u64,
+    start_alloc: u64,
+}
+
+struct Collector {
+    epoch: u64,
+    labels: Vec<&'static str>,
+    nodes: Vec<RawNode>,
+    stack: Vec<Frame>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        let mut c =
+            Collector { epoch: 0, labels: Vec::new(), nodes: Vec::new(), stack: Vec::new() };
+        c.reset(0);
+        c
+    }
+
+    /// Re-initializes to an empty tree tagged with `epoch` (node 0 is
+    /// the synthetic root).
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.labels.clear();
+        self.labels.push("(root)");
+        self.nodes.clear();
+        self.nodes.push(RawNode {
+            label: 0,
+            parent: 0,
+            children: Vec::new(),
+            calls: 0,
+            total_ns: 0,
+            alloc_bytes: 0,
+        });
+        self.stack.clear();
+    }
+
+    fn has_data(&self) -> bool {
+        self.nodes.len() > 1
+    }
+
+    /// Moves the finished tree into [`SINK`] and starts a fresh one with
+    /// the same epoch. No-op mid-scope (open frames index into `nodes`).
+    fn flush(&mut self) {
+        if !self.stack.is_empty() || !self.has_data() {
+            return;
+        }
+        let raw = RawTree {
+            epoch: self.epoch,
+            labels: std::mem::take(&mut self.labels),
+            nodes: std::mem::take(&mut self.nodes),
+        };
+        let epoch = self.epoch;
+        self.reset(epoch);
+        if let Ok(mut sink) = SINK.lock() {
+            sink.push(raw);
+        }
+    }
+
+    fn intern(&mut self, label: &'static str) -> u32 {
+        // Linear scan: a process has a handful of distinct scope labels,
+        // and pointer equality catches the common literal re-entry.
+        match self.labels.iter().position(|&l| std::ptr::eq(l, label) || l == label) {
+            Some(i) => i as u32,
+            None => {
+                self.labels.push(label);
+                (self.labels.len() - 1) as u32
+            }
+        }
+    }
+
+    fn enter(&mut self, label: &'static str) {
+        let epoch = EPOCH.load(Ordering::Acquire);
+        if self.epoch != epoch {
+            self.reset(epoch);
+        }
+        let label = self.intern(label);
+        let parent = self.stack.last().map_or(0, |f| f.node);
+        let node = match self.nodes[parent as usize]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c as usize].label == label)
+        {
+            Some(c) => c,
+            None => {
+                let id = self.nodes.len() as u32;
+                self.nodes.push(RawNode {
+                    label,
+                    parent,
+                    children: Vec::new(),
+                    calls: 0,
+                    total_ns: 0,
+                    alloc_bytes: 0,
+                });
+                self.nodes[parent as usize].children.push(id);
+                id
+            }
+        };
+        self.nodes[node as usize].calls += 1;
+        self.stack.push(Frame { node, start_ns: now_ns(), start_alloc: thread_alloc_bytes() });
+    }
+
+    fn exit(&mut self) {
+        let Some(frame) = self.stack.pop() else { return };
+        if self.epoch != EPOCH.load(Ordering::Acquire) {
+            // The session restarted while this scope was open; its
+            // frames reference a discarded tree.
+            self.stack.clear();
+            return;
+        }
+        let n = &mut self.nodes[frame.node as usize];
+        n.total_ns += now_ns().saturating_sub(frame.start_ns);
+        n.alloc_bytes += thread_alloc_bytes().saturating_sub(frame.start_alloc);
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        // Thread exit: park whatever was collected (open frames simply
+        // stop contributing) so stop() on another thread can merge it.
+        if self.has_data() {
+            self.stack.clear();
+            self.flush();
+        }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+}
+
+/// RAII guard returned by [`enter`]; closes the scope on drop.
+#[must_use = "the scope closes when the guard drops; bind it for the region you want measured"]
+pub struct ScopeGuard {
+    armed: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            // A guard outliving stop() must still pop its frame so the
+            // thread's stack stays balanced; try_with covers TLS
+            // teardown, where the collector is already gone.
+            let _ = COLLECTOR.try_with(|c| c.borrow_mut().exit());
+        }
+    }
+}
+
+/// Opens a scope by hand (what [`scope!`] expands to). One relaxed
+/// atomic load when no session is active.
+#[inline]
+pub fn enter(label: &'static str) -> ScopeGuard {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return ScopeGuard { armed: false };
+    }
+    let armed = COLLECTOR
+        .try_with(|c| match c.try_borrow_mut() {
+            Ok(mut c) => {
+                c.enter(label);
+                true
+            }
+            // Re-entrancy (an allocator hook profiling inside enter)
+            // would double-borrow; drop the sample instead of panicking.
+            Err(_) => false,
+        })
+        .unwrap_or(false);
+    ScopeGuard { armed }
+}
+
+/// Whether a profiling session is currently collecting.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Parks the calling thread's finished tree for the next [`stop`]
+/// merge. Long-lived worker threads that outlive the session should
+/// call this after their work; threads that exit flush automatically.
+/// No-op while a scope is still open on this thread.
+pub fn flush_thread() {
+    let _ = COLLECTOR.try_with(|c| c.borrow_mut().flush());
+}
+
+/// Starts a profiling session, discarding anything an earlier session
+/// left behind. The logical clock restarts at zero so
+/// [`ClockMode::Logical`] output is byte-identical across processes.
+pub fn start(mode: ClockMode) {
+    if let Ok(mut sink) = SINK.lock() {
+        sink.clear();
+    }
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    TICKS.store(0, Ordering::SeqCst);
+    LOGICAL.store(matches!(mode, ClockMode::Logical), Ordering::SeqCst);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Stops the session and merges every flushed thread tree (plus the
+/// calling thread's) into one [`Profile`]. Scopes still open on other
+/// threads stop contributing; their threads' data joins a later
+/// session's merge only if the epochs match (they will not).
+pub fn stop() -> Profile {
+    let mode =
+        if LOGICAL.load(Ordering::SeqCst) { ClockMode::Logical } else { ClockMode::Monotonic };
+    ACTIVE.store(false, Ordering::SeqCst);
+    flush_thread();
+    let epoch = EPOCH.load(Ordering::SeqCst);
+    let raws: Vec<RawTree> = match SINK.lock() {
+        Ok(mut sink) => sink.drain(..).filter(|r| r.epoch == epoch).collect(),
+        Err(_) => Vec::new(),
+    };
+    Profile { mode, tree: merge(&raws) }
+}
+
+/// Runs `f` under a fresh profiling session and returns its profile
+/// alongside the closure's result.
+pub fn profiled<R>(mode: ClockMode, f: impl FnOnce() -> R) -> (Profile, R) {
+    start(mode);
+    let r = f();
+    (stop(), r)
+}
+
+/// Replaces characters that would corrupt the folded-stack format.
+fn sanitize(label: &str) -> String {
+    label.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect()
+}
+
+/// Merges raw per-thread trees by label path. `BTreeMap` ordering puts
+/// every parent path (a strict prefix) before its children, so the
+/// merged tree rebuilds in one pass with children sorted by label —
+/// deterministic regardless of thread count or merge order.
+fn merge(raws: &[RawTree]) -> CallTree {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<Vec<String>, (u64, u64, u64)> = BTreeMap::new();
+    for raw in raws {
+        // Nodes are created parent-first, so paths[parent] always
+        // exists by the time a child needs it.
+        let mut paths: Vec<Vec<String>> = Vec::with_capacity(raw.nodes.len());
+        for (i, n) in raw.nodes.iter().enumerate() {
+            if i == 0 {
+                paths.push(Vec::new());
+                continue;
+            }
+            let mut p = paths[n.parent as usize].clone();
+            p.push(sanitize(raw.labels[n.label as usize]));
+            let e = acc.entry(p.clone()).or_insert((0, 0, 0));
+            e.0 += n.calls;
+            e.1 += n.total_ns;
+            e.2 += n.alloc_bytes;
+            paths.push(p);
+        }
+    }
+
+    let mut labels: Vec<String> = vec!["(root)".to_string()];
+    let mut nodes: Vec<CallNode> = vec![CallNode {
+        label: 0,
+        parent: 0,
+        children: Vec::new(),
+        calls: 0,
+        total_ns: 0,
+        alloc_bytes: 0,
+    }];
+    let mut index: BTreeMap<Vec<String>, u32> = BTreeMap::new();
+    for (path, &(calls, total_ns, alloc_bytes)) in &acc {
+        let parent = match path.len() {
+            1 => 0,
+            n => index.get(&path[..n - 1]).copied().unwrap_or(0),
+        };
+        let leaf = path.last().expect("accumulated paths are non-empty");
+        let label = match labels.iter().position(|l| l == leaf) {
+            Some(i) => i as u32,
+            None => {
+                labels.push(leaf.clone());
+                (labels.len() - 1) as u32
+            }
+        };
+        let id = nodes.len() as u32;
+        nodes.push(CallNode { label, parent, children: Vec::new(), calls, total_ns, alloc_bytes });
+        nodes[parent as usize].children.push(id);
+        index.insert(path.clone(), id);
+    }
+    let root_children = nodes[0].children.clone();
+    nodes[0].total_ns = root_children.iter().map(|&c| nodes[c as usize].total_ns).sum();
+    CallTree { labels, nodes }
+}
+
+/// One merged calltree node. `total_ns` includes time spent in child
+/// scopes; self time is derived ([`CallTree::self_ns`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallNode {
+    /// Index into [`CallTree::labels`].
+    pub label: u32,
+    /// Parent node index (the root points at itself).
+    pub parent: u32,
+    /// Child node indices, sorted by label.
+    pub children: Vec<u32>,
+    /// Times the scope was entered under this parent path.
+    pub calls: u64,
+    /// Total nanoseconds (or logical ticks) inside the scope, children
+    /// included. For the root: the sum of top-level totals.
+    pub total_ns: u64,
+    /// Bytes allocated inside the scope (0 unless `prof-alloc` is on
+    /// and the counting allocator is installed).
+    pub alloc_bytes: u64,
+}
+
+/// The merged calltree of one profiling session. Node 0 is a synthetic
+/// root whose total is the sum of the top-level scopes' totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallTree {
+    /// Interned scope labels; index 0 is `"(root)"`.
+    pub labels: Vec<String>,
+    /// Nodes; parents precede children.
+    pub nodes: Vec<CallNode>,
+}
+
+impl CallTree {
+    /// Number of real (non-root) scopes.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total nanoseconds across all top-level scopes.
+    pub fn root_total_ns(&self) -> u64 {
+        self.nodes[0].total_ns
+    }
+
+    /// Total scope entries across the whole tree.
+    pub fn total_calls(&self) -> u64 {
+        self.nodes.iter().map(|n| n.calls).sum()
+    }
+
+    /// Nanoseconds spent in node `i` itself, children excluded
+    /// (saturating, so clock jitter cannot underflow).
+    pub fn self_ns(&self, i: usize) -> u64 {
+        let children: u64 =
+            self.nodes[i].children.iter().map(|&c| self.nodes[c as usize].total_ns).sum();
+        self.nodes[i].total_ns.saturating_sub(children)
+    }
+
+    /// The `;`-joined label path of a non-root node (`"a;b;leaf"`).
+    pub fn path(&self, i: usize) -> String {
+        let mut parts = Vec::new();
+        let mut at = i;
+        while at != 0 {
+            parts.push(self.labels[self.nodes[at].label as usize].as_str());
+            at = self.nodes[at].parent as usize;
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    /// Non-root node indices in depth-first pre-order (children visit in
+    /// label order).
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack: Vec<u32> = self.nodes[0].children.iter().rev().copied().collect();
+        while let Some(i) = stack.pop() {
+            out.push(i as usize);
+            stack.extend(self.nodes[i as usize].children.iter().rev());
+        }
+        out
+    }
+}
+
+/// A finished profiling session: the merged calltree plus the clock it
+/// was measured with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    /// The session's clock.
+    pub mode: ClockMode,
+    /// The merged calltree.
+    pub tree: CallTree,
+}
+
+impl Profile {
+    /// Human table ranked by self time (descending; ties break on the
+    /// path, ascending).
+    pub fn render_table(&self) -> String {
+        let total = self.tree.root_total_ns().max(1);
+        let mut rows: Vec<(u64, String, usize)> = self
+            .tree
+            .preorder()
+            .into_iter()
+            .map(|i| (self.tree.self_ns(i), self.tree.path(i), i))
+            .collect();
+        rows.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut out = format!(
+            "calltree profile ({} clock): {} scopes, root total {} ns\n",
+            self.mode.as_str(),
+            self.tree.len(),
+            self.tree.root_total_ns()
+        );
+        let _ = writeln!(
+            out,
+            "{:>7}  {:>14}  {:>14}  {:>10}  {:>12}  scope",
+            "self%", "self ns", "total ns", "calls", "alloc B"
+        );
+        for (self_ns, path, i) in rows {
+            let n = &self.tree.nodes[i];
+            let _ = writeln!(
+                out,
+                "{:>6.2}%  {:>14}  {:>14}  {:>10}  {:>12}  {}",
+                100.0 * self_ns as f64 / total as f64,
+                self_ns,
+                n.total_ns,
+                n.calls,
+                n.alloc_bytes,
+                path
+            );
+        }
+        out
+    }
+
+    /// Byte-deterministic JSON: clock, root total, then one object per
+    /// scope in depth-first pre-order.
+    pub fn to_json(&self) -> String {
+        let scopes = json::arr(self.tree.preorder().into_iter().map(|i| {
+            let n = &self.tree.nodes[i];
+            Obj::new()
+                .str("path", &self.tree.path(i))
+                .u64("calls", n.calls)
+                .u64("total_ns", n.total_ns)
+                .u64("self_ns", self.tree.self_ns(i))
+                .u64("alloc_bytes", n.alloc_bytes)
+                .build()
+        }));
+        Obj::new()
+            .str("clock", self.mode.as_str())
+            .u64("total_ns", self.tree.root_total_ns())
+            .raw("scopes", &scopes)
+            .build()
+    }
+
+    /// Folded-stack lines (`a;b;leaf 123`, weight = self time), the
+    /// input format of `flamegraph.pl` and inferno. Zero-self scopes are
+    /// omitted, as flamegraph tooling expects.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for i in self.tree.preorder() {
+            let self_ns = self.tree.self_ns(i);
+            if self_ns > 0 {
+                let _ = writeln!(out, "{} {}", self.tree.path(i), self_ns);
+            }
+        }
+        out
+    }
+
+    /// `skypeer_prof_*` counters in the Prometheus text exposition
+    /// format, labelled by scope path.
+    pub fn prometheus(&self) -> String {
+        use crate::expose::escape_label;
+        let mut out = String::new();
+        let _ = writeln!(out, "# HELP skypeer_prof_scopes Distinct calltree scopes recorded.");
+        let _ = writeln!(out, "# TYPE skypeer_prof_scopes gauge");
+        let _ = writeln!(out, "skypeer_prof_scopes {}", self.tree.len());
+        let _ = writeln!(out, "# HELP skypeer_prof_scope_enters_total Scope entries recorded.");
+        let _ = writeln!(out, "# TYPE skypeer_prof_scope_enters_total counter");
+        let _ = writeln!(out, "skypeer_prof_scope_enters_total {}", self.tree.total_calls());
+        let order = self.tree.preorder();
+        let _ = writeln!(out, "# TYPE skypeer_prof_calls_total counter");
+        for &i in &order {
+            let _ = writeln!(
+                out,
+                "skypeer_prof_calls_total{{scope=\"{}\"}} {}",
+                escape_label(&self.tree.path(i)),
+                self.tree.nodes[i].calls
+            );
+        }
+        let _ = writeln!(out, "# TYPE skypeer_prof_self_ns_total counter");
+        for &i in &order {
+            let _ = writeln!(
+                out,
+                "skypeer_prof_self_ns_total{{scope=\"{}\"}} {}",
+                escape_label(&self.tree.path(i)),
+                self.tree.self_ns(i)
+            );
+        }
+        out
+    }
+}
+
+/// Observability observing itself: the same pinned workload run with
+/// profiling + tracing off, then on, and the measured wall-clock cost of
+/// watching. Built by callers that own a workload (the CLI's
+/// `profile --overhead`); this crate only defines the arithmetic and the
+/// renderings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverheadReport {
+    /// What was run (a pinned figure name).
+    pub figure: String,
+    /// Repeats per arm (the times below are sums over the repeats).
+    pub repeats: u32,
+    /// Wall nanoseconds with profiling and tracing off.
+    pub baseline_ns: u64,
+    /// Wall nanoseconds with profiling and tracing on.
+    pub instrumented_ns: u64,
+    /// Scope entries the instrumented arm recorded.
+    pub scope_enters: u64,
+    /// Distinct calltree scopes the instrumented arm recorded.
+    pub distinct_scopes: u64,
+}
+
+impl OverheadReport {
+    /// `instrumented / baseline` — 1.0 means free observability.
+    pub fn ratio(&self) -> f64 {
+        self.instrumented_ns as f64 / self.baseline_ns.max(1) as f64
+    }
+
+    /// Human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "observability overhead: figure {figure}, {repeats} repeat(s)\n  \
+             baseline     (prof+trace off): {base:.3} ms\n  \
+             instrumented (prof+trace on) : {inst:.3} ms\n  \
+             ratio {ratio:.3}x  ({enters} scope enters across {scopes} distinct scopes)\n",
+            figure = self.figure,
+            repeats = self.repeats,
+            base = self.baseline_ns as f64 / 1e6,
+            inst = self.instrumented_ns as f64 / 1e6,
+            ratio = self.ratio(),
+            enters = self.scope_enters,
+            scopes = self.distinct_scopes,
+        )
+    }
+
+    /// Deterministic-keyed JSON (values are wall-clock, so host-
+    /// dependent).
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("figure", &self.figure)
+            .u64("repeats", u64::from(self.repeats))
+            .u64("baseline_ns", self.baseline_ns)
+            .u64("instrumented_ns", self.instrumented_ns)
+            .f64("ratio", self.ratio())
+            .u64("scope_enters", self.scope_enters)
+            .u64("distinct_scopes", self.distinct_scopes)
+            .build()
+    }
+}
+
+/// Per-thread allocation accounting for [`CallNode::alloc_bytes`]:
+/// install [`alloc::CountingAlloc`] as the binary's `#[global_allocator]`
+/// and every scope records the bytes allocated inside it.
+#[cfg(feature = "prof-alloc")]
+pub mod alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Bytes this thread has allocated so far (monotonic; frees are not
+    /// subtracted, so scope deltas measure allocation churn, not peak).
+    pub fn thread_alloc_bytes() -> u64 {
+        ALLOCATED.try_with(Cell::get).unwrap_or(0)
+    }
+
+    fn count(bytes: usize) {
+        let _ = ALLOCATED.try_with(|c| c.set(c.get().saturating_add(bytes as u64)));
+    }
+
+    /// A [`System`]-backed allocator that counts allocated bytes per
+    /// thread. Opt in from a binary:
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: skypeer_obs::prof::alloc::CountingAlloc = CountingAlloc;
+    /// ```
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every operation to `System`; the counter is a
+    // thread-local side effect that allocates nothing itself.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            count(layout.size());
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            count(new_size.saturating_sub(layout.size()));
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    /// Profiling state is process-global; tests that run sessions must
+    /// not interleave. (`cargo test` runs tests in parallel threads.)
+    static SESSION: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        SESSION.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The fixed scope program the deterministic goldens pin:
+    /// `a { b {} b {} }  c {}`.
+    fn golden_program() {
+        {
+            let _a = enter("a");
+            let _b1 = enter("b");
+            drop(_b1);
+            let _b2 = enter("b");
+        }
+        let _c = enter("c");
+    }
+
+    #[test]
+    fn inactive_scopes_cost_nothing_and_record_nothing() {
+        let _g = lock();
+        assert!(!is_active());
+        {
+            scope!("never");
+        }
+        start(ClockMode::Logical);
+        let p = stop();
+        assert!(p.tree.is_empty());
+        assert_eq!(p.tree.root_total_ns(), 0);
+        assert_eq!(p.folded(), "");
+    }
+
+    #[test]
+    fn logical_mode_pins_folded_and_json_bytes() {
+        let _g = lock();
+        // Tick trace: enter a=0, enter b=1, exit b=2, enter b=3, exit
+        // b=4, exit a=5, enter c=6, exit c=7. So b.total = 1+1, a.total
+        // = 5, c.total = 1, root = 6.
+        let run = || {
+            start(ClockMode::Logical);
+            golden_program();
+            stop()
+        };
+        let p = run();
+        // Satellite golden: these exact bytes are the deterministic-mode
+        // contract for folded and JSON exports.
+        assert_eq!(p.folded(), "a 3\na;b 2\nc 1\n");
+        assert_eq!(
+            p.to_json(),
+            "{\"clock\":\"logical\",\"total_ns\":6,\"scopes\":[\
+             {\"path\":\"a\",\"calls\":1,\"total_ns\":5,\"self_ns\":3,\"alloc_bytes\":0},\
+             {\"path\":\"a;b\",\"calls\":2,\"total_ns\":2,\"self_ns\":2,\"alloc_bytes\":0},\
+             {\"path\":\"c\",\"calls\":1,\"total_ns\":1,\"self_ns\":1,\"alloc_bytes\":0}]}"
+        );
+        // A second session reproduces the bytes exactly (ticks reset).
+        let q = run();
+        assert_eq!(p.to_json(), q.to_json());
+        assert_eq!(p.folded(), q.folded());
+        assert_eq!(p.render_table(), q.render_table());
+    }
+
+    #[test]
+    fn table_ranks_by_self_time_and_prometheus_is_prefixed() {
+        let _g = lock();
+        start(ClockMode::Logical);
+        golden_program();
+        let p = stop();
+        let table = p.render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("3 scopes, root total 6 ns"));
+        assert!(lines[2].ends_with("  a"), "biggest self time first: {}", lines[2]);
+        assert!(lines[3].ends_with("  a;b"));
+        let prom = p.prometheus();
+        assert!(prom.contains("skypeer_prof_scopes 3"));
+        assert!(prom.contains("skypeer_prof_scope_enters_total 4"));
+        assert!(prom.contains("skypeer_prof_calls_total{scope=\"a;b\"} 2"));
+        assert!(prom.contains("skypeer_prof_self_ns_total{scope=\"a\"} 3"));
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.starts_with("skypeer_prof_"), "{line}");
+        }
+    }
+
+    #[test]
+    fn monotonic_mode_measures_and_nests() {
+        let _g = lock();
+        start(ClockMode::Monotonic);
+        {
+            let _outer = enter("outer");
+            let _inner = enter("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let p = stop();
+        assert_eq!(p.mode, ClockMode::Monotonic);
+        assert_eq!(p.tree.len(), 2);
+        let outer = p.tree.preorder()[0];
+        assert_eq!(p.tree.path(outer), "outer");
+        assert!(p.tree.nodes[outer].total_ns >= 2_000_000, "slept 2ms inside");
+        assert_eq!(p.tree.root_total_ns(), p.tree.nodes[outer].total_ns);
+    }
+
+    #[test]
+    fn threads_merge_on_exit_and_flush() {
+        let _g = lock();
+        start(ClockMode::Monotonic);
+        {
+            let _main = enter("shared");
+        }
+        std::thread::spawn(|| {
+            let _w = enter("shared");
+            let _n = enter("worker_only");
+        })
+        .join()
+        .expect("worker");
+        let p = stop();
+        let shared = p
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&i| p.tree.path(i) == "shared")
+            .expect("shared scope");
+        assert_eq!(p.tree.nodes[shared].calls, 2, "both threads' calls merged");
+        assert!(p.tree.preorder().iter().any(|&i| p.tree.path(i) == "shared;worker_only"));
+    }
+
+    #[test]
+    fn stale_epoch_data_is_discarded_and_labels_sanitized() {
+        let _g = lock();
+        start(ClockMode::Logical);
+        {
+            let _old = enter("from_last_session");
+        }
+        // Restart without stopping: the old thread tree must not leak
+        // into the new session.
+        start(ClockMode::Logical);
+        {
+            let _new = enter("weird label;x");
+        }
+        let p = stop();
+        assert_eq!(p.tree.len(), 1);
+        assert_eq!(p.tree.path(p.tree.preorder()[0]), "weird_label_x");
+        // A guard held across stop() still pops cleanly.
+        start(ClockMode::Logical);
+        let held = enter("held");
+        let _ = stop();
+        drop(held);
+        start(ClockMode::Logical);
+        let empty = stop();
+        assert!(empty.tree.is_empty());
+    }
+
+    #[test]
+    fn overhead_report_ratio_and_renderings() {
+        let r = OverheadReport {
+            figure: "fig3b_d8".to_string(),
+            repeats: 3,
+            baseline_ns: 10_000_000,
+            instrumented_ns: 11_000_000,
+            scope_enters: 1234,
+            distinct_scopes: 9,
+        };
+        assert!((r.ratio() - 1.1).abs() < 1e-9);
+        let text = r.render();
+        assert!(text.contains("ratio 1.100x"));
+        assert!(text.contains("fig3b_d8"));
+        let j = r.to_json();
+        assert_eq!(j, r.to_json());
+        assert!(j.starts_with("{\"figure\":\"fig3b_d8\",\"repeats\":3,"));
+        assert!(j.contains("\"scope_enters\":1234"));
+    }
+
+    /// Executes a generated op program (push scope / pop scope) under a
+    /// logical-clock session and returns the profile. Each op byte
+    /// either closes the innermost open scope or opens one of four
+    /// labels; everything left open closes at the end.
+    fn run_ops(ops: &[u8]) -> Profile {
+        const LABELS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+        start(ClockMode::Logical);
+        let mut open: Vec<ScopeGuard> = Vec::new();
+        for &op in ops {
+            if op % 4 == 0 && !open.is_empty() {
+                open.pop();
+            } else if open.len() < 6 {
+                open.push(enter(LABELS[(op as usize / 4) % LABELS.len()]));
+            }
+        }
+        while open.pop().is_some() {}
+        stop()
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// For any scope tree: the root total equals the sum of the
+        /// top-level totals, and every node's self time equals its total
+        /// minus its children's totals (exactly — the logical clock
+        /// cannot jitter).
+        #[test]
+        fn calltree_time_invariants_hold(ops in prop::collection::vec(any::<u8>(), 0..64)) {
+            let _g = lock();
+            let p = run_ops(&ops);
+            let t = &p.tree;
+            let top: u64 = t.nodes[0].children.iter().map(|&c| t.nodes[c as usize].total_ns).sum();
+            prop_assert_eq!(t.root_total_ns(), top);
+            for i in t.preorder() {
+                let children: u64 =
+                    t.nodes[i].children.iter().map(|&c| t.nodes[c as usize].total_ns).sum();
+                prop_assert_eq!(t.self_ns(i) + children, t.nodes[i].total_ns);
+                prop_assert!(t.nodes[i].calls > 0, "every node was entered");
+            }
+            // And the export surfaces agree with the tree.
+            let folded_sum: u64 = p.folded().lines()
+                .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                .sum();
+            let self_sum: u64 = t.preorder().into_iter().map(|i| t.self_ns(i)).sum();
+            prop_assert_eq!(folded_sum, self_sum);
+            prop_assert_eq!(self_sum, t.root_total_ns());
+        }
+    }
+}

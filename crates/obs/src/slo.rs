@@ -16,9 +16,27 @@
 use crate::hdr::HdrHistogram;
 use crate::json::{self, Obj};
 
+/// Parses percentile digits (the `NN` of a `--slo-pNN-ms` flag) into a
+/// quantile: the first (up to) two digits are the integer percent, any
+/// further digits are decimals — `"95"` → 0.95, `"999"` → 0.999,
+/// `"9999"` → 0.9999, `"5"` → 0.05. Returns `None` for empty or
+/// non-digit input, and for degenerate quantiles outside `(0, 1)`.
+pub fn quantile_from_digits(digits: &str) -> Option<f64> {
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    // One integer division keeps the result identical to the literal a
+    // user would write (0.999, not 0.999000…01 from summing parts).
+    let value: u64 = digits.parse().ok()?;
+    let decimals = digits.len().saturating_sub(2) as u32;
+    let divisor = 100f64 * 10f64.powi(decimals as i32);
+    let q = value as f64 / divisor;
+    (q > 0.0 && q < 1.0).then_some(q)
+}
+
 /// Optional budgets for one variant (or one whole run). All fields are
 /// upper bounds; `None` means "no objective for this metric".
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SloSpec {
     /// Budget for the median simulated latency, in nanoseconds.
     pub p50_latency_ns: Option<u64>,
@@ -30,6 +48,12 @@ pub struct SloSpec {
     pub max_latency_ns: Option<u64>,
     /// Budget for 99th-percentile per-query network volume, in bytes.
     pub p99_bytes: Option<u64>,
+    /// Latency budgets at arbitrary percentiles, as
+    /// `(percentile digits, budget ns)` — `("95", 2_000_000)` checks
+    /// `latency_p95_ns` via [`quantile_from_digits`]. Entries whose
+    /// digits do not parse are skipped; checks are emitted in ascending
+    /// quantile order regardless of insertion order.
+    pub latency_quantiles: Vec<(String, u64)>,
 }
 
 impl SloSpec {
@@ -48,7 +72,7 @@ impl SloSpec {
         bytes: &HdrHistogram,
     ) -> SloReport {
         let mut checks = Vec::new();
-        let mut push = |metric: &'static str, budget: Option<u64>, actual: Option<u64>| {
+        let mut push = |metric: String, budget: Option<u64>, actual: Option<u64>| {
             if let Some(budget) = budget {
                 checks.push(SloCheck {
                     metric,
@@ -58,11 +82,20 @@ impl SloSpec {
                 });
             }
         };
-        push("latency_p50_ns", self.p50_latency_ns, latency_ns.p50());
-        push("latency_p99_ns", self.p99_latency_ns, latency_ns.p99());
-        push("latency_p999_ns", self.p999_latency_ns, latency_ns.p999());
-        push("latency_max_ns", self.max_latency_ns, latency_ns.max());
-        push("bytes_p99", self.p99_bytes, bytes.p99());
+        push("latency_p50_ns".into(), self.p50_latency_ns, latency_ns.p50());
+        push("latency_p99_ns".into(), self.p99_latency_ns, latency_ns.p99());
+        push("latency_p999_ns".into(), self.p999_latency_ns, latency_ns.p999());
+        let mut quantiles: Vec<(f64, &str, u64)> = self
+            .latency_quantiles
+            .iter()
+            .filter_map(|(d, b)| quantile_from_digits(d).map(|q| (q, d.as_str(), *b)))
+            .collect();
+        quantiles.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(b.1)));
+        for (q, digits, budget) in quantiles {
+            push(format!("latency_p{digits}_ns"), Some(budget), latency_ns.value_at_quantile(q));
+        }
+        push("latency_max_ns".into(), self.max_latency_ns, latency_ns.max());
+        push("bytes_p99".into(), self.p99_bytes, bytes.p99());
         SloReport { label: label.to_string(), checks }
     }
 }
@@ -71,7 +104,7 @@ impl SloSpec {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SloCheck {
     /// Which objective this checks, e.g. `"latency_p99_ns"`.
-    pub metric: &'static str,
+    pub metric: String,
     /// The configured upper bound.
     pub budget: u64,
     /// The observed value (`None` when the histogram was empty).
@@ -124,7 +157,7 @@ impl SloReport {
     pub fn to_json(&self) -> String {
         let checks = json::arr(self.checks.iter().map(|c| {
             let mut o = Obj::new();
-            o = o.str("metric", c.metric).u64("budget", c.budget);
+            o = o.str("metric", &c.metric).u64("budget", c.budget);
             o = match c.actual {
                 Some(a) => o.u64("actual", a),
                 None => o.raw("actual", "null"),
@@ -192,6 +225,40 @@ mod unit {
         let report = spec.evaluate("ftpm", &hist(&[1]), &hist(&[1]));
         assert!(report.checks.is_empty());
         assert!(report.pass());
+    }
+
+    #[test]
+    fn digits_parse_as_percent_then_decimals() {
+        assert_eq!(quantile_from_digits("95"), Some(0.95));
+        assert_eq!(quantile_from_digits("5"), Some(0.05));
+        assert_eq!(quantile_from_digits("999"), Some(0.999));
+        assert_eq!(quantile_from_digits("9999"), Some(0.9999));
+        assert_eq!(quantile_from_digits("50"), Some(0.50));
+        assert_eq!(quantile_from_digits("0"), None, "q must be positive");
+        assert_eq!(quantile_from_digits(""), None);
+        assert_eq!(quantile_from_digits("9x"), None);
+    }
+
+    #[test]
+    fn arbitrary_quantile_budgets_are_checked_in_order() {
+        let spec = SloSpec {
+            p50_latency_ns: Some(1_000_000),
+            latency_quantiles: vec![
+                ("95".to_string(), 350),
+                ("75".to_string(), 1_000_000),
+                ("bogus".to_string(), 1),
+            ],
+            ..Default::default()
+        };
+        assert!(!spec.is_empty());
+        let report = spec.evaluate("rtpm", &hist(&[100, 200, 300, 400]), &hist(&[]));
+        let metrics: Vec<&str> = report.checks.iter().map(|c| c.metric.as_str()).collect();
+        // Pinned percentiles first, then generic ones ascending by
+        // quantile; unparseable digits are skipped, not failed.
+        assert_eq!(metrics, ["latency_p50_ns", "latency_p75_ns", "latency_p95_ns"]);
+        assert!(report.checks[1].pass);
+        assert!(!report.checks[2].pass, "p95 of [..400] is 400 > 350");
+        assert!(report.render().contains("[FAIL] rtpm latency_p95_ns: 400 > budget 350"));
     }
 
     #[test]

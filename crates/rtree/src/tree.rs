@@ -112,6 +112,7 @@ impl RTree {
     ///
     /// Panics if any point has dimensionality other than `dim`.
     pub fn bulk_load(dim: usize, points: &[(&[f64], u64)]) -> Self {
+        skypeer_obs::scope!("rtree::bulk_load");
         let mut tree = Self::new(dim);
         if points.is_empty() {
             return tree;
@@ -188,6 +189,7 @@ impl RTree {
     /// (boundaries inclusive). The visitor returns `false` to stop early;
     /// the method returns `false` iff the visit was stopped.
     pub fn window<F: FnMut(&[f64], u64) -> bool>(&self, window: &Rect, mut visit: F) -> bool {
+        skypeer_obs::scope!("rtree::window");
         assert_eq!(window.dim(), self.dim, "window dimensionality mismatch");
         if self.len == 0 {
             return true;

@@ -27,6 +27,7 @@ use crate::subspace::Subspace;
 ///
 /// This is the peer-side half of the preprocessing phase (Section 5.3).
 pub fn ext_skyline(set: &PointSet, index: DominanceIndex) -> ThresholdOutcome {
+    skypeer_obs::scope!("skyline::ext_skyline");
     let sorted = SortedDataset::from_set(set);
     sorted.subspace_skyline(Subspace::full(set.dim()), Dominance::Extended, f64::INFINITY, index)
 }
@@ -34,6 +35,7 @@ pub fn ext_skyline(set: &PointSet, index: DominanceIndex) -> ThresholdOutcome {
 /// Computes the extended skyline on an explicit subspace `u` (the paper
 /// only ever needs `u = D`, but the definition is parametric).
 pub fn ext_skyline_on(set: &PointSet, u: Subspace, index: DominanceIndex) -> ThresholdOutcome {
+    skypeer_obs::scope!("skyline::ext_skyline");
     let sorted = SortedDataset::from_set(set);
     sorted.subspace_skyline(u, Dominance::Extended, f64::INFINITY, index)
 }
@@ -62,6 +64,7 @@ pub fn refine_from_ext(
     u: Subspace,
     index: DominanceIndex,
 ) -> ThresholdOutcome {
+    skypeer_obs::scope!("skyline::refine_from_ext");
     debug_assert!(
         u.dims().all(|d| d < ext.dim()),
         "subspace {u} out of range for a {}-dimensional dataset",

@@ -312,6 +312,7 @@ pub fn threshold_skyline(
     initial_threshold: f64,
     index: DominanceIndex,
 ) -> ThresholdOutcome {
+    skypeer_obs::scope!("skyline::threshold_skyline");
     let mut window = Window::new(u, flavour, index);
     let mut threshold = initial_threshold;
     let mut consumed = 0usize;
