@@ -110,6 +110,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     std::fs::write(&profile_path, &profile)
         .map_err(|e| format!("cannot write {profile_path}: {e}"))?;
     println!("wrote per-phase CPU-share profile to {profile_path} (advisory)");
+    // Third pass: per-figure anomaly check. Like the CPU profile this is
+    // a sibling artifact so the gated report's bytes stay untouched; a
+    // nonzero count is a heads-up, never a failure.
+    let incidents_file = incidents_path(&out_path);
+    let incidents = skypeer_bench::regress::run_pinned_incidents();
+    std::fs::write(&incidents_file, &incidents)
+        .map_err(|e| format!("cannot write {incidents_file}: {e}"))?;
+    let flagged: usize = incidents.lines().filter(|l| l.starts_with("  ")).count();
+    println!("wrote per-figure incident report to {incidents_file} ({flagged} flagged, advisory)");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -126,6 +135,14 @@ fn cpu_profile_path(report_path: &str) -> String {
     match report_path.strip_suffix(".json") {
         Some(stem) => format!("{stem}_cpu_profile.txt"),
         None => format!("{report_path}_cpu_profile.txt"),
+    }
+}
+
+/// The incident sibling of a report path: `X.json` -> `X_incidents.txt`.
+fn incidents_path(report_path: &str) -> String {
+    match report_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_incidents.txt"),
+        None => format!("{report_path}_incidents.txt"),
     }
 }
 

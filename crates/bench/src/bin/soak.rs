@@ -15,7 +15,7 @@
 //! The summary JSON is byte-deterministic for a given flag set (no wall
 //! clocks, commits, or dates), so CI can archive and diff it.
 
-use skypeer_bench::soak::{run_soak, SoakSpec};
+use skypeer_bench::soak::{run_soak, SoakPerturb, SoakSpec, TelemetrySpec};
 use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
 use skypeer_data::{DatasetKind, DatasetSpec, InitiatorMix, KMix, MixedWorkloadSpec};
 use skypeer_netsim::cost::CostModel;
@@ -31,7 +31,9 @@ const USAGE: &str = "usage: soak [--peers N] [--superpeers N] [--dim D] [--point
 [--initiator-theta T] [--top-k K] [--slo-p50-ms F] [--slo-p99-ms F] [--slo-p999-ms F] \
 [--slo-pNN-ms F (any percentile, e.g. --slo-p95-ms)] \
 [--slo-max-ms F] [--slo-p99-bytes N] [--cache] [--cache-bytes N] [--min-hit-rate F] \
-[--out FILE] [--jsonl FILE] [--prom FILE] [--profile-out FILE] [--gate]";
+[--out FILE] [--jsonl FILE] [--prom FILE] [--profile-out FILE] [--gate] [--quiet] \
+[--telemetry] [--history-out FILE] [--fail-on-incident] \
+[--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [--perturb-after N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +90,24 @@ fn parse_variants(spec: &str) -> Result<Vec<Variant>, String> {
             other => Err(format!("unknown variant '{other}'")),
         })
         .collect()
+}
+
+/// Parses a `FROM:TO:LATENCY_NS[:NS_PER_BYTE]` directed-link override
+/// (missing bandwidth keeps the base model's).
+fn parse_perturb(spec: &str, base: LinkModel) -> Result<(usize, usize, LinkModel), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 && parts.len() != 4 {
+        return Err(format!("bad --perturb-link '{spec}': want FROM:TO:LATENCY_NS[:NS_PER_BYTE]"));
+    }
+    let num = |s: &str, what: &str| {
+        s.parse::<u64>().map_err(|_| format!("bad --perturb-link {what} '{s}'"))
+    };
+    let from = num(parts[0], "FROM")? as usize;
+    let to = num(parts[1], "TO")? as usize;
+    let latency_ns = num(parts[2], "LATENCY_NS")?;
+    let ns_per_byte =
+        if parts.len() == 4 { num(parts[3], "NS_PER_BYTE")? } else { base.ns_per_byte };
+    Ok((from, to, LinkModel { latency_ns, ns_per_byte }))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -182,6 +202,33 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         link: LinkModel::paper_4kbps(),
         routing: skypeer_core::engine::RoutingMode::Flood,
     });
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let history_out = flag(args, "--history-out")?;
+    let fail_on_incident = args.iter().any(|a| a == "--fail-on-incident");
+    let perturb = match flag(args, "--perturb-link")? {
+        Some(s) => {
+            if cache_bytes.is_some() {
+                return Err("--perturb-link and --cache are incompatible".into());
+            }
+            Some(SoakPerturb {
+                after: parse(args, "--perturb-after", 0usize)?,
+                overrides: vec![parse_perturb(&s, LinkModel::paper_4kbps())?],
+            })
+        }
+        None => {
+            if flag(args, "--perturb-after")?.is_some() {
+                return Err("--perturb-after requires --perturb-link".into());
+            }
+            None
+        }
+    };
+    // Any flag that needs telemetry turns it on.
+    let telemetry = (args.iter().any(|a| a == "--telemetry")
+        || history_out.is_some()
+        || fail_on_incident
+        || perturb.is_some())
+    .then(TelemetrySpec::default);
+
     let spec = SoakSpec {
         variants,
         workload: MixedWorkloadSpec { dim, queries, n_superpeers, seed, k_mix, initiator_mix },
@@ -189,15 +236,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         tail_k,
         hdr_precision: parse(args, "--precision", 7u32)?,
         cache_bytes,
+        telemetry,
+        perturb,
     };
 
-    eprintln!(
-        "soaking {} queries x {} variants over {} peers / {} super-peers (seed {seed})...",
-        queries,
-        spec.variants.len(),
-        n_peers,
-        n_superpeers
-    );
+    if !quiet {
+        eprintln!(
+            "soaking {} queries x {} variants over {} peers / {} super-peers (seed {seed})...",
+            queries,
+            spec.variants.len(),
+            n_peers,
+            n_superpeers
+        );
+    }
 
     let mut jsonl = match flag(args, "--jsonl")? {
         Some(path) => Some(std::io::BufWriter::new(
@@ -229,6 +280,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if !spec.slo.is_empty() {
         print!("{}", outcome.render_slo());
     }
+    if spec.telemetry.is_some() {
+        println!("incidents: {}", outcome.incident_count());
+        for v in &outcome.variants {
+            if let Some(tel) = &v.telemetry {
+                for inc in tel.incidents() {
+                    println!("  {} {}", v.variant.mnemonic(), inc.render());
+                }
+            }
+        }
+    }
+    if let Some(path) = &history_out {
+        let history = outcome.history_text().expect("telemetry implied by --history-out");
+        std::fs::write(path, history).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote telemetry history to {path}");
+    }
 
     if let Some(path) = flag(args, "--out")? {
         std::fs::write(&path, outcome.summary_json())
@@ -248,6 +314,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     if gate && !outcome.pass() {
         eprintln!("SLO gate FAILED");
+        return Ok(ExitCode::FAILURE);
+    }
+    if fail_on_incident && outcome.incident_count() > 0 {
+        eprintln!("incident gate FAILED: {} incident(s) flagged", outcome.incident_count());
         return Ok(ExitCode::FAILURE);
     }
     if let Some(floor) = min_hit_rate {

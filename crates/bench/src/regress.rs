@@ -473,6 +473,55 @@ pub fn run_pinned_cpu_profile() -> String {
     out
 }
 
+/// Advisory telemetry pass: replays a short seeded FTPM query stream per
+/// pinned figure with per-query telemetry and the default anomaly
+/// detector, and reports the incident count. A healthy tree is
+/// telemetry-quiet, so any incident here means the figure's steady-state
+/// behaviour now looks anomalous to the detector defaults — worth a look,
+/// but host-independent-yet-tuning-sensitive, so it is written as a
+/// sibling artifact and never gates the report.
+pub fn run_pinned_incidents() -> String {
+    use crate::soak::{run_soak, SoakSpec, TelemetrySpec};
+    use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec};
+    use skypeer_netsim::obs::SloSpec;
+    const QUERIES: usize = 48;
+    let mut out = String::new();
+    for p in pinned_figures() {
+        let engine = SkypeerEngine::build(p.config);
+        let spec = SoakSpec {
+            variants: vec![Variant::Ftpm],
+            workload: MixedWorkloadSpec {
+                dim: p.config.dataset.dim,
+                queries: QUERIES,
+                n_superpeers: p.config.n_superpeers,
+                seed: 7,
+                k_mix: KMix::Fixed(2),
+                initiator_mix: InitiatorMix::Uniform,
+            },
+            slo: SloSpec::default(),
+            tail_k: 1,
+            hdr_precision: 7,
+            cache_bytes: None,
+            telemetry: Some(TelemetrySpec::default()),
+            perturb: None,
+        };
+        let outcome = run_soak(&engine, &spec, |_| {});
+        out.push_str(&format!(
+            "figure {}: {} incident(s) over {QUERIES} FTPM queries\n",
+            p.figure,
+            outcome.incident_count()
+        ));
+        for v in &outcome.variants {
+            if let Some(tel) = &v.telemetry {
+                for inc in tel.incidents() {
+                    out.push_str(&format!("  {}\n", inc.render()));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// One comparator finding.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Delta {

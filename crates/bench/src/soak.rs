@@ -24,11 +24,44 @@ use skypeer_cache::CacheStats;
 use skypeer_core::cached::CachedEngine;
 use skypeer_core::{SkypeerEngine, Variant};
 use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec, Query};
+use skypeer_netsim::des::LinkModel;
 use skypeer_netsim::obs::expose::hdr_prometheus;
+use skypeer_netsim::obs::tsdb::history_line;
 use skypeer_netsim::obs::{
-    json, FlightRecorder, HdrHistogram, MemTracer, SloReport, SloSpec, TraceEvent, Tracer,
+    json, AnomalyDetector, DetectorConfig, FlightRecorder, HdrHistogram, Incident, MemTracer,
+    MetricsRegistry, SloReport, SloSpec, TraceEvent, Tracer, Tsdb,
 };
 use std::sync::Arc;
+
+/// Telemetry knobs for a soak run: retain per-query series in a
+/// [`Tsdb`] and run anomaly detection over them.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetrySpec {
+    /// Per-series ring capacity (buckets) for the retained history.
+    pub series_cap: usize,
+    /// Anomaly detector tuning.
+    pub detector: DetectorConfig,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec {
+            series_cap: skypeer_netsim::obs::tsdb::DEFAULT_SERIES_CAP,
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+/// Mid-run link perturbation: queries with index `>= after` run with
+/// the link overrides applied, so anomaly onset can be validated
+/// against a known injection point.
+#[derive(Clone, Debug)]
+pub struct SoakPerturb {
+    /// First query index (0-based) executed under the overrides.
+    pub after: usize,
+    /// `(from, to, model)` directed-link overrides.
+    pub overrides: Vec<(usize, usize, LinkModel)>,
+}
 
 /// What a soak run executes and how it judges the result.
 #[derive(Clone, Debug)]
@@ -50,6 +83,16 @@ pub struct SoakSpec {
     /// served locally. `None` (the default paths) leaves the summary
     /// byte-identical to a cacheless build.
     pub cache_bytes: Option<u64>,
+    /// When set, per-query series (latency, bytes, messages, dominance
+    /// tests, queue depth, cache hits) feed a per-variant [`Tsdb`] and
+    /// [`AnomalyDetector`]; incidents join the summary and exposition.
+    /// `None` leaves every output byte-identical to a telemetry-less
+    /// build.
+    pub telemetry: Option<TelemetrySpec>,
+    /// When set, inject a link perturbation mid-run. Incompatible with
+    /// [`SoakSpec::cache_bytes`] (the cache-fronted path has no
+    /// perturbed execution route).
+    pub perturb: Option<SoakPerturb>,
 }
 
 impl SoakSpec {
@@ -63,6 +106,8 @@ impl SoakSpec {
             tail_k: 8,
             hdr_precision: HdrHistogram::DEFAULT_PRECISION,
             cache_bytes: None,
+            telemetry: None,
+            perturb: None,
         }
     }
 }
@@ -145,6 +190,27 @@ pub struct VariantSoak {
     /// Cache counters, when the run was cache-fronted
     /// ([`SoakSpec::cache_bytes`]).
     pub cache: Option<CacheStats>,
+    /// Retained telemetry, when the run recorded it
+    /// ([`SoakSpec::telemetry`]).
+    pub telemetry: Option<VariantTelemetry>,
+}
+
+/// Per-variant retained telemetry from a soak run.
+pub struct VariantTelemetry {
+    /// Downsampled per-query series (tick = query index).
+    pub tsdb: Tsdb,
+    /// The detector that watched the series as they streamed.
+    pub detector: AnomalyDetector,
+    /// Raw history JSONL lines (series prefixed `<variant>/…` so one
+    /// file can hold every variant), replayable via `top --replay`.
+    pub history: Vec<String>,
+}
+
+impl VariantTelemetry {
+    /// Incidents the detector flagged, in onset order.
+    pub fn incidents(&self) -> &[Incident] {
+        self.detector.incidents()
+    }
 }
 
 /// Everything a soak run produced.
@@ -175,6 +241,11 @@ pub fn run_soak(
         spec.workload.dim <= engine.config().dataset.dim,
         "workload dimensionality exceeds the dataset's"
     );
+    assert!(
+        spec.perturb.is_none() || spec.cache_bytes.is_none(),
+        "--perturb-link and --cache are incompatible: the cache-fronted \
+         path has no perturbed execution route"
+    );
     let queries = spec.workload.generate();
     let mut variants = Vec::with_capacity(spec.variants.len());
     for &variant in &spec.variants {
@@ -189,12 +260,18 @@ pub fn run_soak(
             recorder: FlightRecorder::new(spec.tail_k),
             slo: SloReport { label: String::new(), checks: Vec::new() },
             cache: None,
+            telemetry: spec.telemetry.map(|t| VariantTelemetry {
+                tsdb: Tsdb::new(t.series_cap),
+                detector: AnomalyDetector::new(t.detector),
+                history: Vec::new(),
+            }),
         };
         // A fresh cache per variant, so per-variant numbers stay
         // independent and comparable.
         let mut cached = spec.cache_bytes.map(|b| CachedEngine::new(engine, b));
         for (i, &q) in queries.iter().enumerate() {
             let tracer = Arc::new(MemTracer::new());
+            let perturbed = spec.perturb.as_ref().filter(|p| i >= p.after);
             let (out, refine_tests, served_from_cache) = match cached.as_mut() {
                 Some(c) => {
                     let co = c.run_query_traced(
@@ -205,17 +282,25 @@ pub fn run_soak(
                     let hit = co.served_from_cache();
                     (co.outcome, co.refine_tests, Some(hit))
                 }
-                None => (
-                    engine.run_query_observed(
-                        q,
-                        variant,
-                        Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
-                    ),
-                    0,
-                    None,
-                ),
+                None => {
+                    let tr = Some(Arc::clone(&tracer) as Arc<dyn Tracer>);
+                    let out = match perturbed {
+                        Some(p) => {
+                            engine.run_query_observed_perturbed(q, variant, &p.overrides, tr)
+                        }
+                        None => engine.run_query_observed(q, variant, tr),
+                    };
+                    (out, 0, None)
+                }
             };
             let events = tracer.take();
+            // Queue depth has to come off the events before the
+            // recorder consumes them; only pay for it when telemetry
+            // is on.
+            let queue_depth = vs
+                .telemetry
+                .as_ref()
+                .map(|_| MetricsRegistry::from_events(&events).max_queue_depth());
             let dominance_tests: u64 = refine_tests
                 + events
                     .iter()
@@ -238,6 +323,25 @@ pub fn run_soak(
             vs.bytes_total += out.volume_bytes;
             vs.messages_total += out.messages;
             vs.dominance_tests_total += dominance_tests;
+            if let Some(tel) = vs.telemetry.as_mut() {
+                let tick = i as u64;
+                let mut samples = vec![
+                    ("latency_ns", latency_ns as f64),
+                    ("volume_bytes", out.volume_bytes as f64),
+                    ("messages", out.messages as f64),
+                    ("dominance_tests", dominance_tests as f64),
+                    ("queue_depth", queue_depth.unwrap_or(0) as f64),
+                ];
+                if let Some(hit) = served_from_cache {
+                    samples.push(("cache_hit", if hit { 1.0 } else { 0.0 }));
+                }
+                let mnemonic = variant.mnemonic();
+                for (series, value) in samples {
+                    tel.tsdb.record(series, tick, value);
+                    tel.detector.observe(series, tick, value);
+                    tel.history.push(history_line(tick, &format!("{mnemonic}/{series}"), value));
+                }
+            }
             on_row(&QueryRow {
                 variant: variant.mnemonic(),
                 query: i,
@@ -352,6 +456,10 @@ impl SoakOutcome {
                         .build(),
                 );
             }
+            // Present only on telemetry runs, same reasoning as `cache`.
+            if let Some(tel) = &v.telemetry {
+                obj = obj.raw("incidents", &tel.detector.incidents_json());
+            }
             obj.raw("slo", &v.slo.to_json()).raw("worst", &worst).build()
         }));
         json::Obj::new()
@@ -411,7 +519,47 @@ impl SoakOutcome {
                 }
             }
         }
+        // Incident counts, present only on telemetry runs.
+        if self.variants.iter().any(|v| v.telemetry.is_some()) {
+            out.push_str(
+                "# HELP skypeer_soak_incidents_total Anomaly incidents flagged during the soak.\n\
+                 # TYPE skypeer_soak_incidents_total counter\n",
+            );
+            for v in &self.variants {
+                if let Some(tel) = &v.telemetry {
+                    out.push_str(&format!(
+                        "skypeer_soak_incidents_total{{variant=\"{}\"}} {}\n",
+                        v.variant.mnemonic(),
+                        tel.incidents().len()
+                    ));
+                }
+            }
+        }
         out
+    }
+
+    /// Total incidents across all variants (0 on telemetry-less runs).
+    pub fn incident_count(&self) -> usize {
+        self.variants.iter().filter_map(|v| v.telemetry.as_ref()).map(|t| t.incidents().len()).sum()
+    }
+
+    /// The run's full telemetry history as JSONL text (all variants,
+    /// series prefixed `<variant>/…`), or `None` on telemetry-less
+    /// runs. Replayable via `skypeer-cli top --replay`.
+    pub fn history_text(&self) -> Option<String> {
+        let tels: Vec<&VariantTelemetry> =
+            self.variants.iter().filter_map(|v| v.telemetry.as_ref()).collect();
+        if tels.is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        for tel in tels {
+            for line in &tel.history {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        Some(out)
     }
 
     /// The percentile table as fixed-width text (latencies in simulated
@@ -533,6 +681,8 @@ mod unit {
             tail_k: 3,
             hdr_precision: 7,
             cache_bytes: None,
+            telemetry: None,
+            perturb: None,
         }
     }
 
@@ -629,6 +779,81 @@ mod unit {
         assert!(prom.contains("skypeer_cache_lookups_total{variant=\"FTPM\"} 12"));
         // Determinism holds with the cache on, too.
         assert_eq!(summary, run_soak(&engine, &spec, |_| {}).summary_json());
+    }
+
+    #[test]
+    fn telemetry_records_series_and_baseline_is_quiet() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.workload.queries = 60;
+        let base = run_soak(&engine, &spec, |_| {}).summary_json();
+        assert!(!base.contains("incidents"), "telemetry-off summary is unchanged");
+
+        spec.telemetry = Some(TelemetrySpec::default());
+        let out = run_soak(&engine, &spec, |_| {});
+        // Same seeded workload, no perturbation: the false-positive
+        // guard — zero incidents.
+        assert_eq!(out.incident_count(), 0, "{}", out.summary_json());
+        let tel = out.variants[0].telemetry.as_ref().expect("telemetry on");
+        for series in ["latency_ns", "volume_bytes", "messages", "dominance_tests", "queue_depth"] {
+            let ts = tel.tsdb.get(series).unwrap_or_else(|| panic!("series {series}"));
+            assert_eq!(ts.count(), 60);
+        }
+        let summary = out.summary_json();
+        assert!(summary.contains("\"incidents\":[]"));
+        assert!(out.prometheus().contains("skypeer_soak_incidents_total{variant=\"FTPM\"} 0"));
+        // History round-trips through the parser and is deterministic.
+        let history = out.history_text().expect("history present");
+        let samples = skypeer_netsim::obs::parse_history(&history).expect("parses");
+        assert_eq!(samples.len(), 60 * 5 * 2, "5 series per query per variant");
+        assert!(samples.iter().any(|s| s.series == "FTPM/latency_ns"));
+        let again = run_soak(&engine, &spec, |_| {});
+        assert_eq!(history, again.history_text().unwrap());
+        assert_eq!(summary, again.summary_json());
+        assert_eq!(
+            tel.tsdb.to_json(),
+            again.variants[0].telemetry.as_ref().unwrap().tsdb.to_json()
+        );
+    }
+
+    #[test]
+    fn perturbed_soak_fires_incident_at_or_after_injection() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.variants = vec![Variant::Ftpm];
+        spec.workload.queries = 60;
+        spec.telemetry = Some(TelemetrySpec::default());
+        // Inflate every backbone link out of SP0 by 5 simulated seconds
+        // from query 40 onward.
+        let slow = LinkModel { latency_ns: 5_000_000_000, ..LinkModel::paper_4kbps() };
+        spec.perturb = Some(SoakPerturb {
+            after: 40,
+            overrides: (1..engine.config().n_superpeers).map(|to| (0, to, slow)).collect(),
+        });
+        let out = run_soak(&engine, &spec, |_| {});
+        let incidents = out.variants[0].telemetry.as_ref().unwrap().incidents();
+        assert!(!incidents.is_empty(), "latency inflation must flag");
+        let named: Vec<&str> = incidents.iter().map(|i| i.series.as_str()).collect();
+        assert!(
+            named.iter().any(|s| s.contains("latency") || s.contains("queue")),
+            "incident names a latency/queue series: {named:?}"
+        );
+        for inc in incidents {
+            assert!(inc.onset_tick >= 40, "onset {} precedes the injection", inc.onset_tick);
+        }
+        let summary = out.summary_json();
+        assert!(summary.contains("\"incidents\":[{\"series\":"));
+        assert_eq!(summary, run_soak(&engine, &spec, |_| {}).summary_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn perturb_and_cache_are_rejected() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.cache_bytes = Some(1 << 20);
+        spec.perturb = Some(SoakPerturb { after: 0, overrides: vec![] });
+        run_soak(&engine, &spec, |_| {});
     }
 
     #[test]

@@ -677,7 +677,7 @@ pub fn estimate(args: &Args) -> Result<(), ArgError> {
 /// stderr line shows progress and sliding-window throughput; the final
 /// stdout report (or `--json` summary) is byte-deterministic.
 pub fn soak(args: &Args) -> Result<(), ArgError> {
-    use skypeer_bench::soak::{run_soak, SoakSpec};
+    use skypeer_bench::soak::{run_soak, SoakPerturb, SoakSpec, TelemetrySpec};
     use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec};
     use skypeer_netsim::obs::SloSpec;
     use std::collections::VecDeque;
@@ -763,6 +763,13 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     let gate = args.flag("gate")?;
     let cache = args.flag("cache")?;
     let cache_bytes_arg: u64 = args.get_or("cache-bytes", 0u64)?;
+    let quiet = args.flag("quiet")?;
+    let telemetry_flag = args.flag("telemetry")?;
+    let history_out = args.str_or("history-out", "");
+    let fail_on_incident = args.flag("fail-on-incident")?;
+    let perturb_spec = args.str_or("perturb-link", "");
+    let perturb_after: usize = args.get_or("perturb-after", 0)?;
+    let hdr_precision: u32 = args.get_or("precision", 7u32)?;
     args.reject_unknown()?;
     let cache_bytes: Option<u64> = if cache_bytes_arg > 0 {
         Some(cache_bytes_arg)
@@ -771,6 +778,25 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     } else {
         None
     };
+    let perturb = if perturb_spec.is_empty() {
+        if args.present("perturb-after") {
+            return Err(ArgError("--perturb-after requires --perturb-link".into()));
+        }
+        None
+    } else {
+        if cache_bytes.is_some() {
+            return Err(ArgError("--perturb-link and --cache are incompatible".into()));
+        }
+        let (from, to, link) = parse_perturb_link(&perturb_spec, cfg.link)?;
+        if from >= cfg.n_superpeers || to >= cfg.n_superpeers {
+            return Err(ArgError("--perturb-link node out of range".into()));
+        }
+        Some(SoakPerturb { after: perturb_after, overrides: vec![(from, to, link)] })
+    };
+    // Any flag that needs telemetry turns it on.
+    let telemetry =
+        (telemetry_flag || !history_out.is_empty() || fail_on_incident || perturb.is_some())
+            .then(TelemetrySpec::default);
 
     let spec = SoakSpec {
         variants,
@@ -784,8 +810,10 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         },
         slo,
         tail_k,
-        hdr_precision: args.get_or("precision", 7u32)?,
+        hdr_precision,
         cache_bytes,
+        telemetry,
+        perturb,
     };
 
     let mut jsonl = match jsonl_path.as_str() {
@@ -795,9 +823,10 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
                 .map_err(|e| ArgError(format!("cannot create {path}: {e}")))?,
         )),
     };
-    // Live dashboard only when a human is watching; deterministic output
-    // stays on stdout either way.
-    let dashboard = std::io::stderr().is_terminal();
+    // Live dashboard only when a human is watching (and not silenced
+    // with --quiet for CI logs); deterministic output stays on stdout
+    // either way.
+    let dashboard = !quiet && std::io::stderr().is_terminal();
     let total_rows = queries * spec.variants.len();
     let mut done = 0usize;
     let mut cache_lookups = 0u64;
@@ -852,6 +881,24 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         if !spec.slo.is_empty() {
             print!("{}", outcome.render_slo());
         }
+        if spec.telemetry.is_some() {
+            println!("incidents: {}", outcome.incident_count());
+            for v in &outcome.variants {
+                if let Some(tel) = &v.telemetry {
+                    for inc in tel.incidents() {
+                        println!("  {} {}", v.variant.mnemonic(), inc.render());
+                    }
+                }
+            }
+        }
+    }
+    if !history_out.is_empty() {
+        let history = outcome.history_text().expect("telemetry implied by --history-out");
+        std::fs::write(&history_out, history)
+            .map_err(|e| ArgError(format!("cannot write {history_out}: {e}")))?;
+        if !json {
+            println!("wrote telemetry history to {history_out}");
+        }
     }
     if !out_path.is_empty() {
         std::fs::write(&out_path, outcome.summary_json())
@@ -875,6 +922,160 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
             .map(|v| v.variant.mnemonic())
             .collect();
         return Err(ArgError(format!("SLO gate failed for {}", failing.join(", "))));
+    }
+    if fail_on_incident && outcome.incident_count() > 0 {
+        return Err(ArgError(format!(
+            "incident gate failed: {} incident(s) flagged",
+            outcome.incident_count()
+        )));
+    }
+    Ok(())
+}
+
+/// `skypeer-cli top` — the live telemetry dashboard. Runs a seeded query
+/// stream with per-query series retained in an embedded time-series
+/// store ([`Tsdb`](skypeer_netsim::obs::Tsdb)) and watched by the
+/// anomaly detector; while stderr is a terminal the frame redraws in
+/// place, and the final frame always lands on stdout. `--replay FILE`
+/// skips execution and renders a recorded history file (from `soak
+/// --history-out` or the live example) byte-identically — the form the
+/// goldens pin. `--json` emits the store and incidents as deterministic
+/// JSON instead of a frame.
+pub fn top(args: &Args) -> Result<(), ArgError> {
+    use skypeer_data::{KMix, MixedWorkloadSpec};
+    use skypeer_netsim::obs::tsdb::{history_line, DEFAULT_SERIES_CAP};
+    use skypeer_netsim::obs::{
+        self, dash, AnomalyDetector, MemTracer, MetricsRegistry, Tracer, Tsdb,
+    };
+    use std::io::IsTerminal;
+    use std::sync::Arc;
+
+    let replay = args.str_or("replay", "");
+    let json = args.flag("json")?;
+    let series_cap: usize = args.get_or("series-cap", DEFAULT_SERIES_CAP)?;
+
+    let render = |db: &Tsdb, det: &AnomalyDetector, title: &str| {
+        if json {
+            skypeer_netsim::obs::json::Obj::new()
+                .raw("tsdb", &db.to_json())
+                .raw("incidents", &det.incidents_json())
+                .build()
+                + "\n"
+        } else {
+            dash::render_frame(db, det.incidents(), title)
+        }
+    };
+
+    if !replay.is_empty() {
+        args.reject_unknown()?;
+        let text = std::fs::read_to_string(&replay)
+            .map_err(|e| ArgError(format!("cannot read {replay}: {e}")))?;
+        let samples = obs::parse_history(&text).map_err(|e| ArgError(format!("{replay}: {e}")))?;
+        let mut db = Tsdb::new(series_cap);
+        let mut det = AnomalyDetector::default();
+        for s in &samples {
+            db.record(&s.series, s.tick, s.value);
+            det.observe(&s.series, s.tick, s.value);
+        }
+        // Title carries only the file name, never the directory, so a
+        // replay of the same bytes renders identically anywhere.
+        let name = std::path::Path::new(&replay)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| replay.clone());
+        print!("{}", render(&db, &det, &format!("replay {name}")));
+        return Ok(());
+    }
+
+    let engine = engine_from(args)?;
+    let cfg = *engine.config();
+    let variant = variant_from(args)?;
+    let queries: usize = args.get_or("queries", 60)?;
+    let wl_seed: u64 = args.get_or("workload-seed", 1)?;
+    let k: usize = args.get_or("k", 3)?;
+    let interval: usize = args.get_or("interval", 10)?;
+    let history_out = args.str_or("history-out", "");
+    let perturb_spec = args.str_or("perturb-link", "");
+    let perturb_after: usize = args.get_or("perturb-after", 0)?;
+    args.reject_unknown()?;
+    if k == 0 || k > cfg.dataset.dim {
+        return Err(ArgError(format!("--k {k} out of range for d={}", cfg.dataset.dim)));
+    }
+    let overrides = if perturb_spec.is_empty() {
+        if args.present("perturb-after") {
+            return Err(ArgError("--perturb-after requires --perturb-link".into()));
+        }
+        Vec::new()
+    } else {
+        let (from, to, link) = parse_perturb_link(&perturb_spec, cfg.link)?;
+        if from >= cfg.n_superpeers || to >= cfg.n_superpeers {
+            return Err(ArgError("--perturb-link node out of range".into()));
+        }
+        vec![(from, to, link)]
+    };
+
+    let workload = MixedWorkloadSpec {
+        dim: cfg.dataset.dim,
+        queries,
+        n_superpeers: cfg.n_superpeers,
+        seed: wl_seed,
+        k_mix: KMix::Fixed(k),
+        initiator_mix: skypeer_data::InitiatorMix::Uniform,
+    };
+    let live = std::io::stderr().is_terminal();
+    let mut db = Tsdb::new(series_cap);
+    let mut det = AnomalyDetector::default();
+    let mut history: Vec<String> = Vec::new();
+    let title = format!("{} x{queries} (seed {wl_seed})", variant.mnemonic());
+    for (i, q) in workload.generate().into_iter().enumerate() {
+        let tracer = Arc::new(MemTracer::new());
+        let tr = Some(Arc::clone(&tracer) as Arc<dyn Tracer>);
+        let out = if !overrides.is_empty() && i >= perturb_after {
+            engine.run_query_observed_perturbed(q, variant, &overrides, tr)
+        } else {
+            engine.run_query_observed(q, variant, tr)
+        };
+        let m = MetricsRegistry::from_events(&tracer.take());
+        let tick = i as u64;
+        let mut samples = vec![
+            ("latency_ns".to_string(), out.total_time_ns as f64),
+            ("volume_bytes".to_string(), out.volume_bytes as f64),
+            ("messages".to_string(), out.messages as f64),
+            (
+                "dominance_tests".to_string(),
+                m.counters.get("dominance_tests").copied().unwrap_or(0) as f64,
+            ),
+            ("queue_depth".to_string(), m.max_queue_depth() as f64),
+        ];
+        for (node, nm) in m.per_node.iter().enumerate() {
+            if nm.spans == 0 && nm.msgs_in == 0 && nm.msgs_out == 0 {
+                continue;
+            }
+            samples.push((format!("SP{node}/bytes_out"), nm.bytes_out as f64));
+            samples.push((format!("SP{node}/msgs_out"), nm.msgs_out as f64));
+        }
+        for (series, value) in &samples {
+            db.record(series, tick, *value);
+            det.observe(series, tick, *value);
+            history.push(history_line(tick, series, *value));
+        }
+        if live && interval > 0 && (i + 1) % interval == 0 {
+            // In-place redraw: clear screen + cursor home, then a frame.
+            eprint!("\x1b[2J\x1b[H{}", dash::render_frame(&db, det.incidents(), &title));
+        }
+    }
+    print!("{}", render(&db, &det, &title));
+    if !history_out.is_empty() {
+        let mut text = String::new();
+        for line in &history {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(&history_out, text)
+            .map_err(|e| ArgError(format!("cannot write {history_out}: {e}")))?;
+        if !json {
+            println!("wrote telemetry history to {history_out}");
+        }
     }
     Ok(())
 }

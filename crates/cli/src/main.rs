@@ -14,7 +14,11 @@
 //!                      [--folded F] [--json] | --overhead [--repeat N] [--max-ratio F]
 //! skypeer-cli soak     [--queries Q] [--variants LIST|all] [--k K | --k-min A --k-max B]
 //!                      [--initiator-theta T] [--top-k K] [--slo-pNN-ms F] [--gate]
-//!                      [--cache] [--cache-bytes N] [--json] [--out F] [--jsonl F] [--prom F] [...]
+//!                      [--cache] [--cache-bytes N] [--json] [--out F] [--jsonl F] [--prom F]
+//!                      [--quiet] [--telemetry] [--history-out F] [--fail-on-incident]
+//!                      [--perturb-link SPEC] [--perturb-after N] [...]
+//! skypeer-cli top      [--replay F | --queries Q --variant V [--perturb-link SPEC]]
+//!                      [--json] [--history-out F] [--series-cap N] [...]
 //! ```
 //!
 //! Shared network flags for every command that builds a network:
@@ -31,7 +35,7 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|explain|diff|profile|soak|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|diff|profile|soak|top|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 /// How many positional (non-`--flag`) arguments a command takes. One
@@ -62,6 +66,7 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec { name: "profile", positionals: Positionals::None, run: commands::profile },
     CommandSpec { name: "soak", positionals: Positionals::None, run: commands::soak },
+    CommandSpec { name: "top", positionals: Positionals::None, run: commands::top },
     CommandSpec { name: "workload", positionals: Positionals::None, run: commands::workload },
     CommandSpec { name: "topology", positionals: Positionals::None, run: commands::topology },
     CommandSpec { name: "faults", positionals: Positionals::None, run: commands::faults },

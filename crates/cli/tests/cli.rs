@@ -703,6 +703,177 @@ fn profile_logical_exports_are_byte_deterministic_and_match_goldens() {
     }
 }
 
+/// A synthetic telemetry history with a latency spike at ticks 30..=34:
+/// enough quiet baseline for the detector to warm up, then an excursion
+/// two orders of magnitude above it, then recovery — so the replay golden
+/// pins an opened *and* resolved incident.
+fn synth_history() -> String {
+    let mut s = String::new();
+    for t in 0u64..40 {
+        let lat: f64 = if (30..=34).contains(&t) { 9000.0 } else { 100.0 + (t % 4) as f64 };
+        s.push_str(&format!("{{\"tick\":{t},\"series\":\"latency_ns\",\"value\":{lat:?}}}\n"));
+        s.push_str(&format!("{{\"tick\":{t},\"series\":\"queue_depth\",\"value\":3.0}}\n"));
+        let bytes = (400 + t * 2) as f64;
+        s.push_str(&format!("{{\"tick\":{t},\"series\":\"SP0/bytes_out\",\"value\":{bytes:?}}}\n"));
+        s.push_str(&format!("{{\"tick\":{t},\"series\":\"SP1/bytes_out\",\"value\":380.0}}\n"));
+    }
+    s
+}
+
+/// The replay acceptance test: `top --replay` over a recorded history is
+/// byte-deterministic in both frame and `--json` form, detects the
+/// embedded spike, and matches the committed goldens. The history file
+/// keeps a fixed *name* (the title embeds the file name, never the
+/// directory) so the render is location-independent.
+#[test]
+fn top_replay_render_and_tsdb_json_match_goldens() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-top-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("replay.history.jsonl");
+    std::fs::write(&file, synth_history()).expect("write history");
+
+    let frame_args = ["top", "--replay", file.to_str().unwrap()];
+    let (a, stderr, ok_a) = run(&frame_args);
+    let (b, _, ok_b) = run(&frame_args);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "replay frame must be byte-deterministic");
+    assert!(a.starts_with("skypeer top — replay replay.history.jsonl"), "{a}");
+    assert!(a.contains("!! INCIDENT latency_ns: onset @30"), "{a}");
+    assert!(a.contains("resolved @35"), "{a}");
+    assert!(a.contains("SP0"), "node table missing:\n{a}");
+    assert!(!a.contains('\x1b'), "stdout frame must carry no ANSI escapes");
+
+    let json_args = ["top", "--replay", file.to_str().unwrap(), "--json"];
+    let (j, stderr, ok_j) = run(&json_args);
+    let (j2, _, ok_j2) = run(&json_args);
+    assert!(ok_j && ok_j2, "stderr: {stderr}");
+    assert_eq!(j, j2, "replay --json must be byte-deterministic");
+    assert!(j.starts_with("{\"tsdb\":{\"series\":["), "{}", &j[..j.len().min(80)]);
+    assert!(j.contains("\"incidents\":[{\"series\":\"latency_ns\",\"onset_tick\":30"), "{j}");
+
+    let goldens = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    for (name, got) in [("top_replay.txt", &a), ("top_replay_tsdb.json", &j)] {
+        let golden = goldens.join(name);
+        if !golden.exists() {
+            std::fs::create_dir_all(&goldens).expect("goldens dir");
+            std::fs::write(&golden, got).expect("bootstrap golden");
+        }
+        let want = std::fs::read_to_string(&golden).expect("golden readable");
+        assert_eq!(
+            got,
+            &want,
+            "top --replay drifted from {}; if intentional, delete the golden and rerun",
+            golden.display()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shared network/workload flags for the incident-gate soak runs.
+const INCIDENT_SOAK_FLAGS: [&str; 16] = [
+    "soak",
+    "--peers",
+    "60",
+    "--superpeers",
+    "6",
+    "--dim",
+    "5",
+    "--points",
+    "40",
+    "--seed",
+    "11",
+    "--queries",
+    "60",
+    "--variants",
+    "ftpm",
+    "--fail-on-incident",
+];
+
+/// The anomaly acceptance test, both ways: the same-seed baseline soak
+/// must report zero incidents and pass the `--fail-on-incident` gate,
+/// while an identical run with one link's latency inflated after query
+/// 40 must flag an incident on a latency/queue series with onset at or
+/// after the injection — and fail the gate. The baseline's history file
+/// round-trips through `top --replay`.
+#[test]
+fn soak_incident_gate_is_quiet_on_baseline_and_fires_on_perturbation() {
+    let dir = std::env::temp_dir().join(format!("skypeer-cli-incid-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let history = dir.join("baseline.history.jsonl");
+
+    let mut base: Vec<&str> = INCIDENT_SOAK_FLAGS.to_vec();
+    base.extend_from_slice(&["--history-out", history.to_str().unwrap()]);
+    let (stdout, stderr, ok) = run(&base);
+    assert!(ok, "baseline must pass the incident gate: {stderr}");
+    assert!(stdout.contains("incidents: 0"), "{stdout}");
+    let text = std::fs::read_to_string(&history).expect("history written");
+    assert!(text.lines().count() >= 60 * 5, "one line per series per query:\n{stdout}");
+    let (frame, stderr, ok) = run(&["top", "--replay", history.to_str().unwrap()]);
+    assert!(ok, "replaying the soak history: {stderr}");
+    assert!(frame.contains("status: OK — no incidents"), "{frame}");
+    assert!(frame.contains("FTPM/latency_ns"), "{frame}");
+
+    let mut pert: Vec<&str> = INCIDENT_SOAK_FLAGS.to_vec();
+    pert.extend_from_slice(&["--perturb-link", "2:3:5000000000", "--perturb-after", "40"]);
+    let (stdout, stderr, ok) = run(&pert);
+    assert!(!ok, "perturbed run must fail the incident gate");
+    assert!(stderr.contains("incident gate failed"), "{stderr}");
+    let incident = stdout
+        .lines()
+        .find(|l| l.contains("latency_ns:") || l.contains("queue_depth:"))
+        .unwrap_or_else(|| panic!("no latency/queue incident in:\n{stdout}"));
+    let onset: u64 = incident
+        .split("onset @")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable incident line: {incident}"));
+    assert!(onset >= 40, "incident onset {onset} precedes the injection at query 40");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--quiet` only silences the live stderr dashboard: deterministic
+/// stdout stays byte-identical with and without the flag, and telemetry
+/// flag combinations that make no sense fail fast.
+#[test]
+fn soak_quiet_keeps_stdout_identical_and_bad_telemetry_flags_fail() {
+    let args = [
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--seed",
+        "11",
+        "--queries",
+        "10",
+        "--variants",
+        "ftpm",
+        "--json",
+    ];
+    let (loud, stderr, ok_a) = run(&args);
+    let (quiet, _, ok_b) = run(&[&args[..], &["--quiet"]].concat());
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(loud, quiet, "--quiet must not change stdout");
+
+    let (_, stderr, ok) = run(&[&args[..], &["--perturb-after", "5"]].concat());
+    assert!(!ok);
+    assert!(stderr.contains("--perturb-after requires --perturb-link"), "{stderr}");
+
+    let (_, stderr, ok) =
+        run(&[&args[..], &["--cache", "--perturb-link", "2:3:5000000000"]].concat());
+    assert!(!ok);
+    assert!(stderr.contains("incompatible"), "{stderr}");
+
+    let (_, stderr, ok) = run(&["top", "--replay", "/nonexistent-history"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
 /// `--overhead` reports the instrumented/baseline ratio; advisory by
 /// default (exit 0 even though some overhead always exists).
 #[test]

@@ -1,0 +1,290 @@
+//! EWMA + robust z-score anomaly detection over telemetry series.
+//!
+//! The detector keeps, per series, an exponentially weighted moving
+//! average of the value and of its absolute deviation, and flags a
+//! sample whose deviation exceeds `z_on` times the (floored) deviation
+//! estimate. While an incident is active the baseline is **frozen** —
+//! otherwise a sustained excursion would drag the mean toward itself and
+//! self-resolve — and the incident closes with hysteresis once the
+//! z-score falls below `z_off`.
+//!
+//! Incidents are plain data ([`Incident`]: offending series, onset tick,
+//! peak deviation) with a byte-deterministic [`Incident::to_json`], so
+//! the same deterministic feed (soak rows, replayed history) always
+//! yields the same incident bytes — CI can golden-pin them, and a
+//! same-seed baseline run reporting *any* incident is itself a gate
+//! failure (false-positive guard).
+
+use crate::json::Obj;
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the [`AnomalyDetector`].
+///
+/// Defaults are tuned against the soak workload: wide enough that a
+/// same-seed unperturbed run is quiet, tight enough that an injected
+/// link-latency inflation fires within a few samples.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor for mean and deviation (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// Samples per series before detection arms; the baseline learns
+    /// unconditionally until then.
+    pub warmup: usize,
+    /// Open an incident when `|v - mean|` exceeds `z_on` deviations.
+    pub z_on: f64,
+    /// Close an active incident when the z-score drops below `z_off`
+    /// (hysteresis; must be ≤ `z_on`).
+    pub z_off: f64,
+    /// Deviation floor as a fraction of `|mean|`, so near-constant
+    /// series (deviation ≈ 0) don't flag harmless jitter.
+    pub min_dev_frac: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { alpha: 0.25, warmup: 16, z_on: 6.0, z_off: 3.0, min_dev_frac: 0.25 }
+    }
+}
+
+/// One detected excursion on one series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Incident {
+    /// Name of the offending series.
+    pub series: String,
+    /// Tick of the first sample beyond `z_on`.
+    pub onset_tick: u64,
+    /// Tick of the largest deviation seen so far.
+    pub peak_tick: u64,
+    /// Value at the peak.
+    pub peak_value: f64,
+    /// Z-score at the peak (deviations from the frozen baseline).
+    pub peak_z: f64,
+    /// The frozen baseline mean the excursion is measured against.
+    pub baseline_mean: f64,
+    /// Tick the incident resolved at (z back below `z_off`), if it did.
+    pub end_tick: Option<u64>,
+}
+
+impl Incident {
+    /// Byte-deterministic JSON object. `end_tick` is present only for
+    /// resolved incidents, so open incidents are visibly open.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new()
+            .str("series", &self.series)
+            .u64("onset_tick", self.onset_tick)
+            .u64("peak_tick", self.peak_tick)
+            .f64("peak_value", self.peak_value)
+            .f64("peak_z", self.peak_z)
+            .f64("baseline_mean", self.baseline_mean);
+        if let Some(end) = self.end_tick {
+            o = o.u64("end_tick", end);
+        }
+        o.build()
+    }
+
+    /// One-line human rendering for banners and advisory reports.
+    pub fn render(&self) -> String {
+        let status = match self.end_tick {
+            Some(end) => format!("resolved @{end}"),
+            None => "ACTIVE".to_string(),
+        };
+        format!(
+            "{}: onset @{} peak {:.3} (z={:.1}, baseline {:.3}) [{}]",
+            self.series, self.onset_tick, self.peak_value, self.peak_z, self.baseline_mean, status
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SeriesState {
+    mean: f64,
+    dev: f64,
+    n: usize,
+    /// Index into the detector's incident list while an excursion is
+    /// active on this series.
+    active: Option<usize>,
+}
+
+/// Streaming multi-series anomaly detector. Feed samples in tick order
+/// via [`AnomalyDetector::observe`]; read incidents at any point.
+#[derive(Clone, Debug)]
+pub struct AnomalyDetector {
+    cfg: DetectorConfig,
+    states: BTreeMap<String, SeriesState>,
+    incidents: Vec<Incident>,
+}
+
+impl Default for AnomalyDetector {
+    fn default() -> Self {
+        AnomalyDetector::new(DetectorConfig::default())
+    }
+}
+
+impl AnomalyDetector {
+    /// A detector with explicit tuning.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        AnomalyDetector { cfg, states: BTreeMap::new(), incidents: Vec::new() }
+    }
+
+    /// Feed one sample. Samples for a given series must arrive in
+    /// non-decreasing tick order (the stores feeding this are logical
+    /// clocks, so they do).
+    pub fn observe(&mut self, series: &str, tick: u64, value: f64) {
+        let cfg = self.cfg;
+        let st = self.states.entry(series.to_string()).or_insert_with(|| SeriesState {
+            mean: value,
+            dev: 0.0,
+            n: 0,
+            active: None,
+        });
+        if st.n < cfg.warmup {
+            Self::learn(st, cfg.alpha, value);
+            st.n += 1;
+            return;
+        }
+        let floor = st.dev.max(cfg.min_dev_frac * st.mean.abs()).max(1e-9);
+        let z = (value - st.mean).abs() / floor;
+        match st.active {
+            Some(idx) => {
+                if z >= cfg.z_off {
+                    // Still excursing: track the peak, keep the baseline
+                    // frozen.
+                    let inc = &mut self.incidents[idx];
+                    if z > inc.peak_z {
+                        inc.peak_z = z;
+                        inc.peak_tick = tick;
+                        inc.peak_value = value;
+                    }
+                } else {
+                    self.incidents[idx].end_tick = Some(tick);
+                    st.active = None;
+                    Self::learn(st, cfg.alpha, value);
+                }
+            }
+            None => {
+                if z >= cfg.z_on {
+                    st.active = Some(self.incidents.len());
+                    self.incidents.push(Incident {
+                        series: series.to_string(),
+                        onset_tick: tick,
+                        peak_tick: tick,
+                        peak_value: value,
+                        peak_z: z,
+                        baseline_mean: st.mean,
+                        end_tick: None,
+                    });
+                } else {
+                    Self::learn(st, cfg.alpha, value);
+                }
+            }
+        }
+    }
+
+    fn learn(st: &mut SeriesState, alpha: f64, value: f64) {
+        let err = (value - st.mean).abs();
+        st.mean += alpha * (value - st.mean);
+        st.dev += alpha * (err - st.dev);
+    }
+
+    /// All incidents so far, in onset order (open ones last `end_tick`-less).
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Byte-deterministic JSON array of all incidents.
+    pub fn incidents_json(&self) -> String {
+        crate::json::arr(self.incidents.iter().map(|i| i.to_json()))
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn steady(det: &mut AnomalyDetector, series: &str, n: usize, base: f64) {
+        // Small deterministic jitter so the deviation estimate is
+        // non-zero but tight.
+        for i in 0..n {
+            let jitter = ((i % 3) as f64 - 1.0) * 0.01 * base;
+            det.observe(series, i as u64, base + jitter);
+        }
+    }
+
+    #[test]
+    fn quiet_series_yields_no_incidents() {
+        let mut det = AnomalyDetector::default();
+        steady(&mut det, "latency_ns", 200, 1e6);
+        assert!(det.incidents().is_empty(), "{:?}", det.incidents());
+    }
+
+    #[test]
+    fn step_change_opens_incident_with_correct_onset_and_resolution() {
+        let mut det = AnomalyDetector::default();
+        steady(&mut det, "latency_ns", 50, 1e6);
+        // 10x inflation starting at tick 50, back to normal at 60.
+        for i in 50..60u64 {
+            det.observe("latency_ns", i, 1e7);
+        }
+        for i in 60..80u64 {
+            det.observe("latency_ns", i, 1e6);
+        }
+        assert_eq!(det.incidents().len(), 1, "{:?}", det.incidents());
+        let inc = &det.incidents()[0];
+        assert_eq!(inc.series, "latency_ns");
+        assert_eq!(inc.onset_tick, 50);
+        assert_eq!(inc.peak_value, 1e7);
+        assert!(inc.peak_z > 6.0);
+        assert_eq!(inc.end_tick, Some(60), "resolves when the excursion ends");
+        assert!(inc.baseline_mean < 2e6, "baseline frozen at pre-incident level");
+    }
+
+    #[test]
+    fn warmup_swallow_startup_transients() {
+        let mut det = AnomalyDetector::default();
+        // Wildly varying first samples must not flag while warming up.
+        for (i, v) in [1.0, 100.0, 3.0, 900.0, 2.0, 50.0].iter().enumerate() {
+            det.observe("cold", i as u64, *v);
+        }
+        assert!(det.incidents().is_empty());
+    }
+
+    #[test]
+    fn near_constant_series_tolerates_small_jitter() {
+        let mut det = AnomalyDetector::default();
+        for i in 0..100u64 {
+            det.observe("queue_depth", i, 4.0);
+        }
+        // dev is exactly 0; the min_dev_frac floor keeps a +10% blip quiet.
+        det.observe("queue_depth", 100, 4.4);
+        assert!(det.incidents().is_empty());
+        // A 10x excursion still fires.
+        det.observe("queue_depth", 101, 40.0);
+        assert_eq!(det.incidents().len(), 1);
+    }
+
+    #[test]
+    fn incident_json_is_deterministic_and_marks_open_incidents() {
+        let run = || {
+            let mut det = AnomalyDetector::default();
+            steady(&mut det, "bytes", 40, 500.0);
+            det.observe("bytes", 40, 50_000.0);
+            det.incidents_json()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.contains("\"onset_tick\":40"));
+        assert!(!a.contains("end_tick"), "open incident has no end_tick: {a}");
+    }
+
+    #[test]
+    fn independent_series_do_not_interfere() {
+        let mut det = AnomalyDetector::default();
+        steady(&mut det, "a", 50, 10.0);
+        steady(&mut det, "b", 50, 1000.0);
+        det.observe("a", 50, 500.0);
+        assert_eq!(det.incidents().len(), 1);
+        assert_eq!(det.incidents()[0].series, "a");
+        det.observe("b", 50, 1000.0);
+        assert_eq!(det.incidents().len(), 1);
+    }
+}

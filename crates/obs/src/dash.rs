@@ -1,0 +1,265 @@
+//! Plain-text terminal dashboard rendering over a [`Tsdb`] and its
+//! incidents.
+//!
+//! [`render_frame`] produces one complete frame: a header, an incident
+//! banner, a per-series table with Unicode sparklines, and — when the
+//! store carries `SP<i>/<metric>` series — a per-node table. The frame
+//! is plain text with no ANSI escapes and no wall-clock content, so a
+//! frame rendered from a replayed history file is byte-identical across
+//! runs and machines (the `top --replay` golden depends on this).
+//! Interactive redraw (clear screen, cursor home) is the *caller's*
+//! concern: the live `top` loop prefixes frames with escapes only when
+//! stderr is a terminal.
+
+use crate::anomaly::Incident;
+use crate::tsdb::{TimeSeries, Tsdb};
+use std::fmt::Write as _;
+
+/// Sparkline width (buckets shown) in rendered frames.
+pub const SPARK_WIDTH: usize = 32;
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders the newest `width` buckets of a series as a Unicode
+/// block-character sparkline. Each cell plots the bucket **max** scaled
+/// against the whole series' min/max, so downsampled spikes stay
+/// visible. A flat series renders as the lowest block.
+pub fn sparkline(ts: &TimeSeries, width: usize) -> String {
+    let buckets = ts.buckets();
+    let Some((lo, hi)) = ts.range() else {
+        return String::new();
+    };
+    let start = buckets.len().saturating_sub(width);
+    let mut out = String::new();
+    for b in &buckets[start..] {
+        let idx = if hi > lo {
+            // Scale into 0..=7; the top of the range maps to the full block.
+            (((b.max - lo) / (hi - lo)) * 7.0).round() as usize
+        } else {
+            0
+        };
+        out.push(SPARK_LEVELS[idx.min(7)]);
+    }
+    out
+}
+
+/// Compact deterministic value formatting for table cells: integers
+/// render exactly, large magnitudes switch to scientific notation, and
+/// everything else gets three decimals.
+pub fn fmt_val(v: f64) -> String {
+    if !v.is_finite() {
+        return if v.is_nan() {
+            "nan".to_string()
+        } else if v > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        };
+    }
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 {
+        format!("{v}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders one complete dashboard frame. See the module docs for the
+/// layout and determinism contract.
+pub fn render_frame(db: &Tsdb, incidents: &[Incident], title: &str) -> String {
+    let mut out = String::new();
+    let samples: u64 = db.series().map(|(_, ts)| ts.count()).sum();
+    let active = incidents.iter().filter(|i| i.end_tick.is_none()).count();
+    let _ = writeln!(
+        out,
+        "skypeer top — {title} | series {} | samples {samples} | incidents {} ({active} active)",
+        db.len(),
+        incidents.len(),
+    );
+
+    if incidents.is_empty() {
+        let _ = writeln!(out, "status: OK — no incidents");
+    } else {
+        for inc in incidents {
+            let _ = writeln!(out, "!! INCIDENT {}", inc.render());
+        }
+    }
+    let _ = writeln!(out);
+
+    if db.is_empty() {
+        let _ = writeln!(out, "(no series)");
+        return out;
+    }
+
+    let name_w = db.series().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+    let _ =
+        writeln!(out, "{:<name_w$}  {:>12}  {:>12}  {:>12}  trend", "series", "last", "min", "max");
+    for (name, ts) in db.series() {
+        let (lo, hi) = ts.range().unwrap_or((0.0, 0.0));
+        let last = ts.last().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{name:<name_w$}  {:>12}  {:>12}  {:>12}  {}",
+            fmt_val(last),
+            fmt_val(lo),
+            fmt_val(hi),
+            sparkline(ts, SPARK_WIDTH),
+        );
+    }
+
+    let node_table = per_node_table(db);
+    if !node_table.is_empty() {
+        let _ = writeln!(out);
+        out.push_str(&node_table);
+    }
+    out
+}
+
+/// Builds the per-node table from series named `SP<i>/<metric>`.
+/// Columns are the sorted metric names, rows the numerically sorted node
+/// ids, cells the latest value. Empty string when no such series exist.
+fn per_node_table(db: &Tsdb) -> String {
+    let mut metrics: Vec<String> = Vec::new();
+    let mut rows: Vec<(u64, Vec<Option<f64>>)> = Vec::new();
+    // First pass: collect metric columns (sorted because the store is).
+    for (name, _) in db.series() {
+        if let Some((_node, metric)) = split_node_series(name) {
+            if !metrics.iter().any(|m| m == metric) {
+                metrics.push(metric.to_string());
+            }
+        }
+    }
+    if metrics.is_empty() {
+        return String::new();
+    }
+    for (name, ts) in db.series() {
+        if let Some((node, metric)) = split_node_series(name) {
+            let row = match rows.iter_mut().find(|(n, _)| *n == node) {
+                Some(r) => r,
+                None => {
+                    rows.push((node, vec![None; metrics.len()]));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            let col = metrics.iter().position(|m| m == metric).expect("collected");
+            row.1[col] = ts.last();
+        }
+    }
+    rows.sort_by_key(|(n, _)| *n);
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>6}", "node");
+    for m in &metrics {
+        let _ = write!(out, "  {:>14}", m);
+    }
+    out.push('\n');
+    for (node, cells) in rows {
+        let _ = write!(out, "{:>6}", format!("SP{node}"));
+        for cell in cells {
+            match cell {
+                Some(v) => {
+                    let _ = write!(out, "  {:>14}", fmt_val(v));
+                }
+                None => {
+                    let _ = write!(out, "  {:>14}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits a `SP<digits>/<metric>` series name, if it has that shape.
+fn split_node_series(name: &str) -> Option<(u64, &str)> {
+    let rest = name.strip_prefix("SP")?;
+    let (digits, metric) = rest.split_once('/')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((digits.parse().ok()?, metric))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn db() -> Tsdb {
+        let mut db = Tsdb::new(64);
+        for i in 0..40u64 {
+            db.record("latency_ns", i, 1000.0 + (i % 5) as f64 * 10.0);
+            db.record("SP0/bytes_out", i, 100.0 * i as f64);
+            db.record("SP1/bytes_out", i, 50.0 * i as f64);
+            db.record("SP0/queue", i, 2.0);
+        }
+        db.record("latency_ns", 40, 9000.0);
+        db
+    }
+
+    #[test]
+    fn sparkline_shows_spike_at_the_end() {
+        let db = db();
+        let s = sparkline(db.get("latency_ns").unwrap(), SPARK_WIDTH);
+        assert!(s.chars().count() <= SPARK_WIDTH);
+        assert!(s.ends_with('█'), "{s}");
+        assert!(s.starts_with('▁'), "{s}");
+    }
+
+    #[test]
+    fn flat_series_renders_lowest_block() {
+        let mut db = Tsdb::new(8);
+        for i in 0..5u64 {
+            db.record("flat", i, 3.0);
+        }
+        let s = sparkline(db.get("flat").unwrap(), 8);
+        assert!(s.chars().all(|c| c == '▁'), "{s}");
+    }
+
+    #[test]
+    fn frame_is_deterministic_and_structured() {
+        let incidents = vec![Incident {
+            series: "latency_ns".into(),
+            onset_tick: 40,
+            peak_tick: 40,
+            peak_value: 9000.0,
+            peak_z: 12.0,
+            baseline_mean: 1020.0,
+            end_tick: None,
+        }];
+        let a = render_frame(&db(), &incidents, "replay");
+        let b = render_frame(&db(), &incidents, "replay");
+        assert_eq!(a, b);
+        assert!(a.contains("!! INCIDENT latency_ns"));
+        assert!(a.contains("incidents 1 (1 active)"));
+        assert!(a.contains("SP0"));
+        assert!(a.contains("SP1"));
+        assert!(a.contains("bytes_out"));
+        assert!(!a.contains('\x1b'), "frames carry no ANSI escapes");
+    }
+
+    #[test]
+    fn ok_banner_without_incidents() {
+        let frame = render_frame(&db(), &[], "t");
+        assert!(frame.contains("status: OK — no incidents"));
+    }
+
+    #[test]
+    fn node_table_handles_missing_cells() {
+        let mut db = Tsdb::new(8);
+        db.record("SP0/a", 0, 1.0);
+        db.record("SP1/b", 0, 2.0);
+        let frame = render_frame(&db, &[], "t");
+        assert!(frame.contains('-'), "missing cell renders as dash:\n{frame}");
+    }
+
+    #[test]
+    fn fmt_val_shapes() {
+        assert_eq!(fmt_val(0.0), "0");
+        assert_eq!(fmt_val(42.0), "42");
+        assert_eq!(fmt_val(2.5), "2.500");
+        assert_eq!(fmt_val(3.2e12), "3.200e12");
+        assert_eq!(fmt_val(f64::INFINITY), "inf");
+    }
+}

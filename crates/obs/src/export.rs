@@ -155,7 +155,7 @@ pub fn jsonl(events: &[TraceEvent]) -> String {
 }
 
 /// A scanned JSON scalar from one flat trace-event object.
-enum Tok {
+pub(crate) enum Tok {
     Str(String),
     Num(String),
     Bool(bool),
@@ -164,7 +164,7 @@ enum Tok {
 /// Scans a single-line flat JSON object (`{"k":scalar,…}`) into its
 /// key/value pairs. Only the shapes [`event_json`] emits are accepted:
 /// string, number, and boolean values, no nesting.
-fn scan_flat_object(line: &str) -> Result<Vec<(String, Tok)>, String> {
+pub(crate) fn scan_flat_object(line: &str) -> Result<Vec<(String, Tok)>, String> {
     let b = line.trim().as_bytes();
     let mut i = 0usize;
     let err = |msg: &str, i: usize| Err(format!("{msg} at byte {i}: {line}"));
@@ -819,5 +819,50 @@ mod unit {
         assert!(parse_jsonl(truncated).unwrap_err().contains("missing key"));
         // Blank lines are tolerated.
         assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_jsonl_truncated_lines_are_named_errors() {
+        // Cut mid-object (lost the closing brace and trailing fields).
+        let err = parse_jsonl("{\"type\":\"deliver\",\"msg_seq\":0,\"at\":5").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("','") || err.contains("'}'"), "{err}");
+        // Cut mid-string.
+        let err = parse_jsonl("{\"type\":\"deli").unwrap_err();
+        assert!(err.contains("unterminated string"), "{err}");
+        // A good line before the bad one still reports the right number.
+        let good = event_json(&TraceEvent::Finish { span: 1, node: 1, at: 700 });
+        let err = parse_jsonl(&format!("{good}\n{{\"type\":\"finish\",\"span\":")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_jsonl_unknown_event_kind_is_a_named_error() {
+        let err = parse_jsonl("{\"type\":\"teleport\",\"span\":0}").unwrap_err();
+        assert!(err.contains("unknown event type"), "{err}");
+        assert!(err.contains("teleport"), "error names the offending kind: {err}");
+        // Unknown span causes are rejected too, not defaulted.
+        let line = "{\"type\":\"service\",\"span\":0,\"node\":0,\"begin\":0,\"end\":1,\
+                    \"cause\":\"wormhole\",\"dominance_tests\":0,\"points_scanned\":0,\
+                    \"finished\":false}";
+        let err = parse_jsonl(line).unwrap_err();
+        assert!(err.contains("unknown cause"), "{err}");
+    }
+
+    #[test]
+    fn parse_jsonl_non_numeric_fields_are_named_errors() {
+        // String where a number belongs.
+        let err = parse_jsonl("{\"type\":\"finish\",\"span\":\"fast\",\"node\":1,\"at\":700}")
+            .unwrap_err();
+        assert!(err.contains("span"), "{err}");
+        assert!(err.contains("not a number"), "{err}");
+        // Malformed numeric literal.
+        let err =
+            parse_jsonl("{\"type\":\"finish\",\"span\":1-2,\"node\":1,\"at\":700}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        // Bool where a number belongs.
+        let err =
+            parse_jsonl("{\"type\":\"finish\",\"span\":true,\"node\":1,\"at\":700}").unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 }

@@ -110,6 +110,7 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "skypeer_trace_events {}", self.events);
 
         for (name, value) in &r.counters {
+            let _ = writeln!(out, "# HELP skypeer_{name}_total Run total of '{name}' events.");
             let _ = writeln!(out, "# TYPE skypeer_{name}_total counter");
             let _ = writeln!(out, "skypeer_{name}_total {value}");
         }
@@ -142,6 +143,7 @@ impl MetricsSnapshot {
         }
 
         if !r.link_bytes.is_empty() {
+            let _ = writeln!(out, "# HELP skypeer_link_bytes_total Bytes sent per directed link.");
             let _ = writeln!(out, "# TYPE skypeer_link_bytes_total counter");
             for (&(from, to), &bytes) in &r.link_bytes {
                 let _ = writeln!(
@@ -152,20 +154,24 @@ impl MetricsSnapshot {
         }
 
         if !r.per_node.is_empty() {
-            for (name, get) in [
-                ("node_spans_total", (|n| n.spans) as fn(&crate::metrics::NodeMetrics) -> u64),
-                ("node_service_ns_total", |n| n.service_ns),
-                ("node_msgs_out_total", |n| n.msgs_out),
-                ("node_msgs_in_total", |n| n.msgs_in),
-                ("node_bytes_out_total", |n| n.bytes_out),
-                ("node_bytes_in_total", |n| n.bytes_in),
-                ("node_dominance_tests_total", |n| n.dominance_tests),
+            type Get = fn(&crate::metrics::NodeMetrics) -> u64;
+            for (name, help, get) in [
+                ("node_spans_total", "Handler spans per node.", (|n| n.spans) as Get),
+                ("node_service_ns_total", "Service time per node, ns.", |n| n.service_ns),
+                ("node_msgs_out_total", "Messages sent per node.", |n| n.msgs_out),
+                ("node_msgs_in_total", "Messages received per node.", |n| n.msgs_in),
+                ("node_bytes_out_total", "Bytes sent per node.", |n| n.bytes_out),
+                ("node_bytes_in_total", "Bytes received per node.", |n| n.bytes_in),
+                ("node_dominance_tests_total", "Dominance tests per node.", |n| n.dominance_tests),
             ] {
+                let _ = writeln!(out, "# HELP skypeer_{name} {help}");
                 let _ = writeln!(out, "# TYPE skypeer_{name} counter");
                 for (i, n) in r.per_node.iter().enumerate() {
                     let _ = writeln!(out, "skypeer_{name}{{node=\"{i}\"}} {}", get(n));
                 }
             }
+            let _ =
+                writeln!(out, "# HELP skypeer_node_peak_queue_depth Peak inbox depth per node.");
             let _ = writeln!(out, "# TYPE skypeer_node_peak_queue_depth gauge");
             for (i, d) in r.peak_queue_depth.iter().enumerate() {
                 let _ = writeln!(out, "skypeer_node_peak_queue_depth{{node=\"{i}\"}} {d}");
@@ -197,6 +203,28 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "process_resident_bytes {}", p.resident_bytes);
         }
 
+        out
+    }
+
+    /// Distill the snapshot into telemetry history samples (one
+    /// [`history_line`](crate::tsdb::history_line) per series) at the
+    /// given logical tick: every counter, the max per-node peak queue
+    /// depth as `queue_depth`, and per-node `SP<i>/<metric>` series the
+    /// dashboard's node table is built from. Counters are cumulative
+    /// run totals, so trends show as slope changes.
+    pub fn history_lines(&self, tick: u64) -> Vec<String> {
+        use crate::tsdb::history_line;
+        let r = &self.registry;
+        let mut out = Vec::new();
+        for (name, value) in &r.counters {
+            out.push(history_line(tick, name, *value as f64));
+        }
+        out.push(history_line(tick, "queue_depth", r.max_queue_depth() as f64));
+        for (i, n) in r.per_node.iter().enumerate() {
+            out.push(history_line(tick, &format!("SP{i}/bytes_out"), n.bytes_out as f64));
+            out.push(history_line(tick, &format!("SP{i}/msgs_out"), n.msgs_out as f64));
+            out.push(history_line(tick, &format!("SP{i}/service_ns"), n.service_ns as f64));
+        }
         out
     }
 }
@@ -276,12 +304,21 @@ struct SamplerShared {
     path: PathBuf,
     stop: AtomicBool,
     flushes: AtomicU64,
+    /// When present, every flush also appends
+    /// [`MetricsSnapshot::history_lines`] at the next tick.
+    history: Option<std::sync::Mutex<Vec<String>>>,
+    ticks: AtomicU64,
 }
 
 impl SamplerShared {
     fn flush(&self) -> io::Result<()> {
         let snap = MetricsSnapshot::capture(&self.tracer);
         write_atomic(&self.path, &snap.prometheus())?;
+        if let Some(h) = &self.history {
+            let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+            let lines = snap.history_lines(tick);
+            h.lock().expect("history lock").extend(lines);
+        }
         self.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -303,11 +340,34 @@ impl Sampler {
         path: impl Into<PathBuf>,
         interval: Duration,
     ) -> io::Result<SamplerHandle> {
+        Self::spawn(tracer, path.into(), interval, false)
+    }
+
+    /// Like [`Sampler::start`], but every flush also records telemetry
+    /// history (one [`MetricsSnapshot::history_lines`] batch per flush,
+    /// ticked by flush index). Read it back with
+    /// [`SamplerHandle::history_text`].
+    pub fn start_with_history(
+        tracer: Arc<MemTracer>,
+        path: impl Into<PathBuf>,
+        interval: Duration,
+    ) -> io::Result<SamplerHandle> {
+        Self::spawn(tracer, path.into(), interval, true)
+    }
+
+    fn spawn(
+        tracer: Arc<MemTracer>,
+        path: PathBuf,
+        interval: Duration,
+        with_history: bool,
+    ) -> io::Result<SamplerHandle> {
         let shared = Arc::new(SamplerShared {
             tracer,
-            path: path.into(),
+            path,
             stop: AtomicBool::new(false),
             flushes: AtomicU64::new(0),
+            history: with_history.then(|| std::sync::Mutex::new(Vec::new())),
+            ticks: AtomicU64::new(0),
         });
         shared.flush()?;
         let worker = Arc::clone(&shared);
@@ -355,6 +415,20 @@ impl SamplerHandle {
     /// The metrics file being written.
     pub fn path(&self) -> &Path {
         &self.shared.path
+    }
+
+    /// The recorded telemetry history as JSONL text (one sample per
+    /// line, trailing newline), or `None` when the sampler was started
+    /// without history recording.
+    pub fn history_text(&self) -> Option<String> {
+        let h = self.shared.history.as_ref()?;
+        let lines = h.lock().expect("history lock");
+        let mut out = String::new();
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        Some(out)
     }
 
     /// Stop the worker, join it, and write one final snapshot.
@@ -474,6 +548,67 @@ mod unit {
             .expect("_count series");
         let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
         assert_eq!(last, count, "+Inf bucket must equal _count for {family}");
+    }
+
+    #[test]
+    fn every_type_is_preceded_by_help_for_the_same_family() {
+        // Exposition hygiene: scrapers and promtool treat a `# TYPE`
+        // without its family's `# HELP` as malformed metadata. Every
+        // family we emit must carry both, HELP first.
+        let text = MetricsSnapshot::capture(&{
+            let t = MemTracer::new();
+            for ev in sample_events() {
+                t.record(ev);
+            }
+            t
+        })
+        .prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut checked = 0;
+        for (i, line) in lines.iter().enumerate() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else { continue };
+            let family = rest.split_whitespace().next().expect("family name");
+            let prev = i.checked_sub(1).map(|j| lines[j]).unwrap_or("");
+            assert!(
+                prev.starts_with(&format!("# HELP {family} ")),
+                "`{line}` not preceded by a HELP for {family}; got `{prev}`"
+            );
+            checked += 1;
+        }
+        // The trace covers counters, histograms, link/per-node families,
+        // queue depth, and (on Linux) process stats.
+        assert!(checked >= 15, "expected many families, checked {checked}");
+    }
+
+    #[test]
+    fn sampler_history_records_ticked_series() {
+        let dir = std::env::temp_dir().join(format!("skypeer-hist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("metrics.prom");
+        let tracer = Arc::new(MemTracer::new());
+        let handle =
+            Sampler::start_with_history(Arc::clone(&tracer), &path, Duration::from_secs(3600))
+                .expect("sampler starts");
+        for ev in sample_events() {
+            tracer.record(ev);
+        }
+        handle.flush().expect("manual flush");
+        let text = handle.history_text().expect("history enabled");
+        let samples = crate::tsdb::parse_history(&text).expect("history parses");
+        assert!(samples.iter().any(|s| s.tick == 0), "initial flush ticked 0");
+        assert!(
+            samples.iter().any(|s| s.tick >= 1 && s.series == "bytes_sent" && s.value == 256.0),
+            "second flush sees the counter: {samples:?}"
+        );
+        assert!(samples.iter().any(|s| s.series == "queue_depth"));
+        assert!(samples.iter().any(|s| s.series.starts_with("SP1/")));
+        handle.finish().expect("final flush");
+        // Plain start() records nothing.
+        let plain = Sampler::start(Arc::new(MemTracer::new()), &path, Duration::from_secs(3600))
+            .expect("sampler starts");
+        assert!(plain.history_text().is_none());
+        plain.finish().expect("final flush");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -31,7 +31,15 @@
 //!   downstream crates' reports) share;
 //! * [`prof`] — a scoped calltree CPU profiler ([`scope!`] in hot paths,
 //!   ranked-table / JSON / folded-flamegraph exports, a deterministic
-//!   logical clock for goldens, and observability-overhead accounting).
+//!   logical clock for goldens, and observability-overhead accounting);
+//! * [`tsdb`] — an embedded, allocation-bounded time-series store
+//!   (per-series rings with deterministic min/max/last downsampling as
+//!   they wrap) plus the append-only history JSONL format;
+//! * [`anomaly`] — EWMA + robust z-score detection over telemetry
+//!   series, producing byte-stable [`Incident`] records;
+//! * [`dash`] — plain-text dashboard frames (sparklines, incident
+//!   banner, per-node table) rendered deterministically from a
+//!   [`Tsdb`].
 //!
 //! Workload-level observability (soak runs over many queries):
 //!
@@ -48,7 +56,9 @@
 //! `SimTime` (nanoseconds since run start) — never wall clocks — so a
 //! deterministic runtime yields a byte-deterministic trace.
 
+pub mod anomaly;
 pub mod critical;
+pub mod dash;
 pub mod diff;
 pub mod event;
 pub mod export;
@@ -60,8 +70,11 @@ pub mod prof;
 pub mod recorder;
 pub mod slo;
 pub mod tracer;
+pub mod tsdb;
 
+pub use anomaly::{AnomalyDetector, DetectorConfig, Incident};
 pub use critical::{critical_path, CriticalPath, PathStep, StepKind};
+pub use dash::render_frame;
 pub use diff::{rank_interventions, AttributionReport, Intervention, TraceDigest, WhatIf};
 pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEvent};
 pub use export::{chrome_trace, jsonl, parse_jsonl};
@@ -72,3 +85,4 @@ pub use prof::{CallNode, CallTree, ClockMode, OverheadReport, Profile};
 pub use recorder::{FlightRecorder, RetainedQuery};
 pub use slo::{quantile_from_digits, SloCheck, SloReport, SloSpec};
 pub use tracer::{MemTracer, Tracer};
+pub use tsdb::{history_line, parse_history, HistorySample, TimeSeries, Tsdb};

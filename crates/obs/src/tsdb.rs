@@ -1,0 +1,394 @@
+//! An embedded, allocation-bounded time-series store.
+//!
+//! Every observability layer before this one was post-hoc: the
+//! [`Sampler`](crate::expose::Sampler) overwrites a single point-in-time
+//! exposition, so "what was this network doing 30 seconds ago?" had no
+//! answer. A [`Tsdb`] retains history under a hard memory bound: each
+//! series is a ring of [`Bucket`]s, and when a ring would exceed its
+//! capacity the whole series is *downsampled in place* — adjacent
+//! buckets merge pairwise and the bucket span (ticks covered per bucket)
+//! doubles. Merging keeps `min`, `max`, the chronologically `last`
+//! value, and the sample `count`, so spikes survive arbitrarily many
+//! halvings and rates can still be recovered from counts.
+//!
+//! Everything here is deterministic: the same `(tick, series, value)`
+//! feed always produces byte-identical [`Tsdb::to_json`] output, because
+//! ticks are logical (query index, flush index, or `SimTime`) — never
+//! wall clocks — and series iterate in sorted order.
+//!
+//! History files are append-only JSONL, one [`history_line`] per sample;
+//! [`parse_history`] reads them back for replay (`skypeer-cli top
+//! --replay`).
+
+use crate::json::{self, Obj};
+use std::collections::BTreeMap;
+
+/// Default per-series ring capacity (buckets, not samples).
+pub const DEFAULT_SERIES_CAP: usize = 64;
+
+/// One downsampled cell of a series: all samples whose tick falls in
+/// `[tick, tick + span)` for the ring's current span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bucket {
+    /// Span-aligned start tick of the interval this bucket covers.
+    pub tick: u64,
+    /// Smallest sample value merged into the bucket.
+    pub min: f64,
+    /// Largest sample value merged into the bucket.
+    pub max: f64,
+    /// Chronologically last sample value merged into the bucket.
+    pub last: f64,
+    /// Number of raw samples merged into the bucket.
+    pub count: u64,
+}
+
+/// A single bounded series: at most `cap` buckets; the covered tick
+/// range grows without bound as the resolution (span) coarsens.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    cap: usize,
+    span: u64,
+    buckets: Vec<Bucket>,
+}
+
+impl TimeSeries {
+    /// An empty series holding at most `cap` buckets (min 2).
+    pub fn new(cap: usize) -> Self {
+        TimeSeries { cap: cap.max(2), span: 1, buckets: Vec::new() }
+    }
+
+    /// Current ticks-per-bucket resolution (1 until the first wrap,
+    /// doubling on each downsample).
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The retained buckets, oldest first.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total raw samples ever recorded (survives downsampling).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// The most recent sample value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.buckets.last().map(|b| b.last)
+    }
+
+    /// Min/max over all retained buckets, if any samples exist.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        let mut it = self.buckets.iter();
+        let first = it.next()?;
+        let mut lo = first.min;
+        let mut hi = first.max;
+        for b in it {
+            lo = lo.min(b.min);
+            hi = hi.max(b.max);
+        }
+        Some((lo, hi))
+    }
+
+    /// Record one sample. Ticks are expected non-decreasing (a logical
+    /// clock); an out-of-order tick merges into the newest bucket rather
+    /// than reordering history, keeping ingestion O(1).
+    pub fn record(&mut self, tick: u64, value: f64) {
+        let base = tick - tick % self.span;
+        match self.buckets.last_mut() {
+            Some(b) if base <= b.tick => {
+                b.min = b.min.min(value);
+                b.max = b.max.max(value);
+                b.last = value;
+                b.count += 1;
+            }
+            _ => {
+                self.buckets.push(Bucket {
+                    tick: base,
+                    min: value,
+                    max: value,
+                    last: value,
+                    count: 1,
+                });
+                if self.buckets.len() > self.cap {
+                    self.downsample();
+                }
+            }
+        }
+    }
+
+    /// Double the span and merge buckets sharing the new alignment.
+    /// Deterministic: depends only on the retained buckets and span.
+    fn downsample(&mut self) {
+        self.span *= 2;
+        let old = std::mem::take(&mut self.buckets);
+        for b in old {
+            let base = b.tick - b.tick % self.span;
+            match self.buckets.last_mut() {
+                Some(m) if m.tick == base => {
+                    m.min = m.min.min(b.min);
+                    m.max = m.max.max(b.max);
+                    m.last = b.last;
+                    m.count += b.count;
+                }
+                _ => self.buckets.push(Bucket { tick: base, ..b }),
+            }
+        }
+    }
+}
+
+/// A bounded multi-series store keyed by series name.
+#[derive(Clone, Debug)]
+pub struct Tsdb {
+    cap: usize,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Default for Tsdb {
+    fn default() -> Self {
+        Tsdb::new(DEFAULT_SERIES_CAP)
+    }
+}
+
+impl Tsdb {
+    /// An empty store whose series each hold at most `cap` buckets.
+    pub fn new(cap: usize) -> Self {
+        Tsdb { cap, series: BTreeMap::new() }
+    }
+
+    /// Record one sample into `series` (created on first use).
+    pub fn record(&mut self, series: &str, tick: u64, value: f64) {
+        self.series
+            .entry(series.to_string())
+            .or_insert_with(|| TimeSeries::new(self.cap))
+            .record(tick, value);
+    }
+
+    /// Look up one series by name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// All series in sorted name order.
+    pub fn series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Replay a parsed history feed (see [`parse_history`]) into the
+    /// store, in file order.
+    pub fn ingest(&mut self, samples: &[HistorySample]) {
+        for s in samples {
+            self.record(&s.series, s.tick, s.value);
+        }
+    }
+
+    /// Byte-deterministic JSON export: series in sorted name order, each
+    /// with its span and bucket array. Same feed ⇒ same bytes.
+    pub fn to_json(&self) -> String {
+        let mut series = Vec::new();
+        for (name, ts) in &self.series {
+            let buckets = ts
+                .buckets
+                .iter()
+                .map(|b| {
+                    Obj::new()
+                        .u64("tick", b.tick)
+                        .f64("min", b.min)
+                        .f64("max", b.max)
+                        .f64("last", b.last)
+                        .u64("count", b.count)
+                        .build()
+                })
+                .collect::<Vec<_>>();
+            series.push(
+                Obj::new()
+                    .str("name", name)
+                    .u64("span", ts.span)
+                    .raw("buckets", &json::arr(buckets))
+                    .build(),
+            );
+        }
+        Obj::new().raw("series", &json::arr(series)).build()
+    }
+}
+
+/// One raw history sample as read back from a history JSONL file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistorySample {
+    /// Logical tick the sample was taken at.
+    pub tick: u64,
+    /// Series name.
+    pub series: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Format one history JSONL line (no trailing newline).
+pub fn history_line(tick: u64, series: &str, value: f64) -> String {
+    Obj::new().u64("tick", tick).str("series", series).f64("value", value).build()
+}
+
+/// Parse a history JSONL file produced by [`history_line`] writers.
+/// Blank lines are skipped; any malformed line is a named error carrying
+/// its 1-based line number.
+pub fn parse_history(text: &str) -> Result<Vec<HistorySample>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        use crate::export::Tok;
+        let kv = crate::export::scan_flat_object(line)
+            .map_err(|e| format!("history line {lineno}: {e}"))?;
+        let find = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, t)| t);
+        let tick = match find("tick") {
+            Some(Tok::Num(raw)) => raw.parse::<u64>().map_err(|_| {
+                format!("history line {lineno}: 'tick' must be a non-negative integer")
+            })?,
+            _ => return Err(format!("history line {lineno}: missing numeric 'tick'")),
+        };
+        let series = match find("series") {
+            Some(Tok::Str(s)) => s.clone(),
+            _ => return Err(format!("history line {lineno}: missing string 'series'")),
+        };
+        let value = match find("value") {
+            Some(Tok::Num(raw)) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("history line {lineno}: bad 'value' {raw:?}"))?,
+            // Non-finite floats encode as strings (see crate::json::float).
+            Some(Tok::Str(s)) => match s.as_str() {
+                "inf" => f64::INFINITY,
+                "-inf" => f64::NEG_INFINITY,
+                "nan" => f64::NAN,
+                _ => return Err(format!("history line {lineno}: missing numeric 'value'")),
+            },
+            _ => return Err(format!("history line {lineno}: missing numeric 'value'")),
+        };
+        out.push(HistorySample { tick, series, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn records_merge_within_span_and_push_across() {
+        let mut ts = TimeSeries::new(8);
+        ts.record(0, 5.0);
+        ts.record(0, 1.0);
+        ts.record(0, 3.0);
+        ts.record(1, 7.0);
+        assert_eq!(ts.buckets().len(), 2);
+        let b0 = ts.buckets()[0];
+        assert_eq!((b0.min, b0.max, b0.last, b0.count), (1.0, 5.0, 3.0, 3));
+        assert_eq!(ts.last(), Some(7.0));
+        assert_eq!(ts.count(), 4);
+    }
+
+    #[test]
+    fn downsampling_preserves_min_max_last_and_count() {
+        let mut ts = TimeSeries::new(4);
+        // 9 ticks through a 4-bucket ring forces two downsample passes.
+        let values = [1.0, 9.0, 2.0, 8.0, 3.0, 7.0, 4.0, 6.0, 5.0];
+        for (tick, v) in values.iter().enumerate() {
+            ts.record(tick as u64, *v);
+        }
+        assert!(ts.buckets().len() <= 4, "ring stays bounded");
+        assert_eq!(ts.span(), 4);
+        assert_eq!(ts.count(), values.len() as u64);
+        assert_eq!(ts.range(), Some((1.0, 9.0)), "spike survives downsampling");
+        assert_eq!(ts.last(), Some(5.0));
+        // Buckets are aligned, ordered, and non-overlapping.
+        for w in ts.buckets().windows(2) {
+            assert!(w[0].tick < w[1].tick);
+        }
+        for b in ts.buckets() {
+            assert_eq!(b.tick % ts.span(), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tick_merges_into_newest_bucket() {
+        let mut ts = TimeSeries::new(8);
+        ts.record(5, 1.0);
+        ts.record(3, 2.0);
+        assert_eq!(ts.buckets().len(), 1);
+        assert_eq!(ts.buckets()[0].count, 2);
+        assert_eq!(ts.last(), Some(2.0));
+    }
+
+    #[test]
+    fn tsdb_json_is_deterministic_and_sorted() {
+        let feed = |db: &mut Tsdb| {
+            db.record("z_latency", 0, 10.0);
+            db.record("a_bytes", 0, 4.0);
+            db.record("z_latency", 1, 30.0);
+            db.record("a_bytes", 1, 2.5);
+        };
+        let mut a = Tsdb::new(16);
+        let mut b = Tsdb::new(16);
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.to_json(), b.to_json());
+        let j = a.to_json();
+        assert!(j.find("\"a_bytes\"").unwrap() < j.find("\"z_latency\"").unwrap());
+        assert!(j.contains("\"last\":2.5"));
+    }
+
+    #[test]
+    fn history_lines_round_trip() {
+        let lines = [
+            history_line(0, "latency_ns", 1234.0),
+            history_line(1, "queue \"depth\"", 2.5),
+            history_line(7, "bytes", 0.0),
+        ];
+        let text = lines.join("\n");
+        let parsed = parse_history(&text).expect("parses");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[1].series, "queue \"depth\"");
+        assert_eq!(parsed[1].value, 2.5);
+        assert_eq!(parsed[2].tick, 7);
+        // Re-encoding every sample reproduces the original bytes.
+        let re: Vec<String> =
+            parsed.iter().map(|s| history_line(s.tick, &s.series, s.value)).collect();
+        assert_eq!(re.join("\n"), text);
+    }
+
+    #[test]
+    fn history_parse_errors_are_named() {
+        let err = parse_history("{\"tick\":0,\"series\":\"x\"").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse_history("{\"series\":\"x\",\"value\":1}").unwrap_err();
+        assert!(err.contains("tick"), "{err}");
+        let err = parse_history("{\"tick\":1.5,\"series\":\"x\",\"value\":1}").unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
+        let err = parse_history("{\"tick\":1,\"series\":\"x\",\"value\":\"fast\"}").unwrap_err();
+        assert!(err.contains("value"), "{err}");
+    }
+
+    #[test]
+    fn ingest_replays_a_feed() {
+        let samples = vec![
+            HistorySample { tick: 0, series: "q".into(), value: 1.0 },
+            HistorySample { tick: 1, series: "q".into(), value: 9.0 },
+        ];
+        let mut db = Tsdb::default();
+        db.ingest(&samples);
+        assert_eq!(db.get("q").unwrap().range(), Some((1.0, 9.0)));
+    }
+}

@@ -5,11 +5,15 @@
 //! ```text
 //! cargo run --release --example live_network
 //! cargo run --release --example live_network -- --metrics-file /tmp/skypeer.prom
+//! cargo run --release --example live_network -- --metrics-file /tmp/skypeer.prom \
+//!     --history-out /tmp/skypeer.history.jsonl
 //! ```
 //!
 //! With `--metrics-file PATH` every node thread reports into a shared
 //! tracer and a background sampler keeps flushing a Prometheus text
 //! snapshot to PATH (atomically, every 250 ms) while the queries run.
+//! Adding `--history-out FILE` also records one telemetry sample per
+//! flush tick into FILE — replay it with `skypeer-cli top --replay FILE`.
 
 use skypeer::core::engine::SkypeerEngine;
 use skypeer::core::live::run_query_live_traced;
@@ -22,20 +26,32 @@ use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_file = match args.iter().position(|a| a == "--metrics-file") {
+    let path_flag = |name: &str| match args.iter().position(|a| a == name) {
         Some(p) => match args.get(p + 1) {
             Some(path) => Some(path.clone()),
             None => {
-                eprintln!("error: --metrics-file needs a path");
+                eprintln!("error: {name} needs a path");
                 std::process::exit(1);
             }
         },
         None => None,
     };
+    let metrics_file = path_flag("--metrics-file");
+    let history_out = path_flag("--history-out");
+    if history_out.is_some() && metrics_file.is_none() {
+        eprintln!("error: --history-out needs --metrics-file (the sampler drives both)");
+        std::process::exit(1);
+    }
     let tracer: Option<Arc<MemTracer>> = metrics_file.is_some().then(Arc::<MemTracer>::default);
     let sampler = metrics_file.as_ref().map(|path| {
         let t = Arc::clone(tracer.as_ref().expect("tracer exists when a path was given"));
-        Sampler::start(t, path.clone(), Duration::from_millis(250)).unwrap_or_else(|e| {
+        let interval = Duration::from_millis(250);
+        let started = if history_out.is_some() {
+            Sampler::start_with_history(t, path.clone(), interval)
+        } else {
+            Sampler::start(t, path.clone(), interval)
+        };
+        started.unwrap_or_else(|e| {
             eprintln!("error: cannot write metrics file {path}: {e}");
             std::process::exit(1);
         })
@@ -92,7 +108,15 @@ fn main() {
     if let Some(s) = sampler {
         let path = s.path().display().to_string();
         let flushes = s.flushes();
+        let history = s.history_text();
         s.finish().expect("final metrics flush succeeds");
         println!("metrics: {} snapshots flushed to {path}", flushes + 1);
+        if let (Some(out), Some(text)) = (&history_out, history) {
+            std::fs::write(out, &text).expect("history file writes");
+            println!(
+                "history: {} samples recorded to {out} (replay: skypeer-cli top --replay {out})",
+                text.lines().count()
+            );
+        }
     }
 }

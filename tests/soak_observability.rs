@@ -42,6 +42,8 @@ fn skewed_spec(queries: usize, tail_k: usize) -> SoakSpec {
         tail_k,
         hdr_precision: 7,
         cache_bytes: None,
+        telemetry: None,
+        perturb: None,
     }
 }
 
@@ -123,6 +125,8 @@ fn uniform_soak_matches_plain_workload_latencies() {
         tail_k: 2,
         hdr_precision: 7,
         cache_bytes: None,
+        telemetry: None,
+        perturb: None,
     };
     let out = run_soak(&engine, &spec, |_| {});
     assert_eq!(out.queries, plain);
