@@ -119,6 +119,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("cannot write {incidents_file}: {e}"))?;
     let flagged: usize = incidents.lines().filter(|l| l.starts_with("  ")).count();
     println!("wrote per-figure incident report to {incidents_file} ({flagged} flagged, advisory)");
+    // Fourth pass: per-figure correctness audit (every query
+    // shadow-verified against the raw-data oracle). Also a sibling
+    // artifact: advisory here, but a nonzero violation count means a
+    // pinned figure returned a wrong answer — read it first.
+    let audit_file = audit_path(&out_path);
+    let audit = skypeer_bench::regress::run_pinned_audit();
+    std::fs::write(&audit_file, &audit).map_err(|e| format!("cannot write {audit_file}: {e}"))?;
+    let violations: usize = audit
+        .lines()
+        .filter(|l| l.starts_with("figure "))
+        .filter_map(|l| l.split_once(": ")?.1.split(' ').next()?.parse::<usize>().ok())
+        .sum();
+    println!("wrote per-figure audit report to {audit_file} ({violations} violation(s), advisory)");
     Ok(ExitCode::SUCCESS)
 }
 
@@ -143,6 +156,14 @@ fn incidents_path(report_path: &str) -> String {
     match report_path.strip_suffix(".json") {
         Some(stem) => format!("{stem}_incidents.txt"),
         None => format!("{report_path}_incidents.txt"),
+    }
+}
+
+/// The audit sibling of a report path: `X.json` -> `X_audit.txt`.
+fn audit_path(report_path: &str) -> String {
+    match report_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_audit.txt"),
+        None => format!("{report_path}_audit.txt"),
     }
 }
 

@@ -15,7 +15,7 @@
 //! The summary JSON is byte-deterministic for a given flag set (no wall
 //! clocks, commits, or dates), so CI can archive and diff it.
 
-use skypeer_bench::soak::{run_soak, SoakPerturb, SoakSpec, TelemetrySpec};
+use skypeer_bench::soak::{run_soak, SoakAudit, SoakPerturb, SoakSpec, TelemetrySpec};
 use skypeer_core::{EngineConfig, SkypeerEngine, Variant};
 use skypeer_data::{DatasetKind, DatasetSpec, InitiatorMix, KMix, MixedWorkloadSpec};
 use skypeer_netsim::cost::CostModel;
@@ -33,7 +33,8 @@ const USAGE: &str = "usage: soak [--peers N] [--superpeers N] [--dim D] [--point
 [--slo-max-ms F] [--slo-p99-bytes N] [--cache] [--cache-bytes N] [--min-hit-rate F] \
 [--out FILE] [--jsonl FILE] [--prom FILE] [--profile-out FILE] [--gate] [--quiet] \
 [--telemetry] [--history-out FILE] [--fail-on-incident] \
-[--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [--perturb-after N]";
+[--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [--perturb-after N] \
+[--audit-sample R] [--audit-seed S] [--fail-on-violation] [--inject-drop-ext]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,24 +91,6 @@ fn parse_variants(spec: &str) -> Result<Vec<Variant>, String> {
             other => Err(format!("unknown variant '{other}'")),
         })
         .collect()
-}
-
-/// Parses a `FROM:TO:LATENCY_NS[:NS_PER_BYTE]` directed-link override
-/// (missing bandwidth keeps the base model's).
-fn parse_perturb(spec: &str, base: LinkModel) -> Result<(usize, usize, LinkModel), String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    if parts.len() != 3 && parts.len() != 4 {
-        return Err(format!("bad --perturb-link '{spec}': want FROM:TO:LATENCY_NS[:NS_PER_BYTE]"));
-    }
-    let num = |s: &str, what: &str| {
-        s.parse::<u64>().map_err(|_| format!("bad --perturb-link {what} '{s}'"))
-    };
-    let from = num(parts[0], "FROM")? as usize;
-    let to = num(parts[1], "TO")? as usize;
-    let latency_ns = num(parts[2], "LATENCY_NS")?;
-    let ns_per_byte =
-        if parts.len() == 4 { num(parts[3], "NS_PER_BYTE")? } else { base.ns_per_byte };
-    Ok((from, to, LinkModel { latency_ns, ns_per_byte }))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -212,7 +195,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Some(SoakPerturb {
                 after: parse(args, "--perturb-after", 0usize)?,
-                overrides: vec![parse_perturb(&s, LinkModel::paper_4kbps())?],
+                overrides: vec![skypeer_netsim::des::parse_perturb_spec(
+                    &s,
+                    LinkModel::paper_4kbps(),
+                )?],
             })
         }
         None => {
@@ -228,6 +214,33 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         || fail_on_incident
         || perturb.is_some())
     .then(TelemetrySpec::default);
+    let fail_on_violation = args.iter().any(|a| a == "--fail-on-violation");
+    let inject_drop_ext = args.iter().any(|a| a == "--inject-drop-ext");
+    let audit = match flag(args, "--audit-sample")? {
+        Some(r) => {
+            let sample_rate: f64 = r.parse().map_err(|e| format!("bad --audit-sample: {e}"))?;
+            if !(0.0..=1.0).contains(&sample_rate) {
+                return Err(format!("bad --audit-sample: {sample_rate} not in [0, 1]"));
+            }
+            Some(SoakAudit {
+                sample_rate,
+                seed: parse(args, "--audit-seed", SoakAudit::default().seed)?,
+                inject_drop_ext,
+            })
+        }
+        None => {
+            for (on, name) in [
+                (fail_on_violation, "--fail-on-violation"),
+                (inject_drop_ext, "--inject-drop-ext"),
+                (flag(args, "--audit-seed")?.is_some(), "--audit-seed"),
+            ] {
+                if on {
+                    return Err(format!("{name} requires --audit-sample"));
+                }
+            }
+            None
+        }
+    };
 
     let spec = SoakSpec {
         variants,
@@ -238,6 +251,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         cache_bytes,
         telemetry,
         perturb,
+        audit,
     };
 
     if !quiet {
@@ -290,6 +304,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
+    if let Some(report) = outcome.audit_report() {
+        print!("{report}");
+    }
     if let Some(path) = &history_out {
         let history = outcome.history_text().expect("telemetry implied by --history-out");
         std::fs::write(path, history).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -318,6 +335,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if fail_on_incident && outcome.incident_count() > 0 {
         eprintln!("incident gate FAILED: {} incident(s) flagged", outcome.incident_count());
+        return Ok(ExitCode::FAILURE);
+    }
+    if fail_on_violation && outcome.violation_count() > 0 {
+        eprintln!("audit gate FAILED: {} violation(s) detected", outcome.violation_count());
         return Ok(ExitCode::FAILURE);
     }
     if let Some(floor) = min_hit_rate {

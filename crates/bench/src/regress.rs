@@ -504,6 +504,7 @@ pub fn run_pinned_incidents() -> String {
             cache_bytes: None,
             telemetry: Some(TelemetrySpec::default()),
             perturb: None,
+            audit: None,
         };
         let outcome = run_soak(&engine, &spec, |_| {});
         out.push_str(&format!(
@@ -516,6 +517,55 @@ pub fn run_pinned_incidents() -> String {
                 for inc in tel.incidents() {
                     out.push_str(&format!("  {}\n", inc.render()));
                 }
+            }
+        }
+    }
+    out
+}
+
+/// Advisory audit pass: replays a short seeded FTPM query stream per
+/// pinned figure with the online auditor sampling every query
+/// (shadow-verifying each answer against the raw-data oracle) and
+/// reports the per-figure verdict. A healthy tree reports zero
+/// violations everywhere; any violation here means the protocol returned
+/// a wrong answer on a pinned configuration. Written as a sibling
+/// artifact (`*_audit.txt`), never part of the gated report's byte
+/// format.
+pub fn run_pinned_audit() -> String {
+    use crate::soak::{run_soak, SoakAudit, SoakSpec};
+    use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec};
+    use skypeer_netsim::obs::SloSpec;
+    const QUERIES: usize = 24;
+    let mut out = String::new();
+    for p in pinned_figures() {
+        let engine = SkypeerEngine::build(p.config);
+        let spec = SoakSpec {
+            variants: vec![Variant::Ftpm],
+            workload: MixedWorkloadSpec {
+                dim: p.config.dataset.dim,
+                queries: QUERIES,
+                n_superpeers: p.config.n_superpeers,
+                seed: 7,
+                k_mix: KMix::Fixed(2),
+                initiator_mix: InitiatorMix::Uniform,
+            },
+            slo: SloSpec::default(),
+            tail_k: 1,
+            hdr_precision: 7,
+            cache_bytes: None,
+            telemetry: None,
+            perturb: None,
+            audit: Some(SoakAudit { sample_rate: 1.0, ..SoakAudit::default() }),
+        };
+        let outcome = run_soak(&engine, &spec, |_| {});
+        out.push_str(&format!(
+            "figure {}: {} violation(s) over {QUERIES} audited FTPM queries\n",
+            p.figure,
+            outcome.violation_count()
+        ));
+        if let Some(report) = outcome.audit_report() {
+            for line in report.lines() {
+                out.push_str(&format!("  {line}\n"));
             }
         }
     }

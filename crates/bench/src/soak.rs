@@ -22,6 +22,7 @@
 
 use skypeer_cache::CacheStats;
 use skypeer_core::cached::CachedEngine;
+use skypeer_core::{AnswerFault, AuditSpec, AuditStats, AuditViolation, Auditor};
 use skypeer_core::{SkypeerEngine, Variant};
 use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec, Query};
 use skypeer_netsim::des::LinkModel;
@@ -63,6 +64,30 @@ pub struct SoakPerturb {
     pub overrides: Vec<(usize, usize, LinkModel)>,
 }
 
+/// Online-audit knobs for a soak run: sample queries at a fixed rate,
+/// shadow-recompute them against the raw-data oracle, and cross-check
+/// cache-fronted answers against direct distributed answers.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakAudit {
+    /// Fraction of queries sampled for shadow verification, in `[0, 1]`.
+    pub sample_rate: f64,
+    /// Sampling-hash seed (same seed + workload ⇒ same sampled set).
+    pub seed: u64,
+    /// Fault-injection drill: silently drop one ext-skyline entry from
+    /// every in-flight answer (picked from the first sampled query's
+    /// true skyline, preferring a point homed away from that query's
+    /// initiator so it must cross the wire). The drill is invisible to
+    /// every performance metric; a healthy audit must catch and name it.
+    pub inject_drop_ext: bool,
+}
+
+impl Default for SoakAudit {
+    fn default() -> Self {
+        let AuditSpec { sample_rate, seed } = AuditSpec::default();
+        SoakAudit { sample_rate, seed, inject_drop_ext: false }
+    }
+}
+
 /// What a soak run executes and how it judges the result.
 #[derive(Clone, Debug)]
 pub struct SoakSpec {
@@ -93,6 +118,11 @@ pub struct SoakSpec {
     /// [`SoakSpec::cache_bytes`] (the cache-fronted path has no
     /// perturbed execution route).
     pub perturb: Option<SoakPerturb>,
+    /// When set, an online [`Auditor`] samples queries, shadow-verifies
+    /// them against the raw-data oracle, and (on cache-fronted runs)
+    /// cross-checks answers against direct distributed runs. `None`
+    /// leaves every output byte-identical to an audit-less build.
+    pub audit: Option<SoakAudit>,
 }
 
 impl SoakSpec {
@@ -108,6 +138,7 @@ impl SoakSpec {
             cache_bytes: None,
             telemetry: None,
             perturb: None,
+            audit: None,
         }
     }
 }
@@ -143,6 +174,10 @@ pub struct QueryRow {
     /// then omitted from the JSONL line, keeping cache-off output
     /// byte-identical to earlier releases).
     pub served_from_cache: Option<bool>,
+    /// `Some(true)` when the auditor sampled this query for shadow
+    /// verification; `None` on audit-less runs (field omitted from the
+    /// JSONL line, keeping audit-off output byte-identical).
+    pub audited: Option<bool>,
 }
 
 impl QueryRow {
@@ -162,6 +197,9 @@ impl QueryRow {
             .bool("retained", self.retained);
         if let Some(hit) = self.served_from_cache {
             obj = obj.bool("cache_hit", hit);
+        }
+        if let Some(sampled) = self.audited {
+            obj = obj.bool("audited", sampled);
         }
         obj.build()
     }
@@ -193,6 +231,21 @@ pub struct VariantSoak {
     /// Retained telemetry, when the run recorded it
     /// ([`SoakSpec::telemetry`]).
     pub telemetry: Option<VariantTelemetry>,
+    /// Audit outcome, when the run was audited ([`SoakSpec::audit`]).
+    pub audit: Option<VariantAudit>,
+}
+
+/// Per-variant outcome of the online audit.
+pub struct VariantAudit {
+    /// Aggregate audit counters.
+    pub stats: AuditStats,
+    /// Violations in detection order, each carrying the lineage of every
+    /// disputed point.
+    pub violations: Vec<AuditViolation>,
+    /// The point id silently dropped in flight when the
+    /// [`SoakAudit::inject_drop_ext`] drill was armed (and a victim
+    /// could be chosen).
+    pub injected_drop: Option<u64>,
 }
 
 /// Per-variant retained telemetry from a soak run.
@@ -265,7 +318,39 @@ pub fn run_soak(
                 detector: AnomalyDetector::new(t.detector),
                 history: Vec::new(),
             }),
+            audit: None,
         };
+        // A fresh auditor per variant: counters and violations stay
+        // per-variant comparable, like the cache below.
+        let mut auditor = spec
+            .audit
+            .map(|a| Auditor::new(engine, AuditSpec { sample_rate: a.sample_rate, seed: a.seed }));
+        // The fault-injection drill: silently drop one true-skyline point
+        // of the first sampled query from every in-flight answer,
+        // preferring a point homed away from that query's initiator so
+        // the corruption must cross the wire.
+        let injected_drop = match (&spec.audit, auditor.as_ref()) {
+            (Some(a), Some(aud)) if a.inject_drop_ext => queries
+                .iter()
+                .enumerate()
+                .find(|(i, _)| aud.should_sample(*i))
+                .and_then(|(_, q)| {
+                    let truth = aud.shadow_skyline(*q);
+                    truth
+                        .iter()
+                        .copied()
+                        .find(|&id| {
+                            let home =
+                                aud.resolver().lineage(id, q.subspace).origin.map(|o| o.super_peer);
+                            home != Some(q.initiator)
+                        })
+                        .or_else(|| truth.first().copied())
+                }),
+            _ => None,
+        };
+        if let Some(id) = injected_drop {
+            engine.set_fault(Some(AnswerFault { drop_id: id }));
+        }
         // A fresh cache per variant, so per-variant numbers stay
         // independent and comparable.
         let mut cached = spec.cache_bytes.map(|b| CachedEngine::new(engine, b));
@@ -293,6 +378,23 @@ pub fn run_soak(
                     (out, 0, None)
                 }
             };
+            // The audit: shadow-verify sampled answers against the
+            // raw-data oracle; on cache-fronted runs, additionally
+            // cross-check the answer against a direct distributed run.
+            let mut audited = auditor.as_ref().map(|_| false);
+            let mut query_violations = 0u64;
+            if let Some(aud) = auditor.as_mut() {
+                if aud.should_sample(i) {
+                    audited = Some(true);
+                    let before = aud.stats.violations;
+                    aud.check_answer(i, q, &out.result_ids);
+                    if cached.is_some() {
+                        let direct = engine.run_query_observed(q, variant, None);
+                        aud.crosscheck_cache(i, q, &out.result_ids, &direct.result_ids);
+                    }
+                    query_violations = aud.stats.violations - before;
+                }
+            }
             let events = tracer.take();
             // Queue depth has to come off the events before the
             // recorder consumes them; only pay for it when telemetry
@@ -335,6 +437,11 @@ pub fn run_soak(
                 if let Some(hit) = served_from_cache {
                     samples.push(("cache_hit", if hit { 1.0 } else { 0.0 }));
                 }
+                if audited.is_some() {
+                    // Zero on every healthy query: any step change is an
+                    // anomaly-detector onset at the corruption point.
+                    samples.push(("audit_violations", query_violations as f64));
+                }
                 let mnemonic = variant.mnemonic();
                 for (series, value) in samples {
                     tel.tsdb.record(series, tick, value);
@@ -355,10 +462,19 @@ pub fn run_soak(
                 over_slo,
                 retained,
                 served_from_cache,
+                audited,
             });
+        }
+        if injected_drop.is_some() {
+            engine.set_fault(None);
         }
         vs.slo = spec.slo.evaluate(variant.mnemonic(), &vs.latency_ns, &vs.bytes);
         vs.cache = cached.as_ref().map(|c| c.stats());
+        vs.audit = auditor.map(|a| VariantAudit {
+            stats: a.stats,
+            violations: a.violations,
+            injected_drop,
+        });
         variants.push(vs);
     }
     SoakOutcome { spec: spec.clone(), queries, variants }
@@ -460,6 +576,23 @@ impl SoakOutcome {
             if let Some(tel) = &v.telemetry {
                 obj = obj.raw("incidents", &tel.detector.incidents_json());
             }
+            // Present only on audited runs, same reasoning as `cache`.
+            if let Some(aud) = &v.audit {
+                let mut a = json::Obj::new()
+                    .u64("sampled", aud.stats.sampled)
+                    .u64("crosschecks", aud.stats.crosschecks)
+                    .u64("violations", aud.stats.violations)
+                    .u64("missing_points", aud.stats.missing_points)
+                    .u64("spurious_points", aud.stats.spurious_points);
+                if let Some(id) = aud.injected_drop {
+                    a = a.u64("injected_drop", id);
+                }
+                obj = obj.raw(
+                    "audit",
+                    &a.raw("records", &json::arr(aud.violations.iter().map(|x| x.to_json())))
+                        .build(),
+                );
+            }
             obj.raw("slo", &v.slo.to_json()).raw("worst", &worst).build()
         }));
         json::Obj::new()
@@ -519,6 +652,39 @@ impl SoakOutcome {
                 }
             }
         }
+        // Audit counters, one family per counter, labelled by variant —
+        // present only on audited runs.
+        if self.variants.iter().any(|v| v.audit.is_some()) {
+            type AuditCounter = (&'static str, &'static str, fn(&AuditStats) -> u64);
+            let pick: [AuditCounter; 5] = [
+                ("sampled", "Queries shadow-verified against the raw-data oracle.", |s| s.sampled),
+                ("crosschecks", "Cache-fronted answers cross-checked against direct runs.", |s| {
+                    s.crosschecks
+                }),
+                ("violations", "Correctness violations detected by the audit.", |s| s.violations),
+                ("points_missing", "True-skyline points absent from audited answers.", |s| {
+                    s.missing_points
+                }),
+                ("points_spurious", "Answered points absent from the true skyline.", |s| {
+                    s.spurious_points
+                }),
+            ];
+            for (name, help, get) in pick {
+                out.push_str(&format!(
+                    "# HELP skypeer_audit_{name}_total {help}\n\
+                     # TYPE skypeer_audit_{name}_total counter\n"
+                ));
+                for v in &self.variants {
+                    if let Some(aud) = &v.audit {
+                        out.push_str(&format!(
+                            "skypeer_audit_{name}_total{{variant=\"{}\"}} {}\n",
+                            v.variant.mnemonic(),
+                            get(&aud.stats)
+                        ));
+                    }
+                }
+            }
+        }
         // Incident counts, present only on telemetry runs.
         if self.variants.iter().any(|v| v.telemetry.is_some()) {
             out.push_str(
@@ -541,6 +707,42 @@ impl SoakOutcome {
     /// Total incidents across all variants (0 on telemetry-less runs).
     pub fn incident_count(&self) -> usize {
         self.variants.iter().filter_map(|v| v.telemetry.as_ref()).map(|t| t.incidents().len()).sum()
+    }
+
+    /// Total audit violations across all variants (0 on audit-less runs).
+    pub fn violation_count(&self) -> usize {
+        self.variants.iter().filter_map(|v| v.audit.as_ref()).map(|a| a.violations.len()).sum()
+    }
+
+    /// Deterministic audit digest: one summary line per audited variant
+    /// plus one line per violation (naming each disputed point, its
+    /// origin peer, and the queried subspace). `None` on audit-less runs.
+    pub fn audit_report(&self) -> Option<String> {
+        let audited: Vec<(&VariantSoak, &VariantAudit)> =
+            self.variants.iter().filter_map(|v| v.audit.as_ref().map(|a| (v, a))).collect();
+        if audited.is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        for (v, aud) in audited {
+            out.push_str(&format!(
+                "audit {}: sampled {}, crosschecks {}, violations {}{}\n",
+                v.variant.mnemonic(),
+                aud.stats.sampled,
+                aud.stats.crosschecks,
+                aud.stats.violations,
+                match aud.injected_drop {
+                    Some(id) => format!(" (drill: dropped #{id} in flight)"),
+                    None => String::new(),
+                }
+            ));
+            for violation in &aud.violations {
+                out.push_str("  ");
+                out.push_str(&violation.render());
+                out.push('\n');
+            }
+        }
+        Some(out)
     }
 
     /// The run's full telemetry history as JSONL text (all variants,
@@ -683,6 +885,7 @@ mod unit {
             cache_bytes: None,
             telemetry: None,
             perturb: None,
+            audit: None,
         }
     }
 
@@ -854,6 +1057,105 @@ mod unit {
         spec.cache_bytes = Some(1 << 20);
         spec.perturb = Some(SoakPerturb { after: 0, overrides: vec![] });
         run_soak(&engine, &spec, |_| {});
+    }
+
+    #[test]
+    fn audited_soak_is_clean_uncached_and_cached() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        let base_summary = run_soak(&engine, &spec, |_| {}).summary_json();
+        let mut base_rows = Vec::new();
+        run_soak(&engine, &spec, |r| base_rows.push(r.to_json()));
+        assert!(!base_summary.contains("\"audit\""), "audit-off summary is unchanged");
+        assert!(!base_rows.iter().any(|r| r.contains("audited")), "audit-off rows unchanged");
+
+        // Uncached: every audited answer matches the raw-data oracle.
+        spec.audit = Some(SoakAudit { sample_rate: 1.0, ..SoakAudit::default() });
+        let mut rows = Vec::new();
+        let out = run_soak(&engine, &spec, |r| rows.push(r.to_json()));
+        assert_eq!(out.violation_count(), 0, "{}", out.audit_report().unwrap());
+        for v in &out.variants {
+            let aud = v.audit.as_ref().expect("audit on");
+            assert_eq!(aud.stats.sampled, 12);
+            assert_eq!(aud.stats.crosschecks, 0, "no cache, no cross-checks");
+            assert_eq!(aud.injected_drop, None);
+        }
+        assert!(rows.iter().all(|r| r.contains("\"audited\":true")));
+        let summary = out.summary_json();
+        assert!(summary.contains("\"audit\":{\"sampled\":12,\"crosschecks\":0,\"violations\":0"));
+        let prom = out.prometheus();
+        assert!(prom.contains("skypeer_audit_sampled_total{variant=\"FTPM\"} 12"), "{prom}");
+        assert!(prom.contains("skypeer_audit_violations_total{variant=\"naive\"} 0"), "{prom}");
+        assert_eq!(summary, run_soak(&engine, &spec, |_| {}).summary_json(), "deterministic");
+        let report = out.audit_report().unwrap();
+        assert!(report.contains("audit FTPM: sampled 12, crosschecks 0, violations 0"), "{report}");
+
+        // Cached: shadow checks still pass and every sampled answer also
+        // cross-checks against a direct distributed run.
+        spec.cache_bytes = Some(4 << 20);
+        let cached = run_soak(&engine, &spec, |_| {});
+        assert_eq!(cached.violation_count(), 0, "{}", cached.audit_report().unwrap());
+        for v in &cached.variants {
+            let aud = v.audit.as_ref().unwrap();
+            assert_eq!(aud.stats.sampled, 12);
+            assert_eq!(aud.stats.crosschecks, 12, "every sampled cached answer cross-checks");
+        }
+    }
+
+    #[test]
+    fn partial_sampling_audits_the_deterministic_subset() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.variants = vec![Variant::Ftpm];
+        spec.audit = Some(SoakAudit { sample_rate: 0.5, seed: 9, inject_drop_ext: false });
+        let mut flags = Vec::new();
+        let out =
+            run_soak(&engine, &spec, |r| flags.push(r.to_json().contains("\"audited\":true")));
+        let aud = out.variants[0].audit.as_ref().unwrap();
+        let n = flags.iter().filter(|&&f| f).count();
+        assert_eq!(aud.stats.sampled, n as u64);
+        assert!(n > 0 && n < 12, "rate 0.5 samples a strict subset: {n}");
+        let mut again = Vec::new();
+        run_soak(&engine, &spec, |r| again.push(r.to_json().contains("\"audited\":true")));
+        assert_eq!(flags, again, "sampling is deterministic");
+    }
+
+    #[test]
+    fn injected_ext_drop_is_caught_and_named() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.variants = vec![Variant::Ftpm];
+        spec.telemetry = Some(TelemetrySpec::default());
+        spec.audit = Some(SoakAudit { sample_rate: 1.0, seed: 3, inject_drop_ext: true });
+        let out = run_soak(&engine, &spec, |_| {});
+        let aud = out.variants[0].audit.as_ref().unwrap();
+        let victim = aud.injected_drop.expect("drill armed");
+        assert!(aud.stats.violations > 0, "the audit must catch the drill");
+        // The violation names the dropped point with its lineage: origin
+        // peer, super-peer, and the queried subspace.
+        let hit = aud
+            .violations
+            .iter()
+            .find(|v| v.missing.iter().any(|l| l.id == victim))
+            .expect("a violation names the victim");
+        let named = hit.missing.iter().find(|l| l.id == victim).unwrap();
+        assert!(named.origin.is_some(), "lineage carries the origin peer");
+        assert_eq!(named.query_dims, hit.dims);
+        let report = out.audit_report().unwrap();
+        assert!(report.contains(&format!("drill: dropped #{victim}")), "{report}");
+        assert!(report.contains(&format!("#{victim} (peer ")), "{report}");
+        // The audit_violations telemetry series recorded the stream.
+        let tel = out.variants[0].telemetry.as_ref().unwrap();
+        let ts = tel.tsdb.get("audit_violations").expect("audit series present");
+        assert_eq!(ts.count(), 12);
+        // Summary carries the records; the whole run stays deterministic.
+        let summary = out.summary_json();
+        assert!(summary.contains(&format!("\"injected_drop\":{victim}")), "{summary}");
+        assert!(summary.contains("\"records\":[{\"query\":"), "{summary}");
+        assert_eq!(summary, run_soak(&engine, &spec, |_| {}).summary_json());
+        // The fault is cleared afterwards: a fresh audited run is clean.
+        spec.audit = Some(SoakAudit { sample_rate: 1.0, seed: 3, inject_drop_ext: false });
+        assert_eq!(run_soak(&engine, &spec, |_| {}).violation_count(), 0);
     }
 
     #[test]

@@ -185,25 +185,10 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
 }
 
 /// Parses a `--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]` spec into a
-/// directed-link override. An omitted `NS_PER_BYTE` keeps the engine's
-/// configured per-byte cost and only replaces the latency.
+/// directed-link override via the shared netsim parser, wrapping its
+/// (pinned) error text into an [`ArgError`].
 fn parse_perturb_link(spec: &str, base: LinkModel) -> Result<(usize, usize, LinkModel), ArgError> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    if parts.len() < 3 || parts.len() > 4 {
-        return Err(ArgError(format!(
-            "bad --perturb-link '{spec}' (expected FROM:TO:LATENCY_NS[:NS_PER_BYTE])"
-        )));
-    }
-    let field = |i: usize, what: &str| -> Result<u64, ArgError> {
-        parts[i]
-            .parse()
-            .map_err(|_| ArgError(format!("bad {what} '{}' in --perturb-link", parts[i])))
-    };
-    let from = field(0, "FROM")? as usize;
-    let to = field(1, "TO")? as usize;
-    let latency_ns = field(2, "LATENCY_NS")?;
-    let ns_per_byte = if parts.len() == 4 { field(3, "NS_PER_BYTE")? } else { base.ns_per_byte };
-    Ok((from, to, LinkModel { latency_ns, ns_per_byte }))
+    skypeer_netsim::des::parse_perturb_spec(spec, base).map_err(ArgError)
 }
 
 /// `skypeer-cli trace` — run one query with full tracing: metrics
@@ -336,6 +321,52 @@ pub fn explain(args: &Args) -> Result<(), ArgError> {
         print!("{}", report.render());
     }
     Ok(())
+}
+
+/// Shared implementation of `why` / `why-not`: resolve the positional
+/// point id's full lineage against the query's subspace and render it
+/// deterministically (text, or single-line JSON with `--json`). The two
+/// subcommands differ only in which outcome they expect, so each adds a
+/// redirect note when the point landed on the other side.
+fn lineage_command(args: &Args, expect_in_answer: bool) -> Result<(), ArgError> {
+    use skypeer_netsim::obs::LineageStage;
+
+    let [id_str] = args.positional() else {
+        unreachable!("main.rs enforces exactly one positional");
+    };
+    let id: u64 = id_str.parse().map_err(|_| ArgError(format!("bad point id '{id_str}'")))?;
+    let (engine, q) = setup_from(args)?;
+    let json = args.flag("json")?;
+    args.reject_unknown()?;
+    let resolver = skypeer_core::LineageResolver::new(&engine);
+    let lineage = resolver.lineage(id, q.subspace);
+    if json {
+        println!("{}", lineage.to_json());
+        return Ok(());
+    }
+    print!("{}", lineage.render_text());
+    let in_answer = matches!(lineage.stage, LineageStage::InSkyline);
+    if expect_in_answer && !in_answer {
+        println!("note      : the point is NOT in this answer — see `why-not {id}`");
+    } else if !expect_in_answer && in_answer {
+        println!("note      : the point IS in this answer — see `why {id}`");
+    }
+    Ok(())
+}
+
+/// `skypeer-cli why <point>` — why a point is in the subspace skyline
+/// answer: origin peer, owning super-peer, and the ext-skyline store
+/// entry it survived through.
+pub fn why(args: &Args) -> Result<(), ArgError> {
+    lineage_command(args, true)
+}
+
+/// `skypeer-cli why-not <point>` — why a point is absent from the
+/// answer: where the pipeline pruned it (its own peer, the super-peer
+/// merge, or query-time dominance) and the dominance witness that
+/// killed it.
+pub fn why_not(args: &Args) -> Result<(), ArgError> {
+    lineage_command(args, false)
 }
 
 /// `skypeer-cli profile` — in-process CPU profile of one query run as a
@@ -677,7 +708,7 @@ pub fn estimate(args: &Args) -> Result<(), ArgError> {
 /// stderr line shows progress and sliding-window throughput; the final
 /// stdout report (or `--json` summary) is byte-deterministic.
 pub fn soak(args: &Args) -> Result<(), ArgError> {
-    use skypeer_bench::soak::{run_soak, SoakPerturb, SoakSpec, TelemetrySpec};
+    use skypeer_bench::soak::{run_soak, SoakAudit, SoakPerturb, SoakSpec, TelemetrySpec};
     use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec};
     use skypeer_netsim::obs::SloSpec;
     use std::collections::VecDeque;
@@ -770,7 +801,28 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     let perturb_spec = args.str_or("perturb-link", "");
     let perturb_after: usize = args.get_or("perturb-after", 0)?;
     let hdr_precision: u32 = args.get_or("precision", 7u32)?;
+    let audit_sample: f64 = args.get_or("audit-sample", -1.0f64)?;
+    let audit_seed: u64 = args.get_or("audit-seed", SoakAudit::default().seed)?;
+    let fail_on_violation = args.flag("fail-on-violation")?;
+    let inject_drop_ext = args.flag("inject-drop-ext")?;
     args.reject_unknown()?;
+    let audit = if args.present("audit-sample") {
+        if !(0.0..=1.0).contains(&audit_sample) {
+            return Err(ArgError(format!("--audit-sample {audit_sample} not in [0, 1]")));
+        }
+        Some(SoakAudit { sample_rate: audit_sample, seed: audit_seed, inject_drop_ext })
+    } else {
+        for (on, name) in [
+            (fail_on_violation, "--fail-on-violation"),
+            (inject_drop_ext, "--inject-drop-ext"),
+            (args.present("audit-seed"), "--audit-seed"),
+        ] {
+            if on {
+                return Err(ArgError(format!("{name} requires --audit-sample")));
+            }
+        }
+        None
+    };
     let cache_bytes: Option<u64> = if cache_bytes_arg > 0 {
         Some(cache_bytes_arg)
     } else if cache {
@@ -814,6 +866,7 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         cache_bytes,
         telemetry,
         perturb,
+        audit,
     };
 
     let mut jsonl = match jsonl_path.as_str() {
@@ -891,6 +944,9 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
                 }
             }
         }
+        if let Some(report) = outcome.audit_report() {
+            print!("{report}");
+        }
     }
     if !history_out.is_empty() {
         let history = outcome.history_text().expect("telemetry implied by --history-out");
@@ -927,6 +983,12 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError(format!(
             "incident gate failed: {} incident(s) flagged",
             outcome.incident_count()
+        )));
+    }
+    if fail_on_violation && outcome.violation_count() > 0 {
+        return Err(ArgError(format!(
+            "audit gate failed: {} violation(s) detected",
+            outcome.violation_count()
         )));
     }
     Ok(())

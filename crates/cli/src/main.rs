@@ -10,13 +10,16 @@
 //!                      [--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [...]
 //! skypeer-cli diff     BASELINE CANDIDATE [--json] [--what-if-factor F]
 //! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
+//! skypeer-cli why      POINT_ID [--dims 0,2,5] [--initiator I] [--json] [...]
+//! skypeer-cli why-not  POINT_ID [--dims 0,2,5] [--initiator I] [--json] [...]
 //! skypeer-cli profile  [--figure NAME | network flags] [--clock logical|monotonic]
 //!                      [--folded F] [--json] | --overhead [--repeat N] [--max-ratio F]
 //! skypeer-cli soak     [--queries Q] [--variants LIST|all] [--k K | --k-min A --k-max B]
 //!                      [--initiator-theta T] [--top-k K] [--slo-pNN-ms F] [--gate]
 //!                      [--cache] [--cache-bytes N] [--json] [--out F] [--jsonl F] [--prom F]
 //!                      [--quiet] [--telemetry] [--history-out F] [--fail-on-incident]
-//!                      [--perturb-link SPEC] [--perturb-after N] [...]
+//!                      [--perturb-link SPEC] [--perturb-after N] [--audit-sample R]
+//!                      [--audit-seed S] [--fail-on-violation] [--inject-drop-ext] [...]
 //! skypeer-cli top      [--replay F | --queries Q --variant V [--perturb-link SPEC]]
 //!                      [--json] [--history-out F] [--series-cap N] [...]
 //! ```
@@ -35,7 +38,7 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|explain|diff|profile|soak|top|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|why|why-not|diff|profile|soak|top|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 /// How many positional (non-`--flag`) arguments a command takes. One
@@ -59,6 +62,16 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "query", positionals: Positionals::None, run: commands::query },
     CommandSpec { name: "trace", positionals: Positionals::None, run: commands::trace },
     CommandSpec { name: "explain", positionals: Positionals::None, run: commands::explain },
+    CommandSpec {
+        name: "why",
+        positionals: Positionals::Exactly { count: 1, what: "point id" },
+        run: commands::why,
+    },
+    CommandSpec {
+        name: "why-not",
+        positionals: Positionals::Exactly { count: 1, what: "point id" },
+        run: commands::why_not,
+    },
     CommandSpec {
         name: "diff",
         positionals: Positionals::Exactly { count: 2, what: "capture paths" },

@@ -903,3 +903,127 @@ fn bad_figure_error_is_identical_across_subcommands() {
     }
     assert!(errors.windows(2).all(|w| w[0] == w[1]), "error text diverged: {errors:?}");
 }
+
+/// Shared network flags for the `why` / `why-not` lineage tests: a small
+/// seeded net whose point roles (in-skyline, dominated, merge-pruned) are
+/// pinned by the goldens below.
+const LINEAGE_NET: &[&str] =
+    &["--peers", "12", "--superpeers", "4", "--dim", "4", "--points", "25", "--seed", "21"];
+
+/// `why` / `why-not` are byte-deterministic and match self-bootstrapping
+/// goldens: first run writes `tests/goldens/why_97.txt` /
+/// `whynot_18.json`, later runs must reproduce them byte for byte.
+#[test]
+fn why_and_why_not_are_byte_deterministic_and_match_goldens() {
+    let goldens = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    std::fs::create_dir_all(&goldens).expect("goldens dir");
+    let pin = |name: &str, got: &str| {
+        let golden = goldens.join(name);
+        if !golden.exists() {
+            std::fs::write(&golden, got).expect("bootstrap golden");
+        }
+        let want = std::fs::read_to_string(&golden).expect("golden readable");
+        assert_eq!(
+            got, want,
+            "{name} drifted; if the change is intentional, delete the golden and rerun"
+        );
+    };
+
+    // A survivor: origin, store membership, in-skyline verdict.
+    let why_args = [&["why", "97"], LINEAGE_NET, &["--dims", "0,2"]].concat();
+    let (a, stderr, ok) = run(&why_args);
+    let (b, _, ok_b) = run(&why_args);
+    assert!(ok && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "why must be byte-deterministic");
+    assert!(a.contains("verdict   : in the subspace skyline of {0,2}"), "{a}");
+    assert!(a.contains("ext-store : present in"), "{a}");
+    pin("why_97.txt", &a);
+
+    // A merge-pruned point: the JSON form names the ext-dominance witness.
+    let whynot_args = [&["why-not", "18"], LINEAGE_NET, &["--dims", "0,2", "--json"]].concat();
+    let (j, stderr, ok) = run(&whynot_args);
+    let (j2, _, ok2) = run(&whynot_args);
+    assert!(ok && ok2, "stderr: {stderr}");
+    assert_eq!(j, j2, "why-not --json must be byte-deterministic");
+    assert!(j.contains("\"stage\":\"pruned-at-super-peer\""), "{j}");
+    assert!(j.contains("\"dominance\":\"extended\""), "{j}");
+    pin("whynot_18.json", &j);
+
+    // The two commands redirect to each other when the point landed on
+    // the other side, and a query-time loser names its witness.
+    let (redirect, _, ok) = run(&[&["why-not", "97"], LINEAGE_NET, &["--dims", "0,2"]].concat());
+    assert!(ok);
+    assert!(redirect.contains("see `why 97`"), "{redirect}");
+    let (dominated, _, ok) = run(&[&["why", "17"], LINEAGE_NET, &["--dims", "0,2"]].concat());
+    assert!(ok);
+    assert!(dominated.contains("verdict   : dominated on {0,2}"), "{dominated}");
+    assert!(dominated.contains("see `why-not 17`"), "{dominated}");
+
+    // An id outside the dataset is explained, not an error.
+    let (missing, _, ok) = run(&[&["why-not", "99999"], LINEAGE_NET].concat());
+    assert!(ok);
+    assert!(missing.contains("not generated"), "{missing}");
+}
+
+#[test]
+fn why_rejects_bad_inputs() {
+    let (_, stderr, ok) = run(&["why"]);
+    assert!(!ok);
+    assert!(stderr.contains("why needs exactly one point id"), "{stderr}");
+    let (_, stderr, ok) = run(&[&["why", "x"], LINEAGE_NET].concat());
+    assert!(!ok);
+    assert!(stderr.contains("bad point id 'x'"), "{stderr}");
+}
+
+/// The audited soak: a clean run reports zero violations and passes the
+/// gate; arming the ext-skyline drop drill is caught, named, and fails
+/// `--fail-on-violation` with a nonzero exit.
+#[test]
+fn soak_audit_reports_clean_and_gates_on_injection() {
+    let base = [
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--queries",
+        "20",
+        "--variants",
+        "ftpm",
+        "--seed",
+        "11",
+        "--audit-sample",
+        "1",
+        "--fail-on-violation",
+    ];
+    let (stdout, stderr, ok) = run(&base);
+    assert!(ok, "a healthy engine must audit clean: {stderr}");
+    assert!(stdout.contains("audit FTPM: sampled 20, crosschecks 0, violations 0"), "{stdout}");
+
+    let (stdout, stderr, ok) = run(&[&base[..], &["--inject-drop-ext"]].concat());
+    assert!(!ok, "the injected fault must fail the gate");
+    assert!(stderr.contains("audit gate failed"), "{stderr}");
+    assert!(stdout.contains("drill: dropped #"), "{stdout}");
+    assert!(stdout.contains("shadow mismatch - missing [#"), "{stdout}");
+
+    let (_, stderr, ok) = run(&[
+        "soak",
+        "--queries",
+        "2",
+        "--peers",
+        "12",
+        "--superpeers",
+        "4",
+        "--dim",
+        "4",
+        "--points",
+        "10",
+        "--fail-on-violation",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--fail-on-violation requires --audit-sample"), "{stderr}");
+}

@@ -213,6 +213,9 @@ pub struct SkypeerEngine {
     /// `Fixed(config.index)`).
     query_policy: crate::planner::IndexPolicy,
     next_qid: std::cell::Cell<u32>,
+    /// Optional in-flight answer corruption (audit drills); `None` keeps
+    /// every run byte-identical to a fault-free engine.
+    fault: std::cell::Cell<Option<crate::audit::AnswerFault>>,
 }
 
 impl SkypeerEngine {
@@ -246,7 +249,17 @@ impl SkypeerEngine {
             preprocess,
             query_policy: crate::planner::IndexPolicy::Fixed(config.index),
             next_qid: std::cell::Cell::new(1),
+            fault: std::cell::Cell::new(None),
         }
+    }
+
+    /// Installs (or clears) an in-flight [`crate::audit::AnswerFault`]
+    /// applied to every subsequent observed run — the audit drill that
+    /// silently corrupts one ext-skyline entry in transit. `None` (the
+    /// default) leaves every code path byte-identical to a fault-free
+    /// engine.
+    pub fn set_fault(&self, fault: Option<crate::audit::AnswerFault>) {
+        self.fault.set(fault);
     }
 
     /// Switches the query-time dominance-index policy (preprocessing
@@ -408,6 +421,9 @@ impl SkypeerEngine {
         }
         if let Some(tracer) = tracer {
             sim = sim.with_tracer(tracer);
+        }
+        if let Some(fault) = self.fault.get() {
+            sim = sim.with_tamper_hook(move |_, _, payload| fault.tamper(payload));
         }
         let out = sim.run(query.initiator);
         let (stats, result, complete) = extract(out, query.initiator);

@@ -29,6 +29,7 @@
 //! paper's scalability experiments) and on the live threaded runtime (to
 //! prove the logic under real concurrency) — see [`engine`] and [`live`].
 
+pub mod audit;
 pub mod cached;
 pub mod churn;
 pub mod engine;
@@ -41,6 +42,7 @@ pub mod preprocess;
 pub mod variants;
 pub mod verify;
 
+pub use audit::{AnswerFault, AuditSpec, AuditStats, AuditViolation, Auditor, LineageResolver};
 pub use engine::{EngineConfig, QueryMetrics, QueryOutcome, SkypeerEngine};
 pub use explain::ExplainReport;
 pub use preprocess::{preprocess_network, PreprocessReport, SuperPeerStore};

@@ -1,6 +1,6 @@
 //! Running a SKYPEER query on the live threaded runtime.
 //!
-//! The same [`SuperPeerNode`](crate::node::SuperPeerNode) state machine
+//! The same [`SuperPeerNode`] state machine
 //! that the DES drives is handed to real OS threads here — one per
 //! super-peer, crossbeam channels as links. The result must be the exact
 //! subspace skyline regardless of thread scheduling, which the integration

@@ -56,6 +56,31 @@ impl LinkModel {
     }
 }
 
+/// Parses a `--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]` spec into a
+/// directed-link override. An omitted `NS_PER_BYTE` keeps `base`'s
+/// per-byte cost and only replaces the latency. Shared by every front end
+/// that accepts the flag so the accepted grammar — and the error text —
+/// cannot drift between them.
+pub fn parse_perturb_spec(
+    spec: &str,
+    base: LinkModel,
+) -> Result<(usize, usize, LinkModel), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err(format!(
+            "bad --perturb-link '{spec}' (expected FROM:TO:LATENCY_NS[:NS_PER_BYTE])"
+        ));
+    }
+    let field = |i: usize, what: &str| -> Result<u64, String> {
+        parts[i].parse().map_err(|_| format!("bad {what} '{}' in --perturb-link", parts[i]))
+    };
+    let from = field(0, "FROM")? as usize;
+    let to = field(1, "TO")? as usize;
+    let latency_ns = field(2, "LATENCY_NS")?;
+    let ns_per_byte = if parts.len() == 4 { field(3, "NS_PER_BYTE")? } else { base.ns_per_byte };
+    Ok((from, to, LinkModel { latency_ns, ns_per_byte }))
+}
+
 /// What a node can do while handling an event. Implemented by both the DES
 /// and the live runtime.
 pub trait Context {
@@ -193,6 +218,13 @@ pub type TraceHook = Box<dyn FnMut(SimTime, usize, usize, &[u8])>;
 /// only reports the last one (the makespan).
 pub type FinishHook = Box<dyn FnMut(usize, SimTime)>;
 
+/// Corruption-injection callback: sees `(from, to, msg)` just before
+/// delivery and returns `Some(replacement)` to tamper with the payload.
+/// Timing and declared wire bytes were fixed at send time, so tampering
+/// only changes what the receiver decodes — exactly the silent-corruption
+/// model the online auditor is built to catch.
+pub type TamperHook = Box<dyn FnMut(usize, usize, &[u8]) -> Option<Vec<u8>>>;
+
 /// The discrete-event simulator.
 pub struct Sim<B: Behavior> {
     nodes: Vec<B>,
@@ -204,6 +236,8 @@ pub struct Sim<B: Behavior> {
     cost: CostModel,
     /// Optional failure injection.
     drop_hook: Option<DropHook>,
+    /// Optional corruption injection.
+    tamper_hook: Option<TamperHook>,
     /// Optional delivery observer.
     trace_hook: Option<TraceHook>,
     /// Optional per-finish observer.
@@ -310,6 +344,7 @@ impl<B: Behavior> Sim<B> {
             link_overrides: HashMap::new(),
             cost,
             drop_hook: None,
+            tamper_hook: None,
             trace_hook: None,
             finish_hook: None,
             tracer: None,
@@ -376,6 +411,19 @@ impl<B: Behavior> Sim<B> {
         hook: impl FnMut(usize, usize, &[u8]) -> bool + 'static,
     ) -> Self {
         self.drop_hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Installs a corruption-injection hook; it sees every surviving
+    /// message just before delivery and may return a replacement payload.
+    /// Timing and declared wire bytes are unchanged (they were fixed at
+    /// send time), so the tamper is invisible to every performance metric
+    /// — only a correctness audit can notice it.
+    pub fn with_tamper_hook(
+        mut self,
+        hook: impl FnMut(usize, usize, &[u8]) -> Option<Vec<u8>> + 'static,
+    ) -> Self {
+        self.tamper_hook = Some(Box::new(hook));
         self
     }
 
@@ -480,6 +528,10 @@ impl<B: Behavior> Sim<B> {
                             continue;
                         }
                     }
+                    let msg = match &mut self.tamper_hook {
+                        Some(hook) => hook(from, ev.to, &msg).unwrap_or(msg),
+                        None => msg,
+                    };
                     rs.stats.messages += 1;
                     if let Some(b) = &mut rs.breakdown {
                         b.handled[ev.to] += 1;
@@ -719,6 +771,66 @@ mod unit {
         assert!(out.stats.finished_at.is_none(), "the ring is broken, no completion");
         assert_eq!(out.stats.dropped, 1);
         assert_eq!(out.stats.messages, 1, "only the 0→1 hop is delivered");
+    }
+
+    #[test]
+    fn tamper_hook_rewrites_payload_without_touching_metrics() {
+        let clean = Sim::new(ring(4, 6), LinkModel::paper_4kbps(), CostModel::default()).run(0);
+        // Rewind the hop counter once (on the second delivery, where it is
+        // 1): the ring silently repeats a hop and needs one extra message
+        // to reach `hops` — delivered, not dropped.
+        let mut tampered = false;
+        let out = Sim::new(ring(4, 6), LinkModel::paper_4kbps(), CostModel::default())
+            .with_tamper_hook(move |_, _, msg| {
+                if tampered || msg[0] != 1 {
+                    return None;
+                }
+                tampered = true;
+                Some(vec![0])
+            })
+            .run(0);
+        assert!(out.stats.finished_at.is_some());
+        assert_eq!(out.stats.messages, clean.stats.messages + 1);
+        assert_eq!(out.stats.dropped, 0, "tampering is not dropping");
+    }
+
+    #[test]
+    fn tamper_hook_returning_none_changes_nothing() {
+        let clean = Sim::new(ring(5, 20), LinkModel::paper_4kbps(), CostModel::default()).run(2);
+        let hooked = Sim::new(ring(5, 20), LinkModel::paper_4kbps(), CostModel::default())
+            .with_tamper_hook(|_, _, _| None)
+            .run(2);
+        assert_eq!(clean.stats, hooked.stats);
+    }
+
+    #[test]
+    fn perturb_spec_parses_and_pins_error_text() {
+        let base = LinkModel { latency_ns: 7, ns_per_byte: 11 };
+        assert_eq!(
+            parse_perturb_spec("1:2:500", base),
+            Ok((1, 2, LinkModel { latency_ns: 500, ns_per_byte: 11 }))
+        );
+        assert_eq!(
+            parse_perturb_spec("0:3:500:9", base),
+            Ok((0, 3, LinkModel { latency_ns: 500, ns_per_byte: 9 }))
+        );
+        // Pinned error text: front ends surface these strings verbatim.
+        assert_eq!(
+            parse_perturb_spec("1:2", base).unwrap_err(),
+            "bad --perturb-link '1:2' (expected FROM:TO:LATENCY_NS[:NS_PER_BYTE])"
+        );
+        assert_eq!(
+            parse_perturb_spec("0:zap:5", base).unwrap_err(),
+            "bad TO 'zap' in --perturb-link"
+        );
+        assert_eq!(
+            parse_perturb_spec("0:1:x", base).unwrap_err(),
+            "bad LATENCY_NS 'x' in --perturb-link"
+        );
+        assert_eq!(
+            parse_perturb_spec("0:1:5:y", base).unwrap_err(),
+            "bad NS_PER_BYTE 'y' in --perturb-link"
+        );
     }
 
     /// Two messages arriving while a node is busy are processed back to

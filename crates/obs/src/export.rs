@@ -822,6 +822,24 @@ mod unit {
     }
 
     #[test]
+    fn parse_jsonl_names_the_offending_line_one_based() {
+        // Two valid lines, then garbage: the error must say line 3, not
+        // a 0-based index and not the first line.
+        let good = jsonl(&[
+            TraceEvent::Finish { span: 0, node: 1, at: 5 },
+            TraceEvent::Finish { span: 1, node: 2, at: 9 },
+        ]);
+        let text = format!("{good}not json\n");
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(!err.contains("line 2"), "{err}");
+        // A blank separator line still counts toward the numbering.
+        let text = format!("\n{good}not json\n");
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
     fn parse_jsonl_truncated_lines_are_named_errors() {
         // Cut mid-object (lost the closing brace and trailing fields).
         let err = parse_jsonl("{\"type\":\"deliver\",\"msg_seq\":0,\"at\":5").unwrap_err();

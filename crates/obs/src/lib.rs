@@ -29,6 +29,11 @@
 //!   long-running live-mode processes;
 //! * [`json`] — the byte-deterministic JSON builder the exporters (and
 //!   downstream crates' reports) share;
+//! * [`lineage`] — per-point answer provenance records (origin peer,
+//!   super-peer store membership, dominance witnesses) with
+//!   byte-deterministic JSON and text rendering — the substrate of the
+//!   `why` / `why-not` explanations and the online audit's violation
+//!   records;
 //! * [`prof`] — a scoped calltree CPU profiler ([`scope!`] in hot paths,
 //!   ranked-table / JSON / folded-flamegraph exports, a deterministic
 //!   logical clock for goldens, and observability-overhead accounting);
@@ -65,6 +70,7 @@ pub mod export;
 pub mod expose;
 pub mod hdr;
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 pub mod prof;
 pub mod recorder;
@@ -80,6 +86,7 @@ pub use event::{DropReason, ProtoEvent, QueryPhase, SimTime, SpanCause, TraceEve
 pub use export::{chrome_trace, jsonl, parse_jsonl};
 pub use expose::{MetricsSnapshot, ProcessStats, Sampler, SamplerHandle};
 pub use hdr::HdrHistogram;
+pub use lineage::{LineageStage, PointLineage, PointOrigin, Witness};
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
 pub use prof::{CallNode, CallTree, ClockMode, OverheadReport, Profile};
 pub use recorder::{FlightRecorder, RetainedQuery};

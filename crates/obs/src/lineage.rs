@@ -1,0 +1,284 @@
+//! Per-point answer provenance (lineage) records.
+//!
+//! A [`PointLineage`] explains, for one point id and one queried
+//! subspace, how far the point travelled through the SKYPEER pipeline —
+//! generated at a peer, uploaded (or ext-pruned) during preprocessing,
+//! stored at its super-peer, and finally kept or dominated at query time
+//! — and, for any point that did *not* reach the answer, the dominance
+//! [`Witness`] that killed it.
+//!
+//! This crate sits below the protocol crates, so subspaces appear as
+//! plain dimension lists and all rendering is byte-deterministic (the
+//! `why` / `why-not` CLI goldens and `AuditViolation` records are
+//! compared with `==`).
+
+use crate::json::{arr, float, Obj};
+
+/// The dominating point that removed a candidate from the answer, and
+/// the subspace under which the dominance holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Witness {
+    /// Global id of the dominating point.
+    pub id: u64,
+    /// Full-space coordinates of the dominating point.
+    pub coords: Vec<f64>,
+    /// Peer that generated the dominating point.
+    pub origin_peer: usize,
+    /// Dimensions of the subspace under which the dominance holds — the
+    /// full space for preprocessing-time prunes, the queried subspace
+    /// for query-time dominance.
+    pub dims: Vec<usize>,
+    /// `true` for extended dominance (strict on every dimension, the
+    /// preprocessing relation), `false` for standard skyline dominance.
+    pub extended: bool,
+}
+
+impl Witness {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .u64("id", self.id)
+            .u64("peer", self.origin_peer as u64)
+            .raw("dims", &arr(self.dims.iter().map(|d| d.to_string())))
+            .str("dominance", if self.extended { "extended" } else { "standard" })
+            .raw("coords", &arr(self.coords.iter().map(|&v| float(v))))
+            .build()
+    }
+}
+
+/// Where the point was generated and where its data lives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointOrigin {
+    /// Full-space coordinates of the point.
+    pub coords: Vec<f64>,
+    /// Peer that generated the point.
+    pub peer: usize,
+    /// The super-peer the origin peer uploads to.
+    pub super_peer: usize,
+    /// Whether the point survived preprocessing into its super-peer's
+    /// ext-skyline store (the entry it would be answered from).
+    pub in_ext_store: bool,
+}
+
+/// How far a point travelled through the pipeline for one query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LineageStage {
+    /// The id lies outside the generated dataset.
+    NotGenerated,
+    /// Ext-dominated by a point of the *same* peer: never uploaded.
+    PrunedAtPeer(Witness),
+    /// Uploaded, but ext-dominated by another peer's point during the
+    /// super-peer merge: absent from the ext-skyline store.
+    PrunedAtSuperPeer(Witness),
+    /// In the ext-skyline store, but standard-dominated on the queried
+    /// subspace: correctly excluded from this answer.
+    Dominated(Witness),
+    /// In the subspace skyline: an exact answer must contain it.
+    InSkyline,
+}
+
+impl LineageStage {
+    /// Short machine-readable verdict tag.
+    pub fn verdict(&self) -> &'static str {
+        match self {
+            LineageStage::NotGenerated => "not-generated",
+            LineageStage::PrunedAtPeer(_) => "pruned-at-peer",
+            LineageStage::PrunedAtSuperPeer(_) => "pruned-at-super-peer",
+            LineageStage::Dominated(_) => "dominated",
+            LineageStage::InSkyline => "in-skyline",
+        }
+    }
+
+    /// The dominance witness, when this stage has one.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            LineageStage::PrunedAtPeer(w)
+            | LineageStage::PrunedAtSuperPeer(w)
+            | LineageStage::Dominated(w) => Some(w),
+            LineageStage::NotGenerated | LineageStage::InSkyline => None,
+        }
+    }
+}
+
+/// Full provenance of one point id with respect to one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointLineage {
+    /// The point id being explained.
+    pub id: u64,
+    /// Dimensions of the queried subspace.
+    pub query_dims: Vec<usize>,
+    /// Origin data; `None` when the id was never generated.
+    pub origin: Option<PointOrigin>,
+    /// The stage the point reached.
+    pub stage: LineageStage,
+}
+
+impl PointLineage {
+    /// Deterministic single-line JSON record (insertion-order keys,
+    /// shortest-roundtrip floats).
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new()
+            .u64("id", self.id)
+            .raw("query_dims", &arr(self.query_dims.iter().map(|d| d.to_string())))
+            .str("stage", self.stage.verdict());
+        if let Some(origin) = &self.origin {
+            o = o.raw(
+                "origin",
+                &Obj::new()
+                    .u64("peer", origin.peer as u64)
+                    .u64("super_peer", origin.super_peer as u64)
+                    .bool("in_ext_store", origin.in_ext_store)
+                    .raw("coords", &arr(origin.coords.iter().map(|&v| float(v))))
+                    .build(),
+            );
+        }
+        if let Some(w) = self.stage.witness() {
+            o = o.raw("witness", &w.to_json());
+        }
+        o.build()
+    }
+
+    /// Deterministic human-readable report, one fact per line.
+    pub fn render_text(&self) -> String {
+        let dims = dim_set(&self.query_dims);
+        let mut out = format!("point #{} on subspace {dims}\n", self.id);
+        match &self.origin {
+            None => out.push_str("  origin    : not generated (id outside the dataset)\n"),
+            Some(origin) => {
+                out.push_str(&format!(
+                    "  origin    : peer {} (home super-peer SP{})\n",
+                    origin.peer, origin.super_peer
+                ));
+                out.push_str(&format!("  coords    : {}\n", coord_list(&origin.coords)));
+                out.push_str(&format!(
+                    "  ext-store : {} SP{}'s ext-skyline store\n",
+                    if origin.in_ext_store { "present in" } else { "absent from" },
+                    origin.super_peer
+                ));
+            }
+        }
+        let verdict = match &self.stage {
+            LineageStage::NotGenerated => "not generated".to_string(),
+            LineageStage::PrunedAtPeer(_) => {
+                "ext-dominated at its own peer (never uploaded)".to_string()
+            }
+            LineageStage::PrunedAtSuperPeer(_) => {
+                "ext-dominated during the super-peer merge".to_string()
+            }
+            LineageStage::Dominated(w) => format!("dominated on {}", dim_set(&w.dims)),
+            LineageStage::InSkyline => format!("in the subspace skyline of {dims}"),
+        };
+        out.push_str(&format!("  verdict   : {verdict}\n"));
+        if let Some(w) = self.stage.witness() {
+            out.push_str(&format!(
+                "  witness   : #{} (peer {}) {} it on {} with coords {}\n",
+                w.id,
+                w.origin_peer,
+                if w.extended { "ext-dominates" } else { "dominates" },
+                dim_set(&w.dims),
+                coord_list(&w.coords)
+            ));
+        }
+        out
+    }
+}
+
+/// Renders a dimension list as the `{d0,d1,...}` set notation the rest
+/// of the tooling uses for subspaces.
+pub fn dim_set(dims: &[usize]) -> String {
+    let mut out = String::from("{");
+    for (i, d) in dims.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_string());
+    }
+    out.push('}');
+    out
+}
+
+fn coord_list(coords: &[f64]) -> String {
+    arr(coords.iter().map(|&v| float(v)))
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn survivor() -> PointLineage {
+        PointLineage {
+            id: 42,
+            query_dims: vec![0, 2],
+            origin: Some(PointOrigin {
+                coords: vec![0.25, 0.5, 1.0],
+                peer: 7,
+                super_peer: 2,
+                in_ext_store: true,
+            }),
+            stage: LineageStage::InSkyline,
+        }
+    }
+
+    fn loser() -> PointLineage {
+        PointLineage {
+            id: 43,
+            query_dims: vec![0, 2],
+            origin: Some(PointOrigin {
+                coords: vec![0.5, 0.5, 1.5],
+                peer: 7,
+                super_peer: 2,
+                in_ext_store: true,
+            }),
+            stage: LineageStage::Dominated(Witness {
+                id: 42,
+                coords: vec![0.25, 0.5, 1.0],
+                origin_peer: 7,
+                dims: vec![0, 2],
+                extended: false,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_shaped() {
+        assert_eq!(
+            survivor().to_json(),
+            r#"{"id":42,"query_dims":[0,2],"stage":"in-skyline","origin":{"peer":7,"super_peer":2,"in_ext_store":true,"coords":[0.25,0.5,1.0]}}"#
+        );
+        let j = loser().to_json();
+        assert!(j.contains(r#""stage":"dominated""#), "{j}");
+        assert!(
+            j.contains(r#""witness":{"id":42,"peer":7,"dims":[0,2],"dominance":"standard""#),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn text_report_names_the_witness() {
+        let t = loser().render_text();
+        assert!(t.contains("point #43 on subspace {0,2}"), "{t}");
+        assert!(t.contains("verdict   : dominated on {0,2}"), "{t}");
+        assert!(t.contains("witness   : #42 (peer 7) dominates it on {0,2}"), "{t}");
+    }
+
+    #[test]
+    fn not_generated_has_no_origin_keys() {
+        let l = PointLineage {
+            id: 9,
+            query_dims: vec![1],
+            origin: None,
+            stage: LineageStage::NotGenerated,
+        };
+        assert_eq!(l.to_json(), r#"{"id":9,"query_dims":[1],"stage":"not-generated"}"#);
+        assert!(l.render_text().contains("not generated"));
+    }
+
+    #[test]
+    fn verdict_tags_cover_every_stage() {
+        let w = Witness { id: 1, coords: vec![], origin_peer: 0, dims: vec![0], extended: true };
+        assert_eq!(LineageStage::NotGenerated.verdict(), "not-generated");
+        assert_eq!(LineageStage::PrunedAtPeer(w.clone()).verdict(), "pruned-at-peer");
+        assert_eq!(LineageStage::PrunedAtSuperPeer(w.clone()).verdict(), "pruned-at-super-peer");
+        assert_eq!(LineageStage::Dominated(w).verdict(), "dominated");
+        assert_eq!(LineageStage::InSkyline.verdict(), "in-skyline");
+    }
+}

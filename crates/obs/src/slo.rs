@@ -2,7 +2,7 @@
 //!
 //! An [`SloSpec`] is a set of optional budgets — latency percentiles, a
 //! hard latency ceiling, and a per-query bytes percentile — evaluated
-//! against the [`HdrHistogram`](crate::hdr::HdrHistogram)s a soak run
+//! against the [`HdrHistogram`]s a soak run
 //! accumulates. Evaluation produces an [`SloReport`]: one
 //! [`SloCheck`] per budget actually set, each a plain
 //! budget-vs-actual comparison, suitable both for a human table and for

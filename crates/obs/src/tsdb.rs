@@ -382,6 +382,21 @@ mod unit {
     }
 
     #[test]
+    fn history_parse_errors_use_one_based_line_numbers() {
+        // Two valid samples then a malformed third line: the error names
+        // line 3 (1-based), not index 2 and not the first line.
+        let text =
+            format!("{}\n{}\nnot json", history_line(0, "q", 1.0), history_line(1, "q", 2.0));
+        let err = parse_history(&text).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(!err.contains("line 2"), "{err}");
+        // Blank lines are skipped but still advance the numbering.
+        let text = format!("{}\n\nnot json", history_line(0, "q", 1.0));
+        let err = parse_history(&text).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
     fn ingest_replays_a_feed() {
         let samples = vec![
             HistorySample { tick: 0, series: "q".into(), value: 1.0 },

@@ -1,6 +1,6 @@
 //! Constrained subspace skylines.
 //!
-//! The paper's related work (Dellis et al., CIKM'06, its reference [6])
+//! The paper's related work (Dellis et al., CIKM'06, its reference \[6\])
 //! poses *constrained* subspace skylines — skylines over the subset of
 //! points falling inside per-dimension value ranges — as "the
 //! generalization of all meaningful skyline queries over a given dataset".

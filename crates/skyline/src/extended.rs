@@ -168,6 +168,89 @@ mod unit {
         }
     }
 
+    /// Coincident duplicates and per-dimension ties: a duplicated point
+    /// ext-survives (its twin is never *strictly* smaller on every dim)
+    /// and standard refinement must keep both copies, since neither
+    /// dominates the other; likewise two points tying on the refined
+    /// subspace are both answers there.
+    #[test]
+    fn refine_keeps_coincident_duplicates_and_subspace_ties() {
+        let mut s = PointSet::new(3);
+        s.push(&[1.0, 2.0, 3.0], 1);
+        s.push(&[1.0, 2.0, 3.0], 2); // exact twin of #1
+        s.push(&[2.0, 1.0, 3.0], 3);
+        s.push(&[2.0, 1.0, 4.0], 4); // ties #3 on {0,1}, worse on dim 2
+        s.push(&[3.0, 3.0, 1.0], 5);
+        let ext = ext_skyline(&s, DominanceIndex::Linear);
+        let ext_ids: Vec<u64> = (0..ext.result.len()).map(|i| ext.result.points().id(i)).collect();
+        for id in [1, 2, 3, 4] {
+            assert!(ext_ids.contains(&id), "#{id} must survive ext-domination");
+        }
+        for u in Subspace::enumerate_all(3) {
+            for index in [DominanceIndex::Linear, DominanceIndex::RTree] {
+                let out = refine_from_ext(&ext.result, u, index);
+                let mut ids: Vec<u64> =
+                    (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
+                ids.sort_unstable();
+                assert_eq!(
+                    ids,
+                    brute::skyline_ids(&s, u, Dominance::Standard),
+                    "refine on U={u} must match the brute oracle"
+                );
+            }
+        }
+        // Pinpoint the two edge cases: both twins answer the full-space
+        // query, and the {0,1} tie keeps #3 and #4 side by side.
+        let full = refine_from_ext(&ext.result, Subspace::full(3), DominanceIndex::Linear);
+        let full_ids: Vec<u64> =
+            (0..full.result.len()).map(|i| full.result.points().id(i)).collect();
+        assert!(full_ids.contains(&1) && full_ids.contains(&2), "duplicates both answer");
+        let tied =
+            refine_from_ext(&ext.result, Subspace::from_dims(&[0, 1]), DominanceIndex::Linear);
+        let tied_ids: Vec<u64> =
+            (0..tied.result.len()).map(|i| tied.result.points().id(i)).collect();
+        assert!(tied_ids.contains(&3) && tied_ids.contains(&4), "subspace ties both answer");
+    }
+
+    /// Quantized fuzz: coordinates drawn from `{0,1,2}` make duplicates
+    /// and ties the norm rather than the exception. Every `U ⊆ V`
+    /// refinement of every ext-result must match the brute oracle under
+    /// both dominance indexes.
+    #[test]
+    fn refine_matches_oracle_on_quantized_grid_data() {
+        let mut state = 0x5EED_u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 3) as f64
+        };
+        for _case in 0..6 {
+            let mut s = PointSet::new(3);
+            for id in 0..20 {
+                let p = [next(), next(), next()];
+                s.push(&p, id);
+            }
+            for v in Subspace::enumerate_all(3) {
+                let ext = ext_skyline_on(&s, v, DominanceIndex::RTree);
+                for u in Subspace::enumerate_all(3) {
+                    if !u.is_subset_of(v) {
+                        continue;
+                    }
+                    for index in [DominanceIndex::Linear, DominanceIndex::RTree] {
+                        let out = refine_from_ext(&ext.result, u, index);
+                        let mut ids: Vec<u64> =
+                            (0..out.result.len()).map(|i| out.result.points().id(i)).collect();
+                        ids.sort_unstable();
+                        assert_eq!(
+                            ids,
+                            brute::skyline_ids(&s, u, Dominance::Standard),
+                            "U={u} ⊆ V={v} must refine exactly on tied data"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn subspace_parametric_variant() {
         let s = figure2_peer_a();

@@ -1,6 +1,6 @@
 //! Progressive (streaming) skyline delivery.
 //!
-//! The progressive literature the paper builds on ([14], [16]) wants
+//! The progressive literature the paper builds on (\[14\], \[16\]) wants
 //! skyline points *emitted as soon as they are confirmed*, long before the
 //! scan finishes.
 //!

@@ -44,6 +44,7 @@ fn skewed_spec(queries: usize, tail_k: usize) -> SoakSpec {
         cache_bytes: None,
         telemetry: None,
         perturb: None,
+        audit: None,
     }
 }
 
@@ -127,6 +128,7 @@ fn uniform_soak_matches_plain_workload_latencies() {
         cache_bytes: None,
         telemetry: None,
         perturb: None,
+        audit: None,
     };
     let out = run_soak(&engine, &spec, |_| {});
     assert_eq!(out.queries, plain);
