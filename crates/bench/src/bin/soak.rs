@@ -27,7 +27,8 @@ use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: soak [--peers N] [--superpeers N] [--dim D] [--points P] \
-[--queries Q] [--seed S] [--variants LIST|all] [--k K | --k-min A --k-max B [--k-theta T]] \
+[--queries Q] [--seed S] [--variants LIST|all] [--backend skypeer|sampling] \
+[--k K | --k-min A --k-max B [--k-theta T]] \
 [--initiator-theta T] [--top-k K] [--slo-p50-ms F] [--slo-p99-ms F] [--slo-p999-ms F] \
 [--slo-pNN-ms F (any percentile, e.g. --slo-p95-ms)] \
 [--slo-max-ms F] [--slo-p99-bytes N] [--cache] [--cache-bytes N] [--min-hit-rate F] \
@@ -163,6 +164,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         None if args.iter().any(|a| a == "--cache") => Some(4 << 20),
         None => None,
     };
+    let backend = match flag(args, "--backend")? {
+        Some(name) => skypeer_core::parse_backend(&name)?,
+        None => skypeer_core::BackendKind::default(),
+    };
+    if backend != skypeer_core::BackendKind::default() && cache_bytes.is_some() {
+        return Err("--backend sampling and --cache are incompatible".into());
+    }
     let min_hit_rate: Option<f64> = match flag(args, "--min-hit-rate")? {
         Some(v) => {
             if cache_bytes.is_none() {
@@ -252,6 +260,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         telemetry,
         perturb,
         audit,
+        backend,
     };
 
     if !quiet {

@@ -3,9 +3,9 @@
 //!
 //! [`run_pinned`] executes a small pinned subset of the paper's figure
 //! configurations — one engine per figure, one traced query per variant,
-//! plus a cache-fronted `FTPM+cache` cold+warm pair per figure —
-//! entirely on the deterministic DES, and records five metrics per
-//! `(figure, variant)`:
+//! plus a cache-fronted `FTPM+cache` cold+warm pair and a
+//! constant-round `sampling`-backend row per figure — entirely on the
+//! deterministic DES, and records five metrics per `(figure, variant)`:
 //!
 //! * `wall_time_ms` — real time the run took (the only nondeterministic
 //!   metric; everything else is byte-stable for a given toolchain);
@@ -438,6 +438,39 @@ pub fn run_pinned_full() -> (Vec<BenchEntry>, Vec<FigureDigest>) {
                 + warm.refine_tests) as f64,
         );
         push("peak_queue_depth", m.max_queue_depth() as f64);
+
+        // Sampling-backend entries: the same pinned query through the
+        // constant-round sampling backend, so the gate pins its costs
+        // head-to-head with the SKYPEER variants on identical figures.
+        let tracer = Arc::new(MemTracer::new());
+        let started = Instant::now();
+        let out = engine.run_query_on_backend(
+            skypeer_core::BackendKind::Sampling,
+            p.query,
+            Variant::Ftpm,
+            Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+        );
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let events = tracer.take();
+        let m = MetricsRegistry::from_events(&events);
+        digests.push(FigureDigest {
+            figure: p.figure.to_string(),
+            variant: "sampling".to_string(),
+            digest: TraceDigest::from_events(&events),
+        });
+        let mut push = |metric: &str, value: f64| {
+            entries.push(BenchEntry {
+                figure: p.figure.to_string(),
+                variant: "sampling".to_string(),
+                metric: metric.to_string(),
+                value,
+            });
+        };
+        push("wall_time_ms", wall_ms);
+        push("sim_time_ns", out.total_time_ns as f64);
+        push("total_bytes", out.volume_bytes as f64);
+        push("dominance_tests", m.counters.get("dominance_tests").copied().unwrap_or(0) as f64);
+        push("peak_queue_depth", m.max_queue_depth() as f64);
     }
     (entries, digests)
 }
@@ -505,6 +538,7 @@ pub fn run_pinned_incidents() -> String {
             telemetry: Some(TelemetrySpec::default()),
             perturb: None,
             audit: None,
+            backend: skypeer_core::BackendKind::default(),
         };
         let outcome = run_soak(&engine, &spec, |_| {});
         out.push_str(&format!(
@@ -556,6 +590,7 @@ pub fn run_pinned_audit() -> String {
             telemetry: None,
             perturb: None,
             audit: Some(SoakAudit { sample_rate: 1.0, ..SoakAudit::default() }),
+            backend: skypeer_core::BackendKind::default(),
         };
         let outcome = run_soak(&engine, &spec, |_| {});
         out.push_str(&format!(

@@ -22,6 +22,7 @@
 
 use skypeer_cache::CacheStats;
 use skypeer_core::cached::CachedEngine;
+use skypeer_core::{backend_for, BackendKind};
 use skypeer_core::{AnswerFault, AuditSpec, AuditStats, AuditViolation, Auditor};
 use skypeer_core::{SkypeerEngine, Variant};
 use skypeer_data::{InitiatorMix, KMix, MixedWorkloadSpec, Query};
@@ -123,6 +124,13 @@ pub struct SoakSpec {
     /// cross-checks answers against direct distributed runs. `None`
     /// leaves every output byte-identical to an audit-less build.
     pub audit: Option<SoakAudit>,
+    /// Distributed-skyline backend every query executes under. The
+    /// default ([`BackendKind::Skypeer`]) leaves every output
+    /// byte-identical to a backend-less build; the sampling backend
+    /// ignores the [`Variant`] column (its protocol has no
+    /// threshold/merge axes) and is incompatible with
+    /// [`SoakSpec::cache_bytes`].
+    pub backend: BackendKind,
 }
 
 impl SoakSpec {
@@ -139,6 +147,7 @@ impl SoakSpec {
             telemetry: None,
             perturb: None,
             audit: None,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -299,6 +308,11 @@ pub fn run_soak(
         "--perturb-link and --cache are incompatible: the cache-fronted \
          path has no perturbed execution route"
     );
+    assert!(
+        spec.backend == BackendKind::default() || spec.cache_bytes.is_none(),
+        "--backend sampling and --cache are incompatible: the cache-fronted \
+         path is wired to the SKYPEER ext-skyline backbone"
+    );
     let queries = spec.workload.generate();
     let mut variants = Vec::with_capacity(spec.variants.len());
     for &variant in &spec.variants {
@@ -369,12 +383,9 @@ pub fn run_soak(
                 }
                 None => {
                     let tr = Some(Arc::clone(&tracer) as Arc<dyn Tracer>);
-                    let out = match perturbed {
-                        Some(p) => {
-                            engine.run_query_observed_perturbed(q, variant, &p.overrides, tr)
-                        }
-                        None => engine.run_query_observed(q, variant, tr),
-                    };
+                    let overrides: &[_] = perturbed.map_or(&[], |p| &p.overrides);
+                    let out =
+                        backend_for(spec.backend).run_observed(engine, q, variant, tr, overrides);
                     (out, 0, None)
                 }
             };
@@ -520,14 +531,19 @@ impl SoakOutcome {
     /// seeded spec are byte-identical (golden-pinned in the CLI tests).
     pub fn summary_json(&self) -> String {
         let w = &self.spec.workload;
-        let workload = json::Obj::new()
+        let mut wobj = json::Obj::new()
             .u64("dim", w.dim as u64)
             .u64("queries", w.queries as u64)
             .u64("n_superpeers", w.n_superpeers as u64)
             .u64("seed", w.seed)
             .str("k_mix", &describe_k_mix(w.k_mix))
-            .str("initiator_mix", &describe_initiator_mix(w.initiator_mix))
-            .build();
+            .str("initiator_mix", &describe_initiator_mix(w.initiator_mix));
+        // Present only off the default backend, so skypeer-backend
+        // summaries stay byte-identical to earlier goldens.
+        if self.spec.backend != BackendKind::default() {
+            wobj = wobj.str("backend", self.spec.backend.name());
+        }
+        let workload = wobj.build();
         let variants = json::arr(self.variants.iter().map(|v| {
             let worst = json::arr(v.recorder.retained().iter().map(|r| {
                 let q = self.queries[r.seq as usize];
@@ -886,6 +902,7 @@ mod unit {
             telemetry: None,
             perturb: None,
             audit: None,
+            backend: BackendKind::default(),
         }
     }
 
@@ -1057,6 +1074,37 @@ mod unit {
         spec.cache_bytes = Some(1 << 20);
         spec.perturb = Some(SoakPerturb { after: 0, overrides: vec![] });
         run_soak(&engine, &spec, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn sampling_backend_and_cache_are_rejected() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.cache_bytes = Some(1 << 20);
+        spec.backend = BackendKind::Sampling;
+        run_soak(&engine, &spec, |_| {});
+    }
+
+    #[test]
+    fn sampling_soak_matches_skypeer_answers_and_tags_summary() {
+        let engine = engine();
+        let mut spec = small_spec(engine.config().n_superpeers);
+        spec.variants = vec![Variant::Ftpm];
+        let mut sky_points = Vec::new();
+        let sky = run_soak(&engine, &spec, |r| sky_points.push(r.result_points));
+        assert!(
+            !sky.summary_json().contains("\"backend\""),
+            "default-backend summary is unchanged"
+        );
+
+        spec.backend = BackendKind::Sampling;
+        let mut smp_points = Vec::new();
+        let smp = run_soak(&engine, &spec, |r| smp_points.push(r.result_points));
+        assert_eq!(smp_points, sky_points, "backends must agree on every answer");
+        let summary = smp.summary_json();
+        assert!(summary.contains("\"backend\":\"sampling\""), "{summary}");
+        assert_eq!(summary, run_soak(&engine, &spec, |_| {}).summary_json(), "deterministic");
     }
 
     #[test]

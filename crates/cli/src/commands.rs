@@ -70,6 +70,13 @@ fn variant_from(args: &Args) -> Result<Variant, ArgError> {
     parse_variant(&args.str_or("variant", "ftpm"))
 }
 
+/// Parses the shared `--backend` flag (default `skypeer`). The unknown-
+/// backend error text is pinned in [`skypeer_core::parse_backend`] so
+/// every subcommand and the soak binary report it identically.
+fn backend_from(args: &Args) -> Result<skypeer_core::BackendKind, ArgError> {
+    skypeer_core::parse_backend(&args.str_or("backend", "skypeer")).map_err(ArgError)
+}
+
 /// Parses and validates the shared query flags (`--dims`, `--initiator`)
 /// against an already-built engine. Shared by `query`/`trace`/`explain`
 /// (and, per workload query, by `soak`'s replay digest).
@@ -164,10 +171,19 @@ pub fn stats(args: &Args) -> Result<(), ArgError> {
 pub fn query(args: &Args) -> Result<(), ArgError> {
     let (engine, q) = setup_from(args)?;
     let variant = variant_from(args)?;
+    let backend = backend_from(args)?;
     let show: usize = args.get_or("show", 10)?;
     args.reject_unknown()?;
-    let out = engine.run_query(q, variant);
+    // The default backend keeps the original (golden-pinned) execution
+    // path and output; other backends report themselves and their rounds.
+    let out = match backend {
+        skypeer_core::BackendKind::Skypeer => engine.run_query(q, variant),
+        other => engine.run_query_on_backend(other, q, variant, None),
+    };
     println!("query     : skyline on {} from SP{} via {variant}", q.subspace, q.initiator);
+    if backend != skypeer_core::BackendKind::default() {
+        println!("backend   : {backend} ({} rounds)", out.rounds);
+    }
     println!("result    : {} points (exact)", out.result_ids.len());
     println!("comp time : {:.3} ms", out.comp_time_ns as f64 / 1e6);
     println!("total time: {:.3} ms (4 KB/s links)", out.total_time_ns as f64 / 1e6);
@@ -204,6 +220,7 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
 
     let (engine, q) = setup_from(args)?;
     let variant = variant_from(args)?;
+    let backend = backend_from(args)?;
     let jsonl_path = args.str_or("jsonl", "");
     let perfetto_path = args.str_or("perfetto", "");
     let perturb_spec = args.str_or("perturb-link", "");
@@ -219,7 +236,17 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     };
 
     let tracer = Arc::new(MemTracer::new());
-    let out = if overrides.is_empty() {
+    // The default backend keeps the original (golden-pinned) paths; other
+    // backends run through the trait seam with the same tracer/overrides.
+    let out = if backend != skypeer_core::BackendKind::default() {
+        skypeer_core::backend_for(backend).run_observed(
+            &engine,
+            q,
+            variant,
+            Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+            &overrides,
+        )
+    } else if overrides.is_empty() {
         engine.run_query_traced(q, variant, Arc::clone(&tracer) as Arc<dyn Tracer>)
     } else {
         engine.run_query_observed_perturbed(
@@ -232,6 +259,9 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
     let events = tracer.take();
 
     println!("query     : skyline on {} from SP{} via {variant}", q.subspace, q.initiator);
+    if backend != skypeer_core::BackendKind::default() {
+        println!("backend   : {backend} ({} rounds)", out.rounds);
+    }
     for (from, to, link) in &overrides {
         println!(
             "perturbed : SP{from} -> SP{to} latency {} ns, {} ns/byte",
@@ -312,13 +342,166 @@ pub fn trace(args: &Args) -> Result<(), ArgError> {
 pub fn explain(args: &Args) -> Result<(), ArgError> {
     let (engine, q) = setup_from(args)?;
     let variant = variant_from(args)?;
+    let backend = backend_from(args)?;
     let json = args.flag("json")?;
     args.reject_unknown()?;
+    if backend != skypeer_core::BackendKind::default() {
+        return Err(ArgError(format!(
+            "explain supports only the skypeer backend (the {backend} protocol has no \
+             threshold/merge plan to explain)"
+        )));
+    }
     let report = engine.explain_query(q, variant);
     if json {
         println!("{}", report.to_json());
     } else {
         print!("{}", report.render());
+    }
+    Ok(())
+}
+
+/// `skypeer-cli compare` — run the pinned bench figures (or one, via
+/// `--figure`) under every distributed-skyline backend and emit a
+/// head-to-head report of rounds / total bytes / simulated time /
+/// dominance tests per figure. Everything derives from the deterministic
+/// DES, so the report is byte-deterministic and golden-testable; the
+/// answers are asserted identical across backends before anything is
+/// printed. `--variant` picks the SKYPEER side's variant (default FTPM);
+/// `--json` emits the machine form.
+pub fn compare(args: &Args) -> Result<(), ArgError> {
+    use skypeer_core::{backend_for, BackendKind};
+    use skypeer_netsim::obs::{json, MemTracer, MetricsRegistry, Tracer};
+    use std::sync::Arc;
+
+    let variant = variant_from(args)?;
+    let json_out = args.flag("json")?;
+    let figures = if args.present("figure") {
+        let name = args.str_or("figure", "");
+        vec![skypeer_bench::regress::pinned_figure(&name).ok_or_else(|| {
+            ArgError(format!(
+                "unknown figure '{name}' (known: {})",
+                skypeer_bench::regress::pinned_figure_names().join(", ")
+            ))
+        })?]
+    } else {
+        skypeer_bench::regress::pinned_figures()
+    };
+    args.reject_unknown()?;
+
+    struct Measured {
+        backend: BackendKind,
+        rounds: u64,
+        total_bytes: u64,
+        sim_time_ns: u64,
+        dominance_tests: u64,
+        result_ids: Vec<u64>,
+    }
+    let mut blocks = Vec::new();
+    for p in figures {
+        let engine = SkypeerEngine::build(p.config);
+        let runs: Vec<Measured> = BackendKind::ALL
+            .iter()
+            .map(|&backend| {
+                let tracer = Arc::new(MemTracer::new());
+                let out = backend_for(backend).run_observed(
+                    &engine,
+                    p.query,
+                    variant,
+                    Some(Arc::clone(&tracer) as Arc<dyn Tracer>),
+                    &[],
+                );
+                let m = MetricsRegistry::from_events(&tracer.take());
+                Measured {
+                    backend,
+                    rounds: out.rounds,
+                    total_bytes: out.volume_bytes,
+                    sim_time_ns: out.total_time_ns,
+                    dominance_tests: m.counters.get("dominance_tests").copied().unwrap_or(0),
+                    result_ids: out.result_ids,
+                }
+            })
+            .collect();
+        for r in &runs[1..] {
+            if r.result_ids != runs[0].result_ids {
+                return Err(ArgError(format!(
+                    "{}: backend {} disagrees with {} on the answer ({} vs {} points)",
+                    p.figure,
+                    r.backend,
+                    runs[0].backend,
+                    r.result_ids.len(),
+                    runs[0].result_ids.len()
+                )));
+            }
+        }
+        blocks.push((p.figure, p.query, runs));
+    }
+
+    type Metric = (&'static str, fn(&Measured) -> u64);
+    // For every metric here, lower is better.
+    const METRICS: [Metric; 4] = [
+        ("rounds", |r| r.rounds),
+        ("total_bytes", |r| r.total_bytes),
+        ("sim_time_ns", |r| r.sim_time_ns),
+        ("dominance_tests", |r| r.dominance_tests),
+    ];
+    let winner = |runs: &[Measured], get: fn(&Measured) -> u64| -> String {
+        let best = runs.iter().map(&get).min().expect("at least one backend");
+        let winners: Vec<&Measured> = runs.iter().filter(|r| get(r) == best).collect();
+        if winners.len() == 1 {
+            winners[0].backend.to_string()
+        } else {
+            "tie".to_string()
+        }
+    };
+
+    if json_out {
+        let doc = json::arr(blocks.iter().map(|(figure, q, runs)| {
+            let backends = json::arr(runs.iter().map(|r| {
+                json::Obj::new()
+                    .str("backend", &r.backend.to_string())
+                    .u64("rounds", r.rounds)
+                    .u64("total_bytes", r.total_bytes)
+                    .u64("sim_time_ns", r.sim_time_ns)
+                    .u64("dominance_tests", r.dominance_tests)
+                    .build()
+            }));
+            let winners = METRICS
+                .iter()
+                .fold(json::Obj::new(), |o, (name, get)| o.str(name, &winner(runs, *get)));
+            json::Obj::new()
+                .str("figure", figure)
+                .str("variant", variant.mnemonic())
+                .u64("result_points", runs[0].result_ids.len() as u64)
+                .u64("initiator", q.initiator as u64)
+                .raw("backends", &backends)
+                .raw("winners", &winners.build())
+                .build()
+        }));
+        println!("{doc}");
+        return Ok(());
+    }
+
+    for (figure, q, runs) in &blocks {
+        println!(
+            "== {figure}: skyline on {} from SP{}, skypeer variant {} ==",
+            q.subspace,
+            q.initiator,
+            variant.mnemonic()
+        );
+        println!("answers agree: {} points (exact)", runs[0].result_ids.len());
+        print!("{:<16}", "metric");
+        for r in runs {
+            print!(" {:>12}", r.backend.to_string());
+        }
+        println!(" {:>10}", "winner");
+        for (name, get) in METRICS {
+            print!("{name:<16}");
+            for r in runs {
+                print!(" {:>12}", get(r));
+            }
+            println!(" {:>10}", winner(runs, get));
+        }
+        println!();
     }
     Ok(())
 }
@@ -719,6 +902,7 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     let cfg = *engine.config();
     let queries: usize = args.get_or("queries", 100)?;
     let wl_seed: u64 = args.get_or("workload-seed", 1)?;
+    let backend = backend_from(args)?;
     let variants_spec = args.str_or("variants", "all");
     let variants: Vec<Variant> = if variants_spec == "all" {
         Variant::ALL.to_vec()
@@ -830,6 +1014,9 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
     } else {
         None
     };
+    if backend != skypeer_core::BackendKind::default() && cache_bytes.is_some() {
+        return Err(ArgError("--backend sampling and --cache are incompatible".into()));
+    }
     let perturb = if perturb_spec.is_empty() {
         if args.present("perturb-after") {
             return Err(ArgError("--perturb-after requires --perturb-link".into()));
@@ -867,6 +1054,7 @@ pub fn soak(args: &Args) -> Result<(), ArgError> {
         telemetry,
         perturb,
         audit,
+        backend,
     };
 
     let mut jsonl = match jsonl_path.as_str() {

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! skypeer-cli stats    [--peers N] [--dim D] [--points P] [--data KIND]
-//! skypeer-cli query    [--dims 0,2,5] [--variant ftpm] [--initiator I] [...]
+//! skypeer-cli query    [--dims 0,2,5] [--variant ftpm] [--initiator I]
+//!                      [--backend skypeer|sampling] [...]
 //! skypeer-cli workload [--k K] [--queries Q] [...]
 //! skypeer-cli topology [--superpeers N] [--degree DEG]
 //! skypeer-cli faults   [--fail 1,2] [--fail-at-ms T] [--timeout-s S] [...]
 //! skypeer-cli trace    [--dims 0,2,5] [--variant ftpm] [--jsonl F] [--perfetto F]
 //!                      [--perturb-link FROM:TO:LATENCY_NS[:NS_PER_BYTE]] [...]
+//! skypeer-cli compare  [--figure NAME] [--variant ftpm] [--json]
 //! skypeer-cli diff     BASELINE CANDIDATE [--json] [--what-if-factor F]
 //! skypeer-cli explain  [--dims 0,2,5] [--variant ftpm] [--initiator I] [--json] [...]
 //! skypeer-cli why      POINT_ID [--dims 0,2,5] [--initiator I] [--json] [...]
@@ -38,7 +40,7 @@ mod commands;
 use args::Args;
 
 const USAGE: &str =
-    "usage: skypeer-cli <stats|query|trace|explain|why|why-not|diff|profile|soak|top|workload|topology|faults|estimate|csv-query> [flags]
+    "usage: skypeer-cli <stats|query|trace|explain|why|why-not|compare|diff|profile|soak|top|workload|topology|faults|estimate|csv-query> [flags]
 run `skypeer-cli <command> --help` semantics: see crate docs / README";
 
 /// How many positional (non-`--flag`) arguments a command takes. One
@@ -72,6 +74,7 @@ const COMMANDS: &[CommandSpec] = &[
         positionals: Positionals::Exactly { count: 1, what: "point id" },
         run: commands::why_not,
     },
+    CommandSpec { name: "compare", positionals: Positionals::None, run: commands::compare },
     CommandSpec {
         name: "diff",
         positionals: Positionals::Exactly { count: 2, what: "capture paths" },

@@ -975,6 +975,135 @@ fn why_rejects_bad_inputs() {
     assert!(stderr.contains("bad point id 'x'"), "{stderr}");
 }
 
+/// `--backend` parsing is shared: every subcommand that accepts it must
+/// emit the exact same (pinned) error text for an unknown backend.
+#[test]
+fn bad_backend_error_is_identical_across_subcommands() {
+    let mut errors = Vec::new();
+    for cmd in ["query", "trace", "explain", "soak"] {
+        let (_, stderr, ok) = run(&[
+            cmd,
+            "--peers",
+            "12",
+            "--superpeers",
+            "4",
+            "--dim",
+            "4",
+            "--points",
+            "10",
+            "--backend",
+            "zzz",
+        ]);
+        assert!(!ok, "{cmd} must fail on an unknown backend");
+        assert!(
+            stderr.contains("unknown --backend 'zzz' (expected skypeer|sampling)"),
+            "{cmd} stderr: {stderr}"
+        );
+        errors.push(stderr);
+    }
+    assert!(errors.windows(2).all(|w| w[0] == w[1]), "error text diverged: {errors:?}");
+}
+
+/// Backend-off byte-determinism plus the sampling backend's observable
+/// behaviour: `--backend skypeer` changes nothing, `--backend sampling`
+/// reports itself (two rounds) and returns the identical exact answer,
+/// `explain` rejects it honestly, and sampling×cache fails fast on soak.
+#[test]
+fn backend_flag_default_is_unchanged_and_sampling_is_exact() {
+    let base = ["query", "--peers", "60", "--dim", "5", "--dims", "0,3"];
+    let (plain, _, ok1) = run(&base);
+    let (sky, _, ok2) = run(&[&base[..], &["--backend", "skypeer"]].concat());
+    assert!(ok1 && ok2);
+    assert_eq!(plain, sky, "--backend skypeer must not change a byte of the default output");
+
+    let (smp, stderr, ok3) = run(&[&base[..], &["--backend", "sampling"]].concat());
+    assert!(ok3, "stderr: {stderr}");
+    assert!(smp.contains("backend   : sampling (2 rounds)"), "{smp}");
+    let result_line = |s: &str| {
+        s.lines().find(|l| l.starts_with("result")).map(str::to_string).expect("result line")
+    };
+    assert_eq!(result_line(&plain), result_line(&smp), "backends must agree on the answer");
+
+    let (tr, stderr, ok) =
+        run(&["trace", "--peers", "60", "--dim", "5", "--dims", "0,3", "--backend", "sampling"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(tr.contains("backend   : sampling (2 rounds)"), "{tr}");
+    assert!(tr.contains("critical path"), "{tr}");
+
+    let (_, stderr, ok) = run(&["explain", "--peers", "60", "--dim", "5", "--backend", "sampling"]);
+    assert!(!ok);
+    assert!(stderr.contains("explain supports only the skypeer backend"), "{stderr}");
+
+    let (_, stderr, ok) = run(&[
+        "soak",
+        "--peers",
+        "60",
+        "--superpeers",
+        "6",
+        "--dim",
+        "5",
+        "--points",
+        "40",
+        "--queries",
+        "2",
+        "--backend",
+        "sampling",
+        "--cache",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--backend sampling and --cache are incompatible"), "{stderr}");
+}
+
+/// The head-to-head acceptance test: `compare` runs every pinned figure
+/// under both backends, the report is byte-deterministic and matches the
+/// committed golden, and the sampling backend wins on rounds (constant 2)
+/// in every figure. Self-bootstraps like the other goldens.
+#[test]
+fn compare_backends_matches_golden_and_sampling_wins_on_rounds() {
+    let (a, stderr, ok_a) = run(&["compare"]);
+    let (b, _, ok_b) = run(&["compare"]);
+    assert!(ok_a && ok_b, "stderr: {stderr}");
+    assert_eq!(a, b, "compare must be byte-deterministic");
+    for fig in ["fig3b_d8", "fig3d_k2", "fig4c_deg6"] {
+        assert!(a.contains(&format!("== {fig}:")), "missing {fig} in:\n{a}");
+    }
+    assert!(a.contains("answers agree"), "{a}");
+    let rounds_rows: Vec<&str> = a.lines().filter(|l| l.starts_with("rounds")).collect();
+    assert_eq!(rounds_rows.len(), 3, "one rounds row per figure:\n{a}");
+    for row in &rounds_rows {
+        assert!(row.trim_end().ends_with("sampling"), "sampling must win on rounds: {row}");
+    }
+
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/compare_backends.txt");
+    if !golden.exists() {
+        std::fs::create_dir_all(golden.parent().unwrap()).expect("goldens dir");
+        std::fs::write(&golden, &a).expect("bootstrap golden");
+    }
+    let want = std::fs::read_to_string(&golden).expect("golden readable");
+    assert_eq!(
+        a,
+        want,
+        "compare drifted from {}; if the change is intentional, delete the golden and rerun",
+        golden.display()
+    );
+
+    // Machine form: one figure, winners named per metric.
+    let (j, stderr, ok) = run(&["compare", "--figure", "fig3b_d8", "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(j.starts_with("[{\"figure\":\"fig3b_d8\""), "{j}");
+    assert!(j.contains("\"winners\":{\"rounds\":\"sampling\""), "{j}");
+    assert!(j.contains("\"backend\":\"skypeer\"") && j.contains("\"backend\":\"sampling\""), "{j}");
+
+    // Figure resolution shares the pinned error text.
+    let (_, stderr, ok) = run(&["compare", "--figure", "nope"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown figure 'nope' (known: fig3b_d8, fig3d_k2, fig4c_deg6)"),
+        "{stderr}"
+    );
+}
+
 /// The audited soak: a clean run reports zero violations and passes the
 /// gate; arming the ext-skyline drop drill is caught, named, and fails
 /// `--fail-on-violation` with a nonzero exit.

@@ -214,6 +214,7 @@ impl<'a> CachedEngine<'a> {
                 messages: ext.messages,
                 dropped: ext.dropped,
                 compute_ns_total: ext.compute_ns_total + refine_ns,
+                rounds: ext.rounds,
             },
             role: CacheRole::Miss,
             refine_tests: refined.stats.dominance_tests,
@@ -242,6 +243,7 @@ impl<'a> CachedEngine<'a> {
                 messages: 0,
                 dropped: 0,
                 compute_ns_total: refine_ns,
+                rounds: 0,
             },
             role,
             refine_tests: ans.refine_stats.dominance_tests,

@@ -119,6 +119,11 @@ pub struct QueryOutcome {
     pub dropped: u64,
     /// Total computation service time across all super-peers, ns.
     pub compute_ns_total: u64,
+    /// Sequential communication rounds of the configured-link run — the
+    /// maximum causal message depth (see
+    /// [`skypeer_netsim::des::SimStats::rounds`]). SKYPEER floods scale
+    /// with backbone diameter; the sampling backend is constant at 2.
+    pub rounds: u64,
 }
 
 /// Averages over a batch of queries (the paper reports averages over 100).
@@ -289,6 +294,28 @@ impl SkypeerEngine {
         &self.stores[sp]
     }
 
+    /// All per-super-peer stores, shareable with simulator nodes.
+    pub(crate) fn shared_stores(&self) -> &[Arc<SortedDataset>] {
+        &self.stores
+    }
+
+    /// Allocates the next query id (wrapping).
+    pub(crate) fn alloc_qid(&self) -> u32 {
+        let qid = self.next_qid.get();
+        self.next_qid.set(qid.wrapping_add(1));
+        qid
+    }
+
+    /// The query-time dominance-index policy.
+    pub(crate) fn current_query_policy(&self) -> crate::planner::IndexPolicy {
+        self.query_policy
+    }
+
+    /// The currently-installed answer fault, if any.
+    pub(crate) fn current_fault(&self) -> Option<crate::audit::AnswerFault> {
+        self.fault.get()
+    }
+
     /// Builds the per-run node vector.
     fn make_nodes(
         &self,
@@ -440,6 +467,7 @@ impl SkypeerEngine {
             messages: stats.messages,
             dropped: stats.dropped,
             compute_ns_total: stats.compute_ns_total,
+            rounds: stats.rounds,
         }
     }
 
@@ -495,6 +523,7 @@ impl SkypeerEngine {
             messages: real_stats.messages,
             dropped: real_stats.dropped,
             compute_ns_total: real_stats.compute_ns_total,
+            rounds: real_stats.rounds,
         }
     }
 
@@ -655,6 +684,7 @@ impl SkypeerEngine {
             messages: stats.messages,
             dropped: stats.dropped,
             compute_ns_total: stats.compute_ns_total,
+            rounds: stats.rounds,
         }
     }
 

@@ -30,6 +30,7 @@
 //! prove the logic under real concurrency) — see [`engine`] and [`live`].
 
 pub mod audit;
+pub mod backend;
 pub mod cached;
 pub mod churn;
 pub mod engine;
@@ -43,6 +44,10 @@ pub mod variants;
 pub mod verify;
 
 pub use audit::{AnswerFault, AuditSpec, AuditStats, AuditViolation, Auditor, LineageResolver};
+pub use backend::{
+    backend_for, parse_backend, BackendKind, DistributedSkylineBackend, SamplingBackend,
+    SkypeerBackend,
+};
 pub use engine::{EngineConfig, QueryMetrics, QueryOutcome, SkypeerEngine};
 pub use explain::ExplainReport;
 pub use preprocess::{preprocess_network, PreprocessReport, SuperPeerStore};

@@ -83,6 +83,81 @@ pub enum Msg {
         /// Query identifier.
         qid: u32,
     },
+    /// Round 1 of the sampling backend (Zhang & Zhang, arXiv 1611.00423):
+    /// the coordinator broadcasts the query together with a pruning
+    /// `filter` — its own local subspace skyline — directly to every
+    /// other super-peer. Receivers drop locally-stored points dominated
+    /// by any filter point before replying.
+    SampleQuery {
+        /// Query identifier.
+        qid: u32,
+        /// Requested subspace `U`.
+        subspace: Subspace,
+        /// Dominance flavour every kernel of the query applies.
+        flavour: Dominance,
+        /// The coordinator's local subspace skyline, shipped as the
+        /// pruning filter (`f`-ascending).
+        filter: SortedDataset,
+    },
+    /// Round 2 of the sampling backend: a super-peer's surviving local
+    /// skyline candidates, sent straight back to the coordinator.
+    Candidates {
+        /// Query identifier.
+        qid: u32,
+        /// Whether this peer's contribution is trustworthy (always `true`
+        /// today; reserved for fault-tolerant extensions).
+        complete: bool,
+        /// The surviving candidate points, `f`-ascending.
+        points: SortedDataset,
+    },
+}
+
+/// Appends the shared point-list layout: `dim: u8`, `count: u32`, then
+/// `count` × (`id: u64`, `dim` × `coord: f64`).
+fn encode_points(b: &mut BytesMut, points: &SortedDataset) {
+    let set = points.points();
+    b.put_u8(set.dim() as u8);
+    b.put_u32(set.len() as u32);
+    for (_, id, coords) in set.iter() {
+        b.put_u64(id);
+        for &v in coords {
+            b.put_f64(v);
+        }
+    }
+}
+
+/// Decodes [`encode_points`], applying the same hostile-payload rejection
+/// rules as the `Answer` path (bounded dim, finite non-negative coords,
+/// declared count backed by actual payload).
+fn decode_points(buf: &mut &[u8]) -> Option<SortedDataset> {
+    if buf.remaining() < 1 + 4 {
+        return None;
+    }
+    let dim = buf.get_u8() as usize;
+    let n = buf.get_u32() as usize;
+    if dim == 0 || buf.remaining() < n * (8 + 8 * dim) {
+        return None;
+    }
+    if dim > skypeer_skyline::MAX_DIM {
+        return None;
+    }
+    let mut set = PointSet::with_capacity(dim, n);
+    let mut coords = vec![0.0; dim];
+    for _ in 0..n {
+        let id = buf.get_u64();
+        for c in coords.iter_mut() {
+            *c = buf.get_f64();
+        }
+        // Reject rather than panic on hostile payloads: the value domain
+        // is finite non-negative reals.
+        if coords.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return None;
+        }
+        set.push(&coords, id);
+    }
+    // The sender guarantees f-ascending order; rebuilding via from_set
+    // re-sorts defensively (stable for valid senders).
+    Some(SortedDataset::from_set(&set))
 }
 
 impl Msg {
@@ -105,15 +180,7 @@ impl Msg {
                 b.put_u32(*qid);
                 b.put_u8(u8::from(*done));
                 b.put_u8(u8::from(*complete));
-                let set = points.points();
-                b.put_u8(set.dim() as u8);
-                b.put_u32(set.len() as u32);
-                for (_, id, coords) in set.iter() {
-                    b.put_u64(id);
-                    for &v in coords {
-                        b.put_f64(v);
-                    }
-                }
+                encode_points(&mut b, points);
             }
             Msg::DupAck { qid } => {
                 b.put_u8(3);
@@ -122,6 +189,19 @@ impl Msg {
             Msg::ComputeLocal { qid } => {
                 b.put_u8(4);
                 b.put_u32(*qid);
+            }
+            Msg::SampleQuery { qid, subspace, flavour, filter } => {
+                b.put_u8(5);
+                b.put_u32(*qid);
+                b.put_u32(subspace.mask());
+                b.put_u8(flavour_to_wire(*flavour));
+                encode_points(&mut b, filter);
+            }
+            Msg::Candidates { qid, complete, points } => {
+                b.put_u8(6);
+                b.put_u32(*qid);
+                b.put_u8(u8::from(*complete));
+                encode_points(&mut b, points);
             }
         }
         b.to_vec()
@@ -160,37 +240,14 @@ impl Msg {
                 })
             }
             2 => {
-                if buf.remaining() < 4 + 1 + 1 + 1 + 4 {
+                if buf.remaining() < 4 + 1 + 1 {
                     return None;
                 }
                 let qid = buf.get_u32();
                 let done = buf.get_u8() != 0;
                 let complete = buf.get_u8() != 0;
-                let dim = buf.get_u8() as usize;
-                let n = buf.get_u32() as usize;
-                if dim == 0 || buf.remaining() < n * (8 + 8 * dim) {
-                    return None;
-                }
-                if dim > skypeer_skyline::MAX_DIM {
-                    return None;
-                }
-                let mut set = PointSet::with_capacity(dim, n);
-                let mut coords = vec![0.0; dim];
-                for _ in 0..n {
-                    let id = buf.get_u64();
-                    for c in coords.iter_mut() {
-                        *c = buf.get_f64();
-                    }
-                    // Reject rather than panic on hostile payloads: the
-                    // value domain is finite non-negative reals.
-                    if coords.iter().any(|v| !v.is_finite() || *v < 0.0) {
-                        return None;
-                    }
-                    set.push(&coords, id);
-                }
-                // The sender guarantees f-ascending order; rebuilding via
-                // from_set re-sorts defensively (stable for valid senders).
-                Some(Msg::Answer { qid, done, complete, points: SortedDataset::from_set(&set) })
+                let points = decode_points(&mut buf)?;
+                Some(Msg::Answer { qid, done, complete, points })
             }
             3 => {
                 if buf.remaining() < 4 {
@@ -203,6 +260,28 @@ impl Msg {
                     return None;
                 }
                 Some(Msg::ComputeLocal { qid: buf.get_u32() })
+            }
+            5 => {
+                if buf.remaining() < 4 + 4 + 1 {
+                    return None;
+                }
+                let qid = buf.get_u32();
+                let mask = buf.get_u32();
+                if mask == 0 {
+                    return None;
+                }
+                let flavour = flavour_from_wire(buf.get_u8())?;
+                let filter = decode_points(&mut buf)?;
+                Some(Msg::SampleQuery { qid, subspace: Subspace::from_mask(mask), flavour, filter })
+            }
+            6 => {
+                if buf.remaining() < 4 + 1 {
+                    return None;
+                }
+                let qid = buf.get_u32();
+                let complete = buf.get_u8() != 0;
+                let points = decode_points(&mut buf)?;
+                Some(Msg::Candidates { qid, complete, points })
             }
             _ => None,
         }
@@ -346,6 +425,70 @@ mod unit {
     }
 
     #[test]
+    fn sample_query_and_candidates_roundtrip() {
+        for flavour in [Dominance::Standard, Dominance::Extended] {
+            let m = Msg::SampleQuery {
+                qid: 11,
+                subspace: Subspace::from_dims(&[0, 2]),
+                flavour,
+                filter: sample_points(),
+            };
+            assert_eq!(Msg::decode(&m.encode()), Some(m));
+        }
+        for complete in [true, false] {
+            let m = Msg::Candidates { qid: 12, complete, points: sample_points() };
+            assert_eq!(Msg::decode(&m.encode()), Some(m));
+        }
+        // Empty point lists survive too (a peer may have nothing left
+        // after filtering).
+        let m = Msg::Candidates { qid: 0, complete: true, points: SortedDataset::empty(3) };
+        assert_eq!(Msg::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn sampling_messages_reject_hostile_payloads() {
+        // Empty subspace mask in a SampleQuery.
+        let mut bad = Msg::SampleQuery {
+            qid: 0,
+            subspace: Subspace::from_mask(1),
+            flavour: Dominance::Standard,
+            filter: SortedDataset::empty(3),
+        }
+        .encode();
+        bad[5..9].fill(0);
+        assert_eq!(Msg::decode(&bad), None, "empty mask must be rejected");
+        // Negative coordinate inside a Candidates list.
+        let mut ans = Msg::Candidates { qid: 0, complete: true, points: sample_points() }.encode();
+        let coord_off = ans.len() - 8;
+        ans[coord_off..].copy_from_slice(&(-1.0f64).to_be_bytes());
+        assert_eq!(Msg::decode(&ans), None, "negative coordinate must be rejected");
+        // Truncated Candidates payload.
+        let mut trunc =
+            Msg::Candidates { qid: 0, complete: true, points: sample_points() }.encode();
+        trunc.truncate(trunc.len() - 8);
+        assert_eq!(Msg::decode(&trunc), None, "declared count must be backed by payload");
+    }
+
+    #[test]
+    fn sampling_wire_size_tracks_point_count() {
+        let empty = Msg::SampleQuery {
+            qid: 0,
+            subspace: Subspace::from_mask(5),
+            flavour: Dominance::Standard,
+            filter: SortedDataset::empty(3),
+        };
+        let full = Msg::SampleQuery {
+            qid: 0,
+            subspace: Subspace::from_mask(5),
+            flavour: Dominance::Standard,
+            filter: sample_points(),
+        };
+        // Two 3-d points cost 2 × (8 id + 24 coords) = 64 extra bytes.
+        assert_eq!(full.wire_bytes(), empty.wire_bytes() + 64);
+        assert_eq!(full.wire_bytes(), full.encode().len() as u64);
+    }
+
+    #[test]
     fn infinity_threshold_survives_roundtrip() {
         let m = Msg::Query {
             qid: 0,
@@ -407,6 +550,34 @@ mod unit {
                     flavour: [Dominance::Standard, Dominance::Extended][flavour_idx],
                 };
                 prop_assert_eq!(Msg::decode(&m.encode()), Some(m));
+            }
+
+            /// Round-trip identity for the sampling-backend messages, and
+            /// the declared wire size is the bytes actually on the wire.
+            #[test]
+            fn prop_sampling_roundtrip_and_size(
+                qid in any::<u32>(),
+                mask in 1u32..=0xFF,
+                flavour_idx in 0usize..2,
+                complete in any::<bool>(),
+                coords in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..8),
+            ) {
+                let mut set = PointSet::new(2);
+                for (i, &(x, y)) in coords.iter().enumerate() {
+                    set.push(&[x, y], i as u64);
+                }
+                let points = SortedDataset::from_set(&set);
+                let sq = Msg::SampleQuery {
+                    qid,
+                    subspace: Subspace::from_mask(mask),
+                    flavour: [Dominance::Standard, Dominance::Extended][flavour_idx],
+                    filter: points.clone(),
+                };
+                prop_assert_eq!(sq.wire_bytes(), sq.encode().len() as u64);
+                prop_assert_eq!(Msg::decode(&sq.encode()), Some(sq));
+                let cand = Msg::Candidates { qid, complete, points };
+                prop_assert_eq!(cand.wire_bytes(), cand.encode().len() as u64);
+                prop_assert_eq!(Msg::decode(&cand.encode()), Some(cand));
             }
         }
     }

@@ -546,6 +546,9 @@ impl Behavior for SuperPeerNode {
                 self.compute_local(qid, ctx);
                 self.check_finalize(qid, ctx);
             }
+            Some(other @ (Msg::SampleQuery { .. } | Msg::Candidates { .. })) => {
+                debug_assert!(false, "sampling-backend message at a SKYPEER node: {other:?}");
+            }
             None => debug_assert!(false, "undecodable message from {from}"),
         }
     }

@@ -163,6 +163,14 @@ pub struct SimStats {
     pub last_event_at: SimTime,
     /// Messages dropped by the failure-injection hook.
     pub dropped: u64,
+    /// Maximum causal message depth over all delivered messages: a
+    /// message sent from the start-of-run handler is depth 1, a message
+    /// sent while handling a depth-`d` message is depth `d + 1`
+    /// (zero-byte self-messages and timers inherit their cause's depth —
+    /// they model deferred local work, not network round trips). This is
+    /// the number of sequential communication rounds the protocol needs,
+    /// independent of link speed.
+    pub rounds: u64,
 }
 
 enum Payload {
@@ -174,6 +182,8 @@ struct Event {
     time: SimTime,
     seq: u64,
     to: usize,
+    /// Causal message depth (see [`SimStats::rounds`]).
+    depth: u64,
     payload: Payload,
 }
 
@@ -478,7 +488,7 @@ impl<B: Behavior> Sim<B> {
         for &start in starts {
             let mut ctx = DesCtx::new(start, rs.busy_until[start], tracing);
             self.nodes[start].on_start(&mut ctx);
-            self.absorb_ctx(ctx, start, SpanCause::Start, &mut rs);
+            self.absorb_ctx(ctx, start, SpanCause::Start, 0, &mut rs);
         }
 
         let mut delivered = 0u64;
@@ -533,6 +543,7 @@ impl<B: Behavior> Sim<B> {
                         None => msg,
                     };
                     rs.stats.messages += 1;
+                    rs.stats.rounds = rs.stats.rounds.max(ev.depth);
                     if let Some(b) = &mut rs.breakdown {
                         b.handled[ev.to] += 1;
                     }
@@ -574,7 +585,7 @@ impl<B: Behavior> Sim<B> {
                     None => self.nodes[ev.to].on_timer(from as u64, &mut ctx),
                 }
             }
-            self.absorb_ctx(ctx, ev.to, cause, &mut rs);
+            self.absorb_ctx(ctx, ev.to, cause, ev.depth, &mut rs);
         }
         rs.stats.finished_at =
             (rs.finishes_seen >= required_finishes).then_some(rs.finished.unwrap_or(0));
@@ -583,8 +594,17 @@ impl<B: Behavior> Sim<B> {
 
     /// Applies a handler's effects: service time, outgoing messages (with
     /// per-link transfer queuing), timers, and the finish flag; emits the
-    /// span's trace events when a tracer is attached.
-    fn absorb_ctx(&mut self, ctx: DesCtx, node: usize, cause: SpanCause, rs: &mut RunState) {
+    /// span's trace events when a tracer is attached. `depth` is the
+    /// causal message depth of the event that caused this handler
+    /// invocation (0 for start-of-run).
+    fn absorb_ctx(
+        &mut self,
+        ctx: DesCtx,
+        node: usize,
+        cause: SpanCause,
+        depth: u64,
+        rs: &mut RunState,
+    ) {
         skypeer_obs::scope!("des::absorb");
         let service = self.cost.service_ns(&ctx.work);
         rs.stats.compute_ns_total += service;
@@ -647,6 +667,9 @@ impl<B: Behavior> Sim<B> {
                 time: arrive,
                 seq: rs.seq,
                 to,
+                // Zero-byte self-messages model deferred local compute,
+                // not a network round trip: they inherit the depth.
+                depth: if bytes > 0 { depth + 1 } else { depth },
                 payload: Payload::Message { from: node, msg },
             }));
             rs.seq += 1;
@@ -665,6 +688,7 @@ impl<B: Behavior> Sim<B> {
                 time: end + delay,
                 seq: rs.seq,
                 to: node,
+                depth,
                 payload: Payload::Timer { tag },
             }));
             rs.seq += 1;
@@ -716,6 +740,7 @@ mod unit {
         assert_eq!(out.stats.messages, 6);
         assert!(out.stats.finished_at.is_some());
         assert_eq!(out.stats.bytes, 600);
+        assert_eq!(out.stats.rounds, 6, "each ring hop is one sequential round");
         let seen: u64 = out.nodes.iter().map(|n| n.seen).sum();
         assert_eq!(seen, 6);
     }
@@ -900,6 +925,7 @@ mod unit {
         assert_eq!(w.fired, vec![(3, 1_000), (7, 5_000)], "timers fire in deadline order");
         assert_eq!(out.stats.messages, 0, "timers are not messages");
         assert_eq!(out.stats.bytes, 0);
+        assert_eq!(out.stats.rounds, 0, "timers are not rounds");
     }
 
     #[test]

@@ -82,6 +82,12 @@ fn main() {
                 ),
                 Some(Msg::DupAck { .. }) => "DUP-ACK  (not your child)".to_string(),
                 Some(Msg::ComputeLocal { .. }) => "compute  (local, deferred)".to_string(),
+                Some(Msg::SampleQuery { filter, .. }) => {
+                    format!("SAMPLE-Q {} filter points", filter.len())
+                }
+                Some(Msg::Candidates { points, .. }) => {
+                    format!("CANDS    {} points", points.len())
+                }
                 None => "???".to_string(),
             };
             log_ref.borrow_mut().push(format!(

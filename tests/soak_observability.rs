@@ -45,6 +45,7 @@ fn skewed_spec(queries: usize, tail_k: usize) -> SoakSpec {
         telemetry: None,
         perturb: None,
         audit: None,
+        backend: Default::default(),
     }
 }
 
@@ -129,6 +130,7 @@ fn uniform_soak_matches_plain_workload_latencies() {
         telemetry: None,
         perturb: None,
         audit: None,
+        backend: Default::default(),
     };
     let out = run_soak(&engine, &spec, |_| {});
     assert_eq!(out.queries, plain);
